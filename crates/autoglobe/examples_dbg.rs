@@ -1,0 +1,22 @@
+use autoglobe::prelude::*;
+fn main() {
+    let mut landscape = Landscape::new();
+    let blade = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+    let big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
+    let fi = landscape
+        .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
+        .unwrap();
+    let instance = landscape.start_instance(fi, blade).unwrap();
+    let mut sup = Supervisor::new(landscape);
+    let mut t = SimTime::ZERO;
+    for _ in 0..15 {
+        t += SimDuration::from_minutes(1);
+        sup.record_server(blade, t, 0.95, 0.5);
+        sup.record_instance(instance, t, 0.95);
+        sup.record_service(fi, t, 0.95);
+        sup.tick(t);
+    }
+    for e in sup.drain_events() { println!("{e}"); }
+    println!("instance on {:?}", sup.landscape().instance(instance).unwrap().server);
+    let _ = big;
+}

@@ -1,0 +1,99 @@
+//! # AutoGlobe — an automatic administration concept for service-oriented
+//! # database applications
+//!
+//! A from-scratch Rust reproduction of *AutoGlobe* (Seltzsam, Gmach,
+//! Krompass, Kemper — ICDE 2006): a self-organizing infrastructure in which
+//! services are virtualized, pooled hardware is continuously monitored, and
+//! a **fuzzy-logic controller** remedies overload, idle and failure
+//! situations automatically — lowering administration effort and total cost
+//! of ownership.
+//!
+//! This crate is the facade: it re-exports the public API of the underlying
+//! crates and offers [`Supervisor`], a ready-wired monitoring → controller
+//! loop for driving a landscape with your own measurements.
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`fuzzy`] | `autoglobe-fuzzy` | Generic fuzzy-logic engine: membership functions, rule DSL, max–min inference, defuzzification |
+//! | [`landscape`] | `autoglobe-landscape` | Servers, services, instances, virtual IPs, actions, constraints, the XML description language |
+//! | [`monitor`] | `autoglobe-monitor` | Load monitors, advisors, watch-time confirmation, trigger events, load archive |
+//! | [`controller`] | `autoglobe-controller` | The two cooperating fuzzy controllers (action + server selection), protection mode, execution modes |
+//! | [`simulator`] | `autoglobe-simulator` | The SAP-landscape simulation environment behind the paper's evaluation |
+//! | [`forecast`] | `autoglobe-forecast` | Short-term load forecasting, administrator hints, proactive triggering (the paper's future work) |
+//! | [`designer`] | `autoglobe-designer` | The landscape designer: statically optimized pre-assignment (future work) |
+//! | [`console`] | `autoglobe-console` | The controller console's server/service/message views (Figure 8) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use autoglobe::prelude::*;
+//!
+//! // 1. Describe the landscape (or load it from XML).
+//! let mut landscape = Landscape::new();
+//! let blade = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+//! let big = landscape.add_server(ServerSpec::hp_bl40p("DBServer1")).unwrap();
+//! let fi = landscape
+//!     .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
+//!     .unwrap();
+//! let instance = landscape.start_instance(fi, blade).unwrap();
+//!
+//! // 2. Wire the supervisor (monitoring + fuzzy controller).
+//! let mut supervisor = Supervisor::new(landscape);
+//!
+//! // 3. Feed measurements; the supervisor watches, confirms, decides, acts.
+//! let mut t = SimTime::ZERO;
+//! for _ in 0..15 {
+//!     t += SimDuration::from_minutes(1);
+//!     supervisor.record_server(blade, t, 0.95, 0.5);
+//!     supervisor.record_instance(instance, t, 0.95);
+//!     supervisor.record_service(fi, t, 0.95);
+//!     supervisor.tick(t);
+//! }
+//!
+//! // The controller added capacity on the idle big host — here by scaling
+//! // the single-instance service out onto it.
+//! assert_eq!(supervisor.landscape().instances_on(big).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use autoglobe_console as console;
+pub use autoglobe_controller as controller;
+pub use autoglobe_designer as designer;
+pub use autoglobe_forecast as forecast;
+pub use autoglobe_fuzzy as fuzzy;
+pub use autoglobe_landscape as landscape;
+pub use autoglobe_monitor as monitor;
+pub use autoglobe_simulator as simulator;
+
+pub mod supervisor;
+
+pub use supervisor::Supervisor;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::supervisor::Supervisor;
+    pub use autoglobe_controller::{
+        ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent, ExecutionMode,
+        LoadView, RuleBases,
+    };
+    pub use autoglobe_fuzzy::{
+        parse_rule, parse_rules, Defuzzifier, Engine, EngineConfig, InferenceMethod,
+        LinguisticVariable, MembershipFunction, Rule, RuleBase,
+    };
+    pub use autoglobe_landscape::{
+        xml::LandscapeDescription, Action, ActionKind, InstanceId, Landscape, ServerId,
+        ServerSpec, ServiceId, ServiceKind, ServiceSpec,
+    };
+    pub use autoglobe_monitor::{
+        LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject,
+        SubjectConfig, TriggerEvent, TriggerKind,
+    };
+    pub use autoglobe_simulator::{
+        build_environment, find_max_users, CapacityCriterion, Metrics, Scenario, SimConfig,
+        Simulation,
+    };
+}

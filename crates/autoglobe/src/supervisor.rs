@@ -1,0 +1,340 @@
+//! A ready-wired supervision loop: measurements in, actions out.
+//!
+//! [`Supervisor`] bundles the pieces an integrator would otherwise wire by
+//! hand — a [`LoadMonitoringSystem`] with the paper's thresholds, a
+//! [`LoadArchive`], and the [`AutoGlobeController`] — around a
+//! [`Landscape`]. Feed it measurements with the `record_*` methods and call
+//! [`Supervisor::tick`] periodically; confirmed triggers flow into the fuzzy
+//! controller, whose actions mutate the landscape.
+
+use autoglobe_controller::{
+    ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent, LoadView, RuleBases,
+};
+use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId};
+use autoglobe_controller::RecoveryOutcome;
+use autoglobe_monitor::{
+    FailureEvent, FailureKind, LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration,
+    SimTime, Subject, SubjectConfig, TriggerEvent,
+};
+use std::collections::BTreeMap;
+
+/// Latest-value load view fed by the supervisor's recorded measurements.
+#[derive(Debug, Clone, Default)]
+struct RecordedLoads {
+    cpu: BTreeMap<Subject, f64>,
+    mem: BTreeMap<Subject, f64>,
+}
+
+impl LoadView for RecordedLoads {
+    fn cpu(&self, subject: Subject) -> f64 {
+        self.cpu.get(&subject).copied().unwrap_or(0.0)
+    }
+    fn mem(&self, subject: Subject) -> f64 {
+        self.mem.get(&subject).copied().unwrap_or(0.0)
+    }
+}
+
+/// The ready-wired AutoGlobe supervision loop.
+#[derive(Debug)]
+pub struct Supervisor {
+    landscape: Landscape,
+    controller: AutoGlobeController,
+    monitoring: LoadMonitoringSystem,
+    archive: LoadArchive,
+    loads: RecordedLoads,
+    pending_triggers: Vec<TriggerEvent>,
+    executed: Vec<ActionRecord>,
+}
+
+impl Supervisor {
+    /// Supervise `landscape` with the paper's default rule bases, monitor
+    /// thresholds and controller configuration.
+    pub fn new(landscape: Landscape) -> Self {
+        Self::with_config(landscape, RuleBases::paper_defaults(), ControllerConfig::default())
+    }
+
+    /// Supervise with explicit rule bases and controller configuration.
+    pub fn with_config(
+        landscape: Landscape,
+        rule_bases: RuleBases,
+        config: ControllerConfig,
+    ) -> Self {
+        let mut monitoring = LoadMonitoringSystem::new();
+        for server in landscape.server_ids() {
+            let idx = landscape
+                .server(server)
+                .map(|s| s.performance_index)
+                .unwrap_or(1.0);
+            monitoring.register(Subject::Server(server), SubjectConfig::paper_defaults(idx));
+        }
+        for service in landscape.service_ids() {
+            monitoring.register(Subject::Service(service), SubjectConfig::service_defaults());
+        }
+        Supervisor {
+            landscape,
+            controller: AutoGlobeController::with_rule_bases(rule_bases, config),
+            monitoring,
+            archive: LoadArchive::new(SimDuration::from_minutes(1)),
+            loads: RecordedLoads::default(),
+            pending_triggers: Vec::new(),
+            executed: Vec::new(),
+        }
+    }
+
+    /// The supervised landscape.
+    pub fn landscape(&self) -> &Landscape {
+        &self.landscape
+    }
+
+    /// Mutable access for administrative changes (registering servers and
+    /// services). Newly added entities are picked up by monitoring on the
+    /// next [`Supervisor::tick`].
+    pub fn landscape_mut(&mut self) -> &mut Landscape {
+        &mut self.landscape
+    }
+
+    /// The controller (to switch execution modes, confirm pending actions,
+    /// or inspect the protection registry).
+    pub fn controller(&self) -> &AutoGlobeController {
+        &self.controller
+    }
+
+    /// Mutable controller access.
+    pub fn controller_mut(&mut self) -> &mut AutoGlobeController {
+        &mut self.controller
+    }
+
+    /// The historic load archive.
+    pub fn archive(&self) -> &LoadArchive {
+        &self.archive
+    }
+
+    /// Every action executed so far.
+    pub fn executed(&self) -> &[ActionRecord] {
+        &self.executed
+    }
+
+    /// Drain and return the controller's event log.
+    pub fn drain_events(&mut self) -> Vec<ControllerEvent> {
+        self.controller.drain_log()
+    }
+
+    /// Record a server measurement.
+    pub fn record_server(&mut self, server: ServerId, time: SimTime, cpu: f64, mem: f64) {
+        self.record(Subject::Server(server), time, cpu, mem);
+    }
+
+    /// Record a service (aggregate) measurement.
+    pub fn record_service(&mut self, service: ServiceId, time: SimTime, cpu: f64) {
+        self.record(Subject::Service(service), time, cpu, 0.0);
+    }
+
+    /// Record an instance measurement.
+    pub fn record_instance(&mut self, instance: InstanceId, time: SimTime, cpu: f64) {
+        self.record(Subject::Instance(instance), time, cpu, 0.0);
+    }
+
+    fn record(&mut self, subject: Subject, time: SimTime, cpu: f64, mem: f64) {
+        self.loads.cpu.insert(subject, cpu);
+        self.loads.mem.insert(subject, mem);
+        self.archive.record(subject, time, cpu, mem);
+        // Instances are not registered as monitored subjects by default
+        // (triggers come from servers and services), but measurements for
+        // registered ones flow through.
+        if self.monitoring.is_registered(subject) {
+            if let Some(trigger) = self
+                .monitoring
+                .observe(subject, LoadSample::new(time, cpu, mem))
+            {
+                self.pending_triggers.push(trigger);
+            }
+        }
+    }
+
+    /// Report a crashed instance; the self-healing path restarts it
+    /// immediately (no watch time — the process is already gone).
+    pub fn report_instance_crash(&mut self, instance: InstanceId, now: SimTime) -> RecoveryOutcome {
+        let event = FailureEvent {
+            kind: FailureKind::InstanceCrashed(instance),
+            time: now,
+        };
+        self.controller
+            .handle_failure(&event, &mut self.landscape, &self.loads, now)
+    }
+
+    /// Report a failed host; it is marked unavailable and all its instances
+    /// restart elsewhere.
+    pub fn report_server_failure(&mut self, server: ServerId, now: SimTime) -> RecoveryOutcome {
+        let event = FailureEvent {
+            kind: FailureKind::ServerFailed(server),
+            time: now,
+        };
+        self.controller
+            .handle_failure(&event, &mut self.landscape, &self.loads, now)
+    }
+
+    /// Mark a previously failed host repaired.
+    pub fn report_server_repaired(&mut self, server: ServerId) {
+        let _ = self.landscape.set_available(server, true);
+    }
+
+    /// Register monitors for any servers/services added since construction,
+    /// dispatch confirmed triggers to the fuzzy controller, and execute its
+    /// decisions. Returns the actions executed this tick.
+    pub fn tick(&mut self, now: SimTime) -> Vec<ActionRecord> {
+        for server in self.landscape.server_ids() {
+            let subject = Subject::Server(server);
+            if !self.monitoring.is_registered(subject) {
+                let idx = self
+                    .landscape
+                    .server(server)
+                    .map(|s| s.performance_index)
+                    .unwrap_or(1.0);
+                self.monitoring
+                    .register(subject, SubjectConfig::paper_defaults(idx));
+            }
+        }
+        for service in self.landscape.service_ids() {
+            let subject = Subject::Service(service);
+            if !self.monitoring.is_registered(subject) {
+                self.monitoring
+                    .register(subject, SubjectConfig::service_defaults());
+            }
+        }
+
+        let triggers = std::mem::take(&mut self.pending_triggers);
+        let mut executed = Vec::new();
+        for trigger in triggers {
+            let outcome =
+                self.controller
+                    .handle_trigger(&trigger, &mut self.landscape, &self.loads, now);
+            executed.extend(outcome.executed);
+        }
+        self.executed.extend(executed.iter().cloned());
+        executed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_controller::ExecutionMode;
+    use autoglobe_landscape::{ActionKind, ServerSpec, ServiceKind, ServiceSpec};
+
+    fn minimal() -> (Supervisor, ServerId, ServerId, ServiceId, InstanceId) {
+        let mut landscape = Landscape::new();
+        let blade = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+        let big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
+        let fi = landscape
+            .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
+            .unwrap();
+        let instance = landscape.start_instance(fi, blade).unwrap();
+        (Supervisor::new(landscape), blade, big, fi, instance)
+    }
+
+    #[test]
+    fn sustained_overload_leads_to_action() {
+        let (mut sup, blade, big, fi, instance) = minimal();
+        let mut t = SimTime::ZERO;
+        let mut all_executed = Vec::new();
+        for _ in 0..15 {
+            t += SimDuration::from_minutes(1);
+            sup.record_server(blade, t, 0.95, 0.5);
+            sup.record_instance(instance, t, 0.95);
+            sup.record_service(fi, t, 0.95);
+            all_executed.extend(sup.tick(t));
+        }
+        assert!(!all_executed.is_empty(), "controller must act on sustained overload");
+        // Capacity arrived on the idle big host: either the hot instance
+        // was scaled up to it, or (single-instance service) a redundant
+        // instance was scaled out onto it.
+        assert!(
+            sup.landscape().instance(instance).unwrap().server == big
+                || sup.landscape().instances_on(big).len() == 1,
+            "expected capacity on the big host"
+        );
+        assert_eq!(sup.executed().len(), all_executed.len());
+    }
+
+    #[test]
+    fn short_peak_does_not_act() {
+        let (mut sup, blade, _big, fi, instance) = minimal();
+        let mut t = SimTime::ZERO;
+        // Three hot minutes, then calm.
+        for minute in 0..30 {
+            t += SimDuration::from_minutes(1);
+            let cpu = if minute < 3 { 0.95 } else { 0.3 };
+            sup.record_server(blade, t, cpu, 0.3);
+            sup.record_instance(instance, t, cpu);
+            sup.record_service(fi, t, cpu);
+            let executed = sup.tick(t);
+            assert!(executed.is_empty(), "no action on a short peak");
+        }
+    }
+
+    #[test]
+    fn new_services_are_picked_up_by_monitoring() {
+        let (mut sup, blade, _big, _fi, _instance) = minimal();
+        let hr = sup
+            .landscape_mut()
+            .add_service(ServiceSpec::new("HR", ServiceKind::ApplicationServer))
+            .unwrap();
+        let hr_inst = sup.landscape_mut().start_instance(hr, blade).unwrap();
+        sup.tick(SimTime::ZERO); // registers the monitor
+        let mut t = SimTime::ZERO;
+        let mut acted = false;
+        for _ in 0..15 {
+            t += SimDuration::from_minutes(1);
+            sup.record_service(hr, t, 0.9);
+            sup.record_instance(hr_inst, t, 0.9);
+            sup.record_server(blade, t, 0.9, 0.3);
+            acted |= !sup.tick(t).is_empty();
+        }
+        assert!(acted, "the dynamically added service is supervised");
+    }
+
+    #[test]
+    fn semi_automatic_mode_queues_through_supervisor() {
+        let (mut sup, blade, _big, fi, instance) = minimal();
+        sup.controller_mut().set_mode(ExecutionMode::SemiAutomatic);
+        let mut t = SimTime::ZERO;
+        for _ in 0..15 {
+            t += SimDuration::from_minutes(1);
+            sup.record_server(blade, t, 0.95, 0.5);
+            sup.record_instance(instance, t, 0.95);
+            sup.record_service(fi, t, 0.95);
+            sup.tick(t);
+        }
+        assert!(sup.executed().is_empty());
+        assert!(!sup.controller().pending().is_empty());
+        let id = sup.controller().pending()[0].id;
+        // Split borrow: confirm needs controller + landscape.
+        let Supervisor {
+            landscape,
+            controller,
+            ..
+        } = &mut sup;
+        let record = controller.confirm_pending(id, landscape, t).unwrap();
+        assert!(matches!(
+            record.action.kind(),
+            ActionKind::ScaleUp | ActionKind::ScaleOut | ActionKind::Move
+        ));
+    }
+
+    #[test]
+    fn archive_accumulates_history() {
+        let (mut sup, blade, _big, _fi, _instance) = minimal();
+        for minute in 0..60 {
+            sup.record_server(blade, SimTime::from_minutes(minute), 0.5, 0.2);
+        }
+        let avg = sup
+            .archive()
+            .average_cpu(
+                Subject::Server(blade),
+                SimTime::ZERO,
+                SimTime::from_minutes(60),
+            )
+            .unwrap();
+        assert!((avg - 0.5).abs() < 1e-9);
+    }
+}

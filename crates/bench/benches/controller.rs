@@ -1,0 +1,94 @@
+//! Benchmarks of the complete controller decision path: trigger → action
+//! selection → server selection over the paper's 19-host pool → constraint
+//! verification → execution.
+
+use autoglobe_controller::inputs::TableLoads;
+use autoglobe_controller::AutoGlobeController;
+use autoglobe_monitor::{SimTime, Subject, TriggerEvent, TriggerKind};
+use autoglobe_simulator::{build_environment, Scenario};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+/// The paper's full-mobility SAP landscape with a hot FI service.
+fn scenario() -> (
+    autoglobe_landscape::Landscape,
+    TableLoads,
+    TriggerEvent,
+) {
+    let env = build_environment(Scenario::FullMobility);
+    let landscape = env.landscape;
+    let fi = landscape.service_by_name("FI").unwrap();
+    let mut loads = TableLoads::new();
+    for server in landscape.server_ids() {
+        let spec = landscape.server(server).unwrap();
+        // Blades busy, DB servers mostly idle.
+        let cpu = if spec.performance_index < 5.0 { 0.85 } else { 0.15 };
+        loads.set(Subject::Server(server), cpu, 0.4);
+    }
+    for instance in landscape.instances_of(fi) {
+        loads.set(Subject::Instance(instance), 0.9, 0.0);
+    }
+    loads.set(Subject::Service(fi), 0.88, 0.0);
+    let trigger = TriggerEvent {
+        kind: TriggerKind::ServiceOverloaded,
+        subject: Subject::Service(fi),
+        time: SimTime::from_minutes(30),
+        average_cpu: 0.88,
+        average_mem: 0.4,
+    };
+    (landscape, loads, trigger)
+}
+
+fn bench_handle_trigger(c: &mut Criterion) {
+    let (landscape, loads, trigger) = scenario();
+    c.bench_function("controller/handle_trigger_19_hosts", |b| {
+        b.iter_batched(
+            || (AutoGlobeController::new(), landscape.clone()),
+            |(mut controller, mut landscape)| {
+                black_box(controller.handle_trigger(
+                    black_box(&trigger),
+                    &mut landscape,
+                    &loads,
+                    trigger.time,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Warm engines: the realistic steady-state cost (engines are cached per
+    // trigger/action after first use).
+    c.bench_function("controller/handle_trigger_warm", |b| {
+        b.iter_batched(
+            || {
+                let mut controller = AutoGlobeController::new();
+                let mut scratch = landscape.clone();
+                // Prime engine caches, then discard effects.
+                controller.handle_trigger(&trigger, &mut scratch, &loads, trigger.time);
+                (controller, landscape.clone())
+            },
+            |(mut controller, mut landscape)| {
+                black_box(controller.handle_trigger(
+                    black_box(&trigger),
+                    &mut landscape,
+                    &loads,
+                    trigger.time,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_constraint_check(c: &mut Criterion) {
+    let (landscape, _, _) = scenario();
+    let fi = landscape.service_by_name("FI").unwrap();
+    let target = landscape.server_by_name("DBServer2").unwrap();
+    let action = autoglobe_landscape::Action::ScaleOut { service: fi, target };
+    c.bench_function("constraints/check_scale_out", |b| {
+        b.iter(|| black_box(autoglobe_landscape::check_action(&landscape, black_box(&action))))
+    });
+}
+
+criterion_group!(benches, bench_handle_trigger, bench_constraint_check);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Microbenchmarks of the fuzzy engine: fuzzification, rule parsing,
+//! inference with the paper-sized rule base, and the defuzzifier variants.
+
+use autoglobe_controller::variables;
+use autoglobe_fuzzy::{
+    parse_rules, Defuzzifier, Engine, EngineConfig, FuzzySet, InferenceMethod,
+    LinguisticVariable, MembershipFunction,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn build_engine(config: EngineConfig) -> Engine {
+    let mut engine = Engine::with_config(config);
+    for var in variables::action_selection_inputs() {
+        engine.add_input(var);
+    }
+    for var in variables::action_selection_outputs() {
+        engine.add_output(var);
+    }
+    // A paper-sized rule base (service-overloaded defaults).
+    let rules = autoglobe_controller::RuleBases::paper_defaults()
+        .for_trigger(autoglobe_monitor::TriggerKind::ServiceOverloaded, "FI");
+    for rule in rules.rules() {
+        engine.add_rule(rule.clone()).unwrap();
+    }
+    engine
+}
+
+fn measurements() -> [(&'static str, f64); 8] {
+    [
+        ("cpuLoad", 0.87),
+        ("memLoad", 0.42),
+        ("performanceIndex", 2.0),
+        ("instanceLoad", 0.81),
+        ("serviceLoad", 0.78),
+        ("instancesOnServer", 2.0),
+        ("instancesOfService", 3.0),
+        ("instanceDemand", 1.6),
+    ]
+}
+
+fn bench_membership(c: &mut Criterion) {
+    let trapezoid = MembershipFunction::trapezoid(0.2, 0.4, 0.5, 0.7);
+    c.bench_function("membership/trapezoid_eval", |b| {
+        b.iter(|| black_box(trapezoid.eval(black_box(0.61))))
+    });
+    let variable = variables::load("cpuLoad");
+    c.bench_function("membership/fuzzify_three_terms", |b| {
+        b.iter(|| black_box(variable.fuzzify(black_box(0.61))))
+    });
+}
+
+fn bench_parsing(c: &mut Criterion) {
+    let text = "IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) \
+                THEN scaleUp IS applicable";
+    c.bench_function("parser/single_rule", |b| {
+        b.iter(|| black_box(autoglobe_fuzzy::parse_rule(black_box(text)).unwrap()))
+    });
+    let base = (0..40)
+        .map(|i| {
+            format!(
+                "IF cpuLoad IS high AND memLoad IS {} THEN scaleOut IS applicable WITH 0.{}\n",
+                if i % 2 == 0 { "low" } else { "high" },
+                (i % 9) + 1
+            )
+        })
+        .collect::<String>();
+    c.bench_function("parser/forty_rule_base", |b| {
+        b.iter(|| black_box(parse_rules(black_box(&base)).unwrap()))
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let engine = build_engine(EngineConfig::default());
+    c.bench_function("engine/run_paper_rule_base", |b| {
+        b.iter(|| black_box(engine.run(black_box(measurements())).unwrap()))
+    });
+
+    // Ablation: inference method and resolution.
+    let product = build_engine(EngineConfig {
+        inference: InferenceMethod::MaxProduct,
+        ..EngineConfig::default()
+    });
+    c.bench_function("engine/run_max_product", |b| {
+        b.iter(|| black_box(product.run(black_box(measurements())).unwrap()))
+    });
+    let coarse = build_engine(EngineConfig {
+        resolution: 101,
+        ..EngineConfig::default()
+    });
+    c.bench_function("engine/run_coarse_resolution", |b| {
+        b.iter(|| black_box(coarse.run(black_box(measurements())).unwrap()))
+    });
+}
+
+fn bench_defuzzifiers(c: &mut Criterion) {
+    let applicable = LinguisticVariable::applicability("a");
+    let mf = applicable.term("applicable").unwrap().membership();
+    let make = || {
+        let mut set = FuzzySet::from_membership(mf, 0.0, 1.0, 1001);
+        set.clip(0.6);
+        set
+    };
+    for (name, d) in [
+        ("leftmost_max", Defuzzifier::LeftmostMax),
+        ("mean_of_maxima", Defuzzifier::MeanOfMaxima),
+        ("centroid", Defuzzifier::Centroid),
+    ] {
+        c.bench_function(&format!("defuzzify/{name}"), |b| {
+            b.iter_batched(make, |set| black_box(d.defuzzify(&set)), BatchSize::SmallInput)
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_membership,
+    bench_parsing,
+    bench_inference,
+    bench_defuzzifiers
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Benchmarks of the monitoring stack: sample ingestion through advisors
+//! and watch-time tracking, plus load-archive queries.
+
+use autoglobe_landscape::ServerId;
+use autoglobe_monitor::{
+    LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject, SubjectConfig,
+};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_observe(c: &mut Criterion) {
+    c.bench_function("monitor/observe_19_servers_one_tick", |b| {
+        b.iter_batched(
+            || {
+                let mut system = LoadMonitoringSystem::new();
+                for i in 0..19 {
+                    system.register(
+                        Subject::Server(ServerId::new(i)),
+                        SubjectConfig::paper_defaults(1.0),
+                    );
+                }
+                system
+            },
+            |mut system| {
+                for i in 0..19u32 {
+                    let sample = LoadSample::new(SimTime::from_minutes(1), 0.5, 0.3);
+                    black_box(system.observe(Subject::Server(ServerId::new(i)), sample));
+                }
+                system
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_archive(c: &mut Criterion) {
+    // An archive with a paper-scale history: 19 servers × 80 hours × 1/min.
+    let build = || {
+        let mut archive = LoadArchive::new(SimDuration::from_minutes(1));
+        for minute in 0..(80 * 60) {
+            for server in 0..19u32 {
+                archive.record(
+                    Subject::Server(ServerId::new(server)),
+                    SimTime::from_minutes(minute),
+                    0.5 + (minute % 60) as f64 / 200.0,
+                    0.3,
+                );
+            }
+        }
+        archive
+    };
+    let archive = build();
+    c.bench_function("archive/record", |b| {
+        b.iter_batched(
+            || LoadArchive::new(SimDuration::from_minutes(1)),
+            |mut archive| {
+                for minute in 0..60 {
+                    archive.record(
+                        Subject::Server(ServerId::new(0)),
+                        SimTime::from_minutes(minute),
+                        0.5,
+                        0.3,
+                    );
+                }
+                archive
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("archive/watch_time_average", |b| {
+        b.iter(|| {
+            black_box(archive.average_cpu(
+                Subject::Server(ServerId::new(7)),
+                SimTime::from_hours(40),
+                SimTime::from_hours(40) + SimDuration::from_minutes(10),
+            ))
+        })
+    });
+    c.bench_function("archive/daily_profile", |b| {
+        b.iter(|| {
+            black_box(
+                archive.daily_profile(Subject::Server(ServerId::new(7)), SimDuration::from_hours(1)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_observe, bench_archive);
+criterion_main!(benches);

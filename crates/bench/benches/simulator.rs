@@ -1,0 +1,52 @@
+//! Benchmarks of the simulation engine: ticks per second per scenario —
+//! determines how fast the paper's 80-hour studies and capacity sweeps run.
+
+use autoglobe_monitor::SimDuration;
+use autoglobe_simulator::{build_environment, Scenario, SimConfig, Simulation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_simulated_hour(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/one_simulated_hour");
+    group.sample_size(20);
+    for scenario in Scenario::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scenario.name()),
+            &scenario,
+            |b, &scenario| {
+                b.iter(|| {
+                    let env = build_environment(scenario);
+                    let config = SimConfig::paper(scenario, 1.15)
+                        .with_duration(SimDuration::from_hours(1));
+                    black_box(Simulation::new(env, config).run())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_busy_day(c: &mut Criterion) {
+    // The heaviest realistic workload: FM at +15 % across a full day with
+    // controller activity.
+    let mut group = c.benchmark_group("simulator/full_day_fm");
+    group.sample_size(10);
+    group.bench_function("24h_at_115pct", |b| {
+        b.iter(|| {
+            let env = build_environment(Scenario::FullMobility);
+            let config = SimConfig::paper(Scenario::FullMobility, 1.15)
+                .with_duration(SimDuration::from_hours(24));
+            black_box(Simulation::new(env, config).run())
+        })
+    });
+    group.finish();
+}
+
+fn bench_environment_build(c: &mut Criterion) {
+    c.bench_function("simulator/build_environment", |b| {
+        b.iter(|| black_box(build_environment(Scenario::FullMobility)))
+    });
+}
+
+criterion_group!(benches, bench_simulated_hour, bench_busy_day, bench_environment_build);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! CLI regenerating every table and figure of the paper's evaluation.
+//!
+//! ```bash
+//! cargo run --release -p autoglobe-bench --bin experiments -- all
+//! cargo run --release -p autoglobe-bench --bin experiments -- fig12 --hours 80
+//! ```
+//!
+//! CSV outputs land in `results/`; summaries print to stdout.
+
+use autoglobe_bench as xp;
+use autoglobe_simulator::{Metrics, Scenario};
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("help");
+    let hours = flag(&args, "--hours").unwrap_or(80);
+    let seed = flag(&args, "--seed").unwrap_or(42);
+
+    fs::create_dir_all("results").expect("create results dir");
+
+    match command {
+        "fig3" => run_fig3(),
+        "fig5" => run_fig5(),
+        "tables" => {
+            println!("{}", xp::tables_1_2_3());
+            println!("{}", xp::tables_5_6());
+        }
+        "fig10" => run_fig10(),
+        "inventory" => println!("{}", xp::inventory()),
+        "fig12" => run_scenario_figure("fig12", Scenario::Static, hours, seed),
+        "fig13" => run_scenario_figure("fig13", Scenario::ConstrainedMobility, hours, seed),
+        "fig14" => run_scenario_figure("fig14", Scenario::FullMobility, hours, seed),
+        "fig15" => run_fi_figure("fig15", Scenario::Static, hours, seed),
+        "fig16" => run_fi_figure("fig16", Scenario::ConstrainedMobility, hours, seed),
+        "fig17" => run_fi_figure("fig17", Scenario::FullMobility, hours, seed),
+        "table7" => run_table7(hours, seed),
+        "designer" => run_designer(),
+        "ablation" => run_ablation(hours.min(30)),
+        "all" => {
+            run_fig3();
+            run_fig5();
+            println!("{}", xp::tables_1_2_3());
+            println!("{}", xp::tables_5_6());
+            run_fig10();
+            println!("{}", xp::inventory());
+            for (name, scenario) in [
+                ("fig12", Scenario::Static),
+                ("fig13", Scenario::ConstrainedMobility),
+                ("fig14", Scenario::FullMobility),
+            ] {
+                run_scenario_figure(name, scenario, hours, seed);
+            }
+            for (name, scenario) in [
+                ("fig15", Scenario::Static),
+                ("fig16", Scenario::ConstrainedMobility),
+                ("fig17", Scenario::FullMobility),
+            ] {
+                run_fi_figure(name, scenario, hours, seed);
+            }
+            run_table7(hours, seed);
+            run_designer();
+            run_ablation(hours.min(30));
+        }
+        _ => {
+            eprintln!(
+                "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
+                 fig15|fig16|fig17|table7|designer|ablation|all> [--hours N] [--seed N]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn write(path: &str, contents: &str) {
+    fs::write(Path::new(path), contents).expect("write results file");
+    println!("wrote {path} ({} lines)", contents.lines().count());
+}
+
+fn run_fig3() {
+    write("results/fig3_cpu_load_membership.csv", &xp::fig3_membership_table());
+}
+
+fn run_fig5() {
+    let (up, out) = xp::fig5_inference_example();
+    println!("Figure 5 — max–min inference worked example:");
+    println!("  scale-up  applicability: {up:.3} (paper: 0.6)");
+    println!("  scale-out applicability: {out:.3} (paper: 0.3)");
+}
+
+fn run_fig10() {
+    write("results/fig10_load_curves.csv", &xp::fig10_load_curves());
+}
+
+fn summarize(name: &str, scenario: Scenario, metrics: &Metrics) {
+    println!(
+        "{name} ({scenario}): mean load {:.1} %, worst overload {}, recurring {}, \
+         actions {}, alerts {}",
+        metrics.mean_average_load() * 100.0,
+        metrics.worst_overload(),
+        metrics.worst_recurring_overload(),
+        metrics.actions.len(),
+        metrics.alerts,
+    );
+}
+
+fn run_scenario_figure(name: &str, scenario: Scenario, hours: u64, seed: u64) {
+    // The paper's Figures 12–14 run at +15 % users.
+    let metrics = xp::scenario_run(scenario, 1.15, hours, seed);
+    write(
+        &format!("results/{name}_all_servers_{}.csv", scenario.name()),
+        &xp::all_servers_csv(&metrics),
+    );
+    summarize(name, scenario, &metrics);
+}
+
+fn run_fi_figure(name: &str, scenario: Scenario, hours: u64, seed: u64) {
+    let metrics = xp::scenario_run(scenario, 1.15, hours, seed);
+    write(
+        &format!("results/{name}_fi_instances_{}.csv", scenario.name()),
+        &xp::fi_series_csv(&metrics),
+    );
+    let log = xp::action_log(&metrics);
+    write(&format!("results/{name}_actions_{}.log", scenario.name()), &log);
+    summarize(name, scenario, &metrics);
+}
+
+fn run_table7(hours: u64, seed: u64) {
+    println!("Table 7 — maximum possible, relative number of users ({hours} h per probe):");
+    let mut csv = String::from("scenario,max_users_percent,paper_percent\n");
+    let paper = [100.0, 115.0, 135.0];
+    for ((scenario, percent), paper_value) in xp::table7(hours, seed).into_iter().zip(paper) {
+        println!("  {:<22} {percent:>5.0} %   (paper: {paper_value:.0} %)", scenario.name());
+        csv.push_str(&format!("{},{percent:.0},{paper_value:.0}\n", scenario.name()));
+    }
+    write("results/table7_max_users.csv", &csv);
+}
+
+fn run_designer() {
+    let (hand, designed) = xp::designer_vs_figure_11();
+    println!("Landscape designer vs. the hand-made Figure 11 allocation:");
+    println!("  hand-made peak daily load: {:.0} %", hand * 100.0);
+    println!("  designed  peak daily load: {:.0} %", designed * 100.0);
+}
+
+fn run_ablation(hours: u64) {
+    println!("Ablation — decision agreement with max-min/leftmost-max:");
+    for (label, agreement) in xp::ablation_decision_quality() {
+        println!("  {label:<28} {:.0} %", agreement * 100.0);
+    }
+    println!("Ablation — protection-time sensitivity (FM, +15 %, {hours} h):");
+    for (label, actions, overload) in xp::ablation_timing(hours) {
+        println!("  {label:<28} {actions:>3} actions, worst overload {overload:>6} s");
+    }
+}

@@ -1,0 +1,610 @@
+//! Experiment implementations regenerating every table and figure of the
+//! paper's evaluation (Section 5). The `experiments` binary is a thin CLI
+//! over these functions; integration tests call them directly.
+//!
+//! | Paper artifact | Function |
+//! |---|---|
+//! | Figure 3 (linguistic variable `cpuLoad`) | [`fig3_membership_table`] |
+//! | Figure 5 (max–min inference worked example) | [`fig5_inference_example`] |
+//! | Tables 1–3 (controller variables & actions) | [`tables_1_2_3`] |
+//! | Figure 10 (daily load curves LES / BW) | [`fig10_load_curves`] |
+//! | Figure 11 / Table 4 (hardware, allocation, users) | [`inventory`] |
+//! | Tables 5/6 (scenario constraints) | [`tables_5_6`] |
+//! | Figures 12–14 (per-server load, three scenarios) | [`scenario_run`] |
+//! | Figures 15–17 (FI instances + controller actions) | [`scenario_run`] (`fi_series`, `action_log`) |
+//! | Table 7 (max users per scenario) | [`table7`] |
+//! | Ablations (inference, defuzzifier, watch/protection times) | [`ablation_decision_quality`], [`ablation_timing`] |
+//! | Landscape designer vs. Figure 11 (future work) | [`designer_vs_figure_11`] |
+
+#![forbid(unsafe_code)]
+
+use autoglobe_controller::ControllerConfig;
+use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
+use autoglobe_monitor::SimDuration;
+use autoglobe_simulator::{
+    build_environment, find_max_users, sap, CapacityCriterion, DailyPattern, Metrics, Scenario,
+    SimConfig, Simulation,
+};
+use std::fmt::Write as _;
+
+/// Figure 3: membership grades of the `cpuLoad` linguistic variable as a
+/// CSV table `load,low,medium,high`, sampled at 1 % resolution. The paper's
+/// worked point (`μ_medium(0.6) = 0.5`, `μ_high(0.6) = 0.2`) is asserted.
+pub fn fig3_membership_table() -> String {
+    let variable = autoglobe_controller::variables::load("cpuLoad");
+    let mut out = String::from("load,low,medium,high\n");
+    for i in 0..=100 {
+        let x = i as f64 / 100.0;
+        let grades = variable.fuzzify(x);
+        writeln!(out, "{x:.2},{:.4},{:.4},{:.4}", grades[0], grades[1], grades[2]).unwrap();
+    }
+    let check = variable.fuzzify(0.6);
+    assert!((check[1] - 0.5).abs() < 1e-9, "μ_medium(0.6) = 0.5");
+    assert!((check[2] - 0.2).abs() < 1e-9, "μ_high(0.6) = 0.2");
+    out
+}
+
+/// Figure 5: the paper's worked max–min inference example. Returns the
+/// crisp `(scaleUp, scaleOut)` applicabilities, which must be ≈ (0.6, 0.3)
+/// for the paper's assumed membership grades.
+pub fn fig5_inference_example() -> (f64, f64) {
+    // The paper assumes μ_high(cpuLoad) = 0.8 and performance-index grades
+    // (low, medium, high) = (0, 0.6, 0.3). We construct a variable pair
+    // realizing exactly those grades at the measured points.
+    use autoglobe_fuzzy::MembershipFunction;
+    let mut engine = Engine::new();
+    engine.add_input(autoglobe_controller::variables::load("cpuLoad"));
+    engine.add_input(
+        LinguisticVariable::builder("performanceIndex")
+            .range(0.0, 10.0)
+            .term("low", MembershipFunction::trapezoid(0.0, 0.0, 0.5, 1.0))
+            // Falling edge hits 0.6 at i = 5.8 …
+            .term("medium", MembershipFunction::trapezoid(1.0, 3.0, 5.0, 7.0))
+            // … rising edge tuned to hit 0.3 at the same i = 5.8.
+            .term("high", MembershipFunction::trapezoid(4.0, 10.0, 10.0, 10.0))
+            .build()
+            .unwrap(),
+    );
+    engine.add_output(LinguisticVariable::applicability("scaleUp"));
+    engine.add_output(LinguisticVariable::applicability("scaleOut"));
+    engine
+        .add_rule_str(
+            "IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) \
+             THEN scaleUp IS applicable",
+        )
+        .unwrap();
+    engine
+        .add_rule_str("IF cpuLoad IS high AND performanceIndex IS high THEN scaleOut IS applicable")
+        .unwrap();
+    // cpuLoad 0.9 → μ_high = 0.8; performanceIndex 5.8 → μ_medium = 0.6,
+    // μ_high = 0.3.
+    let out = engine
+        .run([("cpuLoad", 0.9), ("performanceIndex", 5.8)])
+        .unwrap();
+    (out["scaleUp"], out["scaleOut"])
+}
+
+/// Tables 1, 2 and 3: the controller's variable inventory, rendered as text.
+pub fn tables_1_2_3() -> String {
+    let mut out = String::new();
+    writeln!(out, "Table 1 — input variables for action selection:").unwrap();
+    for v in autoglobe_controller::variables::action_selection_inputs() {
+        let terms: Vec<&str> = v.terms().iter().map(|t| t.name()).collect();
+        writeln!(out, "  {:<20} terms: {}", v.name(), terms.join(", ")).unwrap();
+    }
+    writeln!(out, "\nTable 2 — output variables (actions):").unwrap();
+    for kind in autoglobe_landscape::ActionKind::ALL {
+        writeln!(
+            out,
+            "  {:<20} needs target host: {}",
+            kind.variable_name(),
+            kind.needs_target()
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nTable 3 — input variables for server selection:").unwrap();
+    for v in autoglobe_controller::variables::server_selection_inputs() {
+        let terms: Vec<&str> = v.terms().iter().map(|t| t.name()).collect();
+        writeln!(out, "  {:<20} terms: {}", v.name(), terms.join(", ")).unwrap();
+    }
+    out
+}
+
+/// Figure 10: the daily activity patterns of an LES-style interactive
+/// service and the BW batch service, as CSV `hour,les,bw` (fraction of the
+/// respective user/job base, no jitter).
+pub fn fig10_load_curves() -> String {
+    let mut out = String::from("hour,les,bw\n");
+    for i in 0..=24 * 12 {
+        let hour = i as f64 / 12.0;
+        writeln!(
+            out,
+            "{hour:.3},{:.4},{:.4}",
+            DailyPattern::Interactive.active_fraction(hour),
+            DailyPattern::NightBatch.active_fraction(hour),
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Figure 11 + Table 4: hardware pool, initial allocation and user counts.
+pub fn inventory() -> String {
+    let env = build_environment(Scenario::Static);
+    let mut out = String::from("Figure 11 — hardware and initial allocation:\n");
+    for server in env.landscape.server_ids() {
+        let spec = env.landscape.server(server).unwrap();
+        let residents: Vec<String> = env
+            .landscape
+            .instances_on(server)
+            .iter()
+            .map(|i| {
+                let inst = env.landscape.instance(*i).unwrap();
+                env.landscape.service(inst.service).unwrap().name.clone()
+            })
+            .collect();
+        writeln!(
+            out,
+            "  {:<12} {:<18} perf {:<3} {:>2} CPU × {:>4} MHz, {:>6} MB: {}",
+            spec.name,
+            spec.category,
+            spec.performance_index,
+            spec.num_cpus,
+            spec.cpu_clock_mhz,
+            spec.memory_mb,
+            residents.join(", ")
+        )
+        .unwrap();
+    }
+    writeln!(out, "\nTable 4 — users and initial instances:").unwrap();
+    for (service, users, instances) in sap::TABLE_4 {
+        writeln!(out, "  {service:<6} {users:>6} users, {instances} instances").unwrap();
+    }
+    out
+}
+
+/// Tables 5 and 6: the per-scenario service constraints.
+pub fn tables_5_6() -> String {
+    let mut out = String::new();
+    for scenario in [Scenario::ConstrainedMobility, Scenario::FullMobility] {
+        writeln!(
+            out,
+            "Table {} — services in the {} scenario:",
+            if scenario == Scenario::ConstrainedMobility { 5 } else { 6 },
+            scenario
+        )
+        .unwrap();
+        let env = build_environment(scenario);
+        for service in env.landscape.service_ids() {
+            let spec = env.landscape.service(service).unwrap();
+            let actions: Vec<&str> = spec
+                .allowed_actions
+                .iter()
+                .map(|a| a.variable_name())
+                .collect();
+            let mut conditions = Vec::new();
+            if spec.exclusive {
+                conditions.push("exclusive".to_string());
+            }
+            if let Some(idx) = spec.min_performance_index {
+                conditions.push(format!("min perf index {idx}"));
+            }
+            if spec.min_instances > 1 {
+                conditions.push(format!("min {} instances", spec.min_instances));
+            }
+            writeln!(
+                out,
+                "  {:<8} [{}] actions: {}",
+                spec.name,
+                conditions.join(", "),
+                if actions.is_empty() { "—".to_string() } else { actions.join(", ") }
+            )
+            .unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// One figure-12/13/14-style scenario run. Returns the metrics; use
+/// [`all_servers_csv`], [`fi_series_csv`] and [`action_log`] to render the
+/// figure data.
+pub fn scenario_run(scenario: Scenario, multiplier: f64, hours: u64, seed: u64) -> Metrics {
+    let env = build_environment(scenario);
+    let config = SimConfig::paper(scenario, multiplier)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed);
+    Simulation::new(env, config).run()
+}
+
+/// Figures 12–14: CSV with one column per server plus the average —
+/// `hours,Blade1,…,DBServer3,average`.
+pub fn all_servers_csv(metrics: &Metrics) -> String {
+    let env = build_environment(Scenario::Static);
+    let names: Vec<String> = env
+        .landscape
+        .server_ids()
+        .map(|id| env.landscape.server(id).unwrap().name.clone())
+        .collect();
+    let mut out = String::from("hours");
+    for name in &names {
+        write!(out, ",{name}").unwrap();
+    }
+    out.push_str(",average\n");
+    let len = metrics.average_series.len();
+    for i in 0..len {
+        let t = metrics.average_series[i].time;
+        write!(out, "{:.3}", t.as_secs() as f64 / 3600.0).unwrap();
+        for server in env.landscape.server_ids() {
+            let value = metrics
+                .server_series
+                .get(&server)
+                .and_then(|s| s.get(i))
+                .map(|p| p.value)
+                .unwrap_or(0.0);
+            write!(out, ",{value:.4}").unwrap();
+        }
+        writeln!(out, ",{:.4}", metrics.average_series[i].value).unwrap();
+    }
+    out
+}
+
+/// Figures 15–17: the FI application servers' load curves, one CSV row per
+/// sample: `hours,instance,server,load`. Instances are identified by id and
+/// by the host they were on at the time (FI instances move in the FM run).
+pub fn fi_series_csv(metrics: &Metrics) -> String {
+    let env = build_environment(Scenario::Static);
+    let names: Vec<String> = env
+        .landscape
+        .server_ids()
+        .map(|id| env.landscape.server(id).unwrap().name.clone())
+        .collect();
+    let mut out = String::from("hours,instance,server,load\n");
+    for (instance, series) in &metrics.instance_series {
+        for p in series {
+            writeln!(
+                out,
+                "{:.3},{},{},{:.4}",
+                p.time.as_secs() as f64 / 3600.0,
+                instance,
+                names
+                    .get(p.server.index())
+                    .map(String::as_str)
+                    .unwrap_or("?"),
+                p.value
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The controller-action annotations of Figures 16/17, with ids resolved to
+/// the paper's host names.
+pub fn action_log(metrics: &Metrics) -> String {
+    let env = build_environment(Scenario::Static);
+    let server_names: Vec<String> = env
+        .landscape
+        .server_ids()
+        .map(|id| env.landscape.server(id).unwrap().name.clone())
+        .collect();
+    let service_names: Vec<String> = env
+        .landscape
+        .service_ids()
+        .map(|id| env.landscape.service(id).unwrap().name.clone())
+        .collect();
+    let mut out = String::new();
+    for record in &metrics.actions {
+        out.push_str(&resolve_names(&record.to_string(), &server_names, &service_names));
+        out.push('\n');
+    }
+    out
+}
+
+/// Replace `srv#N` / `svc#N` ids with names. Higher ids first, so `srv#1`
+/// is never substituted inside `srv#17`.
+fn resolve_names(line: &str, server_names: &[String], service_names: &[String]) -> String {
+    let mut line = line.to_string();
+    for (i, name) in server_names.iter().enumerate().rev() {
+        line = line.replace(&format!("srv#{i}"), name);
+    }
+    for (i, name) in service_names.iter().enumerate().rev() {
+        line = line.replace(&format!("svc#{i}"), name);
+    }
+    line
+}
+
+/// Table 7: the capacity sweep. Returns `(scenario, max percent)` rows.
+pub fn table7(hours: u64, seed: u64) -> Vec<(Scenario, f64)> {
+    let criterion = CapacityCriterion::default();
+    Scenario::ALL
+        .into_iter()
+        .map(|scenario| {
+            let result = find_max_users(
+                scenario,
+                criterion,
+                0.05,
+                SimDuration::from_hours(hours),
+                seed,
+            );
+            (scenario, result.max_users_percent())
+        })
+        .collect()
+}
+
+/// Ablation: decision quality of the fuzzy-engine variants. For a spectrum
+/// of overload situations, report how often each (inference, defuzzifier)
+/// pair ranks the same top action as the paper's max–min/leftmost-max
+/// configuration. Returns `(label, agreement fraction)` rows.
+pub fn ablation_decision_quality() -> Vec<(String, f64)> {
+    use autoglobe_controller::{ActionSelector, RuleBases};
+    use autoglobe_controller::inputs::ActionInputs;
+    use autoglobe_monitor::TriggerKind;
+
+    let situations: Vec<ActionInputs> = {
+        let mut v = Vec::new();
+        for cpu in [0.55, 0.7, 0.85, 0.95] {
+            for perf in [1.0, 2.0, 9.0] {
+                for instances in [1.0, 3.0, 6.0] {
+                    v.push(ActionInputs {
+                        cpu_load: cpu,
+                        mem_load: cpu / 2.0,
+                        performance_index: perf,
+                        instance_load: cpu,
+                        service_load: cpu - 0.05,
+                        instances_on_server: 2.0,
+                        instances_of_service: instances,
+                        instance_demand: cpu * perf,
+                    });
+                }
+            }
+        }
+        v
+    };
+
+    let reference_top = |config: EngineConfig| -> Vec<Option<autoglobe_landscape::ActionKind>> {
+        let mut selector = ActionSelector::new(RuleBases::paper_defaults(), config);
+        situations
+            .iter()
+            .map(|inputs| {
+                let ranked = selector
+                    .rank(TriggerKind::ServiceOverloaded, "FI", inputs)
+                    .unwrap();
+                ranked
+                    .first()
+                    .filter(|r| r.applicability > 0.0)
+                    .map(|r| r.kind)
+            })
+            .collect()
+    };
+
+    let baseline = reference_top(EngineConfig::default());
+    let mut rows = Vec::new();
+    for (inference, inference_name) in [
+        (InferenceMethod::MaxMin, "max-min"),
+        (InferenceMethod::MaxProduct, "max-product"),
+    ] {
+        for (defuzzifier, defuzz_name) in [
+            (Defuzzifier::LeftmostMax, "leftmost-max"),
+            (Defuzzifier::MeanOfMaxima, "mean-of-maxima"),
+            (Defuzzifier::Centroid, "centroid"),
+        ] {
+            let config = EngineConfig {
+                inference,
+                defuzzifier,
+                ..EngineConfig::default()
+            };
+            let top = reference_top(config);
+            let agree = top
+                .iter()
+                .zip(&baseline)
+                .filter(|(a, b)| a == b)
+                .count() as f64
+                / situations.len() as f64;
+            rows.push((format!("{inference_name}/{defuzz_name}"), agree));
+        }
+    }
+    rows
+}
+
+/// The landscape-designer experiment (future work made measurable): peak
+/// daily load of the paper's hand-made Figure 11 allocation vs. the
+/// designer's statically optimized pre-assignment, on identical demand
+/// profiles. Returns `(hand-made peak, designed peak)`.
+pub fn designer_vs_figure_11() -> (f64, f64) {
+    use autoglobe_designer::{design, ServiceDemand};
+    use autoglobe_simulator::sap::calibration;
+
+    let env = build_environment(Scenario::Static);
+    let landscape = &env.landscape;
+
+    // Hourly per-instance demand profiles straight from the workload model.
+    let mut demands = Vec::new();
+    let mut profile_of = std::collections::BTreeMap::new();
+    for (name, users, instances) in sap::TABLE_4 {
+        let service = landscape.service_by_name(name).unwrap();
+        let spec = landscape.service(service).unwrap();
+        let pattern = if name == "BW" {
+            DailyPattern::NightBatch
+        } else {
+            DailyPattern::Interactive
+        };
+        let profile: Vec<f64> = (0..24)
+            .map(|h| {
+                spec.base_load
+                    + users / instances as f64
+                        * pattern.active_fraction(h as f64)
+                        * spec.load_per_user
+            })
+            .collect();
+        profile_of.insert(service, profile.clone());
+        demands.push(ServiceDemand { service, instances, profile });
+    }
+    for (name, per_user, users, pattern) in [
+        ("CI-ERP", calibration::CI_LOAD_PER_USER, 2250.0, DailyPattern::Interactive),
+        ("CI-CRM", calibration::CI_LOAD_PER_USER, 300.0, DailyPattern::Interactive),
+        ("CI-BW", calibration::CI_LOAD_PER_JOB, 60.0, DailyPattern::NightBatch),
+        ("DB-ERP", calibration::DB_LOAD_PER_USER, 2250.0, DailyPattern::Interactive),
+        ("DB-CRM", calibration::DB_LOAD_PER_USER, 300.0, DailyPattern::Interactive),
+        ("DB-BW", calibration::DB_LOAD_PER_JOB, 60.0, DailyPattern::NightBatch),
+    ] {
+        let service = landscape.service_by_name(name).unwrap();
+        let profile: Vec<f64> = (0..24)
+            .map(|h| 0.05 + users * pattern.active_fraction(h as f64) * per_user)
+            .collect();
+        profile_of.insert(service, profile.clone());
+        demands.push(ServiceDemand { service, instances: 1, profile });
+    }
+
+    // Peak load of the hand-made allocation under the same profiles.
+    let mut hand_peak: f64 = 0.0;
+    for server in landscape.server_ids() {
+        let perf = landscape.server(server).unwrap().performance_index;
+        for slot in 0..24 {
+            let demand: f64 = landscape
+                .instances_on(server)
+                .iter()
+                .map(|i| {
+                    let service = landscape.instance(*i).unwrap().service;
+                    profile_of[&service][slot]
+                })
+                .sum();
+            hand_peak = hand_peak.max(demand / perf);
+        }
+    }
+
+    let placement = design(landscape, &demands).expect("the SAP landscape is feasible");
+    (hand_peak, placement.peak_load)
+}
+
+/// Ablation: watch-time and protection-time sensitivity. Runs the FM
+/// scenario at +15 % with scaled timing parameters and reports
+/// `(label, actions, worst overload seconds)`.
+pub fn ablation_timing(hours: u64) -> Vec<(String, usize, u64)> {
+    let mut rows = Vec::new();
+    for (label, protection_minutes) in [("protect-5m", 5u64), ("protect-30m", 30), ("protect-90m", 90)] {
+        let env = build_environment(Scenario::FullMobility);
+        let mut config = SimConfig::paper(Scenario::FullMobility, 1.15)
+            .with_duration(SimDuration::from_hours(hours));
+        config.controller = ControllerConfig {
+            protection_time: SimDuration::from_minutes(protection_minutes),
+            ..ControllerConfig::default()
+        };
+        let metrics = Simulation::new(env, config).run();
+        rows.push((
+            label.to_string(),
+            metrics.actions.len(),
+            metrics.worst_overload().as_secs(),
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_reproduces_paper_grades() {
+        let csv = fig3_membership_table();
+        assert!(csv.lines().count() > 100);
+        // Row at load 0.60.
+        let row = csv.lines().find(|l| l.starts_with("0.60,")).unwrap();
+        assert_eq!(row, "0.60,0.0000,0.5000,0.2000");
+    }
+
+    #[test]
+    fn fig5_reproduces_paper_crisp_values() {
+        let (up, out) = fig5_inference_example();
+        assert!((up - 0.6).abs() < 5e-3, "scale-up ≈ 0.6, got {up}");
+        assert!((out - 0.3).abs() < 5e-3, "scale-out ≈ 0.3, got {out}");
+        assert!(up > out, "the controller favors scale-up (Section 3)");
+    }
+
+    #[test]
+    fn fig10_has_paper_shape() {
+        let csv = fig10_load_curves();
+        let rows: Vec<(f64, f64, f64)> = csv
+            .lines()
+            .skip(1)
+            .map(|l| {
+                let mut parts = l.split(',').map(|p| p.parse::<f64>().unwrap());
+                (
+                    parts.next().unwrap(),
+                    parts.next().unwrap(),
+                    parts.next().unwrap(),
+                )
+            })
+            .collect();
+        let at = |h: f64| rows.iter().min_by(|a, b| {
+            (a.0 - h).abs().partial_cmp(&(b.0 - h).abs()).unwrap()
+        }).copied().unwrap();
+        // LES interactive: day ≫ night; BW batch: night ≫ day.
+        assert!(at(9.5).1 > at(3.0).1 + 0.5);
+        assert!(at(3.0).2 > at(12.0).2 + 0.5);
+    }
+
+    #[test]
+    fn inventory_lists_19_servers() {
+        let text = inventory();
+        assert!(text.contains("Blade1"));
+        assert!(text.contains("DBServer3"));
+        assert!(text.contains("LES       900 users, 4 instances") || text.contains("LES"));
+        assert_eq!(text.matches("perf").count(), 19);
+    }
+
+    #[test]
+    fn tables_render() {
+        let t = tables_1_2_3();
+        assert!(t.contains("cpuLoad"));
+        assert!(t.contains("scaleUp"));
+        assert!(t.contains("tempSpace"));
+        let t56 = tables_5_6();
+        assert!(t56.contains("Table 5"));
+        assert!(t56.contains("Table 6"));
+        assert!(t56.contains("min perf index 5"));
+    }
+
+    #[test]
+    fn designer_beats_the_hand_made_allocation() {
+        let (hand, designed) = designer_vs_figure_11();
+        assert!(
+            designed <= hand + 1e-9,
+            "designer {designed} must not lose to hand-made {hand}"
+        );
+        assert!(hand > 0.6, "hand-made allocation peaks in the 60-80% band: {hand}");
+        assert!(designed < 0.8, "designed peak stays under the overload level");
+    }
+
+    #[test]
+    fn ablation_rows_cover_all_variants() {
+        let rows = ablation_decision_quality();
+        assert_eq!(rows.len(), 6);
+        // The baseline agrees with itself.
+        let baseline = rows
+            .iter()
+            .find(|(label, _)| label == "max-min/leftmost-max")
+            .unwrap();
+        assert_eq!(baseline.1, 1.0);
+        for (_, agreement) in &rows {
+            assert!((0.0..=1.0).contains(agreement));
+        }
+    }
+}
+
+#[cfg(test)]
+mod name_resolution_tests {
+    use super::*;
+
+    #[test]
+    fn two_digit_ids_resolve_before_their_prefixes() {
+        let servers: Vec<String> = (0..19).map(|i| format!("Host{i}")).collect();
+        let services: Vec<String> = (0..12).map(|i| format!("Svc{i}")).collect();
+        let line = "move inst#3 to srv#17 for svc#11 then srv#1 and svc#1";
+        let resolved = resolve_names(line, &servers, &services);
+        assert_eq!(
+            resolved,
+            "move inst#3 to Host17 for Svc11 then Host1 and Svc1"
+        );
+    }
+}

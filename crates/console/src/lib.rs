@@ -1,0 +1,366 @@
+//! # autoglobe-console — the controller console
+//!
+//! The paper's administrator interface (Section 4.3, Figure 8): "our
+//! controller offers a graphical controller console which displays the
+//! monitored state of the system. ... There are three different views: the
+//! server view displays information about the controlled servers, the
+//! service view is analogously displaying information about the controlled
+//! services and the message view lists administrative messages and
+//! notifications."
+//!
+//! This crate renders those three views as plain text (the original GUI is
+//! an administrative affordance, not part of the paper's contribution;
+//! every piece of information Figure 8 shows is reproduced):
+//!
+//! * [`server_view`] — servers grouped by hardware category with current
+//!   load, instance list and protection state;
+//! * [`service_view`] — services with instance counts, per-instance
+//!   placement and constraints;
+//! * [`message_view`] — the controller's event log plus pending
+//!   confirmations in semi-automatic mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use autoglobe_controller::{AutoGlobeController, ControllerEvent, LoadView};
+use autoglobe_landscape::{Landscape, ServerId};
+use autoglobe_monitor::{SimTime, Subject};
+use std::fmt::Write as _;
+
+/// A fixed-width textual load bar, e.g. `[######----] 60%`.
+fn load_bar(load: f64, width: usize) -> String {
+    let filled = ((load.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    let mut bar = String::with_capacity(width + 8);
+    bar.push('[');
+    for i in 0..width {
+        bar.push(if i < filled { '#' } else { '-' });
+    }
+    bar.push(']');
+    write!(bar, " {:>3.0}%", load * 100.0).unwrap();
+    bar
+}
+
+/// The *server view*: all controlled servers grouped by category, with
+/// hardware facts, live load, the instances they run, and protection state.
+pub fn server_view(
+    landscape: &Landscape,
+    loads: &dyn LoadView,
+    controller: &AutoGlobeController,
+    now: SimTime,
+) -> String {
+    let mut out = String::from("== server view ==\n");
+    // Group by category, preserving id order inside a group.
+    let mut categories: Vec<String> = Vec::new();
+    for server in landscape.server_ids() {
+        let category = landscape.server(server).unwrap().category.clone();
+        if !categories.contains(&category) {
+            categories.push(category);
+        }
+    }
+    for category in categories {
+        writeln!(out, "[{category}]").unwrap();
+        for server in landscape.server_ids() {
+            let spec = landscape.server(server).unwrap();
+            if spec.category != category {
+                continue;
+            }
+            let cpu = loads.cpu(Subject::Server(server));
+            let mem = loads.mem(Subject::Server(server));
+            let residents: Vec<String> = landscape
+                .instances_on(server)
+                .iter()
+                .map(|i| {
+                    let inst = landscape.instance(*i).unwrap();
+                    landscape.service(inst.service).unwrap().name.clone()
+                })
+                .collect();
+            let protection = controller
+                .protection()
+                .protected_until(Subject::Server(server), now)
+                .map(|until| format!(" PROTECTED until {until}"))
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "  {:<12} perf {:<4} cpu {} mem {:>3.0}%  {}{}",
+                spec.name,
+                spec.performance_index,
+                load_bar(cpu, 10),
+                mem * 100.0,
+                if residents.is_empty() {
+                    "(idle)".to_string()
+                } else {
+                    residents.join(", ")
+                },
+                protection,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The *service view*: every controlled service with constraints, instance
+/// placement and live load.
+pub fn service_view(
+    landscape: &Landscape,
+    loads: &dyn LoadView,
+    controller: &AutoGlobeController,
+    now: SimTime,
+) -> String {
+    let mut out = String::from("== service view ==\n");
+    for service in landscape.service_ids() {
+        let spec = landscape.service(service).unwrap();
+        let cpu = loads.cpu(Subject::Service(service));
+        let actions: Vec<&str> = spec
+            .allowed_actions
+            .iter()
+            .map(|a| a.variable_name())
+            .collect();
+        let protection = controller
+            .protection()
+            .protected_until(Subject::Service(service), now)
+            .map(|until| format!(" PROTECTED until {until}"))
+            .unwrap_or_default();
+        writeln!(
+            out,
+            "  {:<10} load {}  instances {}/{}{}  actions: {}{}",
+            spec.name,
+            load_bar(cpu, 10),
+            landscape.instance_count_of(service),
+            spec.max_instances
+                .map(|m| m.to_string())
+                .unwrap_or_else(|| "∞".into()),
+            if spec.exclusive { " exclusive" } else { "" },
+            if actions.is_empty() { "—".to_string() } else { actions.join(" ") },
+            protection,
+        )
+        .unwrap();
+        for instance_id in landscape.instances_of(service) {
+            let inst = landscape.instance(instance_id).unwrap();
+            let host = landscape.server(inst.server).unwrap();
+            writeln!(
+                out,
+                "      {:<8} on {:<12} ip {:<12} load {:>3.0}%",
+                inst.id.to_string(),
+                host.name,
+                inst.ip.to_string(),
+                loads.cpu(Subject::Instance(instance_id)) * 100.0,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The *message view*: administrative messages and notifications — the
+/// controller's recent event log (newest last) and any actions awaiting
+/// confirmation in semi-automatic mode.
+pub fn message_view(controller: &AutoGlobeController, last: usize) -> String {
+    let mut out = String::from("== message view ==\n");
+    let log = controller.log();
+    let start = log.len().saturating_sub(last);
+    if log.is_empty() {
+        out.push_str("  (no messages)\n");
+    }
+    for event in &log[start..] {
+        let marker = match event {
+            ControllerEvent::AdministratorAlert { .. } => "!!",
+            ControllerEvent::Executed(_) => "ok",
+            ControllerEvent::Rejected { .. } => "no",
+            ControllerEvent::SuppressedByProtection { .. } => "..",
+            ControllerEvent::PendingConfirmation { .. } => "??",
+            ControllerEvent::Recovered { .. } => "<3",
+        };
+        writeln!(out, "  {marker} {event}").unwrap();
+    }
+    if !controller.pending().is_empty() {
+        out.push_str("  -- awaiting confirmation --\n");
+        for pending in controller.pending() {
+            writeln!(
+                out,
+                "  ?? #{} {} ({:.0}%)",
+                pending.id,
+                pending.action,
+                pending.applicability * 100.0
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// All three views stacked — one full console frame.
+pub fn render(
+    landscape: &Landscape,
+    loads: &dyn LoadView,
+    controller: &AutoGlobeController,
+    now: SimTime,
+    last_messages: usize,
+) -> String {
+    let mut out = String::new();
+    writeln!(out, "AutoGlobe controller console — {now}\n").unwrap();
+    out.push_str(&server_view(landscape, loads, controller, now));
+    out.push('\n');
+    out.push_str(&service_view(landscape, loads, controller, now));
+    out.push('\n');
+    out.push_str(&message_view(controller, last_messages));
+    out
+}
+
+/// Convenience: render per-server loads from a plain table (used by
+/// examples that do not run a full monitoring stack).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotLoads {
+    entries: std::collections::BTreeMap<Subject, (f64, f64)>,
+}
+
+impl SnapshotLoads {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        SnapshotLoads::default()
+    }
+
+    /// Record a subject's `(cpu, mem)` loads.
+    pub fn set(&mut self, subject: Subject, cpu: f64, mem: f64) {
+        self.entries.insert(subject, (cpu, mem));
+    }
+
+    /// Record a server's loads (most common case).
+    pub fn set_server(&mut self, server: ServerId, cpu: f64, mem: f64) {
+        self.set(Subject::Server(server), cpu, mem);
+    }
+}
+
+impl LoadView for SnapshotLoads {
+    fn cpu(&self, subject: Subject) -> f64 {
+        self.entries.get(&subject).map(|&(c, _)| c).unwrap_or(0.0)
+    }
+    fn mem(&self, subject: Subject) -> f64 {
+        self.entries.get(&subject).map(|&(_, m)| m).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_controller::inputs::TableLoads;
+    use autoglobe_landscape::{ServerSpec, ServiceKind, ServiceSpec};
+    use autoglobe_monitor::{SimDuration, TriggerEvent, TriggerKind};
+
+    fn fixture() -> (Landscape, TableLoads) {
+        let mut l = Landscape::new();
+        let blade = l.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+        let big = l.add_server(ServerSpec::hp_bl40p("DBServer1")).unwrap();
+        l.add_server(ServerSpec::fsc_bx600("Blade2")).unwrap();
+        let fi = l
+            .add_service(
+                ServiceSpec::new("FI", ServiceKind::ApplicationServer).with_instances(1, Some(4)),
+            )
+            .unwrap();
+        let db = l
+            .add_service(ServiceSpec::new("DB", ServiceKind::Database).with_exclusive(true))
+            .unwrap();
+        let i1 = l.start_instance(fi, blade).unwrap();
+        let i2 = l.start_instance(db, big).unwrap();
+        let mut loads = TableLoads::new();
+        loads.set(Subject::Server(blade), 0.72, 0.55);
+        loads.set(Subject::Server(big), 0.31, 0.40);
+        loads.set(Subject::Service(fi), 0.70, 0.0);
+        loads.set(Subject::Service(db), 0.31, 0.0);
+        loads.set(Subject::Instance(i1), 0.72, 0.0);
+        loads.set(Subject::Instance(i2), 0.31, 0.0);
+        (l, loads)
+    }
+
+    #[test]
+    fn server_view_groups_by_category() {
+        let (l, loads) = fixture();
+        let c = AutoGlobeController::new();
+        let view = server_view(&l, &loads, &c, SimTime::ZERO);
+        let bx = view.find("[FSC-BX300]").expect("category header");
+        let hp = view.find("[HP-ProliantBL40p]").expect("category header");
+        assert!(bx < hp);
+        assert!(view.contains("Blade1"));
+        assert!(view.contains("FI"));
+        assert!(view.contains("72%"));
+    }
+
+    #[test]
+    fn service_view_lists_instances_and_constraints() {
+        let (l, loads) = fixture();
+        let c = AutoGlobeController::new();
+        let view = service_view(&l, &loads, &c, SimTime::ZERO);
+        assert!(view.contains("FI"));
+        assert!(view.contains("instances 1/4"));
+        assert!(view.contains("exclusive"));
+        assert!(view.contains("10.0.0.1"));
+        assert!(view.contains("on Blade1"));
+    }
+
+    #[test]
+    fn protection_is_surfaced() {
+        let (l, loads) = fixture();
+        let mut c = AutoGlobeController::new();
+        let blade = l.server_by_name("Blade1").unwrap();
+        c.protect(
+            Subject::Server(blade),
+            SimTime::ZERO,
+            SimDuration::from_minutes(30),
+        );
+        let view = server_view(&l, &loads, &c, SimTime::from_minutes(5));
+        assert!(view.contains("PROTECTED until 00:30"), "{view}");
+    }
+
+    #[test]
+    fn message_view_shows_events_and_pending() {
+        let (mut l, loads) = fixture();
+        let mut c = AutoGlobeController::new();
+        c.set_mode(autoglobe_controller::ExecutionMode::SemiAutomatic);
+        let fi = l.service_by_name("FI").unwrap();
+        let trigger = TriggerEvent {
+            kind: TriggerKind::ServiceOverloaded,
+            subject: Subject::Service(fi),
+            time: SimTime::from_minutes(12),
+            average_cpu: 0.9,
+            average_mem: 0.5,
+        };
+        let mut hot = TableLoads::new();
+        let blade = l.server_by_name("Blade1").unwrap();
+        let i1 = l.instances_of(fi)[0];
+        hot.set(Subject::Server(blade), 0.95, 0.6);
+        hot.set(Subject::Service(fi), 0.92, 0.0);
+        hot.set(Subject::Instance(i1), 0.92, 0.0);
+        c.handle_trigger(&trigger, &mut l, &hot, trigger.time);
+        let view = message_view(&c, 10);
+        assert!(view.contains("??"), "pending marker: {view}");
+        assert!(view.contains("awaiting confirmation"));
+        let _ = loads;
+    }
+
+    #[test]
+    fn empty_log_renders_placeholder() {
+        let c = AutoGlobeController::new();
+        assert!(message_view(&c, 5).contains("(no messages)"));
+    }
+
+    #[test]
+    fn full_render_stacks_three_views() {
+        let (l, loads) = fixture();
+        let c = AutoGlobeController::new();
+        let frame = render(&l, &loads, &c, SimTime::from_hours(2), 5);
+        let a = frame.find("== server view ==").unwrap();
+        let b = frame.find("== service view ==").unwrap();
+        let m = frame.find("== message view ==").unwrap();
+        assert!(a < b && b < m);
+        assert!(frame.starts_with("AutoGlobe controller console — 02:00"));
+    }
+
+    #[test]
+    fn load_bar_renders_extremes() {
+        assert_eq!(load_bar(0.0, 4), "[----]   0%");
+        assert_eq!(load_bar(1.0, 4), "[####] 100%");
+        assert_eq!(load_bar(0.5, 4), "[##--]  50%");
+        // Clamped.
+        assert_eq!(load_bar(1.7, 4), "[####] 170%");
+    }
+}

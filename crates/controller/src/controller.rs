@@ -1,0 +1,1026 @@
+//! The AutoGlobe controller: the full interaction of Figure 6.
+//!
+//! Detection of an exceptional situation → selection of an action (fuzzy
+//! controller #1) → if needed, selection of a host (fuzzy controller #2) →
+//! constraint verification → execution — with fallback to the next host and
+//! then the next action on failure, protection of the involved entities on
+//! success, and an administrator alert when nothing sufficiently applicable
+//! remains.
+
+use crate::inputs::{ActionInputs, LoadView, ServerInputs};
+use crate::log::{ActionRecord, ControllerEvent};
+use crate::protection::ProtectionRegistry;
+use crate::rulebase::RuleBases;
+use crate::selection::{ActionSelector, RankedAction, ServerSelector};
+use autoglobe_fuzzy::EngineConfig;
+use autoglobe_landscape::{
+    check_action, Action, ActionKind, InstanceId, Landscape, ServerId, ServiceId,
+};
+use autoglobe_monitor::{SimDuration, SimTime, Subject, TriggerEvent, TriggerKind};
+
+/// Tunables of the controller.
+#[derive(Debug, Clone, Copy)]
+pub struct ControllerConfig {
+    /// Actions below this applicability are discarded — "an
+    /// administrator-controlled minimum threshold" (Section 4.1).
+    pub min_applicability: f64,
+    /// Target hosts scoring below this are not considered (Section 4.2's
+    /// "sufficient applicability" for hosts).
+    pub min_host_score: f64,
+    /// How long involved services and servers are protected after an action
+    /// (Section 5.1: 30 minutes).
+    pub protection_time: SimDuration,
+    /// Fuzzy engine configuration (inference method, defuzzifier).
+    pub engine: EngineConfig,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            min_applicability: 0.4,
+            min_host_score: 0.2,
+            protection_time: SimDuration::from_minutes(30),
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// Automatic vs. semi-automatic operation (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Log and execute immediately.
+    #[default]
+    Automatic,
+    /// Queue actions; a human confirms via
+    /// [`AutoGlobeController::confirm_pending`].
+    SemiAutomatic,
+}
+
+/// An action awaiting administrator confirmation (semi-automatic mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingAction {
+    /// Identifier for confirm/reject calls.
+    pub id: u64,
+    /// When it was proposed.
+    pub time: SimTime,
+    /// The trigger that led to it.
+    pub trigger: TriggerKind,
+    /// The proposed action.
+    pub action: Action,
+    /// Fuzzy applicability of the action.
+    pub applicability: f64,
+    /// Host score, if a target was selected.
+    pub host_score: Option<f64>,
+}
+
+/// The result of handling one trigger.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerOutcome {
+    /// Actions that were executed (empty in semi-automatic mode).
+    pub executed: Vec<ActionRecord>,
+    /// Everything logged while handling the trigger (including rejections
+    /// and alerts).
+    pub events: Vec<ControllerEvent>,
+}
+
+impl TriggerOutcome {
+    /// True if at least one action was executed.
+    pub fn acted(&self) -> bool {
+        !self.executed.is_empty()
+    }
+}
+
+/// One candidate produced by the action-selection phase.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    service: ServiceId,
+    /// The instance the action would operate on (None for scale-out/start
+    /// style actions that create instances).
+    instance: Option<InstanceId>,
+    kind: ActionKind,
+    applicability: f64,
+}
+
+/// The complete AutoGlobe controller.
+#[derive(Debug)]
+pub struct AutoGlobeController {
+    action_selector: ActionSelector,
+    server_selector: ServerSelector,
+    protection: ProtectionRegistry,
+    config: ControllerConfig,
+    mode: ExecutionMode,
+    log: Vec<ControllerEvent>,
+    pending: Vec<PendingAction>,
+    next_pending_id: u64,
+}
+
+impl AutoGlobeController {
+    /// A controller with the paper's default rule bases and configuration.
+    pub fn new() -> Self {
+        Self::with_rule_bases(RuleBases::paper_defaults(), ControllerConfig::default())
+    }
+
+    /// A controller with explicit rule bases and configuration.
+    pub fn with_rule_bases(rule_bases: RuleBases, config: ControllerConfig) -> Self {
+        AutoGlobeController {
+            action_selector: ActionSelector::new(rule_bases.clone(), config.engine),
+            server_selector: ServerSelector::new(rule_bases, config.engine),
+            protection: ProtectionRegistry::new(),
+            config,
+            mode: ExecutionMode::Automatic,
+            log: Vec::new(),
+            pending: Vec::new(),
+            next_pending_id: 0,
+        }
+    }
+
+    /// Switch between automatic and semi-automatic operation.
+    pub fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    /// The current execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> ControllerConfig {
+        self.config
+    }
+
+    /// The protection registry (read access for consoles and tests).
+    pub fn protection(&self) -> &ProtectionRegistry {
+        &self.protection
+    }
+
+    /// Manually protect a subject (administrator override).
+    pub fn protect(&mut self, subject: Subject, now: SimTime, duration: SimDuration) {
+        self.protection.protect(subject, now, duration);
+    }
+
+    /// The full event log, oldest first.
+    pub fn log(&self) -> &[ControllerEvent] {
+        &self.log
+    }
+
+    /// Drain the event log (consoles poll this).
+    pub fn drain_log(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Actions awaiting confirmation (semi-automatic mode).
+    pub fn pending(&self) -> &[PendingAction] {
+        &self.pending
+    }
+
+    /// Append to the event log (used by the recovery path).
+    pub(crate) fn push_log(&mut self, event: ControllerEvent) {
+        self.log.push(event);
+    }
+
+    /// Mutable access to the server-selection controller (used by the
+    /// recovery path to score restart targets).
+    pub(crate) fn server_selector_mut(&mut self) -> &mut ServerSelector {
+        &mut self.server_selector
+    }
+
+    /// Handle one confirmed trigger: the complete Figure 6 flow.
+    pub fn handle_trigger(
+        &mut self,
+        event: &TriggerEvent,
+        landscape: &mut Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> TriggerOutcome {
+        let mut outcome = TriggerOutcome::default();
+        self.protection.expire(now);
+
+        // Protected subjects are excluded from further actions.
+        if let Some(until) = self.protection.protected_until(event.subject, now) {
+            let e = ControllerEvent::SuppressedByProtection {
+                time: now,
+                trigger: event.kind,
+                protected_until: until,
+            };
+            self.log.push(e.clone());
+            outcome.events.push(e);
+            return outcome;
+        }
+
+        // Phase 1: action selection (Figure 7) — per considered service.
+        let mut candidates = self.collect_candidates(event, landscape, loads, now);
+
+        // "Afterwards, the actions are sorted by their applicability in
+        // descending order. Actions whose applicability value is lower than
+        // an administrator-controlled minimum threshold are discarded."
+        candidates.retain(|c| c.applicability >= self.config.min_applicability);
+        candidates.sort_by(|a, b| {
+            b.applicability
+                .partial_cmp(&a.applicability)
+                .unwrap()
+                .then_with(|| a.service.cmp(&b.service))
+        });
+
+        if candidates.is_empty() {
+            // An unresolvable *overload* needs the administrator; an idle
+            // subject with nothing worth consolidating is normal operation.
+            if event.kind.is_overload() {
+                let e = ControllerEvent::AdministratorAlert {
+                    time: now,
+                    trigger: event.kind,
+                    message: format!(
+                        "no action with applicability ≥ {:.0}% for {}",
+                        self.config.min_applicability * 100.0,
+                        event.subject
+                    ),
+                };
+                self.log.push(e.clone());
+                outcome.events.push(e);
+            }
+            return outcome;
+        }
+
+        // Phase 2: try candidates best-first; per candidate, try hosts
+        // best-first; first success wins.
+        for candidate in &candidates {
+            if self.try_candidate(candidate, event, landscape, loads, now, &mut outcome) {
+                return outcome;
+            }
+        }
+
+        if event.kind.is_overload() {
+            let e = ControllerEvent::AdministratorAlert {
+                time: now,
+                trigger: event.kind,
+                message: format!(
+                    "all {} candidate action(s) failed verification for {}",
+                    candidates.len(),
+                    event.subject
+                ),
+            };
+            self.log.push(e.clone());
+            outcome.events.push(e);
+        }
+        outcome
+    }
+
+    /// Gather ranked candidates for the trigger, per Figure 7: a service
+    /// trigger considers only that service; a server trigger runs the fuzzy
+    /// controller for each service on the host and merges the action lists.
+    fn collect_candidates(
+        &mut self,
+        event: &TriggerEvent,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        // Protected services are "excluded from further actions" (Section
+        // 4): they produce no candidates even when another subject's
+        // trigger would otherwise involve them.
+        let consider = |this: &mut Self, service: ServiceId, instance: InstanceId, out: &mut Vec<Candidate>| {
+            if this
+                .protection
+                .is_protected(Subject::Service(service), now)
+            {
+                return;
+            }
+            this.rank_service(event.kind, landscape, loads, service, instance, out);
+        };
+        match event.subject {
+            Subject::Service(service) => {
+                let prefer = None;
+                if let Some(instance) =
+                    representative_instance(landscape, loads, service, event.kind, prefer)
+                {
+                    consider(self, service, instance, &mut out);
+                }
+            }
+            Subject::Instance(instance) => {
+                if let Ok(inst) = landscape.instance(instance) {
+                    let service = inst.service;
+                    consider(self, service, instance, &mut out);
+                }
+            }
+            Subject::Server(server) => {
+                // One fuzzy evaluation per service on the host.
+                let mut seen = std::collections::BTreeSet::new();
+                for instance_id in landscape.instances_on(server) {
+                    let Ok(inst) = landscape.instance(instance_id) else {
+                        continue;
+                    };
+                    if seen.insert(inst.service) {
+                        consider(self, inst.service, instance_id, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn rank_service(
+        &mut self,
+        trigger: TriggerKind,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        service: ServiceId,
+        instance: InstanceId,
+        out: &mut Vec<Candidate>,
+    ) {
+        let Ok(spec) = landscape.service(service) else {
+            return;
+        };
+        let Some(inputs) = ActionInputs::gather(landscape, loads, service, instance) else {
+            return;
+        };
+        let Ok(ranked) = self
+            .action_selector
+            .rank(trigger, &spec.name, &inputs)
+        else {
+            return;
+        };
+        for RankedAction {
+            kind,
+            applicability,
+        } in ranked
+        {
+            // "The fuzzy controller only considers actions that do not
+            // violate any given constraint" — the declarative allowed-action
+            // sets filter here; stateful constraints are re-verified at
+            // execution time.
+            if applicability <= 0.0 || !spec.allows(kind) {
+                continue;
+            }
+            let instance_for_action = if kind_uses_instance(kind) {
+                Some(instance)
+            } else {
+                None
+            };
+            out.push(Candidate {
+                service,
+                instance: instance_for_action,
+                kind,
+                applicability,
+            });
+        }
+    }
+
+    /// Try to execute one candidate; returns true if an action was executed
+    /// (or queued in semi-automatic mode).
+    fn try_candidate(
+        &mut self,
+        candidate: &Candidate,
+        event: &TriggerEvent,
+        landscape: &mut Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+        outcome: &mut TriggerOutcome,
+    ) -> bool {
+        let service_name = match landscape.service(candidate.service) {
+            Ok(s) => s.name.clone(),
+            Err(_) => return false,
+        };
+
+        if candidate.kind.needs_target() {
+            // Phase 2b: server selection.
+            let hosts = self.rank_hosts(candidate, &service_name, landscape, loads, now);
+            for (host, score) in hosts {
+                let Some(action) = concretize(candidate, host) else {
+                    continue;
+                };
+                if self.execute(
+                    &action,
+                    event,
+                    candidate.applicability,
+                    Some(score),
+                    landscape,
+                    now,
+                    outcome,
+                ) {
+                    return true;
+                }
+            }
+            false
+        } else {
+            let Some(action) = concretize(candidate, ServerId::new(0)) else {
+                return false;
+            };
+            self.execute(
+                &action,
+                event,
+                candidate.applicability,
+                None,
+                landscape,
+                now,
+                outcome,
+            )
+        }
+    }
+
+    /// Score all eligible hosts for a candidate, best first.
+    fn rank_hosts(
+        &mut self,
+        candidate: &Candidate,
+        service_name: &str,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Vec<(ServerId, f64)> {
+        let current_host = candidate
+            .instance
+            .and_then(|i| landscape.instance(i).ok().map(|inst| inst.server));
+        let current_index = current_host
+            .and_then(|h| landscape.server(h).ok())
+            .map(|s| s.performance_index);
+
+        let mut scored = Vec::new();
+        for server in landscape.server_ids() {
+            // "Initially, these are all servers on which an instance of the
+            // service can be started and that are not in protection mode."
+            if self.protection.is_protected(Subject::Server(server), now) {
+                continue;
+            }
+            if Some(server) == current_host {
+                continue;
+            }
+            if !landscape.can_host(candidate.service, server) {
+                continue;
+            }
+            // A scale-out onto a host that already runs the service would
+            // split the same saturated CPU without adding capacity.
+            if candidate.kind == ActionKind::ScaleOut
+                && landscape
+                    .instances_on(server)
+                    .iter()
+                    .any(|i| landscape.instance(*i).map(|inst| inst.service) == Ok(candidate.service))
+            {
+                continue;
+            }
+            // Power direction for scale-up/down (cheap pre-filter; the
+            // constraint checker enforces it again at execution).
+            if let (Some(from_idx), Ok(spec)) = (current_index, landscape.server(server)) {
+                match candidate.kind {
+                    ActionKind::ScaleUp if spec.performance_index <= from_idx => continue,
+                    ActionKind::ScaleDown if spec.performance_index >= from_idx => continue,
+                    _ => {}
+                }
+            }
+            let Some(inputs) = ServerInputs::gather(landscape, loads, server) else {
+                continue;
+            };
+            let Ok(score) = self
+                .server_selector
+                .score(candidate.kind, service_name, &inputs)
+            else {
+                continue;
+            };
+            if score >= self.config.min_host_score {
+                scored.push((server, score));
+            }
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        scored
+    }
+
+    /// Verify and execute (or queue) one concrete action.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        action: &Action,
+        event: &TriggerEvent,
+        applicability: f64,
+        host_score: Option<f64>,
+        landscape: &mut Landscape,
+        now: SimTime,
+        outcome: &mut TriggerOutcome,
+    ) -> bool {
+        if self.mode == ExecutionMode::SemiAutomatic {
+            // Verify without executing, then queue.
+            if let Err(violation) = check_action(landscape, action) {
+                let e = ControllerEvent::Rejected {
+                    time: now,
+                    action: *action,
+                    reason: violation.to_string(),
+                };
+                self.log.push(e.clone());
+                outcome.events.push(e);
+                return false;
+            }
+            let pending = PendingAction {
+                id: self.next_pending_id,
+                time: now,
+                trigger: event.kind,
+                action: *action,
+                applicability,
+                host_score,
+            };
+            self.next_pending_id += 1;
+            let e = ControllerEvent::PendingConfirmation {
+                time: now,
+                action: *action,
+            };
+            self.pending.push(pending);
+            self.log.push(e.clone());
+            outcome.events.push(e);
+            return true;
+        }
+
+        match landscape.apply(action) {
+            Ok(applied) => {
+                self.protect_involved(action, landscape, now);
+                let record = ActionRecord {
+                    time: now,
+                    trigger: event.kind,
+                    action: *action,
+                    applicability,
+                    host_score,
+                    outcome: applied,
+                };
+                let e = ControllerEvent::Executed(record.clone());
+                self.log.push(e.clone());
+                outcome.events.push(e);
+                outcome.executed.push(record);
+                true
+            }
+            Err(err) => {
+                let e = ControllerEvent::Rejected {
+                    time: now,
+                    action: *action,
+                    reason: err.to_string(),
+                };
+                self.log.push(e.clone());
+                outcome.events.push(e);
+                false
+            }
+        }
+    }
+
+    /// Protect the service and servers involved in an executed action.
+    fn protect_involved(&mut self, action: &Action, landscape: &Landscape, now: SimTime) {
+        let d = self.config.protection_time;
+        if let Some(target) = action.target() {
+            self.protection.protect(Subject::Server(target), now, d);
+        }
+        let service = match *action {
+            Action::Start { service, .. }
+            | Action::ScaleOut { service, .. }
+            | Action::IncreasePriority { service }
+            | Action::ReducePriority { service } => Some(service),
+            Action::Stop { instance }
+            | Action::ScaleIn { instance }
+            | Action::ScaleUp { instance, .. }
+            | Action::ScaleDown { instance, .. }
+            | Action::Move { instance, .. } => {
+                // The instance may already be gone (stop/scale-in) — protect
+                // its host if it still resolves.
+                if let Ok(inst) = landscape.instance(instance) {
+                    self.protection.protect(Subject::Server(inst.server), now, d);
+                    Some(inst.service)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(svc) = service {
+            self.protection.protect(Subject::Service(svc), now, d);
+        }
+    }
+
+    /// Confirm a pending action (semi-automatic mode). Constraints are
+    /// re-verified — the landscape may have changed since the proposal.
+    pub fn confirm_pending(
+        &mut self,
+        id: u64,
+        landscape: &mut Landscape,
+        now: SimTime,
+    ) -> Option<ActionRecord> {
+        let idx = self.pending.iter().position(|p| p.id == id)?;
+        let pending = self.pending.remove(idx);
+        match landscape.apply(&pending.action) {
+            Ok(applied) => {
+                self.protect_involved(&pending.action, landscape, now);
+                let record = ActionRecord {
+                    time: now,
+                    trigger: pending.trigger,
+                    action: pending.action,
+                    applicability: pending.applicability,
+                    host_score: pending.host_score,
+                    outcome: applied,
+                };
+                self.log.push(ControllerEvent::Executed(record.clone()));
+                Some(record)
+            }
+            Err(err) => {
+                self.log.push(ControllerEvent::Rejected {
+                    time: now,
+                    action: pending.action,
+                    reason: err.to_string(),
+                });
+                None
+            }
+        }
+    }
+
+    /// Reject a pending action (semi-automatic mode).
+    pub fn reject_pending(&mut self, id: u64) -> bool {
+        let before = self.pending.len();
+        self.pending.retain(|p| p.id != id);
+        self.pending.len() != before
+    }
+}
+
+impl Default for AutoGlobeController {
+    fn default() -> Self {
+        AutoGlobeController::new()
+    }
+}
+
+/// Whether a kind operates on an existing instance.
+fn kind_uses_instance(kind: ActionKind) -> bool {
+    matches!(
+        kind,
+        ActionKind::Stop
+            | ActionKind::ScaleIn
+            | ActionKind::ScaleUp
+            | ActionKind::ScaleDown
+            | ActionKind::Move
+    )
+}
+
+/// Pick the instance a service-level trigger should operate on: the hottest
+/// instance for overload triggers, the coolest for idle triggers. When
+/// `prefer_server` is given (server triggers), instances on that host win.
+fn representative_instance(
+    landscape: &Landscape,
+    loads: &dyn LoadView,
+    service: ServiceId,
+    trigger: TriggerKind,
+    prefer_server: Option<ServerId>,
+) -> Option<InstanceId> {
+    let mut instances = landscape.instances_of(service);
+    if let Some(server) = prefer_server {
+        let on_server: Vec<InstanceId> = instances
+            .iter()
+            .copied()
+            .filter(|i| {
+                landscape
+                    .instance(*i)
+                    .map(|inst| inst.server == server)
+                    .unwrap_or(false)
+            })
+            .collect();
+        if !on_server.is_empty() {
+            instances = on_server;
+        }
+    }
+    let key = |i: &InstanceId| loads.cpu(Subject::Instance(*i));
+    if trigger.is_overload() {
+        instances
+            .into_iter()
+            .max_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())
+    } else {
+        instances
+            .into_iter()
+            .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())
+    }
+}
+
+/// Build the concrete [`Action`] for a candidate and target host.
+fn concretize(candidate: &Candidate, target: ServerId) -> Option<Action> {
+    Some(match candidate.kind {
+        ActionKind::Start => Action::Start {
+            service: candidate.service,
+            target,
+        },
+        ActionKind::ScaleOut => Action::ScaleOut {
+            service: candidate.service,
+            target,
+        },
+        ActionKind::Stop => Action::Stop {
+            instance: candidate.instance?,
+        },
+        ActionKind::ScaleIn => Action::ScaleIn {
+            instance: candidate.instance?,
+        },
+        ActionKind::ScaleUp => Action::ScaleUp {
+            instance: candidate.instance?,
+            target,
+        },
+        ActionKind::ScaleDown => Action::ScaleDown {
+            instance: candidate.instance?,
+            target,
+        },
+        ActionKind::Move => Action::Move {
+            instance: candidate.instance?,
+            target,
+        },
+        ActionKind::IncreasePriority => Action::IncreasePriority {
+            service: candidate.service,
+        },
+        ActionKind::ReducePriority => Action::ReducePriority {
+            service: candidate.service,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::TableLoads;
+    use autoglobe_landscape::{ApplyOutcome, ServerSpec, ServiceKind, ServiceSpec};
+
+    /// Landscape: 2 weak blades + 1 strong DB server; FI runs two instances
+    /// on the weak blades.
+    struct Fixture {
+        landscape: Landscape,
+        fi: ServiceId,
+        blade1: ServerId,
+        blade2: ServerId,
+        big: ServerId,
+        i1: InstanceId,
+        i2: InstanceId,
+        loads: TableLoads,
+    }
+
+    fn fixture() -> Fixture {
+        let mut landscape = Landscape::new();
+        let blade1 = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+        let blade2 = landscape.add_server(ServerSpec::fsc_bx300("Blade2")).unwrap();
+        let big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
+        let fi = landscape
+            .add_service(
+                ServiceSpec::new("FI", ServiceKind::ApplicationServer).with_instances(1, Some(6)),
+            )
+            .unwrap();
+        let i1 = landscape.start_instance(fi, blade1).unwrap();
+        let i2 = landscape.start_instance(fi, blade2).unwrap();
+        Fixture {
+            landscape,
+            fi,
+            blade1,
+            blade2,
+            big,
+            i1,
+            i2,
+            loads: TableLoads::new(),
+        }
+    }
+
+    fn overload_event(subject: Subject, kind: TriggerKind) -> TriggerEvent {
+        TriggerEvent {
+            kind,
+            subject,
+            time: SimTime::from_minutes(30),
+            average_cpu: 0.9,
+            average_mem: 0.4,
+        }
+    }
+
+    #[test]
+    fn overloaded_service_on_weak_host_scales_up_to_big_server() {
+        let mut f = fixture();
+        // Everything hot; blades weak → scale-up should win and pick Big.
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Server(f.blade2), 0.9, 0.5);
+        f.loads.set(Subject::Server(f.big), 0.1, 0.1);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Instance(f.i2), 0.85, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.9, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        let event = overload_event(Subject::Service(f.fi), TriggerKind::ServiceOverloaded);
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(outcome.acted(), "events: {:?}", outcome.events);
+        let record = &outcome.executed[0];
+        assert_eq!(record.action.kind(), ActionKind::ScaleUp);
+        assert_eq!(record.action.target(), Some(f.big));
+        // The hottest instance (i1) moved.
+        assert_eq!(f.landscape.instance(f.i1).unwrap().server, f.big);
+    }
+
+    #[test]
+    fn involved_entities_are_protected_after_action() {
+        let mut f = fixture();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.9, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        let event = overload_event(Subject::Service(f.fi), TriggerKind::ServiceOverloaded);
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(outcome.acted());
+        // Service protected → the same trigger is now suppressed.
+        let outcome2 = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(!outcome2.acted());
+        assert!(matches!(
+            outcome2.events[0],
+            ControllerEvent::SuppressedByProtection { .. }
+        ));
+        // After protection expires the trigger is handled again.
+        let later = event.time + SimDuration::from_minutes(31);
+        let outcome3 = c.handle_trigger(&event, &mut f.landscape, &f.loads, later);
+        assert!(!matches!(
+            outcome3.events.first(),
+            Some(ControllerEvent::SuppressedByProtection { .. })
+        ));
+    }
+
+    #[test]
+    fn idle_service_scales_in_the_coolest_instance() {
+        let mut f = fixture();
+        // Grow the pool to five instances: clearly "many", so the idle
+        // scale-in rule fires strongly.
+        let i3 = f.landscape.start_instance(f.fi, f.big).unwrap();
+        let i4 = f.landscape.start_instance(f.fi, f.big).unwrap();
+        let i5 = f.landscape.start_instance(f.fi, f.blade2).unwrap();
+        f.loads.set(Subject::Server(f.blade1), 0.05, 0.1);
+        f.loads.set(Subject::Server(f.blade2), 0.05, 0.1);
+        f.loads.set(Subject::Server(f.big), 0.02, 0.1);
+        f.loads.set(Subject::Instance(f.i1), 0.06, 0.0);
+        f.loads.set(Subject::Instance(f.i2), 0.04, 0.0);
+        f.loads.set(Subject::Instance(i3), 0.01, 0.0);
+        f.loads.set(Subject::Instance(i4), 0.03, 0.0);
+        f.loads.set(Subject::Instance(i5), 0.05, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.04, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        let event = TriggerEvent {
+            kind: TriggerKind::ServiceIdle,
+            subject: Subject::Service(f.fi),
+            time: SimTime::from_hours(2),
+            average_cpu: 0.04,
+            average_mem: 0.1,
+        };
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(outcome.acted(), "events: {:?}", outcome.events);
+        let record = &outcome.executed[0];
+        assert_eq!(record.action.kind(), ActionKind::ScaleIn);
+        // The coolest instance (i3) was stopped.
+        assert_eq!(record.outcome, ApplyOutcome::Stopped(i3));
+        assert!(f.landscape.instance(i3).is_err());
+    }
+
+    #[test]
+    fn server_trigger_considers_services_on_that_host() {
+        let mut f = fixture();
+        // Blade1 overloaded, carries i1; Blade2 calm.
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.6);
+        f.loads.set(Subject::Server(f.blade2), 0.2, 0.2);
+        f.loads.set(Subject::Server(f.big), 0.05, 0.05);
+        f.loads.set(Subject::Instance(f.i1), 0.9, 0.0);
+        f.loads.set(Subject::Instance(f.i2), 0.2, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.55, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        let event = overload_event(Subject::Server(f.blade1), TriggerKind::ServerOverloaded);
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(outcome.acted(), "events: {:?}", outcome.events);
+        // Whatever action won, it must operate on the instance of Blade1 or
+        // create capacity elsewhere — never touch Blade2's instance.
+        let record = &outcome.executed[0];
+        if let Some(instance) = record.action.instance() {
+            assert_eq!(instance, f.i1, "must act on the triggering host's instance");
+        }
+        if let Some(target) = record.action.target() {
+            assert_ne!(target, f.blade1, "target must not be the overloaded host");
+        }
+    }
+
+    #[test]
+    fn constraints_are_respected_falling_back_to_next_action() {
+        let mut f = fixture();
+        // FI forbids scale-up/move; only scale-out allowed.
+        let restricted = f
+            .landscape
+            .add_service(
+                ServiceSpec::new("R", ServiceKind::ApplicationServer)
+                    .with_instances(1, Some(4))
+                    .with_allowed_actions([ActionKind::ScaleOut]),
+            )
+            .unwrap();
+        let r1 = f.landscape.start_instance(restricted, f.blade1).unwrap();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Server(f.blade2), 0.1, 0.1);
+        f.loads.set(Subject::Server(f.big), 0.1, 0.1);
+        f.loads.set(Subject::Instance(r1), 0.95, 0.0);
+        f.loads.set(Subject::Service(restricted), 0.95, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        let event = overload_event(
+            Subject::Service(restricted),
+            TriggerKind::ServiceOverloaded,
+        );
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(outcome.acted(), "events: {:?}", outcome.events);
+        assert_eq!(outcome.executed[0].action.kind(), ActionKind::ScaleOut);
+    }
+
+    #[test]
+    fn alert_when_nothing_is_applicable() {
+        let mut f = fixture();
+        // Immobile service: no actions allowed at all.
+        let frozen = f
+            .landscape
+            .add_service(ServiceSpec::new("Z", ServiceKind::Database).immobile())
+            .unwrap();
+        let z1 = f.landscape.start_instance(frozen, f.blade1).unwrap();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Instance(z1), 0.95, 0.0);
+        f.loads.set(Subject::Service(frozen), 0.95, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        let event = overload_event(Subject::Service(frozen), TriggerKind::ServiceOverloaded);
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(!outcome.acted());
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::AdministratorAlert { .. })));
+    }
+
+    #[test]
+    fn protected_target_hosts_are_skipped() {
+        let mut f = fixture();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Server(f.blade2), 0.05, 0.05);
+        f.loads.set(Subject::Server(f.big), 0.05, 0.05);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.9, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        // Protect the big host; placement must land on Blade2.
+        c.protect(
+            Subject::Server(f.big),
+            SimTime::from_minutes(29),
+            SimDuration::from_minutes(60),
+        );
+        let event = overload_event(Subject::Service(f.fi), TriggerKind::ServiceOverloaded);
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        if let Some(record) = outcome.executed.first() {
+            assert_ne!(record.action.target(), Some(f.big));
+        }
+    }
+
+    #[test]
+    fn semi_automatic_queues_and_confirms() {
+        let mut f = fixture();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Server(f.big), 0.05, 0.05);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.9, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        c.set_mode(ExecutionMode::SemiAutomatic);
+        assert_eq!(c.mode(), ExecutionMode::SemiAutomatic);
+
+        let event = overload_event(Subject::Service(f.fi), TriggerKind::ServiceOverloaded);
+        let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        // Nothing executed, one pending.
+        assert!(!outcome.acted());
+        assert_eq!(c.pending().len(), 1);
+        let instances_before = f.landscape.num_instances();
+
+        let id = c.pending()[0].id;
+        let record = c
+            .confirm_pending(id, &mut f.landscape, event.time + SimDuration::from_secs(60))
+            .expect("confirmation applies the action");
+        assert_eq!(f.landscape.num_instances(), instances_before);
+        assert!(record.action.kind().needs_target() || record.action.instance().is_some());
+        assert!(c.pending().is_empty());
+    }
+
+    #[test]
+    fn semi_automatic_reject_discards() {
+        let mut f = fixture();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.9, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        c.set_mode(ExecutionMode::SemiAutomatic);
+        let event = overload_event(Subject::Service(f.fi), TriggerKind::ServiceOverloaded);
+        c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        let id = c.pending()[0].id;
+        assert!(c.reject_pending(id));
+        assert!(!c.reject_pending(id));
+        assert!(c.pending().is_empty());
+        // Nothing changed in the landscape.
+        assert_eq!(f.landscape.num_instances(), 2);
+    }
+
+    #[test]
+    fn log_accumulates_and_drains() {
+        let mut f = fixture();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.9, 0.0);
+        let mut c = AutoGlobeController::new();
+        let event = overload_event(Subject::Service(f.fi), TriggerKind::ServiceOverloaded);
+        c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
+        assert!(!c.log().is_empty());
+        let drained = c.drain_log();
+        assert!(!drained.is_empty());
+        assert!(c.log().is_empty());
+    }
+}

@@ -1,0 +1,277 @@
+//! Gathering the fuzzy controller's input variables from the landscape and
+//! the monitoring stack.
+//!
+//! "First, the input variables of the fuzzy controller are initialized. ...
+//! All variables of the fuzzy controller regarding CPU or memory load are
+//! set to the arithmetic means of the load values during the service
+//! specific watchTime. The other variables are initialized using the current
+//! measurements or using available meta data, e.g., for the
+//! performanceIndex." (Section 4.1)
+
+use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId};
+use autoglobe_monitor::Subject;
+
+/// Source of current/averaged load values for subjects.
+///
+/// Implemented by the simulator's load model and by the monitor stack's
+/// archive; the controller only ever reads through this trait so it works
+/// identically against live measurements and simulations.
+pub trait LoadView {
+    /// CPU load of a subject in `[0, 1]` (averaged over the relevant watch
+    /// window where available, else the latest measurement).
+    fn cpu(&self, subject: Subject) -> f64;
+
+    /// Memory load of a subject in `[0, 1]`.
+    fn mem(&self, subject: Subject) -> f64;
+}
+
+/// The action-selection input vector (Table 1), ready for fuzzification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionInputs {
+    /// CPU load of the server hosting the considered instance.
+    pub cpu_load: f64,
+    /// Memory load of that server.
+    pub mem_load: f64,
+    /// Performance index of that server.
+    pub performance_index: f64,
+    /// Load of the considered service instance.
+    pub instance_load: f64,
+    /// Average load over all instances of the service.
+    pub service_load: f64,
+    /// Number of instances running on the server.
+    pub instances_on_server: f64,
+    /// Number of instances of the service.
+    pub instances_of_service: f64,
+    /// Absolute demand of the instance in performance-index-1 units
+    /// (`instance_load × performance_index`) — see
+    /// [`crate::variables::instance_demand`].
+    pub instance_demand: f64,
+}
+
+impl ActionInputs {
+    /// Gather the inputs for `service` as observed through `instance` on its
+    /// current host.
+    pub fn gather(
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        service: ServiceId,
+        instance: InstanceId,
+    ) -> Option<ActionInputs> {
+        let inst = landscape.instance(instance).ok()?;
+        let server = inst.server;
+        let spec = landscape.server(server).ok()?;
+        let instance_load = loads.cpu(Subject::Instance(instance));
+        Some(ActionInputs {
+            cpu_load: loads.cpu(Subject::Server(server)),
+            mem_load: loads.mem(Subject::Server(server)),
+            performance_index: spec.performance_index,
+            instance_load,
+            service_load: loads.cpu(Subject::Service(service)),
+            instances_on_server: landscape.instance_count_on(server) as f64,
+            instances_of_service: landscape.instance_count_of(service) as f64,
+            instance_demand: instance_load * spec.performance_index,
+        })
+    }
+
+    /// The `(variable name, crisp value)` pairs for [`autoglobe_fuzzy::Engine::run`].
+    pub fn measurements(&self) -> [(&'static str, f64); 8] {
+        [
+            ("cpuLoad", self.cpu_load),
+            ("memLoad", self.mem_load),
+            ("performanceIndex", self.performance_index),
+            ("instanceLoad", self.instance_load),
+            ("serviceLoad", self.service_load),
+            ("instancesOnServer", self.instances_on_server),
+            ("instancesOfService", self.instances_of_service),
+            ("instanceDemand", self.instance_demand),
+        ]
+    }
+}
+
+/// The server-selection input vector (Table 3), ready for fuzzification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerInputs {
+    /// CPU load on the candidate server (average over all CPUs).
+    pub cpu_load: f64,
+    /// Memory load on the candidate server.
+    pub mem_load: f64,
+    /// Number of instances on the candidate.
+    pub instances_on_server: f64,
+    /// Performance index of the candidate.
+    pub performance_index: f64,
+    /// Number of CPUs.
+    pub number_of_cpus: f64,
+    /// CPU clock in MHz.
+    pub cpu_clock: f64,
+    /// CPU cache size in KB.
+    pub cpu_cache: f64,
+    /// Memory size in MB.
+    pub memory: f64,
+    /// Available swap space in MB.
+    pub swap_space: f64,
+    /// Available temporary disk space in MB.
+    pub temp_space: f64,
+}
+
+impl ServerInputs {
+    /// Gather the inputs for candidate `server`.
+    pub fn gather(
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        server: ServerId,
+    ) -> Option<ServerInputs> {
+        let spec = landscape.server(server).ok()?;
+        Some(ServerInputs {
+            cpu_load: loads.cpu(Subject::Server(server)),
+            mem_load: loads.mem(Subject::Server(server)),
+            instances_on_server: landscape.instance_count_on(server) as f64,
+            performance_index: spec.performance_index,
+            number_of_cpus: spec.num_cpus as f64,
+            cpu_clock: spec.cpu_clock_mhz as f64,
+            cpu_cache: spec.cpu_cache_kb as f64,
+            memory: spec.memory_mb as f64,
+            swap_space: spec.swap_mb as f64,
+            temp_space: spec.temp_space_mb as f64,
+        })
+    }
+
+    /// The `(variable name, crisp value)` pairs for [`autoglobe_fuzzy::Engine::run`].
+    pub fn measurements(&self) -> [(&'static str, f64); 10] {
+        [
+            ("cpuLoad", self.cpu_load),
+            ("memLoad", self.mem_load),
+            ("instancesOnServer", self.instances_on_server),
+            ("performanceIndex", self.performance_index),
+            ("numberOfCpus", self.number_of_cpus),
+            ("cpuClock", self.cpu_clock),
+            ("cpuCache", self.cpu_cache),
+            ("memory", self.memory),
+            ("swapSpace", self.swap_space),
+            ("tempSpace", self.temp_space),
+        ]
+    }
+}
+
+/// A trivially constant [`LoadView`] for tests and examples.
+#[derive(Debug, Clone, Default)]
+pub struct ConstantLoads {
+    /// CPU load returned for every subject.
+    pub cpu: f64,
+    /// Memory load returned for every subject.
+    pub mem: f64,
+}
+
+impl LoadView for ConstantLoads {
+    fn cpu(&self, _subject: Subject) -> f64 {
+        self.cpu
+    }
+    fn mem(&self, _subject: Subject) -> f64 {
+        self.mem
+    }
+}
+
+/// A [`LoadView`] backed by an explicit per-subject table (tests, console).
+#[derive(Debug, Clone, Default)]
+pub struct TableLoads {
+    entries: std::collections::BTreeMap<Subject, (f64, f64)>,
+    /// Returned for subjects without an entry.
+    pub default_cpu: f64,
+}
+
+impl TableLoads {
+    /// Empty table.
+    pub fn new() -> Self {
+        TableLoads::default()
+    }
+
+    /// Set the `(cpu, mem)` loads of a subject.
+    pub fn set(&mut self, subject: Subject, cpu: f64, mem: f64) {
+        self.entries.insert(subject, (cpu, mem));
+    }
+}
+
+impl LoadView for TableLoads {
+    fn cpu(&self, subject: Subject) -> f64 {
+        self.entries
+            .get(&subject)
+            .map(|&(c, _)| c)
+            .unwrap_or(self.default_cpu)
+    }
+    fn mem(&self, subject: Subject) -> f64 {
+        self.entries.get(&subject).map(|&(_, m)| m).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::{ServerSpec, ServiceKind, ServiceSpec};
+
+    #[test]
+    fn gather_action_inputs_from_landscape() {
+        let mut l = Landscape::new();
+        let blade = l.add_server(ServerSpec::fsc_bx600("Blade")).unwrap();
+        let svc = l
+            .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
+            .unwrap();
+        let i1 = l.start_instance(svc, blade).unwrap();
+        let _i2 = l.start_instance(svc, blade).unwrap();
+
+        let mut loads = TableLoads::new();
+        loads.set(Subject::Server(blade), 0.8, 0.5);
+        loads.set(Subject::Instance(i1), 0.6, 0.0);
+        loads.set(Subject::Service(svc), 0.7, 0.0);
+
+        let inputs = ActionInputs::gather(&l, &loads, svc, i1).unwrap();
+        assert_eq!(inputs.cpu_load, 0.8);
+        assert_eq!(inputs.mem_load, 0.5);
+        assert_eq!(inputs.performance_index, 2.0);
+        assert_eq!(inputs.instance_load, 0.6);
+        assert_eq!(inputs.service_load, 0.7);
+        assert_eq!(inputs.instances_on_server, 2.0);
+        assert_eq!(inputs.instances_of_service, 2.0);
+        // Demand = instance load × host performance index (BX600 → 2).
+        assert!((inputs.instance_demand - 1.2).abs() < 1e-12);
+        assert_eq!(inputs.measurements().len(), 8);
+    }
+
+    #[test]
+    fn gather_returns_none_for_unknown_instance() {
+        let l = Landscape::new();
+        let loads = ConstantLoads::default();
+        assert!(ActionInputs::gather(
+            &l,
+            &loads,
+            autoglobe_landscape::ServiceId::new(0),
+            InstanceId::new(0)
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn gather_server_inputs_reads_spec() {
+        let mut l = Landscape::new();
+        let db = l.add_server(ServerSpec::hp_bl40p("DBServer1")).unwrap();
+        let loads = ConstantLoads { cpu: 0.3, mem: 0.2 };
+        let inputs = ServerInputs::gather(&l, &loads, db).unwrap();
+        assert_eq!(inputs.performance_index, 9.0);
+        assert_eq!(inputs.number_of_cpus, 4.0);
+        assert_eq!(inputs.cpu_clock, 2800.0);
+        assert_eq!(inputs.memory, 12_288.0);
+        assert_eq!(inputs.cpu_load, 0.3);
+        assert_eq!(inputs.instances_on_server, 0.0);
+        assert_eq!(inputs.measurements().len(), 10);
+    }
+
+    #[test]
+    fn table_loads_fall_back_to_default() {
+        let mut t = TableLoads::new();
+        t.default_cpu = 0.42;
+        let s = Subject::Server(ServerId::new(5));
+        assert_eq!(t.cpu(s), 0.42);
+        assert_eq!(t.mem(s), 0.0);
+        t.set(s, 0.9, 0.8);
+        assert_eq!(t.cpu(s), 0.9);
+        assert_eq!(t.mem(s), 0.8);
+    }
+}

@@ -1,0 +1,200 @@
+//! Controller event log: executed actions, alerts and notifications.
+//!
+//! "In the automatic mode, the actions are logged and then executed"
+//! (Section 4.3); the message view of the controller console (Figure 8)
+//! renders this log.
+
+use autoglobe_landscape::{Action, ApplyOutcome};
+use autoglobe_monitor::{SimTime, TriggerKind};
+use std::fmt;
+
+/// Record of one successfully executed action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionRecord {
+    /// When the action executed.
+    pub time: SimTime,
+    /// The trigger that led to it.
+    pub trigger: TriggerKind,
+    /// The executed action.
+    pub action: Action,
+    /// Applicability the fuzzy controller assigned (0–1).
+    pub applicability: f64,
+    /// Host score from server selection, if a target was chosen.
+    pub host_score: Option<f64>,
+    /// What the landscape reported.
+    pub outcome: ApplyOutcome,
+}
+
+impl fmt::Display for ActionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} ⇒ {} ({:.0}%",
+            self.time,
+            self.trigger,
+            self.action,
+            self.applicability * 100.0
+        )?;
+        if let Some(score) = self.host_score {
+            write!(f, ", host score {:.0}%", score * 100.0)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Everything the controller reports to the log / console.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerEvent {
+    /// An action was executed.
+    Executed(ActionRecord),
+    /// A candidate action failed constraint verification and was skipped
+    /// (Figure 6's "failure" edges).
+    Rejected {
+        /// When.
+        time: SimTime,
+        /// The rejected action.
+        action: Action,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// No action/host combination had sufficient applicability — "the
+    /// controller requests human interaction by alerting the system
+    /// administrator" (Section 4.3).
+    AdministratorAlert {
+        /// When.
+        time: SimTime,
+        /// The unresolved trigger.
+        trigger: TriggerKind,
+        /// Description of the stuck situation.
+        message: String,
+    },
+    /// A trigger arrived for a protected subject and was ignored.
+    SuppressedByProtection {
+        /// When.
+        time: SimTime,
+        /// The suppressed trigger.
+        trigger: TriggerKind,
+        /// Until when the subject is protected.
+        protected_until: SimTime,
+    },
+    /// Semi-automatic mode queued an action for confirmation.
+    PendingConfirmation {
+        /// When.
+        time: SimTime,
+        /// The queued action.
+        action: Action,
+    },
+    /// Self-healing: a crashed instance was restarted ("Failure situations
+    /// like a program crash are remedied for example with a restart").
+    Recovered {
+        /// When.
+        time: SimTime,
+        /// The service whose instance crashed.
+        service: autoglobe_landscape::ServiceId,
+        /// The crashed instance.
+        old_instance: autoglobe_landscape::InstanceId,
+        /// The restarted instance.
+        new_instance: autoglobe_landscape::InstanceId,
+        /// The host the restart landed on.
+        server: autoglobe_landscape::ServerId,
+    },
+}
+
+impl ControllerEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match self {
+            ControllerEvent::Executed(r) => r.time,
+            ControllerEvent::Rejected { time, .. }
+            | ControllerEvent::AdministratorAlert { time, .. }
+            | ControllerEvent::SuppressedByProtection { time, .. }
+            | ControllerEvent::PendingConfirmation { time, .. }
+            | ControllerEvent::Recovered { time, .. } => *time,
+        }
+    }
+}
+
+impl fmt::Display for ControllerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerEvent::Executed(r) => write!(f, "{r}"),
+            ControllerEvent::Rejected { time, action, reason } => {
+                write!(f, "[{time}] rejected {action}: {reason}")
+            }
+            ControllerEvent::AdministratorAlert { time, trigger, message } => {
+                write!(f, "[{time}] ALERT ({trigger}): {message}")
+            }
+            ControllerEvent::SuppressedByProtection {
+                time,
+                trigger,
+                protected_until,
+            } => write!(
+                f,
+                "[{time}] {trigger} suppressed (protected until {protected_until})"
+            ),
+            ControllerEvent::PendingConfirmation { time, action } => {
+                write!(f, "[{time}] awaiting confirmation: {action}")
+            }
+            ControllerEvent::Recovered {
+                time,
+                service,
+                old_instance,
+                new_instance,
+                server,
+            } => write!(
+                f,
+                "[{time}] recovered {service}: {old_instance} crashed, restarted as {new_instance} on {server}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::{InstanceId, ServerId};
+
+    #[test]
+    fn record_display() {
+        let r = ActionRecord {
+            time: SimTime::from_minutes(125),
+            trigger: TriggerKind::ServerOverloaded,
+            action: Action::Move {
+                instance: InstanceId::new(1),
+                target: ServerId::new(2),
+            },
+            applicability: 0.85,
+            host_score: Some(0.6),
+            outcome: ApplyOutcome::Moved {
+                instance: InstanceId::new(1),
+                from: ServerId::new(0),
+                to: ServerId::new(2),
+            },
+        };
+        assert_eq!(
+            r.to_string(),
+            "[02:05] serverOverloaded ⇒ move inst#1 to srv#2 (85%, host score 60%)"
+        );
+    }
+
+    #[test]
+    fn event_time_extraction() {
+        let e = ControllerEvent::AdministratorAlert {
+            time: SimTime::from_hours(3),
+            trigger: TriggerKind::ServiceOverloaded,
+            message: "no host".into(),
+        };
+        assert_eq!(e.time(), SimTime::from_hours(3));
+        assert!(e.to_string().contains("ALERT"));
+    }
+
+    #[test]
+    fn suppressed_event_display() {
+        let e = ControllerEvent::SuppressedByProtection {
+            time: SimTime::from_minutes(5),
+            trigger: TriggerKind::ServerIdle,
+            protected_until: SimTime::from_minutes(30),
+        };
+        assert_eq!(e.to_string(), "[00:05] serverIdle suppressed (protected until 00:30)");
+    }
+}

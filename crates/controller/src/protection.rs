@@ -1,0 +1,135 @@
+//! Protection mode: freezing recently rearranged entities.
+//!
+//! "After a rearrangement has taken place, the involved services and servers
+//! are protected for a certain time, i.e., they are excluded from further
+//! actions. This protection mode prevents the system from oscillation, e.g.,
+//! moving services back and forth." (Section 4) The paper's simulations use
+//! 30 minutes (Section 5.1).
+
+use autoglobe_monitor::{SimDuration, SimTime, Subject};
+use std::collections::BTreeMap;
+
+/// Tracks which subjects are protected until when.
+#[derive(Debug, Clone, Default)]
+pub struct ProtectionRegistry {
+    until: BTreeMap<Subject, SimTime>,
+}
+
+impl ProtectionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProtectionRegistry::default()
+    }
+
+    /// Protect `subject` until `now + duration`. Extends (never shortens) an
+    /// existing protection.
+    pub fn protect(&mut self, subject: Subject, now: SimTime, duration: SimDuration) {
+        let until = now + duration;
+        let entry = self.until.entry(subject).or_insert(until);
+        if *entry < until {
+            *entry = until;
+        }
+    }
+
+    /// True if `subject` is protected at `now`.
+    pub fn is_protected(&self, subject: Subject, now: SimTime) -> bool {
+        self.until.get(&subject).is_some_and(|&until| now < until)
+    }
+
+    /// When `subject`'s protection expires, if protected at `now`.
+    pub fn protected_until(&self, subject: Subject, now: SimTime) -> Option<SimTime> {
+        self.until
+            .get(&subject)
+            .copied()
+            .filter(|&until| now < until)
+    }
+
+    /// Remove expired entries (call periodically; correctness does not
+    /// depend on it).
+    pub fn expire(&mut self, now: SimTime) {
+        self.until.retain(|_, &mut until| now < until);
+    }
+
+    /// Number of currently tracked (possibly expired) entries.
+    pub fn len(&self) -> usize {
+        self.until.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.until.is_empty()
+    }
+
+    /// Lift protection from a subject (administrator override).
+    pub fn unprotect(&mut self, subject: Subject) {
+        self.until.remove(&subject);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::ServerId;
+
+    fn subject(n: u32) -> Subject {
+        Subject::Server(ServerId::new(n))
+    }
+
+    const THIRTY_MIN: SimDuration = SimDuration::from_minutes(30);
+
+    #[test]
+    fn protection_expires_after_duration() {
+        let mut p = ProtectionRegistry::new();
+        let t0 = SimTime::from_minutes(10);
+        p.protect(subject(0), t0, THIRTY_MIN);
+        assert!(p.is_protected(subject(0), t0));
+        assert!(p.is_protected(subject(0), SimTime::from_minutes(39)));
+        assert!(!p.is_protected(subject(0), SimTime::from_minutes(40)));
+        assert!(!p.is_protected(subject(1), t0));
+    }
+
+    #[test]
+    fn protect_extends_but_never_shortens() {
+        let mut p = ProtectionRegistry::new();
+        p.protect(subject(0), SimTime::from_minutes(0), THIRTY_MIN);
+        // A later, shorter protection must not shorten the existing one.
+        p.protect(subject(0), SimTime::from_minutes(5), SimDuration::from_minutes(5));
+        assert!(p.is_protected(subject(0), SimTime::from_minutes(29)));
+        // A later, longer one extends.
+        p.protect(subject(0), SimTime::from_minutes(20), THIRTY_MIN);
+        assert!(p.is_protected(subject(0), SimTime::from_minutes(49)));
+        assert!(!p.is_protected(subject(0), SimTime::from_minutes(50)));
+    }
+
+    #[test]
+    fn protected_until_reports_deadline() {
+        let mut p = ProtectionRegistry::new();
+        p.protect(subject(0), SimTime::ZERO, THIRTY_MIN);
+        assert_eq!(
+            p.protected_until(subject(0), SimTime::from_minutes(10)),
+            Some(SimTime::from_minutes(30))
+        );
+        assert_eq!(p.protected_until(subject(0), SimTime::from_minutes(31)), None);
+        assert_eq!(p.protected_until(subject(9), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn expire_compacts_the_registry() {
+        let mut p = ProtectionRegistry::new();
+        p.protect(subject(0), SimTime::ZERO, SimDuration::from_minutes(10));
+        p.protect(subject(1), SimTime::ZERO, SimDuration::from_minutes(60));
+        assert_eq!(p.len(), 2);
+        p.expire(SimTime::from_minutes(30));
+        assert_eq!(p.len(), 1);
+        assert!(p.is_protected(subject(1), SimTime::from_minutes(30)));
+    }
+
+    #[test]
+    fn unprotect_lifts_immediately() {
+        let mut p = ProtectionRegistry::new();
+        p.protect(subject(0), SimTime::ZERO, THIRTY_MIN);
+        p.unprotect(subject(0));
+        assert!(!p.is_protected(subject(0), SimTime::from_minutes(1)));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Self-healing: remedying failure situations.
+//!
+//! "The controller also reacts upon idle situations. ... Failure situations
+//! like a program crash are remedied for example with a restart."
+//! (Section 2.) Unlike load triggers, a failure needs no watch time and no
+//! applicability threshold — the crashed instance is already gone; the only
+//! fuzzy decision left is *where* to restart it, which reuses the
+//! server-selection controller with the placement rule base.
+//!
+//! A crashed *instance* restarts on its own host when that host can still
+//! take it, else on the best-scoring other host. A failed *server* is marked
+//! unavailable and every instance it ran is restarted elsewhere; instances
+//! with no feasible host are reported as lost via an administrator alert.
+
+use crate::controller::AutoGlobeController;
+use crate::inputs::{LoadView, ServerInputs};
+use crate::log::ControllerEvent;
+use autoglobe_landscape::{ActionKind, InstanceId, Landscape, ServerId, ServiceId};
+use autoglobe_monitor::{FailureEvent, FailureKind, SimTime, TriggerKind};
+
+/// The outcome of handling one failure.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryOutcome {
+    /// `(crashed instance, restarted instance, host)` per recovery.
+    pub recovered: Vec<(InstanceId, InstanceId, ServerId)>,
+    /// Instances that could not be restarted anywhere.
+    pub lost: Vec<InstanceId>,
+    /// Everything logged while handling the failure.
+    pub events: Vec<ControllerEvent>,
+}
+
+impl AutoGlobeController {
+    /// Handle a failure notification (Figure 2's failure path).
+    ///
+    /// Restarts bypass the declarative *action* constraints — a service that
+    /// forbids `move` still gets its crashed instance restarted, exactly as
+    /// a human administrator would restart a crashed SAP work process —
+    /// but respect all *placement* constraints (exclusivity, minimum
+    /// performance index, memory, availability).
+    pub fn handle_failure(
+        &mut self,
+        event: &FailureEvent,
+        landscape: &mut Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> RecoveryOutcome {
+        let mut outcome = RecoveryOutcome::default();
+        match event.kind {
+            FailureKind::InstanceCrashed(instance) => {
+                self.recover_instance(instance, landscape, loads, now, &mut outcome);
+            }
+            FailureKind::ServerFailed(server) => {
+                let _ = landscape.set_available(server, false);
+                for instance in landscape.instances_on(server) {
+                    self.recover_instance(instance, landscape, loads, now, &mut outcome);
+                }
+            }
+        }
+        outcome
+    }
+
+    fn recover_instance(
+        &mut self,
+        crashed: InstanceId,
+        landscape: &mut Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+        outcome: &mut RecoveryOutcome,
+    ) {
+        let Ok(instance) = landscape.instance(crashed) else {
+            return;
+        };
+        let service = instance.service;
+        let old_host = instance.server;
+        // The crash already terminated the process; reflect that first.
+        let _ = landscape.stop_instance(crashed);
+
+        let target = self.restart_target(service, old_host, landscape, loads, now);
+        match target {
+            Some(host) => {
+                let new_instance = landscape
+                    .start_instance(service, host)
+                    .expect("restart target was validated");
+                let e = ControllerEvent::Recovered {
+                    time: now,
+                    service,
+                    old_instance: crashed,
+                    new_instance,
+                    server: host,
+                };
+                self.push_log(e.clone());
+                outcome.events.push(e);
+                outcome.recovered.push((crashed, new_instance, host));
+            }
+            None => {
+                let e = ControllerEvent::AdministratorAlert {
+                    time: now,
+                    trigger: TriggerKind::ServiceOverloaded,
+                    message: format!(
+                        "instance {crashed} of {service} lost: no feasible host for a restart"
+                    ),
+                };
+                self.push_log(e.clone());
+                outcome.events.push(e);
+                outcome.lost.push(crashed);
+            }
+        }
+    }
+
+    /// Where to restart: the old host when it can still take the instance,
+    /// otherwise the best placement-scored feasible host.
+    fn restart_target(
+        &mut self,
+        service: ServiceId,
+        old_host: ServerId,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Option<ServerId> {
+        if landscape.can_host(service, old_host) {
+            return Some(old_host);
+        }
+        let service_name = landscape.service(service).ok()?.name.clone();
+        let mut best: Option<(ServerId, f64)> = None;
+        for server in landscape.server_ids() {
+            if !landscape.can_host(service, server) {
+                continue;
+            }
+            // Protected hosts are still acceptable for recovery — losing an
+            // instance is worse than disturbing a protected host — but they
+            // score last among equals.
+            let penalty = if self
+                .protection()
+                .is_protected(autoglobe_monitor::Subject::Server(server), now)
+            {
+                0.5
+            } else {
+                1.0
+            };
+            let inputs = ServerInputs::gather(landscape, loads, server)?;
+            let score = self
+                .server_selector_mut()
+                .score(ActionKind::Start, &service_name, &inputs)
+                .ok()?
+                * penalty;
+            if best.as_ref().is_none_or(|&(_, s)| score > s) {
+                best = Some((server, score));
+            }
+        }
+        best.map(|(server, _)| server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::TableLoads;
+    use autoglobe_landscape::{ServerSpec, ServiceKind, ServiceSpec};
+    use autoglobe_monitor::Subject;
+
+    struct Fixture {
+        landscape: Landscape,
+        blade1: ServerId,
+        blade2: ServerId,
+        big: ServerId,
+        app: ServiceId,
+        instance: InstanceId,
+        loads: TableLoads,
+    }
+
+    fn fixture() -> Fixture {
+        let mut landscape = Landscape::new();
+        let blade1 = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+        let blade2 = landscape.add_server(ServerSpec::fsc_bx600("Blade2")).unwrap();
+        let big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
+        // Immobile service: restarts must work even when no action is allowed.
+        let app = landscape
+            .add_service(ServiceSpec::new("app", ServiceKind::ApplicationServer).immobile())
+            .unwrap();
+        let instance = landscape.start_instance(app, blade1).unwrap();
+        let mut loads = TableLoads::new();
+        loads.set(Subject::Server(blade1), 0.4, 0.3);
+        loads.set(Subject::Server(blade2), 0.2, 0.2);
+        loads.set(Subject::Server(big), 0.1, 0.1);
+        Fixture {
+            landscape,
+            blade1,
+            blade2,
+            big,
+            app,
+            instance,
+            loads,
+        }
+    }
+
+    fn crash(instance: InstanceId) -> FailureEvent {
+        FailureEvent {
+            kind: FailureKind::InstanceCrashed(instance),
+            time: SimTime::from_minutes(90),
+        }
+    }
+
+    #[test]
+    fn crashed_instance_restarts_on_its_own_host() {
+        let mut f = fixture();
+        let mut c = AutoGlobeController::new();
+        let outcome = c.handle_failure(&crash(f.instance), &mut f.landscape, &f.loads, SimTime::from_minutes(90));
+        assert_eq!(outcome.recovered.len(), 1);
+        assert!(outcome.lost.is_empty());
+        let (old, new, host) = outcome.recovered[0];
+        assert_eq!(old, f.instance);
+        assert_ne!(new, f.instance, "a restart is a new process with a new id");
+        assert_eq!(host, f.blade1, "same host preferred");
+        assert_eq!(f.landscape.instance_count_of(f.app), 1);
+        // The event log recorded the recovery.
+        assert!(c
+            .log()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::Recovered { .. })));
+    }
+
+    #[test]
+    fn server_failure_relocates_all_instances_and_disables_host() {
+        let mut f = fixture();
+        let second = f.landscape.start_instance(f.app, f.blade1).unwrap();
+        let mut c = AutoGlobeController::new();
+        let event = FailureEvent {
+            kind: FailureKind::ServerFailed(f.blade1),
+            time: SimTime::from_hours(2),
+        };
+        let outcome = c.handle_failure(&event, &mut f.landscape, &f.loads, SimTime::from_hours(2));
+        assert_eq!(outcome.recovered.len(), 2);
+        assert!(!f.landscape.is_available(f.blade1));
+        for &(_, new, host) in &outcome.recovered {
+            assert_ne!(host, f.blade1, "failed host cannot receive restarts");
+            assert!(f.landscape.instance(new).is_ok());
+        }
+        let _ = second;
+        assert_eq!(f.landscape.instance_count_of(f.app), 2);
+        // Subsequent placements avoid the failed host too.
+        assert!(!f.landscape.can_host(f.app, f.blade1));
+        // Repair restores it.
+        f.landscape.set_available(f.blade1, true).unwrap();
+        assert!(f.landscape.can_host(f.app, f.blade1));
+    }
+
+    #[test]
+    fn restart_respects_placement_constraints() {
+        // Exclusive DB on its host: the crashed app instance must not land
+        // there even if it is the only idle host.
+        let mut f = fixture();
+        let db = f
+            .landscape
+            .add_service(ServiceSpec::new("db", ServiceKind::Database).with_exclusive(true))
+            .unwrap();
+        f.landscape.start_instance(db, f.big).unwrap();
+        // Fail the app's host.
+        let event = FailureEvent {
+            kind: FailureKind::ServerFailed(f.blade1),
+            time: SimTime::from_hours(1),
+        };
+        let mut c = AutoGlobeController::new();
+        let outcome = c.handle_failure(&event, &mut f.landscape, &f.loads, SimTime::from_hours(1));
+        assert_eq!(outcome.recovered.len(), 1);
+        assert_eq!(outcome.recovered[0].2, f.blade2, "exclusive Big is off-limits");
+    }
+
+    #[test]
+    fn unrecoverable_instance_is_reported_lost() {
+        let mut f = fixture();
+        // Fail every other host first.
+        f.landscape.set_available(f.blade2, false).unwrap();
+        f.landscape.set_available(f.big, false).unwrap();
+        let event = FailureEvent {
+            kind: FailureKind::ServerFailed(f.blade1),
+            time: SimTime::from_hours(1),
+        };
+        let mut c = AutoGlobeController::new();
+        let outcome = c.handle_failure(&event, &mut f.landscape, &f.loads, SimTime::from_hours(1));
+        assert!(outcome.recovered.is_empty());
+        assert_eq!(outcome.lost, vec![f.instance]);
+        assert_eq!(f.landscape.instance_count_of(f.app), 0);
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::AdministratorAlert { .. })));
+    }
+
+    #[test]
+    fn unknown_instance_crash_is_a_no_op() {
+        let mut f = fixture();
+        let mut c = AutoGlobeController::new();
+        let outcome = c.handle_failure(
+            &crash(InstanceId::new(999)),
+            &mut f.landscape,
+            &f.loads,
+            SimTime::ZERO,
+        );
+        assert!(outcome.recovered.is_empty());
+        assert!(outcome.lost.is_empty());
+    }
+}

@@ -1,0 +1,503 @@
+//! The controller's rule bases.
+//!
+//! "Since the action-selection process depends on the specific situation,
+//! our controller is able to handle dedicated rule bases for different
+//! exceptional situations (triggers). ... Further, our controller
+//! facilitates dynamic adaptations. For example, an administrator can add
+//! service-specific rule bases for mission critical services." (Section 4.1)
+//! Analogously, the server-selection controller has per-action rule bases
+//! (Section 4.2). The default rule base below comprises 45 rules — the
+//! paper's production rule base "comprises about 40 rules".
+
+use autoglobe_fuzzy::{parse_rules, FuzzyError, RuleBase};
+use autoglobe_landscape::xml::RuleBaseDescription;
+use autoglobe_landscape::{ActionKind, LandscapeError};
+use autoglobe_monitor::TriggerKind;
+use std::collections::HashMap;
+
+/// The complete set of rule bases the controller runs with: one per trigger
+/// kind for action selection, one per action kind for server selection, plus
+/// optional service-specific extensions layered on top.
+#[derive(Debug, Clone)]
+pub struct RuleBases {
+    triggers: HashMap<TriggerKind, RuleBase>,
+    /// `(trigger, service name) → extension rules`.
+    service_triggers: HashMap<(TriggerKind, String), RuleBase>,
+    actions: HashMap<ActionKind, RuleBase>,
+    /// `(action, service name) → extension rules`.
+    service_actions: HashMap<(ActionKind, String), RuleBase>,
+}
+
+impl RuleBases {
+    /// An empty collection (no rules at all — the controller will never act).
+    pub fn empty() -> Self {
+        RuleBases {
+            triggers: HashMap::new(),
+            service_triggers: HashMap::new(),
+            actions: HashMap::new(),
+            service_actions: HashMap::new(),
+        }
+    }
+
+    /// The default AutoGlobe rule base (45 rules).
+    pub fn paper_defaults() -> Self {
+        let mut rb = RuleBases::empty();
+        rb.triggers.insert(
+            TriggerKind::ServiceOverloaded,
+            parse_rules(SERVICE_OVERLOADED).expect("default rules parse"),
+        );
+        rb.triggers.insert(
+            TriggerKind::ServiceIdle,
+            parse_rules(SERVICE_IDLE).expect("default rules parse"),
+        );
+        rb.triggers.insert(
+            TriggerKind::ServerOverloaded,
+            parse_rules(SERVER_OVERLOADED).expect("default rules parse"),
+        );
+        rb.triggers.insert(
+            TriggerKind::ServerIdle,
+            parse_rules(SERVER_IDLE).expect("default rules parse"),
+        );
+        for (kind, text) in [
+            (ActionKind::Start, SELECT_PLACEMENT),
+            (ActionKind::ScaleOut, SELECT_PLACEMENT),
+            (ActionKind::Move, SELECT_PLACEMENT),
+            (ActionKind::ScaleUp, SELECT_SCALE_UP),
+            (ActionKind::ScaleDown, SELECT_SCALE_DOWN),
+        ] {
+            rb.actions
+                .insert(kind, parse_rules(text).expect("default rules parse"));
+        }
+        rb
+    }
+
+    /// The action-selection rule base for a trigger, with the
+    /// service-specific extension (if any) layered on top.
+    pub fn for_trigger(&self, trigger: TriggerKind, service_name: &str) -> RuleBase {
+        let mut base = self.triggers.get(&trigger).cloned().unwrap_or_default();
+        if let Some(extra) = self
+            .service_triggers
+            .get(&(trigger, service_name.to_string()))
+        {
+            base.extend_from(extra);
+        }
+        base
+    }
+
+    /// The server-selection rule base for an action, with the
+    /// service-specific extension (if any) layered on top.
+    pub fn for_action(&self, action: ActionKind, service_name: &str) -> RuleBase {
+        let mut base = self.actions.get(&action).cloned().unwrap_or_default();
+        if let Some(extra) = self
+            .service_actions
+            .get(&(action, service_name.to_string()))
+        {
+            base.extend_from(extra);
+        }
+        base
+    }
+
+    /// Replace the rule base of a trigger.
+    pub fn set_trigger_rules(&mut self, trigger: TriggerKind, rules: RuleBase) {
+        self.triggers.insert(trigger, rules);
+    }
+
+    /// Replace the rule base of an action.
+    pub fn set_action_rules(&mut self, action: ActionKind, rules: RuleBase) {
+        self.actions.insert(action, rules);
+    }
+
+    /// Attach a service-specific extension to a trigger rule base.
+    pub fn add_service_trigger_rules(
+        &mut self,
+        trigger: TriggerKind,
+        service_name: impl Into<String>,
+        rules: RuleBase,
+    ) {
+        self.service_triggers
+            .insert((trigger, service_name.into()), rules);
+    }
+
+    /// Attach a service-specific extension to an action rule base.
+    pub fn add_service_action_rules(
+        &mut self,
+        action: ActionKind,
+        service_name: impl Into<String>,
+        rules: RuleBase,
+    ) {
+        self.service_actions
+            .insert((action, service_name.into()), rules);
+    }
+
+    /// Total number of rules across all bases.
+    pub fn total_rules(&self) -> usize {
+        self.triggers.values().map(RuleBase::len).sum::<usize>()
+            + self.service_triggers.values().map(RuleBase::len).sum::<usize>()
+            + self.actions.values().map(RuleBase::len).sum::<usize>()
+            + self.service_actions.values().map(RuleBase::len).sum::<usize>()
+    }
+
+    /// Load rule bases from XML `<ruleBase>` descriptions (see
+    /// [`autoglobe_landscape::xml::schema`]). Descriptions with a `service`
+    /// attribute become service-specific extensions; others replace the
+    /// default base for their trigger/action.
+    pub fn apply_descriptions(
+        &mut self,
+        descriptions: &[RuleBaseDescription],
+    ) -> Result<(), LandscapeError> {
+        for d in descriptions {
+            let rules = parse_rules(&d.text).map_err(|e: FuzzyError| LandscapeError::Schema {
+                message: format!("rule base `{}`: {e}", d.key),
+            })?;
+            match d.key.split_once(':') {
+                Some(("trigger", name)) => {
+                    let trigger =
+                        TriggerKind::from_name(name).ok_or_else(|| LandscapeError::Schema {
+                            message: format!("unknown trigger `{name}`"),
+                        })?;
+                    match &d.service {
+                        Some(svc) => self.add_service_trigger_rules(trigger, svc.clone(), rules),
+                        None => self.set_trigger_rules(trigger, rules),
+                    }
+                }
+                Some(("action", name)) => {
+                    let action =
+                        ActionKind::from_variable_name(name).ok_or_else(|| LandscapeError::Schema {
+                            message: format!("unknown action `{name}`"),
+                        })?;
+                    match &d.service {
+                        Some(svc) => self.add_service_action_rules(action, svc.clone(), rules),
+                        None => self.set_action_rules(action, rules),
+                    }
+                }
+                _ => {
+                    return Err(LandscapeError::Schema {
+                        message: format!("rule base key `{}` must be trigger:* or action:*", d.key),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for RuleBases {
+    fn default() -> Self {
+        RuleBases::paper_defaults()
+    }
+}
+
+/// Rules fired when a *service* is overloaded (its instances are, on
+/// average, running hot). The paper's sample rules from Section 3 appear
+/// verbatim as the first two.
+const SERVICE_OVERLOADED: &str = "
+# The two sample rules of the paper, Section 3:
+IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium)
+THEN scaleUp IS applicable
+
+IF cpuLoad IS high AND performanceIndex IS high
+THEN scaleOut IS applicable
+
+# Overloaded service: grow the instance pool when the whole service is hot.
+IF serviceLoad IS high AND instancesOfService IS one
+THEN scaleOut IS applicable
+
+IF serviceLoad IS high AND cpuLoad IS high
+THEN scaleOut IS applicable WITH 0.85
+
+IF serviceLoad IS high AND memLoad IS high
+THEN scaleOut IS applicable WITH 0.8
+
+IF serviceLoad IS high AND cpuLoad IS medium
+THEN scaleOut IS applicable WITH 0.6
+
+# One hot instance while the service average is fine: rebalance it.
+IF instanceLoad IS high AND serviceLoad IS medium AND instancesOnServer IS many
+THEN move IS applicable WITH 0.9
+
+IF instanceLoad IS high AND serviceLoad IS medium
+THEN move IS applicable WITH 0.7
+
+# Hot instance on a crowded weak host: lift it to a bigger box.
+IF instanceLoad IS high AND cpuLoad IS high AND memLoad IS high
+THEN scaleUp IS applicable WITH 0.9
+
+# Last resort: prefer the service over its neighbours.
+IF serviceLoad IS high AND NOT cpuLoad IS high
+THEN increasePriority IS applicable WITH 0.3
+";
+
+/// Rules fired when a *service* is idle.
+const SERVICE_IDLE: &str = "
+IF serviceLoad IS low AND instancesOfService IS many
+THEN scaleIn IS applicable WITH 0.75
+
+IF serviceLoad IS low AND instancesOfService IS few
+THEN scaleIn IS applicable WITH 0.35
+
+# An idle instance on a busy host wastes room others need.
+IF instanceLoad IS low AND cpuLoad IS high AND instancesOfService IS many
+THEN scaleIn IS applicable WITH 0.9
+
+# An idle service hogging a powerful host should vacate it — but only if
+# its absolute demand would actually fit on a weaker host (otherwise the
+# controller oscillates between scale-up and scale-down).
+IF instanceLoad IS low AND serviceLoad IS low AND performanceIndex IS high AND instanceDemand IS small
+THEN scaleDown IS applicable WITH 0.6
+
+IF serviceLoad IS low AND instancesOfService IS one
+THEN reducePriority IS applicable WITH 0.3
+";
+
+/// Rules fired when a *server* is overloaded. The controller runs these once
+/// per service on the server (Figure 7) and merges the ranked actions.
+const SERVER_OVERLOADED: &str = "
+# Hot instance on a strong host: add capacity elsewhere.
+IF cpuLoad IS high AND instanceLoad IS high AND performanceIndex IS high
+THEN scaleOut IS applicable
+
+# Hot instance on a weak host: lift it.
+IF cpuLoad IS high AND instanceLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium)
+THEN scaleUp IS applicable
+
+# Crowded host: move something away.
+IF cpuLoad IS high AND instancesOnServer IS many
+THEN move IS applicable
+
+IF cpuLoad IS high AND instanceLoad IS medium AND instancesOnServer IS few
+THEN move IS applicable WITH 0.8
+
+IF memLoad IS high AND instancesOnServer IS many
+THEN move IS applicable WITH 0.9
+
+# A light instance is the cheapest to relocate.
+IF cpuLoad IS high AND instanceLoad IS low AND instancesOnServer IS many
+THEN move IS applicable WITH 0.5
+
+IF cpuLoad IS high AND instanceLoad IS low AND instanceDemand IS small
+THEN move IS applicable WITH 0.5
+
+# The service is hot overall, not just here: scale it out.
+IF cpuLoad IS high AND serviceLoad IS high
+THEN scaleOut IS applicable WITH 0.9
+
+IF cpuLoad IS high AND instanceLoad IS high AND instancesOfService IS one
+THEN scaleOut IS applicable
+
+# The service is quiet elsewhere: retire this instance instead.
+IF cpuLoad IS high AND serviceLoad IS low AND instancesOfService IS many
+THEN scaleIn IS applicable WITH 0.6
+
+IF memLoad IS high AND instanceLoad IS high
+THEN scaleUp IS applicable WITH 0.7
+
+# Nothing moves? De-prioritize background services.
+IF cpuLoad IS high AND serviceLoad IS low
+THEN reducePriority IS applicable WITH 0.25
+";
+
+/// Rules fired when a *server* is idle: consolidate to free it up.
+const SERVER_IDLE: &str = "
+IF cpuLoad IS low AND instanceLoad IS low AND instancesOfService IS many
+THEN scaleIn IS applicable WITH 0.75
+
+IF cpuLoad IS low AND serviceLoad IS low AND instancesOfService IS few
+THEN scaleIn IS applicable WITH 0.35
+
+# An idle instance on a powerful host should make room. (Deliberately no
+# move-to-peer rule here: moving between two equally idle hosts achieves
+# nothing and oscillates at exactly the protection-expiry cadence.)
+IF cpuLoad IS low AND instanceLoad IS low AND performanceIndex IS high AND instanceDemand IS small
+THEN scaleDown IS applicable WITH 0.8
+";
+
+/// Server-selection rules for placement actions (start, scale-out, move):
+/// prefer lightly loaded hosts, then powerful ones.
+const SELECT_PLACEMENT: &str = "
+IF cpuLoad IS low AND memLoad IS low
+THEN score IS applicable
+
+IF cpuLoad IS low AND performanceIndex IS high
+THEN score IS applicable
+
+IF cpuLoad IS low AND instancesOnServer IS none
+THEN score IS applicable WITH 0.9
+
+IF cpuLoad IS medium AND memLoad IS low
+THEN score IS applicable WITH 0.5
+
+IF memory IS large AND memLoad IS low
+THEN score IS applicable WITH 0.6
+
+IF cpuLoad IS low AND (instancesOnServer IS none OR instancesOnServer IS one)
+THEN score IS applicable WITH 0.8
+
+IF swapSpace IS large AND tempSpace IS large AND cpuLoad IS low
+THEN score IS applicable WITH 0.4
+";
+
+/// Server-selection rules for scale-up: the power of the target dominates.
+const SELECT_SCALE_UP: &str = "
+IF performanceIndex IS high AND cpuLoad IS low
+THEN score IS applicable
+
+IF performanceIndex IS high AND cpuLoad IS medium
+THEN score IS applicable WITH 0.6
+
+IF numberOfCpus IS many AND memLoad IS low
+THEN score IS applicable WITH 0.7
+
+IF cpuClock IS fast AND cpuCache IS large AND cpuLoad IS low
+THEN score IS applicable WITH 0.6
+
+IF performanceIndex IS medium AND cpuLoad IS low
+THEN score IS applicable WITH 0.5
+";
+
+/// Server-selection rules for scale-down: prefer the weakest sufficient
+/// host so powerful ones stay available.
+const SELECT_SCALE_DOWN: &str = "
+IF performanceIndex IS low AND cpuLoad IS low
+THEN score IS applicable
+
+IF performanceIndex IS medium AND cpuLoad IS low
+THEN score IS applicable WITH 0.6
+
+IF performanceIndex IS low AND cpuLoad IS medium
+THEN score IS applicable WITH 0.4
+
+IF instancesOnServer IS none AND performanceIndex IS low
+THEN score IS applicable WITH 0.8
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_have_about_forty_rules() {
+        // The placement rule base is shared by start/scale-out/move, so
+        // count distinct rules, not per-action copies.
+        let rb = RuleBases::paper_defaults();
+        let mut distinct = std::collections::BTreeSet::new();
+        for trigger in TriggerKind::ALL {
+            for rule in rb.for_trigger(trigger, "").rules() {
+                distinct.insert(format!("{trigger}:{rule}"));
+            }
+        }
+        let mut selection = std::collections::BTreeSet::new();
+        for kind in ActionKind::ALL {
+            for rule in rb.for_action(kind, "").rules() {
+                selection.insert(rule.to_string());
+            }
+        }
+        let total = distinct.len() + selection.len();
+        assert!(
+            (40..=55).contains(&total),
+            "paper says 'about 40 rules', got {total} distinct"
+        );
+    }
+
+    #[test]
+    fn every_trigger_has_rules() {
+        let rb = RuleBases::paper_defaults();
+        for trigger in TriggerKind::ALL {
+            assert!(
+                !rb.for_trigger(trigger, "anything").is_empty(),
+                "{trigger} has no rules"
+            );
+        }
+    }
+
+    #[test]
+    fn every_target_needing_action_has_selection_rules() {
+        let rb = RuleBases::paper_defaults();
+        for kind in ActionKind::ALL {
+            if kind.needs_target() {
+                assert!(
+                    !rb.for_action(kind, "anything").is_empty(),
+                    "{kind} has no server-selection rules"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sample_rules_are_present_verbatim() {
+        let rb = RuleBases::paper_defaults();
+        let overloaded = rb.for_trigger(TriggerKind::ServiceOverloaded, "x");
+        let texts: Vec<String> = overloaded.rules().iter().map(|r| r.to_string()).collect();
+        assert!(texts.iter().any(|t| t.contains("scaleUp IS applicable")
+            && t.contains("performanceIndex IS low OR performanceIndex IS medium")));
+        assert!(texts
+            .iter()
+            .any(|t| t == "IF (cpuLoad IS high AND performanceIndex IS high) THEN scaleOut IS applicable"));
+    }
+
+    #[test]
+    fn service_specific_rules_layer_on_top() {
+        let mut rb = RuleBases::paper_defaults();
+        let base_len = rb.for_trigger(TriggerKind::ServiceOverloaded, "DB").len();
+        rb.add_service_trigger_rules(
+            TriggerKind::ServiceOverloaded,
+            "DB",
+            parse_rules("IF cpuLoad IS high THEN increasePriority IS applicable").unwrap(),
+        );
+        assert_eq!(
+            rb.for_trigger(TriggerKind::ServiceOverloaded, "DB").len(),
+            base_len + 1
+        );
+        // Other services are unaffected.
+        assert_eq!(
+            rb.for_trigger(TriggerKind::ServiceOverloaded, "FI").len(),
+            base_len
+        );
+    }
+
+    #[test]
+    fn descriptions_replace_and_extend() {
+        let mut rb = RuleBases::paper_defaults();
+        rb.apply_descriptions(&[
+            RuleBaseDescription {
+                key: "trigger:serviceIdle".into(),
+                service: None,
+                text: "IF serviceLoad IS low THEN scaleIn IS applicable".into(),
+            },
+            RuleBaseDescription {
+                key: "action:move".into(),
+                service: Some("FI".into()),
+                text: "IF performanceIndex IS high THEN score IS applicable".into(),
+            },
+        ])
+        .unwrap();
+        assert_eq!(rb.for_trigger(TriggerKind::ServiceIdle, "x").len(), 1);
+        let default_move = RuleBases::paper_defaults().for_action(ActionKind::Move, "FI").len();
+        assert_eq!(rb.for_action(ActionKind::Move, "FI").len(), default_move + 1);
+    }
+
+    #[test]
+    fn bad_descriptions_are_rejected() {
+        let mut rb = RuleBases::empty();
+        for (key, text) in [
+            ("trigger:bogus", "IF a IS b THEN c IS d"),
+            ("action:fly", "IF a IS b THEN c IS d"),
+            ("neither", "IF a IS b THEN c IS d"),
+            ("trigger:serviceIdle", "not a rule"),
+        ] {
+            let result = rb.apply_descriptions(&[RuleBaseDescription {
+                key: key.into(),
+                service: None,
+                text: text.into(),
+            }]);
+            assert!(result.is_err(), "should reject key={key} text={text}");
+        }
+    }
+
+    #[test]
+    fn empty_rule_bases_yield_empty_lookups() {
+        let rb = RuleBases::empty();
+        assert_eq!(rb.total_rules(), 0);
+        assert!(rb.for_trigger(TriggerKind::ServerIdle, "x").is_empty());
+        assert!(rb.for_action(ActionKind::Move, "x").is_empty());
+    }
+}

@@ -1,0 +1,344 @@
+//! The two fuzzy controllers: action selection and server selection.
+
+use crate::inputs::{ActionInputs, ServerInputs};
+use crate::rulebase::RuleBases;
+use crate::variables;
+use autoglobe_fuzzy::{Engine, EngineConfig, FuzzyError};
+use autoglobe_landscape::ActionKind;
+use autoglobe_monitor::TriggerKind;
+use std::collections::HashMap;
+
+/// One entry in the ranked action list of Section 4.1: an action kind with
+/// its applicability in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedAction {
+    /// The action kind.
+    pub kind: ActionKind,
+    /// Crisp applicability ("ratings between 0% and 100%").
+    pub applicability: f64,
+}
+
+/// The action-selection fuzzy controller: one engine per `(trigger,
+/// service-specific rule base)` combination, built lazily and cached.
+#[derive(Debug)]
+pub struct ActionSelector {
+    rule_bases: RuleBases,
+    config: EngineConfig,
+    /// Cache key: `(trigger, service name if it has specific rules else "")`.
+    engines: HashMap<(TriggerKind, String), Engine>,
+}
+
+impl ActionSelector {
+    /// Build a selector over the given rule bases.
+    pub fn new(rule_bases: RuleBases, config: EngineConfig) -> Self {
+        ActionSelector {
+            rule_bases,
+            config,
+            engines: HashMap::new(),
+        }
+    }
+
+    /// The rule bases in use.
+    pub fn rule_bases(&self) -> &RuleBases {
+        &self.rule_bases
+    }
+
+    fn engine(&mut self, trigger: TriggerKind, service_name: &str) -> Result<&Engine, FuzzyError> {
+        let key = (trigger, service_name.to_string());
+        if !self.engines.contains_key(&key) {
+            let mut engine = Engine::with_config(self.config);
+            for var in variables::action_selection_inputs() {
+                engine.add_input(var);
+            }
+            for var in variables::action_selection_outputs() {
+                engine.add_output(var);
+            }
+            for rule in self.rule_bases.for_trigger(trigger, service_name).rules() {
+                engine.add_rule(rule.clone())?;
+            }
+            self.engines.insert(key.clone(), engine);
+        }
+        Ok(&self.engines[&key])
+    }
+
+    /// Evaluate the trigger's rule base for one service and return all nine
+    /// actions ranked by applicability (descending; zero-applicability
+    /// entries included — the caller applies the administrator threshold).
+    pub fn rank(
+        &mut self,
+        trigger: TriggerKind,
+        service_name: &str,
+        inputs: &ActionInputs,
+    ) -> Result<Vec<RankedAction>, FuzzyError> {
+        let engine = self.engine(trigger, service_name)?;
+        let outputs = engine.run(inputs.measurements())?;
+        let mut ranked: Vec<RankedAction> = outputs
+            .ranked()
+            .into_iter()
+            .filter_map(|(name, value)| {
+                ActionKind::from_variable_name(name).map(|kind| RankedAction {
+                    kind,
+                    applicability: value,
+                })
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.applicability
+                .partial_cmp(&a.applicability)
+                .unwrap()
+                .then_with(|| a.kind.variable_name().cmp(b.kind.variable_name()))
+        });
+        Ok(ranked)
+    }
+}
+
+/// The server-selection fuzzy controller: one engine per `(action,
+/// service-specific rule base)` combination.
+#[derive(Debug)]
+pub struct ServerSelector {
+    rule_bases: RuleBases,
+    config: EngineConfig,
+    engines: HashMap<(ActionKind, String), Engine>,
+}
+
+impl ServerSelector {
+    /// Build a selector over the given rule bases.
+    pub fn new(rule_bases: RuleBases, config: EngineConfig) -> Self {
+        ServerSelector {
+            rule_bases,
+            config,
+            engines: HashMap::new(),
+        }
+    }
+
+    fn engine(&mut self, action: ActionKind, service_name: &str) -> Result<&Engine, FuzzyError> {
+        let key = (action, service_name.to_string());
+        if !self.engines.contains_key(&key) {
+            let mut engine = Engine::with_config(self.config);
+            for var in variables::server_selection_inputs() {
+                engine.add_input(var);
+            }
+            engine.add_output(variables::server_selection_output());
+            for rule in self.rule_bases.for_action(action, service_name).rules() {
+                engine.add_rule(rule.clone())?;
+            }
+            self.engines.insert(key.clone(), engine);
+        }
+        Ok(&self.engines[&key])
+    }
+
+    /// Score one candidate host for `action` ("In the defuzzification phase,
+    /// the controller calculates a crisp value for every possible host",
+    /// Section 4.2).
+    pub fn score(
+        &mut self,
+        action: ActionKind,
+        service_name: &str,
+        inputs: &ServerInputs,
+    ) -> Result<f64, FuzzyError> {
+        let engine = self.engine(action, service_name)?;
+        let outputs = engine.run(inputs.measurements())?;
+        Ok(outputs.get("score").unwrap_or(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_inputs() -> ActionInputs {
+        ActionInputs {
+            cpu_load: 0.5,
+            mem_load: 0.3,
+            performance_index: 2.0,
+            instance_load: 0.5,
+            service_load: 0.5,
+            instances_on_server: 2.0,
+            instances_of_service: 3.0,
+            instance_demand: 1.0,
+        }
+    }
+
+    fn selector() -> ActionSelector {
+        ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default())
+    }
+
+    #[test]
+    fn overloaded_weak_host_prefers_scale_up() {
+        let mut s = selector();
+        let inputs = ActionInputs {
+            cpu_load: 0.95,
+            instance_load: 0.9,
+            service_load: 0.9,
+            performance_index: 1.0,
+            ..default_inputs()
+        };
+        let ranked = s
+            .rank(TriggerKind::ServiceOverloaded, "FI", &inputs)
+            .unwrap();
+        assert_eq!(ranked[0].kind, ActionKind::ScaleUp, "ranked: {ranked:?}");
+        assert!(ranked[0].applicability > 0.7);
+    }
+
+    #[test]
+    fn overloaded_strong_host_prefers_scale_out() {
+        let mut s = selector();
+        let inputs = ActionInputs {
+            cpu_load: 0.95,
+            instance_load: 0.9,
+            service_load: 0.9,
+            performance_index: 9.0,
+            ..default_inputs()
+        };
+        let ranked = s
+            .rank(TriggerKind::ServiceOverloaded, "FI", &inputs)
+            .unwrap();
+        assert_eq!(ranked[0].kind, ActionKind::ScaleOut, "ranked: {ranked:?}");
+    }
+
+    #[test]
+    fn idle_service_prefers_scale_in() {
+        let mut s = selector();
+        let inputs = ActionInputs {
+            cpu_load: 0.05,
+            instance_load: 0.03,
+            service_load: 0.05,
+            instances_of_service: 6.0,
+            ..default_inputs()
+        };
+        let ranked = s.rank(TriggerKind::ServiceIdle, "FI", &inputs).unwrap();
+        assert_eq!(ranked[0].kind, ActionKind::ScaleIn, "ranked: {ranked:?}");
+        assert!(ranked[0].applicability > 0.7);
+    }
+
+    #[test]
+    fn calm_situation_ranks_everything_near_zero() {
+        let mut s = selector();
+        let inputs = ActionInputs {
+            cpu_load: 0.45,
+            instance_load: 0.45,
+            service_load: 0.45,
+            mem_load: 0.2,
+            ..default_inputs()
+        };
+        let ranked = s
+            .rank(TriggerKind::ServiceOverloaded, "FI", &inputs)
+            .unwrap();
+        assert!(
+            ranked[0].applicability < 0.3,
+            "no action should be strongly applicable when calm: {ranked:?}"
+        );
+    }
+
+    #[test]
+    fn ranking_includes_all_nine_actions() {
+        let mut s = selector();
+        let ranked = s
+            .rank(TriggerKind::ServerOverloaded, "FI", &default_inputs())
+            .unwrap();
+        assert_eq!(ranked.len(), 9);
+        // Descending order.
+        for w in ranked.windows(2) {
+            assert!(w[0].applicability >= w[1].applicability);
+        }
+    }
+
+    #[test]
+    fn server_selector_prefers_idle_hosts_for_placement() {
+        let mut s = ServerSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let idle = ServerInputs {
+            cpu_load: 0.05,
+            mem_load: 0.1,
+            instances_on_server: 0.0,
+            performance_index: 2.0,
+            number_of_cpus: 2.0,
+            cpu_clock: 933.0,
+            cpu_cache: 512.0,
+            memory: 4096.0,
+            swap_space: 8192.0,
+            temp_space: 20_480.0,
+        };
+        let busy = ServerInputs {
+            cpu_load: 0.85,
+            mem_load: 0.7,
+            instances_on_server: 5.0,
+            ..idle
+        };
+        let idle_score = s.score(ActionKind::ScaleOut, "FI", &idle).unwrap();
+        let busy_score = s.score(ActionKind::ScaleOut, "FI", &busy).unwrap();
+        assert!(
+            idle_score > busy_score + 0.3,
+            "idle {idle_score} vs busy {busy_score}"
+        );
+    }
+
+    #[test]
+    fn scale_up_selection_prefers_powerful_hosts() {
+        let mut s = ServerSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let weak = ServerInputs {
+            cpu_load: 0.1,
+            mem_load: 0.1,
+            instances_on_server: 0.0,
+            performance_index: 1.0,
+            number_of_cpus: 1.0,
+            cpu_clock: 933.0,
+            cpu_cache: 512.0,
+            memory: 2048.0,
+            swap_space: 4096.0,
+            temp_space: 20_480.0,
+        };
+        let strong = ServerInputs {
+            performance_index: 9.0,
+            number_of_cpus: 4.0,
+            cpu_clock: 2800.0,
+            cpu_cache: 2048.0,
+            memory: 12_288.0,
+            ..weak
+        };
+        let weak_score = s.score(ActionKind::ScaleUp, "FI", &weak).unwrap();
+        let strong_score = s.score(ActionKind::ScaleUp, "FI", &strong).unwrap();
+        assert!(strong_score > weak_score + 0.3);
+    }
+
+    #[test]
+    fn scale_down_selection_prefers_weak_hosts() {
+        let mut s = ServerSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let weak = ServerInputs {
+            cpu_load: 0.1,
+            mem_load: 0.1,
+            instances_on_server: 0.0,
+            performance_index: 1.0,
+            number_of_cpus: 1.0,
+            cpu_clock: 933.0,
+            cpu_cache: 512.0,
+            memory: 2048.0,
+            swap_space: 4096.0,
+            temp_space: 20_480.0,
+        };
+        let strong = ServerInputs {
+            performance_index: 9.0,
+            ..weak
+        };
+        let weak_score = s.score(ActionKind::ScaleDown, "FI", &weak).unwrap();
+        let strong_score = s.score(ActionKind::ScaleDown, "FI", &strong).unwrap();
+        assert!(weak_score > strong_score);
+    }
+
+    #[test]
+    fn actions_without_rules_score_zero() {
+        let mut s = ServerSelector::new(RuleBases::empty(), EngineConfig::default());
+        let inputs = ServerInputs {
+            cpu_load: 0.0,
+            mem_load: 0.0,
+            instances_on_server: 0.0,
+            performance_index: 9.0,
+            number_of_cpus: 4.0,
+            cpu_clock: 2800.0,
+            cpu_cache: 2048.0,
+            memory: 12_288.0,
+            swap_space: 8192.0,
+            temp_space: 20_480.0,
+        };
+        assert_eq!(s.score(ActionKind::Move, "FI", &inputs).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! The linguistic variables of the AutoGlobe controller.
+//!
+//! Tables 1 and 3 of the paper define the input variables for action
+//! selection and server selection; Table 2 the output variables (one
+//! applicability score per action). This module builds them with the
+//! trapezoid membership functions of Figure 3.
+
+use autoglobe_fuzzy::{LinguisticVariable, MembershipFunction};
+use autoglobe_landscape::ActionKind;
+
+/// The standard three-term load variable of Figure 3 over `[0, 1]`
+/// (*low*, *medium*, *high*), calibrated so that `μ_medium(0.6) = 0.5` and
+/// `μ_high(0.6) = 0.2` as in the paper's worked example.
+pub fn load(name: &str) -> LinguisticVariable {
+    LinguisticVariable::builder(name)
+        .term("low", MembershipFunction::trapezoid(0.0, 0.0, 0.2, 0.4))
+        .term("medium", MembershipFunction::trapezoid(0.2, 0.4, 0.5, 0.7))
+        .term("high", MembershipFunction::trapezoid(0.5, 1.0, 1.0, 1.0))
+        .build()
+        .expect("load variable is valid")
+}
+
+/// Performance index over `[0, 10]` (the paper's pool spans 1–9):
+/// *low* ≲ 2, *medium* ≈ 3–5, *high* ≳ 6.
+pub fn performance_index() -> LinguisticVariable {
+    LinguisticVariable::builder("performanceIndex")
+        .range(0.0, 10.0)
+        .term("low", MembershipFunction::trapezoid(0.0, 0.0, 1.5, 3.0))
+        .term("medium", MembershipFunction::trapezoid(1.5, 3.0, 5.0, 7.0))
+        .term("high", MembershipFunction::trapezoid(5.0, 7.0, 10.0, 10.0))
+        .build()
+        .expect("performance index variable is valid")
+}
+
+/// Absolute CPU demand of an instance in performance-index-1 units over
+/// `[0, 3]`: *small*, *moderate*, *large*.
+///
+/// This is an extension beyond Table 1 of the paper: an instance's *load*
+/// is relative to its host (an 0.73-unit central instance shows only 8 %
+/// load on a 9-index database server), so scale-down decisions need the
+/// absolute demand to know whether a weaker host could absorb the instance
+/// at all. Without it the controller oscillates: scale-up on overload,
+/// "idle" on the big host, scale-down, overload again.
+pub fn instance_demand() -> LinguisticVariable {
+    LinguisticVariable::builder("instanceDemand")
+        .range(0.0, 3.0)
+        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 0.3, 0.5))
+        .term("moderate", MembershipFunction::trapezoid(0.3, 0.5, 0.8, 1.0))
+        .term("large", MembershipFunction::trapezoid(0.8, 1.0, 3.0, 3.0))
+        .build()
+        .expect("instanceDemand variable is valid")
+}
+
+/// Instance count on a server over `[0, 10]`: *none*, *one*, *few*, *many*.
+pub fn instances_on_server() -> LinguisticVariable {
+    LinguisticVariable::builder("instancesOnServer")
+        .range(0.0, 10.0)
+        .term("none", MembershipFunction::trapezoid(0.0, 0.0, 0.0, 1.0))
+        .term("one", MembershipFunction::trapezoid(0.0, 1.0, 1.0, 2.0))
+        .term("few", MembershipFunction::trapezoid(1.0, 2.0, 3.0, 5.0))
+        .term("many", MembershipFunction::trapezoid(3.0, 5.0, 10.0, 10.0))
+        .build()
+        .expect("instancesOnServer variable is valid")
+}
+
+/// Instance count of a service over `[0, 10]`: *one*, *few*, *many*.
+pub fn instances_of_service() -> LinguisticVariable {
+    LinguisticVariable::builder("instancesOfService")
+        .range(0.0, 10.0)
+        .term("one", MembershipFunction::trapezoid(0.0, 0.0, 1.0, 2.0))
+        .term("few", MembershipFunction::trapezoid(1.0, 2.0, 3.0, 5.0))
+        .term("many", MembershipFunction::trapezoid(3.0, 5.0, 10.0, 10.0))
+        .build()
+        .expect("instancesOfService variable is valid")
+}
+
+/// Number of CPUs over `[0, 16]`: *few*, *several*, *many*.
+pub fn number_of_cpus() -> LinguisticVariable {
+    LinguisticVariable::builder("numberOfCpus")
+        .range(0.0, 16.0)
+        .term("few", MembershipFunction::trapezoid(0.0, 0.0, 1.0, 2.0))
+        .term("several", MembershipFunction::trapezoid(1.0, 2.0, 4.0, 6.0))
+        .term("many", MembershipFunction::trapezoid(4.0, 8.0, 16.0, 16.0))
+        .build()
+        .expect("numberOfCpus variable is valid")
+}
+
+/// CPU clock in MHz over `[0, 4000]`: *slow*, *medium*, *fast*.
+pub fn cpu_clock() -> LinguisticVariable {
+    LinguisticVariable::builder("cpuClock")
+        .range(0.0, 4000.0)
+        .term("slow", MembershipFunction::trapezoid(0.0, 0.0, 800.0, 1200.0))
+        .term("medium", MembershipFunction::trapezoid(800.0, 1200.0, 2000.0, 2600.0))
+        .term("fast", MembershipFunction::trapezoid(2000.0, 2600.0, 4000.0, 4000.0))
+        .build()
+        .expect("cpuClock variable is valid")
+}
+
+/// CPU cache in KB over `[0, 8192]`: *small*, *medium*, *large*.
+pub fn cpu_cache() -> LinguisticVariable {
+    LinguisticVariable::builder("cpuCache")
+        .range(0.0, 8192.0)
+        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 512.0, 1024.0))
+        .term("medium", MembershipFunction::trapezoid(512.0, 1024.0, 2048.0, 4096.0))
+        .term("large", MembershipFunction::trapezoid(2048.0, 4096.0, 8192.0, 8192.0))
+        .build()
+        .expect("cpuCache variable is valid")
+}
+
+/// Memory in MB over `[0, 32768]`: *small*, *medium*, *large*.
+pub fn memory() -> LinguisticVariable {
+    LinguisticVariable::builder("memory")
+        .range(0.0, 32_768.0)
+        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 2048.0, 4096.0))
+        .term(
+            "medium",
+            MembershipFunction::trapezoid(2048.0, 4096.0, 8192.0, 12_288.0),
+        )
+        .term(
+            "large",
+            MembershipFunction::trapezoid(8192.0, 12_288.0, 32_768.0, 32_768.0),
+        )
+        .build()
+        .expect("memory variable is valid")
+}
+
+/// Swap space in MB over `[0, 65536]`: *small*, *large*.
+pub fn swap_space() -> LinguisticVariable {
+    LinguisticVariable::builder("swapSpace")
+        .range(0.0, 65_536.0)
+        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 4096.0, 8192.0))
+        .term(
+            "large",
+            MembershipFunction::trapezoid(4096.0, 8192.0, 65_536.0, 65_536.0),
+        )
+        .build()
+        .expect("swapSpace variable is valid")
+}
+
+/// Temporary disk space in MB over `[0, 262144]`: *small*, *large*.
+pub fn temp_space() -> LinguisticVariable {
+    LinguisticVariable::builder("tempSpace")
+        .range(0.0, 262_144.0)
+        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 10_240.0, 20_480.0))
+        .term(
+            "large",
+            MembershipFunction::trapezoid(10_240.0, 20_480.0, 262_144.0, 262_144.0),
+        )
+        .build()
+        .expect("tempSpace variable is valid")
+}
+
+/// All input variables of the action-selection controller (Table 1):
+/// `cpuLoad`, `memLoad`, `performanceIndex`, `instanceLoad`, `serviceLoad`,
+/// `instancesOnServer`, `instancesOfService`.
+pub fn action_selection_inputs() -> Vec<LinguisticVariable> {
+    vec![
+        load("cpuLoad"),
+        load("memLoad"),
+        performance_index(),
+        load("instanceLoad"),
+        load("serviceLoad"),
+        instances_on_server(),
+        instances_of_service(),
+        instance_demand(),
+    ]
+}
+
+/// All output variables of the action-selection controller (Table 2): one
+/// applicability per action kind.
+pub fn action_selection_outputs() -> Vec<LinguisticVariable> {
+    ActionKind::ALL
+        .iter()
+        .map(|k| LinguisticVariable::applicability(k.variable_name()))
+        .collect()
+}
+
+/// All input variables of the server-selection controller (Table 3):
+/// `cpuLoad`, `memLoad`, `instancesOnServer`, `performanceIndex`,
+/// `numberOfCpus`, `cpuClock`, `cpuCache`, `memory`, `swapSpace`,
+/// `tempSpace`.
+pub fn server_selection_inputs() -> Vec<LinguisticVariable> {
+    vec![
+        load("cpuLoad"),
+        load("memLoad"),
+        instances_on_server(),
+        performance_index(),
+        number_of_cpus(),
+        cpu_clock(),
+        cpu_cache(),
+        memory(),
+        swap_space(),
+        temp_space(),
+    ]
+}
+
+/// The single output variable of the server-selection controller: the
+/// host's suitability `score`.
+pub fn server_selection_output() -> LinguisticVariable {
+    LinguisticVariable::applicability("score")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_variables_are_complete() {
+        let names: Vec<String> = action_selection_inputs()
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "cpuLoad",
+                "memLoad",
+                "performanceIndex",
+                "instanceLoad",
+                "serviceLoad",
+                "instancesOnServer",
+                "instancesOfService",
+                "instanceDemand", // extension, see `instance_demand`
+            ]
+        );
+    }
+
+    #[test]
+    fn table_3_variables_are_complete() {
+        let names: Vec<String> = server_selection_inputs()
+            .iter()
+            .map(|v| v.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "cpuLoad",
+                "memLoad",
+                "instancesOnServer",
+                "performanceIndex",
+                "numberOfCpus",
+                "cpuClock",
+                "cpuCache",
+                "memory",
+                "swapSpace",
+                "tempSpace",
+            ]
+        );
+    }
+
+    #[test]
+    fn table_2_outputs_cover_all_actions() {
+        let outs = action_selection_outputs();
+        assert_eq!(outs.len(), 9);
+        assert!(outs.iter().any(|v| v.name() == "scaleUp"));
+        assert!(outs.iter().any(|v| v.name() == "increasePriority"));
+    }
+
+    #[test]
+    fn load_variable_matches_figure_3() {
+        let v = load("cpuLoad");
+        let medium = v.term("medium").unwrap();
+        let high = v.term("high").unwrap();
+        assert!((medium.grade(0.6) - 0.5).abs() < 1e-12);
+        assert!((high.grade(0.6) - 0.2).abs() < 1e-12);
+        assert!((high.grade(0.9) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_hardware_maps_to_sensible_terms() {
+        // BX300: performance index 1 → low; BL40p: 9 → high.
+        let v = performance_index();
+        assert!(v.term("low").unwrap().grade(1.0) > 0.9);
+        assert!(v.term("high").unwrap().grade(9.0) > 0.9);
+        // BX600 index 2 sits between low and medium.
+        let low2 = v.term("low").unwrap().grade(2.0);
+        let med2 = v.term("medium").unwrap().grade(2.0);
+        assert!(low2 > 0.0 && med2 > 0.0);
+
+        // Clock: 933 MHz blades are slow-to-medium; 2800 MHz Xeons fast.
+        let clock = cpu_clock();
+        assert!(clock.term("fast").unwrap().grade(2800.0) > 0.9);
+        assert!(clock.term("slow").unwrap().grade(933.0) > 0.0);
+
+        // Memory: 2 GB small, 12 GB large.
+        let mem = memory();
+        assert!(mem.term("small").unwrap().grade(2048.0) > 0.9);
+        assert!(mem.term("large").unwrap().grade(12_288.0) > 0.9);
+    }
+
+    #[test]
+    fn instance_counts_have_sane_terms() {
+        let v = instances_on_server();
+        assert!(v.term("none").unwrap().grade(0.0) > 0.9);
+        assert!(v.term("one").unwrap().grade(1.0) > 0.9);
+        assert!(v.term("many").unwrap().grade(8.0) > 0.9);
+        let v = instances_of_service();
+        assert!(v.term("one").unwrap().grade(1.0) > 0.9);
+        assert!(v.term("few").unwrap().grade(2.5) > 0.9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for controller invariants: rankings stay bounded,
+//! decisions are deterministic, and executed actions never violate the
+//! declarative constraints.
+
+use autoglobe_controller::inputs::{ActionInputs, TableLoads};
+use autoglobe_controller::{ActionSelector, AutoGlobeController, RuleBases};
+use autoglobe_fuzzy::EngineConfig;
+use autoglobe_landscape::{
+    check_action, ActionKind, Landscape, ServerSpec, ServiceKind, ServiceSpec,
+};
+use autoglobe_monitor::{SimTime, Subject, TriggerEvent, TriggerKind};
+use proptest::prelude::*;
+
+fn inputs_strategy() -> impl Strategy<Value = ActionInputs> {
+    (
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.5f64..=10.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=10.0,
+        0.0f64..=10.0,
+    )
+        .prop_map(
+            |(cpu, mem, perf, inst, svc, on_server, of_service)| ActionInputs {
+                cpu_load: cpu,
+                mem_load: mem,
+                performance_index: perf,
+                instance_load: inst,
+                service_load: svc,
+                instances_on_server: on_server,
+                instances_of_service: of_service,
+                instance_demand: inst * perf,
+            },
+        )
+}
+
+fn trigger_strategy() -> impl Strategy<Value = TriggerKind> {
+    proptest::sample::select(TriggerKind::ALL.to_vec())
+}
+
+proptest! {
+    /// Rankings always contain all nine actions with applicabilities in
+    /// [0, 1], sorted descending — for any inputs and any trigger.
+    #[test]
+    fn rankings_are_complete_bounded_and_sorted(
+        inputs in inputs_strategy(),
+        trigger in trigger_strategy(),
+    ) {
+        let mut selector = ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let ranked = selector.rank(trigger, "svc", &inputs).unwrap();
+        prop_assert_eq!(ranked.len(), 9);
+        for pair in ranked.windows(2) {
+            prop_assert!(pair[0].applicability >= pair[1].applicability);
+        }
+        for r in &ranked {
+            prop_assert!((0.0..=1.0).contains(&r.applicability));
+        }
+    }
+
+    /// Liveness at saturation: a fully saturated overload situation always
+    /// has a strong remedy (≥ the default applicability threshold by a
+    /// wide margin), regardless of host power or instance counts. (Note
+    /// that *global* monotonicity in load does not hold, by design: the
+    /// medium-load rebalancing rules fade out as loads leave "medium".)
+    #[test]
+    fn saturated_overload_always_has_a_strong_remedy(
+        perf in 0.5f64..=10.0,
+        on_server in 0.0f64..=10.0,
+        of_service in 0.0f64..=10.0,
+        mem in 0.0f64..=1.0,
+    ) {
+        let mut selector = ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let inputs = ActionInputs {
+            cpu_load: 1.0,
+            mem_load: mem,
+            performance_index: perf,
+            instance_load: 1.0,
+            service_load: 1.0,
+            instances_on_server: on_server,
+            instances_of_service: of_service,
+            instance_demand: perf,
+        };
+        for trigger in [TriggerKind::ServiceOverloaded, TriggerKind::ServerOverloaded] {
+            let top = selector.rank(trigger, "svc", &inputs).unwrap()[0].applicability;
+            prop_assert!(top >= 0.8, "{trigger}: top remedy only {top}");
+        }
+    }
+
+    /// Whatever the controller executes passes the constraint checker in
+    /// the pre-action state — for random landscapes and loads.
+    #[test]
+    fn executed_actions_always_satisfied_constraints(
+        server_loads in proptest::collection::vec(0.0f64..=1.0, 4),
+        instance_load in 0.5f64..=1.0,
+        allowed_mask in 0u16..512,
+    ) {
+        let mut landscape = Landscape::new();
+        let mut servers = Vec::new();
+        for (i, spec) in [
+            ServerSpec::fsc_bx300("a"),
+            ServerSpec::fsc_bx300("b"),
+            ServerSpec::fsc_bx600("c"),
+            ServerSpec::hp_bl40p("d"),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let _ = i;
+            servers.push(landscape.add_server(spec).unwrap());
+        }
+        let allowed: Vec<ActionKind> = ActionKind::ALL
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| allowed_mask & (1 << i) != 0)
+            .map(|(_, k)| k)
+            .collect();
+        let service = landscape
+            .add_service(
+                ServiceSpec::new("svc", ServiceKind::ApplicationServer)
+                    .with_instances(1, Some(3))
+                    .with_allowed_actions(allowed),
+            )
+            .unwrap();
+        let instance = landscape.start_instance(service, servers[0]).unwrap();
+
+        let mut loads = TableLoads::new();
+        for (server, &cpu) in servers.iter().zip(&server_loads) {
+            loads.set(Subject::Server(*server), cpu, cpu / 2.0);
+        }
+        loads.set(Subject::Instance(instance), instance_load, 0.0);
+        loads.set(Subject::Service(service), instance_load, 0.0);
+
+        let trigger = TriggerEvent {
+            kind: TriggerKind::ServiceOverloaded,
+            subject: Subject::Service(service),
+            time: SimTime::from_minutes(15),
+            average_cpu: instance_load,
+            average_mem: 0.3,
+        };
+        // Check on a clone in the pre-action state.
+        let pristine = landscape.clone();
+        let mut controller = AutoGlobeController::new();
+        let outcome = controller.handle_trigger(&trigger, &mut landscape, &loads, trigger.time);
+        for record in &outcome.executed {
+            prop_assert!(
+                check_action(&pristine, &record.action).is_ok(),
+                "executed action {} violates constraints",
+                record.action
+            );
+            // And only allowed kinds execute.
+            let spec = pristine.service(service).unwrap();
+            prop_assert!(spec.allows(record.action.kind()));
+        }
+    }
+
+    /// Controller decisions are deterministic: identical state produces
+    /// identical actions.
+    #[test]
+    fn decisions_are_deterministic(
+        cpu in 0.7f64..=1.0,
+        inst in 0.7f64..=1.0,
+    ) {
+        let build = || {
+            let mut landscape = Landscape::new();
+            let a = landscape.add_server(ServerSpec::fsc_bx300("a")).unwrap();
+            let b = landscape.add_server(ServerSpec::hp_bl40p("b")).unwrap();
+            let svc = landscape
+                .add_service(ServiceSpec::new("svc", ServiceKind::ApplicationServer))
+                .unwrap();
+            let i = landscape.start_instance(svc, a).unwrap();
+            let mut loads = TableLoads::new();
+            loads.set(Subject::Server(a), cpu, 0.4);
+            loads.set(Subject::Server(b), 0.1, 0.1);
+            loads.set(Subject::Instance(i), inst, 0.0);
+            loads.set(Subject::Service(svc), inst, 0.0);
+            let trigger = TriggerEvent {
+                kind: TriggerKind::ServerOverloaded,
+                subject: Subject::Server(a),
+                time: SimTime::from_minutes(20),
+                average_cpu: cpu,
+                average_mem: 0.4,
+            };
+            let mut controller = AutoGlobeController::new();
+            let outcome = controller.handle_trigger(&trigger, &mut landscape, &loads, trigger.time);
+            outcome
+                .executed
+                .iter()
+                .map(|r| r.action.to_string())
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(build(), build());
+    }
+}

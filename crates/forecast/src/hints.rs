@@ -1,0 +1,181 @@
+//! Administrator hints and explicit reservations.
+//!
+//! The paper's future work (Section 7): "we will enhance the controller in
+//! such a way that it can manage explicit reservations, i.e., that an
+//! administrator can register mission-critical tasks along with their
+//! resource requirements." A [`Hint`] reserves CPU demand for a service in
+//! a (possibly daily recurring) time window; [`HintBook`] merges active
+//! reservations into forecasts.
+
+use autoglobe_landscape::ServiceId;
+use autoglobe_monitor::{SimDuration, SimTime};
+
+/// One registered reservation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hint {
+    /// The mission-critical service.
+    pub service: ServiceId,
+    /// Human-readable reason, shown on the console.
+    pub description: String,
+    /// Start of the reservation window.
+    pub start: SimTime,
+    /// Length of the window.
+    pub duration: SimDuration,
+    /// Reserved CPU demand in performance-index-1 units.
+    pub cpu_demand: f64,
+    /// If true, the window recurs every simulated day.
+    pub daily: bool,
+}
+
+impl Hint {
+    /// Is the reservation active at `time`?
+    pub fn active_at(&self, time: SimTime) -> bool {
+        if self.daily {
+            if time < self.start {
+                return false;
+            }
+            let day_offset = self.start.second_of_day();
+            let len = self.duration.as_secs();
+            let t = time.second_of_day();
+            if day_offset + len <= 86_400 {
+                t >= day_offset && t < day_offset + len
+            } else {
+                // Window wraps midnight.
+                t >= day_offset || t < (day_offset + len) % 86_400
+            }
+        } else {
+            time >= self.start && time < self.start + self.duration
+        }
+    }
+}
+
+/// The registry of reservations.
+#[derive(Debug, Clone, Default)]
+pub struct HintBook {
+    hints: Vec<Hint>,
+}
+
+impl HintBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        HintBook::default()
+    }
+
+    /// Register a hint.
+    pub fn register(&mut self, hint: Hint) {
+        self.hints.push(hint);
+    }
+
+    /// Remove all hints for a service (e.g. the task was cancelled).
+    pub fn remove_service(&mut self, service: ServiceId) {
+        self.hints.retain(|h| h.service != service);
+    }
+
+    /// All registered hints.
+    pub fn hints(&self) -> &[Hint] {
+        &self.hints
+    }
+
+    /// Total reserved CPU demand for `service` at `time`.
+    pub fn reserved_demand(&self, service: ServiceId, time: SimTime) -> f64 {
+        self.hints
+            .iter()
+            .filter(|h| h.service == service && h.active_at(time))
+            .map(|h| h.cpu_demand)
+            .sum()
+    }
+
+    /// Total reserved demand across all services at `time`.
+    pub fn total_reserved(&self, time: SimTime) -> f64 {
+        self.hints
+            .iter()
+            .filter(|h| h.active_at(time))
+            .map(|h| h.cpu_demand)
+            .sum()
+    }
+
+    /// Drop one-shot hints whose window has fully passed.
+    pub fn expire(&mut self, now: SimTime) {
+        self.hints
+            .retain(|h| h.daily || now < h.start + h.duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> ServiceId {
+        ServiceId::new(0)
+    }
+
+    fn batch_hint(daily: bool) -> Hint {
+        Hint {
+            service: service(),
+            description: "nightly BW batch".into(),
+            start: SimTime::from_hours(22),
+            duration: SimDuration::from_hours(8),
+            cpu_demand: 2.0,
+            daily,
+        }
+    }
+
+    #[test]
+    fn one_shot_window() {
+        let h = batch_hint(false);
+        assert!(!h.active_at(SimTime::from_hours(21)));
+        assert!(h.active_at(SimTime::from_hours(22)));
+        assert!(h.active_at(SimTime::from_hours(29)));
+        assert!(!h.active_at(SimTime::from_hours(30)));
+        // Does not recur.
+        assert!(!h.active_at(SimTime::from_hours(46)));
+    }
+
+    #[test]
+    fn daily_window_wraps_midnight() {
+        let h = batch_hint(true);
+        // Day 2, 23:00 and 03:00 are inside; 12:00 is not.
+        assert!(h.active_at(SimTime::from_hours(48 + 23)));
+        assert!(h.active_at(SimTime::from_hours(48 + 3)));
+        assert!(!h.active_at(SimTime::from_hours(48 + 12)));
+        // Before the first occurrence: inactive.
+        assert!(!h.active_at(SimTime::from_hours(1)));
+    }
+
+    #[test]
+    fn book_sums_active_reservations() {
+        let mut book = HintBook::new();
+        book.register(batch_hint(true));
+        book.register(Hint {
+            service: service(),
+            description: "quarter-end close".into(),
+            start: SimTime::from_hours(23),
+            duration: SimDuration::from_hours(2),
+            cpu_demand: 1.5,
+            daily: false,
+        });
+        let at_night = SimTime::from_hours(23) + SimDuration::from_minutes(30);
+        assert!((book.reserved_demand(service(), at_night) - 3.5).abs() < 1e-12);
+        assert!((book.total_reserved(at_night) - 3.5).abs() < 1e-12);
+        // Another service has nothing reserved.
+        assert_eq!(book.reserved_demand(ServiceId::new(9), at_night), 0.0);
+    }
+
+    #[test]
+    fn expire_drops_passed_one_shots_keeps_daily() {
+        let mut book = HintBook::new();
+        book.register(batch_hint(false));
+        book.register(batch_hint(true));
+        book.expire(SimTime::from_hours(40));
+        assert_eq!(book.hints().len(), 1);
+        assert!(book.hints()[0].daily);
+    }
+
+    #[test]
+    fn remove_service_clears_its_hints() {
+        let mut book = HintBook::new();
+        book.register(batch_hint(true));
+        book.remove_service(service());
+        assert!(book.hints().is_empty());
+    }
+}

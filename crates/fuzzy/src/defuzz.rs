@@ -1,0 +1,153 @@
+//! Defuzzification: turning an aggregated output fuzzy set into a crisp value.
+//!
+//! The paper uses "a maximum method, such that the result is determined as
+//! the leftmost of all values at which the maximum truth value occurs"
+//! ([`Defuzzifier::LeftmostMax`]). For the single-ramp `applicable` output
+//! sets this makes the crisp applicability equal the strongest rule firing
+//! (Figure 5: a set clipped at 0.6 defuzzifies to 0.6). Mean-of-maxima and
+//! centroid are provided for ablation studies.
+
+use crate::set::FuzzySet;
+
+/// A defuzzification method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Defuzzifier {
+    /// The leftmost x at which the maximum truth occurs (the paper's method).
+    #[default]
+    LeftmostMax,
+    /// The arithmetic mean of all x at which the maximum truth occurs.
+    MeanOfMaxima,
+    /// The centroid (center of gravity) of the set.
+    Centroid,
+}
+
+impl Defuzzifier {
+    /// Defuzzify `set` into a crisp value.
+    ///
+    /// An empty set (no rule fired) defuzzifies to the left edge of the
+    /// universe — for applicability outputs that is 0, i.e. "not applicable",
+    /// which is exactly the semantics the controller needs.
+    pub fn defuzzify(&self, set: &FuzzySet) -> f64 {
+        let samples = set.samples();
+        let (lo, _hi) = set.range();
+        match self {
+            Defuzzifier::LeftmostMax => {
+                let mut best_i = 0;
+                let mut best = f64::NEG_INFINITY;
+                for (i, &s) in samples.iter().enumerate() {
+                    if s > best {
+                        best = s;
+                        best_i = i;
+                    }
+                }
+                set.x_at(best_i)
+            }
+            Defuzzifier::MeanOfMaxima => {
+                let max = set.height();
+                if max == 0.0 {
+                    return lo;
+                }
+                let eps = 1e-12;
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for (i, &s) in samples.iter().enumerate() {
+                    if (s - max).abs() <= eps {
+                        sum += set.x_at(i);
+                        count += 1;
+                    }
+                }
+                sum / count as f64
+            }
+            Defuzzifier::Centroid => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (i, &s) in samples.iter().enumerate() {
+                    num += set.x_at(i) * s;
+                    den += s;
+                }
+                if den == 0.0 {
+                    lo
+                } else {
+                    num / den
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipFunction;
+    use crate::set::FuzzySet;
+
+    fn clipped_ramp(height: f64) -> FuzzySet {
+        let mut s = FuzzySet::from_membership(
+            &MembershipFunction::right_shoulder(0.0, 1.0),
+            0.0,
+            1.0,
+            1001,
+        );
+        s.clip(height);
+        s
+    }
+
+    #[test]
+    fn leftmost_max_of_clipped_ramp_equals_clip_height() {
+        // Figure 5 of the paper: the scale-up set clipped at 0.6 defuzzifies
+        // to crisp 0.6 under the leftmost-maximum method.
+        for h in [0.0, 0.1, 0.3, 0.6, 0.9, 1.0] {
+            let set = clipped_ramp(h);
+            let x = Defuzzifier::LeftmostMax.defuzzify(&set);
+            assert!(
+                (x - h).abs() < 2e-3,
+                "clip {h} → defuzz {x} (expected ≈ {h})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_set_defuzzifies_to_left_edge() {
+        let set = FuzzySet::empty(0.0, 1.0, 101);
+        assert_eq!(Defuzzifier::LeftmostMax.defuzzify(&set), 0.0);
+        assert_eq!(Defuzzifier::MeanOfMaxima.defuzzify(&set), 0.0);
+        assert_eq!(Defuzzifier::Centroid.defuzzify(&set), 0.0);
+    }
+
+    #[test]
+    fn mean_of_maxima_centers_on_plateau() {
+        // A trapezoid plateau from 0.4 to 0.6 → MoM ≈ 0.5.
+        let set = FuzzySet::from_membership(
+            &MembershipFunction::trapezoid(0.2, 0.4, 0.6, 0.8),
+            0.0,
+            1.0,
+            1001,
+        );
+        let x = Defuzzifier::MeanOfMaxima.defuzzify(&set);
+        assert!((x - 0.5).abs() < 1e-3, "MoM of plateau is its center, got {x}");
+        // LeftmostMax picks the left edge of the plateau.
+        let left = Defuzzifier::LeftmostMax.defuzzify(&set);
+        assert!((left - 0.4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn centroid_of_symmetric_triangle_is_its_peak() {
+        let set = FuzzySet::from_membership(
+            &MembershipFunction::triangle(0.2, 0.5, 0.8),
+            0.0,
+            1.0,
+            2001,
+        );
+        let x = Defuzzifier::Centroid.defuzzify(&set);
+        assert!((x - 0.5).abs() < 1e-3, "centroid of symmetric triangle, got {x}");
+    }
+
+    #[test]
+    fn centroid_of_clipped_ramp_lies_right_of_half_height() {
+        // The clipped ramp has most area near the right edge; centroid must
+        // exceed the clip height for small clips.
+        let set = clipped_ramp(0.3);
+        let x = Defuzzifier::Centroid.defuzzify(&set);
+        assert!(x > 0.5, "centroid pulled right, got {x}");
+    }
+}

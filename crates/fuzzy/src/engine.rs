@@ -1,0 +1,504 @@
+//! The complete fuzzy-controller cycle of the paper's Figure 4:
+//! measurement → fuzzification → inference → defuzzification.
+
+use crate::defuzz::Defuzzifier;
+use crate::inference::{infer, InferenceConfig, InferenceMethod, InferenceResult};
+use crate::parser::{parse_rule, parse_rules};
+use crate::rule::{Rule, RuleBase};
+use crate::set::DEFAULT_RESOLUTION;
+use crate::variable::LinguisticVariable;
+use crate::{FuzzyError, Truth};
+use std::collections::HashMap;
+use std::ops::Index;
+
+/// Tunable knobs of an [`Engine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Clipping (max–min, the paper) vs. scaling (max–product).
+    pub inference: InferenceMethod,
+    /// How aggregated sets become crisp values (leftmost-max, the paper).
+    pub defuzzifier: Defuzzifier,
+    /// Samples per output universe.
+    pub resolution: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            inference: InferenceMethod::MaxMin,
+            defuzzifier: Defuzzifier::LeftmostMax,
+            resolution: DEFAULT_RESOLUTION,
+        }
+    }
+}
+
+/// Crisp outputs of one controller cycle, keyed by output variable name.
+///
+/// Indexing with an unknown name panics (tests read better); use
+/// [`Outputs::get`] for fallible access. [`Outputs::ranked`] returns the
+/// variables sorted by descending crisp value — the "actions sorted by their
+/// applicability" list of Section 4.1.
+#[derive(Debug, Clone, Default)]
+pub struct Outputs {
+    values: HashMap<String, f64>,
+}
+
+impl Outputs {
+    /// The crisp value of `name`, if that output variable exists.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// All `(name, value)` pairs sorted by descending value; ties broken by
+    /// name for determinism.
+    pub fn ranked(&self) -> Vec<(&str, f64)> {
+        let mut v: Vec<(&str, f64)> = self
+            .values
+            .iter()
+            .map(|(k, &val)| (k.as_str(), val))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(b.0)));
+        v
+    }
+
+    /// Iterate over `(name, value)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Number of output variables.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if there are no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl Index<&str> for Outputs {
+    type Output = f64;
+    fn index(&self, name: &str) -> &f64 {
+        self.values
+            .get(name)
+            .unwrap_or_else(|| panic!("no output variable `{name}`"))
+    }
+}
+
+/// A complete fuzzy controller: input/output variables, a rule base, and the
+/// inference/defuzzification configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    inputs: HashMap<String, LinguisticVariable>,
+    outputs: HashMap<String, LinguisticVariable>,
+    rules: RuleBase,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// An empty engine with the paper's default configuration.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// An empty engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            ..Engine::default()
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Replace the configuration (useful for ablation sweeps on an otherwise
+    /// identical controller).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
+    }
+
+    /// Declare an input variable. Returns an error if the name is taken.
+    pub fn try_add_input(&mut self, var: LinguisticVariable) -> Result<(), FuzzyError> {
+        let name = var.name().to_string();
+        if self.inputs.contains_key(&name) || self.outputs.contains_key(&name) {
+            return Err(FuzzyError::DuplicateVariable { name });
+        }
+        self.inputs.insert(name, var);
+        Ok(())
+    }
+
+    /// Declare an input variable.
+    ///
+    /// # Panics
+    /// Panics on duplicate names; use [`Engine::try_add_input`] when the
+    /// variable set is dynamic.
+    pub fn add_input(&mut self, var: LinguisticVariable) {
+        self.try_add_input(var).expect("duplicate variable");
+    }
+
+    /// Declare an output variable. Returns an error if the name is taken.
+    pub fn try_add_output(&mut self, var: LinguisticVariable) -> Result<(), FuzzyError> {
+        let name = var.name().to_string();
+        if self.inputs.contains_key(&name) || self.outputs.contains_key(&name) {
+            return Err(FuzzyError::DuplicateVariable { name });
+        }
+        self.outputs.insert(name, var);
+        Ok(())
+    }
+
+    /// Declare an output variable.
+    ///
+    /// # Panics
+    /// Panics on duplicate names; use [`Engine::try_add_output`] when the
+    /// variable set is dynamic.
+    pub fn add_output(&mut self, var: LinguisticVariable) {
+        self.try_add_output(var).expect("duplicate variable");
+    }
+
+    /// The declared input variables.
+    pub fn inputs(&self) -> impl Iterator<Item = &LinguisticVariable> {
+        self.inputs.values()
+    }
+
+    /// The declared output variables.
+    pub fn outputs(&self) -> impl Iterator<Item = &LinguisticVariable> {
+        self.outputs.values()
+    }
+
+    /// Look up a variable (input or output) by name.
+    pub fn variable(&self, name: &str) -> Option<&LinguisticVariable> {
+        self.inputs.get(name).or_else(|| self.outputs.get(name))
+    }
+
+    /// Add a rule, validating that every referenced variable and term exists
+    /// and that input/output roles are respected.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<(), FuzzyError> {
+        self.validate_rule(&rule)?;
+        self.rules.push(rule);
+        Ok(())
+    }
+
+    /// Parse and add a single rule from DSL text.
+    pub fn add_rule_str(&mut self, text: &str) -> Result<(), FuzzyError> {
+        self.add_rule(parse_rule(text)?)
+    }
+
+    /// Parse and add a whole rule base from DSL text.
+    pub fn add_rules_str(&mut self, text: &str) -> Result<(), FuzzyError> {
+        for rule in parse_rules(text)?.rules() {
+            self.add_rule(rule.clone())?;
+        }
+        Ok(())
+    }
+
+    /// The current rule base.
+    pub fn rules(&self) -> &RuleBase {
+        &self.rules
+    }
+
+    fn validate_rule(&self, rule: &Rule) -> Result<(), FuzzyError> {
+        for var_name in rule.antecedent.referenced_variables() {
+            if self.outputs.contains_key(var_name) {
+                return Err(FuzzyError::VariableRoleMismatch {
+                    name: var_name.to_string(),
+                    reason: "output variable used in a rule antecedent".into(),
+                });
+            }
+            let var = self
+                .inputs
+                .get(var_name)
+                .ok_or_else(|| FuzzyError::UnknownVariable {
+                    name: var_name.to_string(),
+                })?;
+            // Check every atom mentioning this variable names a real term.
+            validate_terms(&rule.antecedent, var_name, var)?;
+        }
+        if self.inputs.contains_key(&rule.consequent.variable) {
+            return Err(FuzzyError::VariableRoleMismatch {
+                name: rule.consequent.variable.clone(),
+                reason: "input variable used in a rule consequent".into(),
+            });
+        }
+        let out = self
+            .outputs
+            .get(&rule.consequent.variable)
+            .ok_or_else(|| FuzzyError::UnknownVariable {
+                name: rule.consequent.variable.clone(),
+            })?;
+        if out.term(&rule.consequent.term).is_none() {
+            return Err(FuzzyError::UnknownTerm {
+                variable: rule.consequent.variable.clone(),
+                term: rule.consequent.term.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Run one full controller cycle.
+    ///
+    /// `measurements` supplies a crisp value per input variable; every input
+    /// referenced by at least one rule must be measured. The result holds one
+    /// crisp value per *declared* output variable (variables no rule fired
+    /// for defuzzify to the left edge of their universe, i.e. 0 for
+    /// applicability outputs).
+    pub fn run<'a, M>(&self, measurements: M) -> Result<Outputs, FuzzyError>
+    where
+        M: IntoIterator<Item = (&'a str, f64)>,
+    {
+        let detailed = self.run_detailed(measurements)?;
+        Ok(detailed.outputs)
+    }
+
+    /// Like [`Engine::run`], but also returns the aggregated fuzzy sets and
+    /// rule truths — used by the AutoGlobe controller console to explain
+    /// decisions to the administrator.
+    pub fn run_detailed<'a, M>(&self, measurements: M) -> Result<DetailedOutputs, FuzzyError>
+    where
+        M: IntoIterator<Item = (&'a str, f64)>,
+    {
+        // 1. Fuzzification of every supplied measurement.
+        let mut grades: HashMap<(String, String), Truth> = HashMap::new();
+        let mut measured: HashMap<&str, f64> = HashMap::new();
+        for (name, value) in measurements {
+            let var = self
+                .inputs
+                .get(name)
+                .ok_or_else(|| FuzzyError::UnknownVariable { name: name.into() })?;
+            measured.insert(name, value);
+            for (term, grade) in var.fuzzify_named(value) {
+                grades.insert((name.to_string(), term.to_string()), grade);
+            }
+        }
+        // Every input a rule references must have been measured.
+        for var_name in self.rules.input_variables() {
+            if !measured.contains_key(var_name) {
+                return Err(FuzzyError::MissingMeasurement {
+                    name: var_name.to_string(),
+                });
+            }
+        }
+
+        // 2. + 3. Inference.
+        let cfg = InferenceConfig {
+            method: self.config.inference,
+            resolution: self.config.resolution,
+        };
+        let mut results = infer(&self.rules, &grades, &self.outputs, cfg)?;
+
+        // 4. Defuzzification — every declared output gets a crisp value.
+        let mut values = HashMap::with_capacity(self.outputs.len());
+        for (name, var) in &self.outputs {
+            let crisp = match results.get(name) {
+                Some(r) => self.config.defuzzifier.defuzzify(&r.set),
+                None => var.range().0,
+            };
+            values.insert(name.clone(), crisp);
+        }
+        Ok(DetailedOutputs {
+            outputs: Outputs { values },
+            inference: std::mem::take(&mut results),
+        })
+    }
+}
+
+fn validate_terms(
+    ant: &crate::rule::Antecedent,
+    var_name: &str,
+    var: &LinguisticVariable,
+) -> Result<(), FuzzyError> {
+    use crate::rule::Antecedent::*;
+    match ant {
+        Is { variable, term } => {
+            if variable == var_name && var.term(term).is_none() {
+                return Err(FuzzyError::UnknownTerm {
+                    variable: variable.clone(),
+                    term: term.clone(),
+                });
+            }
+            Ok(())
+        }
+        And(a, b) | Or(a, b) => {
+            validate_terms(a, var_name, var)?;
+            validate_terms(b, var_name, var)
+        }
+        Not(a) => validate_terms(a, var_name, var),
+    }
+}
+
+/// The full result of [`Engine::run_detailed`].
+#[derive(Debug, Clone)]
+pub struct DetailedOutputs {
+    /// The crisp values.
+    pub outputs: Outputs,
+    /// Per-output aggregated fuzzy sets and rule truths.
+    pub inference: HashMap<String, InferenceResult>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::membership::MembershipFunction;
+    use crate::variable::{load_variable, LinguisticVariable};
+
+    fn paper_engine() -> Engine {
+        let mut e = Engine::new();
+        e.add_input(load_variable("cpuLoad"));
+        e.add_input(
+            LinguisticVariable::builder("performanceIndex")
+                .range(0.0, 10.0)
+                .term("low", MembershipFunction::trapezoid(0.0, 0.0, 1.0, 3.0))
+                .term("medium", MembershipFunction::trapezoid(1.0, 3.0, 5.0, 7.0))
+                .term("high", MembershipFunction::trapezoid(5.0, 7.0, 10.0, 10.0))
+                .build()
+                .unwrap(),
+        );
+        e.add_output(LinguisticVariable::applicability("scaleUp"));
+        e.add_output(LinguisticVariable::applicability("scaleOut"));
+        e.add_rule_str(
+            "IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) \
+             THEN scaleUp IS applicable",
+        )
+        .unwrap();
+        e.add_rule_str(
+            "IF cpuLoad IS high AND performanceIndex IS high THEN scaleOut IS applicable",
+        )
+        .unwrap();
+        e
+    }
+
+    /// Find a perf-index whose grades equal the paper's example
+    /// (μ_low = 0, μ_medium = 0.6, μ_high = 0.3): our knots give
+    /// μ_medium(x) = (7 − x)/2 and μ_high(x) = (x − 5)/2 on [5, 7], so
+    /// x = 5.8 yields (0.6, 0.4)… instead we use the knots to solve exactly:
+    /// need μ_medium = 0.6 → x = 5.8; μ_high(5.8) = 0.4 ≠ 0.3. The paper's
+    /// grades are hypothetical ("We assume for this example…"), so the test
+    /// fixes them by direct construction instead — see
+    /// `inference::tests::paper_worked_example_clips_at_0_6_and_0_3` for the
+    /// exact-grade variant. Here we assert end-to-end behaviour: scale-up
+    /// must beat scale-out whenever medium dominates high.
+    #[test]
+    fn end_to_end_scale_up_preferred_on_weak_host() {
+        let e = paper_engine();
+        let out = e.run([("cpuLoad", 0.9), ("performanceIndex", 1.0)]).unwrap();
+        assert!(out["scaleUp"] > 0.7, "weak host → scale-up strongly applicable");
+        assert_eq!(out["scaleOut"], 0.0, "weak host → no scale-out");
+    }
+
+    #[test]
+    fn end_to_end_scale_out_preferred_on_strong_host() {
+        let e = paper_engine();
+        let out = e.run([("cpuLoad", 0.9), ("performanceIndex", 9.0)]).unwrap();
+        assert!(out["scaleOut"] > 0.7, "strong host → scale-out");
+        assert_eq!(out["scaleUp"], 0.0);
+    }
+
+    #[test]
+    fn mixed_host_produces_paper_ordering() {
+        // perf index 5.8: μ_medium = 0.6, μ_high = 0.4 → scaleUp 0.6, scaleOut 0.4.
+        let e = paper_engine();
+        let out = e.run([("cpuLoad", 0.9), ("performanceIndex", 5.8)]).unwrap();
+        assert!((out["scaleUp"] - 0.6).abs() < 2e-3);
+        assert!((out["scaleOut"] - 0.4).abs() < 2e-3);
+        let ranked = out.ranked();
+        assert_eq!(ranked[0].0, "scaleUp");
+        assert_eq!(ranked[1].0, "scaleOut");
+    }
+
+    #[test]
+    fn unfired_outputs_defuzzify_to_zero() {
+        let e = paper_engine();
+        let out = e.run([("cpuLoad", 0.1), ("performanceIndex", 5.0)]).unwrap();
+        assert_eq!(out["scaleUp"], 0.0);
+        assert_eq!(out["scaleOut"], 0.0);
+        assert_eq!(out.len(), 2);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn missing_measurement_is_reported() {
+        let e = paper_engine();
+        let err = e.run([("cpuLoad", 0.9)]).unwrap_err();
+        assert!(matches!(err, FuzzyError::MissingMeasurement { .. }));
+    }
+
+    #[test]
+    fn unknown_measurement_is_reported() {
+        let e = paper_engine();
+        let err = e
+            .run([("cpuLoad", 0.9), ("bogusVariable", 1.0)])
+            .unwrap_err();
+        assert!(matches!(err, FuzzyError::UnknownVariable { .. }));
+    }
+
+    #[test]
+    fn rules_referencing_unknown_entities_are_rejected_at_add_time() {
+        let mut e = paper_engine();
+        assert!(e.add_rule_str("IF bogus IS high THEN scaleUp IS applicable").is_err());
+        assert!(e.add_rule_str("IF cpuLoad IS gigantic THEN scaleUp IS applicable").is_err());
+        assert!(e.add_rule_str("IF cpuLoad IS high THEN bogus IS applicable").is_err());
+        assert!(e.add_rule_str("IF cpuLoad IS high THEN scaleUp IS bogus").is_err());
+    }
+
+    #[test]
+    fn role_mismatch_is_rejected() {
+        let mut e = paper_engine();
+        // Output used as input.
+        assert!(matches!(
+            e.add_rule_str("IF scaleUp IS applicable THEN scaleOut IS applicable"),
+            Err(FuzzyError::VariableRoleMismatch { .. })
+        ));
+        // Input used as output.
+        assert!(matches!(
+            e.add_rule_str("IF cpuLoad IS high THEN cpuLoad IS high"),
+            Err(FuzzyError::VariableRoleMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_variables_are_rejected() {
+        let mut e = paper_engine();
+        assert!(e.try_add_input(load_variable("cpuLoad")).is_err());
+        assert!(e.try_add_output(LinguisticVariable::applicability("scaleUp")).is_err());
+        assert!(e.try_add_output(LinguisticVariable::applicability("cpuLoad")).is_err());
+    }
+
+    #[test]
+    fn detailed_run_exposes_rule_truths() {
+        let e = paper_engine();
+        let detail = e
+            .run_detailed([("cpuLoad", 0.9), ("performanceIndex", 1.0)])
+            .unwrap();
+        let up = &detail.inference["scaleUp"];
+        assert_eq!(up.rule_truths.len(), 1);
+        assert!(up.rule_truths[0] > 0.7);
+    }
+
+    #[test]
+    fn ranked_is_deterministic_on_ties() {
+        let mut e = Engine::new();
+        e.add_input(load_variable("x"));
+        e.add_output(LinguisticVariable::applicability("b"));
+        e.add_output(LinguisticVariable::applicability("a"));
+        e.add_rule_str("IF x IS high THEN a IS applicable").unwrap();
+        e.add_rule_str("IF x IS high THEN b IS applicable").unwrap();
+        let out = e.run([("x", 1.0)]).unwrap();
+        let ranked = out.ranked();
+        assert_eq!(ranked[0].0, "a");
+        assert_eq!(ranked[1].0, "b");
+    }
+
+    #[test]
+    fn variable_lookup_spans_inputs_and_outputs() {
+        let e = paper_engine();
+        assert!(e.variable("cpuLoad").is_some());
+        assert!(e.variable("scaleUp").is_some());
+        assert!(e.variable("none").is_none());
+        assert_eq!(e.inputs().count(), 2);
+        assert_eq!(e.outputs().count(), 2);
+        assert_eq!(e.rules().len(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Error type shared by all fuzzy-engine operations.
+
+use std::fmt;
+
+/// Errors raised while building or evaluating a fuzzy controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuzzyError {
+    /// A rule or measurement referenced a variable the engine does not know.
+    UnknownVariable {
+        /// Name of the missing variable.
+        name: String,
+    },
+    /// A rule referenced a term that is not defined on its variable.
+    UnknownTerm {
+        /// Variable the term was looked up on.
+        variable: String,
+        /// Name of the missing term.
+        term: String,
+    },
+    /// A variable was declared twice (as input or output).
+    DuplicateVariable {
+        /// Name of the duplicated variable.
+        name: String,
+    },
+    /// A term was declared twice on the same variable.
+    DuplicateTerm {
+        /// Variable carrying the duplicate.
+        variable: String,
+        /// Name of the duplicated term.
+        term: String,
+    },
+    /// A membership function was constructed with invalid parameters
+    /// (e.g. a trapezoid whose knots are not monotonically non-decreasing).
+    InvalidMembership {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A variable was declared with an empty or inverted universe of
+    /// discourse, or without any terms.
+    InvalidVariable {
+        /// Name of the offending variable.
+        name: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The rule DSL failed to parse.
+    Parse {
+        /// Byte offset into the rule text where the problem was detected.
+        position: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// `Engine::run` was invoked without a measurement for an input variable
+    /// that at least one rule depends on.
+    MissingMeasurement {
+        /// Name of the unmeasured variable.
+        name: String,
+    },
+    /// A rule used an input variable in its consequent or an output variable
+    /// in its antecedent.
+    VariableRoleMismatch {
+        /// Name of the misused variable.
+        name: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FuzzyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuzzyError::UnknownVariable { name } => {
+                write!(f, "unknown linguistic variable `{name}`")
+            }
+            FuzzyError::UnknownTerm { variable, term } => {
+                write!(f, "variable `{variable}` has no term `{term}`")
+            }
+            FuzzyError::DuplicateVariable { name } => {
+                write!(f, "linguistic variable `{name}` declared twice")
+            }
+            FuzzyError::DuplicateTerm { variable, term } => {
+                write!(f, "term `{term}` declared twice on variable `{variable}`")
+            }
+            FuzzyError::InvalidMembership { reason } => {
+                write!(f, "invalid membership function: {reason}")
+            }
+            FuzzyError::InvalidVariable { name, reason } => {
+                write!(f, "invalid linguistic variable `{name}`: {reason}")
+            }
+            FuzzyError::Parse { position, message } => {
+                write!(f, "rule parse error at byte {position}: {message}")
+            }
+            FuzzyError::MissingMeasurement { name } => {
+                write!(f, "no measurement supplied for input variable `{name}`")
+            }
+            FuzzyError::VariableRoleMismatch { name, reason } => {
+                write!(f, "variable `{name}` used in the wrong role: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FuzzyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let cases: Vec<(FuzzyError, &str)> = vec![
+            (
+                FuzzyError::UnknownVariable { name: "x".into() },
+                "unknown linguistic variable `x`",
+            ),
+            (
+                FuzzyError::UnknownTerm {
+                    variable: "cpuLoad".into(),
+                    term: "gigantic".into(),
+                },
+                "variable `cpuLoad` has no term `gigantic`",
+            ),
+            (
+                FuzzyError::Parse {
+                    position: 7,
+                    message: "expected IS".into(),
+                },
+                "rule parse error at byte 7: expected IS",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(FuzzyError::UnknownVariable { name: "v".into() });
+    }
+}

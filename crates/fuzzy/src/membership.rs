@@ -1,0 +1,348 @@
+//! Membership functions mapping crisp values to truth values.
+//!
+//! The paper's controller uses trapezoid membership functions (Figure 3). We
+//! additionally provide triangles (degenerate trapezoids), left/right
+//! shoulders (half-open trapezoids saturating at the universe edge),
+//! singletons and arbitrary piecewise-linear functions, which are useful when
+//! writing custom rule bases for the server-selection controller.
+
+use crate::{clamp01, FuzzyError, Truth};
+
+/// A membership function `μ : ℝ → [0, 1]`.
+///
+/// All variants evaluate in constant time except [`MembershipFunction::Piecewise`],
+/// which is `O(log n)` in the number of knots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MembershipFunction {
+    /// Classic trapezoid with feet `a ≤ b ≤ c ≤ d`; 0 outside `[a, d]`,
+    /// 1 on `[b, c]`, linear in between. A triangle is the `b == c` case.
+    Trapezoid {
+        /// Left foot (μ = 0 left of this).
+        a: f64,
+        /// Left shoulder (μ = 1 from here).
+        b: f64,
+        /// Right shoulder (μ = 1 until here).
+        c: f64,
+        /// Right foot (μ = 0 right of this).
+        d: f64,
+    },
+    /// `1` left of `b`, falling linearly to `0` at `c` — the "low" end of a
+    /// universe. Equivalent to `Trapezoid { a: -∞, b: -∞, c: b, d: c }`.
+    LeftShoulder {
+        /// Point up to which μ = 1.
+        b: f64,
+        /// Point from which μ = 0.
+        c: f64,
+    },
+    /// `0` left of `a`, rising linearly to `1` at `b`, then `1` — the "high"
+    /// end of a universe.
+    RightShoulder {
+        /// Point up to which μ = 0.
+        a: f64,
+        /// Point from which μ = 1.
+        b: f64,
+    },
+    /// `1` exactly at `at` (within `tolerance`), `0` elsewhere. Useful for
+    /// integer-valued variables such as instance counts.
+    Singleton {
+        /// The single supported value.
+        at: f64,
+        /// Half-width of the support interval.
+        tolerance: f64,
+    },
+    /// Arbitrary piecewise-linear function given by `(x, μ(x))` knots sorted
+    /// by `x`. Values outside the knot range take the first/last knot's value.
+    Piecewise {
+        /// Knots sorted strictly ascending in `x`, with `μ` in `[0, 1]`.
+        knots: Vec<(f64, f64)>,
+    },
+}
+
+impl MembershipFunction {
+    /// Construct a trapezoid, validating `a ≤ b ≤ c ≤ d`.
+    ///
+    /// # Panics
+    /// Panics if the knots are not monotonically non-decreasing or not finite.
+    /// Use [`MembershipFunction::try_trapezoid`] for a fallible version.
+    pub fn trapezoid(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Self::try_trapezoid(a, b, c, d).expect("invalid trapezoid")
+    }
+
+    /// Construct a trapezoid, validating `a ≤ b ≤ c ≤ d`.
+    pub fn try_trapezoid(a: f64, b: f64, c: f64, d: f64) -> Result<Self, FuzzyError> {
+        if !(a.is_finite() && b.is_finite() && c.is_finite() && d.is_finite()) {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("trapezoid knots must be finite, got ({a}, {b}, {c}, {d})"),
+            });
+        }
+        if !(a <= b && b <= c && c <= d) {
+            return Err(FuzzyError::InvalidMembership {
+                reason: format!("trapezoid knots must satisfy a ≤ b ≤ c ≤ d, got ({a}, {b}, {c}, {d})"),
+            });
+        }
+        Ok(MembershipFunction::Trapezoid { a, b, c, d })
+    }
+
+    /// Construct a triangle (a trapezoid with a single peak).
+    pub fn triangle(a: f64, peak: f64, d: f64) -> Self {
+        Self::trapezoid(a, peak, peak, d)
+    }
+
+    /// Construct a left shoulder (μ = 1 for x ≤ b, μ = 0 for x ≥ c).
+    ///
+    /// # Panics
+    /// Panics if `b > c` or the parameters are not finite.
+    pub fn left_shoulder(b: f64, c: f64) -> Self {
+        assert!(
+            b.is_finite() && c.is_finite() && b <= c,
+            "left shoulder requires finite b ≤ c, got ({b}, {c})"
+        );
+        MembershipFunction::LeftShoulder { b, c }
+    }
+
+    /// Construct a right shoulder (μ = 0 for x ≤ a, μ = 1 for x ≥ b).
+    ///
+    /// # Panics
+    /// Panics if `a > b` or the parameters are not finite.
+    pub fn right_shoulder(a: f64, b: f64) -> Self {
+        assert!(
+            a.is_finite() && b.is_finite() && a <= b,
+            "right shoulder requires finite a ≤ b, got ({a}, {b})"
+        );
+        MembershipFunction::RightShoulder { a, b }
+    }
+
+    /// Construct a singleton at `at` with the given half-width tolerance.
+    ///
+    /// # Panics
+    /// Panics if `tolerance` is negative or the parameters are not finite.
+    pub fn singleton(at: f64, tolerance: f64) -> Self {
+        assert!(
+            at.is_finite() && tolerance.is_finite() && tolerance >= 0.0,
+            "singleton requires finite at and non-negative tolerance"
+        );
+        MembershipFunction::Singleton { at, tolerance }
+    }
+
+    /// Construct a piecewise-linear membership function from `(x, μ)` knots.
+    pub fn piecewise(knots: Vec<(f64, f64)>) -> Result<Self, FuzzyError> {
+        if knots.is_empty() {
+            return Err(FuzzyError::InvalidMembership {
+                reason: "piecewise membership needs at least one knot".into(),
+            });
+        }
+        for w in knots.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(FuzzyError::InvalidMembership {
+                    reason: format!(
+                        "piecewise knots must be strictly ascending in x, got {} then {}",
+                        w[0].0, w[1].0
+                    ),
+                });
+            }
+        }
+        for &(x, mu) in &knots {
+            if !x.is_finite() || !mu.is_finite() || !(0.0..=1.0).contains(&mu) {
+                return Err(FuzzyError::InvalidMembership {
+                    reason: format!("piecewise knot ({x}, {mu}) out of range"),
+                });
+            }
+        }
+        Ok(MembershipFunction::Piecewise { knots })
+    }
+
+    /// Evaluate the membership grade `μ(x)`.
+    pub fn eval(&self, x: f64) -> Truth {
+        match *self {
+            MembershipFunction::Trapezoid { a, b, c, d } => {
+                if x < a || x > d {
+                    0.0
+                } else if x < b {
+                    // Rising edge. a < b here because x ∈ [a, b) is non-empty.
+                    (x - a) / (b - a)
+                } else if x <= c {
+                    1.0
+                } else {
+                    // Falling edge; c < d because x ∈ (c, d] is non-empty.
+                    (d - x) / (d - c)
+                }
+            }
+            MembershipFunction::LeftShoulder { b, c } => {
+                if x <= b {
+                    1.0
+                } else if x >= c {
+                    0.0
+                } else {
+                    (c - x) / (c - b)
+                }
+            }
+            MembershipFunction::RightShoulder { a, b } => {
+                if x <= a {
+                    0.0
+                } else if x >= b {
+                    1.0
+                } else {
+                    (x - a) / (b - a)
+                }
+            }
+            MembershipFunction::Singleton { at, tolerance } => {
+                if (x - at).abs() <= tolerance {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            MembershipFunction::Piecewise { ref knots } => {
+                if x <= knots[0].0 {
+                    return knots[0].1;
+                }
+                if x >= knots[knots.len() - 1].0 {
+                    return knots[knots.len() - 1].1;
+                }
+                // Binary search for the segment containing x.
+                let idx = knots.partition_point(|&(kx, _)| kx <= x);
+                let (x0, y0) = knots[idx - 1];
+                let (x1, y1) = knots[idx];
+                y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+            }
+        }
+        .pipe_clamp()
+    }
+
+    /// The support interval `[lo, hi]` outside which μ is identically 0
+    /// (`None` for shoulders, whose support is half-open towards ±∞).
+    pub fn support(&self) -> Option<(f64, f64)> {
+        match *self {
+            MembershipFunction::Trapezoid { a, d, .. } => Some((a, d)),
+            MembershipFunction::Singleton { at, tolerance } => Some((at - tolerance, at + tolerance)),
+            MembershipFunction::Piecewise { ref knots } => {
+                Some((knots[0].0, knots[knots.len() - 1].0))
+            }
+            MembershipFunction::LeftShoulder { .. } | MembershipFunction::RightShoulder { .. } => {
+                None
+            }
+        }
+    }
+}
+
+trait PipeClamp {
+    fn pipe_clamp(self) -> f64;
+}
+impl PipeClamp for f64 {
+    #[inline]
+    fn pipe_clamp(self) -> f64 {
+        clamp01(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn trapezoid_matches_paper_figure_3() {
+        // Figure 3 of the paper: at l = 0.6, μ_medium = 0.5 and μ_high = 0.2.
+        let medium = MembershipFunction::trapezoid(0.2, 0.4, 0.5, 0.7);
+        let high = MembershipFunction::trapezoid(0.5, 1.0, 1.0, 1.0);
+        assert!(close(medium.eval(0.6), 0.5));
+        assert!(close(high.eval(0.6), 0.2));
+    }
+
+    #[test]
+    fn trapezoid_core_and_feet() {
+        let t = MembershipFunction::trapezoid(0.0, 1.0, 2.0, 4.0);
+        assert!(close(t.eval(-1.0), 0.0));
+        assert!(close(t.eval(0.0), 0.0));
+        assert!(close(t.eval(0.5), 0.5));
+        assert!(close(t.eval(1.0), 1.0));
+        assert!(close(t.eval(1.5), 1.0));
+        assert!(close(t.eval(2.0), 1.0));
+        assert!(close(t.eval(3.0), 0.5));
+        assert!(close(t.eval(4.0), 0.0));
+        assert!(close(t.eval(5.0), 0.0));
+    }
+
+    #[test]
+    fn triangle_is_degenerate_trapezoid() {
+        let t = MembershipFunction::triangle(0.0, 1.0, 2.0);
+        assert!(close(t.eval(1.0), 1.0));
+        assert!(close(t.eval(0.5), 0.5));
+        assert!(close(t.eval(1.5), 0.5));
+    }
+
+    #[test]
+    fn degenerate_trapezoid_with_vertical_edges() {
+        // a == b and c == d: a crisp interval indicator.
+        let t = MembershipFunction::trapezoid(0.25, 0.25, 0.75, 0.75);
+        assert!(close(t.eval(0.25), 1.0));
+        assert!(close(t.eval(0.5), 1.0));
+        assert!(close(t.eval(0.75), 1.0));
+        assert!(close(t.eval(0.2499), 0.0));
+        assert!(close(t.eval(0.7501), 0.0));
+    }
+
+    #[test]
+    fn invalid_trapezoid_is_rejected() {
+        assert!(MembershipFunction::try_trapezoid(1.0, 0.5, 2.0, 3.0).is_err());
+        assert!(MembershipFunction::try_trapezoid(0.0, f64::NAN, 1.0, 2.0).is_err());
+        assert!(MembershipFunction::try_trapezoid(0.0, 0.5, 2.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn shoulders_saturate() {
+        let low = MembershipFunction::left_shoulder(0.2, 0.4);
+        assert!(close(low.eval(0.0), 1.0));
+        assert!(close(low.eval(0.2), 1.0));
+        assert!(close(low.eval(0.3), 0.5));
+        assert!(close(low.eval(0.4), 0.0));
+        assert!(close(low.eval(0.9), 0.0));
+
+        let high = MembershipFunction::right_shoulder(0.6, 0.8);
+        assert!(close(high.eval(0.5), 0.0));
+        assert!(close(high.eval(0.7), 0.5));
+        assert!(close(high.eval(0.8), 1.0));
+        assert!(close(high.eval(1.0), 1.0));
+    }
+
+    #[test]
+    fn singleton_hits_only_its_point() {
+        let s = MembershipFunction::singleton(3.0, 0.0);
+        assert!(close(s.eval(3.0), 1.0));
+        assert!(close(s.eval(3.0001), 0.0));
+        let tol = MembershipFunction::singleton(3.0, 0.5);
+        assert!(close(tol.eval(3.4), 1.0));
+        assert!(close(tol.eval(3.6), 0.0));
+    }
+
+    #[test]
+    fn piecewise_interpolates_and_extends() {
+        let p = MembershipFunction::piecewise(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.25)]).unwrap();
+        assert!(close(p.eval(-5.0), 0.0));
+        assert!(close(p.eval(0.5), 0.5));
+        assert!(close(p.eval(1.5), 0.625));
+        assert!(close(p.eval(9.0), 0.25));
+    }
+
+    #[test]
+    fn piecewise_rejects_bad_knots() {
+        assert!(MembershipFunction::piecewise(vec![]).is_err());
+        assert!(MembershipFunction::piecewise(vec![(0.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(MembershipFunction::piecewise(vec![(0.0, 1.5)]).is_err());
+        assert!(MembershipFunction::piecewise(vec![(1.0, 0.5), (0.0, 0.5)]).is_err());
+    }
+
+    #[test]
+    fn support_reports_zero_region() {
+        let t = MembershipFunction::trapezoid(0.1, 0.2, 0.3, 0.4);
+        assert_eq!(t.support(), Some((0.1, 0.4)));
+        assert_eq!(MembershipFunction::left_shoulder(0.0, 1.0).support(), None);
+        assert_eq!(
+            MembershipFunction::singleton(2.0, 0.25).support(),
+            Some((1.75, 2.25))
+        );
+    }
+}

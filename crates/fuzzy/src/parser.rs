@@ -1,0 +1,438 @@
+//! Text DSL for fuzzy rules.
+//!
+//! The grammar mirrors the notation used throughout the paper:
+//!
+//! ```text
+//! rule       := "IF" or_expr "THEN" ident "IS" ident [ "WITH" number ]
+//! or_expr    := and_expr { "OR" and_expr }
+//! and_expr   := not_expr { "AND" not_expr }
+//! not_expr   := "NOT" not_expr | atom
+//! atom       := "(" or_expr ")" | ident "IS" ident
+//! ident      := [A-Za-z_][A-Za-z0-9_.-]*
+//! number     := decimal literal in [0, 1]
+//! ```
+//!
+//! Keywords (`IF`, `THEN`, `IS`, `AND`, `OR`, `NOT`, `WITH`) are
+//! case-insensitive; identifiers are case-sensitive (the paper writes
+//! `cpuLoad`, `scaleUp`, …). `AND` binds tighter than `OR`, matching both
+//! intuition and the parenthesization in the paper's sample rules. Line
+//! comments start with `#`. [`parse_rules`] reads a whole rule base: one rule
+//! per non-empty statement, statements separated by `;` or newlines (a rule
+//! may span lines until it is syntactically complete, so multi-line rules as
+//! printed in the paper parse too).
+
+use crate::error::FuzzyError;
+use crate::rule::{Antecedent, Rule, RuleBase};
+
+/// Token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    If,
+    Then,
+    Is,
+    And,
+    Or,
+    Not,
+    With,
+    LParen,
+    RParen,
+    Ident(String),
+    Number(f64),
+}
+
+/// A token plus the byte offset where it starts (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+struct Spanned {
+    tok: Tok,
+    pos: usize,
+}
+
+fn lex(input: &str) -> Result<Vec<Spanned>, FuzzyError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '#' {
+            // Line comment.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '(' {
+            toks.push(Spanned { tok: Tok::LParen, pos: i });
+            i += 1;
+            continue;
+        }
+        if c == ')' {
+            toks.push(Spanned { tok: Tok::RParen, pos: i });
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() || c == '.' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                i += 1;
+            }
+            let text = &input[start..i];
+            let value: f64 = text.parse().map_err(|_| FuzzyError::Parse {
+                position: start,
+                message: format!("invalid number literal `{text}`"),
+            })?;
+            toks.push(Spanned { tok: Tok::Number(value), pos: start });
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() {
+                let b = bytes[i] as char;
+                if b.is_ascii_alphanumeric() || b == '_' || b == '.' || b == '-' {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let word = &input[start..i];
+            let tok = match word.to_ascii_uppercase().as_str() {
+                "IF" => Tok::If,
+                "THEN" => Tok::Then,
+                "IS" => Tok::Is,
+                "AND" => Tok::And,
+                "OR" => Tok::Or,
+                "NOT" => Tok::Not,
+                "WITH" => Tok::With,
+                _ => Tok::Ident(word.to_string()),
+            };
+            toks.push(Spanned { tok, pos: start });
+            continue;
+        }
+        return Err(FuzzyError::Parse {
+            position: i,
+            message: format!("unexpected character `{c}`"),
+        });
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    idx: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.idx).map(|s| &s.tok)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.idx)
+            .map(|s| s.pos)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.idx).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Tok, what: &str) -> Result<(), FuzzyError> {
+        let pos = self.pos();
+        match self.bump() {
+            Some(ref t) if t == expected => Ok(()),
+            other => Err(FuzzyError::Parse {
+                position: pos,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, FuzzyError> {
+        let pos = self.pos();
+        match self.bump() {
+            Some(Tok::Ident(name)) => Ok(name),
+            other => Err(FuzzyError::Parse {
+                position: pos,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, FuzzyError> {
+        self.expect(&Tok::If, "IF")?;
+        let antecedent = self.parse_or()?;
+        self.expect(&Tok::Then, "THEN")?;
+        let variable = self.expect_ident("output variable name")?;
+        self.expect(&Tok::Is, "IS")?;
+        let term = self.expect_ident("output term name")?;
+        let mut rule = Rule::new(antecedent, variable, term);
+        if self.peek() == Some(&Tok::With) {
+            self.bump();
+            let pos = self.pos();
+            match self.bump() {
+                Some(Tok::Number(w)) if (0.0..=1.0).contains(&w) => {
+                    rule = rule.with_weight(w);
+                }
+                other => {
+                    return Err(FuzzyError::Parse {
+                        position: pos,
+                        message: format!("expected weight in [0, 1] after WITH, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(rule)
+    }
+
+    fn parse_or(&mut self) -> Result<Antecedent, FuzzyError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.bump();
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Antecedent, FuzzyError> {
+        let mut left = self.parse_not()?;
+        while self.peek() == Some(&Tok::And) {
+            self.bump();
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Antecedent, FuzzyError> {
+        if self.peek() == Some(&Tok::Not) {
+            self.bump();
+            Ok(self.parse_not()?.not())
+        } else {
+            self.parse_atom()
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Antecedent, FuzzyError> {
+        if self.peek() == Some(&Tok::LParen) {
+            self.bump();
+            let inner = self.parse_or()?;
+            self.expect(&Tok::RParen, "closing parenthesis")?;
+            return Ok(inner);
+        }
+        let variable = self.expect_ident("input variable name")?;
+        self.expect(&Tok::Is, "IS")?;
+        let term = self.expect_ident("term name")?;
+        Ok(Antecedent::is(variable, term))
+    }
+}
+
+/// Parse a single rule from text.
+///
+/// ```
+/// use autoglobe_fuzzy::parse_rule;
+/// let rule = parse_rule(
+///     "IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) \
+///      THEN scaleUp IS applicable",
+/// )
+/// .unwrap();
+/// assert_eq!(rule.consequent.variable, "scaleUp");
+/// ```
+pub fn parse_rule(input: &str) -> Result<Rule, FuzzyError> {
+    let toks = lex(input)?;
+    let mut parser = Parser {
+        toks,
+        idx: 0,
+        input_len: input.len(),
+    };
+    let rule = parser.parse_rule()?;
+    if parser.idx != parser.toks.len() {
+        return Err(FuzzyError::Parse {
+            position: parser.pos(),
+            message: "trailing input after rule".into(),
+        });
+    }
+    Ok(rule)
+}
+
+/// Parse a whole rule base. Statements end at a `;` or at the end of input;
+/// a rule may span multiple lines. Empty statements and `#` comments are
+/// ignored.
+pub fn parse_rules(input: &str) -> Result<RuleBase, FuzzyError> {
+    let toks = lex(input)?;
+    let mut parser = Parser {
+        toks,
+        idx: 0,
+        input_len: input.len(),
+    };
+    let mut base = RuleBase::new();
+    while parser.idx < parser.toks.len() {
+        base.push(parser.parse_rule()?);
+        // Each rule must be directly followed by the next IF; the grammar is
+        // prefix-free so an explicit separator is unnecessary, but we accept
+        // the text as-is: the next token must be IF or end of input.
+        if let Some(tok) = parser.peek() {
+            if *tok != Tok::If {
+                return Err(FuzzyError::Parse {
+                    position: parser.pos(),
+                    message: format!("expected start of next rule (IF), found {tok:?}"),
+                });
+            }
+        }
+    }
+    Ok(base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Antecedent;
+
+    #[test]
+    fn parses_paper_sample_rule_one() {
+        let r = parse_rule(
+            "IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) \
+             THEN scaleUp IS applicable",
+        )
+        .unwrap();
+        let expected = Antecedent::is("cpuLoad", "high").and(
+            Antecedent::is("performanceIndex", "low")
+                .or(Antecedent::is("performanceIndex", "medium")),
+        );
+        assert_eq!(r.antecedent, expected);
+        assert_eq!(r.consequent.variable, "scaleUp");
+        assert_eq!(r.consequent.term, "applicable");
+        assert_eq!(r.weight, 1.0);
+    }
+
+    #[test]
+    fn parses_paper_sample_rule_two() {
+        let r = parse_rule(
+            "IF cpuLoad IS high AND performanceIndex IS high THEN scaleOut IS applicable",
+        )
+        .unwrap();
+        assert_eq!(r.consequent.variable, "scaleOut");
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let r = parse_rule("IF a IS x OR b IS y AND c IS z THEN o IS applicable").unwrap();
+        // Must parse as a OR (b AND c).
+        let expected =
+            Antecedent::is("a", "x").or(Antecedent::is("b", "y").and(Antecedent::is("c", "z")));
+        assert_eq!(r.antecedent, expected);
+    }
+
+    #[test]
+    fn not_and_nesting() {
+        let r = parse_rule("IF NOT (a IS x AND NOT b IS y) THEN o IS applicable").unwrap();
+        let expected = Antecedent::is("a", "x")
+            .and(Antecedent::is("b", "y").not())
+            .not();
+        assert_eq!(r.antecedent, expected);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let r = parse_rule("if cpuLoad is high then scaleUp is applicable").unwrap();
+        assert_eq!(r.consequent.variable, "scaleUp");
+    }
+
+    #[test]
+    fn identifiers_are_case_sensitive() {
+        let r = parse_rule("IF CpuLoad IS High THEN o IS applicable").unwrap();
+        match &r.antecedent {
+            Antecedent::Is { variable, term } => {
+                assert_eq!(variable, "CpuLoad");
+                assert_eq!(term, "High");
+            }
+            other => panic!("unexpected antecedent {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_weight() {
+        let r = parse_rule("IF a IS x THEN o IS applicable WITH 0.5").unwrap();
+        assert_eq!(r.weight, 0.5);
+        assert!(parse_rule("IF a IS x THEN o IS applicable WITH 1.5").is_err());
+        assert!(parse_rule("IF a IS x THEN o IS applicable WITH abc").is_err());
+    }
+
+    #[test]
+    fn comments_and_multiline_rules() {
+        let base = parse_rules(
+            "# overload handling\n\
+             IF cpuLoad IS high\n   AND performanceIndex IS high\nTHEN scaleOut IS applicable\n\
+             # idle handling\n\
+             IF cpuLoad IS low THEN scaleIn IS applicable\n",
+        )
+        .unwrap();
+        assert_eq!(base.len(), 2);
+    }
+
+    #[test]
+    fn parse_rules_reports_garbage_between_rules() {
+        let err = parse_rules("IF a IS x THEN o IS applicable garbage IF b IS y THEN o IS applicable");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn error_positions_are_plausible() {
+        let err = parse_rule("IF a IS THEN o IS applicable").unwrap_err();
+        match err {
+            FuzzyError::Parse { position, .. } => assert!(position >= 8),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        assert!(parse_rule("IF a IS x THEN o IS applicable @").is_err());
+        assert!(parse_rule("IF a % x THEN o IS applicable").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_truncated_input() {
+        assert!(parse_rule("").is_err());
+        assert!(parse_rule("IF").is_err());
+        assert!(parse_rule("IF a IS x").is_err());
+        assert!(parse_rule("IF a IS x THEN").is_err());
+        assert!(parse_rule("IF a IS x THEN o").is_err());
+        assert!(parse_rule("IF a IS x THEN o IS").is_err());
+    }
+
+    #[test]
+    fn unbalanced_parens_are_rejected() {
+        assert!(parse_rule("IF (a IS x THEN o IS applicable").is_err());
+        assert!(parse_rule("IF a IS x) THEN o IS applicable").is_err());
+    }
+
+    #[test]
+    fn display_output_reparses_to_same_ast() {
+        let original = parse_rule(
+            "IF NOT cpuLoad IS low AND (memLoad IS high OR swapSpace IS low) \
+             THEN scaleUp IS applicable WITH 0.75",
+        )
+        .unwrap();
+        let reparsed = parse_rule(&original.to_string()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+
+    #[test]
+    fn identifier_charset_allows_dots_and_dashes() {
+        let r = parse_rule("IF db.cpu-load IS high THEN o IS applicable").unwrap();
+        match &r.antecedent {
+            Antecedent::Is { variable, .. } => assert_eq!(variable, "db.cpu-load"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

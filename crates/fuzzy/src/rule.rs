@@ -1,0 +1,374 @@
+//! Fuzzy rules: antecedent expression trees, consequents and rule bases.
+//!
+//! A rule has the shape the paper shows in Section 3:
+//!
+//! ```text
+//! IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium)
+//! THEN scaleUp IS applicable
+//! ```
+//!
+//! Conjunctions evaluate with the minimum, disjunctions with the maximum
+//! (standard Zadeh operators, exactly as in the paper). We additionally
+//! support `NOT` (standard complement `1 − μ`), which the paper's prose rule
+//! bases implicitly use ("... despite it being very powerful").
+
+use crate::{FuzzyError, Truth};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The antecedent ("IF" part) of a rule: an expression tree over
+/// `variable IS term` atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Antecedent {
+    /// Atom: `variable IS term`.
+    Is {
+        /// Input variable name.
+        variable: String,
+        /// Term name on that variable.
+        term: String,
+    },
+    /// Conjunction, evaluated with `min`.
+    And(Box<Antecedent>, Box<Antecedent>),
+    /// Disjunction, evaluated with `max`.
+    Or(Box<Antecedent>, Box<Antecedent>),
+    /// Complement, evaluated with `1 − x`.
+    Not(Box<Antecedent>),
+}
+
+impl Antecedent {
+    /// Atom constructor.
+    pub fn is(variable: impl Into<String>, term: impl Into<String>) -> Self {
+        Antecedent::Is {
+            variable: variable.into(),
+            term: term.into(),
+        }
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Antecedent) -> Self {
+        Antecedent::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Antecedent) -> Self {
+        Antecedent::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Antecedent::Not(Box::new(self))
+    }
+
+    /// Evaluate the antecedent given a lookup of atom truth values.
+    ///
+    /// `grade(variable, term)` must return the fuzzified membership grade of
+    /// the measurement of `variable` in `term`, or an error if either is
+    /// unknown.
+    pub fn eval<F>(&self, grade: &mut F) -> Result<Truth, FuzzyError>
+    where
+        F: FnMut(&str, &str) -> Result<Truth, FuzzyError>,
+    {
+        match self {
+            Antecedent::Is { variable, term } => grade(variable, term),
+            Antecedent::And(a, b) => Ok(a.eval(grade)?.min(b.eval(grade)?)),
+            Antecedent::Or(a, b) => Ok(a.eval(grade)?.max(b.eval(grade)?)),
+            Antecedent::Not(a) => Ok(1.0 - a.eval(grade)?),
+        }
+    }
+
+    /// Collect the names of all input variables this antecedent references.
+    pub fn referenced_variables(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Antecedent::Is { variable, .. } => {
+                out.insert(variable.as_str());
+            }
+            Antecedent::And(a, b) | Antecedent::Or(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Antecedent::Not(a) => a.collect_variables(out),
+        }
+    }
+}
+
+impl fmt::Display for Antecedent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Antecedent::Is { variable, term } => write!(f, "{variable} IS {term}"),
+            Antecedent::And(a, b) => write!(f, "({a} AND {b})"),
+            Antecedent::Or(a, b) => write!(f, "({a} OR {b})"),
+            Antecedent::Not(a) => write!(f, "(NOT {a})"),
+        }
+    }
+}
+
+/// The consequent ("THEN" part): `variable IS term`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consequent {
+    /// Output variable name.
+    pub variable: String,
+    /// Term name on the output variable.
+    pub term: String,
+}
+
+impl fmt::Display for Consequent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} IS {}", self.variable, self.term)
+    }
+}
+
+/// A complete fuzzy rule with an optional weight in `[0, 1]`.
+///
+/// Weights are an extension over the paper (default 1.0): they let an
+/// administrator de-emphasize a rule without deleting it, and they are used
+/// by the service-specific rule bases (Section 4.1, "an administrator can add
+/// service-specific rule bases for mission critical services").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// The IF part.
+    pub antecedent: Antecedent,
+    /// The THEN part.
+    pub consequent: Consequent,
+    /// Multiplier applied to the antecedent truth before clipping.
+    pub weight: Truth,
+}
+
+impl Rule {
+    /// Create a rule with weight 1.0.
+    pub fn new(antecedent: Antecedent, variable: impl Into<String>, term: impl Into<String>) -> Self {
+        Rule {
+            antecedent,
+            consequent: Consequent {
+                variable: variable.into(),
+                term: term.into(),
+            },
+            weight: 1.0,
+        }
+    }
+
+    /// Set the rule weight (clamped into `[0, 1]`).
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if (self.weight - 1.0).abs() < f64::EPSILON {
+            write!(f, "IF {} THEN {}", self.antecedent, self.consequent)
+        } else {
+            write!(
+                f,
+                "IF {} THEN {} WITH {}",
+                self.antecedent, self.consequent, self.weight
+            )
+        }
+    }
+}
+
+/// An ordered collection of rules — one rule base per trigger kind in the
+/// AutoGlobe controller (Section 4.1) and one per action in the
+/// server-selection controller (Section 4.2).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleBase {
+    rules: Vec<Rule>,
+}
+
+impl RuleBase {
+    /// An empty rule base.
+    pub fn new() -> Self {
+        RuleBase::default()
+    }
+
+    /// Build from a vector of rules.
+    pub fn from_rules(rules: Vec<Rule>) -> Self {
+        RuleBase { rules }
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Append every rule of `other` (used to layer service-specific rule
+    /// bases on top of the defaults).
+    pub fn extend_from(&mut self, other: &RuleBase) {
+        self.rules.extend(other.rules.iter().cloned());
+    }
+
+    /// The rules, in insertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are present.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// All output variables any rule writes to.
+    pub fn output_variables(&self) -> BTreeSet<&str> {
+        self.rules
+            .iter()
+            .map(|r| r.consequent.variable.as_str())
+            .collect()
+    }
+
+    /// All input variables any rule reads.
+    pub fn input_variables(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for r in &self.rules {
+            for v in r.antecedent.referenced_variables() {
+                out.insert(v);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RuleBase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Rule> for RuleBase {
+    fn from_iter<T: IntoIterator<Item = Rule>>(iter: T) -> Self {
+        RuleBase {
+            rules: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grades<'a>(
+        pairs: &'a [(&'a str, &'a str, f64)],
+    ) -> impl FnMut(&str, &str) -> Result<Truth, FuzzyError> + 'a {
+        move |v: &str, t: &str| {
+            pairs
+                .iter()
+                .find(|(pv, pt, _)| *pv == v && *pt == t)
+                .map(|&(_, _, g)| g)
+                .ok_or_else(|| FuzzyError::UnknownVariable { name: v.into() })
+        }
+    }
+
+    #[test]
+    fn paper_rule_one_evaluates_to_0_6() {
+        // IF cpuLoad IS high AND (perf IS low OR perf IS medium) with
+        // μ_high(l)=0.8, μ_low(i)=0, μ_medium(i)=0.6 → min(0.8, max(0, 0.6)) = 0.6.
+        let ant = Antecedent::is("cpuLoad", "high").and(
+            Antecedent::is("performanceIndex", "low").or(Antecedent::is("performanceIndex", "medium")),
+        );
+        let table = [
+            ("cpuLoad", "high", 0.8),
+            ("performanceIndex", "low", 0.0),
+            ("performanceIndex", "medium", 0.6),
+        ];
+        let v = ant.eval(&mut grades(&table)).unwrap();
+        assert!((v - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_rule_two_evaluates_to_0_3() {
+        let ant = Antecedent::is("cpuLoad", "high").and(Antecedent::is("performanceIndex", "high"));
+        let table = [("cpuLoad", "high", 0.8), ("performanceIndex", "high", 0.3)];
+        let v = ant.eval(&mut grades(&table)).unwrap();
+        assert!((v - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn not_is_standard_complement() {
+        let ant = Antecedent::is("x", "t").not();
+        let table = [("x", "t", 0.25)];
+        assert!((ant.eval(&mut grades(&table)).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_propagates_unknown_variable() {
+        let ant = Antecedent::is("missing", "t");
+        let table = [("x", "t", 0.5)];
+        assert!(ant.eval(&mut grades(&table)).is_err());
+    }
+
+    #[test]
+    fn referenced_variables_are_collected() {
+        let ant = Antecedent::is("a", "t")
+            .and(Antecedent::is("b", "t").or(Antecedent::is("c", "t").not()));
+        let vars: Vec<_> = ant.referenced_variables().into_iter().collect();
+        assert_eq!(vars, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser_syntax() {
+        let rule = Rule::new(
+            Antecedent::is("cpuLoad", "high").and(Antecedent::is("memLoad", "low")),
+            "scaleUp",
+            "applicable",
+        );
+        assert_eq!(
+            rule.to_string(),
+            "IF (cpuLoad IS high AND memLoad IS low) THEN scaleUp IS applicable"
+        );
+        let weighted = rule.with_weight(0.5);
+        assert!(weighted.to_string().ends_with("WITH 0.5"));
+    }
+
+    #[test]
+    fn rule_base_collects_variable_sets() {
+        let mut rb = RuleBase::new();
+        rb.push(Rule::new(Antecedent::is("a", "t"), "out1", "applicable"));
+        rb.push(Rule::new(Antecedent::is("b", "t"), "out2", "applicable"));
+        assert_eq!(rb.len(), 2);
+        assert!(!rb.is_empty());
+        assert_eq!(
+            rb.output_variables().into_iter().collect::<Vec<_>>(),
+            vec!["out1", "out2"]
+        );
+        assert_eq!(
+            rb.input_variables().into_iter().collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn weight_is_clamped() {
+        let r = Rule::new(Antecedent::is("a", "t"), "o", "applicable").with_weight(7.0);
+        assert_eq!(r.weight, 1.0);
+        let r = Rule::new(Antecedent::is("a", "t"), "o", "applicable").with_weight(-1.0);
+        assert_eq!(r.weight, 0.0);
+    }
+
+    #[test]
+    fn extend_from_layers_rule_bases() {
+        let mut base = RuleBase::from_rules(vec![Rule::new(
+            Antecedent::is("a", "t"),
+            "o",
+            "applicable",
+        )]);
+        let extra: RuleBase = vec![Rule::new(Antecedent::is("b", "t"), "o", "applicable")]
+            .into_iter()
+            .collect();
+        base.extend_from(&extra);
+        assert_eq!(base.len(), 2);
+    }
+}

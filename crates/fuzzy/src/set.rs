@@ -1,0 +1,239 @@
+//! Discretized fuzzy sets used during inference and defuzzification.
+//!
+//! During max–min inference (paper Section 3) the consequent fuzzy set of
+//! each fired rule is *clipped* at the rule's antecedent truth, and all
+//! clipped sets referring to the same output variable are combined with the
+//! fuzzy union (pointwise maximum). We represent such sets as uniform samples
+//! over the output variable's universe — the classic implementation strategy
+//! for Mamdani-style controllers — so clipping, scaling and union are cheap
+//! pointwise array operations and every defuzzifier sees the same data.
+
+use crate::{clamp01, MembershipFunction, Truth};
+
+/// Default number of samples across an output universe.
+///
+/// 1001 points over `[0, 1]` gives a resolution of 0.001, far below any
+/// threshold the AutoGlobe controller cares about (applicability cut-offs are
+/// specified in whole percent).
+pub const DEFAULT_RESOLUTION: usize = 1001;
+
+/// A fuzzy set discretized over a closed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzySet {
+    lo: f64,
+    hi: f64,
+    /// `samples[i]` is μ at `lo + i * (hi - lo) / (samples.len() - 1)`.
+    samples: Vec<Truth>,
+}
+
+impl FuzzySet {
+    /// The empty set (μ ≡ 0) over `[lo, hi]` with the given resolution.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `resolution < 2`.
+    pub fn empty(lo: f64, hi: f64, resolution: usize) -> Self {
+        assert!(lo < hi, "fuzzy set needs a non-empty interval");
+        assert!(resolution >= 2, "fuzzy set needs at least two samples");
+        FuzzySet {
+            lo,
+            hi,
+            samples: vec![0.0; resolution],
+        }
+    }
+
+    /// Sample a membership function over `[lo, hi]`.
+    pub fn from_membership(mf: &MembershipFunction, lo: f64, hi: f64, resolution: usize) -> Self {
+        let mut set = Self::empty(lo, hi, resolution);
+        for i in 0..resolution {
+            set.samples[i] = mf.eval(set.x_at(i));
+        }
+        set
+    }
+
+    /// The x-coordinate of sample `i`.
+    #[inline]
+    pub fn x_at(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / (self.samples.len() - 1) as f64
+    }
+
+    /// The interval this set is defined over.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[Truth] {
+        &self.samples
+    }
+
+    /// μ at an arbitrary x, linearly interpolated between samples.
+    pub fn eval(&self, x: f64) -> Truth {
+        let n = self.samples.len();
+        if x <= self.lo {
+            return self.samples[0];
+        }
+        if x >= self.hi {
+            return self.samples[n - 1];
+        }
+        let t = (x - self.lo) / (self.hi - self.lo) * (n - 1) as f64;
+        let i = t.floor() as usize;
+        let frac = t - i as f64;
+        if i + 1 >= n {
+            self.samples[n - 1]
+        } else {
+            self.samples[i] * (1.0 - frac) + self.samples[i + 1] * frac
+        }
+    }
+
+    /// Clip (α-cut from above): `μ'(x) = min(μ(x), height)` — the max–min
+    /// inference step of the paper (Figure 5).
+    pub fn clip(&mut self, height: Truth) {
+        let h = clamp01(height);
+        for s in &mut self.samples {
+            if *s > h {
+                *s = h;
+            }
+        }
+    }
+
+    /// Scale: `μ'(x) = μ(x) · factor` — the max–product inference variant
+    /// (provided for ablation studies).
+    pub fn scale(&mut self, factor: Truth) {
+        let f = clamp01(factor);
+        for s in &mut self.samples {
+            *s *= f;
+        }
+    }
+
+    /// Fuzzy union in place: `μ'(x) = max(μ(x), ν(x))`.
+    ///
+    /// # Panics
+    /// Panics if the two sets differ in interval or resolution (the engine
+    /// always builds them from the same output variable, so this indicates a
+    /// logic error).
+    pub fn union_assign(&mut self, other: &FuzzySet) {
+        assert_eq!(
+            (self.lo, self.hi, self.samples.len()),
+            (other.lo, other.hi, other.samples.len()),
+            "fuzzy union requires identically discretized sets"
+        );
+        for (s, o) in self.samples.iter_mut().zip(&other.samples) {
+            if *o > *s {
+                *s = *o;
+            }
+        }
+    }
+
+    /// Fuzzy intersection in place: `μ'(x) = min(μ(x), ν(x))`.
+    pub fn intersect_assign(&mut self, other: &FuzzySet) {
+        assert_eq!(
+            (self.lo, self.hi, self.samples.len()),
+            (other.lo, other.hi, other.samples.len()),
+            "fuzzy intersection requires identically discretized sets"
+        );
+        for (s, o) in self.samples.iter_mut().zip(&other.samples) {
+            if *o < *s {
+                *s = *o;
+            }
+        }
+    }
+
+    /// The maximum truth value attained anywhere in the set.
+    pub fn height(&self) -> Truth {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// True if μ ≡ 0 (within floating-point exactness — clipped values are
+    /// exact zeros, so no epsilon is needed).
+    pub fn is_empty(&self) -> bool {
+        self.samples.iter().all(|&s| s == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> FuzzySet {
+        FuzzySet::from_membership(
+            &MembershipFunction::right_shoulder(0.0, 1.0),
+            0.0,
+            1.0,
+            101,
+        )
+    }
+
+    #[test]
+    fn sampling_a_ramp() {
+        let s = ramp();
+        assert!((s.eval(0.0) - 0.0).abs() < 1e-12);
+        assert!((s.eval(0.5) - 0.5).abs() < 1e-9);
+        assert!((s.eval(1.0) - 1.0).abs() < 1e-12);
+        assert!((s.eval(-3.0) - 0.0).abs() < 1e-12);
+        assert!((s.eval(3.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_caps_heights() {
+        let mut s = ramp();
+        s.clip(0.6);
+        assert!((s.height() - 0.6).abs() < 1e-9);
+        assert!((s.eval(0.3) - 0.3).abs() < 1e-9);
+        assert!((s.eval(0.9) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let mut s = ramp();
+        s.scale(0.5);
+        assert!((s.eval(1.0) - 0.5).abs() < 1e-9);
+        assert!((s.eval(0.5) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn union_takes_pointwise_max() {
+        let mut a = ramp();
+        a.clip(0.3);
+        let mut b = ramp();
+        b.clip(0.7);
+        a.union_assign(&b);
+        assert!((a.height() - 0.7).abs() < 1e-9);
+        // Near x = 0.1 both sets equal the ramp itself.
+        assert!((a.eval(0.1) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersection_takes_pointwise_min() {
+        let mut a = ramp();
+        let mut b = FuzzySet::from_membership(
+            &MembershipFunction::left_shoulder(0.0, 1.0),
+            0.0,
+            1.0,
+            101,
+        );
+        a.intersect_assign(&b);
+        // Ramp ∧ anti-ramp peaks at 0.5 in the middle.
+        assert!((a.height() - 0.5).abs() < 1e-2);
+        b.clip(0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "identically discretized")]
+    fn union_of_mismatched_sets_panics() {
+        let mut a = FuzzySet::empty(0.0, 1.0, 11);
+        let b = FuzzySet::empty(0.0, 1.0, 21);
+        a.union_assign(&b);
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let s = FuzzySet::empty(0.0, 2.0, 5);
+        assert!(s.is_empty());
+        assert_eq!(s.height(), 0.0);
+        assert_eq!(s.range(), (0.0, 2.0));
+        assert_eq!(s.x_at(0), 0.0);
+        assert_eq!(s.x_at(4), 2.0);
+        assert_eq!(s.samples().len(), 5);
+    }
+}

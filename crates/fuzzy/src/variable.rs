@@ -1,0 +1,254 @@
+//! Linguistic variables and terms.
+//!
+//! A linguistic variable (paper Section 3, Figure 3) is characterized by its
+//! name, a set of linguistic terms, and a membership function per term. The
+//! universe of discourse defaults to `[0, 1]` — the natural range for loads
+//! and applicabilities — but can be widened (e.g. performance indices range
+//! over `[0, 10]` in our rule bases).
+
+use crate::{FuzzyError, MembershipFunction, Truth};
+
+/// One linguistic term (e.g. *low*) with its membership function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinguisticTerm {
+    name: String,
+    mf: MembershipFunction,
+}
+
+impl LinguisticTerm {
+    /// Create a term.
+    pub fn new(name: impl Into<String>, mf: MembershipFunction) -> Self {
+        LinguisticTerm { name: name.into(), mf }
+    }
+
+    /// The term's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The term's membership function.
+    pub fn membership(&self) -> &MembershipFunction {
+        &self.mf
+    }
+
+    /// Evaluate the term's membership grade at `x`.
+    pub fn grade(&self, x: f64) -> Truth {
+        self.mf.eval(x)
+    }
+}
+
+/// A linguistic variable: a name, a universe of discourse, and a set of terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinguisticVariable {
+    name: String,
+    lo: f64,
+    hi: f64,
+    terms: Vec<LinguisticTerm>,
+}
+
+impl LinguisticVariable {
+    /// Start building a variable with universe `[0, 1]`.
+    pub fn builder(name: impl Into<String>) -> VariableBuilder {
+        VariableBuilder {
+            name: name.into(),
+            lo: 0.0,
+            hi: 1.0,
+            terms: Vec::new(),
+        }
+    }
+
+    /// The standard output variable of the AutoGlobe action- and
+    /// server-selection controllers: a single `applicable` term that rises
+    /// linearly from 0 at 0 to 1 at 1 (paper Figure 5). Clipping this set at
+    /// height `h` and taking the leftmost maximum yields exactly `h`, which is
+    /// how the paper turns rule truth into an applicability score.
+    pub fn applicability(name: impl Into<String>) -> Self {
+        LinguisticVariable::builder(name)
+            .term("applicable", MembershipFunction::right_shoulder(0.0, 1.0))
+            .build()
+            .expect("applicability variable is always valid")
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The universe of discourse `[lo, hi]`.
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// All terms, in declaration order.
+    pub fn terms(&self) -> &[LinguisticTerm] {
+        &self.terms
+    }
+
+    /// Look up a term by name.
+    pub fn term(&self, name: &str) -> Option<&LinguisticTerm> {
+        self.terms.iter().find(|t| t.name == name)
+    }
+
+    /// Index of a term by name (used by the engine for dense storage).
+    pub fn term_index(&self, name: &str) -> Option<usize> {
+        self.terms.iter().position(|t| t.name == name)
+    }
+
+    /// Fuzzify a crisp value: the membership grade of every term, in term
+    /// declaration order. The crisp value is clamped into the universe first,
+    /// so out-of-range measurements behave like the nearest boundary.
+    pub fn fuzzify(&self, x: f64) -> Vec<Truth> {
+        let x = x.clamp(self.lo, self.hi);
+        self.terms.iter().map(|t| t.grade(x)).collect()
+    }
+
+    /// Fuzzify and return `(term name, grade)` pairs — convenient for
+    /// debugging and for the controller console.
+    pub fn fuzzify_named(&self, x: f64) -> Vec<(&str, Truth)> {
+        let x = x.clamp(self.lo, self.hi);
+        self.terms
+            .iter()
+            .map(|t| (t.name.as_str(), t.grade(x)))
+            .collect()
+    }
+}
+
+/// Builder for [`LinguisticVariable`].
+#[derive(Debug, Clone)]
+pub struct VariableBuilder {
+    name: String,
+    lo: f64,
+    hi: f64,
+    terms: Vec<LinguisticTerm>,
+}
+
+impl VariableBuilder {
+    /// Set the universe of discourse (default `[0, 1]`).
+    pub fn range(mut self, lo: f64, hi: f64) -> Self {
+        self.lo = lo;
+        self.hi = hi;
+        self
+    }
+
+    /// Add a term.
+    pub fn term(mut self, name: impl Into<String>, mf: MembershipFunction) -> Self {
+        self.terms.push(LinguisticTerm::new(name, mf));
+        self
+    }
+
+    /// Finish, validating the universe and term uniqueness.
+    pub fn build(self) -> Result<LinguisticVariable, FuzzyError> {
+        if !(self.lo.is_finite() && self.hi.is_finite()) || self.lo >= self.hi {
+            return Err(FuzzyError::InvalidVariable {
+                name: self.name,
+                reason: format!("universe [{}, {}] is empty or not finite", self.lo, self.hi),
+            });
+        }
+        if self.terms.is_empty() {
+            return Err(FuzzyError::InvalidVariable {
+                name: self.name,
+                reason: "a linguistic variable needs at least one term".into(),
+            });
+        }
+        for (i, t) in self.terms.iter().enumerate() {
+            if self.terms[..i].iter().any(|u| u.name == t.name) {
+                return Err(FuzzyError::DuplicateTerm {
+                    variable: self.name,
+                    term: t.name.clone(),
+                });
+            }
+        }
+        Ok(LinguisticVariable {
+            name: self.name,
+            lo: self.lo,
+            hi: self.hi,
+            terms: self.terms,
+        })
+    }
+}
+
+/// Convenience constructor for the ubiquitous three-term load variable of the
+/// paper (Figure 3): *low*, *medium*, *high* trapezoids over `[0, 1]`.
+///
+/// The knots are chosen so that the paper's worked example holds exactly:
+/// `μ_medium(0.6) = 0.5` and `μ_high(0.6) = 0.2`, and at `l = 0.9`:
+/// `μ_low = 0`, `μ_medium = 0`, `μ_high = 0.8`.
+pub fn load_variable(name: impl Into<String>) -> LinguisticVariable {
+    LinguisticVariable::builder(name)
+        .term("low", MembershipFunction::trapezoid(0.0, 0.0, 0.2, 0.4))
+        .term("medium", MembershipFunction::trapezoid(0.2, 0.4, 0.5, 0.7))
+        .term("high", MembershipFunction::trapezoid(0.5, 1.0, 1.0, 1.0))
+        .build()
+        .expect("standard load variable is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_bad_universe_and_duplicates() {
+        assert!(matches!(
+            LinguisticVariable::builder("x").range(1.0, 1.0).term("t", MembershipFunction::singleton(0.5, 0.0)).build(),
+            Err(FuzzyError::InvalidVariable { .. })
+        ));
+        assert!(matches!(
+            LinguisticVariable::builder("x").build(),
+            Err(FuzzyError::InvalidVariable { .. })
+        ));
+        assert!(matches!(
+            LinguisticVariable::builder("x")
+                .term("a", MembershipFunction::singleton(0.1, 0.0))
+                .term("a", MembershipFunction::singleton(0.2, 0.0))
+                .build(),
+            Err(FuzzyError::DuplicateTerm { .. })
+        ));
+    }
+
+    #[test]
+    fn fuzzify_clamps_out_of_range_measurements() {
+        let v = load_variable("cpuLoad");
+        // 1.7 clamps to 1.0 → fully high.
+        let grades = v.fuzzify(1.7);
+        assert_eq!(grades.len(), 3);
+        assert_eq!(grades[2], 1.0);
+        assert_eq!(grades[0], 0.0);
+        // -0.3 clamps to 0.0 → fully low.
+        let grades = v.fuzzify(-0.3);
+        assert_eq!(grades[0], 1.0);
+    }
+
+    #[test]
+    fn paper_example_grades() {
+        let v = load_variable("cpuLoad");
+        let g = v.fuzzify_named(0.6);
+        let get = |n: &str| g.iter().find(|(t, _)| *t == n).unwrap().1;
+        assert!((get("low") - 0.0).abs() < 1e-12);
+        assert!((get("medium") - 0.5).abs() < 1e-12);
+        assert!((get("high") - 0.2).abs() < 1e-12);
+
+        let g = v.fuzzify_named(0.9);
+        let get = |n: &str| g.iter().find(|(t, _)| *t == n).unwrap().1;
+        assert!((get("low") - 0.0).abs() < 1e-12);
+        assert!((get("medium") - 0.0).abs() < 1e-12);
+        assert!((get("high") - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn applicability_variable_is_linear_ramp() {
+        let v = LinguisticVariable::applicability("scaleUp");
+        let t = v.term("applicable").unwrap();
+        assert!((t.grade(0.0) - 0.0).abs() < 1e-12);
+        assert!((t.grade(0.25) - 0.25).abs() < 1e-12);
+        assert!((t.grade(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn term_lookup() {
+        let v = load_variable("x");
+        assert_eq!(v.term_index("medium"), Some(1));
+        assert!(v.term("nope").is_none());
+        assert_eq!(v.terms().len(), 3);
+        assert_eq!(v.range(), (0.0, 1.0));
+    }
+}

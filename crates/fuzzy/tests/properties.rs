@@ -1,0 +1,211 @@
+//! Property-based tests for the fuzzy engine's core invariants.
+
+use autoglobe_fuzzy::{
+    parse_rule, Antecedent, Defuzzifier, Engine, FuzzySet, LinguisticVariable,
+    MembershipFunction, Rule,
+};
+use proptest::prelude::*;
+
+/// Strategy: a valid trapezoid over [0, 1].
+fn trapezoid() -> impl Strategy<Value = MembershipFunction> {
+    proptest::collection::vec(0.0f64..=1.0, 4).prop_map(|mut v| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        MembershipFunction::trapezoid(v[0], v[1], v[2], v[3])
+    })
+}
+
+/// Strategy: an arbitrary membership function over roughly [0, 1].
+fn membership() -> impl Strategy<Value = MembershipFunction> {
+    prop_oneof![
+        trapezoid(),
+        (0.0f64..=0.5, 0.5f64..=1.0).prop_map(|(b, c)| MembershipFunction::left_shoulder(b, c)),
+        (0.0f64..=0.5, 0.5f64..=1.0).prop_map(|(a, b)| MembershipFunction::right_shoulder(a, b)),
+        (0.0f64..=1.0, 0.0f64..=0.2).prop_map(|(at, tol)| MembershipFunction::singleton(at, tol)),
+    ]
+}
+
+/// Strategy: a random antecedent over variables v0..v2 with terms low/high.
+fn antecedent() -> impl Strategy<Value = Antecedent> {
+    let leaf = (0usize..3, prop_oneof![Just("low"), Just("high")])
+        .prop_map(|(i, t)| Antecedent::is(format!("v{i}"), t));
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    /// μ(x) ∈ [0, 1] for every membership function and input.
+    #[test]
+    fn membership_grades_stay_in_unit_interval(mf in membership(), x in -2.0f64..=3.0) {
+        let g = mf.eval(x);
+        prop_assert!((0.0..=1.0).contains(&g), "μ({x}) = {g} out of range");
+    }
+
+    /// Trapezoids are non-decreasing up to the core and non-increasing after.
+    #[test]
+    fn trapezoid_is_unimodal(mf in trapezoid(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        if let MembershipFunction::Trapezoid { b: core_lo, c: core_hi, .. } = mf {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            if hi <= core_lo {
+                prop_assert!(mf.eval(lo) <= mf.eval(hi) + 1e-12);
+            }
+            if lo >= core_hi {
+                prop_assert!(mf.eval(lo) + 1e-12 >= mf.eval(hi));
+            }
+        }
+    }
+
+    /// Antecedent truth stays within [0, 1] regardless of structure.
+    #[test]
+    fn antecedent_truth_in_unit_interval(
+        ant in antecedent(),
+        grades in proptest::collection::vec(0.0f64..=1.0, 6),
+    ) {
+        let mut lookup = |v: &str, t: &str| {
+            let vi: usize = v[1..].parse().unwrap();
+            let ti = if t == "low" { 0 } else { 1 };
+            Ok(grades[vi * 2 + ti])
+        };
+        let truth = ant.eval(&mut lookup).unwrap();
+        prop_assert!((0.0..=1.0).contains(&truth), "truth {truth} out of range");
+    }
+
+    /// De Morgan: NOT (a AND b) == (NOT a) OR (NOT b) under min/max/1−x.
+    #[test]
+    fn de_morgan_holds(
+        ga in 0.0f64..=1.0,
+        gb in 0.0f64..=1.0,
+    ) {
+        let a = || Antecedent::is("a", "t");
+        let b = || Antecedent::is("b", "t");
+        let mut lookup = |v: &str, _t: &str| Ok(if v == "a" { ga } else { gb });
+        let lhs = a().and(b()).not().eval(&mut lookup).unwrap();
+        let rhs = a().not().or(b().not()).eval(&mut lookup).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    /// Clipping at h bounds the set height by h; union height is max of heights.
+    #[test]
+    fn clip_and_union_height_laws(
+        mf1 in membership(),
+        mf2 in membership(),
+        h1 in 0.0f64..=1.0,
+        h2 in 0.0f64..=1.0,
+    ) {
+        let mut s1 = FuzzySet::from_membership(&mf1, 0.0, 1.0, 201);
+        let mut s2 = FuzzySet::from_membership(&mf2, 0.0, 1.0, 201);
+        s1.clip(h1);
+        s2.clip(h2);
+        prop_assert!(s1.height() <= h1 + 1e-12);
+        prop_assert!(s2.height() <= h2 + 1e-12);
+        let (h1a, h2a) = (s1.height(), s2.height());
+        s1.union_assign(&s2);
+        prop_assert!((s1.height() - h1a.max(h2a)).abs() < 1e-12);
+    }
+
+    /// For the applicability ramp, leftmost-max defuzzification returns the
+    /// clip height (the identity the paper's scoring relies on).
+    #[test]
+    fn leftmost_max_inverts_clip_on_ramp(h in 0.0f64..=1.0) {
+        let mut s = FuzzySet::from_membership(
+            &MembershipFunction::right_shoulder(0.0, 1.0), 0.0, 1.0, 1001,
+        );
+        s.clip(h);
+        let x = Defuzzifier::LeftmostMax.defuzzify(&s);
+        prop_assert!((x - h).abs() < 2e-3, "clip {h} defuzzified to {x}");
+    }
+
+    /// Every defuzzifier returns a value inside the universe.
+    #[test]
+    fn defuzzifiers_stay_in_universe(mf in membership(), h in 0.0f64..=1.0) {
+        let mut s = FuzzySet::from_membership(&mf, 0.0, 1.0, 301);
+        s.clip(h);
+        for d in [Defuzzifier::LeftmostMax, Defuzzifier::MeanOfMaxima, Defuzzifier::Centroid] {
+            let x = d.defuzzify(&s);
+            prop_assert!((0.0..=1.0).contains(&x), "{d:?} returned {x}");
+        }
+    }
+
+    /// Engine outputs are monotone in rule weight: a higher weight can never
+    /// lower the crisp applicability.
+    #[test]
+    fn output_monotone_in_rule_weight(
+        w1 in 0.0f64..=1.0,
+        w2 in 0.0f64..=1.0,
+        load in 0.0f64..=1.0,
+    ) {
+        let (wlo, whi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let run = |w: f64| {
+            let mut e = Engine::new();
+            e.add_input(autoglobe_fuzzy::variable::load_variable("cpuLoad"));
+            e.add_output(LinguisticVariable::applicability("act"));
+            e.add_rule(
+                Rule::new(Antecedent::is("cpuLoad", "high"), "act", "applicable").with_weight(w),
+            )
+            .unwrap();
+            e.run([("cpuLoad", load)]).unwrap()["act"]
+        };
+        prop_assert!(run(wlo) <= run(whi) + 2e-3);
+    }
+
+    /// The rule DSL round-trips: Display output reparses to the same AST.
+    #[test]
+    fn rule_display_reparses(ant in antecedent(), w in 0.0f64..=1.0) {
+        let rule = Rule::new(ant, "out", "applicable").with_weight((w * 100.0).round() / 100.0);
+        let text = rule.to_string();
+        let reparsed = parse_rule(&text).unwrap();
+        prop_assert_eq!(rule.antecedent, reparsed.antecedent);
+        prop_assert_eq!(rule.consequent, reparsed.consequent);
+        prop_assert!((rule.weight - reparsed.weight).abs() < 1e-9);
+    }
+
+    /// Engine.run never produces values outside the output universe, for any
+    /// measured loads.
+    #[test]
+    fn engine_outputs_bounded(
+        l1 in -0.5f64..=1.5,
+        l2 in -0.5f64..=1.5,
+    ) {
+        let mut e = Engine::new();
+        e.add_input(autoglobe_fuzzy::variable::load_variable("cpuLoad"));
+        e.add_input(autoglobe_fuzzy::variable::load_variable("memLoad"));
+        e.add_output(LinguisticVariable::applicability("act"));
+        e.add_rule_str("IF cpuLoad IS high OR memLoad IS high THEN act IS applicable").unwrap();
+        e.add_rule_str("IF cpuLoad IS low AND NOT memLoad IS medium THEN act IS applicable WITH 0.5").unwrap();
+        let out = e.run([("cpuLoad", l1), ("memLoad", l2)]).unwrap();
+        prop_assert!((0.0..=1.0).contains(&out["act"]));
+    }
+}
+
+proptest! {
+    /// The rule DSL parser never panics on arbitrary input.
+    #[test]
+    fn rule_parser_never_panics(input in ".{0,300}") {
+        let _ = autoglobe_fuzzy::parse_rule(&input);
+        let _ = autoglobe_fuzzy::parse_rules(&input);
+    }
+
+    /// Token soup built from valid keywords/identifiers never panics and,
+    /// when it parses, re-serializes to something that parses again.
+    #[test]
+    fn keyword_soup_round_trips_when_valid(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "IF", "THEN", "IS", "AND", "OR", "NOT", "WITH",
+                "cpuLoad", "high", "low", "scaleUp", "applicable",
+                "(", ")", "0.5",
+            ]),
+            1..24,
+        ),
+    ) {
+        let text = words.join(" ");
+        if let Ok(rule) = autoglobe_fuzzy::parse_rule(&text) {
+            let reparsed = autoglobe_fuzzy::parse_rule(&rule.to_string()).unwrap();
+            prop_assert_eq!(rule, reparsed);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The controller's action vocabulary (Table 2 of the paper).
+
+use crate::ids::{InstanceId, ServerId, ServiceId};
+use std::fmt;
+
+/// The *kind* of an action — what constraint sets and rule bases key on.
+///
+/// This is exactly the output-variable list of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ActionKind {
+    /// Starting of a service (its first instance).
+    Start,
+    /// Stopping of a service (its last instance).
+    Stop,
+    /// Stopping of a service instance.
+    ScaleIn,
+    /// Starting of an additional service instance.
+    ScaleOut,
+    /// Movement of a service instance to a more powerful host.
+    ScaleUp,
+    /// Movement of a service instance to a less powerful host.
+    ScaleDown,
+    /// Movement of a service instance to an equivalently powerful host.
+    Move,
+    /// Increasing the priority of a service.
+    IncreasePriority,
+    /// Reducing the priority of a service.
+    ReducePriority,
+}
+
+impl ActionKind {
+    /// All action kinds, in Table 2 order.
+    pub const ALL: [ActionKind; 9] = [
+        ActionKind::Start,
+        ActionKind::Stop,
+        ActionKind::ScaleIn,
+        ActionKind::ScaleOut,
+        ActionKind::ScaleUp,
+        ActionKind::ScaleDown,
+        ActionKind::Move,
+        ActionKind::IncreasePriority,
+        ActionKind::ReducePriority,
+    ];
+
+    /// True if executing this kind of action requires choosing a target
+    /// server (and therefore a run of the server-selection controller,
+    /// Section 4.2: scale-out, scale-up, scale-down, move, start).
+    pub fn needs_target(self) -> bool {
+        matches!(
+            self,
+            ActionKind::Start
+                | ActionKind::ScaleOut
+                | ActionKind::ScaleUp
+                | ActionKind::ScaleDown
+                | ActionKind::Move
+        )
+    }
+
+    /// The camelCase name used as the fuzzy output variable for this action
+    /// (Table 2) and in the XML description language.
+    pub fn variable_name(self) -> &'static str {
+        match self {
+            ActionKind::Start => "start",
+            ActionKind::Stop => "stop",
+            ActionKind::ScaleIn => "scaleIn",
+            ActionKind::ScaleOut => "scaleOut",
+            ActionKind::ScaleUp => "scaleUp",
+            ActionKind::ScaleDown => "scaleDown",
+            ActionKind::Move => "move",
+            ActionKind::IncreasePriority => "increasePriority",
+            ActionKind::ReducePriority => "reducePriority",
+        }
+    }
+
+    /// Inverse of [`ActionKind::variable_name`].
+    pub fn from_variable_name(name: &str) -> Option<ActionKind> {
+        ActionKind::ALL
+            .into_iter()
+            .find(|k| k.variable_name() == name)
+    }
+}
+
+impl fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.variable_name())
+    }
+}
+
+/// A fully resolved action the controller wants to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Start the first instance of `service` on `target`.
+    Start {
+        /// Service to start.
+        service: ServiceId,
+        /// Host to start it on.
+        target: ServerId,
+    },
+    /// Stop the service entirely (only valid while exactly one instance runs).
+    Stop {
+        /// The last remaining instance.
+        instance: InstanceId,
+    },
+    /// Stop one instance of a multi-instance service.
+    ScaleIn {
+        /// Instance to stop.
+        instance: InstanceId,
+    },
+    /// Start an additional instance of `service` on `target`.
+    ScaleOut {
+        /// Service to scale out.
+        service: ServiceId,
+        /// Host for the new instance.
+        target: ServerId,
+    },
+    /// Move `instance` to the more powerful host `target`.
+    ScaleUp {
+        /// Instance to move.
+        instance: InstanceId,
+        /// More powerful destination host.
+        target: ServerId,
+    },
+    /// Move `instance` to the less powerful host `target`.
+    ScaleDown {
+        /// Instance to move.
+        instance: InstanceId,
+        /// Less powerful destination host.
+        target: ServerId,
+    },
+    /// Move `instance` to the equivalently powerful host `target`.
+    Move {
+        /// Instance to move.
+        instance: InstanceId,
+        /// Destination host.
+        target: ServerId,
+    },
+    /// Raise the scheduling priority of `service`.
+    IncreasePriority {
+        /// Service whose priority rises.
+        service: ServiceId,
+    },
+    /// Lower the scheduling priority of `service`.
+    ReducePriority {
+        /// Service whose priority drops.
+        service: ServiceId,
+    },
+}
+
+impl Action {
+    /// The action's kind.
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            Action::Start { .. } => ActionKind::Start,
+            Action::Stop { .. } => ActionKind::Stop,
+            Action::ScaleIn { .. } => ActionKind::ScaleIn,
+            Action::ScaleOut { .. } => ActionKind::ScaleOut,
+            Action::ScaleUp { .. } => ActionKind::ScaleUp,
+            Action::ScaleDown { .. } => ActionKind::ScaleDown,
+            Action::Move { .. } => ActionKind::Move,
+            Action::IncreasePriority { .. } => ActionKind::IncreasePriority,
+            Action::ReducePriority { .. } => ActionKind::ReducePriority,
+        }
+    }
+
+    /// The target server, if this action has one.
+    pub fn target(&self) -> Option<ServerId> {
+        match *self {
+            Action::Start { target, .. }
+            | Action::ScaleOut { target, .. }
+            | Action::ScaleUp { target, .. }
+            | Action::ScaleDown { target, .. }
+            | Action::Move { target, .. } => Some(target),
+            _ => None,
+        }
+    }
+
+    /// The instance this action operates on, if any.
+    pub fn instance(&self) -> Option<InstanceId> {
+        match *self {
+            Action::Stop { instance }
+            | Action::ScaleIn { instance }
+            | Action::ScaleUp { instance, .. }
+            | Action::ScaleDown { instance, .. }
+            | Action::Move { instance, .. } => Some(instance),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Start { service, target } => write!(f, "start {service} on {target}"),
+            Action::Stop { instance } => write!(f, "stop {instance}"),
+            Action::ScaleIn { instance } => write!(f, "scale-in {instance}"),
+            Action::ScaleOut { service, target } => {
+                write!(f, "scale-out {service} onto {target}")
+            }
+            Action::ScaleUp { instance, target } => {
+                write!(f, "scale-up {instance} to {target}")
+            }
+            Action::ScaleDown { instance, target } => {
+                write!(f, "scale-down {instance} to {target}")
+            }
+            Action::Move { instance, target } => write!(f, "move {instance} to {target}"),
+            Action::IncreasePriority { service } => write!(f, "increase priority of {service}"),
+            Action::ReducePriority { service } => write!(f, "reduce priority of {service}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_cover_table_2() {
+        assert_eq!(ActionKind::ALL.len(), 9);
+        // Variable names round-trip.
+        for kind in ActionKind::ALL {
+            assert_eq!(ActionKind::from_variable_name(kind.variable_name()), Some(kind));
+        }
+        assert_eq!(ActionKind::from_variable_name("bogus"), None);
+    }
+
+    #[test]
+    fn needs_target_matches_section_4_2() {
+        // "In the case of a scale-out, scale-up, scale-down, move, or start,
+        // an appropriate target server ... must be chosen."
+        let with_target = [
+            ActionKind::Start,
+            ActionKind::ScaleOut,
+            ActionKind::ScaleUp,
+            ActionKind::ScaleDown,
+            ActionKind::Move,
+        ];
+        for k in ActionKind::ALL {
+            assert_eq!(k.needs_target(), with_target.contains(&k), "{k}");
+        }
+    }
+
+    #[test]
+    fn accessors_extract_parts() {
+        let a = Action::ScaleUp {
+            instance: InstanceId::new(3),
+            target: ServerId::new(7),
+        };
+        assert_eq!(a.kind(), ActionKind::ScaleUp);
+        assert_eq!(a.target(), Some(ServerId::new(7)));
+        assert_eq!(a.instance(), Some(InstanceId::new(3)));
+
+        let p = Action::IncreasePriority { service: ServiceId::new(1) };
+        assert_eq!(p.target(), None);
+        assert_eq!(p.instance(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Action::Move {
+            instance: InstanceId::new(2),
+            target: ServerId::new(5),
+        };
+        assert_eq!(a.to_string(), "move inst#2 to srv#5");
+    }
+}

@@ -1,0 +1,552 @@
+//! Constraint verification for controller actions.
+//!
+//! "The fuzzy controller only considers actions that do not violate any
+//! given constraint" (Section 4.1). The constraints come from the
+//! declarative service descriptions (Tables 5 and 6): allowed action sets,
+//! instance-count bounds, exclusivity, minimum performance index — plus
+//! physical ones (memory, moving to the host the instance is already on).
+
+use crate::action::{Action, ActionKind};
+use crate::ids::{InstanceId, ServerId, ServiceId};
+use crate::Landscape;
+use std::fmt;
+
+/// Why an action was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintViolation {
+    /// The service's declaration does not allow this action kind.
+    ActionNotAllowed {
+        /// The offending service.
+        service: ServiceId,
+        /// The disallowed action kind.
+        kind: ActionKind,
+    },
+    /// Stopping would drop below the declared minimum instance count.
+    MinInstances {
+        /// The affected service.
+        service: ServiceId,
+        /// The declared minimum.
+        min: u32,
+        /// Instances currently running.
+        current: u32,
+    },
+    /// Starting would exceed the declared maximum instance count.
+    MaxInstances {
+        /// The affected service.
+        service: ServiceId,
+        /// The declared maximum.
+        max: u32,
+        /// Instances currently running.
+        current: u32,
+    },
+    /// The target host's performance index is below the service's minimum.
+    PerformanceIndexTooLow {
+        /// The affected service.
+        service: ServiceId,
+        /// The rejected target host.
+        server: ServerId,
+        /// The service's declared minimum.
+        required: f64,
+        /// The host's actual index.
+        actual: f64,
+    },
+    /// Exclusivity would be violated on the target host.
+    ExclusivityViolated {
+        /// The rejected target host.
+        server: ServerId,
+    },
+    /// The target host lacks memory for another instance.
+    InsufficientMemory {
+        /// The rejected target host.
+        server: ServerId,
+        /// MB needed by the new instance.
+        needed_mb: u64,
+        /// MB still free on the host.
+        free_mb: u64,
+    },
+    /// The instance already runs on the proposed target.
+    AlreadyOnTarget {
+        /// The instance.
+        instance: InstanceId,
+        /// The no-op target.
+        server: ServerId,
+    },
+    /// A scale-up target must be strictly more powerful; a scale-down target
+    /// strictly less powerful (Table 2).
+    WrongPowerDirection {
+        /// The attempted action kind (ScaleUp or ScaleDown).
+        kind: ActionKind,
+        /// Performance index of the current host.
+        from_index: f64,
+        /// Performance index of the proposed target.
+        to_index: f64,
+    },
+    /// `Start` is only valid when no instance runs; `Stop` only when exactly
+    /// one does (otherwise scale-out / scale-in apply).
+    WrongLifecyclePhase {
+        /// The attempted action kind.
+        kind: ActionKind,
+        /// Instances currently running.
+        current: u32,
+    },
+    /// The target host is marked failed.
+    ServerUnavailable {
+        /// The failed host.
+        server: ServerId,
+    },
+    /// An id in the action did not resolve.
+    UnknownEntity {
+        /// Human-readable description.
+        description: String,
+    },
+}
+
+impl fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintViolation::ActionNotAllowed { service, kind } => {
+                write!(f, "{service} does not allow {kind}")
+            }
+            ConstraintViolation::MinInstances { service, min, current } => write!(
+                f,
+                "{service} must keep at least {min} instances (has {current})"
+            ),
+            ConstraintViolation::MaxInstances { service, max, current } => write!(
+                f,
+                "{service} may run at most {max} instances (has {current})"
+            ),
+            ConstraintViolation::PerformanceIndexTooLow {
+                service,
+                server,
+                required,
+                actual,
+            } => write!(
+                f,
+                "{server} (index {actual}) below {service}'s minimum performance index {required}"
+            ),
+            ConstraintViolation::ExclusivityViolated { server } => {
+                write!(f, "exclusivity violated on {server}")
+            }
+            ConstraintViolation::InsufficientMemory { server, needed_mb, free_mb } => write!(
+                f,
+                "{server} has {free_mb} MB free but the instance needs {needed_mb} MB"
+            ),
+            ConstraintViolation::AlreadyOnTarget { instance, server } => {
+                write!(f, "{instance} already runs on {server}")
+            }
+            ConstraintViolation::WrongPowerDirection { kind, from_index, to_index } => write!(
+                f,
+                "{kind} from index {from_index} to {to_index} goes the wrong direction"
+            ),
+            ConstraintViolation::WrongLifecyclePhase { kind, current } => {
+                write!(f, "{kind} invalid while {current} instances run")
+            }
+            ConstraintViolation::ServerUnavailable { server } => {
+                write!(f, "{server} is marked failed")
+            }
+            ConstraintViolation::UnknownEntity { description } => f.write_str(description),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+/// Verify that `action` violates no declared or physical constraint in the
+/// current state of `landscape`.
+pub fn check_action(landscape: &Landscape, action: &Action) -> Result<(), ConstraintViolation> {
+    let service_id = service_of(landscape, action)?;
+    let service = landscape
+        .service(service_id)
+        .map_err(|e| ConstraintViolation::UnknownEntity {
+            description: e.to_string(),
+        })?;
+    let kind = action.kind();
+
+    if !service.allows(kind) {
+        return Err(ConstraintViolation::ActionNotAllowed {
+            service: service_id,
+            kind,
+        });
+    }
+
+    let current = landscape.instance_count_of(service_id) as u32;
+
+    match kind {
+        ActionKind::Start
+            if current != 0 => {
+                return Err(ConstraintViolation::WrongLifecyclePhase { kind, current });
+            }
+        ActionKind::Stop => {
+            if current != 1 {
+                return Err(ConstraintViolation::WrongLifecyclePhase { kind, current });
+            }
+            // Stop removes the final instance, so min_instances > 0 forbids it.
+            if service.min_instances > 0 {
+                return Err(ConstraintViolation::MinInstances {
+                    service: service_id,
+                    min: service.min_instances,
+                    current,
+                });
+            }
+        }
+        ActionKind::ScaleIn
+            if current <= service.min_instances => {
+                return Err(ConstraintViolation::MinInstances {
+                    service: service_id,
+                    min: service.min_instances,
+                    current,
+                });
+            }
+        ActionKind::ScaleOut => {
+            if let Some(max) = service.max_instances {
+                if current >= max {
+                    return Err(ConstraintViolation::MaxInstances {
+                        service: service_id,
+                        max,
+                        current,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Target-related checks.
+    if let Some(target) = action.target() {
+        let server = landscape
+            .server(target)
+            .map_err(|e| ConstraintViolation::UnknownEntity {
+                description: e.to_string(),
+            })?;
+
+        if !landscape.is_available(target) {
+            return Err(ConstraintViolation::ServerUnavailable { server: target });
+        }
+
+        if let Some(required) = service.min_performance_index {
+            if server.performance_index < required {
+                return Err(ConstraintViolation::PerformanceIndexTooLow {
+                    service: service_id,
+                    server: target,
+                    required,
+                    actual: server.performance_index,
+                });
+            }
+        }
+
+        // Exclusivity (both directions).
+        let residents = landscape.instances_on(target);
+        let has_foreign = residents.iter().any(|i| {
+            landscape
+                .instance(*i)
+                .map(|inst| inst.service != service_id)
+                .unwrap_or(false)
+        });
+        if service.exclusive && has_foreign {
+            return Err(ConstraintViolation::ExclusivityViolated { server: target });
+        }
+        for i in &residents {
+            if let Ok(inst) = landscape.instance(*i) {
+                if inst.service != service_id {
+                    if let Ok(other) = landscape.service(inst.service) {
+                        if other.exclusive {
+                            return Err(ConstraintViolation::ExclusivityViolated { server: target });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Memory. A move frees the instance's memory on the source, which is
+        // a different host, so the full footprint must fit on the target.
+        let used = landscape.memory_used_on(target);
+        let free = server.memory_mb.saturating_sub(used);
+        if service.memory_per_instance_mb > free {
+            return Err(ConstraintViolation::InsufficientMemory {
+                server: target,
+                needed_mb: service.memory_per_instance_mb,
+                free_mb: free,
+            });
+        }
+
+        // Move-family checks.
+        if let Some(instance_id) = action.instance() {
+            let inst = landscape
+                .instance(instance_id)
+                .map_err(|e| ConstraintViolation::UnknownEntity {
+                    description: e.to_string(),
+                })?;
+            if inst.server == target {
+                return Err(ConstraintViolation::AlreadyOnTarget {
+                    instance: instance_id,
+                    server: target,
+                });
+            }
+            let from_index = landscape
+                .server(inst.server)
+                .map(|s| s.performance_index)
+                .unwrap_or(0.0);
+            let to_index = server.performance_index;
+            match kind {
+                ActionKind::ScaleUp if to_index <= from_index => {
+                    return Err(ConstraintViolation::WrongPowerDirection {
+                        kind,
+                        from_index,
+                        to_index,
+                    });
+                }
+                ActionKind::ScaleDown if to_index >= from_index => {
+                    return Err(ConstraintViolation::WrongPowerDirection {
+                        kind,
+                        from_index,
+                        to_index,
+                    });
+                }
+                _ => {}
+            }
+        }
+    } else if let Some(instance_id) = action.instance() {
+        // Instance must exist even for targetless actions (stop, scale-in).
+        landscape
+            .instance(instance_id)
+            .map_err(|e| ConstraintViolation::UnknownEntity {
+                description: e.to_string(),
+            })?;
+    }
+
+    Ok(())
+}
+
+fn service_of(landscape: &Landscape, action: &Action) -> Result<ServiceId, ConstraintViolation> {
+    match *action {
+        Action::Start { service, .. }
+        | Action::ScaleOut { service, .. }
+        | Action::IncreasePriority { service }
+        | Action::ReducePriority { service } => Ok(service),
+        Action::Stop { instance }
+        | Action::ScaleIn { instance }
+        | Action::ScaleUp { instance, .. }
+        | Action::ScaleDown { instance, .. }
+        | Action::Move { instance, .. } => landscape
+            .instance(instance)
+            .map(|i| i.service)
+            .map_err(|e| ConstraintViolation::UnknownEntity {
+                description: e.to_string(),
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerSpec;
+    use crate::service::{ServiceKind, ServiceSpec};
+
+    struct Fixture {
+        l: Landscape,
+        fi: ServiceId,
+        db: ServiceId,
+        blade1: ServerId,
+        blade2: ServerId,
+        dbserver: ServerId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut l = Landscape::new();
+        let blade1 = l.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+        let blade2 = l.add_server(ServerSpec::fsc_bx600("Blade2")).unwrap();
+        let dbserver = l.add_server(ServerSpec::hp_bl40p("DBServer1")).unwrap();
+        let fi = l
+            .add_service(
+                ServiceSpec::new("FI", ServiceKind::ApplicationServer).with_instances(2, Some(4)),
+            )
+            .unwrap();
+        let db = l
+            .add_service(
+                ServiceSpec::new("DB-ERP", ServiceKind::Database)
+                    .with_exclusive(true)
+                    .with_min_performance_index(5.0)
+                    .with_instances(1, Some(1))
+                    .with_allowed_actions([]),
+            )
+            .unwrap();
+        Fixture {
+            l,
+            fi,
+            db,
+            blade1,
+            blade2,
+            dbserver,
+        }
+    }
+
+    #[test]
+    fn disallowed_action_kind_is_rejected() {
+        let mut f = fixture();
+        let i = f.l.start_instance(f.db, f.dbserver).unwrap();
+        let err = check_action(&f.l, &Action::Move { instance: i, target: f.blade2 }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::ActionNotAllowed { .. }));
+    }
+
+    #[test]
+    fn min_instances_blocks_scale_in() {
+        let mut f = fixture();
+        let i1 = f.l.start_instance(f.fi, f.blade1).unwrap();
+        let _i2 = f.l.start_instance(f.fi, f.blade2).unwrap();
+        // Exactly at the minimum of 2 → scale-in rejected.
+        let err = check_action(&f.l, &Action::ScaleIn { instance: i1 }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::MinInstances { min: 2, current: 2, .. }));
+        // One above the minimum → allowed.
+        let _i3 = f.l.start_instance(f.fi, f.blade2).unwrap();
+        assert!(check_action(&f.l, &Action::ScaleIn { instance: i1 }).is_ok());
+    }
+
+    #[test]
+    fn max_instances_blocks_scale_out() {
+        let mut f = fixture();
+        for _ in 0..4 {
+            f.l.start_instance(f.fi, f.blade2).unwrap();
+        }
+        let err = check_action(
+            &f.l,
+            &Action::ScaleOut { service: f.fi, target: f.blade1 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintViolation::MaxInstances { max: 4, current: 4, .. }));
+    }
+
+    #[test]
+    fn performance_index_minimum_is_enforced() {
+        let mut f = fixture();
+        // Allow starting DB somewhere: need an action kind DB allows.
+        // Rebuild DB to allow Start for the test.
+        let db2 = f
+            .l
+            .add_service(
+                ServiceSpec::new("DB-BW", ServiceKind::Database)
+                    .with_min_performance_index(5.0)
+                    .with_instances(0, Some(2))
+                    .with_allowed_actions([ActionKind::Start, ActionKind::ScaleOut]),
+            )
+            .unwrap();
+        let err = check_action(&f.l, &Action::Start { service: db2, target: f.blade2 }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::PerformanceIndexTooLow { .. }));
+        assert!(check_action(&f.l, &Action::Start { service: db2, target: f.dbserver }).is_ok());
+    }
+
+    #[test]
+    fn exclusivity_blocks_cohabitation() {
+        let mut f = fixture();
+        // FI instance occupies DBServer1 → exclusive DB can't start there.
+        f.l.start_instance(f.fi, f.dbserver).unwrap();
+        let db2 = f
+            .l
+            .add_service(
+                ServiceSpec::new("DB2", ServiceKind::Database)
+                    .with_exclusive(true)
+                    .with_min_performance_index(5.0)
+                    .with_instances(0, None)
+                    .with_allowed_actions([ActionKind::Start]),
+            )
+            .unwrap();
+        let err = check_action(&f.l, &Action::Start { service: db2, target: f.dbserver }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::ExclusivityViolated { .. }));
+    }
+
+    #[test]
+    fn exclusive_resident_blocks_newcomers() {
+        let mut f = fixture();
+        f.l.start_instance(f.db, f.dbserver).unwrap();
+        let err = check_action(
+            &f.l,
+            &Action::ScaleOut { service: f.fi, target: f.dbserver },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintViolation::ExclusivityViolated { .. }));
+    }
+
+    #[test]
+    fn memory_exhaustion_blocks_scale_out() {
+        let mut f = fixture();
+        let fat = f
+            .l
+            .add_service(
+                ServiceSpec::new("fat", ServiceKind::Generic)
+                    .with_memory(1200)
+                    .with_instances(0, None),
+            )
+            .unwrap();
+        f.l.start_instance(fat, f.blade1).unwrap();
+        // Blade1 has 2048 MB; 1200 used; another 1200 does not fit.
+        let err = check_action(&f.l, &Action::ScaleOut { service: fat, target: f.blade1 }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::InsufficientMemory { .. }));
+    }
+
+    #[test]
+    fn move_to_same_host_is_rejected() {
+        let mut f = fixture();
+        let i = f.l.start_instance(f.fi, f.blade1).unwrap();
+        let err = check_action(&f.l, &Action::Move { instance: i, target: f.blade1 }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::AlreadyOnTarget { .. }));
+    }
+
+    #[test]
+    fn scale_up_requires_strictly_more_power() {
+        let mut f = fixture();
+        let i = f.l.start_instance(f.fi, f.blade2).unwrap(); // index 2
+        // Down to index 1 is not an up.
+        let err =
+            check_action(&f.l, &Action::ScaleUp { instance: i, target: f.blade1 }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::WrongPowerDirection { .. }));
+        // Up to index 9 is.
+        assert!(check_action(&f.l, &Action::ScaleUp { instance: i, target: f.dbserver }).is_ok());
+        // Scale-down mirrored.
+        let err =
+            check_action(&f.l, &Action::ScaleDown { instance: i, target: f.dbserver }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::WrongPowerDirection { .. }));
+        assert!(check_action(&f.l, &Action::ScaleDown { instance: i, target: f.blade1 }).is_ok());
+    }
+
+    #[test]
+    fn start_and_stop_lifecycle_phases() {
+        let mut f = fixture();
+        let svc = f
+            .l
+            .add_service(
+                ServiceSpec::new("optional", ServiceKind::Generic).with_instances(0, None),
+            )
+            .unwrap();
+        // Start valid with zero instances.
+        assert!(check_action(&f.l, &Action::Start { service: svc, target: f.blade1 }).is_ok());
+        let i = f.l.start_instance(svc, f.blade1).unwrap();
+        // Second start is a lifecycle error (that's a scale-out).
+        let err = check_action(&f.l, &Action::Start { service: svc, target: f.blade2 }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::WrongLifecyclePhase { .. }));
+        // Stop valid with exactly one instance and min_instances 0.
+        assert!(check_action(&f.l, &Action::Stop { instance: i }).is_ok());
+        let _i2 = f.l.start_instance(svc, f.blade2).unwrap();
+        let err = check_action(&f.l, &Action::Stop { instance: i }).unwrap_err();
+        assert!(matches!(err, ConstraintViolation::WrongLifecyclePhase { .. }));
+    }
+
+    #[test]
+    fn unknown_instance_is_reported() {
+        let f = fixture();
+        let err = check_action(
+            &f.l,
+            &Action::ScaleIn { instance: InstanceId::new(999) },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConstraintViolation::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn violations_display_readably() {
+        let v = ConstraintViolation::MinInstances {
+            service: ServiceId::new(0),
+            min: 2,
+            current: 2,
+        };
+        assert_eq!(v.to_string(), "svc#0 must keep at least 2 instances (has 2)");
+    }
+}

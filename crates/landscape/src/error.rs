@@ -1,0 +1,109 @@
+//! Error types for landscape manipulation and description parsing.
+
+use crate::constraints::ConstraintViolation;
+use crate::ids::{InstanceId, ServerId, ServiceId};
+use std::fmt;
+
+/// Errors raised while building or mutating a [`crate::Landscape`] or while
+/// parsing a landscape description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LandscapeError {
+    /// A server name was used twice.
+    DuplicateServer {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A service name was used twice.
+    DuplicateService {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An id did not resolve.
+    UnknownServer {
+        /// The missing id.
+        id: ServerId,
+    },
+    /// An id did not resolve.
+    UnknownService {
+        /// The missing id.
+        id: ServiceId,
+    },
+    /// An id did not resolve.
+    UnknownInstance {
+        /// The missing id.
+        id: InstanceId,
+    },
+    /// A name lookup failed.
+    NoSuchName {
+        /// What was looked up ("server" or "service").
+        kind: &'static str,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An action was rejected by constraint checking.
+    Constraint(ConstraintViolation),
+    /// XML syntax error.
+    Xml {
+        /// Byte offset of the problem.
+        position: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The XML was well-formed but did not describe a valid landscape.
+    Schema {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A specification value was invalid (negative performance index, …).
+    InvalidSpec {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for LandscapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LandscapeError::DuplicateServer { name } => write!(f, "duplicate server `{name}`"),
+            LandscapeError::DuplicateService { name } => write!(f, "duplicate service `{name}`"),
+            LandscapeError::UnknownServer { id } => write!(f, "unknown server {id}"),
+            LandscapeError::UnknownService { id } => write!(f, "unknown service {id}"),
+            LandscapeError::UnknownInstance { id } => write!(f, "unknown instance {id}"),
+            LandscapeError::NoSuchName { kind, name } => write!(f, "no {kind} named `{name}`"),
+            LandscapeError::Constraint(v) => write!(f, "constraint violation: {v}"),
+            LandscapeError::Xml { position, message } => {
+                write!(f, "XML error at byte {position}: {message}")
+            }
+            LandscapeError::Schema { message } => write!(f, "landscape schema error: {message}"),
+            LandscapeError::InvalidSpec { message } => write!(f, "invalid specification: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LandscapeError {}
+
+impl From<ConstraintViolation> for LandscapeError {
+    fn from(v: ConstraintViolation) -> Self {
+        LandscapeError::Constraint(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            LandscapeError::DuplicateServer { name: "Blade1".into() }.to_string(),
+            "duplicate server `Blade1`"
+        );
+        assert_eq!(
+            LandscapeError::NoSuchName { kind: "server", name: "X".into() }.to_string(),
+            "no server named `X`"
+        );
+        assert!(LandscapeError::UnknownInstance { id: InstanceId::new(7) }
+            .to_string()
+            .contains("inst#7"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Typed identifiers for servers, services and instances.
+//!
+//! Newtypes over `u32` keep the allocation tables dense and make it
+//! impossible to index a server map with a service id.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Wrap a raw index.
+            pub const fn new(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as `usize`, for slice indexing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(raw: u32) -> Self {
+                $name(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a physical (or virtual) server in the pool.
+    ServerId,
+    "srv#"
+);
+id_type!(
+    /// Identifies a service (the logical application, not a running copy).
+    ServiceId,
+    "svc#"
+);
+id_type!(
+    /// Identifies one running instance of a service.
+    InstanceId,
+    "inst#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        let a = ServerId::new(1);
+        let b = ServerId::new(2);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "srv#1");
+        assert_eq!(ServiceId::new(3).to_string(), "svc#3");
+        assert_eq!(InstanceId::new(9).to_string(), "inst#9");
+    }
+
+    #[test]
+    fn ids_round_trip_raw() {
+        let id = InstanceId::from(42u32);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42usize);
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare() {
+        // This is a compile-time property; the test documents it.
+        fn takes_server(_: ServerId) {}
+        takes_server(ServerId::new(0));
+    }
+}

@@ -1,0 +1,190 @@
+//! Server (host) specifications.
+//!
+//! The attribute set mirrors Table 3 of the paper — the input variables of
+//! the server-selection fuzzy controller: performance index, number of CPUs,
+//! CPU clock, CPU cache size, memory size, swap space and temporary disk
+//! space. The *performance index* relates host processing power (the paper's
+//! simulated pool uses 1 for a single-CPU FSC-BX300 blade, 2 for a dual-CPU
+//! BX600, 9 for a 4-way HP BL40p).
+
+use crate::error::LandscapeError;
+
+/// Static description of one server in the pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSpec {
+    /// Unique host name (e.g. `Blade1`, `DBServer3`).
+    pub name: String,
+    /// Hardware category, used for grouping in the console
+    /// (e.g. `FSC-BX300`, `HP-ProliantBL40p`).
+    pub category: String,
+    /// Relative processing power; higher is faster.
+    pub performance_index: f64,
+    /// Number of CPUs.
+    pub num_cpus: u32,
+    /// CPU clock in MHz.
+    pub cpu_clock_mhz: u32,
+    /// Per-CPU cache size in KB.
+    pub cpu_cache_kb: u32,
+    /// Main memory in MB.
+    pub memory_mb: u64,
+    /// Swap space in MB.
+    pub swap_mb: u64,
+    /// Temporary disk space in MB.
+    pub temp_space_mb: u64,
+}
+
+impl ServerSpec {
+    /// Create a spec with the given name and performance index; all other
+    /// attributes get modest blade-like defaults and can be overridden with
+    /// the builder-style `with_*` methods.
+    pub fn new(name: impl Into<String>, performance_index: f64) -> Self {
+        ServerSpec {
+            name: name.into(),
+            category: "generic".into(),
+            performance_index,
+            num_cpus: 1,
+            cpu_clock_mhz: 1000,
+            cpu_cache_kb: 512,
+            memory_mb: 2048,
+            swap_mb: 4096,
+            temp_space_mb: 10240,
+        }
+    }
+
+    /// Set the hardware category.
+    pub fn with_category(mut self, category: impl Into<String>) -> Self {
+        self.category = category.into();
+        self
+    }
+
+    /// Set CPU topology (count, clock MHz, cache KB).
+    pub fn with_cpus(mut self, num: u32, clock_mhz: u32, cache_kb: u32) -> Self {
+        self.num_cpus = num;
+        self.cpu_clock_mhz = clock_mhz;
+        self.cpu_cache_kb = cache_kb;
+        self
+    }
+
+    /// Set memory and swap sizes in MB.
+    pub fn with_memory(mut self, memory_mb: u64, swap_mb: u64) -> Self {
+        self.memory_mb = memory_mb;
+        self.swap_mb = swap_mb;
+        self
+    }
+
+    /// Set temporary disk space in MB.
+    pub fn with_temp_space(mut self, temp_space_mb: u64) -> Self {
+        self.temp_space_mb = temp_space_mb;
+        self
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), LandscapeError> {
+        if self.name.is_empty() {
+            return Err(LandscapeError::InvalidSpec {
+                message: "server name must not be empty".into(),
+            });
+        }
+        if !self.performance_index.is_finite() || self.performance_index <= 0.0 {
+            return Err(LandscapeError::InvalidSpec {
+                message: format!(
+                    "server `{}`: performance index must be positive, got {}",
+                    self.name, self.performance_index
+                ),
+            });
+        }
+        if self.num_cpus == 0 {
+            return Err(LandscapeError::InvalidSpec {
+                message: format!("server `{}`: must have at least one CPU", self.name),
+            });
+        }
+        if self.memory_mb == 0 {
+            return Err(LandscapeError::InvalidSpec {
+                message: format!("server `{}`: must have memory", self.name),
+            });
+        }
+        Ok(())
+    }
+
+    /// The paper's FSC-BX300 blade: 1× Pentium III 933 MHz, 2 GB RAM,
+    /// performance index 1 (Section 5.1).
+    pub fn fsc_bx300(name: impl Into<String>) -> Self {
+        ServerSpec::new(name, 1.0)
+            .with_category("FSC-BX300")
+            .with_cpus(1, 933, 512)
+            .with_memory(2048, 4096)
+            .with_temp_space(20_480)
+    }
+
+    /// The paper's FSC-BX600 blade: 2× Pentium III 933 MHz, 4 GB RAM,
+    /// performance index 2.
+    pub fn fsc_bx600(name: impl Into<String>) -> Self {
+        ServerSpec::new(name, 2.0)
+            .with_category("FSC-BX600")
+            .with_cpus(2, 933, 512)
+            .with_memory(4096, 8192)
+            .with_temp_space(20_480)
+    }
+
+    /// The paper's HP ProLiant BL40p: 4× Xeon MP 2.8 GHz, 12 GB RAM,
+    /// performance index 9.
+    pub fn hp_bl40p(name: impl Into<String>) -> Self {
+        ServerSpec::new(name, 9.0)
+            .with_category("HP-ProliantBL40p")
+            .with_cpus(4, 2800, 2048)
+            .with_memory(12_288, 24_576)
+            .with_temp_space(102_400)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_hardware_presets() {
+        let b300 = ServerSpec::fsc_bx300("Blade1");
+        assert_eq!(b300.performance_index, 1.0);
+        assert_eq!(b300.num_cpus, 1);
+        assert_eq!(b300.memory_mb, 2048);
+        assert!(b300.validate().is_ok());
+
+        let b600 = ServerSpec::fsc_bx600("Blade9");
+        assert_eq!(b600.performance_index, 2.0);
+        assert_eq!(b600.num_cpus, 2);
+        assert_eq!(b600.memory_mb, 4096);
+
+        let db = ServerSpec::hp_bl40p("DBServer1");
+        assert_eq!(db.performance_index, 9.0);
+        assert_eq!(db.num_cpus, 4);
+        assert_eq!(db.cpu_clock_mhz, 2800);
+        assert_eq!(db.memory_mb, 12_288);
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        assert!(ServerSpec::new("", 1.0).validate().is_err());
+        assert!(ServerSpec::new("x", 0.0).validate().is_err());
+        assert!(ServerSpec::new("x", -1.0).validate().is_err());
+        assert!(ServerSpec::new("x", f64::NAN).validate().is_err());
+        let mut no_cpu = ServerSpec::new("x", 1.0);
+        no_cpu.num_cpus = 0;
+        assert!(no_cpu.validate().is_err());
+        let mut no_mem = ServerSpec::new("x", 1.0);
+        no_mem.memory_mb = 0;
+        assert!(no_mem.validate().is_err());
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let s = ServerSpec::new("big", 4.0)
+            .with_category("custom")
+            .with_cpus(8, 3200, 4096)
+            .with_memory(65536, 131072)
+            .with_temp_space(1_000_000);
+        assert_eq!(s.category, "custom");
+        assert_eq!(s.num_cpus, 8);
+        assert_eq!(s.temp_space_mb, 1_000_000);
+        assert!(s.validate().is_ok());
+    }
+}

@@ -1,0 +1,321 @@
+//! Service specifications: capabilities, constraints and load parameters.
+//!
+//! The constraint vocabulary is exactly the one of Tables 5 and 6 of the
+//! paper: *exclusive* (no other service may run on the host), *minimum
+//! performance index*, *minimum/maximum number of instances*, plus the set
+//! of actions the service supports ("a traditional SAP database service does
+//! not support a scale-out", Section 4.1).
+
+use crate::action::ActionKind;
+use crate::error::LandscapeError;
+use std::collections::BTreeSet;
+
+/// What role a service plays in the SAP-style three-layer architecture
+/// (Figure 9 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServiceKind {
+    /// A database service (e.g. the ERP database).
+    Database,
+    /// A central instance: the global lock manager of a subsystem.
+    CentralInstance,
+    /// An application server executing application logic (FI, HR, LES, …).
+    ApplicationServer,
+    /// Anything else (generic web service on the ServiceGlobe platform).
+    Generic,
+}
+
+impl ServiceKind {
+    /// Name used in the XML description language.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceKind::Database => "database",
+            ServiceKind::CentralInstance => "centralInstance",
+            ServiceKind::ApplicationServer => "applicationServer",
+            ServiceKind::Generic => "generic",
+        }
+    }
+
+    /// Inverse of [`ServiceKind::name`].
+    pub fn from_name(name: &str) -> Option<ServiceKind> {
+        [
+            ServiceKind::Database,
+            ServiceKind::CentralInstance,
+            ServiceKind::ApplicationServer,
+            ServiceKind::Generic,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+}
+
+/// Scheduling priority of a service (the increase/reduce-priority actions of
+/// Table 2 step through these levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background work.
+    Low,
+    /// The default.
+    #[default]
+    Normal,
+    /// Mission-critical.
+    High,
+}
+
+impl Priority {
+    /// The next level up (saturating).
+    pub fn increased(self) -> Priority {
+        match self {
+            Priority::Low => Priority::Normal,
+            _ => Priority::High,
+        }
+    }
+
+    /// The next level down (saturating).
+    pub fn reduced(self) -> Priority {
+        match self {
+            Priority::High => Priority::Normal,
+            _ => Priority::Low,
+        }
+    }
+}
+
+/// Static description of a service: identity, constraints and load model
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSpec {
+    /// Unique service name (e.g. `FI`, `database-ERP`).
+    pub name: String,
+    /// Which subsystem the service belongs to (e.g. `ERP`), if any.
+    pub subsystem: Option<String>,
+    /// Architectural role.
+    pub kind: ServiceKind,
+    /// Minimum number of instances that must stay running.
+    pub min_instances: u32,
+    /// Maximum number of instances allowed (None = unbounded).
+    pub max_instances: Option<u32>,
+    /// If true, no other service may share a host with this service.
+    pub exclusive: bool,
+    /// Minimum performance index a host must have to run this service.
+    pub min_performance_index: Option<f64>,
+    /// The actions this service supports.
+    pub allowed_actions: BTreeSet<ActionKind>,
+    /// CPU demand an idle instance puts on a performance-index-1 host
+    /// ("every application server itself induces a basic load", Section 5.1).
+    pub base_load: f64,
+    /// Additional CPU demand per connected user on a performance-index-1
+    /// host (service-specific: "an FI request produces lower load than a BW
+    /// request").
+    pub load_per_user: f64,
+    /// Memory one instance occupies, in MB.
+    pub memory_per_instance_mb: u64,
+    /// Initial scheduling priority.
+    pub priority: Priority,
+}
+
+impl ServiceSpec {
+    /// Create a spec with sensible application-server defaults: min 1
+    /// instance, unbounded maximum, not exclusive, no minimum performance
+    /// index, all movement/scaling actions allowed.
+    pub fn new(name: impl Into<String>, kind: ServiceKind) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            subsystem: None,
+            kind,
+            min_instances: 1,
+            max_instances: None,
+            exclusive: false,
+            min_performance_index: None,
+            allowed_actions: ActionKind::ALL.into_iter().collect(),
+            base_load: 0.05,
+            load_per_user: 0.004,
+            memory_per_instance_mb: 512,
+            priority: Priority::Normal,
+        }
+    }
+
+    /// Set the subsystem.
+    pub fn with_subsystem(mut self, subsystem: impl Into<String>) -> Self {
+        self.subsystem = Some(subsystem.into());
+        self
+    }
+
+    /// Set instance-count bounds.
+    pub fn with_instances(mut self, min: u32, max: Option<u32>) -> Self {
+        self.min_instances = min;
+        self.max_instances = max;
+        self
+    }
+
+    /// Mark the service exclusive (paper: the ERP database in both the CM
+    /// and FM scenarios).
+    pub fn with_exclusive(mut self, exclusive: bool) -> Self {
+        self.exclusive = exclusive;
+        self
+    }
+
+    /// Require a minimum host performance index.
+    pub fn with_min_performance_index(mut self, idx: f64) -> Self {
+        self.min_performance_index = Some(idx);
+        self
+    }
+
+    /// Replace the allowed action set.
+    pub fn with_allowed_actions(mut self, actions: impl IntoIterator<Item = ActionKind>) -> Self {
+        self.allowed_actions = actions.into_iter().collect();
+        self
+    }
+
+    /// Forbid every action — a fully static service (the paper's *static*
+    /// scenario, and databases/central instances in the CM scenario).
+    pub fn immobile(mut self) -> Self {
+        self.allowed_actions.clear();
+        self
+    }
+
+    /// Set load-model parameters (base load and per-user load, both on a
+    /// performance-index-1 host).
+    pub fn with_load_model(mut self, base_load: f64, load_per_user: f64) -> Self {
+        self.base_load = base_load;
+        self.load_per_user = load_per_user;
+        self
+    }
+
+    /// Set per-instance memory footprint.
+    pub fn with_memory(mut self, memory_per_instance_mb: u64) -> Self {
+        self.memory_per_instance_mb = memory_per_instance_mb;
+        self
+    }
+
+    /// Set the initial priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// True if `action` is in the allowed set.
+    pub fn allows(&self, action: ActionKind) -> bool {
+        self.allowed_actions.contains(&action)
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<(), LandscapeError> {
+        if self.name.is_empty() {
+            return Err(LandscapeError::InvalidSpec {
+                message: "service name must not be empty".into(),
+            });
+        }
+        if let Some(max) = self.max_instances {
+            if max < self.min_instances {
+                return Err(LandscapeError::InvalidSpec {
+                    message: format!(
+                        "service `{}`: max instances {} below min instances {}",
+                        self.name, max, self.min_instances
+                    ),
+                });
+            }
+            if max == 0 {
+                return Err(LandscapeError::InvalidSpec {
+                    message: format!("service `{}`: max instances must be positive", self.name),
+                });
+            }
+        }
+        if !(self.base_load.is_finite() && self.base_load >= 0.0) {
+            return Err(LandscapeError::InvalidSpec {
+                message: format!("service `{}`: base load must be ≥ 0", self.name),
+            });
+        }
+        if !(self.load_per_user.is_finite() && self.load_per_user >= 0.0) {
+            return Err(LandscapeError::InvalidSpec {
+                message: format!("service `{}`: load per user must be ≥ 0", self.name),
+            });
+        }
+        if let Some(idx) = self.min_performance_index {
+            if !(idx.is_finite() && idx > 0.0) {
+                return Err(LandscapeError::InvalidSpec {
+                    message: format!(
+                        "service `{}`: minimum performance index must be positive",
+                        self.name
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_allow_everything() {
+        let s = ServiceSpec::new("FI", ServiceKind::ApplicationServer);
+        for kind in ActionKind::ALL {
+            assert!(s.allows(kind));
+        }
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn immobile_service_allows_nothing() {
+        let s = ServiceSpec::new("DB", ServiceKind::Database).immobile();
+        for kind in ActionKind::ALL {
+            assert!(!s.allows(kind));
+        }
+    }
+
+    #[test]
+    fn cm_scenario_application_server_constraints() {
+        // Table 5: application servers support scale-in and scale-out only.
+        let s = ServiceSpec::new("FI", ServiceKind::ApplicationServer)
+            .with_instances(2, Some(8))
+            .with_allowed_actions([ActionKind::ScaleIn, ActionKind::ScaleOut]);
+        assert!(s.allows(ActionKind::ScaleOut));
+        assert!(!s.allows(ActionKind::Move));
+        assert_eq!(s.min_instances, 2);
+    }
+
+    #[test]
+    fn validation_catches_inconsistencies() {
+        assert!(ServiceSpec::new("", ServiceKind::Generic).validate().is_err());
+        assert!(ServiceSpec::new("x", ServiceKind::Generic)
+            .with_instances(3, Some(2))
+            .validate()
+            .is_err());
+        assert!(ServiceSpec::new("x", ServiceKind::Generic)
+            .with_load_model(-0.1, 0.0)
+            .validate()
+            .is_err());
+        assert!(ServiceSpec::new("x", ServiceKind::Generic)
+            .with_load_model(0.1, f64::INFINITY)
+            .validate()
+            .is_err());
+        assert!(ServiceSpec::new("x", ServiceKind::Generic)
+            .with_min_performance_index(0.0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn priority_ladder_saturates() {
+        assert_eq!(Priority::Low.increased(), Priority::Normal);
+        assert_eq!(Priority::Normal.increased(), Priority::High);
+        assert_eq!(Priority::High.increased(), Priority::High);
+        assert_eq!(Priority::High.reduced(), Priority::Normal);
+        assert_eq!(Priority::Normal.reduced(), Priority::Low);
+        assert_eq!(Priority::Low.reduced(), Priority::Low);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            ServiceKind::Database,
+            ServiceKind::CentralInstance,
+            ServiceKind::ApplicationServer,
+            ServiceKind::Generic,
+        ] {
+            assert_eq!(ServiceKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ServiceKind::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,528 @@
+//! The declarative XML description language.
+//!
+//! The paper describes services and servers "using a declarative XML
+//! language" based on early Global Grid Forum drafts (Sections 1, 5.1, 6).
+//! That language was never published, so this module defines an isomorphic
+//! one: a from-scratch minimal XML parser ([`parse`]) and a schema layer
+//! ([`schema`]) that turns documents into [`crate::Landscape`]s plus named
+//! fuzzy rule bases.
+//!
+//! The parser supports the subset of XML a configuration language needs:
+//! elements, attributes, text content, comments, CDATA, the five predefined
+//! entities and numeric character references, and an optional XML
+//! declaration. It rejects mismatched tags with byte-accurate positions.
+//!
+//! ```
+//! use autoglobe_landscape::xml::parse;
+//! let doc = parse(r#"<landscape><server name="Blade1" performanceIndex="1"/></landscape>"#).unwrap();
+//! assert_eq!(doc.root.name, "landscape");
+//! assert_eq!(doc.root.children.len(), 1);
+//! assert_eq!(doc.root.children[0].attr("name"), Some("Blade1"));
+//! ```
+
+pub mod schema;
+
+pub use schema::{LandscapeDescription, RuleBaseDescription};
+
+use crate::error::LandscapeError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order (duplicates rejected at parse time).
+    pub attributes: BTreeMap<String, String>,
+    /// Child elements, in document order.
+    pub children: Vec<Element>,
+    /// Concatenated text content directly inside this element (child element
+    /// text is *not* included), entity-decoded, surrounding whitespace kept.
+    pub text: String,
+}
+
+impl Element {
+    /// Attribute value lookup.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes.get(name).map(String::as_str)
+    }
+
+    /// Attribute value or a schema error naming the element.
+    pub fn require_attr(&self, name: &str) -> Result<&str, LandscapeError> {
+        self.attr(name).ok_or_else(|| LandscapeError::Schema {
+            message: format!("<{}> is missing required attribute `{name}`", self.name),
+        })
+    }
+
+    /// First child with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All children with the given tag name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// The element's text with surrounding whitespace trimmed.
+    pub fn trimmed_text(&self) -> &str {
+        self.text.trim()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}", self.name)?;
+        for (k, v) in &self.attributes {
+            write!(f, " {k}=\"{}\"", escape(v))?;
+        }
+        if self.children.is_empty() && self.text.trim().is_empty() {
+            return write!(f, "/>");
+        }
+        write!(f, ">")?;
+        if !self.text.trim().is_empty() {
+            write!(f, "{}", escape(self.text.trim()))?;
+        }
+        for c in &self.children {
+            write!(f, "{c}")?;
+        }
+        write!(f, "</{}>", self.name)
+    }
+}
+
+/// A parsed document: exactly one root element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// The document's root element.
+    pub root: Element,
+}
+
+/// Escape the five predefined entities for serialization.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, message: impl Into<String>) -> LandscapeError {
+        LandscapeError::Xml {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn skip_misc(&mut self) -> Result<(), LandscapeError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                // XML declaration / processing instruction.
+                match self.input[self.pos..].find("?>") {
+                    Some(offset) => self.advance(offset + 2),
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), LandscapeError> {
+        debug_assert!(self.starts_with("<!--"));
+        match self.input[self.pos + 4..].find("-->") {
+            Some(offset) => {
+                self.advance(4 + offset + 3);
+                Ok(())
+            }
+            None => Err(self.err("unterminated comment")),
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, LandscapeError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let c = b as char;
+            if c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        let first = self.bytes[start] as char;
+        if first.is_ascii_digit() || first == '-' || first == '.' {
+            return Err(LandscapeError::Xml {
+                position: start,
+                message: format!("names may not start with `{first}`"),
+            });
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn read_attribute_value(&mut self) -> Result<String, LandscapeError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.advance(1);
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == quote {
+                let raw = &self.input[start..self.pos];
+                self.advance(1);
+                return decode_entities(raw, start);
+            }
+            if b == b'<' {
+                return Err(self.err("`<` not allowed inside attribute value"));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<Element, LandscapeError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.advance(1);
+        let name = self.read_name()?;
+        let mut element = Element {
+            name,
+            ..Element::default()
+        };
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.advance(1);
+                    break;
+                }
+                Some(b'/') => {
+                    if self.starts_with("/>") {
+                        self.advance(2);
+                        return Ok(element);
+                    }
+                    return Err(self.err("stray `/` in tag"));
+                }
+                Some(_) => {
+                    let attr_start = self.pos;
+                    let attr_name = self.read_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err(format!("attribute `{attr_name}` needs `=value`")));
+                    }
+                    self.advance(1);
+                    self.skip_whitespace();
+                    let value = self.read_attribute_value()?;
+                    if element.attributes.insert(attr_name.clone(), value).is_some() {
+                        return Err(LandscapeError::Xml {
+                            position: attr_start,
+                            message: format!("duplicate attribute `{attr_name}`"),
+                        });
+                    }
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+
+        // Content.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                let body_start = self.pos + 9;
+                match self.input[body_start..].find("]]>") {
+                    Some(offset) => {
+                        element.text.push_str(&self.input[body_start..body_start + offset]);
+                        self.pos = body_start + offset + 3;
+                    }
+                    None => return Err(self.err("unterminated CDATA section")),
+                }
+                continue;
+            }
+            if self.starts_with("</") {
+                self.advance(2);
+                let close_pos = self.pos;
+                let close_name = self.read_name()?;
+                if close_name != element.name {
+                    return Err(LandscapeError::Xml {
+                        position: close_pos,
+                        message: format!(
+                            "mismatched closing tag: expected </{}>, found </{close_name}>",
+                            element.name
+                        ),
+                    });
+                }
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>` after closing tag name"));
+                }
+                self.advance(1);
+                return Ok(element);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    element.children.push(self.parse_element()?);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    element
+                        .text
+                        .push_str(&decode_entities(&self.input[start..self.pos], start)?);
+                }
+                None => {
+                    return Err(self.err(format!("unterminated element <{}>", element.name)));
+                }
+            }
+        }
+    }
+}
+
+fn decode_entities(raw: &str, base: usize) -> Result<String, LandscapeError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    let mut offset = 0usize;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        let after = &rest[amp + 1..];
+        let semi = after.find(';').ok_or(LandscapeError::Xml {
+            position: base + offset + amp,
+            message: "unterminated entity reference".into(),
+        })?;
+        let entity = &after[..semi];
+        match entity {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| LandscapeError::Xml {
+                    position: base + offset + amp,
+                    message: format!("invalid character reference `&{entity};`"),
+                })?;
+                out.push(char::from_u32(code).ok_or(LandscapeError::Xml {
+                    position: base + offset + amp,
+                    message: format!("character reference `&{entity};` is not a char"),
+                })?);
+            }
+            _ if entity.starts_with('#') => {
+                let code: u32 = entity[1..].parse().map_err(|_| LandscapeError::Xml {
+                    position: base + offset + amp,
+                    message: format!("invalid character reference `&{entity};`"),
+                })?;
+                out.push(char::from_u32(code).ok_or(LandscapeError::Xml {
+                    position: base + offset + amp,
+                    message: format!("character reference `&{entity};` is not a char"),
+                })?);
+            }
+            _ => {
+                return Err(LandscapeError::Xml {
+                    position: base + offset + amp,
+                    message: format!("unknown entity `&{entity};`"),
+                })
+            }
+        }
+        let consumed = amp + 1 + semi + 1;
+        offset += consumed;
+        rest = &rest[consumed..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Parse an XML document.
+pub fn parse(input: &str) -> Result<Document, LandscapeError> {
+    let mut cursor = Cursor {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    cursor.skip_misc()?;
+    if cursor.peek() != Some(b'<') {
+        return Err(cursor.err("expected root element"));
+    }
+    let root = cursor.parse_element()?;
+    cursor.skip_misc()?;
+    if cursor.pos != input.len() {
+        return Err(cursor.err("trailing content after root element"));
+    }
+    Ok(Document { root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_elements_and_attributes() {
+        let doc = parse(
+            r#"<landscape version="1">
+                 <servers>
+                   <server name="Blade1" performanceIndex="1"/>
+                   <server name="Blade2" performanceIndex="2"/>
+                 </servers>
+               </landscape>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.name, "landscape");
+        assert_eq!(doc.root.attr("version"), Some("1"));
+        let servers = doc.root.child("servers").unwrap();
+        assert_eq!(servers.children_named("server").count(), 2);
+        assert_eq!(servers.children[1].attr("name"), Some("Blade2"));
+    }
+
+    #[test]
+    fn text_content_and_trimming() {
+        let doc = parse("<rules>\n  IF cpuLoad IS high THEN scaleOut IS applicable\n</rules>").unwrap();
+        assert_eq!(
+            doc.root.trimmed_text(),
+            "IF cpuLoad IS high THEN scaleOut IS applicable"
+        );
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_attributes() {
+        let doc = parse(r#"<a note="x &lt; y &amp; z">&quot;quoted&quot; &#65;&#x42;</a>"#).unwrap();
+        assert_eq!(doc.root.attr("note"), Some("x < y & z"));
+        assert_eq!(doc.root.trimmed_text(), "\"quoted\" AB");
+    }
+
+    #[test]
+    fn cdata_is_verbatim() {
+        let doc = parse("<r><![CDATA[a < b && c > d]]></r>").unwrap();
+        assert_eq!(doc.root.trimmed_text(), "a < b && c > d");
+    }
+
+    #[test]
+    fn comments_and_declaration_are_skipped() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n<!-- top comment -->\n<root><!-- inner --><child/></root>\n<!-- trailing -->",
+        )
+        .unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_tags_are_rejected_with_position() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        match err {
+            LandscapeError::Xml { position, message } => {
+                assert!(message.contains("mismatched"));
+                assert!(position > 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_attributes_are_rejected() {
+        assert!(parse(r#"<a x="1" x="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn various_malformed_documents() {
+        for bad in [
+            "",
+            "text only",
+            "<a>",
+            "<a><b></b>",
+            "<a attr></a>",
+            "<a attr=novalue></a>",
+            "<a 1bad=\"x\"/>",
+            "<a>&unknown;</a>",
+            "<a>&#xZZ;</a>",
+            "<a/><b/>",
+            "<a><!-- unterminated </a>",
+            "<a attr=\"unterminated/>",
+        ] {
+            assert!(parse(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn single_quotes_work() {
+        let doc = parse("<a x='hello world'/>").unwrap();
+        assert_eq!(doc.root.attr("x"), Some("hello world"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let original = parse(
+            r#"<landscape><server name="B&amp;1" idx="1"/><rules>IF a IS b THEN c IS d</rules></landscape>"#,
+        )
+        .unwrap();
+        let reserialized = parse(&original.root.to_string()).unwrap();
+        assert_eq!(original, reserialized);
+    }
+
+    #[test]
+    fn require_attr_reports_schema_error() {
+        let doc = parse("<server/>").unwrap();
+        assert!(matches!(
+            doc.root.require_attr("name"),
+            Err(LandscapeError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_in_closing_tag() {
+        let doc = parse("<a></a >").unwrap();
+        assert_eq!(doc.root.name, "a");
+    }
+}

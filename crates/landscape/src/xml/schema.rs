@@ -1,0 +1,491 @@
+//! Schema layer: from parsed XML to landscape descriptions.
+//!
+//! Document shape (all sections optional except `<servers>`/`<services>`
+//! being required for a non-empty landscape):
+//!
+//! ```xml
+//! <landscape>
+//!   <servers>
+//!     <server name="Blade1" category="FSC-BX300" performanceIndex="1"
+//!             cpus="1" cpuClockMHz="933" cpuCacheKB="512"
+//!             memoryMB="2048" swapMB="4096" tempSpaceMB="20480"/>
+//!   </servers>
+//!   <services>
+//!     <service name="FI" kind="applicationServer" subsystem="ERP"
+//!              minInstances="2" maxInstances="8" exclusive="false"
+//!              minPerformanceIndex="1" baseLoad="0.05" loadPerUser="0.004"
+//!              memoryPerInstanceMB="512" priority="normal">
+//!       <allowedActions>scaleIn scaleOut move</allowedActions>
+//!     </service>
+//!   </services>
+//!   <allocation>
+//!     <instance service="FI" server="Blade1"/>
+//!   </allocation>
+//!   <ruleBase trigger="serviceOverloaded">
+//!     IF cpuLoad IS high THEN scaleOut IS applicable
+//!   </ruleBase>
+//!   <ruleBase action="scaleOut">
+//!     IF cpuLoad IS low AND memLoad IS low THEN score IS applicable
+//!   </ruleBase>
+//! </landscape>
+//! ```
+//!
+//! Rule-base text is carried verbatim (the fuzzy DSL lives in
+//! `autoglobe-fuzzy`; the controller crate compiles it) so this crate stays
+//! independent of the fuzzy engine.
+
+use super::{parse, Element};
+use crate::action::ActionKind;
+use crate::allocation::Landscape;
+use crate::error::LandscapeError;
+use crate::server::ServerSpec;
+use crate::service::{Priority, ServiceKind, ServiceSpec};
+
+/// A named rule base carried by the description: either per-trigger
+/// (action-selection, Section 4.1) or per-action (server-selection,
+/// Section 4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleBaseDescription {
+    /// `trigger:<name>` or `action:<name>` — e.g. `trigger:serviceOverloaded`.
+    pub key: String,
+    /// Optional service this rule base is specific to ("an administrator can
+    /// add service-specific rule bases for mission critical services").
+    pub service: Option<String>,
+    /// Verbatim rule DSL text.
+    pub text: String,
+}
+
+/// A declaratively described landscape, before name resolution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LandscapeDescription {
+    /// Server specifications.
+    pub servers: Vec<ServerSpec>,
+    /// Service specifications.
+    pub services: Vec<ServiceSpec>,
+    /// Initial allocation: `(service name, server name)` pairs, one per
+    /// instance to start.
+    pub allocation: Vec<(String, String)>,
+    /// Attached fuzzy rule bases.
+    pub rule_bases: Vec<RuleBaseDescription>,
+}
+
+impl LandscapeDescription {
+    /// Parse a description from XML text.
+    pub fn from_xml(input: &str) -> Result<Self, LandscapeError> {
+        let doc = parse(input)?;
+        if doc.root.name != "landscape" {
+            return Err(LandscapeError::Schema {
+                message: format!("root element must be <landscape>, found <{}>", doc.root.name),
+            });
+        }
+        let mut description = LandscapeDescription::default();
+
+        if let Some(servers) = doc.root.child("servers") {
+            for el in servers.children_named("server") {
+                description.servers.push(parse_server(el)?);
+            }
+        }
+        if let Some(services) = doc.root.child("services") {
+            for el in services.children_named("service") {
+                description.services.push(parse_service(el)?);
+            }
+        }
+        if let Some(allocation) = doc.root.child("allocation") {
+            for el in allocation.children_named("instance") {
+                description.allocation.push((
+                    el.require_attr("service")?.to_string(),
+                    el.require_attr("server")?.to_string(),
+                ));
+            }
+        }
+        for el in doc.root.children_named("ruleBase") {
+            let key = match (el.attr("trigger"), el.attr("action")) {
+                (Some(t), None) => format!("trigger:{t}"),
+                (None, Some(a)) => format!("action:{a}"),
+                _ => {
+                    return Err(LandscapeError::Schema {
+                        message: "<ruleBase> needs exactly one of `trigger` or `action`".into(),
+                    })
+                }
+            };
+            description.rule_bases.push(RuleBaseDescription {
+                key,
+                service: el.attr("service").map(str::to_string),
+                text: el.trimmed_text().to_string(),
+            });
+        }
+        Ok(description)
+    }
+
+    /// Materialize the description: register servers and services and start
+    /// the initial allocation.
+    pub fn build(&self) -> Result<Landscape, LandscapeError> {
+        let mut landscape = Landscape::new();
+        for server in &self.servers {
+            landscape.add_server(server.clone())?;
+        }
+        for service in &self.services {
+            landscape.add_service(service.clone())?;
+        }
+        for (service_name, server_name) in &self.allocation {
+            let service = landscape.service_by_name(service_name)?;
+            let server = landscape.server_by_name(server_name)?;
+            landscape.start_instance(service, server)?;
+        }
+        Ok(landscape)
+    }
+
+    /// Serialize back to XML (round-trips through [`LandscapeDescription::from_xml`]).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::from("<landscape>\n  <servers>\n");
+        for s in &self.servers {
+            out.push_str(&format!(
+                "    <server name=\"{}\" category=\"{}\" performanceIndex=\"{}\" cpus=\"{}\" \
+                 cpuClockMHz=\"{}\" cpuCacheKB=\"{}\" memoryMB=\"{}\" swapMB=\"{}\" tempSpaceMB=\"{}\"/>\n",
+                super::escape(&s.name),
+                super::escape(&s.category),
+                s.performance_index,
+                s.num_cpus,
+                s.cpu_clock_mhz,
+                s.cpu_cache_kb,
+                s.memory_mb,
+                s.swap_mb,
+                s.temp_space_mb,
+            ));
+        }
+        out.push_str("  </servers>\n  <services>\n");
+        for s in &self.services {
+            out.push_str(&format!(
+                "    <service name=\"{}\" kind=\"{}\"",
+                super::escape(&s.name),
+                s.kind.name()
+            ));
+            if let Some(sub) = &s.subsystem {
+                out.push_str(&format!(" subsystem=\"{}\"", super::escape(sub)));
+            }
+            out.push_str(&format!(
+                " minInstances=\"{}\"",
+                s.min_instances
+            ));
+            if let Some(max) = s.max_instances {
+                out.push_str(&format!(" maxInstances=\"{max}\""));
+            }
+            out.push_str(&format!(" exclusive=\"{}\"", s.exclusive));
+            if let Some(idx) = s.min_performance_index {
+                out.push_str(&format!(" minPerformanceIndex=\"{idx}\""));
+            }
+            out.push_str(&format!(
+                " baseLoad=\"{}\" loadPerUser=\"{}\" memoryPerInstanceMB=\"{}\" priority=\"{}\">",
+                s.base_load,
+                s.load_per_user,
+                s.memory_per_instance_mb,
+                priority_name(s.priority),
+            ));
+            out.push_str("<allowedActions>");
+            let names: Vec<&str> = s
+                .allowed_actions
+                .iter()
+                .map(|a| a.variable_name())
+                .collect();
+            out.push_str(&names.join(" "));
+            out.push_str("</allowedActions></service>\n");
+        }
+        out.push_str("  </services>\n  <allocation>\n");
+        for (service, server) in &self.allocation {
+            out.push_str(&format!(
+                "    <instance service=\"{}\" server=\"{}\"/>\n",
+                super::escape(service),
+                super::escape(server)
+            ));
+        }
+        out.push_str("  </allocation>\n");
+        for rb in &self.rule_bases {
+            let (attr, value) = rb
+                .key
+                .split_once(':')
+                .unwrap_or(("trigger", rb.key.as_str()));
+            out.push_str(&format!("  <ruleBase {attr}=\"{}\"", super::escape(value)));
+            if let Some(svc) = &rb.service {
+                out.push_str(&format!(" service=\"{}\"", super::escape(svc)));
+            }
+            out.push_str(&format!(">{}</ruleBase>\n", super::escape(&rb.text)));
+        }
+        out.push_str("</landscape>\n");
+        out
+    }
+}
+
+fn parse_server(el: &Element) -> Result<ServerSpec, LandscapeError> {
+    let name = el.require_attr("name")?;
+    let performance_index = parse_f64(el, "performanceIndex")?.ok_or_else(|| {
+        LandscapeError::Schema {
+            message: format!("<server name=\"{name}\"> needs performanceIndex"),
+        }
+    })?;
+    let mut spec = ServerSpec::new(name, performance_index);
+    if let Some(cat) = el.attr("category") {
+        spec.category = cat.to_string();
+    }
+    if let Some(v) = parse_u64(el, "cpus")? {
+        spec.num_cpus = v as u32;
+    }
+    if let Some(v) = parse_u64(el, "cpuClockMHz")? {
+        spec.cpu_clock_mhz = v as u32;
+    }
+    if let Some(v) = parse_u64(el, "cpuCacheKB")? {
+        spec.cpu_cache_kb = v as u32;
+    }
+    if let Some(v) = parse_u64(el, "memoryMB")? {
+        spec.memory_mb = v;
+    }
+    if let Some(v) = parse_u64(el, "swapMB")? {
+        spec.swap_mb = v;
+    }
+    if let Some(v) = parse_u64(el, "tempSpaceMB")? {
+        spec.temp_space_mb = v;
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+fn parse_service(el: &Element) -> Result<ServiceSpec, LandscapeError> {
+    let name = el.require_attr("name")?;
+    let kind_name = el.attr("kind").unwrap_or("generic");
+    let kind = ServiceKind::from_name(kind_name).ok_or_else(|| LandscapeError::Schema {
+        message: format!("unknown service kind `{kind_name}`"),
+    })?;
+    let mut spec = ServiceSpec::new(name, kind);
+    if let Some(sub) = el.attr("subsystem") {
+        spec.subsystem = Some(sub.to_string());
+    }
+    if let Some(v) = parse_u64(el, "minInstances")? {
+        spec.min_instances = v as u32;
+    }
+    if let Some(v) = parse_u64(el, "maxInstances")? {
+        spec.max_instances = Some(v as u32);
+    }
+    if let Some(v) = el.attr("exclusive") {
+        spec.exclusive = parse_bool(v).ok_or_else(|| LandscapeError::Schema {
+            message: format!("invalid boolean `{v}` for exclusive"),
+        })?;
+    }
+    if let Some(v) = parse_f64(el, "minPerformanceIndex")? {
+        spec.min_performance_index = Some(v);
+    }
+    if let Some(v) = parse_f64(el, "baseLoad")? {
+        spec.base_load = v;
+    }
+    if let Some(v) = parse_f64(el, "loadPerUser")? {
+        spec.load_per_user = v;
+    }
+    if let Some(v) = parse_u64(el, "memoryPerInstanceMB")? {
+        spec.memory_per_instance_mb = v;
+    }
+    if let Some(v) = el.attr("priority") {
+        spec.priority = match v {
+            "low" => Priority::Low,
+            "normal" => Priority::Normal,
+            "high" => Priority::High,
+            other => {
+                return Err(LandscapeError::Schema {
+                    message: format!("unknown priority `{other}`"),
+                })
+            }
+        };
+    }
+    if let Some(actions_el) = el.child("allowedActions") {
+        let mut actions = Vec::new();
+        for word in actions_el.trimmed_text().split_whitespace() {
+            let kind = ActionKind::from_variable_name(word).ok_or_else(|| {
+                LandscapeError::Schema {
+                    message: format!("unknown action `{word}` in <allowedActions>"),
+                }
+            })?;
+            actions.push(kind);
+        }
+        spec = spec.with_allowed_actions(actions);
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+fn parse_f64(el: &Element, attr: &str) -> Result<Option<f64>, LandscapeError> {
+    el.attr(attr)
+        .map(|v| {
+            v.parse::<f64>().map_err(|_| LandscapeError::Schema {
+                message: format!("<{}> attribute {attr}=\"{v}\" is not a number", el.name),
+            })
+        })
+        .transpose()
+}
+
+fn parse_u64(el: &Element, attr: &str) -> Result<Option<u64>, LandscapeError> {
+    el.attr(attr)
+        .map(|v| {
+            v.parse::<u64>().map_err(|_| LandscapeError::Schema {
+                message: format!("<{}> attribute {attr}=\"{v}\" is not an integer", el.name),
+            })
+        })
+        .transpose()
+}
+
+fn parse_bool(v: &str) -> Option<bool> {
+    match v {
+        "true" | "1" | "yes" => Some(true),
+        "false" | "0" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+fn priority_name(p: Priority) -> &'static str {
+    match p {
+        Priority::Low => "low",
+        Priority::Normal => "normal",
+        Priority::High => "high",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        <landscape>
+          <servers>
+            <server name="Blade1" category="FSC-BX300" performanceIndex="1"
+                    cpus="1" cpuClockMHz="933" memoryMB="2048"/>
+            <server name="DBServer1" category="HP" performanceIndex="9"
+                    cpus="4" cpuClockMHz="2800" memoryMB="12288"/>
+          </servers>
+          <services>
+            <service name="FI" kind="applicationServer" subsystem="ERP"
+                     minInstances="2" maxInstances="8" baseLoad="0.05"
+                     loadPerUser="0.004" memoryPerInstanceMB="512">
+              <allowedActions>scaleIn scaleOut move</allowedActions>
+            </service>
+            <service name="DB-ERP" kind="database" subsystem="ERP"
+                     exclusive="true" minPerformanceIndex="5" priority="high">
+              <allowedActions></allowedActions>
+            </service>
+          </services>
+          <allocation>
+            <instance service="FI" server="Blade1"/>
+            <instance service="DB-ERP" server="DBServer1"/>
+          </allocation>
+          <ruleBase trigger="serviceOverloaded">
+            IF cpuLoad IS high THEN scaleOut IS applicable
+          </ruleBase>
+          <ruleBase action="scaleOut" service="FI">
+            IF cpuLoad IS low THEN score IS applicable
+          </ruleBase>
+        </landscape>"#;
+
+    #[test]
+    fn parses_full_description() {
+        let d = LandscapeDescription::from_xml(SAMPLE).unwrap();
+        assert_eq!(d.servers.len(), 2);
+        assert_eq!(d.services.len(), 2);
+        assert_eq!(d.allocation.len(), 2);
+        assert_eq!(d.rule_bases.len(), 2);
+
+        assert_eq!(d.servers[1].performance_index, 9.0);
+        assert_eq!(d.servers[1].num_cpus, 4);
+
+        let fi = &d.services[0];
+        assert_eq!(fi.min_instances, 2);
+        assert_eq!(fi.max_instances, Some(8));
+        assert!(fi.allows(ActionKind::ScaleOut));
+        assert!(!fi.allows(ActionKind::ScaleUp));
+
+        let db = &d.services[1];
+        assert!(db.exclusive);
+        assert_eq!(db.min_performance_index, Some(5.0));
+        assert_eq!(db.priority, Priority::High);
+        assert!(db.allowed_actions.is_empty());
+
+        assert_eq!(d.rule_bases[0].key, "trigger:serviceOverloaded");
+        assert!(d.rule_bases[0].text.contains("THEN scaleOut IS applicable"));
+        assert_eq!(d.rule_bases[1].key, "action:scaleOut");
+        assert_eq!(d.rule_bases[1].service.as_deref(), Some("FI"));
+    }
+
+    #[test]
+    fn build_materializes_allocation() {
+        let d = LandscapeDescription::from_xml(SAMPLE).unwrap();
+        let l = d.build().unwrap();
+        assert_eq!(l.num_servers(), 2);
+        assert_eq!(l.num_services(), 2);
+        assert_eq!(l.num_instances(), 2);
+        let fi = l.service_by_name("FI").unwrap();
+        let blade1 = l.server_by_name("Blade1").unwrap();
+        assert_eq!(l.instances_of(fi).len(), 1);
+        assert_eq!(l.instances_on(blade1).len(), 1);
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let d = LandscapeDescription::from_xml(SAMPLE).unwrap();
+        let xml = d.to_xml();
+        let d2 = LandscapeDescription::from_xml(&xml).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn unknown_root_is_rejected() {
+        assert!(matches!(
+            LandscapeDescription::from_xml("<other/>"),
+            Err(LandscapeError::Schema { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_required_attributes() {
+        assert!(LandscapeDescription::from_xml(
+            "<landscape><servers><server performanceIndex=\"1\"/></servers></landscape>"
+        )
+        .is_err());
+        assert!(LandscapeDescription::from_xml(
+            "<landscape><servers><server name=\"A\"/></servers></landscape>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_values_are_schema_errors() {
+        for bad in [
+            r#"<landscape><servers><server name="A" performanceIndex="fast"/></servers></landscape>"#,
+            r#"<landscape><services><service name="S" kind="mystery"/></services></landscape>"#,
+            r#"<landscape><services><service name="S" exclusive="maybe"/></services></landscape>"#,
+            r#"<landscape><services><service name="S" priority="urgent"/></services></landscape>"#,
+            r#"<landscape><services><service name="S"><allowedActions>fly</allowedActions></service></services></landscape>"#,
+            r#"<landscape><ruleBase>text</ruleBase></landscape>"#,
+            r#"<landscape><ruleBase trigger="a" action="b">text</ruleBase></landscape>"#,
+        ] {
+            assert!(
+                LandscapeDescription::from_xml(bad).is_err(),
+                "should reject: {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn allocation_with_unknown_names_fails_at_build() {
+        let d = LandscapeDescription::from_xml(
+            r#"<landscape>
+                 <servers><server name="A" performanceIndex="1"/></servers>
+                 <services><service name="S"/></services>
+                 <allocation><instance service="S" server="Nonexistent"/></allocation>
+               </landscape>"#,
+        )
+        .unwrap();
+        assert!(d.build().is_err());
+    }
+
+    #[test]
+    fn empty_landscape_builds() {
+        let d = LandscapeDescription::from_xml("<landscape/>").unwrap();
+        let l = d.build().unwrap();
+        assert_eq!(l.num_servers(), 0);
+        assert_eq!(l.num_instances(), 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests: XML round-trips and allocation-table invariants.
+
+use autoglobe_landscape::xml::LandscapeDescription;
+use autoglobe_landscape::{
+    Action, ActionKind, Landscape, ServerSpec, ServiceKind, ServiceSpec,
+};
+use proptest::prelude::*;
+
+fn server_strategy(n: usize) -> impl Strategy<Value = ServerSpec> {
+    (
+        Just(n),
+        1.0f64..16.0,
+        1u32..=16,
+        500u32..4000,
+        1024u64..65536,
+    )
+        .prop_map(|(i, idx, cpus, clock, mem)| {
+            ServerSpec::new(format!("server{i}"), (idx * 10.0).round() / 10.0)
+                .with_cpus(cpus, clock, 512)
+                .with_memory(mem, mem * 2)
+        })
+}
+
+fn service_strategy(n: usize) -> impl Strategy<Value = ServiceSpec> {
+    (
+        Just(n),
+        0u32..3,
+        proptest::option::of(3u32..10),
+        any::<bool>(),
+        proptest::option::of(1.0f64..8.0),
+        0.0f64..0.3,
+        0.0f64..0.01,
+        proptest::collection::btree_set(
+            proptest::sample::select(ActionKind::ALL.to_vec()),
+            0..ActionKind::ALL.len(),
+        ),
+    )
+        .prop_map(
+            |(i, min_inst, max_inst, exclusive, min_idx, base, per_user, actions)| {
+                let mut spec = ServiceSpec::new(
+                    format!("service{i}"),
+                    ServiceKind::ApplicationServer,
+                )
+                .with_instances(min_inst, max_inst.map(|m| m.max(min_inst.max(1))))
+                .with_exclusive(exclusive)
+                .with_load_model((base * 1000.0).round() / 1000.0, (per_user * 10000.0).round() / 10000.0)
+                .with_allowed_actions(actions);
+                if let Some(idx) = min_idx {
+                    spec = spec.with_min_performance_index((idx * 10.0).round() / 10.0);
+                }
+                spec
+            },
+        )
+}
+
+fn description_strategy() -> impl Strategy<Value = LandscapeDescription> {
+    (1usize..6, 1usize..5).prop_flat_map(|(ns, nv)| {
+        let servers: Vec<_> = (0..ns).map(server_strategy).collect();
+        let services: Vec<_> = (0..nv).map(service_strategy).collect();
+        (servers, services).prop_map(|(servers, services)| LandscapeDescription {
+            servers,
+            services,
+            allocation: vec![],
+            rule_bases: vec![],
+        })
+    })
+}
+
+proptest! {
+    /// Any generated description serializes to XML and parses back
+    /// structurally identical.
+    #[test]
+    fn xml_round_trip(description in description_strategy()) {
+        let xml = description.to_xml();
+        let reparsed = LandscapeDescription::from_xml(&xml).unwrap();
+        prop_assert_eq!(description, reparsed);
+    }
+
+    /// Names containing XML-special characters survive escaping.
+    #[test]
+    fn special_characters_round_trip(raw in "[A-Za-z<>&\"' ]{1,20}") {
+        prop_assume!(!raw.trim().is_empty());
+        let description = LandscapeDescription {
+            servers: vec![ServerSpec::new(raw.clone(), 1.0)],
+            services: vec![],
+            allocation: vec![],
+            rule_bases: vec![],
+        };
+        let xml = description.to_xml();
+        let reparsed = LandscapeDescription::from_xml(&xml).unwrap();
+        prop_assert_eq!(&reparsed.servers[0].name, &raw);
+    }
+
+    /// Applying any sequence of (pre-validated) actions keeps the allocation
+    /// table consistent: instance counts match, every instance's server
+    /// exists, and min/max bounds hold for scale actions the landscape
+    /// accepted.
+    #[test]
+    fn random_action_sequences_preserve_invariants(
+        seed_ops in proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 1..40),
+    ) {
+        let mut l = Landscape::new();
+        let s0 = l.add_server(ServerSpec::fsc_bx300("A")).unwrap();
+        let s1 = l.add_server(ServerSpec::fsc_bx600("B")).unwrap();
+        let s2 = l.add_server(ServerSpec::hp_bl40p("C")).unwrap();
+        let servers = [s0, s1, s2];
+        let svc = l
+            .add_service(
+                ServiceSpec::new("S", ServiceKind::ApplicationServer)
+                    .with_instances(1, Some(5))
+                    .with_memory(128),
+            )
+            .unwrap();
+        l.start_instance(svc, s0).unwrap();
+
+        for (op, a, b) in seed_ops {
+            let instances = l.instances_of(svc);
+            let action = match op {
+                0 => Action::ScaleOut { service: svc, target: servers[a % 3] },
+                1 => {
+                    let Some(&inst) = instances.get(a % instances.len().max(1)) else { continue };
+                    Action::ScaleIn { instance: inst }
+                }
+                2 => {
+                    let Some(&inst) = instances.get(a % instances.len().max(1)) else { continue };
+                    Action::Move { instance: inst, target: servers[b % 3] }
+                }
+                _ => {
+                    let Some(&inst) = instances.get(a % instances.len().max(1)) else { continue };
+                    Action::ScaleUp { instance: inst, target: servers[b % 3] }
+                }
+            };
+            // Apply may reject; rejection must not mutate state.
+            let before = l.instances_of(svc).len();
+            let result = l.apply(&action);
+            let after = l.instances_of(svc).len();
+            match (result.is_ok(), action.kind()) {
+                (true, ActionKind::ScaleOut) => prop_assert_eq!(after, before + 1),
+                (true, ActionKind::ScaleIn) => prop_assert_eq!(after, before - 1),
+                (true, _) => prop_assert_eq!(after, before),
+                (false, _) => prop_assert_eq!(after, before),
+            }
+            // Global invariants.
+            let count = l.instances_of(svc).len();
+            prop_assert!(count >= 1, "min instances");
+            prop_assert!(count <= 5, "max instances");
+            for inst in l.instances() {
+                prop_assert!(l.server(inst.server).is_ok());
+            }
+        }
+    }
+
+    /// `can_host` is consistent with `apply(ScaleOut)`: if can_host says yes
+    /// and the instance-count maximum is not reached, the action succeeds.
+    #[test]
+    fn can_host_predicts_scale_out(mem in 64u64..4096) {
+        let mut l = Landscape::new();
+        let srv = l.add_server(ServerSpec::fsc_bx300("A")).unwrap();
+        let svc = l
+            .add_service(
+                ServiceSpec::new("S", ServiceKind::Generic)
+                    .with_instances(0, None)
+                    .with_memory(mem),
+            )
+            .unwrap();
+        let can = l.can_host(svc, srv);
+        let did = l.apply(&Action::ScaleOut { service: svc, target: srv }).is_ok();
+        prop_assert_eq!(can, did);
+    }
+}
+
+proptest! {
+    /// The XML parser never panics, whatever bytes it is fed — it either
+    /// parses or returns a positioned error.
+    #[test]
+    fn xml_parser_never_panics(input in ".{0,300}") {
+        let _ = autoglobe_landscape::xml::parse(&input);
+    }
+
+    /// Near-miss documents (valid XML with random attribute soup) never
+    /// panic the schema layer either.
+    #[test]
+    fn schema_layer_never_panics(
+        attr in "[a-zA-Z]{1,12}",
+        value in "[^\"<&]{0,16}",
+    ) {
+        let doc = format!(
+            r#"<landscape><servers><server name="x" performanceIndex="1" {attr}="{value}"/></servers></landscape>"#
+        );
+        let _ = LandscapeDescription::from_xml(&doc);
+    }
+}

@@ -1,0 +1,288 @@
+//! The load archive: persistent aggregated historic load data.
+//!
+//! "A load archive stores aggregated historic load data. This data is used
+//! to calculate the average load of services during their watchTime and to
+//! initialize all resource variables of the fuzzy controller" (Section 2).
+//! The paper's future work additionally mines it for load prediction — the
+//! `autoglobe-forecast` crate consumes the daily-profile queries below.
+
+use crate::subject::Subject;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One aggregation bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct Bucket {
+    sum_cpu: f64,
+    sum_mem: f64,
+    max_cpu: f64,
+    count: u32,
+}
+
+impl Bucket {
+    fn add(&mut self, cpu: f64, mem: f64) {
+        self.sum_cpu += cpu;
+        self.sum_mem += mem;
+        self.max_cpu = self.max_cpu.max(cpu);
+        self.count += 1;
+    }
+
+    fn avg_cpu(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_cpu / self.count as f64
+        }
+    }
+
+    fn avg_mem(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_mem / self.count as f64
+        }
+    }
+}
+
+/// An aggregated load point returned by archive queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchivePoint {
+    /// Start of the aggregation bucket.
+    pub time: SimTime,
+    /// Average CPU load in the bucket.
+    pub avg_cpu: f64,
+    /// Average memory load in the bucket.
+    pub avg_mem: f64,
+    /// Maximum CPU load in the bucket.
+    pub max_cpu: f64,
+}
+
+/// Time-bucketed aggregated load storage, keyed by subject.
+#[derive(Debug, Clone)]
+pub struct LoadArchive {
+    bucket: SimDuration,
+    data: BTreeMap<Subject, BTreeMap<u64, Bucket>>,
+}
+
+impl LoadArchive {
+    /// An archive aggregating into buckets of the given width
+    /// (typical: one minute).
+    ///
+    /// # Panics
+    /// Panics on a zero-width bucket.
+    pub fn new(bucket: SimDuration) -> Self {
+        assert!(bucket.as_secs() > 0, "bucket width must be positive");
+        LoadArchive {
+            bucket,
+            data: BTreeMap::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn bucket_width(&self) -> SimDuration {
+        self.bucket
+    }
+
+    fn bucket_index(&self, time: SimTime) -> u64 {
+        time.as_secs() / self.bucket.as_secs()
+    }
+
+    /// Record a measurement.
+    pub fn record(&mut self, subject: Subject, time: SimTime, cpu: f64, mem: f64) {
+        let idx = self.bucket_index(time);
+        self.data
+            .entry(subject)
+            .or_default()
+            .entry(idx)
+            .or_default()
+            .add(cpu.clamp(0.0, 1.0), mem.clamp(0.0, 1.0));
+    }
+
+    /// Average CPU load of `subject` over `[from, to)`. `None` if nothing
+    /// was recorded there.
+    pub fn average_cpu(&self, subject: Subject, from: SimTime, to: SimTime) -> Option<f64> {
+        let buckets = self.data.get(&subject)?;
+        let (lo, hi) = (self.bucket_index(from), self.bucket_index(to));
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for (_, b) in buckets.range(lo..hi.max(lo + 1)) {
+            sum += b.sum_cpu;
+            count += b.count as u64;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / count as f64)
+        }
+    }
+
+    /// The aggregated series of `subject` over `[from, to)`, one point per
+    /// bucket that holds data.
+    pub fn series(&self, subject: Subject, from: SimTime, to: SimTime) -> Vec<ArchivePoint> {
+        let Some(buckets) = self.data.get(&subject) else {
+            return Vec::new();
+        };
+        let (lo, hi) = (self.bucket_index(from), self.bucket_index(to));
+        buckets
+            .range(lo..hi.max(lo))
+            .map(|(&idx, b)| ArchivePoint {
+                time: SimTime::from_secs(idx * self.bucket.as_secs()),
+                avg_cpu: b.avg_cpu(),
+                avg_mem: b.avg_mem(),
+                max_cpu: b.max_cpu,
+            })
+            .collect()
+    }
+
+    /// The average *daily profile* of `subject`: average CPU load per
+    /// time-of-day slot of width `slot`, across all recorded days. Slot `i`
+    /// covers `[i · slot, (i+1) · slot)` of the day. Slots with no data are
+    /// 0. This is the pattern-matching substrate for load forecasting
+    /// (paper Section 7 / [8]).
+    pub fn daily_profile(&self, subject: Subject, slot: SimDuration) -> Vec<f64> {
+        let slot_secs = slot.as_secs().max(1);
+        let slots = (86_400 / slot_secs) as usize;
+        let mut sums = vec![0.0; slots];
+        let mut counts = vec![0u64; slots];
+        if let Some(buckets) = self.data.get(&subject) {
+            for (&idx, b) in buckets {
+                let start = idx * self.bucket.as_secs();
+                let slot_idx = ((start % 86_400) / slot_secs) as usize;
+                if slot_idx < slots {
+                    sums[slot_idx] += b.sum_cpu;
+                    counts[slot_idx] += b.count as u64;
+                }
+            }
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Subjects with recorded data.
+    pub fn subjects(&self) -> impl Iterator<Item = Subject> + '_ {
+        self.data.keys().copied()
+    }
+
+    /// Total number of non-empty buckets across all subjects (a size gauge).
+    pub fn bucket_count(&self) -> usize {
+        self.data.values().map(BTreeMap::len).sum()
+    }
+
+    /// Drop all data older than `horizon` before `now` (archive compaction).
+    pub fn retain_recent(&mut self, now: SimTime, horizon: SimDuration) {
+        let cutoff = self.bucket_index(now - horizon);
+        for buckets in self.data.values_mut() {
+            *buckets = buckets.split_off(&cutoff);
+        }
+        self.data.retain(|_, buckets| !buckets.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::ServerId;
+
+    fn subject() -> Subject {
+        Subject::Server(ServerId::new(0))
+    }
+
+    fn minute_archive() -> LoadArchive {
+        LoadArchive::new(SimDuration::from_minutes(1))
+    }
+
+    #[test]
+    fn record_and_average() {
+        let mut a = minute_archive();
+        let s = subject();
+        a.record(s, SimTime::from_secs(10), 0.4, 0.1);
+        a.record(s, SimTime::from_secs(20), 0.6, 0.1);
+        a.record(s, SimTime::from_secs(70), 1.0, 0.2);
+        // First bucket avg = 0.5; both buckets avg = (0.4+0.6+1.0)/3.
+        assert!(
+            (a.average_cpu(s, SimTime::ZERO, SimTime::from_secs(60)).unwrap() - 0.5).abs() < 1e-12
+        );
+        assert!(
+            (a.average_cpu(s, SimTime::ZERO, SimTime::from_secs(120)).unwrap() - 2.0 / 3.0).abs()
+                < 1e-12
+        );
+        assert_eq!(a.average_cpu(s, SimTime::from_hours(5), SimTime::from_hours(6)), None);
+    }
+
+    #[test]
+    fn series_reports_buckets() {
+        let mut a = minute_archive();
+        let s = subject();
+        for sec in [0u64, 30, 60, 90, 600] {
+            a.record(s, SimTime::from_secs(sec), 0.5, 0.25);
+        }
+        let series = a.series(s, SimTime::ZERO, SimTime::from_minutes(11));
+        assert_eq!(series.len(), 3); // buckets 0, 1, 10
+        assert_eq!(series[0].time, SimTime::ZERO);
+        assert_eq!(series[2].time, SimTime::from_minutes(10));
+        assert!((series[0].avg_cpu - 0.5).abs() < 1e-12);
+        assert!((series[0].avg_mem - 0.25).abs() < 1e-12);
+        assert!((series[0].max_cpu - 0.5).abs() < 1e-12);
+        assert!(a.series(Subject::Server(ServerId::new(9)), SimTime::ZERO, SimTime::from_hours(1)).is_empty());
+    }
+
+    #[test]
+    fn daily_profile_averages_across_days() {
+        let mut a = LoadArchive::new(SimDuration::from_hours(1));
+        let s = subject();
+        // Two days: 08:00 load 0.8 / 0.6; 02:00 load 0.1 both days.
+        a.record(s, SimTime::from_hours(8), 0.8, 0.0);
+        a.record(s, SimTime::from_hours(24 + 8), 0.6, 0.0);
+        a.record(s, SimTime::from_hours(2), 0.1, 0.0);
+        a.record(s, SimTime::from_hours(24 + 2), 0.1, 0.0);
+        let profile = a.daily_profile(s, SimDuration::from_hours(1));
+        assert_eq!(profile.len(), 24);
+        assert!((profile[8] - 0.7).abs() < 1e-12);
+        assert!((profile[2] - 0.1).abs() < 1e-12);
+        assert_eq!(profile[15], 0.0);
+    }
+
+    #[test]
+    fn retain_recent_compacts() {
+        let mut a = minute_archive();
+        let s = subject();
+        for minute in 0..120 {
+            a.record(s, SimTime::from_minutes(minute), 0.5, 0.0);
+        }
+        assert_eq!(a.bucket_count(), 120);
+        a.retain_recent(SimTime::from_minutes(120), SimDuration::from_minutes(30));
+        assert_eq!(a.bucket_count(), 30);
+        // Old range now empty.
+        assert_eq!(a.average_cpu(s, SimTime::ZERO, SimTime::from_minutes(60)), None);
+        // Recent range still there.
+        assert!(a
+            .average_cpu(s, SimTime::from_minutes(100), SimTime::from_minutes(120))
+            .is_some());
+    }
+
+    #[test]
+    fn retain_recent_drops_empty_subjects() {
+        let mut a = minute_archive();
+        a.record(subject(), SimTime::ZERO, 0.5, 0.0);
+        a.retain_recent(SimTime::from_hours(10), SimDuration::from_minutes(1));
+        assert_eq!(a.subjects().count(), 0);
+    }
+
+    #[test]
+    fn loads_are_clamped() {
+        let mut a = minute_archive();
+        let s = subject();
+        a.record(s, SimTime::ZERO, 5.0, -1.0);
+        let series = a.series(s, SimTime::ZERO, SimTime::from_minutes(1));
+        assert_eq!(series[0].avg_cpu, 1.0);
+        assert_eq!(series[0].avg_mem, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_panics() {
+        LoadArchive::new(SimDuration::ZERO);
+    }
+}

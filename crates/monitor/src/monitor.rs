@@ -1,0 +1,185 @@
+//! Per-subject load monitors: sliding windows of recent measurements.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One load measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// CPU load in `[0, 1]` (1 = saturated).
+    pub cpu: f64,
+    /// Memory load in `[0, 1]`.
+    pub mem: f64,
+}
+
+impl LoadSample {
+    /// Construct a sample, clamping loads into `[0, 1]`.
+    pub fn new(time: SimTime, cpu: f64, mem: f64) -> Self {
+        LoadSample {
+            time,
+            cpu: cpu.clamp(0.0, 1.0),
+            mem: mem.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A sliding-window monitor for one subject.
+///
+/// Keeps all samples within `retention` of the newest sample; older ones are
+/// evicted on insert. Averages over arbitrary sub-windows (the watch-time
+/// averages of Section 2) are answered from the retained samples.
+#[derive(Debug, Clone)]
+pub struct LoadMonitor {
+    retention: SimDuration,
+    samples: VecDeque<LoadSample>,
+}
+
+impl LoadMonitor {
+    /// A monitor retaining `retention` worth of samples — this must be at
+    /// least the longest watch time the monitoring system will ask about.
+    pub fn new(retention: SimDuration) -> Self {
+        LoadMonitor {
+            retention,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Record a measurement. Samples must arrive in non-decreasing time
+    /// order; out-of-order samples are ignored (real monitors drop late
+    /// packets too).
+    pub fn record(&mut self, sample: LoadSample) {
+        if let Some(last) = self.samples.back() {
+            if sample.time < last.time {
+                return;
+            }
+        }
+        self.samples.push_back(sample);
+        let cutoff = sample.time - self.retention;
+        while let Some(front) = self.samples.front() {
+            if front.time < cutoff {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<LoadSample> {
+        self.samples.back().copied()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Average CPU load over samples in `[from, to]` (inclusive). `None` if
+    /// no sample falls in the window.
+    pub fn average_cpu(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.average_by(from, to, |s| s.cpu)
+    }
+
+    /// Average memory load over samples in `[from, to]`.
+    pub fn average_mem(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.average_by(from, to, |s| s.mem)
+    }
+
+    fn average_by(&self, from: SimTime, to: SimTime, f: impl Fn(&LoadSample) -> f64) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for s in &self.samples {
+            if s.time >= from && s.time <= to {
+                sum += f(s);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Maximum CPU load over samples in `[from, to]`.
+    pub fn max_cpu(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.time >= from && s.time <= to)
+            .map(|s| s.cpu)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Iterate over retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &LoadSample> {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(min: u64) -> SimTime {
+        SimTime::from_minutes(min)
+    }
+
+    #[test]
+    fn samples_clamp_loads() {
+        let s = LoadSample::new(t(0), 1.7, -0.3);
+        assert_eq!(s.cpu, 1.0);
+        assert_eq!(s.mem, 0.0);
+    }
+
+    #[test]
+    fn record_and_latest() {
+        let mut m = LoadMonitor::new(SimDuration::from_minutes(30));
+        assert!(m.is_empty());
+        assert!(m.latest().is_none());
+        m.record(LoadSample::new(t(0), 0.5, 0.2));
+        m.record(LoadSample::new(t(1), 0.7, 0.2));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.latest().unwrap().cpu, 0.7);
+    }
+
+    #[test]
+    fn out_of_order_samples_are_dropped() {
+        let mut m = LoadMonitor::new(SimDuration::from_minutes(30));
+        m.record(LoadSample::new(t(5), 0.5, 0.0));
+        m.record(LoadSample::new(t(3), 0.9, 0.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.latest().unwrap().time, t(5));
+    }
+
+    #[test]
+    fn retention_evicts_old_samples() {
+        let mut m = LoadMonitor::new(SimDuration::from_minutes(10));
+        for minute in 0..30 {
+            m.record(LoadSample::new(t(minute), 0.5, 0.1));
+        }
+        // Only samples within 10 minutes of t=29 remain: t=19..=29.
+        assert_eq!(m.len(), 11);
+        assert_eq!(m.samples().next().unwrap().time, t(19));
+    }
+
+    #[test]
+    fn windowed_averages() {
+        let mut m = LoadMonitor::new(SimDuration::from_hours(1));
+        for (minute, cpu) in [(0, 0.2), (1, 0.4), (2, 0.6), (3, 0.8)] {
+            m.record(LoadSample::new(t(minute), cpu, cpu / 2.0));
+        }
+        assert!((m.average_cpu(t(1), t(2)).unwrap() - 0.5).abs() < 1e-12);
+        assert!((m.average_cpu(t(0), t(3)).unwrap() - 0.5).abs() < 1e-12);
+        assert!((m.average_mem(t(0), t(3)).unwrap() - 0.25).abs() < 1e-12);
+        assert_eq!(m.average_cpu(t(10), t(20)), None);
+        assert!((m.max_cpu(t(0), t(2)).unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(m.max_cpu(t(10), t(20)), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Monitoring subjects: the entities load monitors watch.
+
+use autoglobe_landscape::{InstanceId, ServerId, ServiceId};
+use std::fmt;
+
+/// What a load monitor watches: a server, a service (aggregate over its
+/// instances), or a single service instance. Footnote 1 of the paper: "Every
+/// server and every service is monitored by a load monitor service."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Subject {
+    /// A physical host.
+    Server(ServerId),
+    /// A service as a whole (average over its instances — the
+    /// `serviceLoad` input variable of Table 1).
+    Service(ServiceId),
+    /// One running instance (the `instanceLoad` input variable).
+    Instance(InstanceId),
+}
+
+impl Subject {
+    /// True if the subject is a server.
+    pub fn is_server(self) -> bool {
+        matches!(self, Subject::Server(_))
+    }
+
+    /// True if the subject is a service or instance.
+    pub fn is_service_side(self) -> bool {
+        !self.is_server()
+    }
+
+    /// The server id, if this is a server subject.
+    pub fn as_server(self) -> Option<ServerId> {
+        match self {
+            Subject::Server(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The service id, if this is a service subject.
+    pub fn as_service(self) -> Option<ServiceId> {
+        match self {
+            Subject::Service(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The instance id, if this is an instance subject.
+    pub fn as_instance(self) -> Option<InstanceId> {
+        match self {
+            Subject::Instance(id) => Some(id),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Server(id) => write!(f, "{id}"),
+            Subject::Service(id) => write!(f, "{id}"),
+            Subject::Instance(id) => write!(f, "{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Subject::Server(ServerId::new(1));
+        assert!(s.is_server());
+        assert!(!s.is_service_side());
+        assert_eq!(s.as_server(), Some(ServerId::new(1)));
+        assert_eq!(s.as_service(), None);
+
+        let v = Subject::Service(ServiceId::new(2));
+        assert!(v.is_service_side());
+        assert_eq!(v.as_service(), Some(ServiceId::new(2)));
+
+        let i = Subject::Instance(InstanceId::new(3));
+        assert_eq!(i.as_instance(), Some(InstanceId::new(3)));
+        assert!(i.is_service_side());
+    }
+
+    #[test]
+    fn display_delegates_to_ids() {
+        assert_eq!(Subject::Server(ServerId::new(4)).to_string(), "srv#4");
+        assert_eq!(Subject::Instance(InstanceId::new(5)).to_string(), "inst#5");
+    }
+
+    #[test]
+    fn subjects_are_map_keys() {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(Subject::Server(ServerId::new(0)), 1);
+        m.insert(Subject::Service(ServiceId::new(0)), 2);
+        assert_eq!(m.len(), 2);
+    }
+}

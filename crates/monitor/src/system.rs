@@ -1,0 +1,364 @@
+//! Advisors and the load monitoring system: from raw samples to confirmed
+//! triggers.
+//!
+//! Per the paper (Section 2): "In real systems short load peaks are quite
+//! common. Immediate reaction on these peaks could lead to an unsettled and
+//! instable system. Thus, if load values exceed a tunable threshold, the
+//! advisor passes the load data to the load monitoring system module for
+//! further observation. Then, the load data is observed for a tunable period
+//! of time (watchTime). If the average load during the watch time is above a
+//! given threshold, a real overload situation is detected and the fuzzy
+//! controller module is triggered." The idle side proceeds analogously.
+
+use crate::monitor::{LoadMonitor, LoadSample};
+use crate::subject::Subject;
+use crate::time::{SimDuration, SimTime};
+use crate::trigger::{TriggerEvent, TriggerKind};
+use std::collections::BTreeMap;
+
+/// Per-subject monitoring thresholds and watch times.
+///
+/// The paper's defaults (Section 5.1): overload at 70 % CPU watched for
+/// 10 minutes; idle at `12.5 % ÷ performanceIndex` watched for 20 minutes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubjectConfig {
+    /// CPU load at or above which the subject is *imminently* overloaded.
+    pub overload_threshold: f64,
+    /// How long an imminent overload is observed before it is confirmed.
+    pub overload_watch: SimDuration,
+    /// CPU load at or below which the subject is imminently idle.
+    pub idle_threshold: f64,
+    /// How long an imminent idle situation is observed.
+    pub idle_watch: SimDuration,
+}
+
+impl SubjectConfig {
+    /// The paper's defaults for a server with the given performance index.
+    pub fn paper_defaults(performance_index: f64) -> Self {
+        SubjectConfig {
+            overload_threshold: 0.70,
+            overload_watch: SimDuration::from_minutes(10),
+            idle_threshold: 0.125 / performance_index.max(f64::MIN_POSITIVE),
+            idle_watch: SimDuration::from_minutes(20),
+        }
+    }
+
+    /// Defaults for service-side subjects (performance index 1 semantics).
+    pub fn service_defaults() -> Self {
+        Self::paper_defaults(1.0)
+    }
+
+    /// Disable idle detection (useful for services that must never be
+    /// scaled in automatically).
+    pub fn without_idle(mut self) -> Self {
+        self.idle_threshold = -1.0;
+        self
+    }
+}
+
+/// Observation state of one subject.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Watch {
+    /// Nothing unusual.
+    Quiet,
+    /// Advisor flagged an imminent overload at `since`; observing.
+    Overload { since: SimTime },
+    /// Advisor flagged an imminent idle situation at `since`; observing.
+    Idle { since: SimTime },
+}
+
+/// The advisor for one subject: keeps the local load view (a
+/// [`LoadMonitor`]) and the current observation state.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    /// The subject this advisor is responsible for.
+    pub subject: Subject,
+    /// Monitoring configuration.
+    pub config: SubjectConfig,
+    monitor: LoadMonitor,
+    watch: Watch,
+}
+
+impl Advisor {
+    /// Create an advisor. The monitor retains twice the longest watch time.
+    pub fn new(subject: Subject, config: SubjectConfig) -> Self {
+        let retention = SimDuration::from_secs(
+            config.overload_watch.as_secs().max(config.idle_watch.as_secs()) * 2 + 60,
+        );
+        Advisor {
+            subject,
+            config,
+            monitor: LoadMonitor::new(retention),
+            watch: Watch::Quiet,
+        }
+    }
+
+    /// The underlying sliding-window monitor.
+    pub fn monitor(&self) -> &LoadMonitor {
+        &self.monitor
+    }
+
+    /// Feed one measurement; returns a trigger if a watch window just
+    /// completed and confirmed the exceptional situation.
+    pub fn observe(&mut self, sample: LoadSample) -> Option<TriggerEvent> {
+        self.monitor.record(sample);
+        let now = sample.time;
+        let cpu = sample.cpu;
+        let cfg = self.config;
+
+        match self.watch {
+            Watch::Quiet => {
+                if cpu >= cfg.overload_threshold {
+                    self.watch = Watch::Overload { since: now };
+                } else if cpu <= cfg.idle_threshold {
+                    self.watch = Watch::Idle { since: now };
+                }
+                None
+            }
+            Watch::Overload { since } => {
+                if now.since(since) >= cfg.overload_watch {
+                    // Watch window complete: decide on the average.
+                    let avg = self.monitor.average_cpu(since, now).unwrap_or(cpu);
+                    let avg_mem = self.monitor.average_mem(since, now).unwrap_or(0.0);
+                    self.watch = Watch::Quiet;
+                    if avg >= cfg.overload_threshold {
+                        return Some(TriggerEvent {
+                            kind: if self.subject.is_server() {
+                                TriggerKind::ServerOverloaded
+                            } else {
+                                TriggerKind::ServiceOverloaded
+                            },
+                            subject: self.subject,
+                            time: now,
+                            average_cpu: avg,
+                            average_mem: avg_mem,
+                        });
+                    }
+                }
+                None
+            }
+            Watch::Idle { since } => {
+                if now.since(since) >= cfg.idle_watch {
+                    let avg = self.monitor.average_cpu(since, now).unwrap_or(cpu);
+                    let avg_mem = self.monitor.average_mem(since, now).unwrap_or(0.0);
+                    self.watch = Watch::Quiet;
+                    if avg <= cfg.idle_threshold {
+                        return Some(TriggerEvent {
+                            kind: if self.subject.is_server() {
+                                TriggerKind::ServerIdle
+                            } else {
+                                TriggerKind::ServiceIdle
+                            },
+                            subject: self.subject,
+                            time: now,
+                            average_cpu: avg,
+                            average_mem: avg_mem,
+                        });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// True if the advisor is currently inside a watch window.
+    pub fn is_watching(&self) -> bool {
+        self.watch != Watch::Quiet
+    }
+}
+
+/// The load monitoring system: one advisor per registered subject.
+#[derive(Debug, Clone, Default)]
+pub struct LoadMonitoringSystem {
+    advisors: BTreeMap<Subject, Advisor>,
+}
+
+impl LoadMonitoringSystem {
+    /// An empty system.
+    pub fn new() -> Self {
+        LoadMonitoringSystem::default()
+    }
+
+    /// Register (or replace) a subject with its config.
+    pub fn register(&mut self, subject: Subject, config: SubjectConfig) {
+        self.advisors.insert(subject, Advisor::new(subject, config));
+    }
+
+    /// Remove a subject (e.g. after the instance it watched was stopped).
+    pub fn unregister(&mut self, subject: Subject) {
+        self.advisors.remove(&subject);
+    }
+
+    /// True if the subject is registered.
+    pub fn is_registered(&self, subject: Subject) -> bool {
+        self.advisors.contains_key(&subject)
+    }
+
+    /// Number of registered subjects.
+    pub fn len(&self) -> usize {
+        self.advisors.len()
+    }
+
+    /// True if no subjects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.advisors.is_empty()
+    }
+
+    /// Feed one measurement for `subject`; unknown subjects are ignored
+    /// (their monitor may have been unregistered concurrently).
+    pub fn observe(&mut self, subject: Subject, sample: LoadSample) -> Option<TriggerEvent> {
+        self.advisors.get_mut(&subject)?.observe(sample)
+    }
+
+    /// The advisor for a subject.
+    pub fn advisor(&self, subject: Subject) -> Option<&Advisor> {
+        self.advisors.get(&subject)
+    }
+
+    /// Average CPU load of `subject` over the trailing `window` ending at
+    /// `now` — used to initialize the fuzzy controller's load variables.
+    pub fn average_cpu(&self, subject: Subject, now: SimTime, window: SimDuration) -> Option<f64> {
+        self.advisors
+            .get(&subject)?
+            .monitor()
+            .average_cpu(now - window, now)
+    }
+
+    /// Latest sample of `subject`.
+    pub fn latest(&self, subject: Subject) -> Option<LoadSample> {
+        self.advisors.get(&subject)?.monitor().latest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::{ServerId, ServiceId};
+
+    fn srv() -> Subject {
+        Subject::Server(ServerId::new(0))
+    }
+
+    fn run_minutes(
+        advisor: &mut Advisor,
+        start_min: u64,
+        loads: &[f64],
+    ) -> Vec<TriggerEvent> {
+        let mut events = Vec::new();
+        for (i, &cpu) in loads.iter().enumerate() {
+            let t = SimTime::from_minutes(start_min + i as u64);
+            if let Some(e) = advisor.observe(LoadSample::new(t, cpu, 0.3)) {
+                events.push(e);
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn sustained_overload_triggers_after_watch_time() {
+        let mut a = Advisor::new(srv(), SubjectConfig::paper_defaults(1.0));
+        // 12 minutes at 90%: watch opens at minute 0, confirms at minute 10.
+        let events = run_minutes(&mut a, 0, &[0.9; 12]);
+        assert_eq!(events.len(), 1);
+        let e = &events[0];
+        assert_eq!(e.kind, TriggerKind::ServerOverloaded);
+        assert_eq!(e.time, SimTime::from_minutes(10));
+        assert!((e.average_cpu - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_peak_does_not_trigger() {
+        let mut a = Advisor::new(srv(), SubjectConfig::paper_defaults(1.0));
+        // Peak for 3 minutes, then calm: the watch completes with a low
+        // average → no trigger.
+        let mut loads = vec![0.95; 3];
+        loads.extend(vec![0.2; 15]);
+        let events = run_minutes(&mut a, 0, &loads);
+        assert!(events.is_empty(), "short peak must not trigger: {events:?}");
+    }
+
+    #[test]
+    fn service_subject_raises_service_trigger() {
+        let mut a = Advisor::new(
+            Subject::Service(ServiceId::new(7)),
+            SubjectConfig::service_defaults(),
+        );
+        let events = run_minutes(&mut a, 0, &[0.8; 12]);
+        assert_eq!(events[0].kind, TriggerKind::ServiceOverloaded);
+    }
+
+    #[test]
+    fn idle_triggers_after_longer_watch() {
+        let mut a = Advisor::new(srv(), SubjectConfig::paper_defaults(2.0));
+        // Idle threshold for index 2 = 6.25%; idle watch = 20 min.
+        let events = run_minutes(&mut a, 0, &[0.01; 25]);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, TriggerKind::ServerIdle);
+        assert_eq!(events[0].time, SimTime::from_minutes(20));
+    }
+
+    #[test]
+    fn idle_threshold_scales_with_performance_index() {
+        let weak = SubjectConfig::paper_defaults(1.0);
+        let strong = SubjectConfig::paper_defaults(9.0);
+        assert!((weak.idle_threshold - 0.125).abs() < 1e-12);
+        assert!((strong.idle_threshold - 0.125 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_idle_never_raises_idle() {
+        let mut a = Advisor::new(srv(), SubjectConfig::paper_defaults(1.0).without_idle());
+        let events = run_minutes(&mut a, 0, &[0.0; 60]);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn retriggers_after_reset_if_overload_persists() {
+        let mut a = Advisor::new(srv(), SubjectConfig::paper_defaults(1.0));
+        let events = run_minutes(&mut a, 0, &[0.9; 45]);
+        // Watch confirms at minute 10; state resets; next sample at 11 opens
+        // a new watch confirming at 21; etc. → 4 triggers in 45 minutes.
+        assert_eq!(events.len(), 4);
+    }
+
+    #[test]
+    fn is_watching_reflects_state() {
+        let mut a = Advisor::new(srv(), SubjectConfig::paper_defaults(1.0));
+        assert!(!a.is_watching());
+        a.observe(LoadSample::new(SimTime::from_minutes(0), 0.9, 0.0));
+        assert!(a.is_watching());
+    }
+
+    #[test]
+    fn system_routes_and_manages_subjects() {
+        let mut system = LoadMonitoringSystem::new();
+        assert!(system.is_empty());
+        let subject = srv();
+        system.register(subject, SubjectConfig::paper_defaults(1.0));
+        assert!(system.is_registered(subject));
+        assert_eq!(system.len(), 1);
+
+        let mut triggered = None;
+        for minute in 0..12 {
+            let s = LoadSample::new(SimTime::from_minutes(minute), 0.85, 0.3);
+            if let Some(e) = system.observe(subject, s) {
+                triggered = Some(e);
+            }
+        }
+        assert!(triggered.is_some());
+        assert!(system.latest(subject).is_some());
+        let avg = system
+            .average_cpu(subject, SimTime::from_minutes(11), SimDuration::from_minutes(5))
+            .unwrap();
+        assert!((avg - 0.85).abs() < 1e-9);
+
+        // Unknown subjects are silently ignored.
+        let stranger = Subject::Server(ServerId::new(99));
+        assert!(system
+            .observe(stranger, LoadSample::new(SimTime::ZERO, 1.0, 1.0))
+            .is_none());
+
+        system.unregister(subject);
+        assert!(!system.is_registered(subject));
+    }
+}

@@ -1,0 +1,207 @@
+//! Simulated time: absolute instants and durations in whole seconds.
+//!
+//! The paper's experiments run "in 40-fold acceleration ... simulating a
+//! system for 80 hours"; all the shown time axes are simulated wall-clock
+//! time. We model time as seconds since simulation start — fine-grained
+//! enough for 10-minute watch windows, coarse enough to stay in `u64`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A duration in simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// From whole minutes.
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimDuration(minutes * 60)
+    }
+
+    /// From whole hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600)
+    }
+
+    /// Length in seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Length in (fractional) hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Scalar multiplication.
+    pub const fn times(self, n: u64) -> Self {
+        SimDuration(self.0 * n)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let h = self.0 / 3600;
+        let m = (self.0 % 3600) / 60;
+        let s = self.0 % 60;
+        if h > 0 {
+            write!(f, "{h}h{m:02}m")
+        } else if m > 0 {
+            write!(f, "{m}m{s:02}s")
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+/// An absolute instant: seconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From seconds since start.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// From minutes since start.
+    pub const fn from_minutes(minutes: u64) -> Self {
+        SimTime(minutes * 60)
+    }
+
+    /// From hours since start.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3600)
+    }
+
+    /// Seconds since start.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds into the current simulated day (day = 24 h).
+    pub const fn second_of_day(self) -> u64 {
+        self.0 % 86_400
+    }
+
+    /// Fractional hour of day in `[0, 24)` — the x-axis of the paper's load
+    /// curves (Figures 10, 12–17).
+    pub fn hour_of_day(self) -> f64 {
+        self.second_of_day() as f64 / 3600.0
+    }
+
+    /// Which simulated day this instant falls on (day 0 = first).
+    pub const fn day(self) -> u64 {
+        self.0 / 86_400
+    }
+
+    /// Duration since an earlier instant (saturating).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let day = self.day();
+        let h = self.second_of_day() / 3600;
+        let m = (self.second_of_day() % 3600) / 60;
+        if day > 0 {
+            write!(f, "d{day} {h:02}:{m:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimDuration::from_minutes(10).as_secs(), 600);
+        assert_eq!(SimDuration::from_hours(2).as_secs(), 7200);
+        assert_eq!(SimTime::from_hours(80).as_secs(), 288_000);
+        assert!((SimDuration::from_minutes(90).as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        let t = SimTime::from_hours(26); // 02:00 on day 1
+        assert_eq!(t.day(), 1);
+        assert_eq!(t.second_of_day(), 7200);
+        assert!((t.hour_of_day() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_since() {
+        let t0 = SimTime::from_minutes(5);
+        let t1 = t0 + SimDuration::from_minutes(10);
+        assert_eq!(t1.as_secs(), 900);
+        assert_eq!(t1.since(t0), SimDuration::from_minutes(10));
+        // since saturates.
+        assert_eq!(t0.since(t1), SimDuration::ZERO);
+        assert_eq!((t1 - SimDuration::from_hours(99)).as_secs(), 0);
+    }
+
+    #[test]
+    fn add_assign_and_times() {
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(30);
+        t += SimDuration::from_secs(30);
+        assert_eq!(t, SimTime::from_minutes(1));
+        assert_eq!(SimDuration::from_secs(30).times(4), SimDuration::from_minutes(2));
+        assert_eq!(
+            SimDuration::from_minutes(1) + SimDuration::from_secs(30),
+            SimDuration::from_secs(90)
+        );
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(SimTime::from_hours(26).to_string(), "d1 02:00");
+        assert_eq!(SimTime::from_minutes(75).to_string(), "01:15");
+        assert_eq!(SimDuration::from_minutes(10).to_string(), "10m00s");
+        assert_eq!(SimDuration::from_hours(2).to_string(), "2h00m");
+        assert_eq!(SimDuration::from_secs(42).to_string(), "42s");
+    }
+}

@@ -1,0 +1,165 @@
+//! Trigger events: confirmed exceptional situations.
+
+use crate::subject::Subject;
+use crate::time::SimTime;
+use std::fmt;
+
+/// The four trigger kinds the action-selection controller keys its rule
+/// bases on (Section 4.1): "We distinguish between four different triggers:
+/// serviceOverloaded, serviceIdle, serverOverloaded, and serverIdle."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TriggerKind {
+    /// A service's instances are overloaded on average.
+    ServiceOverloaded,
+    /// A service's instances are (almost) idle.
+    ServiceIdle,
+    /// A server is overloaded.
+    ServerOverloaded,
+    /// A server is (almost) idle.
+    ServerIdle,
+}
+
+impl TriggerKind {
+    /// All four kinds.
+    pub const ALL: [TriggerKind; 4] = [
+        TriggerKind::ServiceOverloaded,
+        TriggerKind::ServiceIdle,
+        TriggerKind::ServerOverloaded,
+        TriggerKind::ServerIdle,
+    ];
+
+    /// Name used in the XML description language to attach rule bases.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerKind::ServiceOverloaded => "serviceOverloaded",
+            TriggerKind::ServiceIdle => "serviceIdle",
+            TriggerKind::ServerOverloaded => "serverOverloaded",
+            TriggerKind::ServerIdle => "serverIdle",
+        }
+    }
+
+    /// Inverse of [`TriggerKind::name`].
+    pub fn from_name(name: &str) -> Option<TriggerKind> {
+        TriggerKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// True for the overload kinds.
+    pub fn is_overload(self) -> bool {
+        matches!(
+            self,
+            TriggerKind::ServiceOverloaded | TriggerKind::ServerOverloaded
+        )
+    }
+}
+
+impl fmt::Display for TriggerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A confirmed exceptional situation, handed to the fuzzy controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriggerEvent {
+    /// Which exceptional situation.
+    pub kind: TriggerKind,
+    /// The affected server or service.
+    pub subject: Subject,
+    /// When the watch window ended (= when the trigger fired).
+    pub time: SimTime,
+    /// Average CPU load over the watch window — used to initialize the
+    /// controller's load variables (Section 4.1).
+    pub average_cpu: f64,
+    /// Average memory load over the watch window.
+    pub average_mem: f64,
+}
+
+impl fmt::Display for TriggerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} on {} (avg cpu {:.0}%)",
+            self.time,
+            self.kind,
+            self.subject,
+            self.average_cpu * 100.0
+        )
+    }
+}
+
+/// A detected failure ("Failure situations like a program crash are
+/// remedied for example with a restart", Section 2). Unlike load triggers,
+/// failures need no watch time — a crashed instance is gone now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// One instance crashed (program failure); its host is fine.
+    InstanceCrashed(autoglobe_landscape::InstanceId),
+    /// A whole host failed (hardware/OS); every instance on it is gone.
+    ServerFailed(autoglobe_landscape::ServerId),
+}
+
+/// A failure notification handed to the controller's self-healing path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureEvent {
+    /// What failed.
+    pub kind: FailureKind,
+    /// When the failure was detected.
+    pub time: SimTime,
+}
+
+impl fmt::Display for FailureEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FailureKind::InstanceCrashed(id) => write!(f, "[{}] {id} crashed", self.time),
+            FailureKind::ServerFailed(id) => write!(f, "[{}] {id} failed", self.time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::ServerId;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in TriggerKind::ALL {
+            assert_eq!(TriggerKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(TriggerKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn overload_classification() {
+        assert!(TriggerKind::ServiceOverloaded.is_overload());
+        assert!(TriggerKind::ServerOverloaded.is_overload());
+        assert!(!TriggerKind::ServiceIdle.is_overload());
+        assert!(!TriggerKind::ServerIdle.is_overload());
+    }
+
+    #[test]
+    fn failure_event_display() {
+        let e = FailureEvent {
+            kind: FailureKind::InstanceCrashed(autoglobe_landscape::InstanceId::new(4)),
+            time: SimTime::from_minutes(61),
+        };
+        assert_eq!(e.to_string(), "[01:01] inst#4 crashed");
+        let e = FailureEvent {
+            kind: FailureKind::ServerFailed(ServerId::new(2)),
+            time: SimTime::from_hours(2),
+        };
+        assert_eq!(e.to_string(), "[02:00] srv#2 failed");
+    }
+
+    #[test]
+    fn event_display() {
+        let e = TriggerEvent {
+            kind: TriggerKind::ServerOverloaded,
+            subject: Subject::Server(ServerId::new(3)),
+            time: SimTime::from_minutes(90),
+            average_cpu: 0.85,
+            average_mem: 0.4,
+        };
+        assert_eq!(e.to_string(), "[01:30] serverOverloaded on srv#3 (avg cpu 85%)");
+    }
+}

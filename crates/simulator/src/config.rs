@@ -1,0 +1,151 @@
+//! Simulation configuration.
+
+use crate::scenario::Scenario;
+use autoglobe_controller::ControllerConfig;
+use autoglobe_monitor::SimDuration;
+
+/// Failure-injection parameters ("Failure situations like a program crash
+/// are remedied for example with a restart", Section 2). Rates are per
+/// entity per simulated hour.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureInjection {
+    /// Probability per instance per hour of a program crash.
+    pub instance_crash_per_hour: f64,
+    /// Probability per server per hour of a host failure.
+    pub server_failure_per_hour: f64,
+    /// How long a failed host stays down before it is repaired.
+    pub repair_after: SimDuration,
+}
+
+impl Default for FailureInjection {
+    fn default() -> Self {
+        FailureInjection {
+            instance_crash_per_hour: 0.01,
+            server_failure_per_hour: 0.001,
+            repair_after: SimDuration::from_hours(2),
+        }
+    }
+}
+
+/// All knobs of one simulation run. Defaults mirror Section 5.1 of the
+/// paper: 80 simulated hours, one-minute monitoring tick, 70 % overload
+/// threshold with a 10-minute watch time, `12.5 % ÷ performanceIndex` idle
+/// threshold with a 20-minute watch time, 30 minutes of protection after an
+/// action.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Which scenario to run.
+    pub scenario: Scenario,
+    /// Simulated duration (paper: 80 hours).
+    pub duration: SimDuration,
+    /// Monitoring/simulation tick (one simulated minute).
+    pub tick: SimDuration,
+    /// User-count multiplier relative to Table 4 (1.0 = 100 %). For BW the
+    /// multiplier scales per-job load instead (Section 5.1).
+    pub user_multiplier: f64,
+    /// RNG seed — every figure is reproducible bit-for-bit.
+    pub seed: u64,
+    /// Fuzzy-controller configuration (thresholds, protection time).
+    pub controller: ControllerConfig,
+    /// Whether the controller runs at all. Defaults to true; the *static*
+    /// scenario keeps it on but its services allow no actions, matching the
+    /// paper ("the controller cannot remedy the overload situations").
+    pub controller_enabled: bool,
+    /// Time from starting an instance until it accepts users.
+    pub startup_latency: SimDuration,
+    /// How often load-series points are recorded into [`crate::Metrics`]
+    /// (the paper's figures plot roughly 5-minute resolution over 80 h).
+    pub sample_every: SimDuration,
+    /// Services whose per-instance load series are recorded (Figures 15–17
+    /// plot the FI application servers).
+    pub record_instances_of: Vec<String>,
+    /// Optional failure injection (None = no failures, the paper's load
+    /// studies).
+    pub failures: Option<FailureInjection>,
+}
+
+impl SimConfig {
+    /// The paper's configuration for a given scenario and user level.
+    pub fn paper(scenario: Scenario, user_multiplier: f64) -> Self {
+        SimConfig {
+            scenario,
+            duration: SimDuration::from_hours(80),
+            tick: SimDuration::from_minutes(1),
+            user_multiplier,
+            seed: 0x005A_B061_0BE0, // "SAP AutoGlobe"
+            controller: ControllerConfig::default(),
+            controller_enabled: true,
+            startup_latency: SimDuration::from_minutes(2),
+            sample_every: SimDuration::from_minutes(5),
+            record_instances_of: vec!["FI".to_string()],
+            failures: None,
+        }
+    }
+
+    /// A short smoke-test configuration (a few simulated hours).
+    pub fn quick(scenario: Scenario) -> Self {
+        SimConfig {
+            duration: SimDuration::from_hours(6),
+            ..SimConfig::paper(scenario, 1.0)
+        }
+    }
+
+    /// Builder-style: set the user multiplier.
+    pub fn with_multiplier(mut self, m: f64) -> Self {
+        self.user_multiplier = m;
+        self
+    }
+
+    /// Builder-style: set the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style: set the duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Builder-style: enable failure injection.
+    pub fn with_failures(mut self, failures: FailureInjection) -> Self {
+        self.failures = Some(failures);
+        self
+    }
+
+    /// Number of ticks in the run.
+    pub fn num_ticks(&self) -> u64 {
+        self.duration.as_secs() / self.tick.as_secs().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_5_1() {
+        let c = SimConfig::paper(Scenario::FullMobility, 1.15);
+        assert_eq!(c.duration, SimDuration::from_hours(80));
+        assert_eq!(c.tick, SimDuration::from_minutes(1));
+        assert_eq!(c.user_multiplier, 1.15);
+        assert!(c.controller_enabled);
+        assert_eq!(
+            c.controller.protection_time,
+            SimDuration::from_minutes(30)
+        );
+        assert_eq!(c.num_ticks(), 80 * 60);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = SimConfig::quick(Scenario::Static)
+            .with_multiplier(1.05)
+            .with_seed(7)
+            .with_duration(SimDuration::from_hours(12));
+        assert_eq!(c.user_multiplier, 1.05);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.num_ticks(), 12 * 60);
+    }
+}

@@ -1,0 +1,53 @@
+//! # autoglobe-simulator — the SAP-landscape simulation environment
+//!
+//! The paper evaluates AutoGlobe with "comprehensive simulation studies ...
+//! conducted using a simulation environment that models a realistic SAP
+//! installation" (Section 5). This crate is that environment, rebuilt from
+//! the paper's description:
+//!
+//! * **Three-layer SAP architecture** (Figure 9): ERP, CRM and BW
+//!   subsystems, each with its own database and central instance (the
+//!   subsystem's global lock manager) plus application servers (FI, HR,
+//!   LES, PP, CRM, BW) — see [`sap::build_environment`].
+//! * **Hardware pool** (Figure 11): 8 FSC-BX300 blades (performance
+//!   index 1), 8 FSC-BX600 blades (index 2), 3 HP ProLiant BL40p database
+//!   servers (index 9), with the paper's initial service allocation.
+//! * **Daily load curves** (Figure 10): interactive services ramp up at
+//!   8:00 with peaks in the morning, before midday and before the employees
+//!   leave; BW runs heavy batch jobs at night — see [`workload::DailyPattern`].
+//! * **Request flow**: a user request loads the application server, the
+//!   subsystem's central instance (lock management) and the database, with
+//!   service-specific load factors ("an FI request produces lower load than
+//!   a BW request") plus a per-instance basic load.
+//! * **Three scenarios** (Section 5.1): *static* (no actions allowed),
+//!   *constrained mobility* (Table 5: scale-in/out for application servers,
+//!   sticky users with fluctuation) and *full mobility* (Table 6: all
+//!   movement actions, users dynamically redistributed) —
+//!   see [`scenario::Scenario`].
+//!
+//! The simulation is a deterministic tick-driven discrete-event loop
+//! (default tick: one simulated minute) that feeds the monitoring stack,
+//! dispatches confirmed triggers to the fuzzy controller, applies its
+//! actions with realistic activation latency, and records every per-server
+//! and per-instance load series the paper plots (Figures 12–17) plus the
+//! capacity-sweep data behind Table 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod config;
+pub mod metrics;
+pub mod sap;
+pub mod scenario;
+pub mod sessions;
+pub mod sim;
+pub mod workload;
+
+pub use capacity::{find_max_users, CapacityCriterion, CapacityResult};
+pub use config::{FailureInjection, SimConfig};
+pub use metrics::{Metrics, SeriesPoint};
+pub use sap::{build_environment, SapEnvironment};
+pub use scenario::Scenario;
+pub use sim::Simulation;
+pub use workload::{DailyPattern, WorkloadSpec};

@@ -1,0 +1,368 @@
+//! The simulated SAP installation: hardware pool, services, initial
+//! allocation and workload couplings (Figures 9 and 11, Table 4).
+
+use crate::scenario::Scenario;
+use crate::workload::{DailyPattern, WorkloadSpec};
+use autoglobe_landscape::{Landscape, ServerSpec, ServiceId, ServiceKind, ServiceSpec};
+
+/// Calibration constants of the load model. All demands are expressed in
+/// performance-index-1 CPU units, so a demand of 0.8 saturates 80 % of a
+/// BX300 blade and 8.9 % of a BL40p.
+///
+/// Calibrated against Section 5.1: "A standard single processor blade
+/// (performance index = 1) is dimensioned to handle at most 150 users of
+/// one service. The CPU load of the blades is between 60% and 80% during
+/// main activity."
+pub mod calibration {
+    /// Basic load every running application-server instance induces.
+    pub const APP_BASE_LOAD: f64 = 0.05;
+    /// CPU demand per interactive user on the application server
+    /// (150 users → 0.785 total: just inside the 60–80 % band).
+    pub const APP_LOAD_PER_USER: f64 = 0.00487;
+    /// CPU demand per BW batch job on the BW application servers (heavier
+    /// than interactive requests: "a BW request produces higher load").
+    pub const BW_APP_LOAD_PER_JOB: f64 = 0.042;
+    /// CPU demand per active user on the subsystem's central instance
+    /// (lock management). Calibrated so the ERP central instance on a
+    /// BX300 saturates at ≈ +20 % users — the static bottleneck that caps
+    /// the constrained-mobility scenario near the paper's +15 %.
+    pub const CI_LOAD_PER_USER: f64 = 0.000285;
+    /// CPU demand per BW batch job on the BW central instance.
+    pub const CI_LOAD_PER_JOB: f64 = 0.002;
+    /// CPU demand per active user on the subsystem database.
+    pub const DB_LOAD_PER_USER: f64 = 0.0021;
+    /// CPU demand per BW batch job on the BW database (nightly heavy
+    /// batch; saturates a single BL40p beyond ≈ +25 % unless the BW
+    /// database is distributed, which only the full-mobility scenario
+    /// allows — Table 6).
+    pub const DB_LOAD_PER_JOB: f64 = 0.095;
+    /// Multiplicative workload jitter (± fraction).
+    pub const JITTER: f64 = 0.02;
+}
+
+/// The built environment: the landscape plus the workload couplings.
+#[derive(Debug, Clone)]
+pub struct SapEnvironment {
+    /// Servers, services and the initial allocation of Figure 11.
+    pub landscape: Landscape,
+    /// Application-service workloads with their CI/DB couplings.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl SapEnvironment {
+    /// Ids of all application-server services.
+    pub fn application_services(&self) -> Vec<ServiceId> {
+        self.workloads
+            .iter()
+            .filter_map(|w| self.landscape.service_by_name(&w.service).ok())
+            .collect()
+    }
+}
+
+/// Table 4 of the paper: `(service, users, initial instances)`.
+pub const TABLE_4: [(&str, f64, u32); 6] = [
+    ("FI", 600.0, 3),
+    ("LES", 900.0, 4),
+    ("PP", 450.0, 2),
+    ("HR", 300.0, 1),
+    ("CRM", 300.0, 1),
+    ("BW", 60.0, 2),
+];
+
+/// Build the simulated SAP installation for a scenario: hardware per
+/// Figure 11, services per Figure 9 with the scenario's constraint tables
+/// (5/6), the initial allocation of Figure 11 and the Table 4 user counts.
+pub fn build_environment(scenario: Scenario) -> SapEnvironment {
+    let mut landscape = Landscape::new();
+
+    // ---- hardware (Figure 11) -------------------------------------------
+    for i in 1..=8 {
+        landscape
+            .add_server(ServerSpec::fsc_bx300(format!("Blade{i}")))
+            .expect("unique blade name");
+    }
+    for i in 9..=16 {
+        landscape
+            .add_server(ServerSpec::fsc_bx600(format!("Blade{i}")))
+            .expect("unique blade name");
+    }
+    for i in 1..=3 {
+        landscape
+            .add_server(ServerSpec::hp_bl40p(format!("DBServer{i}")))
+            .expect("unique server name");
+    }
+
+    // ---- services ---------------------------------------------------------
+    use calibration::*;
+
+    // Databases: exclusive ERP, min performance index 5 for all (Tables 5/6).
+    let db = |name: &str, subsystem: &str, exclusive: bool, actions: Vec<_>| {
+        ServiceSpec::new(name, ServiceKind::Database)
+            .with_subsystem(subsystem)
+            .with_exclusive(exclusive)
+            .with_min_performance_index(5.0)
+            .with_instances(1, Some(if actions.is_empty() { 1 } else { 2 }))
+            .with_allowed_actions(actions)
+            .with_load_model(0.05, 0.0)
+            .with_memory(4096)
+    };
+    landscape
+        .add_service(db("DB-ERP", "ERP", true, scenario.database_actions()))
+        .unwrap();
+    landscape
+        .add_service(db("DB-CRM", "CRM", false, scenario.database_actions()))
+        .unwrap();
+    landscape
+        .add_service(db("DB-BW", "BW", false, scenario.bw_database_actions()))
+        .unwrap();
+
+    // Central instances: one per subsystem, movable only in full mobility.
+    let ci = |name: &str, subsystem: &str| {
+        ServiceSpec::new(name, ServiceKind::CentralInstance)
+            .with_subsystem(subsystem)
+            .with_instances(1, Some(1))
+            .with_allowed_actions(scenario.central_instance_actions())
+            .with_load_model(0.05, 0.0)
+            .with_memory(512)
+    };
+    landscape.add_service(ci("CI-ERP", "ERP")).unwrap();
+    landscape.add_service(ci("CI-CRM", "CRM")).unwrap();
+    landscape.add_service(ci("CI-BW", "BW")).unwrap();
+
+    // Application servers. Table 5: "min. 2 FI instances, min. 2 LES
+    // instances"; the rest keep at least one.
+    let app = |name: &str, subsystem: &str, min: u32, max: u32, per_user: f64| {
+        ServiceSpec::new(name, ServiceKind::ApplicationServer)
+            .with_subsystem(subsystem)
+            .with_instances(min, Some(max))
+            .with_allowed_actions(scenario.application_server_actions())
+            .with_load_model(APP_BASE_LOAD, per_user)
+            .with_memory(512)
+    };
+    landscape
+        .add_service(app("FI", "ERP", 2, 6, APP_LOAD_PER_USER))
+        .unwrap();
+    landscape
+        .add_service(app("LES", "ERP", 2, 8, APP_LOAD_PER_USER))
+        .unwrap();
+    landscape
+        .add_service(app("PP", "ERP", 1, 4, APP_LOAD_PER_USER))
+        .unwrap();
+    landscape
+        .add_service(app("HR", "ERP", 1, 3, APP_LOAD_PER_USER))
+        .unwrap();
+    landscape
+        .add_service(app("CRM", "CRM", 1, 3, APP_LOAD_PER_USER))
+        .unwrap();
+    landscape
+        .add_service(app("BW", "BW", 1, 4, BW_APP_LOAD_PER_JOB))
+        .unwrap();
+
+    // ---- initial allocation (Figure 11) ------------------------------------
+    let place = |landscape: &mut Landscape, service: &str, server: &str| {
+        let svc = landscape.service_by_name(service).expect("known service");
+        let srv = landscape.server_by_name(server).expect("known server");
+        landscape.start_instance(svc, srv).expect("placement");
+    };
+    for (service, server) in [
+        ("LES", "Blade1"),
+        ("LES", "Blade2"),
+        ("FI", "Blade3"),
+        ("PP", "Blade4"),
+        ("FI", "Blade5"),
+        ("CI-ERP", "Blade6"),
+        ("CI-CRM", "Blade7"),
+        ("CI-BW", "Blade8"),
+        ("BW", "Blade9"),
+        ("HR", "Blade10"),
+        ("FI", "Blade11"),
+        ("LES", "Blade12"),
+        ("LES", "Blade13"),
+        ("PP", "Blade14"),
+        ("CRM", "Blade15"),
+        ("BW", "Blade16"),
+        ("DB-ERP", "DBServer1"),
+        ("DB-CRM", "DBServer2"),
+        ("DB-BW", "DBServer3"),
+    ] {
+        place(&mut landscape, service, server);
+    }
+
+    // ---- workloads (Table 4 + Figure 10 patterns) ---------------------------
+    let workloads = vec![
+        interactive("FI", "ERP", 600.0),
+        interactive("LES", "ERP", 900.0),
+        interactive("PP", "ERP", 450.0),
+        interactive("HR", "ERP", 300.0),
+        interactive("CRM", "CRM", 300.0),
+        WorkloadSpec {
+            service: "BW".into(),
+            pattern: DailyPattern::NightBatch,
+            base_users: 60.0,
+            scale_load_not_users: true,
+            ci_service: Some("CI-BW".into()),
+            db_service: Some("DB-BW".into()),
+            ci_load_per_user: CI_LOAD_PER_JOB,
+            db_load_per_user: DB_LOAD_PER_JOB,
+            jitter: JITTER,
+        },
+    ];
+
+    SapEnvironment {
+        landscape,
+        workloads,
+    }
+}
+
+fn interactive(service: &str, subsystem: &str, users: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        service: service.into(),
+        pattern: DailyPattern::Interactive,
+        base_users: users,
+        scale_load_not_users: false,
+        ci_service: Some(format!("CI-{subsystem}")),
+        db_service: Some(format!("DB-{subsystem}")),
+        ci_load_per_user: calibration::CI_LOAD_PER_USER,
+        db_load_per_user: calibration::DB_LOAD_PER_USER,
+        jitter: calibration::JITTER,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::ActionKind;
+
+    #[test]
+    fn hardware_matches_figure_11() {
+        let env = build_environment(Scenario::Static);
+        assert_eq!(env.landscape.num_servers(), 19);
+        // 8 BX300 at index 1, 8 BX600 at index 2, 3 BL40p at index 9.
+        let mut by_index = std::collections::BTreeMap::new();
+        for id in env.landscape.server_ids() {
+            let spec = env.landscape.server(id).unwrap();
+            *by_index
+                .entry((spec.performance_index * 10.0) as u64)
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(by_index[&10], 8);
+        assert_eq!(by_index[&20], 8);
+        assert_eq!(by_index[&90], 3);
+    }
+
+    #[test]
+    fn initial_allocation_matches_figure_11() {
+        let env = build_environment(Scenario::Static);
+        let l = &env.landscape;
+        assert_eq!(l.num_instances(), 19);
+        // Spot checks.
+        for (service, server, count) in [
+            ("FI", "Blade3", 1),
+            ("FI", "Blade5", 1),
+            ("FI", "Blade11", 1),
+            ("LES", "Blade1", 1),
+            ("BW", "Blade9", 1),
+            ("DB-ERP", "DBServer1", 1),
+        ] {
+            let svc = l.service_by_name(service).unwrap();
+            let srv = l.server_by_name(server).unwrap();
+            let on = l
+                .instances_on(srv)
+                .iter()
+                .filter(|i| l.instance(**i).unwrap().service == svc)
+                .count();
+            assert_eq!(on, count, "{service} on {server}");
+        }
+        // Table 4 instance counts.
+        for (service, _users, instances) in TABLE_4 {
+            let svc = l.service_by_name(service).unwrap();
+            assert_eq!(
+                l.instance_count_of(svc),
+                instances as usize,
+                "{service} initial instances"
+            );
+        }
+    }
+
+    #[test]
+    fn constraints_follow_scenario_tables() {
+        // Static: nothing moves.
+        let env = build_environment(Scenario::Static);
+        let fi = env.landscape.service_by_name("FI").unwrap();
+        assert!(env.landscape.service(fi).unwrap().allowed_actions.is_empty());
+
+        // CM (Table 5): app servers scale in/out only; DB/CI static;
+        // min 2 FI and LES instances.
+        let env = build_environment(Scenario::ConstrainedMobility);
+        let l = &env.landscape;
+        let fi_spec = l.service(l.service_by_name("FI").unwrap()).unwrap();
+        assert!(fi_spec.allows(ActionKind::ScaleOut));
+        assert!(!fi_spec.allows(ActionKind::Move));
+        assert_eq!(fi_spec.min_instances, 2);
+        let les_spec = l.service(l.service_by_name("LES").unwrap()).unwrap();
+        assert_eq!(les_spec.min_instances, 2);
+        let db_spec = l.service(l.service_by_name("DB-BW").unwrap()).unwrap();
+        assert!(db_spec.allowed_actions.is_empty());
+        let ci_spec = l.service(l.service_by_name("CI-ERP").unwrap()).unwrap();
+        assert!(ci_spec.allowed_actions.is_empty());
+
+        // FM (Table 6): BW DB distributable; CIs movable.
+        let env = build_environment(Scenario::FullMobility);
+        let l = &env.landscape;
+        let db_bw = l.service(l.service_by_name("DB-BW").unwrap()).unwrap();
+        assert!(db_bw.allows(ActionKind::ScaleOut));
+        let ci = l.service(l.service_by_name("CI-ERP").unwrap()).unwrap();
+        assert!(ci.allows(ActionKind::Move));
+        assert!(ci.allows(ActionKind::ScaleUp));
+    }
+
+    #[test]
+    fn databases_require_powerful_hosts() {
+        let env = build_environment(Scenario::FullMobility);
+        let l = &env.landscape;
+        for name in ["DB-ERP", "DB-CRM", "DB-BW"] {
+            let spec = l.service(l.service_by_name(name).unwrap()).unwrap();
+            assert_eq!(spec.min_performance_index, Some(5.0), "{name}");
+        }
+        // Exclusivity: only the ERP database (Tables 5/6).
+        assert!(l.service(l.service_by_name("DB-ERP").unwrap()).unwrap().exclusive);
+        assert!(!l.service(l.service_by_name("DB-CRM").unwrap()).unwrap().exclusive);
+    }
+
+    #[test]
+    fn workloads_cover_table_4() {
+        let env = build_environment(Scenario::Static);
+        assert_eq!(env.workloads.len(), 6);
+        for (service, users, _instances) in TABLE_4 {
+            let w = env
+                .workloads
+                .iter()
+                .find(|w| w.service == service)
+                .unwrap_or_else(|| panic!("workload for {service}"));
+            assert_eq!(w.base_users, users, "{service} users");
+        }
+        // BW is the batch exception.
+        let bw = env.workloads.iter().find(|w| w.service == "BW").unwrap();
+        assert!(bw.scale_load_not_users);
+        assert_eq!(bw.pattern, DailyPattern::NightBatch);
+        assert_eq!(bw.db_service.as_deref(), Some("DB-BW"));
+    }
+
+    #[test]
+    fn peak_demand_is_inside_the_60_to_80_percent_band() {
+        // Sanity-check the calibration: 150 users on a performance-index-1
+        // blade put its load between 60 % and 80 % (Section 5.1).
+        use calibration::*;
+        let demand = APP_BASE_LOAD + 150.0 * APP_LOAD_PER_USER;
+        assert!(
+            (0.6..=0.8).contains(&demand),
+            "150-user blade demand {demand} outside the paper's band"
+        );
+    }
+
+    #[test]
+    fn application_services_resolve() {
+        let env = build_environment(Scenario::Static);
+        assert_eq!(env.application_services().len(), 6);
+    }
+}

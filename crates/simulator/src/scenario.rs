@@ -1,0 +1,169 @@
+//! The three simulation scenarios of Section 5.1.
+
+use crate::sessions::DistributionMode;
+use autoglobe_landscape::ActionKind;
+use std::fmt;
+
+/// Which of the paper's scenarios a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// "A computing environment with all services being static ... the
+    /// standard environment used in most computing centers." No controller
+    /// actions are possible.
+    Static,
+    /// Table 5: databases and central instances static; application servers
+    /// support scale-in and scale-out; users are sticky with fluctuation.
+    ConstrainedMobility,
+    /// Table 6: the BW database supports scale-in/out (distribution across
+    /// servers); central instances and application servers can be moved,
+    /// scaled up and down; users are dynamically redistributed.
+    FullMobility,
+}
+
+impl Scenario {
+    /// All three scenarios in paper order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Static,
+        Scenario::ConstrainedMobility,
+        Scenario::FullMobility,
+    ];
+
+    /// Short name used in file names and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Static => "static",
+            Scenario::ConstrainedMobility => "constrained-mobility",
+            Scenario::FullMobility => "full-mobility",
+        }
+    }
+
+    /// How users bind to instances in this scenario.
+    pub fn distribution_mode(self) -> DistributionMode {
+        match self {
+            Scenario::FullMobility => DistributionMode::Dynamic,
+            _ => DistributionMode::Sticky,
+        }
+    }
+
+    /// The per-tick user fluctuation fraction (sticky scenarios only).
+    /// Calibrated so that a fully displaced user population takes a couple
+    /// of simulated hours to drain to other instances — "the load of the
+    /// initially overloaded services slowly decreases".
+    pub fn fluctuation(self) -> f64 {
+        match self {
+            Scenario::ConstrainedMobility => 0.02,
+            _ => 0.0,
+        }
+    }
+
+    /// The actions an *application server* service supports (Tables 5/6).
+    pub fn application_server_actions(self) -> Vec<ActionKind> {
+        match self {
+            Scenario::Static => vec![],
+            Scenario::ConstrainedMobility => vec![ActionKind::ScaleIn, ActionKind::ScaleOut],
+            Scenario::FullMobility => vec![
+                ActionKind::ScaleUp,
+                ActionKind::ScaleDown,
+                ActionKind::ScaleIn,
+                ActionKind::ScaleOut,
+                ActionKind::Move,
+            ],
+        }
+    }
+
+    /// The actions a *central instance* supports.
+    pub fn central_instance_actions(self) -> Vec<ActionKind> {
+        match self {
+            Scenario::FullMobility => vec![
+                ActionKind::ScaleUp,
+                ActionKind::ScaleDown,
+                ActionKind::Move,
+            ],
+            _ => vec![],
+        }
+    }
+
+    /// The actions the *BW database* supports (it is distributable in the
+    /// full-mobility scenario, Table 6).
+    pub fn bw_database_actions(self) -> Vec<ActionKind> {
+        match self {
+            Scenario::FullMobility => vec![ActionKind::ScaleIn, ActionKind::ScaleOut],
+            _ => vec![],
+        }
+    }
+
+    /// The actions the ERP/CRM databases support (none in any scenario).
+    pub fn database_actions(self) -> Vec<ActionKind> {
+        vec![]
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_scenario_allows_nothing() {
+        let s = Scenario::Static;
+        assert!(s.application_server_actions().is_empty());
+        assert!(s.central_instance_actions().is_empty());
+        assert!(s.bw_database_actions().is_empty());
+        assert_eq!(s.distribution_mode(), DistributionMode::Sticky);
+        assert_eq!(s.fluctuation(), 0.0);
+    }
+
+    #[test]
+    fn cm_matches_table_5() {
+        let s = Scenario::ConstrainedMobility;
+        let apps = s.application_server_actions();
+        assert!(apps.contains(&ActionKind::ScaleIn));
+        assert!(apps.contains(&ActionKind::ScaleOut));
+        assert!(!apps.contains(&ActionKind::Move));
+        assert!(s.central_instance_actions().is_empty());
+        assert!(s.bw_database_actions().is_empty());
+        assert_eq!(s.distribution_mode(), DistributionMode::Sticky);
+        assert!(s.fluctuation() > 0.0);
+    }
+
+    #[test]
+    fn fm_matches_table_6() {
+        let s = Scenario::FullMobility;
+        let apps = s.application_server_actions();
+        for k in [
+            ActionKind::ScaleUp,
+            ActionKind::ScaleDown,
+            ActionKind::ScaleIn,
+            ActionKind::ScaleOut,
+            ActionKind::Move,
+        ] {
+            assert!(apps.contains(&k), "FM app servers support {k}");
+        }
+        let ci = s.central_instance_actions();
+        assert!(ci.contains(&ActionKind::Move));
+        assert!(ci.contains(&ActionKind::ScaleUp));
+        assert!(!ci.contains(&ActionKind::ScaleOut), "CIs cannot scale out");
+        let bw = s.bw_database_actions();
+        assert!(bw.contains(&ActionKind::ScaleOut));
+        assert_eq!(s.distribution_mode(), DistributionMode::Dynamic);
+    }
+
+    #[test]
+    fn erp_crm_databases_never_move() {
+        for s in Scenario::ALL {
+            assert!(s.database_actions().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Scenario::Static.to_string(), "static");
+        assert_eq!(Scenario::ConstrainedMobility.name(), "constrained-mobility");
+        assert_eq!(Scenario::FullMobility.name(), "full-mobility");
+    }
+}

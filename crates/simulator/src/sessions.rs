@@ -1,0 +1,372 @@
+//! User-session management: which instance serves which users.
+//!
+//! The paper distinguishes two regimes (Section 5.1):
+//!
+//! * **Sticky** (constrained mobility): "After a scale-out, the system does
+//!   not dynamically redistribute the users, i.e., users are logged in at
+//!   one service instance during their complete session. We simulate a
+//!   fluctuation of the users, i.e., users infrequently log themselves off
+//!   ... and reconnect to the currently least-loaded server."
+//! * **Dynamic** (full mobility): "if a new instance of a service is
+//!   started, the users are equally redistributed across all instances."
+
+use autoglobe_landscape::{InstanceId, ServerId};
+use autoglobe_monitor::SimTime;
+use std::collections::BTreeMap;
+
+/// How users bind to instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistributionMode {
+    /// Users stay on their instance; only fluctuation rebalances.
+    Sticky,
+    /// Users are equally redistributed across active instances every tick.
+    Dynamic,
+}
+
+/// The session table of one service: user counts per instance, plus
+/// activation bookkeeping for instances that are still starting up.
+#[derive(Debug, Clone)]
+pub struct SessionTable {
+    mode: DistributionMode,
+    /// Users currently attached to each instance (fractional: we model the
+    /// user population as a fluid, which matches the aggregate load curves
+    /// of the paper).
+    users: BTreeMap<InstanceId, f64>,
+    /// Instances that exist but only accept users from the given time
+    /// (start-up latency of a freshly started instance).
+    activating: BTreeMap<InstanceId, SimTime>,
+}
+
+impl SessionTable {
+    /// An empty table in the given mode.
+    pub fn new(mode: DistributionMode) -> Self {
+        SessionTable {
+            mode,
+            users: BTreeMap::new(),
+            activating: BTreeMap::new(),
+        }
+    }
+
+    /// The distribution mode.
+    pub fn mode(&self) -> DistributionMode {
+        self.mode
+    }
+
+    /// Register an instance that is ready immediately (initial allocation).
+    pub fn add_instance(&mut self, instance: InstanceId) {
+        self.users.entry(instance).or_insert(0.0);
+    }
+
+    /// Register an instance that becomes ready at `ready_at`.
+    pub fn add_starting_instance(&mut self, instance: InstanceId, ready_at: SimTime) {
+        self.users.entry(instance).or_insert(0.0);
+        self.activating.insert(instance, ready_at);
+    }
+
+    /// Remove an instance; its users are returned for re-login.
+    pub fn remove_instance(&mut self, instance: InstanceId) -> f64 {
+        self.activating.remove(&instance);
+        self.users.remove(&instance).unwrap_or(0.0)
+    }
+
+    /// True if the instance accepts users at `now`.
+    pub fn is_active(&self, instance: InstanceId, now: SimTime) -> bool {
+        self.users.contains_key(&instance)
+            && self.activating.get(&instance).is_none_or(|&ready| now >= ready)
+    }
+
+    /// Users currently on `instance`.
+    pub fn users_on(&self, instance: InstanceId) -> f64 {
+        self.users.get(&instance).copied().unwrap_or(0.0)
+    }
+
+    /// Total users across all instances.
+    pub fn total_users(&self) -> f64 {
+        self.users.values().sum()
+    }
+
+    /// All instances (active or starting).
+    pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.users.keys().copied()
+    }
+
+    /// Number of registered instances.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True if no instances are registered.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Adjust the population to `target` total users and rebalance according
+    /// to the mode.
+    ///
+    /// `host_info` supplies `(load, capacity)` of each instance's host:
+    /// sticky re-logins prefer "the currently least-loaded server" (weighted
+    /// by remaining capacity), and dynamic redistribution hands each
+    /// instance a share proportional to its host's processing power.
+    /// `fluctuation` is the fraction of each instance's users that log off
+    /// and reconnect this tick (sticky mode only).
+    pub fn rebalance(
+        &mut self,
+        target: f64,
+        now: SimTime,
+        fluctuation: f64,
+        host_info: &dyn Fn(InstanceId) -> (f64, f64),
+    ) {
+        let active: Vec<InstanceId> = self
+            .users
+            .keys()
+            .copied()
+            .filter(|&i| self.activating.get(&i).is_none_or(|&ready| now >= ready))
+            .collect();
+        if active.is_empty() {
+            // No instance can take users; population waits (requests pile up
+            // — the monitoring side sees this as unserved demand).
+            return;
+        }
+        // Clean up finished activations.
+        self.activating.retain(|_, &mut ready| now < ready);
+
+        match self.mode {
+            DistributionMode::Dynamic => {
+                // Redistribution across active instances, proportional to
+                // each host's processing power so heterogeneous hardware
+                // ends up evenly utilized; inactive instances keep zero.
+                let capacity: Vec<f64> = active
+                    .iter()
+                    .map(|&i| host_info(i).1.max(f64::MIN_POSITIVE))
+                    .collect();
+                let total_capacity: f64 = capacity.iter().sum();
+                for users in self.users.values_mut() {
+                    *users = 0.0;
+                }
+                for (id, cap) in active.iter().zip(&capacity) {
+                    *self.users.get_mut(id).expect("active instance") =
+                        target * cap / total_capacity;
+                }
+            }
+            DistributionMode::Sticky => {
+                let current: f64 = self.users.values().sum();
+                let delta = target - current;
+                if delta > 0.0 {
+                    // New logins prefer hosts with the most free capacity.
+                    // Each user's login sees the load its predecessors
+                    // created, so a burst of logins spreads by headroom
+                    // rather than stampeding a single instance.
+                    let weights = headroom_weights(&active, host_info);
+                    for (id, w) in active.iter().zip(&weights) {
+                        *self.users.get_mut(id).expect("active instance") += delta * w;
+                    }
+                } else if delta < 0.0 {
+                    // Logoffs proportional to population.
+                    let shrink = if current > 0.0 { target / current } else { 0.0 };
+                    for users in self.users.values_mut() {
+                        *users *= shrink;
+                    }
+                }
+                // Fluctuation: a fraction of each instance's users logs off
+                // and reconnects, preferring lightly loaded hosts.
+                if fluctuation > 0.0 {
+                    let mut moved = 0.0;
+                    for users in self.users.values_mut() {
+                        let leaving = *users * fluctuation;
+                        *users -= leaving;
+                        moved += leaving;
+                    }
+                    let weights = headroom_weights(&active, host_info);
+                    for (id, w) in active.iter().zip(&weights) {
+                        *self.users.get_mut(id).expect("active instance") += moved * w;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Normalized weights proportional to each instance's host *capacity
+/// headroom* — `capacity × (1 − load)`, floored at 2 % of capacity so
+/// saturated hosts still accept a trickle. A twice-as-powerful host at the
+/// same relative load attracts twice the logins, which is exactly what
+/// equalizes relative loads across heterogeneous hardware.
+fn headroom_weights(
+    active: &[InstanceId],
+    host_info: &dyn Fn(InstanceId) -> (f64, f64),
+) -> Vec<f64> {
+    let raw: Vec<f64> = active
+        .iter()
+        .map(|&i| {
+            let (load, capacity) = host_info(i);
+            (capacity.max(f64::MIN_POSITIVE)) * (1.0 - load).max(0.02)
+        })
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// A tiny helper: the per-instance `(host load, host capacity)` pairs used
+/// by [`SessionTable::rebalance`], resolved from an instance → server
+/// mapping and a per-server `(load, capacity)` table.
+pub fn host_info_lookup<'a>(
+    instance_server: &'a BTreeMap<InstanceId, ServerId>,
+    server_info: &'a BTreeMap<ServerId, (f64, f64)>,
+) -> impl Fn(InstanceId) -> (f64, f64) + 'a {
+    move |instance| {
+        instance_server
+            .get(&instance)
+            .and_then(|srv| server_info.get(srv))
+            .copied()
+            .unwrap_or((0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(n: u32) -> InstanceId {
+        InstanceId::new(n)
+    }
+
+    const NOW: SimTime = SimTime::from_secs(3600);
+
+    #[test]
+    fn dynamic_mode_splits_equally() {
+        let mut t = SessionTable::new(DistributionMode::Dynamic);
+        t.add_instance(inst(0));
+        t.add_instance(inst(1));
+        t.add_instance(inst(2));
+        t.rebalance(300.0, NOW, 0.0, &|_| (0.0, 1.0));
+        for i in 0..3 {
+            assert!((t.users_on(inst(i)) - 100.0).abs() < 1e-9);
+        }
+        assert!((t.total_users() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_mode_excludes_starting_instances() {
+        let mut t = SessionTable::new(DistributionMode::Dynamic);
+        t.add_instance(inst(0));
+        t.add_starting_instance(inst(1), NOW + autoglobe_monitor::SimDuration::from_minutes(5));
+        t.rebalance(100.0, NOW, 0.0, &|_| (0.0, 1.0));
+        assert!((t.users_on(inst(0)) - 100.0).abs() < 1e-9);
+        assert_eq!(t.users_on(inst(1)), 0.0);
+        assert!(!t.is_active(inst(1), NOW));
+        // After activation it joins.
+        let later = NOW + autoglobe_monitor::SimDuration::from_minutes(6);
+        t.rebalance(100.0, later, 0.0, &|_| (0.0, 1.0));
+        assert!((t.users_on(inst(1)) - 50.0).abs() < 1e-9);
+        assert!(t.is_active(inst(1), later));
+    }
+
+    #[test]
+    fn sticky_mode_prefers_lightly_loaded_hosts_for_new_logins() {
+        let mut t = SessionTable::new(DistributionMode::Sticky);
+        t.add_instance(inst(0));
+        t.add_instance(inst(1));
+        // Host 0 at 90 % load, host 1 at 10 %: weights 0.1 vs 0.9.
+        t.rebalance(100.0, NOW, 0.0, &|i| (if i == inst(0) { 0.9 } else { 0.1 }, 1.0));
+        assert!((t.users_on(inst(0)) - 10.0).abs() < 1e-9);
+        assert!((t.users_on(inst(1)) - 90.0).abs() < 1e-9);
+        // Equally idle hosts split a cold-start burst evenly (this is what
+        // keeps the two BW instances from stampeding a single blade).
+        let mut cold = SessionTable::new(DistributionMode::Sticky);
+        cold.add_instance(inst(0));
+        cold.add_instance(inst(1));
+        cold.rebalance(60.0, NOW, 0.0, &|_| (0.0, 1.0));
+        assert!((cold.users_on(inst(0)) - 30.0).abs() < 1e-9);
+        assert!((cold.users_on(inst(1)) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sticky_mode_shrinks_proportionally() {
+        let mut t = SessionTable::new(DistributionMode::Sticky);
+        t.add_instance(inst(0));
+        t.add_instance(inst(1));
+        t.rebalance(100.0, NOW, 0.0, &|i| (if i == inst(0) { 0.0 } else { 0.5 }, 1.0));
+        let before0 = t.users_on(inst(0));
+        t.rebalance(50.0, NOW, 0.0, &|_| (0.0, 1.0));
+        assert!((t.total_users() - 50.0).abs() < 1e-9);
+        assert!((t.users_on(inst(0)) - before0 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sticky_fluctuation_slowly_drains_hot_instances() {
+        let mut t = SessionTable::new(DistributionMode::Sticky);
+        t.add_instance(inst(0));
+        t.add_instance(inst(1));
+        // Start with (almost) everything on instance 0: host 1 saturated.
+        t.rebalance(200.0, NOW, 0.0, &|i| (if i == inst(0) { 0.0 } else { 1.0 }, 1.0));
+        assert!(t.users_on(inst(0)) > 190.0);
+        // Now instance 0's host is hot; 5 % fluctuation per tick drains it.
+        let load = |i: InstanceId| (if i == inst(0) { 0.95 } else { 0.05 }, 1.0);
+        for _ in 0..20 {
+            t.rebalance(200.0, NOW, 0.05, &load);
+        }
+        assert!(
+            t.users_on(inst(1)) > 110.0,
+            "fluctuation should have moved most users: {:?}",
+            t.users_on(inst(1))
+        );
+        assert!((t.total_users() - 200.0).abs() < 1e-6, "users conserved");
+    }
+
+    #[test]
+    fn removing_an_instance_returns_its_users() {
+        let mut t = SessionTable::new(DistributionMode::Sticky);
+        t.add_instance(inst(0));
+        t.add_instance(inst(1));
+        t.rebalance(100.0, NOW, 0.0, &|_| (0.0, 1.0));
+        let orphaned = t.remove_instance(inst(0));
+        assert!((orphaned - 50.0).abs() < 1e-9);
+        assert_eq!(t.len(), 1);
+        // Re-login: they land on the remaining instance at the next tick.
+        t.rebalance(100.0, NOW, 0.0, &|_| (0.0, 1.0));
+        assert!((t.users_on(inst(1)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_active_instances_leaves_population_untouched() {
+        let mut t = SessionTable::new(DistributionMode::Dynamic);
+        t.add_starting_instance(inst(0), NOW + autoglobe_monitor::SimDuration::from_minutes(5));
+        t.rebalance(100.0, NOW, 0.0, &|_| (0.0, 1.0));
+        assert_eq!(t.total_users(), 0.0);
+    }
+
+    #[test]
+    fn host_info_lookup_resolves_chain() {
+        let mut instance_server = BTreeMap::new();
+        instance_server.insert(inst(0), ServerId::new(0));
+        instance_server.insert(inst(1), ServerId::new(1));
+        let mut server_info = BTreeMap::new();
+        server_info.insert(ServerId::new(0), (0.7, 2.0));
+        let lookup = host_info_lookup(&instance_server, &server_info);
+        assert_eq!(lookup(inst(0)), (0.7, 2.0));
+        assert_eq!(lookup(inst(1)), (0.0, 1.0)); // server has no entry
+        assert_eq!(lookup(inst(9)), (0.0, 1.0)); // unknown instance
+    }
+
+    #[test]
+    fn dynamic_mode_weights_by_capacity() {
+        let mut t = SessionTable::new(DistributionMode::Dynamic);
+        t.add_instance(inst(0));
+        t.add_instance(inst(1));
+        // Host 1 is twice as powerful → gets twice the users.
+        t.rebalance(300.0, NOW, 0.0, &|i| (0.0, if i == inst(0) { 1.0 } else { 2.0 }));
+        assert!((t.users_on(inst(0)) - 100.0).abs() < 1e-9);
+        assert!((t.users_on(inst(1)) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sticky_headroom_weights_by_capacity() {
+        let mut t = SessionTable::new(DistributionMode::Sticky);
+        t.add_instance(inst(0));
+        t.add_instance(inst(1));
+        // Equal loads but host 1 twice as powerful → 2/3 of logins.
+        t.rebalance(90.0, NOW, 0.0, &|i| (0.5, if i == inst(0) { 1.0 } else { 2.0 }));
+        assert!((t.users_on(inst(0)) - 30.0).abs() < 1e-9);
+        assert!((t.users_on(inst(1)) - 60.0).abs() < 1e-9);
+    }
+}

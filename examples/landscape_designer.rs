@@ -1,0 +1,82 @@
+//! The landscape designer (the paper's future work): compute a statically
+//! optimized pre-assignment of the SAP services from their observed daily
+//! demand profiles, and compare it with the paper's hand-made Figure 11
+//! allocation.
+//!
+//! ```bash
+//! cargo run --release --example landscape_designer
+//! ```
+
+use autoglobe::designer::{design, ServiceDemand};
+use autoglobe::prelude::*;
+use autoglobe::simulator::sap::calibration;
+use autoglobe::simulator::DailyPattern;
+
+fn main() {
+    let env = build_environment(Scenario::Static);
+    let landscape = &env.landscape;
+
+    // Demand profiles from the workload model: per-instance hourly CPU
+    // demand in performance-index-1 units (what the load archive's daily
+    // profiles would report after a few days of monitoring).
+    let mut demands = Vec::new();
+    for (service_name, users, instances) in autoglobe::simulator::sap::TABLE_4 {
+        let service = landscape.service_by_name(service_name).unwrap();
+        let spec = landscape.service(service).unwrap();
+        let pattern = if service_name == "BW" {
+            DailyPattern::NightBatch
+        } else {
+            DailyPattern::Interactive
+        };
+        let profile: Vec<f64> = (0..24)
+            .map(|h| {
+                spec.base_load
+                    + users / instances as f64 * pattern.active_fraction(h as f64) * spec.load_per_user
+            })
+            .collect();
+        demands.push(ServiceDemand { service, instances, profile });
+    }
+    // Central instances and databases, coupled to their subsystems' users.
+    for (name, per_user, users) in [
+        ("CI-ERP", calibration::CI_LOAD_PER_USER, 2250.0),
+        ("CI-CRM", calibration::CI_LOAD_PER_USER, 300.0),
+        ("DB-ERP", calibration::DB_LOAD_PER_USER, 2250.0),
+        ("DB-CRM", calibration::DB_LOAD_PER_USER, 300.0),
+    ] {
+        let service = landscape.service_by_name(name).unwrap();
+        let profile: Vec<f64> = (0..24)
+            .map(|h| 0.05 + users * DailyPattern::Interactive.active_fraction(h as f64) * per_user)
+            .collect();
+        demands.push(ServiceDemand { service, instances: 1, profile });
+    }
+    for (name, per_job) in [("CI-BW", calibration::CI_LOAD_PER_JOB), ("DB-BW", calibration::DB_LOAD_PER_JOB)] {
+        let service = landscape.service_by_name(name).unwrap();
+        let profile: Vec<f64> = (0..24)
+            .map(|h| 0.05 + 60.0 * DailyPattern::NightBatch.active_fraction(h as f64) * per_job)
+            .collect();
+        demands.push(ServiceDemand { service, instances: 1, profile });
+    }
+
+    let placement = design(landscape, &demands).expect("feasible design");
+
+    println!("landscape designer result (peak load {:.0} %, mean {:.0} %):\n",
+        placement.peak_load * 100.0, placement.mean_load * 100.0);
+    for (server, services) in placement.per_server() {
+        let spec = landscape.server(server).unwrap();
+        let names: Vec<String> = services
+            .iter()
+            .map(|s| landscape.service(*s).unwrap().name.clone())
+            .collect();
+        println!("  {:<12} (perf {:>2}): {}", spec.name, spec.performance_index, names.join(", "));
+    }
+
+    // Under the same equal-users-per-instance profiles, the hand-made
+    // Figure 11 allocation would peak at ~115 % (a perf-1 blade carrying a
+    // 225-user LES instance) and needs capacity-aware logon balancing to
+    // get to ~77 %; the designer's allocation needs no rescue.
+    println!(
+        "\nthe hand-made Figure 11 allocation needs capacity-aware logon balancing\n\
+         to stay near 77 % on the app blades; the designer's peak is {:.0} % as-is.",
+        placement.peak_load * 100.0
+    );
+}

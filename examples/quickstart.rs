@@ -1,0 +1,70 @@
+//! Quickstart: supervise a tiny landscape and watch the fuzzy controller
+//! remedy an overload.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use autoglobe::prelude::*;
+
+fn main() {
+    // 1. Describe the landscape: two weak blades, one powerful database
+    //    server, and one application service with two instances.
+    let mut landscape = Landscape::new();
+    let blade1 = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+    let blade2 = landscape.add_server(ServerSpec::fsc_bx300("Blade2")).unwrap();
+    let big = landscape.add_server(ServerSpec::hp_bl40p("DBServer1")).unwrap();
+    let fi = landscape
+        .add_service(
+            ServiceSpec::new("FI", ServiceKind::ApplicationServer).with_instances(1, Some(4)),
+        )
+        .unwrap();
+    let i1 = landscape.start_instance(fi, blade1).unwrap();
+    let i2 = landscape.start_instance(fi, blade2).unwrap();
+    println!("initial allocation:");
+    print_allocation(&landscape);
+
+    // 2. Wire the supervisor: monitoring thresholds, watch times, rule bases
+    //    and protection mode all default to the paper's values.
+    let mut supervisor = Supervisor::new(landscape);
+
+    // 3. Simulate measurements: Blade1 becomes overloaded at minute 10 and
+    //    stays hot. The advisor flags it, the load monitoring system watches
+    //    it for 10 minutes (short peaks must not destabilize the system),
+    //    and only then the fuzzy controller acts.
+    let mut t = SimTime::ZERO;
+    for minute in 0..40u64 {
+        t += SimDuration::from_minutes(1);
+        let hot = minute >= 10;
+        let (cpu1, cpu_i1) = if hot { (0.95, 0.92) } else { (0.45, 0.42) };
+        supervisor.record_server(blade1, t, cpu1, 0.55);
+        supervisor.record_server(blade2, t, 0.50, 0.40);
+        supervisor.record_server(big, t, 0.08, 0.10);
+        supervisor.record_instance(i1, t, cpu_i1);
+        supervisor.record_instance(i2, t, 0.50);
+        supervisor.record_service(fi, t, (cpu_i1 + 0.5) / 2.0);
+
+        for record in supervisor.tick(t) {
+            println!("[{t}] executed: {record}");
+        }
+    }
+
+    println!("\nfinal allocation:");
+    print_allocation(supervisor.landscape());
+
+    println!("\ncontroller event log:");
+    for event in supervisor.drain_events() {
+        println!("  {event}");
+    }
+}
+
+fn print_allocation(landscape: &Landscape) {
+    for instance in landscape.instances() {
+        let server = landscape.server(instance.server).unwrap();
+        let service = landscape.service(instance.service).unwrap();
+        println!(
+            "  {} ({}) on {} [ip {}]",
+            instance.id, service.name, server.name, instance.ip
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Cross-crate integration tests: XML description → landscape → monitoring
+//! → fuzzy controller → executed actions, end to end.
+
+use autoglobe::prelude::*;
+
+/// The complete loop of the paper's Figure 2/6 against a hand-driven load
+/// pattern: description parsing, monitoring with watch times, fuzzy action
+/// and server selection, constraint checking, protection mode.
+#[test]
+fn full_loop_from_xml_to_executed_action() {
+    let xml = r#"
+      <landscape>
+        <servers>
+          <server name="weak" performanceIndex="1" memoryMB="2048"/>
+          <server name="weak2" performanceIndex="1" memoryMB="2048"/>
+          <server name="strong" performanceIndex="9" cpus="4"
+                  cpuClockMHz="2800" memoryMB="12288"/>
+        </servers>
+        <services>
+          <service name="app" kind="applicationServer" minInstances="1"
+                   maxInstances="4" baseLoad="0.05" loadPerUser="0.005">
+            <allowedActions>scaleIn scaleOut scaleUp scaleDown move</allowedActions>
+          </service>
+        </services>
+        <allocation>
+          <instance service="app" server="weak"/>
+          <instance service="app" server="weak2"/>
+        </allocation>
+      </landscape>"#;
+
+    let description = LandscapeDescription::from_xml(xml).unwrap();
+    let landscape = description.build().unwrap();
+    let app = landscape.service_by_name("app").unwrap();
+    let weak = landscape.server_by_name("weak").unwrap();
+    let weak2 = landscape.server_by_name("weak2").unwrap();
+    let strong = landscape.server_by_name("strong").unwrap();
+    let instance = landscape.instances_of(app)[0];
+    let instance2 = landscape.instances_of(app)[1];
+
+    let mut supervisor = Supervisor::new(landscape);
+
+    // Sustained overload on the weak hosts.
+    let mut t = SimTime::ZERO;
+    let mut executed = Vec::new();
+    for _ in 0..15 {
+        t += SimDuration::from_minutes(1);
+        supervisor.record_server(weak, t, 0.95, 0.6);
+        supervisor.record_server(weak2, t, 0.9, 0.6);
+        supervisor.record_server(strong, t, 0.05, 0.1);
+        supervisor.record_instance(instance, t, 0.93);
+        supervisor.record_instance(instance2, t, 0.88);
+        supervisor.record_service(app, t, 0.9);
+        executed.extend(supervisor.tick(t));
+    }
+
+    assert!(!executed.is_empty(), "controller must act");
+    let record = &executed[0];
+    assert_eq!(record.trigger, TriggerKind::ServerOverloaded);
+    // On a weak host the paper's rule prefers scale-up to the strong host.
+    assert_eq!(record.action.kind(), ActionKind::ScaleUp);
+    assert_eq!(
+        supervisor.landscape().instance(instance).unwrap().server,
+        strong
+    );
+}
+
+/// Protection mode spans the monitoring → controller boundary: after an
+/// action, further triggers for the same subjects are suppressed until the
+/// protection expires.
+#[test]
+fn protection_suppresses_subsequent_triggers_end_to_end() {
+    let mut landscape = Landscape::new();
+    let blade = landscape.add_server(ServerSpec::fsc_bx300("blade")).unwrap();
+    let other = landscape.add_server(ServerSpec::fsc_bx600("other")).unwrap();
+    let big = landscape.add_server(ServerSpec::hp_bl40p("big")).unwrap();
+    let app = landscape
+        .add_service(ServiceSpec::new("app", ServiceKind::ApplicationServer))
+        .unwrap();
+    let instance = landscape.start_instance(app, blade).unwrap();
+    let mut supervisor = Supervisor::new(landscape);
+
+    let mut t = SimTime::ZERO;
+    let mut action_times = Vec::new();
+    // Two hours of continuous overload reported for whatever host the
+    // instance currently runs on.
+    for _ in 0..120 {
+        t += SimDuration::from_minutes(1);
+        let host = supervisor.landscape().instance(instance).unwrap().server;
+        for server in [blade, other, big] {
+            let cpu = if server == host { 0.95 } else { 0.1 };
+            supervisor.record_server(server, t, cpu, 0.3);
+        }
+        supervisor.record_instance(instance, t, 0.92);
+        supervisor.record_service(app, t, 0.92);
+        for record in supervisor.tick(t) {
+            action_times.push(record.time);
+        }
+    }
+
+    assert!(
+        action_times.len() >= 2,
+        "expected repeated remediation over two hours, got {action_times:?}"
+    );
+    for pair in action_times.windows(2) {
+        let gap = pair[1].since(pair[0]);
+        assert!(
+            gap >= SimDuration::from_minutes(30),
+            "actions only after protection expiry, got gap {gap}"
+        );
+    }
+}
+
+/// The load archive accumulates across the supervisor and feeds queries the
+/// controller-initialization path uses.
+#[test]
+fn archive_supports_watch_time_averages() {
+    let mut landscape = Landscape::new();
+    let blade = landscape.add_server(ServerSpec::fsc_bx300("blade")).unwrap();
+    let mut supervisor = Supervisor::new(landscape);
+
+    for minute in 0..120u64 {
+        let cpu = if minute < 60 { 0.2 } else { 0.8 };
+        supervisor.record_server(blade, SimTime::from_minutes(minute), cpu, 0.1);
+    }
+    let first_hour = supervisor
+        .archive()
+        .average_cpu(Subject::Server(blade), SimTime::ZERO, SimTime::from_hours(1))
+        .unwrap();
+    let second_hour = supervisor
+        .archive()
+        .average_cpu(
+            Subject::Server(blade),
+            SimTime::from_hours(1),
+            SimTime::from_hours(2),
+        )
+        .unwrap();
+    assert!((first_hour - 0.2).abs() < 1e-9);
+    assert!((second_hour - 0.8).abs() < 1e-9);
+
+    // Daily profile reflects the step.
+    let profile = supervisor
+        .archive()
+        .daily_profile(Subject::Server(blade), SimDuration::from_hours(1));
+    assert!((profile[0] - 0.2).abs() < 1e-9);
+    assert!((profile[1] - 0.8).abs() < 1e-9);
+}
+
+/// Constraints declared in XML are honored by the executing controller: a
+/// service limited to scale-in/out is never moved.
+#[test]
+fn declarative_constraints_bind_the_controller() {
+    let xml = r#"
+      <landscape>
+        <servers>
+          <server name="a" performanceIndex="1"/>
+          <server name="b" performanceIndex="1"/>
+          <server name="c" performanceIndex="9" memoryMB="12288"/>
+        </servers>
+        <services>
+          <service name="cm-app" kind="applicationServer" minInstances="1"
+                   maxInstances="4">
+            <allowedActions>scaleIn scaleOut</allowedActions>
+          </service>
+        </services>
+        <allocation>
+          <instance service="cm-app" server="a"/>
+        </allocation>
+      </landscape>"#;
+    let landscape = LandscapeDescription::from_xml(xml).unwrap().build().unwrap();
+    let app = landscape.service_by_name("cm-app").unwrap();
+    let a = landscape.server_by_name("a").unwrap();
+    let b = landscape.server_by_name("b").unwrap();
+    let c = landscape.server_by_name("c").unwrap();
+    let instance = landscape.instances_of(app)[0];
+    let mut supervisor = Supervisor::new(landscape);
+
+    let mut t = SimTime::ZERO;
+    let mut executed = Vec::new();
+    for _ in 0..60 {
+        t += SimDuration::from_minutes(1);
+        supervisor.record_server(a, t, 0.95, 0.5);
+        supervisor.record_server(b, t, 0.1, 0.1);
+        supervisor.record_server(c, t, 0.1, 0.1);
+        supervisor.record_instance(instance, t, 0.92);
+        supervisor.record_service(app, t, 0.92);
+        executed.extend(supervisor.tick(t));
+    }
+    assert!(!executed.is_empty());
+    for record in &executed {
+        assert!(
+            matches!(record.action.kind(), ActionKind::ScaleIn | ActionKind::ScaleOut),
+            "only declared actions may execute, saw {}",
+            record.action
+        );
+    }
+    // The original instance never moved.
+    assert_eq!(supervisor.landscape().instance(instance).unwrap().server, a);
+}
+
+/// Alerting: when constraints forbid every remedy, the administrator is
+/// alerted (Section 4.3) and the landscape stays untouched.
+#[test]
+fn unresolvable_overload_raises_alert() {
+    let mut landscape = Landscape::new();
+    let blade = landscape.add_server(ServerSpec::fsc_bx300("blade")).unwrap();
+    let frozen = landscape
+        .add_service(ServiceSpec::new("frozen", ServiceKind::Database).immobile())
+        .unwrap();
+    let instance = landscape.start_instance(frozen, blade).unwrap();
+    let mut supervisor = Supervisor::new(landscape);
+
+    let mut t = SimTime::ZERO;
+    for _ in 0..15 {
+        t += SimDuration::from_minutes(1);
+        supervisor.record_server(blade, t, 0.95, 0.5);
+        supervisor.record_instance(instance, t, 0.95);
+        supervisor.record_service(frozen, t, 0.95);
+        assert!(supervisor.tick(t).is_empty());
+    }
+    let events = supervisor.drain_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::AdministratorAlert { .. })),
+        "expected an administrator alert, got {events:?}"
+    );
+    assert_eq!(supervisor.landscape().num_instances(), 1);
+}
+
+/// Self-healing end to end: a crashed instance restarts (Section 2:
+/// "Failure situations like a program crash are remedied for example with a
+/// restart"), and a failed host is evacuated and excluded from placement
+/// until repaired.
+#[test]
+fn failures_heal_through_the_supervisor() {
+    let mut landscape = Landscape::new();
+    let blade1 = landscape.add_server(ServerSpec::fsc_bx300("blade1")).unwrap();
+    let blade2 = landscape.add_server(ServerSpec::fsc_bx600("blade2")).unwrap();
+    let app = landscape
+        .add_service(ServiceSpec::new("app", ServiceKind::ApplicationServer))
+        .unwrap();
+    let instance = landscape.start_instance(app, blade1).unwrap();
+    let mut supervisor = Supervisor::new(landscape);
+
+    // Crash: restarts on the same (healthy) host with a new id and IP.
+    let outcome = supervisor.report_instance_crash(instance, SimTime::from_minutes(7));
+    assert_eq!(outcome.recovered.len(), 1);
+    let (_, restarted, host) = outcome.recovered[0];
+    assert_eq!(host, blade1);
+
+    // Host failure: the instance evacuates to blade2; blade1 is excluded.
+    let outcome = supervisor.report_server_failure(blade1, SimTime::from_minutes(9));
+    assert_eq!(outcome.recovered.len(), 1);
+    let (_, evacuated, host) = outcome.recovered[0];
+    assert_eq!(host, blade2);
+    assert!(!supervisor.landscape().is_available(blade1));
+    assert!(supervisor.landscape().instance(restarted).is_err());
+    assert!(supervisor.landscape().instance(evacuated).is_ok());
+
+    // Repair brings the host back into the candidate pool.
+    supervisor.report_server_repaired(blade1);
+    assert!(supervisor.landscape().is_available(blade1));
+    assert!(supervisor.landscape().can_host(app, blade1));
+
+    // The message view narrates the whole story.
+    let events = supervisor.drain_events();
+    let recoveries = events
+        .iter()
+        .filter(|e| matches!(e, ControllerEvent::Recovered { .. }))
+        .count();
+    assert_eq!(recoveries, 2);
+}
