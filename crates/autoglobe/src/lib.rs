@@ -85,8 +85,8 @@ pub mod prelude {
         LinguisticVariable, MembershipFunction, Rule, RuleBase,
     };
     pub use autoglobe_landscape::{
-        xml::LandscapeDescription, Action, ActionKind, InstanceId, Landscape, ServerId,
-        ServerSpec, ServiceId, ServiceKind, ServiceSpec,
+        xml::LandscapeDescription, Action, ActionKind, InstanceId, Landscape, ServerId, ServerSpec,
+        ServiceId, ServiceKind, ServiceSpec,
     };
     pub use autoglobe_monitor::{
         LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject,

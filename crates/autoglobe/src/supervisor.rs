@@ -7,14 +7,14 @@
 //! [`Supervisor::tick`] periodically; confirmed triggers flow into the fuzzy
 //! controller, whose actions mutate the landscape.
 
+use autoglobe_controller::RecoveryOutcome;
 use autoglobe_controller::{
     ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent, LoadView, RuleBases,
 };
 use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId};
-use autoglobe_controller::RecoveryOutcome;
 use autoglobe_monitor::{
-    FailureEvent, FailureKind, LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration,
-    SimTime, Subject, SubjectConfig, TriggerEvent,
+    FailureEvent, FailureKind, LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime,
+    Subject, SubjectConfig, TriggerEvent,
 };
 use std::collections::BTreeMap;
 
@@ -50,7 +50,11 @@ impl Supervisor {
     /// Supervise `landscape` with the paper's default rule bases, monitor
     /// thresholds and controller configuration.
     pub fn new(landscape: Landscape) -> Self {
-        Self::with_config(landscape, RuleBases::paper_defaults(), ControllerConfig::default())
+        Self::with_config(
+            landscape,
+            RuleBases::paper_defaults(),
+            ControllerConfig::default(),
+        )
     }
 
     /// Supervise with explicit rule bases and controller configuration.
@@ -223,7 +227,9 @@ mod tests {
 
     fn minimal() -> (Supervisor, ServerId, ServerId, ServiceId, InstanceId) {
         let mut landscape = Landscape::new();
-        let blade = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+        let blade = landscape
+            .add_server(ServerSpec::fsc_bx300("Blade1"))
+            .unwrap();
         let big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
         let fi = landscape
             .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
@@ -244,7 +250,10 @@ mod tests {
             sup.record_service(fi, t, 0.95);
             all_executed.extend(sup.tick(t));
         }
-        assert!(!all_executed.is_empty(), "controller must act on sustained overload");
+        assert!(
+            !all_executed.is_empty(),
+            "controller must act on sustained overload"
+        );
         // Capacity arrived on the idle big host: either the hot instance
         // was scaled up to it, or (single-instance service) a redundant
         // instance was scaled out onto it.

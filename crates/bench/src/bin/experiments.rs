@@ -3,74 +3,100 @@
 //! ```bash
 //! cargo run --release -p autoglobe-bench --bin experiments -- all
 //! cargo run --release -p autoglobe-bench --bin experiments -- fig12 --hours 80
+//! cargo run --release -p autoglobe-bench --bin experiments -- table7 --jobs 4
 //! ```
 //!
-//! CSV outputs land in `results/`; summaries print to stdout.
+//! CSV outputs land in `results/`; summaries print to stdout. Every
+//! invocation also writes `results/timings.csv` with the wall-clock time
+//! of each experiment it ran. `--jobs N` sizes the worker pool (default:
+//! the machine's available parallelism); results are bit-identical at any
+//! job count because every simulation owns its seeded RNG.
 
 use autoglobe_bench as xp;
 use autoglobe_simulator::{Metrics, Scenario};
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("help");
     let hours = flag(&args, "--hours").unwrap_or(80);
     let seed = flag(&args, "--seed").unwrap_or(42);
+    let jobs = xp::pool::effective_jobs(flag(&args, "--jobs").unwrap_or(0) as usize);
 
     fs::create_dir_all("results").expect("create results dir");
+    let mut timings = Timings::new(jobs, hours, seed);
 
     match command {
-        "fig3" => run_fig3(),
-        "fig5" => run_fig5(),
-        "tables" => {
+        "fig3" => timings.record("fig3", run_fig3),
+        "fig5" => timings.record("fig5", run_fig5),
+        "tables" => timings.record("tables", || {
             println!("{}", xp::tables_1_2_3());
             println!("{}", xp::tables_5_6());
-        }
-        "fig10" => run_fig10(),
-        "inventory" => println!("{}", xp::inventory()),
-        "fig12" => run_scenario_figure("fig12", Scenario::Static, hours, seed),
-        "fig13" => run_scenario_figure("fig13", Scenario::ConstrainedMobility, hours, seed),
-        "fig14" => run_scenario_figure("fig14", Scenario::FullMobility, hours, seed),
-        "fig15" => run_fi_figure("fig15", Scenario::Static, hours, seed),
-        "fig16" => run_fi_figure("fig16", Scenario::ConstrainedMobility, hours, seed),
-        "fig17" => run_fi_figure("fig17", Scenario::FullMobility, hours, seed),
-        "table7" => run_table7(hours, seed),
-        "designer" => run_designer(),
-        "ablation" => run_ablation(hours.min(30)),
+        }),
+        "fig10" => timings.record("fig10", run_fig10),
+        "inventory" => timings.record("inventory", || println!("{}", xp::inventory())),
+        "fig12" => timings.record("fig12", || {
+            run_scenario_figure("fig12", Scenario::Static, hours, seed)
+        }),
+        "fig13" => timings.record("fig13", || {
+            run_scenario_figure("fig13", Scenario::ConstrainedMobility, hours, seed)
+        }),
+        "fig14" => timings.record("fig14", || {
+            run_scenario_figure("fig14", Scenario::FullMobility, hours, seed)
+        }),
+        "fig15" => timings.record("fig15", || {
+            run_fi_figure("fig15", Scenario::Static, hours, seed)
+        }),
+        "fig16" => timings.record("fig16", || {
+            run_fi_figure("fig16", Scenario::ConstrainedMobility, hours, seed)
+        }),
+        "fig17" => timings.record("fig17", || {
+            run_fi_figure("fig17", Scenario::FullMobility, hours, seed)
+        }),
+        "table7" => timings.record("table7", || run_table7(hours, seed, jobs)),
+        "designer" => timings.record("designer", run_designer),
+        "ablation" => timings.record("ablation", || run_ablation(hours.min(30))),
         "all" => {
-            run_fig3();
-            run_fig5();
-            println!("{}", xp::tables_1_2_3());
-            println!("{}", xp::tables_5_6());
-            run_fig10();
-            println!("{}", xp::inventory());
-            for (name, scenario) in [
-                ("fig12", Scenario::Static),
-                ("fig13", Scenario::ConstrainedMobility),
-                ("fig14", Scenario::FullMobility),
-            ] {
-                run_scenario_figure(name, scenario, hours, seed);
+            timings.record("fig3", run_fig3);
+            timings.record("fig5", run_fig5);
+            timings.record("tables", || {
+                println!("{}", xp::tables_1_2_3());
+                println!("{}", xp::tables_5_6());
+            });
+            timings.record("fig10", run_fig10);
+            timings.record("inventory", || println!("{}", xp::inventory()));
+            // One pooled run per scenario feeds BOTH its per-server figure
+            // (12–14) and its FI-instance figure (15–17). This used to
+            // simulate every scenario twice — once per figure family.
+            let specs: Vec<(Scenario, f64)> =
+                Scenario::ALL.into_iter().map(|s| (s, 1.15)).collect();
+            let metrics = timings.record("fig12-17_runs", || {
+                xp::scenario_runs(&specs, hours, seed, jobs)
+            });
+            let figures = [("fig12", "fig15"), ("fig13", "fig16"), ("fig14", "fig17")];
+            for (((scenario, _), (fig_servers, fig_fi)), m) in
+                specs.iter().zip(figures).zip(&metrics)
+            {
+                render_scenario_figure(fig_servers, *scenario, m);
+                render_fi_figure(fig_fi, *scenario, m);
             }
-            for (name, scenario) in [
-                ("fig15", Scenario::Static),
-                ("fig16", Scenario::ConstrainedMobility),
-                ("fig17", Scenario::FullMobility),
-            ] {
-                run_fi_figure(name, scenario, hours, seed);
-            }
-            run_table7(hours, seed);
-            run_designer();
-            run_ablation(hours.min(30));
+            timings.record("table7", || run_table7(hours, seed, jobs));
+            timings.record("designer", run_designer);
+            timings.record("ablation", || run_ablation(hours.min(30)));
         }
         _ => {
             eprintln!(
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
-                 fig15|fig16|fig17|table7|designer|ablation|all> [--hours N] [--seed N]"
+                 fig15|fig16|fig17|table7|designer|ablation|all> \
+                 [--hours N] [--seed N] [--jobs N]"
             );
             std::process::exit(2);
         }
     }
+
+    timings.write_csv();
 }
 
 fn flag(args: &[String], name: &str) -> Option<u64> {
@@ -85,8 +111,50 @@ fn write(path: &str, contents: &str) {
     println!("wrote {path} ({} lines)", contents.lines().count());
 }
 
+/// Wall-clock bookkeeping: one row per experiment, written to
+/// `results/timings.csv` at the end of the invocation.
+struct Timings {
+    jobs: usize,
+    hours: u64,
+    seed: u64,
+    rows: Vec<(String, f64)>,
+}
+
+impl Timings {
+    fn new(jobs: usize, hours: u64, seed: u64) -> Self {
+        Timings {
+            jobs,
+            hours,
+            seed,
+            rows: Vec::new(),
+        }
+    }
+
+    fn record<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.rows
+            .push((name.to_string(), start.elapsed().as_secs_f64()));
+        out
+    }
+
+    fn write_csv(&self) {
+        let mut csv = String::from("experiment,jobs,hours,seed,wall_seconds\n");
+        for (name, secs) in &self.rows {
+            csv.push_str(&format!(
+                "{name},{},{},{},{secs:.3}\n",
+                self.jobs, self.hours, self.seed
+            ));
+        }
+        write("results/timings.csv", &csv);
+    }
+}
+
 fn run_fig3() {
-    write("results/fig3_cpu_load_membership.csv", &xp::fig3_membership_table());
+    write(
+        "results/fig3_cpu_load_membership.csv",
+        &xp::fig3_membership_table(),
+    );
 }
 
 fn run_fig5() {
@@ -112,34 +180,57 @@ fn summarize(name: &str, scenario: Scenario, metrics: &Metrics) {
     );
 }
 
+fn render_scenario_figure(name: &str, scenario: Scenario, metrics: &Metrics) {
+    write(
+        &format!("results/{name}_all_servers_{}.csv", scenario.name()),
+        &xp::all_servers_csv(metrics),
+    );
+    summarize(name, scenario, metrics);
+}
+
+fn render_fi_figure(name: &str, scenario: Scenario, metrics: &Metrics) {
+    write(
+        &format!("results/{name}_fi_instances_{}.csv", scenario.name()),
+        &xp::fi_series_csv(metrics),
+    );
+    let log = xp::action_log(metrics);
+    write(
+        &format!("results/{name}_actions_{}.log", scenario.name()),
+        &log,
+    );
+    summarize(name, scenario, metrics);
+}
+
 fn run_scenario_figure(name: &str, scenario: Scenario, hours: u64, seed: u64) {
     // The paper's Figures 12–14 run at +15 % users.
     let metrics = xp::scenario_run(scenario, 1.15, hours, seed);
-    write(
-        &format!("results/{name}_all_servers_{}.csv", scenario.name()),
-        &xp::all_servers_csv(&metrics),
-    );
-    summarize(name, scenario, &metrics);
+    render_scenario_figure(name, scenario, &metrics);
 }
 
 fn run_fi_figure(name: &str, scenario: Scenario, hours: u64, seed: u64) {
     let metrics = xp::scenario_run(scenario, 1.15, hours, seed);
-    write(
-        &format!("results/{name}_fi_instances_{}.csv", scenario.name()),
-        &xp::fi_series_csv(&metrics),
-    );
-    let log = xp::action_log(&metrics);
-    write(&format!("results/{name}_actions_{}.log", scenario.name()), &log);
-    summarize(name, scenario, &metrics);
+    render_fi_figure(name, scenario, &metrics);
 }
 
-fn run_table7(hours: u64, seed: u64) {
-    println!("Table 7 — maximum possible, relative number of users ({hours} h per probe):");
+fn run_table7(hours: u64, seed: u64, jobs: usize) {
+    println!(
+        "Table 7 — maximum possible, relative number of users ({hours} h per probe, \
+         {jobs} job(s)):"
+    );
     let mut csv = String::from("scenario,max_users_percent,paper_percent\n");
     let paper = [100.0, 115.0, 135.0];
-    for ((scenario, percent), paper_value) in xp::table7(hours, seed).into_iter().zip(paper) {
-        println!("  {:<22} {percent:>5.0} %   (paper: {paper_value:.0} %)", scenario.name());
-        csv.push_str(&format!("{},{percent:.0},{paper_value:.0}\n", scenario.name()));
+    for ((scenario, percent), paper_value) in xp::table7_with_jobs(hours, seed, jobs)
+        .into_iter()
+        .zip(paper)
+    {
+        println!(
+            "  {:<22} {percent:>5.0} %   (paper: {paper_value:.0} %)",
+            scenario.name()
+        );
+        csv.push_str(&format!(
+            "{},{percent:.0},{paper_value:.0}\n",
+            scenario.name()
+        ));
     }
     write("results/table7_max_users.csv", &csv);
 }

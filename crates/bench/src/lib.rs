@@ -18,8 +18,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod pool;
+
 use autoglobe_controller::ControllerConfig;
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
+use autoglobe_landscape::ServerId;
 use autoglobe_monitor::SimDuration;
 use autoglobe_simulator::{
     build_environment, find_max_users, sap, CapacityCriterion, DailyPattern, Metrics, Scenario,
@@ -36,7 +39,12 @@ pub fn fig3_membership_table() -> String {
     for i in 0..=100 {
         let x = i as f64 / 100.0;
         let grades = variable.fuzzify(x);
-        writeln!(out, "{x:.2},{:.4},{:.4},{:.4}", grades[0], grades[1], grades[2]).unwrap();
+        writeln!(
+            out,
+            "{x:.2},{:.4},{:.4},{:.4}",
+            grades[0], grades[1], grades[2]
+        )
+        .unwrap();
     }
     let check = variable.fuzzify(0.6);
     assert!((check[1] - 0.5).abs() < 1e-9, "μ_medium(0.6) = 0.5");
@@ -158,7 +166,11 @@ pub fn inventory() -> String {
     }
     writeln!(out, "\nTable 4 — users and initial instances:").unwrap();
     for (service, users, instances) in sap::TABLE_4 {
-        writeln!(out, "  {service:<6} {users:>6} users, {instances} instances").unwrap();
+        writeln!(
+            out,
+            "  {service:<6} {users:>6} users, {instances} instances"
+        )
+        .unwrap();
     }
     out
 }
@@ -170,7 +182,11 @@ pub fn tables_5_6() -> String {
         writeln!(
             out,
             "Table {} — services in the {} scenario:",
-            if scenario == Scenario::ConstrainedMobility { 5 } else { 6 },
+            if scenario == Scenario::ConstrainedMobility {
+                5
+            } else {
+                6
+            },
             scenario
         )
         .unwrap();
@@ -197,7 +213,11 @@ pub fn tables_5_6() -> String {
                 "  {:<8} [{}] actions: {}",
                 spec.name,
                 conditions.join(", "),
-                if actions.is_empty() { "—".to_string() } else { actions.join(", ") }
+                if actions.is_empty() {
+                    "—".to_string()
+                } else {
+                    actions.join(", ")
+                }
             )
             .unwrap();
         }
@@ -218,16 +238,13 @@ pub fn scenario_run(scenario: Scenario, multiplier: f64, hours: u64, seed: u64) 
 }
 
 /// Figures 12–14: CSV with one column per server plus the average —
-/// `hours,Blade1,…,DBServer3,average`.
+/// `hours,Blade1,…,DBServer3,average`. Server names come from the metrics'
+/// own name tables, so the CSV is labeled correctly whatever scenario the
+/// run simulated (this used to rebuild the Static environment regardless).
 pub fn all_servers_csv(metrics: &Metrics) -> String {
-    let env = build_environment(Scenario::Static);
-    let names: Vec<String> = env
-        .landscape
-        .server_ids()
-        .map(|id| env.landscape.server(id).unwrap().name.clone())
-        .collect();
+    let names = &metrics.server_names;
     let mut out = String::from("hours");
-    for name in &names {
+    for name in names {
         write!(out, ",{name}").unwrap();
     }
     out.push_str(",average\n");
@@ -235,10 +252,10 @@ pub fn all_servers_csv(metrics: &Metrics) -> String {
     for i in 0..len {
         let t = metrics.average_series[i].time;
         write!(out, "{:.3}", t.as_secs() as f64 / 3600.0).unwrap();
-        for server in env.landscape.server_ids() {
+        for idx in 0..names.len() {
             let value = metrics
                 .server_series
-                .get(&server)
+                .get(&ServerId::new(idx as u32))
                 .and_then(|s| s.get(i))
                 .map(|p| p.value)
                 .unwrap_or(0.0);
@@ -253,12 +270,6 @@ pub fn all_servers_csv(metrics: &Metrics) -> String {
 /// sample: `hours,instance,server,load`. Instances are identified by id and
 /// by the host they were on at the time (FI instances move in the FM run).
 pub fn fi_series_csv(metrics: &Metrics) -> String {
-    let env = build_environment(Scenario::Static);
-    let names: Vec<String> = env
-        .landscape
-        .server_ids()
-        .map(|id| env.landscape.server(id).unwrap().name.clone())
-        .collect();
     let mut out = String::from("hours,instance,server,load\n");
     for (instance, series) in &metrics.instance_series {
         for p in series {
@@ -267,10 +278,7 @@ pub fn fi_series_csv(metrics: &Metrics) -> String {
                 "{:.3},{},{},{:.4}",
                 p.time.as_secs() as f64 / 3600.0,
                 instance,
-                names
-                    .get(p.server.index())
-                    .map(String::as_str)
-                    .unwrap_or("?"),
+                metrics.server_name(p.server),
                 p.value
             )
             .unwrap();
@@ -280,22 +288,15 @@ pub fn fi_series_csv(metrics: &Metrics) -> String {
 }
 
 /// The controller-action annotations of Figures 16/17, with ids resolved to
-/// the paper's host names.
+/// the paper's host names via the metrics' recorded name tables.
 pub fn action_log(metrics: &Metrics) -> String {
-    let env = build_environment(Scenario::Static);
-    let server_names: Vec<String> = env
-        .landscape
-        .server_ids()
-        .map(|id| env.landscape.server(id).unwrap().name.clone())
-        .collect();
-    let service_names: Vec<String> = env
-        .landscape
-        .service_ids()
-        .map(|id| env.landscape.service(id).unwrap().name.clone())
-        .collect();
     let mut out = String::new();
     for record in &metrics.actions {
-        out.push_str(&resolve_names(&record.to_string(), &server_names, &service_names));
+        out.push_str(&resolve_names(
+            &record.to_string(),
+            &metrics.server_names,
+            &metrics.service_names,
+        ));
         out.push('\n');
     }
     out
@@ -332,13 +333,171 @@ pub fn table7(hours: u64, seed: u64) -> Vec<(Scenario, f64)> {
         .collect()
 }
 
+/// The multiplier ladder the capacity sweep walks: the very same `+= step`
+/// accumulation [`find_max_users`] performs, so speculative probes land on
+/// bit-identical `f64` multipliers.
+fn capacity_ladder(step: f64) -> Vec<f64> {
+    let mut ladder = Vec::new();
+    let mut multiplier = 1.0;
+    loop {
+        ladder.push(multiplier);
+        multiplier += step;
+        if multiplier > 3.0 {
+            break;
+        }
+    }
+    ladder
+}
+
+/// One capacity probe — a pure function of its arguments (the simulation
+/// seeds its own RNG from `seed`), so probes may run on any thread in any
+/// order without changing the result.
+fn probe_overloaded(
+    scenario: Scenario,
+    multiplier: f64,
+    criterion: CapacityCriterion,
+    duration: SimDuration,
+    seed: u64,
+) -> bool {
+    let env = build_environment(scenario);
+    let config = SimConfig::paper(scenario, multiplier)
+        .with_duration(duration)
+        .with_seed(seed);
+    criterion.overloaded(&Simulation::new(env, config).run())
+}
+
+/// Table 7 with a worker pool: fans independent capacity probes across the
+/// three scenarios *and* speculatively up each scenario's 5 %-step ladder.
+/// Probes beyond a step that turns out overloaded are discarded unread, so
+/// the result is provably identical — bit for bit — to the sequential
+/// [`table7`] sweep, whatever `jobs` is. `jobs == 0` means "use the
+/// machine"; `jobs <= 1` delegates to the sequential sweep outright.
+pub fn table7_with_jobs(hours: u64, seed: u64, jobs: usize) -> Vec<(Scenario, f64)> {
+    let jobs = pool::effective_jobs(jobs);
+    if jobs <= 1 {
+        return table7(hours, seed);
+    }
+    let criterion = CapacityCriterion::default();
+    let duration = SimDuration::from_hours(hours);
+    let ladder = capacity_ladder(0.05);
+
+    /// The sequential sweep's state for one scenario, split into what has
+    /// been *dispatched* (possibly speculatively, out of order) and what
+    /// has been *consumed* strictly in ladder order.
+    struct Sweep {
+        /// First ladder index not yet handed to a worker.
+        next_unprobed: usize,
+        /// First ladder index not yet consumed in order.
+        consumed: usize,
+        /// Results of finished probes, keyed by ladder index.
+        probed: std::collections::BTreeMap<usize, bool>,
+        /// Highest multiplier consumed without overload.
+        max_multiplier: f64,
+        done: bool,
+    }
+    let mut sweeps: Vec<Sweep> = Scenario::ALL
+        .iter()
+        .map(|_| Sweep {
+            next_unprobed: 0,
+            consumed: 0,
+            probed: std::collections::BTreeMap::new(),
+            max_multiplier: 0.0,
+            done: false,
+        })
+        .collect();
+
+    loop {
+        // Assemble one wave: round-robin over the unfinished scenarios,
+        // taking each one's next speculative ladder step, until the wave
+        // holds `jobs` probes or nothing is left to dispatch.
+        let mut wave: Vec<(usize, usize)> = Vec::new();
+        'fill: loop {
+            let mut advanced = false;
+            for (index, sweep) in sweeps.iter_mut().enumerate() {
+                if sweep.done || sweep.next_unprobed >= ladder.len() {
+                    continue;
+                }
+                wave.push((index, sweep.next_unprobed));
+                sweep.next_unprobed += 1;
+                advanced = true;
+                if wave.len() >= jobs {
+                    break 'fill;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        if wave.is_empty() {
+            break;
+        }
+
+        let results = pool::parallel_map(jobs, wave, |(scenario_index, ladder_index)| {
+            let overloaded = probe_overloaded(
+                Scenario::ALL[scenario_index],
+                ladder[ladder_index],
+                criterion,
+                duration,
+                seed,
+            );
+            (scenario_index, ladder_index, overloaded)
+        });
+        for (scenario_index, ladder_index, overloaded) in results {
+            sweeps[scenario_index]
+                .probed
+                .insert(ladder_index, overloaded);
+        }
+
+        // Consume strictly in ladder order — exactly the order the
+        // sequential sweep observes. The first overloaded step ends the
+        // scenario; speculation past it is never read.
+        for sweep in &mut sweeps {
+            while !sweep.done {
+                let Some(&overloaded) = sweep.probed.get(&sweep.consumed) else {
+                    break;
+                };
+                if overloaded {
+                    sweep.done = true;
+                } else {
+                    sweep.max_multiplier = ladder[sweep.consumed];
+                }
+                sweep.consumed += 1;
+            }
+            if sweep.consumed >= ladder.len() {
+                sweep.done = true;
+            }
+        }
+    }
+
+    Scenario::ALL
+        .into_iter()
+        .zip(&sweeps)
+        .map(|(scenario, sweep)| (scenario, sweep.max_multiplier * 100.0))
+        .collect()
+}
+
+/// Run several figure-style scenario experiments concurrently. Each entry
+/// is `(scenario, multiplier)`; metrics come back in input order and are
+/// bit-identical to calling [`scenario_run`] for each entry sequentially,
+/// because every run owns its environment and its seeded RNG.
+pub fn scenario_runs(
+    specs: &[(Scenario, f64)],
+    hours: u64,
+    seed: u64,
+    jobs: usize,
+) -> Vec<Metrics> {
+    pool::parallel_map(jobs, specs.to_vec(), |(scenario, multiplier)| {
+        scenario_run(scenario, multiplier, hours, seed)
+    })
+}
+
 /// Ablation: decision quality of the fuzzy-engine variants. For a spectrum
 /// of overload situations, report how often each (inference, defuzzifier)
 /// pair ranks the same top action as the paper's max–min/leftmost-max
 /// configuration. Returns `(label, agreement fraction)` rows.
 pub fn ablation_decision_quality() -> Vec<(String, f64)> {
-    use autoglobe_controller::{ActionSelector, RuleBases};
     use autoglobe_controller::inputs::ActionInputs;
+    use autoglobe_controller::{ActionSelector, RuleBases};
     use autoglobe_monitor::TriggerKind;
 
     let situations: Vec<ActionInputs> = {
@@ -395,11 +554,7 @@ pub fn ablation_decision_quality() -> Vec<(String, f64)> {
                 ..EngineConfig::default()
             };
             let top = reference_top(config);
-            let agree = top
-                .iter()
-                .zip(&baseline)
-                .filter(|(a, b)| a == b)
-                .count() as f64
+            let agree = top.iter().zip(&baseline).filter(|(a, b)| a == b).count() as f64
                 / situations.len() as f64;
             rows.push((format!("{inference_name}/{defuzz_name}"), agree));
         }
@@ -438,28 +593,69 @@ pub fn designer_vs_figure_11() -> (f64, f64) {
             })
             .collect();
         profile_of.insert(service, profile.clone());
-        demands.push(ServiceDemand { service, instances, profile });
+        demands.push(ServiceDemand {
+            service,
+            instances,
+            profile,
+        });
     }
     for (name, per_user, users, pattern) in [
-        ("CI-ERP", calibration::CI_LOAD_PER_USER, 2250.0, DailyPattern::Interactive),
-        ("CI-CRM", calibration::CI_LOAD_PER_USER, 300.0, DailyPattern::Interactive),
-        ("CI-BW", calibration::CI_LOAD_PER_JOB, 60.0, DailyPattern::NightBatch),
-        ("DB-ERP", calibration::DB_LOAD_PER_USER, 2250.0, DailyPattern::Interactive),
-        ("DB-CRM", calibration::DB_LOAD_PER_USER, 300.0, DailyPattern::Interactive),
-        ("DB-BW", calibration::DB_LOAD_PER_JOB, 60.0, DailyPattern::NightBatch),
+        (
+            "CI-ERP",
+            calibration::CI_LOAD_PER_USER,
+            2250.0,
+            DailyPattern::Interactive,
+        ),
+        (
+            "CI-CRM",
+            calibration::CI_LOAD_PER_USER,
+            300.0,
+            DailyPattern::Interactive,
+        ),
+        (
+            "CI-BW",
+            calibration::CI_LOAD_PER_JOB,
+            60.0,
+            DailyPattern::NightBatch,
+        ),
+        (
+            "DB-ERP",
+            calibration::DB_LOAD_PER_USER,
+            2250.0,
+            DailyPattern::Interactive,
+        ),
+        (
+            "DB-CRM",
+            calibration::DB_LOAD_PER_USER,
+            300.0,
+            DailyPattern::Interactive,
+        ),
+        (
+            "DB-BW",
+            calibration::DB_LOAD_PER_JOB,
+            60.0,
+            DailyPattern::NightBatch,
+        ),
     ] {
         let service = landscape.service_by_name(name).unwrap();
         let profile: Vec<f64> = (0..24)
             .map(|h| 0.05 + users * pattern.active_fraction(h as f64) * per_user)
             .collect();
         profile_of.insert(service, profile.clone());
-        demands.push(ServiceDemand { service, instances: 1, profile });
+        demands.push(ServiceDemand {
+            service,
+            instances: 1,
+            profile,
+        });
     }
 
     // Peak load of the hand-made allocation under the same profiles.
     let mut hand_peak: f64 = 0.0;
     for server in landscape.server_ids() {
         let perf = landscape.server(server).unwrap().performance_index;
+        // `slot` indexes a *different* service's profile per instance, so
+        // there is no single slice to iterate over.
+        #[allow(clippy::needless_range_loop)]
         for slot in 0..24 {
             let demand: f64 = landscape
                 .instances_on(server)
@@ -482,7 +678,11 @@ pub fn designer_vs_figure_11() -> (f64, f64) {
 /// `(label, actions, worst overload seconds)`.
 pub fn ablation_timing(hours: u64) -> Vec<(String, usize, u64)> {
     let mut rows = Vec::new();
-    for (label, protection_minutes) in [("protect-5m", 5u64), ("protect-30m", 30), ("protect-90m", 90)] {
+    for (label, protection_minutes) in [
+        ("protect-5m", 5u64),
+        ("protect-30m", 30),
+        ("protect-90m", 90),
+    ] {
         let env = build_environment(Scenario::FullMobility);
         let mut config = SimConfig::paper(Scenario::FullMobility, 1.15)
             .with_duration(SimDuration::from_hours(hours));
@@ -515,9 +715,12 @@ mod tests {
 
     #[test]
     fn fig5_reproduces_paper_crisp_values() {
+        // Exact (up to floating-point rounding of the membership grades)
+        // thanks to the closed-form leftmost-max for clipped ramp outputs —
+        // previously the grid quantized these to ±5e-3.
         let (up, out) = fig5_inference_example();
-        assert!((up - 0.6).abs() < 5e-3, "scale-up ≈ 0.6, got {up}");
-        assert!((out - 0.3).abs() < 5e-3, "scale-out ≈ 0.3, got {out}");
+        assert!((up - 0.6).abs() < 1e-9, "scale-up = 0.6, got {up}");
+        assert!((out - 0.3).abs() < 1e-9, "scale-out = 0.3, got {out}");
         assert!(up > out, "the controller favors scale-up (Section 3)");
     }
 
@@ -536,9 +739,12 @@ mod tests {
                 )
             })
             .collect();
-        let at = |h: f64| rows.iter().min_by(|a, b| {
-            (a.0 - h).abs().partial_cmp(&(b.0 - h).abs()).unwrap()
-        }).copied().unwrap();
+        let at = |h: f64| {
+            rows.iter()
+                .min_by(|a, b| (a.0 - h).abs().partial_cmp(&(b.0 - h).abs()).unwrap())
+                .copied()
+                .unwrap()
+        };
         // LES interactive: day ≫ night; BW batch: night ≫ day.
         assert!(at(9.5).1 > at(3.0).1 + 0.5);
         assert!(at(3.0).2 > at(12.0).2 + 0.5);
@@ -572,8 +778,14 @@ mod tests {
             designed <= hand + 1e-9,
             "designer {designed} must not lose to hand-made {hand}"
         );
-        assert!(hand > 0.6, "hand-made allocation peaks in the 60-80% band: {hand}");
-        assert!(designed < 0.8, "designed peak stays under the overload level");
+        assert!(
+            hand > 0.6,
+            "hand-made allocation peaks in the 60-80% band: {hand}"
+        );
+        assert!(
+            designed < 0.8,
+            "designed peak stays under the overload level"
+        );
     }
 
     #[test]
@@ -595,6 +807,111 @@ mod tests {
 #[cfg(test)]
 mod name_resolution_tests {
     use super::*;
+    use autoglobe_landscape::InstanceId;
+    use autoglobe_monitor::SimTime;
+    use autoglobe_simulator::{InstancePoint, SeriesPoint};
+
+    /// The figure renderers must label output with the names the run itself
+    /// recorded — not with a freshly built Static environment, which would
+    /// mislabel (or mis-size) any run whose scenario has a different
+    /// landscape.
+    #[test]
+    fn renderers_use_the_metrics_name_tables() {
+        let mut m = Metrics {
+            server_names: vec!["Alpha".into(), "Beta".into()],
+            service_names: vec!["OnlyService".into()],
+            ..Metrics::default()
+        };
+        let t = SimTime::from_hours(2);
+        m.average_series.push(SeriesPoint {
+            time: t,
+            value: 0.25,
+        });
+        m.server_series.insert(
+            ServerId::new(1),
+            vec![SeriesPoint {
+                time: t,
+                value: 0.5,
+            }],
+        );
+        m.instance_series.insert(
+            InstanceId::new(0),
+            vec![InstancePoint {
+                time: t,
+                server: ServerId::new(1),
+                value: 0.75,
+            }],
+        );
+
+        let servers = all_servers_csv(&m);
+        assert_eq!(
+            servers,
+            "hours,Alpha,Beta,average\n2.000,0.0000,0.5000,0.2500\n"
+        );
+        let fi = fi_series_csv(&m);
+        assert_eq!(fi, "hours,instance,server,load\n2.000,inst#0,Beta,0.7500\n");
+    }
+
+    #[test]
+    fn scenario_metrics_carry_their_environment_names() {
+        // A real run records the scenario and the full name tables.
+        let m = scenario_run(Scenario::FullMobility, 1.0, 2, 7);
+        assert_eq!(m.scenario, Some(Scenario::FullMobility));
+        assert_eq!(m.server_names.len(), 19);
+        assert!(m.server_names.iter().any(|n| n == "Blade1"));
+        assert!(m.server_names.iter().any(|n| n == "DBServer3"));
+        assert!(m.service_names.iter().any(|n| n == "FI"));
+        let csv = all_servers_csv(&m);
+        assert!(csv.starts_with("hours,"));
+        assert!(csv.lines().next().unwrap().contains("Blade1"));
+    }
+
+    /// Tentpole acceptance: Table 7 must be bit-identical however many
+    /// worker threads probe the ladder — speculation must never change
+    /// which steps are consumed or what they measured.
+    #[test]
+    fn table7_is_bit_identical_across_job_counts() {
+        let sequential = table7_with_jobs(2, 7, 1);
+        let parallel = table7_with_jobs(2, 7, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for ((s1, p1), (s2, p2)) in sequential.iter().zip(&parallel) {
+            assert_eq!(s1, s2);
+            assert_eq!(
+                p1.to_bits(),
+                p2.to_bits(),
+                "{s1}: sequential {p1} % vs parallel {p2} %"
+            );
+        }
+    }
+
+    /// Fan-out of figure runs: the pooled metrics must render the very
+    /// same CSV and action log as a sequential run with the same inputs.
+    #[test]
+    fn parallel_scenario_runs_match_sequential_renders() {
+        let specs = [(Scenario::Static, 1.15), (Scenario::FullMobility, 1.15)];
+        let pooled = scenario_runs(&specs, 2, 42, 4);
+        assert_eq!(pooled.len(), specs.len());
+        for ((scenario, multiplier), metrics) in specs.iter().zip(&pooled) {
+            let sequential = scenario_run(*scenario, *multiplier, 2, 42);
+            assert_eq!(all_servers_csv(metrics), all_servers_csv(&sequential));
+            assert_eq!(fi_series_csv(metrics), fi_series_csv(&sequential));
+            assert_eq!(action_log(metrics), action_log(&sequential));
+        }
+    }
+
+    /// The ladder helper must reproduce `find_max_users`' own float
+    /// accumulation step for step.
+    #[test]
+    fn capacity_ladder_matches_the_sequential_accumulation() {
+        let ladder = capacity_ladder(0.05);
+        assert_eq!(ladder[0].to_bits(), 1.0f64.to_bits());
+        let mut m: f64 = 1.0;
+        for &step in &ladder {
+            assert_eq!(step.to_bits(), m.to_bits());
+            m += 0.05;
+        }
+        assert!(m > 3.0, "the ladder ends exactly at the safety stop");
+    }
 
     #[test]
     fn two_digit_ids_resolve_before_their_prefixes() {

@@ -1,0 +1,112 @@
+//! A tiny scoped-thread run pool for fanning out independent experiment
+//! runs (no external dependencies — `std::thread::scope` only).
+//!
+//! Every simulation in this workspace is a pure function of its inputs
+//! (scenario, multiplier, duration, seed): each run constructs its own
+//! seeded RNG and never touches shared mutable state. That makes the
+//! experiments embarrassingly parallel — the pool only has to preserve
+//! *order*, which [`parallel_map`] does by writing each result into the
+//! slot of the item that produced it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a `--jobs` request: `0` means "use the machine", anything else
+/// is taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Apply `f` to every item on up to `jobs` worker threads and return the
+/// results **in input order**. `jobs == 0` uses the machine's available
+/// parallelism; `jobs == 1` (or a single item) degenerates to a plain
+/// sequential map on the calling thread.
+///
+/// Work is handed out through a shared atomic cursor, so threads that
+/// finish early pick up the remaining items instead of idling. A panic in
+/// `f` propagates to the caller when the scope joins.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("pool slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let result = f(item);
+                *results[i].lock().expect("pool result poisoned") = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool result poisoned")
+                .expect("every claimed slot produced a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [0, 1, 2, 4, 16] {
+            let got = parallel_map(jobs, items.clone(), |x| x * x);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, empty, |x| x).is_empty());
+        assert_eq!(parallel_map(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_the_machine() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn threads_steal_remaining_work() {
+        // More items than threads: the shared cursor must hand every item
+        // to exactly one worker.
+        let got = parallel_map(2, (0..100u64).collect(), |x| x + 1);
+        assert_eq!(got, (1..=100).collect::<Vec<_>>());
+    }
+}

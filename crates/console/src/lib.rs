@@ -131,7 +131,11 @@ pub fn service_view(
                 .map(|m| m.to_string())
                 .unwrap_or_else(|| "∞".into()),
             if spec.exclusive { " exclusive" } else { "" },
-            if actions.is_empty() { "—".to_string() } else { actions.join(" ") },
+            if actions.is_empty() {
+                "—".to_string()
+            } else {
+                actions.join(" ")
+            },
             protection,
         )
         .unwrap();

@@ -279,11 +279,11 @@ impl AutoGlobeController {
         // Protected services are "excluded from further actions" (Section
         // 4): they produce no candidates even when another subject's
         // trigger would otherwise involve them.
-        let consider = |this: &mut Self, service: ServiceId, instance: InstanceId, out: &mut Vec<Candidate>| {
-            if this
-                .protection
-                .is_protected(Subject::Service(service), now)
-            {
+        let consider = |this: &mut Self,
+                        service: ServiceId,
+                        instance: InstanceId,
+                        out: &mut Vec<Candidate>| {
+            if this.protection.is_protected(Subject::Service(service), now) {
                 return;
             }
             this.rank_service(event.kind, landscape, loads, service, instance, out);
@@ -334,10 +334,7 @@ impl AutoGlobeController {
         let Some(inputs) = ActionInputs::gather(landscape, loads, service, instance) else {
             return;
         };
-        let Ok(ranked) = self
-            .action_selector
-            .rank(trigger, &spec.name, &inputs)
-        else {
+        let Ok(ranked) = self.action_selector.rank(trigger, &spec.name, &inputs) else {
             return;
         };
         for RankedAction {
@@ -450,10 +447,9 @@ impl AutoGlobeController {
             // A scale-out onto a host that already runs the service would
             // split the same saturated CPU without adding capacity.
             if candidate.kind == ActionKind::ScaleOut
-                && landscape
-                    .instances_on(server)
-                    .iter()
-                    .any(|i| landscape.instance(*i).map(|inst| inst.service) == Ok(candidate.service))
+                && landscape.instances_on(server).iter().any(|i| {
+                    landscape.instance(*i).map(|inst| inst.service) == Ok(candidate.service)
+                })
             {
                 continue;
             }
@@ -575,7 +571,8 @@ impl AutoGlobeController {
                 // The instance may already be gone (stop/scale-in) — protect
                 // its host if it still resolves.
                 if let Ok(inst) = landscape.instance(instance) {
-                    self.protection.protect(Subject::Server(inst.server), now, d);
+                    self.protection
+                        .protect(Subject::Server(inst.server), now, d);
                     Some(inst.service)
                 } else {
                     None
@@ -745,8 +742,12 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut landscape = Landscape::new();
-        let blade1 = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
-        let blade2 = landscape.add_server(ServerSpec::fsc_bx300("Blade2")).unwrap();
+        let blade1 = landscape
+            .add_server(ServerSpec::fsc_bx300("Blade1"))
+            .unwrap();
+        let blade2 = landscape
+            .add_server(ServerSpec::fsc_bx300("Blade2"))
+            .unwrap();
         let big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
         let fi = landscape
             .add_service(
@@ -907,10 +908,7 @@ mod tests {
         f.loads.set(Subject::Service(restricted), 0.95, 0.0);
 
         let mut c = AutoGlobeController::new();
-        let event = overload_event(
-            Subject::Service(restricted),
-            TriggerKind::ServiceOverloaded,
-        );
+        let event = overload_event(Subject::Service(restricted), TriggerKind::ServiceOverloaded);
         let outcome = c.handle_trigger(&event, &mut f.landscape, &f.loads, event.time);
         assert!(outcome.acted(), "events: {:?}", outcome.events);
         assert_eq!(outcome.executed[0].action.kind(), ActionKind::ScaleOut);
@@ -983,7 +981,11 @@ mod tests {
 
         let id = c.pending()[0].id;
         let record = c
-            .confirm_pending(id, &mut f.landscape, event.time + SimDuration::from_secs(60))
+            .confirm_pending(
+                id,
+                &mut f.landscape,
+                event.time + SimDuration::from_secs(60),
+            )
             .expect("confirmation applies the action");
         assert_eq!(f.landscape.num_instances(), instances_before);
         assert!(record.action.kind().needs_target() || record.action.instance().is_some());

@@ -195,6 +195,9 @@ mod tests {
             trigger: TriggerKind::ServerIdle,
             protected_until: SimTime::from_minutes(30),
         };
-        assert_eq!(e.to_string(), "[00:05] serverIdle suppressed (protected until 00:30)");
+        assert_eq!(
+            e.to_string(),
+            "[00:05] serverIdle suppressed (protected until 00:30)"
+        );
     }
 }

@@ -93,7 +93,11 @@ mod tests {
         let mut p = ProtectionRegistry::new();
         p.protect(subject(0), SimTime::from_minutes(0), THIRTY_MIN);
         // A later, shorter protection must not shorten the existing one.
-        p.protect(subject(0), SimTime::from_minutes(5), SimDuration::from_minutes(5));
+        p.protect(
+            subject(0),
+            SimTime::from_minutes(5),
+            SimDuration::from_minutes(5),
+        );
         assert!(p.is_protected(subject(0), SimTime::from_minutes(29)));
         // A later, longer one extends.
         p.protect(subject(0), SimTime::from_minutes(20), THIRTY_MIN);
@@ -109,7 +113,10 @@ mod tests {
             p.protected_until(subject(0), SimTime::from_minutes(10)),
             Some(SimTime::from_minutes(30))
         );
-        assert_eq!(p.protected_until(subject(0), SimTime::from_minutes(31)), None);
+        assert_eq!(
+            p.protected_until(subject(0), SimTime::from_minutes(31)),
+            None
+        );
         assert_eq!(p.protected_until(subject(9), SimTime::ZERO), None);
     }
 

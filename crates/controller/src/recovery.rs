@@ -170,8 +170,12 @@ mod tests {
 
     fn fixture() -> Fixture {
         let mut landscape = Landscape::new();
-        let blade1 = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
-        let blade2 = landscape.add_server(ServerSpec::fsc_bx600("Blade2")).unwrap();
+        let blade1 = landscape
+            .add_server(ServerSpec::fsc_bx300("Blade1"))
+            .unwrap();
+        let blade2 = landscape
+            .add_server(ServerSpec::fsc_bx600("Blade2"))
+            .unwrap();
         let big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
         // Immobile service: restarts must work even when no action is allowed.
         let app = landscape
@@ -204,7 +208,12 @@ mod tests {
     fn crashed_instance_restarts_on_its_own_host() {
         let mut f = fixture();
         let mut c = AutoGlobeController::new();
-        let outcome = c.handle_failure(&crash(f.instance), &mut f.landscape, &f.loads, SimTime::from_minutes(90));
+        let outcome = c.handle_failure(
+            &crash(f.instance),
+            &mut f.landscape,
+            &f.loads,
+            SimTime::from_minutes(90),
+        );
         assert_eq!(outcome.recovered.len(), 1);
         assert!(outcome.lost.is_empty());
         let (old, new, host) = outcome.recovered[0];
@@ -262,7 +271,10 @@ mod tests {
         let mut c = AutoGlobeController::new();
         let outcome = c.handle_failure(&event, &mut f.landscape, &f.loads, SimTime::from_hours(1));
         assert_eq!(outcome.recovered.len(), 1);
-        assert_eq!(outcome.recovered[0].2, f.blade2, "exclusive Big is off-limits");
+        assert_eq!(
+            outcome.recovered[0].2, f.blade2,
+            "exclusive Big is off-limits"
+        );
     }
 
     #[test]

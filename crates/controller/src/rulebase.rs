@@ -129,12 +129,42 @@ impl RuleBases {
             .insert((action, service_name.into()), rules);
     }
 
+    /// True if a service-specific extension exists for `(trigger, service)`.
+    pub fn has_service_trigger_rules(&self, trigger: TriggerKind, service_name: &str) -> bool {
+        self.service_triggers
+            .contains_key(&(trigger, service_name.to_string()))
+    }
+
+    /// True if a service-specific extension exists for `(action, service)`.
+    pub fn has_service_action_rules(&self, action: ActionKind, service_name: &str) -> bool {
+        self.service_actions
+            .contains_key(&(action, service_name.to_string()))
+    }
+
+    /// All `(trigger, service)` pairs with service-specific extensions.
+    pub fn service_trigger_keys(&self) -> impl Iterator<Item = (TriggerKind, &str)> {
+        self.service_triggers.keys().map(|(t, s)| (*t, s.as_str()))
+    }
+
+    /// All `(action, service)` pairs with service-specific extensions.
+    pub fn service_action_keys(&self) -> impl Iterator<Item = (ActionKind, &str)> {
+        self.service_actions.keys().map(|(a, s)| (*a, s.as_str()))
+    }
+
     /// Total number of rules across all bases.
     pub fn total_rules(&self) -> usize {
         self.triggers.values().map(RuleBase::len).sum::<usize>()
-            + self.service_triggers.values().map(RuleBase::len).sum::<usize>()
+            + self
+                .service_triggers
+                .values()
+                .map(RuleBase::len)
+                .sum::<usize>()
             + self.actions.values().map(RuleBase::len).sum::<usize>()
-            + self.service_actions.values().map(RuleBase::len).sum::<usize>()
+            + self
+                .service_actions
+                .values()
+                .map(RuleBase::len)
+                .sum::<usize>()
     }
 
     /// Load rule bases from XML `<ruleBase>` descriptions (see
@@ -161,10 +191,11 @@ impl RuleBases {
                     }
                 }
                 Some(("action", name)) => {
-                    let action =
-                        ActionKind::from_variable_name(name).ok_or_else(|| LandscapeError::Schema {
+                    let action = ActionKind::from_variable_name(name).ok_or_else(|| {
+                        LandscapeError::Schema {
                             message: format!("unknown action `{name}`"),
-                        })?;
+                        }
+                    })?;
                     match &d.service {
                         Some(svc) => self.add_service_action_rules(action, svc.clone(), rules),
                         None => self.set_action_rules(action, rules),
@@ -208,7 +239,12 @@ THEN scaleOut IS applicable WITH 0.85
 IF serviceLoad IS high AND memLoad IS high
 THEN scaleOut IS applicable WITH 0.8
 
-IF serviceLoad IS high AND cpuLoad IS medium
+# `NOT low` rather than `medium`: identical on [0, 0.5] (the falling edge
+# of *low* mirrors the rising edge of *medium*) but it keeps covering the
+# [0.5, 0.7] band where *medium* fades before *high* has ramped up. With
+# `medium` here, raising a hot service's host CPU from 0.39 to 0.61 dropped
+# the best remedy below the execution threshold — more load, less action.
+IF serviceLoad IS high AND NOT cpuLoad IS low
 THEN scaleOut IS applicable WITH 0.6
 
 # One hot instance while the service average is fine: rebalance it.
@@ -429,9 +465,8 @@ mod tests {
         let texts: Vec<String> = overloaded.rules().iter().map(|r| r.to_string()).collect();
         assert!(texts.iter().any(|t| t.contains("scaleUp IS applicable")
             && t.contains("performanceIndex IS low OR performanceIndex IS medium")));
-        assert!(texts
-            .iter()
-            .any(|t| t == "IF (cpuLoad IS high AND performanceIndex IS high) THEN scaleOut IS applicable"));
+        assert!(texts.iter().any(|t| t
+            == "IF (cpuLoad IS high AND performanceIndex IS high) THEN scaleOut IS applicable"));
     }
 
     #[test]
@@ -471,8 +506,13 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(rb.for_trigger(TriggerKind::ServiceIdle, "x").len(), 1);
-        let default_move = RuleBases::paper_defaults().for_action(ActionKind::Move, "FI").len();
-        assert_eq!(rb.for_action(ActionKind::Move, "FI").len(), default_move + 1);
+        let default_move = RuleBases::paper_defaults()
+            .for_action(ActionKind::Move, "FI")
+            .len();
+        assert_eq!(
+            rb.for_action(ActionKind::Move, "FI").len(),
+            default_move + 1
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct RankedAction {
 }
 
 /// The action-selection fuzzy controller: one engine per `(trigger,
-/// service-specific rule base)` combination, built lazily and cached.
+/// service-specific rule base)` combination, built at construction time so
+/// the per-trigger hot path ([`ActionSelector::rank`]) only evaluates rules
+/// — every engine's consequent term grids are precomputed when its rules are
+/// added.
 #[derive(Debug)]
 pub struct ActionSelector {
     rule_bases: RuleBases,
@@ -29,13 +32,36 @@ pub struct ActionSelector {
 }
 
 impl ActionSelector {
-    /// Build a selector over the given rule bases.
+    /// Build a selector over the given rule bases. All engines — one per
+    /// trigger for the default bases, plus one per service-specific
+    /// extension — are constructed eagerly here.
     pub fn new(rule_bases: RuleBases, config: EngineConfig) -> Self {
-        ActionSelector {
+        let mut selector = ActionSelector {
             rule_bases,
             config,
             engines: HashMap::new(),
+        };
+        let mut keys: Vec<(TriggerKind, String)> = TriggerKind::ALL
+            .iter()
+            .map(|&t| (t, String::new()))
+            .collect();
+        keys.extend(
+            selector
+                .rule_bases
+                .service_trigger_keys()
+                .map(|(t, s)| (t, s.to_string())),
+        );
+        for (trigger, service) in keys {
+            // If an administrator rule base fails validation the engine
+            // stays unbuilt; the first `rank` against it retries the build
+            // and reports the error, exactly as lazy construction did.
+            if let Ok(engine) =
+                Self::build_engine(&selector.rule_bases, selector.config, trigger, &service)
+            {
+                selector.engines.insert((trigger, service), engine);
+            }
         }
+        selector
     }
 
     /// The rule bases in use.
@@ -43,19 +69,39 @@ impl ActionSelector {
         &self.rule_bases
     }
 
+    fn build_engine(
+        rule_bases: &RuleBases,
+        config: EngineConfig,
+        trigger: TriggerKind,
+        service_name: &str,
+    ) -> Result<Engine, FuzzyError> {
+        let mut engine = Engine::with_config(config);
+        for var in variables::action_selection_inputs() {
+            engine.add_input(var);
+        }
+        for var in variables::action_selection_outputs() {
+            engine.add_output(var);
+        }
+        for rule in rule_bases.for_trigger(trigger, service_name).rules() {
+            engine.add_rule(rule.clone())?;
+        }
+        Ok(engine)
+    }
+
     fn engine(&mut self, trigger: TriggerKind, service_name: &str) -> Result<&Engine, FuzzyError> {
-        let key = (trigger, service_name.to_string());
+        // Services without specific rules share the default-base engine,
+        // keyed by the empty service name.
+        let service = if self
+            .rule_bases
+            .has_service_trigger_rules(trigger, service_name)
+        {
+            service_name
+        } else {
+            ""
+        };
+        let key = (trigger, service.to_string());
         if !self.engines.contains_key(&key) {
-            let mut engine = Engine::with_config(self.config);
-            for var in variables::action_selection_inputs() {
-                engine.add_input(var);
-            }
-            for var in variables::action_selection_outputs() {
-                engine.add_output(var);
-            }
-            for rule in self.rule_bases.for_trigger(trigger, service_name).rules() {
-                engine.add_rule(rule.clone())?;
-            }
+            let engine = Self::build_engine(&self.rule_bases, self.config, trigger, service)?;
             self.engines.insert(key.clone(), engine);
         }
         Ok(&self.engines[&key])
@@ -93,35 +139,74 @@ impl ActionSelector {
 }
 
 /// The server-selection fuzzy controller: one engine per `(action,
-/// service-specific rule base)` combination.
+/// service-specific rule base)` combination, built eagerly like
+/// [`ActionSelector`]'s.
 #[derive(Debug)]
 pub struct ServerSelector {
     rule_bases: RuleBases,
     config: EngineConfig,
+    /// Cache key: `(action, service name if it has specific rules else "")`.
     engines: HashMap<(ActionKind, String), Engine>,
 }
 
 impl ServerSelector {
-    /// Build a selector over the given rule bases.
+    /// Build a selector over the given rule bases, constructing all engines
+    /// up front.
     pub fn new(rule_bases: RuleBases, config: EngineConfig) -> Self {
-        ServerSelector {
+        let mut selector = ServerSelector {
             rule_bases,
             config,
             engines: HashMap::new(),
+        };
+        let mut keys: Vec<(ActionKind, String)> = ActionKind::ALL
+            .iter()
+            .map(|&a| (a, String::new()))
+            .collect();
+        keys.extend(
+            selector
+                .rule_bases
+                .service_action_keys()
+                .map(|(a, s)| (a, s.to_string())),
+        );
+        for (action, service) in keys {
+            if let Ok(engine) =
+                Self::build_engine(&selector.rule_bases, selector.config, action, &service)
+            {
+                selector.engines.insert((action, service), engine);
+            }
         }
+        selector
+    }
+
+    fn build_engine(
+        rule_bases: &RuleBases,
+        config: EngineConfig,
+        action: ActionKind,
+        service_name: &str,
+    ) -> Result<Engine, FuzzyError> {
+        let mut engine = Engine::with_config(config);
+        for var in variables::server_selection_inputs() {
+            engine.add_input(var);
+        }
+        engine.add_output(variables::server_selection_output());
+        for rule in rule_bases.for_action(action, service_name).rules() {
+            engine.add_rule(rule.clone())?;
+        }
+        Ok(engine)
     }
 
     fn engine(&mut self, action: ActionKind, service_name: &str) -> Result<&Engine, FuzzyError> {
-        let key = (action, service_name.to_string());
+        let service = if self
+            .rule_bases
+            .has_service_action_rules(action, service_name)
+        {
+            service_name
+        } else {
+            ""
+        };
+        let key = (action, service.to_string());
         if !self.engines.contains_key(&key) {
-            let mut engine = Engine::with_config(self.config);
-            for var in variables::server_selection_inputs() {
-                engine.add_input(var);
-            }
-            engine.add_output(variables::server_selection_output());
-            for rule in self.rule_bases.for_action(action, service_name).rules() {
-                engine.add_rule(rule.clone())?;
-            }
+            let engine = Self::build_engine(&self.rule_bases, self.config, action, service)?;
             self.engines.insert(key.clone(), engine);
         }
         Ok(&self.engines[&key])

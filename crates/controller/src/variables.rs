@@ -45,7 +45,10 @@ pub fn instance_demand() -> LinguisticVariable {
     LinguisticVariable::builder("instanceDemand")
         .range(0.0, 3.0)
         .term("small", MembershipFunction::trapezoid(0.0, 0.0, 0.3, 0.5))
-        .term("moderate", MembershipFunction::trapezoid(0.3, 0.5, 0.8, 1.0))
+        .term(
+            "moderate",
+            MembershipFunction::trapezoid(0.3, 0.5, 0.8, 1.0),
+        )
         .term("large", MembershipFunction::trapezoid(0.8, 1.0, 3.0, 3.0))
         .build()
         .expect("instanceDemand variable is valid")
@@ -89,9 +92,18 @@ pub fn number_of_cpus() -> LinguisticVariable {
 pub fn cpu_clock() -> LinguisticVariable {
     LinguisticVariable::builder("cpuClock")
         .range(0.0, 4000.0)
-        .term("slow", MembershipFunction::trapezoid(0.0, 0.0, 800.0, 1200.0))
-        .term("medium", MembershipFunction::trapezoid(800.0, 1200.0, 2000.0, 2600.0))
-        .term("fast", MembershipFunction::trapezoid(2000.0, 2600.0, 4000.0, 4000.0))
+        .term(
+            "slow",
+            MembershipFunction::trapezoid(0.0, 0.0, 800.0, 1200.0),
+        )
+        .term(
+            "medium",
+            MembershipFunction::trapezoid(800.0, 1200.0, 2000.0, 2600.0),
+        )
+        .term(
+            "fast",
+            MembershipFunction::trapezoid(2000.0, 2600.0, 4000.0, 4000.0),
+        )
         .build()
         .expect("cpuClock variable is valid")
 }
@@ -100,9 +112,18 @@ pub fn cpu_clock() -> LinguisticVariable {
 pub fn cpu_cache() -> LinguisticVariable {
     LinguisticVariable::builder("cpuCache")
         .range(0.0, 8192.0)
-        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 512.0, 1024.0))
-        .term("medium", MembershipFunction::trapezoid(512.0, 1024.0, 2048.0, 4096.0))
-        .term("large", MembershipFunction::trapezoid(2048.0, 4096.0, 8192.0, 8192.0))
+        .term(
+            "small",
+            MembershipFunction::trapezoid(0.0, 0.0, 512.0, 1024.0),
+        )
+        .term(
+            "medium",
+            MembershipFunction::trapezoid(512.0, 1024.0, 2048.0, 4096.0),
+        )
+        .term(
+            "large",
+            MembershipFunction::trapezoid(2048.0, 4096.0, 8192.0, 8192.0),
+        )
         .build()
         .expect("cpuCache variable is valid")
 }
@@ -111,7 +132,10 @@ pub fn cpu_cache() -> LinguisticVariable {
 pub fn memory() -> LinguisticVariable {
     LinguisticVariable::builder("memory")
         .range(0.0, 32_768.0)
-        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 2048.0, 4096.0))
+        .term(
+            "small",
+            MembershipFunction::trapezoid(0.0, 0.0, 2048.0, 4096.0),
+        )
         .term(
             "medium",
             MembershipFunction::trapezoid(2048.0, 4096.0, 8192.0, 12_288.0),
@@ -128,7 +152,10 @@ pub fn memory() -> LinguisticVariable {
 pub fn swap_space() -> LinguisticVariable {
     LinguisticVariable::builder("swapSpace")
         .range(0.0, 65_536.0)
-        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 4096.0, 8192.0))
+        .term(
+            "small",
+            MembershipFunction::trapezoid(0.0, 0.0, 4096.0, 8192.0),
+        )
         .term(
             "large",
             MembershipFunction::trapezoid(4096.0, 8192.0, 65_536.0, 65_536.0),
@@ -141,7 +168,10 @@ pub fn swap_space() -> LinguisticVariable {
 pub fn temp_space() -> LinguisticVariable {
     LinguisticVariable::builder("tempSpace")
         .range(0.0, 262_144.0)
-        .term("small", MembershipFunction::trapezoid(0.0, 0.0, 10_240.0, 20_480.0))
+        .term(
+            "small",
+            MembershipFunction::trapezoid(0.0, 0.0, 10_240.0, 20_480.0),
+        )
         .term(
             "large",
             MembershipFunction::trapezoid(10_240.0, 20_480.0, 262_144.0, 262_144.0),

@@ -1,6 +1,7 @@
-//! Property-based tests for controller invariants: rankings stay bounded,
-//! decisions are deterministic, and executed actions never violate the
-//! declarative constraints.
+//! Seeded property tests for controller invariants: rankings stay bounded,
+//! decisions are deterministic, executed actions never violate the
+//! declarative constraints — and overload remedies do not fade out as the
+//! overload worsens (the regression that motivated `NOT cpuLoad IS low`).
 
 use autoglobe_controller::inputs::{ActionInputs, TableLoads};
 use autoglobe_controller::{ActionSelector, AutoGlobeController, RuleBases};
@@ -9,104 +10,220 @@ use autoglobe_landscape::{
     check_action, ActionKind, Landscape, ServerSpec, ServiceKind, ServiceSpec,
 };
 use autoglobe_monitor::{SimTime, Subject, TriggerEvent, TriggerKind};
-use proptest::prelude::*;
+use autoglobe_rng::{check, Rng};
 
-fn inputs_strategy() -> impl Strategy<Value = ActionInputs> {
-    (
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-        0.5f64..=10.0,
-        0.0f64..=1.0,
-        0.0f64..=1.0,
-        0.0f64..=10.0,
-        0.0f64..=10.0,
-    )
-        .prop_map(
-            |(cpu, mem, perf, inst, svc, on_server, of_service)| ActionInputs {
-                cpu_load: cpu,
-                mem_load: mem,
-                performance_index: perf,
-                instance_load: inst,
-                service_load: svc,
-                instances_on_server: on_server,
-                instances_of_service: of_service,
-                instance_demand: inst * perf,
-            },
-        )
+fn random_inputs(rng: &mut Rng) -> ActionInputs {
+    let inst = rng.random_range(0.0..=1.0);
+    let perf = rng.random_range(0.5..=10.0);
+    ActionInputs {
+        cpu_load: rng.random_range(0.0..=1.0),
+        mem_load: rng.random_range(0.0..=1.0),
+        performance_index: perf,
+        instance_load: inst,
+        service_load: rng.random_range(0.0..=1.0),
+        instances_on_server: rng.random_range(0.0..=10.0),
+        instances_of_service: rng.random_range(0.0..=10.0),
+        instance_demand: inst * perf,
+    }
 }
 
-fn trigger_strategy() -> impl Strategy<Value = TriggerKind> {
-    proptest::sample::select(TriggerKind::ALL.to_vec())
-}
-
-proptest! {
-    /// Rankings always contain all nine actions with applicabilities in
-    /// [0, 1], sorted descending — for any inputs and any trigger.
-    #[test]
-    fn rankings_are_complete_bounded_and_sorted(
-        inputs in inputs_strategy(),
-        trigger in trigger_strategy(),
-    ) {
-        let mut selector = ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+#[test]
+fn rankings_are_complete_bounded_and_sorted() {
+    // Rankings always contain all nine actions with applicabilities in
+    // [0, 1], sorted descending — for any inputs and any trigger.
+    check::cases(192, |rng| {
+        let inputs = random_inputs(rng);
+        let trigger = *rng.choice(&TriggerKind::ALL);
+        let mut selector =
+            ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
         let ranked = selector.rank(trigger, "svc", &inputs).unwrap();
-        prop_assert_eq!(ranked.len(), 9);
+        assert_eq!(ranked.len(), 9);
         for pair in ranked.windows(2) {
-            prop_assert!(pair[0].applicability >= pair[1].applicability);
+            assert!(pair[0].applicability >= pair[1].applicability);
         }
         for r in &ranked {
-            prop_assert!((0.0..=1.0).contains(&r.applicability));
+            assert!((0.0..=1.0).contains(&r.applicability));
         }
-    }
+    });
+}
 
-    /// Liveness at saturation: a fully saturated overload situation always
-    /// has a strong remedy (≥ the default applicability threshold by a
-    /// wide margin), regardless of host power or instance counts. (Note
-    /// that *global* monotonicity in load does not hold, by design: the
-    /// medium-load rebalancing rules fade out as loads leave "medium".)
-    #[test]
-    fn saturated_overload_always_has_a_strong_remedy(
-        perf in 0.5f64..=10.0,
-        on_server in 0.0f64..=10.0,
-        of_service in 0.0f64..=10.0,
-        mem in 0.0f64..=1.0,
-    ) {
-        let mut selector = ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+#[test]
+fn saturated_overload_always_has_a_strong_remedy() {
+    // Liveness at saturation: a fully saturated overload situation always
+    // has a strong remedy (≥ the default applicability threshold by a wide
+    // margin), regardless of host power or instance counts.
+    check::cases(128, |rng| {
+        let perf = rng.random_range(0.5..=10.0);
+        let mut selector =
+            ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
         let inputs = ActionInputs {
             cpu_load: 1.0,
-            mem_load: mem,
+            mem_load: rng.random_range(0.0..=1.0),
             performance_index: perf,
             instance_load: 1.0,
             service_load: 1.0,
-            instances_on_server: on_server,
-            instances_of_service: of_service,
+            instances_on_server: rng.random_range(0.0..=10.0),
+            instances_of_service: rng.random_range(0.0..=10.0),
             instance_demand: perf,
         };
-        for trigger in [TriggerKind::ServiceOverloaded, TriggerKind::ServerOverloaded] {
+        for trigger in [
+            TriggerKind::ServiceOverloaded,
+            TriggerKind::ServerOverloaded,
+        ] {
             let top = selector.rank(trigger, "svc", &inputs).unwrap()[0].applicability;
-            prop_assert!(top >= 0.8, "{trigger}: top remedy only {top}");
+            assert!(top >= 0.8, "{trigger}: top remedy only {top}");
         }
-    }
+    });
+}
 
-    /// Whatever the controller executes passes the constraint checker in
-    /// the pre-action state — for random landscapes and loads.
-    #[test]
-    fn executed_actions_always_satisfied_constraints(
-        server_loads in proptest::collection::vec(0.0f64..=1.0, 4),
-        instance_load in 0.5f64..=1.0,
-        allowed_mask in 0u16..512,
-    ) {
+/// Regression (was a checked-in proptest shrink): at `cpu_load ≈ 0.389`,
+/// `service_load ≈ 0.892`, raising the host's CPU load by `Δ ≈ 0.2206`
+/// used to *drop* the best ServiceOverloaded remedy from 0.47 to 0.27 —
+/// below the 0.4 execution threshold — because the bridging scale-out rule
+/// was gated on `cpuLoad IS medium`, whose grade collapses on [0.5, 0.7]
+/// before `high` picks up. The rule now reads `NOT cpuLoad IS low`
+/// (identical on [0, 0.5] since μ_low's falling edge mirrors μ_medium's
+/// rising edge) so a hotter host can never weaken the remedy.
+#[test]
+fn overload_remedy_does_not_fade_as_load_rises() {
+    let mut selector = ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+    let base = ActionInputs {
+        cpu_load: 0.38899001084580637,
+        mem_load: 0.0,
+        performance_index: 0.5,
+        instance_load: 0.0,
+        service_load: 0.8921368697754872,
+        instances_on_server: 0.0,
+        instances_of_service: 4.558842029512322,
+        instance_demand: 0.0,
+    };
+    let delta = 0.2206226088921194;
+    let top = |selector: &mut ActionSelector, inputs: &ActionInputs| {
+        selector
+            .rank(TriggerKind::ServiceOverloaded, "svc", inputs)
+            .unwrap()[0]
+            .applicability
+    };
+    let before = top(&mut selector, &base);
+    let after = top(
+        &mut selector,
+        &ActionInputs {
+            cpu_load: base.cpu_load + delta,
+            ..base
+        },
+    );
+    assert!(
+        after + 1e-9 >= before,
+        "raising cpu_load by {delta} dropped the top remedy {before} → {after}"
+    );
+    // Both sides must stay actionable (≥ the 0.4 default threshold).
+    assert!(before >= 0.4, "remedy below execution threshold: {before}");
+    assert!(after >= 0.4, "remedy below execution threshold: {after}");
+}
+
+#[test]
+fn service_overload_remedy_is_monotone_in_cpu_load() {
+    // Generalization of the regression above: while a service stays
+    // overloaded, sweeping the host's CPU load upward from any starting
+    // point must never weaken the best remedy.
+    check::cases(96, |rng| {
+        let mut selector =
+            ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let service_load = rng.random_range(0.75..=1.0);
+        let of_service = rng.random_range(0.0..=10.0);
+        let perf = rng.random_range(0.5..=10.0);
+        let mut last = 0.0f64;
+        for step in 0..=20 {
+            let cpu = 0.4 + 0.6 * step as f64 / 20.0;
+            let inputs = ActionInputs {
+                cpu_load: cpu,
+                mem_load: 0.0,
+                performance_index: perf,
+                instance_load: 0.0,
+                service_load,
+                instances_on_server: 0.0,
+                instances_of_service: of_service,
+                instance_demand: 0.0,
+            };
+            let top = selector
+                .rank(TriggerKind::ServiceOverloaded, "svc", &inputs)
+                .unwrap()[0]
+                .applicability;
+            assert!(
+                top + 1e-9 >= last,
+                "remedy fades as cpu rises: {last} → {top} at cpuLoad {cpu} \
+                 (serviceLoad {service_load}, instancesOfService {of_service})"
+            );
+            last = top;
+        }
+    });
+}
+
+#[test]
+fn rank_matches_the_per_call_sampling_reference() {
+    // `ActionSelector::rank` no longer samples membership functions per
+    // invocation (term grids are precomputed at construction and ramp
+    // outputs defuzzify in closed form). Its results must still match the
+    // legacy pipeline — fuzzify, `infer` with per-call
+    // `FuzzySet::from_membership` sampling, leftmost-max defuzzification —
+    // to within one grid step, for any inputs and any trigger.
+    use autoglobe_controller::variables;
+    use autoglobe_fuzzy::{infer, Defuzzifier, InferenceConfig, LinguisticVariable};
+    use std::collections::HashMap;
+
+    let step = 1.0 / 1000.0; // universe [0, 1] at DEFAULT_RESOLUTION = 1001
+    let in_vars = variables::action_selection_inputs();
+    let out_vars: HashMap<String, LinguisticVariable> = variables::action_selection_outputs()
+        .into_iter()
+        .map(|v| (v.name().to_string(), v))
+        .collect();
+    check::cases(64, |rng| {
+        let inputs = random_inputs(rng);
+        let trigger = *rng.choice(&TriggerKind::ALL);
+        let mut selector =
+            ActionSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let ranked = selector.rank(trigger, "svc", &inputs).unwrap();
+
+        let rules = RuleBases::paper_defaults().for_trigger(trigger, "svc");
+        let mut grades = HashMap::new();
+        for (name, value) in inputs.measurements() {
+            let var = in_vars.iter().find(|v| v.name() == name).unwrap();
+            for (term, grade) in var.fuzzify_named(value) {
+                grades.insert((name.to_string(), term.to_string()), grade);
+            }
+        }
+        let results = infer(&rules, &grades, &out_vars, InferenceConfig::default()).unwrap();
+        for r in &ranked {
+            let name = r.kind.variable_name();
+            let reference = match results.get(name) {
+                Some(res) => Defuzzifier::LeftmostMax.defuzzify(&res.set),
+                None => 0.0,
+            };
+            assert!(
+                (r.applicability - reference).abs() <= step + 1e-12,
+                "{trigger}/{name}: rank {} vs sampled reference {reference}",
+                r.applicability
+            );
+        }
+    });
+}
+
+#[test]
+fn executed_actions_always_satisfied_constraints() {
+    // Whatever the controller executes passes the constraint checker in the
+    // pre-action state — for random landscapes and loads.
+    check::cases(128, |rng| {
+        let server_loads: Vec<f64> = (0..4).map(|_| rng.random_range(0.0..=1.0)).collect();
+        let instance_load = rng.random_range(0.5..=1.0);
+        let allowed_mask = rng.random_int(0..=511) as u16;
         let mut landscape = Landscape::new();
         let mut servers = Vec::new();
-        for (i, spec) in [
+        for spec in [
             ServerSpec::fsc_bx300("a"),
             ServerSpec::fsc_bx300("b"),
             ServerSpec::fsc_bx600("c"),
             ServerSpec::hp_bl40p("d"),
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let _ = i;
+        ] {
             servers.push(landscape.add_server(spec).unwrap());
         }
         let allowed: Vec<ActionKind> = ActionKind::ALL
@@ -143,24 +260,25 @@ proptest! {
         let mut controller = AutoGlobeController::new();
         let outcome = controller.handle_trigger(&trigger, &mut landscape, &loads, trigger.time);
         for record in &outcome.executed {
-            prop_assert!(
+            assert!(
                 check_action(&pristine, &record.action).is_ok(),
                 "executed action {} violates constraints",
                 record.action
             );
             // And only allowed kinds execute.
             let spec = pristine.service(service).unwrap();
-            prop_assert!(spec.allows(record.action.kind()));
+            assert!(spec.allows(record.action.kind()));
         }
-    }
+    });
+}
 
-    /// Controller decisions are deterministic: identical state produces
-    /// identical actions.
-    #[test]
-    fn decisions_are_deterministic(
-        cpu in 0.7f64..=1.0,
-        inst in 0.7f64..=1.0,
-    ) {
+#[test]
+fn decisions_are_deterministic() {
+    // Controller decisions are deterministic: identical state produces
+    // identical actions.
+    check::cases(64, |rng| {
+        let cpu = rng.random_range(0.7..=1.0);
+        let inst = rng.random_range(0.7..=1.0);
         let build = || {
             let mut landscape = Landscape::new();
             let a = landscape.add_server(ServerSpec::fsc_bx300("a")).unwrap();
@@ -189,6 +307,6 @@ proptest! {
                 .map(|r| r.action.to_string())
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(build(), build());
-    }
+        assert_eq!(build(), build());
+    });
 }

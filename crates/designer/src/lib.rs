@@ -300,7 +300,9 @@ fn place(landscape: &Landscape, server: &mut ServerState, service: ServiceId, pr
     for (d, p) in server.demand.iter_mut().zip(profile) {
         *d += p;
     }
-    server.memory_free_mb = server.memory_free_mb.saturating_sub(spec.memory_per_instance_mb);
+    server.memory_free_mb = server
+        .memory_free_mb
+        .saturating_sub(spec.memory_per_instance_mb);
     server.services.push(service);
     if spec.exclusive {
         server.exclusive_resident = true;
@@ -366,8 +368,16 @@ mod tests {
         let placement = design(
             &l,
             &[
-                ServiceDemand { service: day, instances: 2, profile: daytime(0.6) },
-                ServiceDemand { service: night, instances: 2, profile: nighttime(0.6) },
+                ServiceDemand {
+                    service: day,
+                    instances: 2,
+                    profile: daytime(0.6),
+                },
+                ServiceDemand {
+                    service: night,
+                    instances: 2,
+                    profile: nighttime(0.6),
+                },
             ],
         )
         .unwrap();
@@ -392,8 +402,16 @@ mod tests {
         let placement = design(
             &l,
             &[
-                ServiceDemand { service: db, instances: 1, profile: flat(4.0, 24) },
-                ServiceDemand { service: app, instances: 1, profile: flat(0.5, 24) },
+                ServiceDemand {
+                    service: db,
+                    instances: 1,
+                    profile: flat(4.0, 24),
+                },
+                ServiceDemand {
+                    service: app,
+                    instances: 1,
+                    profile: flat(0.5, 24),
+                },
             ],
         )
         .unwrap();
@@ -419,7 +437,11 @@ mod tests {
             .unwrap();
         let placement = design(
             &l,
-            &[ServiceDemand { service: db, instances: 1, profile: flat(0.1, 4) }],
+            &[ServiceDemand {
+                service: db,
+                instances: 1,
+                profile: flat(0.1, 4),
+            }],
         )
         .unwrap();
         assert_eq!(placement.assignments[0].1, big);
@@ -439,14 +461,25 @@ mod tests {
         let placement = design(
             &l,
             &[
-                ServiceDemand { service: db, instances: 1, profile: flat(1.0, 8) },
-                ServiceDemand { service: app, instances: 3, profile: flat(0.3, 8) },
+                ServiceDemand {
+                    service: db,
+                    instances: 1,
+                    profile: flat(1.0, 8),
+                },
+                ServiceDemand {
+                    service: app,
+                    instances: 3,
+                    profile: flat(0.3, 8),
+                },
             ],
         )
         .unwrap();
         for (_, services) in placement.per_server() {
             if services.contains(&db) {
-                assert!(services.iter().all(|&s| s == db), "exclusive db stays alone");
+                assert!(
+                    services.iter().all(|&s| s == db),
+                    "exclusive db stays alone"
+                );
             }
         }
     }
@@ -462,7 +495,11 @@ mod tests {
             .unwrap();
         let result = design(
             &l,
-            &[ServiceDemand { service: db, instances: 1, profile: flat(0.1, 4) }],
+            &[ServiceDemand {
+                service: db,
+                instances: 1,
+                profile: flat(0.1, 4),
+            }],
         );
         assert_eq!(result.unwrap_err(), DesignError::Infeasible(db));
     }
@@ -477,7 +514,11 @@ mod tests {
             .unwrap();
         let placement = design(
             &l,
-            &[ServiceDemand { service: fat, instances: 2, profile: flat(0.1, 4) }],
+            &[ServiceDemand {
+                service: fat,
+                instances: 2,
+                profile: flat(0.1, 4),
+            }],
         )
         .unwrap();
         // 2 × 1500 MB does not fit one 2048 MB blade.
@@ -492,14 +533,29 @@ mod tests {
             design(
                 &l,
                 &[
-                    ServiceDemand { service: day, instances: 1, profile: flat(0.1, 4) },
-                    ServiceDemand { service: night, instances: 1, profile: flat(0.1, 8) },
+                    ServiceDemand {
+                        service: day,
+                        instances: 1,
+                        profile: flat(0.1, 4)
+                    },
+                    ServiceDemand {
+                        service: night,
+                        instances: 1,
+                        profile: flat(0.1, 8)
+                    },
                 ]
             ),
             Err(DesignError::InconsistentProfiles)
         );
         assert_eq!(
-            design(&l, &[ServiceDemand { service: day, instances: 1, profile: vec![] }]),
+            design(
+                &l,
+                &[ServiceDemand {
+                    service: day,
+                    instances: 1,
+                    profile: vec![]
+                }]
+            ),
             Err(DesignError::InconsistentProfiles)
         );
     }
@@ -508,8 +564,16 @@ mod tests {
     fn design_is_deterministic() {
         let (l, day, night) = two_blade_landscape();
         let demands = [
-            ServiceDemand { service: day, instances: 2, profile: daytime(0.4) },
-            ServiceDemand { service: night, instances: 2, profile: nighttime(0.4) },
+            ServiceDemand {
+                service: day,
+                instances: 2,
+                profile: daytime(0.4),
+            },
+            ServiceDemand {
+                service: night,
+                instances: 2,
+                profile: nighttime(0.4),
+            },
         ];
         assert_eq!(design(&l, &demands), design(&l, &demands));
     }
@@ -518,7 +582,8 @@ mod tests {
     fn spreads_load_across_the_paper_hardware_mix() {
         let mut l = Landscape::new();
         for i in 0..4 {
-            l.add_server(ServerSpec::fsc_bx300(format!("b{i}"))).unwrap();
+            l.add_server(ServerSpec::fsc_bx300(format!("b{i}")))
+                .unwrap();
         }
         l.add_server(ServerSpec::fsc_bx600("bx")).unwrap();
         let day = l
@@ -530,8 +595,16 @@ mod tests {
         let placement = design(
             &l,
             &[
-                ServiceDemand { service: day, instances: 4, profile: daytime(0.5) },
-                ServiceDemand { service: night, instances: 4, profile: nighttime(0.5) },
+                ServiceDemand {
+                    service: day,
+                    instances: 4,
+                    profile: daytime(0.5),
+                },
+                ServiceDemand {
+                    service: night,
+                    instances: 4,
+                    profile: nighttime(0.5),
+                },
             ],
         )
         .unwrap();

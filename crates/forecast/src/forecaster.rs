@@ -97,7 +97,8 @@ impl Forecaster {
             if let Some(observed) = observed {
                 let expected = profile.get(slot_of(t)).copied().unwrap_or(0.0);
                 correction = if weighted {
-                    self.config.alpha * (observed - expected) + (1.0 - self.config.alpha) * correction
+                    self.config.alpha * (observed - expected)
+                        + (1.0 - self.config.alpha) * correction
                 } else {
                     observed - expected
                 };
@@ -136,16 +137,18 @@ impl Forecaster {
         let step = self.config.slot.as_secs().max(1);
         let steps = horizon.as_secs() / step;
         (1..=steps)
-            .map(|i| self.predict(archive, subject, now, now + SimDuration::from_secs(i * step)))
+            .map(|i| {
+                self.predict(
+                    archive,
+                    subject,
+                    now,
+                    now + SimDuration::from_secs(i * step),
+                )
+            })
             .collect()
     }
 
-    fn periodicity_confidence(
-        &self,
-        archive: &LoadArchive,
-        subject: Subject,
-        now: SimTime,
-    ) -> f64 {
+    fn periodicity_confidence(&self, archive: &LoadArchive, subject: Subject, now: SimTime) -> f64 {
         // Build an hourly series over the archived history (up to 7 days).
         let start = now - SimDuration::from_hours(24 * 7);
         let mut series = Vec::new();
@@ -208,7 +211,11 @@ mod tests {
         let cold = f.predict(&archive, subject(), now, now + SimDuration::from_hours(3));
         assert!((hot.cpu - 0.75).abs() < 0.1, "hot {}", hot.cpu);
         assert!(cold.cpu < 0.25, "cold {}", cold.cpu);
-        assert!(hot.confidence > 0.5, "daily pattern detected: {}", hot.confidence);
+        assert!(
+            hot.confidence > 0.5,
+            "daily pattern detected: {}",
+            hot.confidence
+        );
     }
 
     #[test]
@@ -218,7 +225,12 @@ mod tests {
         // Today (day 4) runs 0.15 hotter than usual through 10:00.
         for minute in 0..10 * 60 {
             let t = SimTime::from_hours(4 * 24) + SimDuration::from_minutes(minute);
-            archive.record(subject, t, (office_load(t.hour_of_day()) + 0.15).min(1.0), 0.2);
+            archive.record(
+                subject,
+                t,
+                (office_load(t.hour_of_day()) + 0.15).min(1.0),
+                0.2,
+            );
         }
         let now = SimTime::from_hours(4 * 24 + 10);
         let f = Forecaster::new();

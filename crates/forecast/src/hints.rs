@@ -96,8 +96,7 @@ impl HintBook {
 
     /// Drop one-shot hints whose window has fully passed.
     pub fn expire(&mut self, now: SimTime) {
-        self.hints
-            .retain(|h| h.daily || now < h.start + h.duration);
+        self.hints.retain(|h| h.daily || now < h.start + h.duration);
     }
 }
 

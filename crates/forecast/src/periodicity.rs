@@ -17,8 +17,8 @@ pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
     }
     let n = series.len() - lag;
     let mean: f64 = series.iter().sum::<f64>() / series.len() as f64;
-    let variance: f64 = series.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-        / series.len() as f64;
+    let variance: f64 =
+        series.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / series.len() as f64;
     if variance < 1e-12 {
         return None;
     }
@@ -99,8 +99,7 @@ mod tests {
         let series: Vec<f64> = (0..24 * 6)
             .map(|i| {
                 let t = i as f64;
-                0.5 + 0.3 * (t / 24.0 * std::f64::consts::TAU).sin()
-                    + 0.05 * (t * 0.7373).sin()
+                0.5 + 0.3 * (t / 24.0 * std::f64::consts::TAU).sin() + 0.05 * (t * 0.7373).sin()
             })
             .collect();
         let (lag, _) = detect_period(&series, 12, 36, 0.5).unwrap();
@@ -113,7 +112,9 @@ mod tests {
         let mut state = 0x2545F4914F6CDD1Du64;
         let series: Vec<f64> = (0..200)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 40) as f64 / (1u64 << 24) as f64
             })
             .collect();

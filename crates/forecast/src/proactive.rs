@@ -105,7 +105,11 @@ mod tests {
         let mut a = LoadArchive::new(SimDuration::from_minutes(1));
         for minute in 0..4 * 24 * 60 {
             let t = SimTime::from_minutes(minute);
-            let load = if (9.0..17.0).contains(&t.hour_of_day()) { 0.9 } else { 0.2 };
+            let load = if (9.0..17.0).contains(&t.hour_of_day()) {
+                0.9
+            } else {
+                0.2
+            };
             a.record(Subject::Server(ServerId::new(0)), t, load, 0.2);
         }
         a
@@ -118,7 +122,13 @@ mod tests {
         let hints = HintBook::new();
         // 08:30 on day 4: the 09:00 surge is within the one-hour horizon.
         let now = SimTime::from_hours(4 * 24 + 8) + SimDuration::from_minutes(30);
-        let event = trigger.check(&archive, &hints, Subject::Server(ServerId::new(0)), 1.0, now);
+        let event = trigger.check(
+            &archive,
+            &hints,
+            Subject::Server(ServerId::new(0)),
+            1.0,
+            now,
+        );
         let event = event.expect("proactive trigger fires before the surge");
         assert_eq!(event.kind, TriggerKind::ServerOverloaded);
         assert_eq!(event.time, now, "stamped at decision time, not surge time");
@@ -133,7 +143,13 @@ mod tests {
         // 18:30: nothing hot within an hour.
         let now = SimTime::from_hours(4 * 24 + 18) + SimDuration::from_minutes(30);
         assert!(trigger
-            .check(&archive, &hints, Subject::Server(ServerId::new(0)), 1.0, now)
+            .check(
+                &archive,
+                &hints,
+                Subject::Server(ServerId::new(0)),
+                1.0,
+                now
+            )
             .is_none());
     }
 
@@ -161,7 +177,10 @@ mod tests {
         let trigger = ProactiveTrigger::new();
         let now = SimTime::from_hours(4 * 24 + 9) + SimDuration::from_minutes(30);
         let with_hint = trigger.check(&archive, &hints, service, 1.0, now);
-        assert!(with_hint.is_some(), "reservation pushes forecast over threshold");
+        assert!(
+            with_hint.is_some(),
+            "reservation pushes forecast over threshold"
+        );
         let without = trigger.check(&archive, &HintBook::new(), service, 1.0, now);
         assert!(without.is_none(), "no trigger without the reservation");
     }

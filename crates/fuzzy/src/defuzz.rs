@@ -124,7 +124,10 @@ mod tests {
             1001,
         );
         let x = Defuzzifier::MeanOfMaxima.defuzzify(&set);
-        assert!((x - 0.5).abs() < 1e-3, "MoM of plateau is its center, got {x}");
+        assert!(
+            (x - 0.5).abs() < 1e-3,
+            "MoM of plateau is its center, got {x}"
+        );
         // LeftmostMax picks the left edge of the plateau.
         let left = Defuzzifier::LeftmostMax.defuzzify(&set);
         assert!((left - 0.4).abs() < 1e-3);
@@ -132,14 +135,13 @@ mod tests {
 
     #[test]
     fn centroid_of_symmetric_triangle_is_its_peak() {
-        let set = FuzzySet::from_membership(
-            &MembershipFunction::triangle(0.2, 0.5, 0.8),
-            0.0,
-            1.0,
-            2001,
-        );
+        let set =
+            FuzzySet::from_membership(&MembershipFunction::triangle(0.2, 0.5, 0.8), 0.0, 1.0, 2001);
         let x = Defuzzifier::Centroid.defuzzify(&set);
-        assert!((x - 0.5).abs() < 1e-3, "centroid of symmetric triangle, got {x}");
+        assert!(
+            (x - 0.5).abs() < 1e-3,
+            "centroid of symmetric triangle, got {x}"
+        );
     }
 
     #[test]

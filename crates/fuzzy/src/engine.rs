@@ -2,10 +2,11 @@
 //! measurement → fuzzification → inference → defuzzification.
 
 use crate::defuzz::Defuzzifier;
-use crate::inference::{infer, InferenceConfig, InferenceMethod, InferenceResult};
+use crate::inference::{infer_with_grids, InferenceConfig, InferenceMethod, InferenceResult};
+use crate::membership::MembershipFunction;
 use crate::parser::{parse_rule, parse_rules};
 use crate::rule::{Rule, RuleBase};
-use crate::set::DEFAULT_RESOLUTION;
+use crate::set::{FuzzySet, DEFAULT_RESOLUTION};
 use crate::variable::LinguisticVariable;
 use crate::{FuzzyError, Truth};
 use std::collections::HashMap;
@@ -94,6 +95,16 @@ pub struct Engine {
     outputs: HashMap<String, LinguisticVariable>,
     rules: RuleBase,
     config: EngineConfig,
+    /// Consequent term sets sampled once per `(output variable, term)` pair
+    /// at rule-add time, so inference never re-evaluates membership
+    /// functions over the whole universe per call.
+    term_grids: HashMap<(String, String), FuzzySet>,
+    /// Per output variable targeted by at least one rule: `Some((a, b))`
+    /// when every rule's consequent term is the same `RightShoulder { a, b }`
+    /// ramp. Under max–min inference with leftmost-max defuzzification such
+    /// outputs admit a closed form (see [`Engine::run`]) that skips fuzzy
+    /// sets entirely — the common case for the paper's `applicable` outputs.
+    ramps: HashMap<String, Option<(f64, f64)>>,
 }
 
 impl Engine {
@@ -116,9 +127,16 @@ impl Engine {
     }
 
     /// Replace the configuration (useful for ablation sweeps on an otherwise
-    /// identical controller).
+    /// identical controller). Precomputed term grids are re-sampled at the
+    /// new resolution.
     pub fn set_config(&mut self, config: EngineConfig) {
         self.config = config;
+        for ((var_name, term_name), grid) in self.term_grids.iter_mut() {
+            let var = &self.outputs[var_name];
+            let term = var.term(term_name).expect("indexed term exists");
+            let (lo, hi) = var.range();
+            *grid = FuzzySet::from_membership(term.membership(), lo, hi, config.resolution);
+        }
     }
 
     /// Declare an input variable. Returns an error if the name is taken.
@@ -178,8 +196,34 @@ impl Engine {
     /// and that input/output roles are respected.
     pub fn add_rule(&mut self, rule: Rule) -> Result<(), FuzzyError> {
         self.validate_rule(&rule)?;
+        self.index_consequent(&rule);
         self.rules.push(rule);
         Ok(())
+    }
+
+    /// Maintain the per-term grid cache and the analytic-ramp index for a
+    /// freshly validated rule's consequent.
+    fn index_consequent(&mut self, rule: &Rule) {
+        let var_name = &rule.consequent.variable;
+        let term_name = &rule.consequent.term;
+        let var = &self.outputs[var_name];
+        let term = var.term(term_name).expect("validated term exists");
+        let key = (var_name.clone(), term_name.clone());
+        if !self.term_grids.contains_key(&key) {
+            let (lo, hi) = var.range();
+            self.term_grids.insert(
+                key,
+                FuzzySet::from_membership(term.membership(), lo, hi, self.config.resolution),
+            );
+        }
+        let shape = match *term.membership() {
+            MembershipFunction::RightShoulder { a, b } => Some((a, b)),
+            _ => None,
+        };
+        let entry = self.ramps.entry(var_name.clone()).or_insert(shape);
+        if *entry != shape {
+            *entry = None;
+        }
     }
 
     /// Parse and add a single rule from DSL text.
@@ -223,12 +267,11 @@ impl Engine {
                 reason: "input variable used in a rule consequent".into(),
             });
         }
-        let out = self
-            .outputs
-            .get(&rule.consequent.variable)
-            .ok_or_else(|| FuzzyError::UnknownVariable {
+        let out = self.outputs.get(&rule.consequent.variable).ok_or_else(|| {
+            FuzzyError::UnknownVariable {
                 name: rule.consequent.variable.clone(),
-            })?;
+            }
+        })?;
         if out.term(&rule.consequent.term).is_none() {
             return Err(FuzzyError::UnknownTerm {
                 variable: rule.consequent.variable.clone(),
@@ -245,22 +288,45 @@ impl Engine {
     /// crisp value per *declared* output variable (variables no rule fired
     /// for defuzzify to the left edge of their universe, i.e. 0 for
     /// applicability outputs).
+    ///
+    /// When every output is a single-ramp `RightShoulder` consequent and the
+    /// configuration is the paper's (max–min inference, leftmost-max
+    /// defuzzification), the crisp values are computed in closed form — the
+    /// leftmost maximum of a ramp `(a, b)` clipped at height `H > 0` is
+    /// exactly `a + H·(b − a)` — so no fuzzy set is sampled, clipped or
+    /// scanned at all, and the results are exact rather than grid-quantized.
     pub fn run<'a, M>(&self, measurements: M) -> Result<Outputs, FuzzyError>
     where
         M: IntoIterator<Item = (&'a str, f64)>,
     {
-        let detailed = self.run_detailed(measurements)?;
-        Ok(detailed.outputs)
+        let grades = self.fuzzify(measurements)?;
+        if self.analytic_eligible() {
+            return self.run_analytic(&grades);
+        }
+        Ok(self.run_detailed_from_grades(&grades)?.outputs)
     }
 
     /// Like [`Engine::run`], but also returns the aggregated fuzzy sets and
     /// rule truths — used by the AutoGlobe controller console to explain
-    /// decisions to the administrator.
+    /// decisions to the administrator. Always takes the sampled-grid path,
+    /// since the aggregated sets themselves are the point.
     pub fn run_detailed<'a, M>(&self, measurements: M) -> Result<DetailedOutputs, FuzzyError>
     where
         M: IntoIterator<Item = (&'a str, f64)>,
     {
-        // 1. Fuzzification of every supplied measurement.
+        let grades = self.fuzzify(measurements)?;
+        self.run_detailed_from_grades(&grades)
+    }
+
+    /// Fuzzification of every supplied measurement, plus the completeness
+    /// check that every rule-referenced input was measured.
+    fn fuzzify<'a, M>(
+        &self,
+        measurements: M,
+    ) -> Result<HashMap<(String, String), Truth>, FuzzyError>
+    where
+        M: IntoIterator<Item = (&'a str, f64)>,
+    {
         let mut grades: HashMap<(String, String), Truth> = HashMap::new();
         let mut measured: HashMap<&str, f64> = HashMap::new();
         for (name, value) in measurements {
@@ -273,7 +339,6 @@ impl Engine {
                 grades.insert((name.to_string(), term.to_string()), grade);
             }
         }
-        // Every input a rule references must have been measured.
         for var_name in self.rules.input_variables() {
             if !measured.contains_key(var_name) {
                 return Err(FuzzyError::MissingMeasurement {
@@ -281,13 +346,64 @@ impl Engine {
                 });
             }
         }
+        Ok(grades)
+    }
 
-        // 2. + 3. Inference.
+    /// True when [`Engine::run`] may use the closed-form ramp path: the
+    /// paper's inference/defuzzification pair, and every rule-targeted output
+    /// admits the single-ramp analysis.
+    fn analytic_eligible(&self) -> bool {
+        self.config.inference == InferenceMethod::MaxMin
+            && self.config.defuzzifier == Defuzzifier::LeftmostMax
+            && self.ramps.values().all(Option::is_some)
+    }
+
+    /// Closed-form cycle: per output, the aggregated clipped-ramp union's
+    /// leftmost maximum is determined by the strongest weighted firing alone.
+    fn run_analytic(
+        &self,
+        grades: &HashMap<(String, String), Truth>,
+    ) -> Result<Outputs, FuzzyError> {
+        let mut heights: HashMap<&str, Truth> = HashMap::with_capacity(self.ramps.len());
+        for rule in self.rules.rules() {
+            let truth = rule.antecedent.eval(&mut |variable: &str, term: &str| {
+                grades
+                    .get(&(variable.to_string(), term.to_string()))
+                    .copied()
+                    .ok_or_else(|| FuzzyError::UnknownVariable {
+                        name: format!("{variable} IS {term}"),
+                    })
+            })? * rule.weight;
+            let entry = heights
+                .entry(rule.consequent.variable.as_str())
+                .or_insert(0.0);
+            if truth > *entry {
+                *entry = truth;
+            }
+        }
+        let mut values = HashMap::with_capacity(self.outputs.len());
+        for (name, var) in &self.outputs {
+            let (lo, hi) = var.range();
+            let crisp = match (heights.get(name.as_str()), self.ramps.get(name)) {
+                (Some(&h), Some(&Some((a, b)))) if h > 0.0 => (a + h * (b - a)).clamp(lo, hi),
+                _ => lo,
+            };
+            values.insert(name.clone(), crisp);
+        }
+        Ok(Outputs { values })
+    }
+
+    fn run_detailed_from_grades(
+        &self,
+        grades: &HashMap<(String, String), Truth>,
+    ) -> Result<DetailedOutputs, FuzzyError> {
+        // 2. + 3. Inference over the precomputed consequent grids.
         let cfg = InferenceConfig {
             method: self.config.inference,
             resolution: self.config.resolution,
         };
-        let mut results = infer(&self.rules, &grades, &self.outputs, cfg)?;
+        let mut results =
+            infer_with_grids(&self.rules, grades, &self.outputs, &self.term_grids, cfg)?;
 
         // 4. Defuzzification — every declared output gets a crisp value.
         let mut values = HashMap::with_capacity(self.outputs.len());
@@ -383,15 +499,22 @@ mod tests {
     #[test]
     fn end_to_end_scale_up_preferred_on_weak_host() {
         let e = paper_engine();
-        let out = e.run([("cpuLoad", 0.9), ("performanceIndex", 1.0)]).unwrap();
-        assert!(out["scaleUp"] > 0.7, "weak host → scale-up strongly applicable");
+        let out = e
+            .run([("cpuLoad", 0.9), ("performanceIndex", 1.0)])
+            .unwrap();
+        assert!(
+            out["scaleUp"] > 0.7,
+            "weak host → scale-up strongly applicable"
+        );
         assert_eq!(out["scaleOut"], 0.0, "weak host → no scale-out");
     }
 
     #[test]
     fn end_to_end_scale_out_preferred_on_strong_host() {
         let e = paper_engine();
-        let out = e.run([("cpuLoad", 0.9), ("performanceIndex", 9.0)]).unwrap();
+        let out = e
+            .run([("cpuLoad", 0.9), ("performanceIndex", 9.0)])
+            .unwrap();
         assert!(out["scaleOut"] > 0.7, "strong host → scale-out");
         assert_eq!(out["scaleUp"], 0.0);
     }
@@ -399,19 +522,103 @@ mod tests {
     #[test]
     fn mixed_host_produces_paper_ordering() {
         // perf index 5.8: μ_medium = 0.6, μ_high = 0.4 → scaleUp 0.6, scaleOut 0.4.
+        // The closed-form ramp path makes these exact (up to floating-point
+        // rounding in the membership grades), not grid-quantized.
         let e = paper_engine();
-        let out = e.run([("cpuLoad", 0.9), ("performanceIndex", 5.8)]).unwrap();
-        assert!((out["scaleUp"] - 0.6).abs() < 2e-3);
-        assert!((out["scaleOut"] - 0.4).abs() < 2e-3);
+        let out = e
+            .run([("cpuLoad", 0.9), ("performanceIndex", 5.8)])
+            .unwrap();
+        assert!((out["scaleUp"] - 0.6).abs() < 1e-9);
+        assert!((out["scaleOut"] - 0.4).abs() < 1e-9);
         let ranked = out.ranked();
         assert_eq!(ranked[0].0, "scaleUp");
         assert_eq!(ranked[1].0, "scaleOut");
     }
 
     #[test]
+    fn analytic_path_matches_sampled_path_on_an_input_sweep() {
+        // `run` (closed form for ramp outputs) and `run_detailed` (sampled
+        // grids) must agree to within one grid step everywhere.
+        let e = paper_engine();
+        let step = 1.0 / (DEFAULT_RESOLUTION - 1) as f64;
+        for cpu in 0..=20 {
+            for perf in 0..=20 {
+                let m = [
+                    ("cpuLoad", cpu as f64 / 20.0),
+                    ("performanceIndex", perf as f64 / 2.0),
+                ];
+                let fast = e.run(m).unwrap();
+                let sampled = e.run_detailed(m).unwrap().outputs;
+                for (name, value) in fast.iter() {
+                    assert!(
+                        (value - sampled[name]).abs() <= step + 1e-12,
+                        "{name} at cpu {cpu} perf {perf}: analytic {value} vs sampled {}",
+                        sampled[name]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_ramp_outputs_fall_back_to_the_sampled_path() {
+        // A triangle consequent is not analytically tractable; `run` must
+        // transparently produce the sampled result.
+        let mut e = Engine::new();
+        e.add_input(load_variable("x"));
+        e.add_output(
+            LinguisticVariable::builder("y")
+                .range(0.0, 1.0)
+                .term("mid", MembershipFunction::triangle(0.2, 0.5, 0.8))
+                .build()
+                .unwrap(),
+        );
+        e.add_rule_str("IF x IS high THEN y IS mid").unwrap();
+        let out = e.run([("x", 1.0)]).unwrap();
+        let detailed = e.run_detailed([("x", 1.0)]).unwrap();
+        assert_eq!(out["y"], detailed.outputs["y"]);
+        // Fully fired triangle: leftmost max at its peak.
+        assert!((out["y"] - 0.5).abs() < 2e-3);
+    }
+
+    #[test]
+    fn ablation_configs_fall_back_to_the_sampled_path() {
+        // Centroid defuzzification cannot use the leftmost-max closed form.
+        let mut e = paper_engine();
+        e.set_config(EngineConfig {
+            defuzzifier: Defuzzifier::Centroid,
+            ..EngineConfig::default()
+        });
+        let m = [("cpuLoad", 0.9), ("performanceIndex", 5.8)];
+        let out = e.run(m).unwrap();
+        let detailed = e.run_detailed(m).unwrap();
+        assert_eq!(out["scaleUp"], detailed.outputs["scaleUp"]);
+        // Centroid of a clipped ramp sits right of the clip height.
+        assert!(out["scaleUp"] > 0.6);
+    }
+
+    #[test]
+    fn set_config_resamples_term_grids() {
+        // Changing the resolution after rules were added must not leave
+        // stale grids behind (union would panic on mismatched discretization).
+        let mut e = paper_engine();
+        e.set_config(EngineConfig {
+            resolution: 51,
+            defuzzifier: Defuzzifier::MeanOfMaxima,
+            ..EngineConfig::default()
+        });
+        let out = e
+            .run([("cpuLoad", 0.9), ("performanceIndex", 1.0)])
+            .unwrap();
+        assert!(out["scaleUp"] > 0.7);
+    }
+
+    #[test]
     fn unfired_outputs_defuzzify_to_zero() {
         let e = paper_engine();
-        let out = e.run([("cpuLoad", 0.1), ("performanceIndex", 5.0)]).unwrap();
+        let out = e
+            .run([("cpuLoad", 0.1), ("performanceIndex", 5.0)])
+            .unwrap();
         assert_eq!(out["scaleUp"], 0.0);
         assert_eq!(out["scaleOut"], 0.0);
         assert_eq!(out.len(), 2);
@@ -437,10 +644,18 @@ mod tests {
     #[test]
     fn rules_referencing_unknown_entities_are_rejected_at_add_time() {
         let mut e = paper_engine();
-        assert!(e.add_rule_str("IF bogus IS high THEN scaleUp IS applicable").is_err());
-        assert!(e.add_rule_str("IF cpuLoad IS gigantic THEN scaleUp IS applicable").is_err());
-        assert!(e.add_rule_str("IF cpuLoad IS high THEN bogus IS applicable").is_err());
-        assert!(e.add_rule_str("IF cpuLoad IS high THEN scaleUp IS bogus").is_err());
+        assert!(e
+            .add_rule_str("IF bogus IS high THEN scaleUp IS applicable")
+            .is_err());
+        assert!(e
+            .add_rule_str("IF cpuLoad IS gigantic THEN scaleUp IS applicable")
+            .is_err());
+        assert!(e
+            .add_rule_str("IF cpuLoad IS high THEN bogus IS applicable")
+            .is_err());
+        assert!(e
+            .add_rule_str("IF cpuLoad IS high THEN scaleUp IS bogus")
+            .is_err());
     }
 
     #[test]
@@ -462,8 +677,12 @@ mod tests {
     fn duplicate_variables_are_rejected() {
         let mut e = paper_engine();
         assert!(e.try_add_input(load_variable("cpuLoad")).is_err());
-        assert!(e.try_add_output(LinguisticVariable::applicability("scaleUp")).is_err());
-        assert!(e.try_add_output(LinguisticVariable::applicability("cpuLoad")).is_err());
+        assert!(e
+            .try_add_output(LinguisticVariable::applicability("scaleUp"))
+            .is_err());
+        assert!(e
+            .try_add_output(LinguisticVariable::applicability("cpuLoad"))
+            .is_err());
     }
 
     #[test]

@@ -75,20 +75,47 @@ pub fn infer(
     outputs: &HashMap<String, LinguisticVariable>,
     config: InferenceConfig,
 ) -> Result<HashMap<String, InferenceResult>, FuzzyError> {
+    infer_impl(rules, grades, outputs, None, config)
+}
+
+/// Like [`infer`], but consequent term sets come from `grids` — sampled once
+/// per `(output variable, term)` pair ahead of time — instead of being
+/// re-sampled from the membership function on every call. The
+/// [`crate::Engine`] maintains such a grid cache keyed by exactly these
+/// pairs; grids must match `config.resolution`.
+pub fn infer_with_grids(
+    rules: &RuleBase,
+    grades: &HashMap<(String, String), Truth>,
+    outputs: &HashMap<String, LinguisticVariable>,
+    grids: &HashMap<(String, String), FuzzySet>,
+    config: InferenceConfig,
+) -> Result<HashMap<String, InferenceResult>, FuzzyError> {
+    infer_impl(rules, grades, outputs, Some(grids), config)
+}
+
+fn infer_impl(
+    rules: &RuleBase,
+    grades: &HashMap<(String, String), Truth>,
+    outputs: &HashMap<String, LinguisticVariable>,
+    grids: Option<&HashMap<(String, String), FuzzySet>>,
+    config: InferenceConfig,
+) -> Result<HashMap<String, InferenceResult>, FuzzyError> {
     let mut results: HashMap<String, InferenceResult> = HashMap::new();
 
     for rule in rules.rules() {
-        let output_var = outputs
-            .get(&rule.consequent.variable)
-            .ok_or_else(|| FuzzyError::UnknownVariable {
-                name: rule.consequent.variable.clone(),
-            })?;
-        let term = output_var
-            .term(&rule.consequent.term)
-            .ok_or_else(|| FuzzyError::UnknownTerm {
-                variable: rule.consequent.variable.clone(),
-                term: rule.consequent.term.clone(),
-            })?;
+        let output_var =
+            outputs
+                .get(&rule.consequent.variable)
+                .ok_or_else(|| FuzzyError::UnknownVariable {
+                    name: rule.consequent.variable.clone(),
+                })?;
+        let term =
+            output_var
+                .term(&rule.consequent.term)
+                .ok_or_else(|| FuzzyError::UnknownTerm {
+                    variable: rule.consequent.variable.clone(),
+                    term: rule.consequent.term.clone(),
+                })?;
 
         let truth = rule.antecedent.eval(&mut |variable: &str, term: &str| {
             grades
@@ -109,12 +136,28 @@ pub fn infer(
         entry.rule_truths.push(truth);
 
         if truth > 0.0 {
-            let mut clipped = FuzzySet::from_membership(term.membership(), lo, hi, config.resolution);
-            match config.method {
-                InferenceMethod::MaxMin => clipped.clip(truth),
-                InferenceMethod::MaxProduct => clipped.scale(truth),
+            let key = (
+                rule.consequent.variable.clone(),
+                rule.consequent.term.clone(),
+            );
+            match grids.and_then(|g| g.get(&key)) {
+                // Fast path: clip/scale and union fused over the shared grid,
+                // no per-rule set materialization.
+                Some(grid) => match config.method {
+                    InferenceMethod::MaxMin => entry.set.union_clipped(grid, truth),
+                    InferenceMethod::MaxProduct => entry.set.union_scaled(grid, truth),
+                },
+                // Legacy path: sample the membership function on the spot.
+                None => {
+                    let mut clipped =
+                        FuzzySet::from_membership(term.membership(), lo, hi, config.resolution);
+                    match config.method {
+                        InferenceMethod::MaxMin => clipped.clip(truth),
+                        InferenceMethod::MaxProduct => clipped.scale(truth),
+                    }
+                    entry.set.union_assign(&clipped);
+                }
             }
-            entry.set.union_assign(&clipped);
         }
     }
 
@@ -169,7 +212,10 @@ mod tests {
         let results = infer(&rules, &grades, &outputs, InferenceConfig::default()).unwrap();
 
         let up = &results["scaleUp"];
-        assert!((up.set.height() - 0.6).abs() < 1e-9, "figure 5: clipped at 0.6");
+        assert!(
+            (up.set.height() - 0.6).abs() < 1e-9,
+            "figure 5: clipped at 0.6"
+        );
         assert_eq!(up.rule_truths.len(), 1);
         assert!((up.rule_truths[0] - 0.6).abs() < 1e-12);
 
@@ -231,8 +277,7 @@ mod tests {
 
     #[test]
     fn rule_weight_attenuates_truth() {
-        let rules =
-            parse_rules("IF a IS t THEN o IS applicable WITH 0.5").unwrap();
+        let rules = parse_rules("IF a IS t THEN o IS applicable WITH 0.5").unwrap();
         let mut grades = HashMap::new();
         grades.insert(("a".to_string(), "t".to_string()), 0.8);
         let mut outputs = HashMap::new();
@@ -264,6 +309,37 @@ mod tests {
             infer(&rules, &grades, &outputs, InferenceConfig::default()),
             Err(FuzzyError::UnknownTerm { .. })
         ));
+    }
+
+    #[test]
+    fn precomputed_grids_reproduce_the_sampling_path_exactly() {
+        // `infer_with_grids` over grids sampled once must be bit-identical to
+        // `infer` re-sampling the membership functions per call, for both
+        // inference methods.
+        let (rules, grades, outputs) = paper_setup();
+        let mut grids = HashMap::new();
+        for (name, var) in &outputs {
+            let (lo, hi) = var.range();
+            for term in var.terms() {
+                grids.insert(
+                    (name.clone(), term.name().to_string()),
+                    FuzzySet::from_membership(term.membership(), lo, hi, DEFAULT_RESOLUTION),
+                );
+            }
+        }
+        for method in [InferenceMethod::MaxMin, InferenceMethod::MaxProduct] {
+            let cfg = InferenceConfig {
+                method,
+                ..Default::default()
+            };
+            let fresh = infer(&rules, &grades, &outputs, cfg).unwrap();
+            let cached = infer_with_grids(&rules, &grades, &outputs, &grids, cfg).unwrap();
+            assert_eq!(fresh.len(), cached.len());
+            for (name, r) in &fresh {
+                assert_eq!(r.rule_truths, cached[name].rule_truths);
+                assert_eq!(r.set, cached[name].set, "{name} under {method:?}");
+            }
+        }
     }
 
     #[test]

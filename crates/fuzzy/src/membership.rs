@@ -77,7 +77,9 @@ impl MembershipFunction {
         }
         if !(a <= b && b <= c && c <= d) {
             return Err(FuzzyError::InvalidMembership {
-                reason: format!("trapezoid knots must satisfy a ≤ b ≤ c ≤ d, got ({a}, {b}, {c}, {d})"),
+                reason: format!(
+                    "trapezoid knots must satisfy a ≤ b ≤ c ≤ d, got ({a}, {b}, {c}, {d})"
+                ),
             });
         }
         Ok(MembershipFunction::Trapezoid { a, b, c, d })
@@ -214,7 +216,9 @@ impl MembershipFunction {
     pub fn support(&self) -> Option<(f64, f64)> {
         match *self {
             MembershipFunction::Trapezoid { a, d, .. } => Some((a, d)),
-            MembershipFunction::Singleton { at, tolerance } => Some((at - tolerance, at + tolerance)),
+            MembershipFunction::Singleton { at, tolerance } => {
+                Some((at - tolerance, at + tolerance))
+            }
             MembershipFunction::Piecewise { ref knots } => {
                 Some((knots[0].0, knots[knots.len() - 1].0))
             }

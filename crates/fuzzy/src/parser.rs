@@ -65,12 +65,18 @@ fn lex(input: &str) -> Result<Vec<Spanned>, FuzzyError> {
             continue;
         }
         if c == '(' {
-            toks.push(Spanned { tok: Tok::LParen, pos: i });
+            toks.push(Spanned {
+                tok: Tok::LParen,
+                pos: i,
+            });
             i += 1;
             continue;
         }
         if c == ')' {
-            toks.push(Spanned { tok: Tok::RParen, pos: i });
+            toks.push(Spanned {
+                tok: Tok::RParen,
+                pos: i,
+            });
             i += 1;
             continue;
         }
@@ -84,7 +90,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>, FuzzyError> {
                 position: start,
                 message: format!("invalid number literal `{text}`"),
             })?;
-            toks.push(Spanned { tok: Tok::Number(value), pos: start });
+            toks.push(Spanned {
+                tok: Tok::Number(value),
+                pos: start,
+            });
             continue;
         }
         if c.is_ascii_alphabetic() || c == '_' {
@@ -381,7 +390,8 @@ mod tests {
 
     #[test]
     fn parse_rules_reports_garbage_between_rules() {
-        let err = parse_rules("IF a IS x THEN o IS applicable garbage IF b IS y THEN o IS applicable");
+        let err =
+            parse_rules("IF a IS x THEN o IS applicable garbage IF b IS y THEN o IS applicable");
         assert!(err.is_err());
     }
 

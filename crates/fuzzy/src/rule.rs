@@ -142,7 +142,11 @@ pub struct Rule {
 
 impl Rule {
     /// Create a rule with weight 1.0.
-    pub fn new(antecedent: Antecedent, variable: impl Into<String>, term: impl Into<String>) -> Self {
+    pub fn new(
+        antecedent: Antecedent,
+        variable: impl Into<String>,
+        term: impl Into<String>,
+    ) -> Self {
         Rule {
             antecedent,
             consequent: Consequent {
@@ -277,7 +281,8 @@ mod tests {
         // IF cpuLoad IS high AND (perf IS low OR perf IS medium) with
         // μ_high(l)=0.8, μ_low(i)=0, μ_medium(i)=0.6 → min(0.8, max(0, 0.6)) = 0.6.
         let ant = Antecedent::is("cpuLoad", "high").and(
-            Antecedent::is("performanceIndex", "low").or(Antecedent::is("performanceIndex", "medium")),
+            Antecedent::is("performanceIndex", "low")
+                .or(Antecedent::is("performanceIndex", "medium")),
         );
         let table = [
             ("cpuLoad", "high", 0.8),
@@ -360,11 +365,8 @@ mod tests {
 
     #[test]
     fn extend_from_layers_rule_bases() {
-        let mut base = RuleBase::from_rules(vec![Rule::new(
-            Antecedent::is("a", "t"),
-            "o",
-            "applicable",
-        )]);
+        let mut base =
+            RuleBase::from_rules(vec![Rule::new(Antecedent::is("a", "t"), "o", "applicable")]);
         let extra: RuleBase = vec![Rule::new(Antecedent::is("b", "t"), "o", "applicable")]
             .into_iter()
             .collect();

@@ -105,6 +105,51 @@ impl FuzzySet {
         }
     }
 
+    /// Fused max–min inference step: `μ'(x) = max(μ(x), min(ν(x), height))`.
+    ///
+    /// Equivalent to cloning `other`, [`FuzzySet::clip`]ping the clone and
+    /// [`FuzzySet::union_assign`]ing it — but in one pass with no temporary
+    /// set, which keeps the engine's hot loop allocation-free when `other` is
+    /// a precomputed term grid shared across invocations.
+    ///
+    /// # Panics
+    /// Panics if the two sets differ in interval or resolution.
+    pub fn union_clipped(&mut self, other: &FuzzySet, height: Truth) {
+        assert_eq!(
+            (self.lo, self.hi, self.samples.len()),
+            (other.lo, other.hi, other.samples.len()),
+            "fuzzy union requires identically discretized sets"
+        );
+        let h = clamp01(height);
+        for (s, &o) in self.samples.iter_mut().zip(&other.samples) {
+            let clipped = if o > h { h } else { o };
+            if clipped > *s {
+                *s = clipped;
+            }
+        }
+    }
+
+    /// Fused max–product inference step: `μ'(x) = max(μ(x), ν(x) · factor)`.
+    ///
+    /// The scaling analogue of [`FuzzySet::union_clipped`].
+    ///
+    /// # Panics
+    /// Panics if the two sets differ in interval or resolution.
+    pub fn union_scaled(&mut self, other: &FuzzySet, factor: Truth) {
+        assert_eq!(
+            (self.lo, self.hi, self.samples.len()),
+            (other.lo, other.hi, other.samples.len()),
+            "fuzzy union requires identically discretized sets"
+        );
+        let f = clamp01(factor);
+        for (s, &o) in self.samples.iter_mut().zip(&other.samples) {
+            let scaled = o * f;
+            if scaled > *s {
+                *s = scaled;
+            }
+        }
+    }
+
     /// Fuzzy union in place: `μ'(x) = max(μ(x), ν(x))`.
     ///
     /// # Panics
@@ -155,12 +200,7 @@ mod tests {
     use super::*;
 
     fn ramp() -> FuzzySet {
-        FuzzySet::from_membership(
-            &MembershipFunction::right_shoulder(0.0, 1.0),
-            0.0,
-            1.0,
-            101,
-        )
+        FuzzySet::from_membership(&MembershipFunction::right_shoulder(0.0, 1.0), 0.0, 1.0, 101)
     }
 
     #[test]
@@ -205,17 +245,43 @@ mod tests {
     #[test]
     fn intersection_takes_pointwise_min() {
         let mut a = ramp();
-        let mut b = FuzzySet::from_membership(
-            &MembershipFunction::left_shoulder(0.0, 1.0),
-            0.0,
-            1.0,
-            101,
-        );
+        let mut b =
+            FuzzySet::from_membership(&MembershipFunction::left_shoulder(0.0, 1.0), 0.0, 1.0, 101);
         a.intersect_assign(&b);
         // Ramp ∧ anti-ramp peaks at 0.5 in the middle.
         assert!((a.height() - 0.5).abs() < 1e-2);
         b.clip(0.0);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn fused_union_clipped_matches_clone_clip_union() {
+        for h in [0.0, 0.25, 0.6, 1.0] {
+            let grid = ramp();
+            // Start from a non-empty aggregate so the pointwise max matters.
+            let mut fused = ramp();
+            fused.clip(0.1);
+            let mut fused2 = fused.clone();
+            fused.union_clipped(&grid, h);
+            let mut clipped = grid.clone();
+            clipped.clip(h);
+            fused2.union_assign(&clipped);
+            assert_eq!(fused, fused2, "clip height {h}");
+        }
+    }
+
+    #[test]
+    fn fused_union_scaled_matches_clone_scale_union() {
+        for f in [0.0, 0.25, 0.6, 1.0] {
+            let grid = ramp();
+            let mut fused = FuzzySet::empty(0.0, 1.0, 101);
+            let mut fused2 = fused.clone();
+            fused.union_scaled(&grid, f);
+            let mut scaled = grid.clone();
+            scaled.scale(f);
+            fused2.union_assign(&scaled);
+            assert_eq!(fused, fused2, "scale factor {f}");
+        }
     }
 
     #[test]

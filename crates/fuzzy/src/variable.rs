@@ -18,7 +18,10 @@ pub struct LinguisticTerm {
 impl LinguisticTerm {
     /// Create a term.
     pub fn new(name: impl Into<String>, mf: MembershipFunction) -> Self {
-        LinguisticTerm { name: name.into(), mf }
+        LinguisticTerm {
+            name: name.into(),
+            mf,
+        }
     }
 
     /// The term's name.
@@ -189,7 +192,10 @@ mod tests {
     #[test]
     fn builder_rejects_bad_universe_and_duplicates() {
         assert!(matches!(
-            LinguisticVariable::builder("x").range(1.0, 1.0).term("t", MembershipFunction::singleton(0.5, 0.0)).build(),
+            LinguisticVariable::builder("x")
+                .range(1.0, 1.0)
+                .term("t", MembershipFunction::singleton(0.5, 0.0))
+                .build(),
             Err(FuzzyError::InvalidVariable { .. })
         ));
         assert!(matches!(

@@ -1,143 +1,180 @@
-//! Property-based tests for the fuzzy engine's core invariants.
+//! Seeded property tests for the fuzzy engine's core invariants.
+//!
+//! These run a fixed number of deterministic cases per property (see
+//! `autoglobe_rng::check`) so the suite behaves identically on every
+//! machine and needs no network-fetched test framework.
 
 use autoglobe_fuzzy::{
-    parse_rule, Antecedent, Defuzzifier, Engine, FuzzySet, LinguisticVariable,
-    MembershipFunction, Rule,
+    parse_rule, Antecedent, Defuzzifier, Engine, FuzzySet, LinguisticVariable, MembershipFunction,
+    Rule,
 };
-use proptest::prelude::*;
+use autoglobe_rng::{check, Rng};
 
-/// Strategy: a valid trapezoid over [0, 1].
-fn trapezoid() -> impl Strategy<Value = MembershipFunction> {
-    proptest::collection::vec(0.0f64..=1.0, 4).prop_map(|mut v| {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        MembershipFunction::trapezoid(v[0], v[1], v[2], v[3])
-    })
+/// A valid trapezoid over [0, 1].
+fn trapezoid(rng: &mut Rng) -> MembershipFunction {
+    let mut v: Vec<f64> = (0..4).map(|_| rng.random_range(0.0..=1.0)).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    MembershipFunction::trapezoid(v[0], v[1], v[2], v[3])
 }
 
-/// Strategy: an arbitrary membership function over roughly [0, 1].
-fn membership() -> impl Strategy<Value = MembershipFunction> {
-    prop_oneof![
-        trapezoid(),
-        (0.0f64..=0.5, 0.5f64..=1.0).prop_map(|(b, c)| MembershipFunction::left_shoulder(b, c)),
-        (0.0f64..=0.5, 0.5f64..=1.0).prop_map(|(a, b)| MembershipFunction::right_shoulder(a, b)),
-        (0.0f64..=1.0, 0.0f64..=0.2).prop_map(|(at, tol)| MembershipFunction::singleton(at, tol)),
-    ]
-}
-
-/// Strategy: a random antecedent over variables v0..v2 with terms low/high.
-fn antecedent() -> impl Strategy<Value = Antecedent> {
-    let leaf = (0usize..3, prop_oneof![Just("low"), Just("high")])
-        .prop_map(|(i, t)| Antecedent::is(format!("v{i}"), t));
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-            inner.prop_map(|a| a.not()),
-        ]
-    })
-}
-
-proptest! {
-    /// μ(x) ∈ [0, 1] for every membership function and input.
-    #[test]
-    fn membership_grades_stay_in_unit_interval(mf in membership(), x in -2.0f64..=3.0) {
-        let g = mf.eval(x);
-        prop_assert!((0.0..=1.0).contains(&g), "μ({x}) = {g} out of range");
-    }
-
-    /// Trapezoids are non-decreasing up to the core and non-increasing after.
-    #[test]
-    fn trapezoid_is_unimodal(mf in trapezoid(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
-        if let MembershipFunction::Trapezoid { b: core_lo, c: core_hi, .. } = mf {
-            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            if hi <= core_lo {
-                prop_assert!(mf.eval(lo) <= mf.eval(hi) + 1e-12);
-            }
-            if lo >= core_hi {
-                prop_assert!(mf.eval(lo) + 1e-12 >= mf.eval(hi));
-            }
+/// An arbitrary membership function over roughly [0, 1].
+fn membership(rng: &mut Rng) -> MembershipFunction {
+    match rng.random_below(4) {
+        0 => trapezoid(rng),
+        1 => MembershipFunction::left_shoulder(
+            rng.random_range(0.0..=0.5),
+            rng.random_range(0.5..=1.0),
+        ),
+        2 => MembershipFunction::right_shoulder(
+            rng.random_range(0.0..=0.5),
+            rng.random_range(0.5..=1.0),
+        ),
+        _ => {
+            MembershipFunction::singleton(rng.random_range(0.0..=1.0), rng.random_range(0.0..=0.2))
         }
     }
+}
 
-    /// Antecedent truth stays within [0, 1] regardless of structure.
-    #[test]
-    fn antecedent_truth_in_unit_interval(
-        ant in antecedent(),
-        grades in proptest::collection::vec(0.0f64..=1.0, 6),
-    ) {
+/// A random antecedent over variables v0..v2 with terms low/high.
+fn antecedent(rng: &mut Rng, depth: usize) -> Antecedent {
+    let leaf = |rng: &mut Rng| {
+        let i = rng.random_below(3);
+        let t = *rng.choice(&["low", "high"]);
+        Antecedent::is(format!("v{i}"), t)
+    };
+    if depth == 0 || rng.random_below(3) == 0 {
+        return leaf(rng);
+    }
+    match rng.random_below(3) {
+        0 => antecedent(rng, depth - 1).and(antecedent(rng, depth - 1)),
+        1 => antecedent(rng, depth - 1).or(antecedent(rng, depth - 1)),
+        _ => antecedent(rng, depth - 1).not(),
+    }
+}
+
+#[test]
+fn membership_grades_stay_in_unit_interval() {
+    check::cases(512, |rng| {
+        let mf = membership(rng);
+        let x = rng.random_range(-2.0..=3.0);
+        let g = mf.eval(x);
+        assert!((0.0..=1.0).contains(&g), "μ({x}) = {g} out of range");
+    });
+}
+
+#[test]
+fn trapezoid_is_unimodal() {
+    check::cases(512, |rng| {
+        let mf = trapezoid(rng);
+        let (a, b) = (rng.random_range(0.0..=1.0), rng.random_range(0.0..=1.0));
+        if let MembershipFunction::Trapezoid {
+            b: core_lo,
+            c: core_hi,
+            ..
+        } = mf
+        {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            if hi <= core_lo {
+                assert!(mf.eval(lo) <= mf.eval(hi) + 1e-12);
+            }
+            if lo >= core_hi {
+                assert!(mf.eval(lo) + 1e-12 >= mf.eval(hi));
+            }
+        }
+    });
+}
+
+#[test]
+fn antecedent_truth_in_unit_interval() {
+    check::cases(512, |rng| {
+        let ant = antecedent(rng, 3);
+        let grades: Vec<f64> = (0..6).map(|_| rng.random_range(0.0..=1.0)).collect();
         let mut lookup = |v: &str, t: &str| {
             let vi: usize = v[1..].parse().unwrap();
             let ti = if t == "low" { 0 } else { 1 };
             Ok(grades[vi * 2 + ti])
         };
         let truth = ant.eval(&mut lookup).unwrap();
-        prop_assert!((0.0..=1.0).contains(&truth), "truth {truth} out of range");
-    }
+        assert!((0.0..=1.0).contains(&truth), "truth {truth} out of range");
+    });
+}
 
-    /// De Morgan: NOT (a AND b) == (NOT a) OR (NOT b) under min/max/1−x.
-    #[test]
-    fn de_morgan_holds(
-        ga in 0.0f64..=1.0,
-        gb in 0.0f64..=1.0,
-    ) {
+#[test]
+fn de_morgan_holds() {
+    check::cases(512, |rng| {
+        let ga = rng.random_range(0.0..=1.0);
+        let gb = rng.random_range(0.0..=1.0);
         let a = || Antecedent::is("a", "t");
         let b = || Antecedent::is("b", "t");
         let mut lookup = |v: &str, _t: &str| Ok(if v == "a" { ga } else { gb });
         let lhs = a().and(b()).not().eval(&mut lookup).unwrap();
         let rhs = a().not().or(b().not()).eval(&mut lookup).unwrap();
-        prop_assert!((lhs - rhs).abs() < 1e-12);
-    }
+        assert!((lhs - rhs).abs() < 1e-12);
+    });
+}
 
-    /// Clipping at h bounds the set height by h; union height is max of heights.
-    #[test]
-    fn clip_and_union_height_laws(
-        mf1 in membership(),
-        mf2 in membership(),
-        h1 in 0.0f64..=1.0,
-        h2 in 0.0f64..=1.0,
-    ) {
+#[test]
+fn clip_and_union_height_laws() {
+    check::cases(256, |rng| {
+        let mf1 = membership(rng);
+        let mf2 = membership(rng);
+        let h1 = rng.random_range(0.0..=1.0);
+        let h2 = rng.random_range(0.0..=1.0);
         let mut s1 = FuzzySet::from_membership(&mf1, 0.0, 1.0, 201);
         let mut s2 = FuzzySet::from_membership(&mf2, 0.0, 1.0, 201);
         s1.clip(h1);
         s2.clip(h2);
-        prop_assert!(s1.height() <= h1 + 1e-12);
-        prop_assert!(s2.height() <= h2 + 1e-12);
+        assert!(s1.height() <= h1 + 1e-12);
+        assert!(s2.height() <= h2 + 1e-12);
         let (h1a, h2a) = (s1.height(), s2.height());
         s1.union_assign(&s2);
-        prop_assert!((s1.height() - h1a.max(h2a)).abs() < 1e-12);
-    }
+        assert!((s1.height() - h1a.max(h2a)).abs() < 1e-12);
+    });
+}
 
-    /// For the applicability ramp, leftmost-max defuzzification returns the
-    /// clip height (the identity the paper's scoring relies on).
-    #[test]
-    fn leftmost_max_inverts_clip_on_ramp(h in 0.0f64..=1.0) {
+#[test]
+fn leftmost_max_inverts_clip_on_ramp() {
+    // For the applicability ramp, leftmost-max defuzzification returns the
+    // clip height exactly — the identity the paper's scoring relies on.
+    check::cases(256, |rng| {
+        let h = rng.random_range(0.0..=1.0);
         let mut s = FuzzySet::from_membership(
-            &MembershipFunction::right_shoulder(0.0, 1.0), 0.0, 1.0, 1001,
+            &MembershipFunction::right_shoulder(0.0, 1.0),
+            0.0,
+            1.0,
+            1001,
         );
         s.clip(h);
         let x = Defuzzifier::LeftmostMax.defuzzify(&s);
-        prop_assert!((x - h).abs() < 2e-3, "clip {h} defuzzified to {x}");
-    }
+        assert!((x - h).abs() < 2e-3, "clip {h} defuzzified to {x}");
+    });
+}
 
-    /// Every defuzzifier returns a value inside the universe.
-    #[test]
-    fn defuzzifiers_stay_in_universe(mf in membership(), h in 0.0f64..=1.0) {
+#[test]
+fn defuzzifiers_stay_in_universe() {
+    check::cases(256, |rng| {
+        let mf = membership(rng);
+        let h = rng.random_range(0.0..=1.0);
         let mut s = FuzzySet::from_membership(&mf, 0.0, 1.0, 301);
         s.clip(h);
-        for d in [Defuzzifier::LeftmostMax, Defuzzifier::MeanOfMaxima, Defuzzifier::Centroid] {
+        for d in [
+            Defuzzifier::LeftmostMax,
+            Defuzzifier::MeanOfMaxima,
+            Defuzzifier::Centroid,
+        ] {
             let x = d.defuzzify(&s);
-            prop_assert!((0.0..=1.0).contains(&x), "{d:?} returned {x}");
+            assert!((0.0..=1.0).contains(&x), "{d:?} returned {x}");
         }
-    }
+    });
+}
 
-    /// Engine outputs are monotone in rule weight: a higher weight can never
-    /// lower the crisp applicability.
-    #[test]
-    fn output_monotone_in_rule_weight(
-        w1 in 0.0f64..=1.0,
-        w2 in 0.0f64..=1.0,
-        load in 0.0f64..=1.0,
-    ) {
+#[test]
+fn output_monotone_in_rule_weight() {
+    // A higher rule weight can never lower the crisp applicability.
+    check::cases(128, |rng| {
+        let w1 = rng.random_range(0.0..=1.0);
+        let w2 = rng.random_range(0.0..=1.0);
+        let load = rng.random_range(0.0..=1.0);
         let (wlo, whi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
         let run = |w: f64| {
             let mut e = Engine::new();
@@ -149,63 +186,85 @@ proptest! {
             .unwrap();
             e.run([("cpuLoad", load)]).unwrap()["act"]
         };
-        prop_assert!(run(wlo) <= run(whi) + 2e-3);
-    }
+        assert!(run(wlo) <= run(whi) + 2e-3);
+    });
+}
 
-    /// The rule DSL round-trips: Display output reparses to the same AST.
-    #[test]
-    fn rule_display_reparses(ant in antecedent(), w in 0.0f64..=1.0) {
-        let rule = Rule::new(ant, "out", "applicable").with_weight((w * 100.0).round() / 100.0);
+#[test]
+fn rule_display_reparses() {
+    check::cases(256, |rng| {
+        let ant = antecedent(rng, 3);
+        let w = (rng.random_range(0.0..=1.0) * 100.0).round() / 100.0;
+        let rule = Rule::new(ant, "out", "applicable").with_weight(w);
         let text = rule.to_string();
         let reparsed = parse_rule(&text).unwrap();
-        prop_assert_eq!(rule.antecedent, reparsed.antecedent);
-        prop_assert_eq!(rule.consequent, reparsed.consequent);
-        prop_assert!((rule.weight - reparsed.weight).abs() < 1e-9);
-    }
+        assert_eq!(rule.antecedent, reparsed.antecedent);
+        assert_eq!(rule.consequent, reparsed.consequent);
+        assert!((rule.weight - reparsed.weight).abs() < 1e-9);
+    });
+}
 
-    /// Engine.run never produces values outside the output universe, for any
-    /// measured loads.
-    #[test]
-    fn engine_outputs_bounded(
-        l1 in -0.5f64..=1.5,
-        l2 in -0.5f64..=1.5,
-    ) {
+#[test]
+fn engine_outputs_bounded() {
+    check::cases(128, |rng| {
+        let l1 = rng.random_range(-0.5..=1.5);
+        let l2 = rng.random_range(-0.5..=1.5);
         let mut e = Engine::new();
         e.add_input(autoglobe_fuzzy::variable::load_variable("cpuLoad"));
         e.add_input(autoglobe_fuzzy::variable::load_variable("memLoad"));
         e.add_output(LinguisticVariable::applicability("act"));
-        e.add_rule_str("IF cpuLoad IS high OR memLoad IS high THEN act IS applicable").unwrap();
-        e.add_rule_str("IF cpuLoad IS low AND NOT memLoad IS medium THEN act IS applicable WITH 0.5").unwrap();
+        e.add_rule_str("IF cpuLoad IS high OR memLoad IS high THEN act IS applicable")
+            .unwrap();
+        e.add_rule_str(
+            "IF cpuLoad IS low AND NOT memLoad IS medium THEN act IS applicable WITH 0.5",
+        )
+        .unwrap();
         let out = e.run([("cpuLoad", l1), ("memLoad", l2)]).unwrap();
-        prop_assert!((0.0..=1.0).contains(&out["act"]));
-    }
+        assert!((0.0..=1.0).contains(&out["act"]));
+    });
 }
 
-proptest! {
-    /// The rule DSL parser never panics on arbitrary input.
-    #[test]
-    fn rule_parser_never_panics(input in ".{0,300}") {
+#[test]
+fn rule_parser_never_panics() {
+    check::cases(512, |rng| {
+        // Arbitrary (mostly printable) input of up to 300 chars.
+        let len = rng.random_below(300);
+        let input: String = (0..len)
+            .map(|_| char::from_u32(rng.random_int(1..=0x2FF) as u32).unwrap_or('?'))
+            .collect();
         let _ = autoglobe_fuzzy::parse_rule(&input);
         let _ = autoglobe_fuzzy::parse_rules(&input);
-    }
+    });
+}
 
-    /// Token soup built from valid keywords/identifiers never panics and,
-    /// when it parses, re-serializes to something that parses again.
-    #[test]
-    fn keyword_soup_round_trips_when_valid(
-        words in proptest::collection::vec(
-            proptest::sample::select(vec![
-                "IF", "THEN", "IS", "AND", "OR", "NOT", "WITH",
-                "cpuLoad", "high", "low", "scaleUp", "applicable",
-                "(", ")", "0.5",
-            ]),
-            1..24,
-        ),
-    ) {
-        let text = words.join(" ");
+#[test]
+fn keyword_soup_round_trips_when_valid() {
+    const WORDS: [&str; 15] = [
+        "IF",
+        "THEN",
+        "IS",
+        "AND",
+        "OR",
+        "NOT",
+        "WITH",
+        "cpuLoad",
+        "high",
+        "low",
+        "scaleUp",
+        "applicable",
+        "(",
+        ")",
+        "0.5",
+    ];
+    check::cases(2048, |rng| {
+        let n = 1 + rng.random_below(23);
+        let text = (0..n)
+            .map(|_| *rng.choice(&WORDS))
+            .collect::<Vec<_>>()
+            .join(" ");
         if let Ok(rule) = autoglobe_fuzzy::parse_rule(&text) {
             let reparsed = autoglobe_fuzzy::parse_rule(&rule.to_string()).unwrap();
-            prop_assert_eq!(rule, reparsed);
+            assert_eq!(rule, reparsed);
         }
-    }
+    });
 }

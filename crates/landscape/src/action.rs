@@ -218,7 +218,10 @@ mod tests {
         assert_eq!(ActionKind::ALL.len(), 9);
         // Variable names round-trip.
         for kind in ActionKind::ALL {
-            assert_eq!(ActionKind::from_variable_name(kind.variable_name()), Some(kind));
+            assert_eq!(
+                ActionKind::from_variable_name(kind.variable_name()),
+                Some(kind)
+            );
         }
         assert_eq!(ActionKind::from_variable_name("bogus"), None);
     }
@@ -249,7 +252,9 @@ mod tests {
         assert_eq!(a.target(), Some(ServerId::new(7)));
         assert_eq!(a.instance(), Some(InstanceId::new(3)));
 
-        let p = Action::IncreasePriority { service: ServiceId::new(1) };
+        let p = Action::IncreasePriority {
+            service: ServiceId::new(1),
+        };
         assert_eq!(p.target(), None);
         assert_eq!(p.instance(), None);
     }

@@ -227,13 +227,19 @@ impl Landscape {
     /// Number of running instances of `service` (the `instancesOfService`
     /// input variable of Table 1).
     pub fn instance_count_of(&self, service: ServiceId) -> usize {
-        self.instances.values().filter(|i| i.service == service).count()
+        self.instances
+            .values()
+            .filter(|i| i.service == service)
+            .count()
     }
 
     /// Number of instances on `server` (the `instancesOnServer` input
     /// variable of Tables 1 and 3).
     pub fn instance_count_on(&self, server: ServerId) -> usize {
-        self.instances.values().filter(|i| i.server == server).count()
+        self.instances
+            .values()
+            .filter(|i| i.server == server)
+            .count()
     }
 
     /// Total memory footprint of the instances on `server`, in MB.
@@ -258,7 +264,11 @@ impl Landscape {
     /// Mark a server failed or repaired. Marking a host failed does not
     /// remove its instances — the controller's failure handling restarts
     /// them elsewhere.
-    pub fn set_available(&mut self, server: ServerId, available: bool) -> Result<(), LandscapeError> {
+    pub fn set_available(
+        &mut self,
+        server: ServerId,
+        available: bool,
+    ) -> Result<(), LandscapeError> {
         self.server(server)?;
         self.available[server.index()] = available;
         Ok(())
@@ -393,7 +403,11 @@ impl Landscape {
         }
         // Exclusivity in both directions.
         let residents = self.instances_on(server);
-        if svc.exclusive && residents.iter().any(|i| self.instances[i].service != service) {
+        if svc.exclusive
+            && residents
+                .iter()
+                .any(|i| self.instances[i].service != service)
+        {
             return false;
         }
         for i in &residents {
@@ -449,7 +463,8 @@ mod tests {
             l.add_server(ServerSpec::fsc_bx600("A")),
             Err(LandscapeError::DuplicateServer { .. })
         ));
-        l.add_service(ServiceSpec::new("S", ServiceKind::Generic)).unwrap();
+        l.add_service(ServiceSpec::new("S", ServiceKind::Generic))
+            .unwrap();
         assert!(matches!(
             l.add_service(ServiceSpec::new("S", ServiceKind::Database)),
             Err(LandscapeError::DuplicateService { .. })
@@ -500,7 +515,10 @@ mod tests {
         let (mut l, fi, s1, s2) = small_landscape();
         let _i1 = l.start_instance(fi, s1).unwrap();
         let outcome = l
-            .apply(&Action::ScaleOut { service: fi, target: s2 })
+            .apply(&Action::ScaleOut {
+                service: fi,
+                target: s2,
+            })
             .unwrap();
         let ApplyOutcome::Started(new_id) = outcome else {
             panic!("expected Started, got {outcome:?}")
@@ -556,7 +574,10 @@ mod tests {
         let fat = l
             .add_service(ServiceSpec::new("fat", ServiceKind::Generic).with_memory(1500))
             .unwrap();
-        assert!(l.can_host(fat, s1), "2048 MB blade fits one 1500 MB instance");
+        assert!(
+            l.can_host(fat, s1),
+            "2048 MB blade fits one 1500 MB instance"
+        );
         l.start_instance(fat, s1).unwrap();
         assert!(!l.can_host(fat, s1), "no room for a second");
     }

@@ -107,11 +107,19 @@ impl fmt::Display for ConstraintViolation {
             ConstraintViolation::ActionNotAllowed { service, kind } => {
                 write!(f, "{service} does not allow {kind}")
             }
-            ConstraintViolation::MinInstances { service, min, current } => write!(
+            ConstraintViolation::MinInstances {
+                service,
+                min,
+                current,
+            } => write!(
                 f,
                 "{service} must keep at least {min} instances (has {current})"
             ),
-            ConstraintViolation::MaxInstances { service, max, current } => write!(
+            ConstraintViolation::MaxInstances {
+                service,
+                max,
+                current,
+            } => write!(
                 f,
                 "{service} may run at most {max} instances (has {current})"
             ),
@@ -127,14 +135,22 @@ impl fmt::Display for ConstraintViolation {
             ConstraintViolation::ExclusivityViolated { server } => {
                 write!(f, "exclusivity violated on {server}")
             }
-            ConstraintViolation::InsufficientMemory { server, needed_mb, free_mb } => write!(
+            ConstraintViolation::InsufficientMemory {
+                server,
+                needed_mb,
+                free_mb,
+            } => write!(
                 f,
                 "{server} has {free_mb} MB free but the instance needs {needed_mb} MB"
             ),
             ConstraintViolation::AlreadyOnTarget { instance, server } => {
                 write!(f, "{instance} already runs on {server}")
             }
-            ConstraintViolation::WrongPowerDirection { kind, from_index, to_index } => write!(
+            ConstraintViolation::WrongPowerDirection {
+                kind,
+                from_index,
+                to_index,
+            } => write!(
                 f,
                 "{kind} from index {from_index} to {to_index} goes the wrong direction"
             ),
@@ -155,11 +171,12 @@ impl std::error::Error for ConstraintViolation {}
 /// current state of `landscape`.
 pub fn check_action(landscape: &Landscape, action: &Action) -> Result<(), ConstraintViolation> {
     let service_id = service_of(landscape, action)?;
-    let service = landscape
-        .service(service_id)
-        .map_err(|e| ConstraintViolation::UnknownEntity {
-            description: e.to_string(),
-        })?;
+    let service =
+        landscape
+            .service(service_id)
+            .map_err(|e| ConstraintViolation::UnknownEntity {
+                description: e.to_string(),
+            })?;
     let kind = action.kind();
 
     if !service.allows(kind) {
@@ -172,10 +189,9 @@ pub fn check_action(landscape: &Landscape, action: &Action) -> Result<(), Constr
     let current = landscape.instance_count_of(service_id) as u32;
 
     match kind {
-        ActionKind::Start
-            if current != 0 => {
-                return Err(ConstraintViolation::WrongLifecyclePhase { kind, current });
-            }
+        ActionKind::Start if current != 0 => {
+            return Err(ConstraintViolation::WrongLifecyclePhase { kind, current });
+        }
         ActionKind::Stop => {
             if current != 1 {
                 return Err(ConstraintViolation::WrongLifecyclePhase { kind, current });
@@ -189,14 +205,13 @@ pub fn check_action(landscape: &Landscape, action: &Action) -> Result<(), Constr
                 });
             }
         }
-        ActionKind::ScaleIn
-            if current <= service.min_instances => {
-                return Err(ConstraintViolation::MinInstances {
-                    service: service_id,
-                    min: service.min_instances,
-                    current,
-                });
-            }
+        ActionKind::ScaleIn if current <= service.min_instances => {
+            return Err(ConstraintViolation::MinInstances {
+                service: service_id,
+                min: service.min_instances,
+                current,
+            });
+        }
         ActionKind::ScaleOut => {
             if let Some(max) = service.max_instances {
                 if current >= max {
@@ -250,7 +265,9 @@ pub fn check_action(landscape: &Landscape, action: &Action) -> Result<(), Constr
                 if inst.service != service_id {
                     if let Ok(other) = landscape.service(inst.service) {
                         if other.exclusive {
-                            return Err(ConstraintViolation::ExclusivityViolated { server: target });
+                            return Err(ConstraintViolation::ExclusivityViolated {
+                                server: target,
+                            });
                         }
                     }
                 }
@@ -271,11 +288,11 @@ pub fn check_action(landscape: &Landscape, action: &Action) -> Result<(), Constr
 
         // Move-family checks.
         if let Some(instance_id) = action.instance() {
-            let inst = landscape
-                .instance(instance_id)
-                .map_err(|e| ConstraintViolation::UnknownEntity {
+            let inst = landscape.instance(instance_id).map_err(|e| {
+                ConstraintViolation::UnknownEntity {
                     description: e.to_string(),
-                })?;
+                }
+            })?;
             if inst.server == target {
                 return Err(ConstraintViolation::AlreadyOnTarget {
                     instance: instance_id,
@@ -327,12 +344,14 @@ fn service_of(landscape: &Landscape, action: &Action) -> Result<ServiceId, Const
         | Action::ScaleIn { instance }
         | Action::ScaleUp { instance, .. }
         | Action::ScaleDown { instance, .. }
-        | Action::Move { instance, .. } => landscape
-            .instance(instance)
-            .map(|i| i.service)
-            .map_err(|e| ConstraintViolation::UnknownEntity {
-                description: e.to_string(),
-            }),
+        | Action::Move { instance, .. } => {
+            landscape
+                .instance(instance)
+                .map(|i| i.service)
+                .map_err(|e| ConstraintViolation::UnknownEntity {
+                    description: e.to_string(),
+                })
+        }
     }
 }
 
@@ -384,7 +403,14 @@ mod tests {
     fn disallowed_action_kind_is_rejected() {
         let mut f = fixture();
         let i = f.l.start_instance(f.db, f.dbserver).unwrap();
-        let err = check_action(&f.l, &Action::Move { instance: i, target: f.blade2 }).unwrap_err();
+        let err = check_action(
+            &f.l,
+            &Action::Move {
+                instance: i,
+                target: f.blade2,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, ConstraintViolation::ActionNotAllowed { .. }));
     }
 
@@ -395,7 +421,14 @@ mod tests {
         let _i2 = f.l.start_instance(f.fi, f.blade2).unwrap();
         // Exactly at the minimum of 2 → scale-in rejected.
         let err = check_action(&f.l, &Action::ScaleIn { instance: i1 }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::MinInstances { min: 2, current: 2, .. }));
+        assert!(matches!(
+            err,
+            ConstraintViolation::MinInstances {
+                min: 2,
+                current: 2,
+                ..
+            }
+        ));
         // One above the minimum → allowed.
         let _i3 = f.l.start_instance(f.fi, f.blade2).unwrap();
         assert!(check_action(&f.l, &Action::ScaleIn { instance: i1 }).is_ok());
@@ -409,10 +442,20 @@ mod tests {
         }
         let err = check_action(
             &f.l,
-            &Action::ScaleOut { service: f.fi, target: f.blade1 },
+            &Action::ScaleOut {
+                service: f.fi,
+                target: f.blade1,
+            },
         )
         .unwrap_err();
-        assert!(matches!(err, ConstraintViolation::MaxInstances { max: 4, current: 4, .. }));
+        assert!(matches!(
+            err,
+            ConstraintViolation::MaxInstances {
+                max: 4,
+                current: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -420,18 +463,34 @@ mod tests {
         let mut f = fixture();
         // Allow starting DB somewhere: need an action kind DB allows.
         // Rebuild DB to allow Start for the test.
-        let db2 = f
-            .l
-            .add_service(
+        let db2 =
+            f.l.add_service(
                 ServiceSpec::new("DB-BW", ServiceKind::Database)
                     .with_min_performance_index(5.0)
                     .with_instances(0, Some(2))
                     .with_allowed_actions([ActionKind::Start, ActionKind::ScaleOut]),
             )
             .unwrap();
-        let err = check_action(&f.l, &Action::Start { service: db2, target: f.blade2 }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::PerformanceIndexTooLow { .. }));
-        assert!(check_action(&f.l, &Action::Start { service: db2, target: f.dbserver }).is_ok());
+        let err = check_action(
+            &f.l,
+            &Action::Start {
+                service: db2,
+                target: f.blade2,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConstraintViolation::PerformanceIndexTooLow { .. }
+        ));
+        assert!(check_action(
+            &f.l,
+            &Action::Start {
+                service: db2,
+                target: f.dbserver
+            }
+        )
+        .is_ok());
     }
 
     #[test]
@@ -439,9 +498,8 @@ mod tests {
         let mut f = fixture();
         // FI instance occupies DBServer1 → exclusive DB can't start there.
         f.l.start_instance(f.fi, f.dbserver).unwrap();
-        let db2 = f
-            .l
-            .add_service(
+        let db2 =
+            f.l.add_service(
                 ServiceSpec::new("DB2", ServiceKind::Database)
                     .with_exclusive(true)
                     .with_min_performance_index(5.0)
@@ -449,8 +507,18 @@ mod tests {
                     .with_allowed_actions([ActionKind::Start]),
             )
             .unwrap();
-        let err = check_action(&f.l, &Action::Start { service: db2, target: f.dbserver }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::ExclusivityViolated { .. }));
+        let err = check_action(
+            &f.l,
+            &Action::Start {
+                service: db2,
+                target: f.dbserver,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConstraintViolation::ExclusivityViolated { .. }
+        ));
     }
 
     #[test]
@@ -459,18 +527,23 @@ mod tests {
         f.l.start_instance(f.db, f.dbserver).unwrap();
         let err = check_action(
             &f.l,
-            &Action::ScaleOut { service: f.fi, target: f.dbserver },
+            &Action::ScaleOut {
+                service: f.fi,
+                target: f.dbserver,
+            },
         )
         .unwrap_err();
-        assert!(matches!(err, ConstraintViolation::ExclusivityViolated { .. }));
+        assert!(matches!(
+            err,
+            ConstraintViolation::ExclusivityViolated { .. }
+        ));
     }
 
     #[test]
     fn memory_exhaustion_blocks_scale_out() {
         let mut f = fixture();
-        let fat = f
-            .l
-            .add_service(
+        let fat =
+            f.l.add_service(
                 ServiceSpec::new("fat", ServiceKind::Generic)
                     .with_memory(1200)
                     .with_instances(0, None),
@@ -478,15 +551,32 @@ mod tests {
             .unwrap();
         f.l.start_instance(fat, f.blade1).unwrap();
         // Blade1 has 2048 MB; 1200 used; another 1200 does not fit.
-        let err = check_action(&f.l, &Action::ScaleOut { service: fat, target: f.blade1 }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::InsufficientMemory { .. }));
+        let err = check_action(
+            &f.l,
+            &Action::ScaleOut {
+                service: fat,
+                target: f.blade1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConstraintViolation::InsufficientMemory { .. }
+        ));
     }
 
     #[test]
     fn move_to_same_host_is_rejected() {
         let mut f = fixture();
         let i = f.l.start_instance(f.fi, f.blade1).unwrap();
-        let err = check_action(&f.l, &Action::Move { instance: i, target: f.blade1 }).unwrap_err();
+        let err = check_action(
+            &f.l,
+            &Action::Move {
+                instance: i,
+                target: f.blade1,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, ConstraintViolation::AlreadyOnTarget { .. }));
     }
 
@@ -494,17 +584,49 @@ mod tests {
     fn scale_up_requires_strictly_more_power() {
         let mut f = fixture();
         let i = f.l.start_instance(f.fi, f.blade2).unwrap(); // index 2
-        // Down to index 1 is not an up.
-        let err =
-            check_action(&f.l, &Action::ScaleUp { instance: i, target: f.blade1 }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::WrongPowerDirection { .. }));
+                                                             // Down to index 1 is not an up.
+        let err = check_action(
+            &f.l,
+            &Action::ScaleUp {
+                instance: i,
+                target: f.blade1,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConstraintViolation::WrongPowerDirection { .. }
+        ));
         // Up to index 9 is.
-        assert!(check_action(&f.l, &Action::ScaleUp { instance: i, target: f.dbserver }).is_ok());
+        assert!(check_action(
+            &f.l,
+            &Action::ScaleUp {
+                instance: i,
+                target: f.dbserver
+            }
+        )
+        .is_ok());
         // Scale-down mirrored.
-        let err =
-            check_action(&f.l, &Action::ScaleDown { instance: i, target: f.dbserver }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::WrongPowerDirection { .. }));
-        assert!(check_action(&f.l, &Action::ScaleDown { instance: i, target: f.blade1 }).is_ok());
+        let err = check_action(
+            &f.l,
+            &Action::ScaleDown {
+                instance: i,
+                target: f.dbserver,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConstraintViolation::WrongPowerDirection { .. }
+        ));
+        assert!(check_action(
+            &f.l,
+            &Action::ScaleDown {
+                instance: i,
+                target: f.blade1
+            }
+        )
+        .is_ok());
     }
 
     #[test]
@@ -512,21 +634,39 @@ mod tests {
         let mut f = fixture();
         let svc = f
             .l
-            .add_service(
-                ServiceSpec::new("optional", ServiceKind::Generic).with_instances(0, None),
-            )
+            .add_service(ServiceSpec::new("optional", ServiceKind::Generic).with_instances(0, None))
             .unwrap();
         // Start valid with zero instances.
-        assert!(check_action(&f.l, &Action::Start { service: svc, target: f.blade1 }).is_ok());
+        assert!(check_action(
+            &f.l,
+            &Action::Start {
+                service: svc,
+                target: f.blade1
+            }
+        )
+        .is_ok());
         let i = f.l.start_instance(svc, f.blade1).unwrap();
         // Second start is a lifecycle error (that's a scale-out).
-        let err = check_action(&f.l, &Action::Start { service: svc, target: f.blade2 }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::WrongLifecyclePhase { .. }));
+        let err = check_action(
+            &f.l,
+            &Action::Start {
+                service: svc,
+                target: f.blade2,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ConstraintViolation::WrongLifecyclePhase { .. }
+        ));
         // Stop valid with exactly one instance and min_instances 0.
         assert!(check_action(&f.l, &Action::Stop { instance: i }).is_ok());
         let _i2 = f.l.start_instance(svc, f.blade2).unwrap();
         let err = check_action(&f.l, &Action::Stop { instance: i }).unwrap_err();
-        assert!(matches!(err, ConstraintViolation::WrongLifecyclePhase { .. }));
+        assert!(matches!(
+            err,
+            ConstraintViolation::WrongLifecyclePhase { .. }
+        ));
     }
 
     #[test]
@@ -534,7 +674,9 @@ mod tests {
         let f = fixture();
         let err = check_action(
             &f.l,
-            &Action::ScaleIn { instance: InstanceId::new(999) },
+            &Action::ScaleIn {
+                instance: InstanceId::new(999),
+            },
         )
         .unwrap_err();
         assert!(matches!(err, ConstraintViolation::UnknownEntity { .. }));
@@ -547,6 +689,9 @@ mod tests {
             min: 2,
             current: 2,
         };
-        assert_eq!(v.to_string(), "svc#0 must keep at least 2 instances (has 2)");
+        assert_eq!(
+            v.to_string(),
+            "svc#0 must keep at least 2 instances (has 2)"
+        );
     }
 }

@@ -75,7 +75,9 @@ impl fmt::Display for LandscapeError {
                 write!(f, "XML error at byte {position}: {message}")
             }
             LandscapeError::Schema { message } => write!(f, "landscape schema error: {message}"),
-            LandscapeError::InvalidSpec { message } => write!(f, "invalid specification: {message}"),
+            LandscapeError::InvalidSpec { message } => {
+                write!(f, "invalid specification: {message}")
+            }
         }
     }
 }
@@ -95,15 +97,24 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert_eq!(
-            LandscapeError::DuplicateServer { name: "Blade1".into() }.to_string(),
+            LandscapeError::DuplicateServer {
+                name: "Blade1".into()
+            }
+            .to_string(),
             "duplicate server `Blade1`"
         );
         assert_eq!(
-            LandscapeError::NoSuchName { kind: "server", name: "X".into() }.to_string(),
+            LandscapeError::NoSuchName {
+                kind: "server",
+                name: "X".into()
+            }
+            .to_string(),
             "no server named `X`"
         );
-        assert!(LandscapeError::UnknownInstance { id: InstanceId::new(7) }
-            .to_string()
-            .contains("inst#7"));
+        assert!(LandscapeError::UnknownInstance {
+            id: InstanceId::new(7)
+        }
+        .to_string()
+        .contains("inst#7"));
     }
 }

@@ -277,7 +277,9 @@ mod tests {
 
     #[test]
     fn validation_catches_inconsistencies() {
-        assert!(ServiceSpec::new("", ServiceKind::Generic).validate().is_err());
+        assert!(ServiceSpec::new("", ServiceKind::Generic)
+            .validate()
+            .is_err());
         assert!(ServiceSpec::new("x", ServiceKind::Generic)
             .with_instances(3, Some(2))
             .validate()

@@ -258,7 +258,11 @@ impl<'a> Cursor<'a> {
                     self.advance(1);
                     self.skip_whitespace();
                     let value = self.read_attribute_value()?;
-                    if element.attributes.insert(attr_name.clone(), value).is_some() {
+                    if element
+                        .attributes
+                        .insert(attr_name.clone(), value)
+                        .is_some()
+                    {
                         return Err(LandscapeError::Xml {
                             position: attr_start,
                             message: format!("duplicate attribute `{attr_name}`"),
@@ -279,7 +283,9 @@ impl<'a> Cursor<'a> {
                 let body_start = self.pos + 9;
                 match self.input[body_start..].find("]]>") {
                     Some(offset) => {
-                        element.text.push_str(&self.input[body_start..body_start + offset]);
+                        element
+                            .text
+                            .push_str(&self.input[body_start..body_start + offset]);
                         self.pos = body_start + offset + 3;
                     }
                     None => return Err(self.err("unterminated CDATA section")),
@@ -352,10 +358,11 @@ fn decode_entities(raw: &str, base: usize) -> Result<String, LandscapeError> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
-                let code = u32::from_str_radix(&entity[2..], 16).map_err(|_| LandscapeError::Xml {
-                    position: base + offset + amp,
-                    message: format!("invalid character reference `&{entity};`"),
-                })?;
+                let code =
+                    u32::from_str_radix(&entity[2..], 16).map_err(|_| LandscapeError::Xml {
+                        position: base + offset + amp,
+                        message: format!("invalid character reference `&{entity};`"),
+                    })?;
                 out.push(char::from_u32(code).ok_or(LandscapeError::Xml {
                     position: base + offset + amp,
                     message: format!("character reference `&{entity};` is not a char"),
@@ -429,7 +436,8 @@ mod tests {
 
     #[test]
     fn text_content_and_trimming() {
-        let doc = parse("<rules>\n  IF cpuLoad IS high THEN scaleOut IS applicable\n</rules>").unwrap();
+        let doc =
+            parse("<rules>\n  IF cpuLoad IS high THEN scaleOut IS applicable\n</rules>").unwrap();
         assert_eq!(
             doc.root.trimmed_text(),
             "IF cpuLoad IS high THEN scaleOut IS applicable"
@@ -438,7 +446,8 @@ mod tests {
 
     #[test]
     fn entities_decode_in_text_and_attributes() {
-        let doc = parse(r#"<a note="x &lt; y &amp; z">&quot;quoted&quot; &#65;&#x42;</a>"#).unwrap();
+        let doc =
+            parse(r#"<a note="x &lt; y &amp; z">&quot;quoted&quot; &#65;&#x42;</a>"#).unwrap();
         assert_eq!(doc.root.attr("note"), Some("x < y & z"));
         assert_eq!(doc.root.trimmed_text(), "\"quoted\" AB");
     }

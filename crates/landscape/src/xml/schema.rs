@@ -75,7 +75,10 @@ impl LandscapeDescription {
         let doc = parse(input)?;
         if doc.root.name != "landscape" {
             return Err(LandscapeError::Schema {
-                message: format!("root element must be <landscape>, found <{}>", doc.root.name),
+                message: format!(
+                    "root element must be <landscape>, found <{}>",
+                    doc.root.name
+                ),
             });
         }
         let mut description = LandscapeDescription::default();
@@ -163,10 +166,7 @@ impl LandscapeDescription {
             if let Some(sub) = &s.subsystem {
                 out.push_str(&format!(" subsystem=\"{}\"", super::escape(sub)));
             }
-            out.push_str(&format!(
-                " minInstances=\"{}\"",
-                s.min_instances
-            ));
+            out.push_str(&format!(" minInstances=\"{}\"", s.min_instances));
             if let Some(max) = s.max_instances {
                 out.push_str(&format!(" maxInstances=\"{max}\""));
             }
@@ -217,11 +217,10 @@ impl LandscapeDescription {
 
 fn parse_server(el: &Element) -> Result<ServerSpec, LandscapeError> {
     let name = el.require_attr("name")?;
-    let performance_index = parse_f64(el, "performanceIndex")?.ok_or_else(|| {
-        LandscapeError::Schema {
+    let performance_index =
+        parse_f64(el, "performanceIndex")?.ok_or_else(|| LandscapeError::Schema {
             message: format!("<server name=\"{name}\"> needs performanceIndex"),
-        }
-    })?;
+        })?;
     let mut spec = ServerSpec::new(name, performance_index);
     if let Some(cat) = el.attr("category") {
         spec.category = cat.to_string();
@@ -296,11 +295,10 @@ fn parse_service(el: &Element) -> Result<ServiceSpec, LandscapeError> {
     if let Some(actions_el) = el.child("allowedActions") {
         let mut actions = Vec::new();
         for word in actions_el.trimmed_text().split_whitespace() {
-            let kind = ActionKind::from_variable_name(word).ok_or_else(|| {
-                LandscapeError::Schema {
+            let kind =
+                ActionKind::from_variable_name(word).ok_or_else(|| LandscapeError::Schema {
                     message: format!("unknown action `{word}` in <allowedActions>"),
-                }
-            })?;
+                })?;
             actions.push(kind);
         }
         spec = spec.with_allowed_actions(actions);

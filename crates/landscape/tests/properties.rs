@@ -1,85 +1,81 @@
-//! Property-based tests: XML round-trips and allocation-table invariants.
+//! Seeded property tests: XML round-trips and allocation-table invariants.
 
 use autoglobe_landscape::xml::LandscapeDescription;
-use autoglobe_landscape::{
-    Action, ActionKind, Landscape, ServerSpec, ServiceKind, ServiceSpec,
-};
-use proptest::prelude::*;
+use autoglobe_landscape::{Action, ActionKind, Landscape, ServerSpec, ServiceKind, ServiceSpec};
+use autoglobe_rng::{check, Rng};
 
-fn server_strategy(n: usize) -> impl Strategy<Value = ServerSpec> {
-    (
-        Just(n),
-        1.0f64..16.0,
-        1u32..=16,
-        500u32..4000,
-        1024u64..65536,
-    )
-        .prop_map(|(i, idx, cpus, clock, mem)| {
-            ServerSpec::new(format!("server{i}"), (idx * 10.0).round() / 10.0)
-                .with_cpus(cpus, clock, 512)
-                .with_memory(mem, mem * 2)
-        })
+fn random_server(rng: &mut Rng, i: usize) -> ServerSpec {
+    let idx = rng.random_range(1.0..=16.0);
+    let cpus = rng.random_int(1..=16) as u32;
+    let clock = rng.random_int(500..=3999) as u32;
+    let mem = rng.random_int(1024..=65_535);
+    ServerSpec::new(format!("server{i}"), (idx * 10.0).round() / 10.0)
+        .with_cpus(cpus, clock, 512)
+        .with_memory(mem, mem * 2)
 }
 
-fn service_strategy(n: usize) -> impl Strategy<Value = ServiceSpec> {
-    (
-        Just(n),
-        0u32..3,
-        proptest::option::of(3u32..10),
-        any::<bool>(),
-        proptest::option::of(1.0f64..8.0),
-        0.0f64..0.3,
-        0.0f64..0.01,
-        proptest::collection::btree_set(
-            proptest::sample::select(ActionKind::ALL.to_vec()),
-            0..ActionKind::ALL.len(),
-        ),
-    )
-        .prop_map(
-            |(i, min_inst, max_inst, exclusive, min_idx, base, per_user, actions)| {
-                let mut spec = ServiceSpec::new(
-                    format!("service{i}"),
-                    ServiceKind::ApplicationServer,
-                )
-                .with_instances(min_inst, max_inst.map(|m| m.max(min_inst.max(1))))
-                .with_exclusive(exclusive)
-                .with_load_model((base * 1000.0).round() / 1000.0, (per_user * 10000.0).round() / 10000.0)
-                .with_allowed_actions(actions);
-                if let Some(idx) = min_idx {
-                    spec = spec.with_min_performance_index((idx * 10.0).round() / 10.0);
-                }
-                spec
-            },
+fn random_service(rng: &mut Rng, i: usize) -> ServiceSpec {
+    let min_inst = rng.random_int(0..=2) as u32;
+    let max_inst = if rng.random_bool(0.5) {
+        Some(rng.random_int(3..=9) as u32)
+    } else {
+        None
+    };
+    let exclusive = rng.random_bool(0.5);
+    let base = rng.random_range(0.0..=0.3);
+    let per_user = rng.random_range(0.0..=0.01);
+    let actions: Vec<ActionKind> = ActionKind::ALL
+        .into_iter()
+        .filter(|_| rng.random_bool(0.5))
+        .collect();
+    let mut spec = ServiceSpec::new(format!("service{i}"), ServiceKind::ApplicationServer)
+        .with_instances(min_inst, max_inst.map(|m| m.max(min_inst.max(1))))
+        .with_exclusive(exclusive)
+        .with_load_model(
+            (base * 1000.0).round() / 1000.0,
+            (per_user * 10_000.0).round() / 10_000.0,
         )
+        .with_allowed_actions(actions);
+    if rng.random_bool(0.5) {
+        let idx = rng.random_range(1.0..=8.0);
+        spec = spec.with_min_performance_index((idx * 10.0).round() / 10.0);
+    }
+    spec
 }
 
-fn description_strategy() -> impl Strategy<Value = LandscapeDescription> {
-    (1usize..6, 1usize..5).prop_flat_map(|(ns, nv)| {
-        let servers: Vec<_> = (0..ns).map(server_strategy).collect();
-        let services: Vec<_> = (0..nv).map(service_strategy).collect();
-        (servers, services).prop_map(|(servers, services)| LandscapeDescription {
-            servers,
-            services,
-            allocation: vec![],
-            rule_bases: vec![],
-        })
-    })
+fn random_description(rng: &mut Rng) -> LandscapeDescription {
+    let ns = 1 + rng.random_below(5);
+    let nv = 1 + rng.random_below(4);
+    LandscapeDescription {
+        servers: (0..ns).map(|i| random_server(rng, i)).collect(),
+        services: (0..nv).map(|i| random_service(rng, i)).collect(),
+        allocation: vec![],
+        rule_bases: vec![],
+    }
 }
 
-proptest! {
-    /// Any generated description serializes to XML and parses back
-    /// structurally identical.
-    #[test]
-    fn xml_round_trip(description in description_strategy()) {
+#[test]
+fn xml_round_trip() {
+    // Any generated description serializes to XML and parses back
+    // structurally identical.
+    check::cases(128, |rng| {
+        let description = random_description(rng);
         let xml = description.to_xml();
         let reparsed = LandscapeDescription::from_xml(&xml).unwrap();
-        prop_assert_eq!(description, reparsed);
-    }
+        assert_eq!(description, reparsed);
+    });
+}
 
-    /// Names containing XML-special characters survive escaping.
-    #[test]
-    fn special_characters_round_trip(raw in "[A-Za-z<>&\"' ]{1,20}") {
-        prop_assume!(!raw.trim().is_empty());
+#[test]
+fn special_characters_round_trip() {
+    // Names containing XML-special characters survive escaping.
+    const ALPHABET: [char; 10] = ['A', 'z', 'M', '<', '>', '&', '"', '\'', ' ', 'q'];
+    check::cases(256, |rng| {
+        let len = 1 + rng.random_below(20);
+        let raw: String = (0..len).map(|_| *rng.choice(&ALPHABET)).collect();
+        if raw.trim().is_empty() {
+            return;
+        }
         let description = LandscapeDescription {
             servers: vec![ServerSpec::new(raw.clone(), 1.0)],
             services: vec![],
@@ -88,17 +84,16 @@ proptest! {
         };
         let xml = description.to_xml();
         let reparsed = LandscapeDescription::from_xml(&xml).unwrap();
-        prop_assert_eq!(&reparsed.servers[0].name, &raw);
-    }
+        assert_eq!(&reparsed.servers[0].name, &raw);
+    });
+}
 
-    /// Applying any sequence of (pre-validated) actions keeps the allocation
-    /// table consistent: instance counts match, every instance's server
-    /// exists, and min/max bounds hold for scale actions the landscape
-    /// accepted.
-    #[test]
-    fn random_action_sequences_preserve_invariants(
-        seed_ops in proptest::collection::vec((0usize..4, 0usize..4, 0usize..4), 1..40),
-    ) {
+#[test]
+fn random_action_sequences_preserve_invariants() {
+    // Applying any sequence of actions keeps the allocation table
+    // consistent: instance counts match, every instance's server exists, and
+    // min/max bounds hold; rejected actions must not mutate state.
+    check::cases(192, |rng| {
         let mut l = Landscape::new();
         let s0 = l.add_server(ServerSpec::fsc_bx300("A")).unwrap();
         let s1 = l.add_server(ServerSpec::fsc_bx600("B")).unwrap();
@@ -113,47 +108,69 @@ proptest! {
             .unwrap();
         l.start_instance(svc, s0).unwrap();
 
-        for (op, a, b) in seed_ops {
+        let ops = 1 + rng.random_below(39);
+        for _ in 0..ops {
+            let (op, a, b) = (
+                rng.random_below(4),
+                rng.random_below(4),
+                rng.random_below(4),
+            );
             let instances = l.instances_of(svc);
             let action = match op {
-                0 => Action::ScaleOut { service: svc, target: servers[a % 3] },
+                0 => Action::ScaleOut {
+                    service: svc,
+                    target: servers[a % 3],
+                },
                 1 => {
-                    let Some(&inst) = instances.get(a % instances.len().max(1)) else { continue };
+                    let Some(&inst) = instances.get(a % instances.len().max(1)) else {
+                        continue;
+                    };
                     Action::ScaleIn { instance: inst }
                 }
                 2 => {
-                    let Some(&inst) = instances.get(a % instances.len().max(1)) else { continue };
-                    Action::Move { instance: inst, target: servers[b % 3] }
+                    let Some(&inst) = instances.get(a % instances.len().max(1)) else {
+                        continue;
+                    };
+                    Action::Move {
+                        instance: inst,
+                        target: servers[b % 3],
+                    }
                 }
                 _ => {
-                    let Some(&inst) = instances.get(a % instances.len().max(1)) else { continue };
-                    Action::ScaleUp { instance: inst, target: servers[b % 3] }
+                    let Some(&inst) = instances.get(a % instances.len().max(1)) else {
+                        continue;
+                    };
+                    Action::ScaleUp {
+                        instance: inst,
+                        target: servers[b % 3],
+                    }
                 }
             };
-            // Apply may reject; rejection must not mutate state.
             let before = l.instances_of(svc).len();
             let result = l.apply(&action);
             let after = l.instances_of(svc).len();
             match (result.is_ok(), action.kind()) {
-                (true, ActionKind::ScaleOut) => prop_assert_eq!(after, before + 1),
-                (true, ActionKind::ScaleIn) => prop_assert_eq!(after, before - 1),
-                (true, _) => prop_assert_eq!(after, before),
-                (false, _) => prop_assert_eq!(after, before),
+                (true, ActionKind::ScaleOut) => assert_eq!(after, before + 1),
+                (true, ActionKind::ScaleIn) => assert_eq!(after, before - 1),
+                (true, _) => assert_eq!(after, before),
+                (false, _) => assert_eq!(after, before),
             }
-            // Global invariants.
             let count = l.instances_of(svc).len();
-            prop_assert!(count >= 1, "min instances");
-            prop_assert!(count <= 5, "max instances");
+            assert!(count >= 1, "min instances");
+            assert!(count <= 5, "max instances");
             for inst in l.instances() {
-                prop_assert!(l.server(inst.server).is_ok());
+                assert!(l.server(inst.server).is_ok());
             }
         }
-    }
+    });
+}
 
-    /// `can_host` is consistent with `apply(ScaleOut)`: if can_host says yes
-    /// and the instance-count maximum is not reached, the action succeeds.
-    #[test]
-    fn can_host_predicts_scale_out(mem in 64u64..4096) {
+#[test]
+fn can_host_predicts_scale_out() {
+    // `can_host` is consistent with `apply(ScaleOut)`: if can_host says yes
+    // and the instance-count maximum is not reached, the action succeeds.
+    check::cases(256, |rng| {
+        let mem = rng.random_int(64..=4095);
         let mut l = Landscape::new();
         let srv = l.add_server(ServerSpec::fsc_bx300("A")).unwrap();
         let svc = l
@@ -164,29 +181,56 @@ proptest! {
             )
             .unwrap();
         let can = l.can_host(svc, srv);
-        let did = l.apply(&Action::ScaleOut { service: svc, target: srv }).is_ok();
-        prop_assert_eq!(can, did);
-    }
+        let did = l
+            .apply(&Action::ScaleOut {
+                service: svc,
+                target: srv,
+            })
+            .is_ok();
+        assert_eq!(can, did);
+    });
 }
 
-proptest! {
-    /// The XML parser never panics, whatever bytes it is fed — it either
-    /// parses or returns a positioned error.
-    #[test]
-    fn xml_parser_never_panics(input in ".{0,300}") {
+#[test]
+fn xml_parser_never_panics() {
+    // The XML parser never panics, whatever bytes it is fed — it either
+    // parses or returns a positioned error.
+    check::cases(512, |rng| {
+        let len = rng.random_below(300);
+        let input: String = (0..len)
+            .map(|_| char::from_u32(rng.random_int(1..=0x2FF) as u32).unwrap_or('?'))
+            .collect();
         let _ = autoglobe_landscape::xml::parse(&input);
-    }
+    });
+}
 
-    /// Near-miss documents (valid XML with random attribute soup) never
-    /// panic the schema layer either.
-    #[test]
-    fn schema_layer_never_panics(
-        attr in "[a-zA-Z]{1,12}",
-        value in "[^\"<&]{0,16}",
-    ) {
+#[test]
+fn schema_layer_never_panics() {
+    // Near-miss documents (valid XML with random attribute soup) never
+    // panic the schema layer either.
+    check::cases(256, |rng| {
+        let attr_len = 1 + rng.random_below(12);
+        let attr: String = (0..attr_len)
+            .map(|_| {
+                let c = rng.random_int(0..=51) as u8;
+                (if c < 26 { b'a' + c } else { b'A' + c - 26 }) as char
+            })
+            .collect();
+        let value_len = rng.random_below(16);
+        let value: String = (0..value_len)
+            .map(|_| {
+                // Printable ASCII except `"`, `<` and `&`.
+                loop {
+                    let c = rng.random_int(0x20..=0x7E) as u8 as char;
+                    if c != '"' && c != '<' && c != '&' {
+                        return c;
+                    }
+                }
+            })
+            .collect();
         let doc = format!(
             r#"<landscape><servers><server name="x" performanceIndex="1" {attr}="{value}"/></servers></landscape>"#
         );
         let _ = LandscapeDescription::from_xml(&doc);
-    }
+    });
 }

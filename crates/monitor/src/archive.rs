@@ -202,13 +202,23 @@ mod tests {
         a.record(s, SimTime::from_secs(70), 1.0, 0.2);
         // First bucket avg = 0.5; both buckets avg = (0.4+0.6+1.0)/3.
         assert!(
-            (a.average_cpu(s, SimTime::ZERO, SimTime::from_secs(60)).unwrap() - 0.5).abs() < 1e-12
-        );
-        assert!(
-            (a.average_cpu(s, SimTime::ZERO, SimTime::from_secs(120)).unwrap() - 2.0 / 3.0).abs()
+            (a.average_cpu(s, SimTime::ZERO, SimTime::from_secs(60))
+                .unwrap()
+                - 0.5)
+                .abs()
                 < 1e-12
         );
-        assert_eq!(a.average_cpu(s, SimTime::from_hours(5), SimTime::from_hours(6)), None);
+        assert!(
+            (a.average_cpu(s, SimTime::ZERO, SimTime::from_secs(120))
+                .unwrap()
+                - 2.0 / 3.0)
+                .abs()
+                < 1e-12
+        );
+        assert_eq!(
+            a.average_cpu(s, SimTime::from_hours(5), SimTime::from_hours(6)),
+            None
+        );
     }
 
     #[test]
@@ -225,7 +235,13 @@ mod tests {
         assert!((series[0].avg_cpu - 0.5).abs() < 1e-12);
         assert!((series[0].avg_mem - 0.25).abs() < 1e-12);
         assert!((series[0].max_cpu - 0.5).abs() < 1e-12);
-        assert!(a.series(Subject::Server(ServerId::new(9)), SimTime::ZERO, SimTime::from_hours(1)).is_empty());
+        assert!(a
+            .series(
+                Subject::Server(ServerId::new(9)),
+                SimTime::ZERO,
+                SimTime::from_hours(1)
+            )
+            .is_empty());
     }
 
     #[test]
@@ -255,7 +271,10 @@ mod tests {
         a.retain_recent(SimTime::from_minutes(120), SimDuration::from_minutes(30));
         assert_eq!(a.bucket_count(), 30);
         // Old range now empty.
-        assert_eq!(a.average_cpu(s, SimTime::ZERO, SimTime::from_minutes(60)), None);
+        assert_eq!(
+            a.average_cpu(s, SimTime::ZERO, SimTime::from_minutes(60)),
+            None
+        );
         // Recent range still there.
         assert!(a
             .average_cpu(s, SimTime::from_minutes(100), SimTime::from_minutes(120))

@@ -92,7 +92,12 @@ impl LoadMonitor {
         self.average_by(from, to, |s| s.mem)
     }
 
-    fn average_by(&self, from: SimTime, to: SimTime, f: impl Fn(&LoadSample) -> f64) -> Option<f64> {
+    fn average_by(
+        &self,
+        from: SimTime,
+        to: SimTime,
+        f: impl Fn(&LoadSample) -> f64,
+    ) -> Option<f64> {
         let mut sum = 0.0;
         let mut n = 0usize;
         for s in &self.samples {

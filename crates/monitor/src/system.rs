@@ -83,7 +83,12 @@ impl Advisor {
     /// Create an advisor. The monitor retains twice the longest watch time.
     pub fn new(subject: Subject, config: SubjectConfig) -> Self {
         let retention = SimDuration::from_secs(
-            config.overload_watch.as_secs().max(config.idle_watch.as_secs()) * 2 + 60,
+            config
+                .overload_watch
+                .as_secs()
+                .max(config.idle_watch.as_secs())
+                * 2
+                + 60,
         );
         Advisor {
             subject,
@@ -239,11 +244,7 @@ mod tests {
         Subject::Server(ServerId::new(0))
     }
 
-    fn run_minutes(
-        advisor: &mut Advisor,
-        start_min: u64,
-        loads: &[f64],
-    ) -> Vec<TriggerEvent> {
+    fn run_minutes(advisor: &mut Advisor, start_min: u64, loads: &[f64]) -> Vec<TriggerEvent> {
         let mut events = Vec::new();
         for (i, &cpu) in loads.iter().enumerate() {
             let t = SimTime::from_minutes(start_min + i as u64);
@@ -348,7 +349,11 @@ mod tests {
         assert!(triggered.is_some());
         assert!(system.latest(subject).is_some());
         let avg = system
-            .average_cpu(subject, SimTime::from_minutes(11), SimDuration::from_minutes(5))
+            .average_cpu(
+                subject,
+                SimTime::from_minutes(11),
+                SimDuration::from_minutes(5),
+            )
             .unwrap();
         assert!((avg - 0.85).abs() < 1e-9);
 

@@ -189,7 +189,10 @@ mod tests {
         t += SimDuration::from_secs(30);
         t += SimDuration::from_secs(30);
         assert_eq!(t, SimTime::from_minutes(1));
-        assert_eq!(SimDuration::from_secs(30).times(4), SimDuration::from_minutes(2));
+        assert_eq!(
+            SimDuration::from_secs(30).times(4),
+            SimDuration::from_minutes(2)
+        );
         assert_eq!(
             SimDuration::from_minutes(1) + SimDuration::from_secs(30),
             SimDuration::from_secs(90)

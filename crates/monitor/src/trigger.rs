@@ -160,6 +160,9 @@ mod tests {
             average_cpu: 0.85,
             average_mem: 0.4,
         };
-        assert_eq!(e.to_string(), "[01:30] serverOverloaded on srv#3 (avg cpu 85%)");
+        assert_eq!(
+            e.to_string(),
+            "[01:30] serverOverloaded on srv#3 (avg cpu 85%)"
+        );
     }
 }

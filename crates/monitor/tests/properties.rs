@@ -1,49 +1,58 @@
-//! Property-based tests for the monitoring stack's invariants.
+//! Seeded property tests for the monitoring stack's invariants.
 
 use autoglobe_landscape::ServerId;
 use autoglobe_monitor::{
     Advisor, LoadArchive, LoadMonitor, LoadSample, SimDuration, SimTime, Subject, SubjectConfig,
     TriggerKind,
 };
-use proptest::prelude::*;
+use autoglobe_rng::check;
 
 fn subject() -> Subject {
     Subject::Server(ServerId::new(0))
 }
 
-proptest! {
-    /// The monitor's windowed average always lies within the min/max of the
-    /// recorded samples, and matches a straightforward recomputation.
-    #[test]
-    fn monitor_average_matches_reference(
-        loads in proptest::collection::vec(0.0f64..=1.0, 1..120),
-    ) {
+#[test]
+fn monitor_average_matches_reference() {
+    // The windowed average always lies within the min/max of the recorded
+    // samples and matches a straightforward recomputation.
+    check::cases(192, |rng| {
+        let n = 1 + rng.random_below(119);
+        let loads: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..=1.0)).collect();
         let mut monitor = LoadMonitor::new(SimDuration::from_hours(4));
         for (minute, &cpu) in loads.iter().enumerate() {
-            monitor.record(LoadSample::new(SimTime::from_minutes(minute as u64), cpu, cpu / 2.0));
+            monitor.record(LoadSample::new(
+                SimTime::from_minutes(minute as u64),
+                cpu,
+                cpu / 2.0,
+            ));
         }
         let from = SimTime::ZERO;
         let to = SimTime::from_minutes(loads.len() as u64);
         let avg = monitor.average_cpu(from, to).unwrap();
         let reference: f64 = loads.iter().sum::<f64>() / loads.len() as f64;
-        prop_assert!((avg - reference).abs() < 1e-9);
+        assert!((avg - reference).abs() < 1e-9);
         let lo = loads.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = loads.iter().copied().fold(0.0f64, f64::max);
-        prop_assert!(avg >= lo - 1e-12 && avg <= hi + 1e-12);
-        prop_assert!((monitor.max_cpu(from, to).unwrap() - hi).abs() < 1e-12);
-    }
+        assert!(avg >= lo - 1e-12 && avg <= hi + 1e-12);
+        assert!((monitor.max_cpu(from, to).unwrap() - hi).abs() < 1e-12);
+    });
+}
 
-    /// An advisor never raises an overload trigger unless the watch-time
-    /// average actually exceeded the threshold; and for persistently hot
-    /// input it must eventually raise one.
-    #[test]
-    fn advisor_triggers_are_sound_and_live(
-        base in 0.0f64..=1.0,
-        hot in prop::bool::ANY,
-    ) {
+#[test]
+fn advisor_triggers_are_sound_and_live() {
+    // An advisor never raises an overload trigger unless the watch-time
+    // average actually exceeded the threshold; and for persistently hot
+    // input it must eventually raise one.
+    check::cases(192, |rng| {
+        let base = rng.random_range(0.0..=1.0);
+        let hot = rng.random_bool(0.5);
         let config = SubjectConfig::paper_defaults(1.0);
         let mut advisor = Advisor::new(subject(), config);
-        let level = if hot { 0.75 + base * 0.25 } else { base.min(0.65) };
+        let level = if hot {
+            0.75 + base * 0.25
+        } else {
+            base.min(0.65)
+        };
         let mut triggered = Vec::new();
         for minute in 0..40u64 {
             let sample = LoadSample::new(SimTime::from_minutes(minute), level, 0.2);
@@ -52,50 +61,65 @@ proptest! {
             }
         }
         if level >= config.overload_threshold {
-            prop_assert!(
-                triggered.iter().any(|t| t.kind == TriggerKind::ServerOverloaded),
+            assert!(
+                triggered
+                    .iter()
+                    .any(|t| t.kind == TriggerKind::ServerOverloaded),
                 "persistent {level} must trigger"
             );
         }
         for t in &triggered {
             if t.kind == TriggerKind::ServerOverloaded {
-                prop_assert!(t.average_cpu >= config.overload_threshold - 1e-9);
+                assert!(t.average_cpu >= config.overload_threshold - 1e-9);
             }
             if t.kind == TriggerKind::ServerIdle {
-                prop_assert!(t.average_cpu <= config.idle_threshold + 1e-9);
+                assert!(t.average_cpu <= config.idle_threshold + 1e-9);
             }
         }
-    }
+    });
+}
 
-    /// Archive averages are consistent with the recorded values regardless
-    /// of bucket boundaries, and the daily profile is a convex combination
-    /// of recorded loads.
-    #[test]
-    fn archive_aggregates_stay_bounded(
-        loads in proptest::collection::vec(0.0f64..=1.0, 10..200),
-        bucket_minutes in 1u64..30,
-    ) {
+#[test]
+fn archive_aggregates_stay_bounded() {
+    // Archive averages are consistent with the recorded values regardless of
+    // bucket boundaries, and the daily profile is a convex combination of
+    // recorded loads.
+    check::cases(128, |rng| {
+        let n = 10 + rng.random_below(190);
+        let loads: Vec<f64> = (0..n).map(|_| rng.random_range(0.0..=1.0)).collect();
+        let bucket_minutes = rng.random_int(1..=29);
         let mut archive = LoadArchive::new(SimDuration::from_minutes(bucket_minutes));
         for (minute, &cpu) in loads.iter().enumerate() {
-            archive.record(subject(), SimTime::from_minutes(minute as u64 * 3), cpu, 0.1);
+            archive.record(
+                subject(),
+                SimTime::from_minutes(minute as u64 * 3),
+                cpu,
+                0.1,
+            );
         }
         let to = SimTime::from_minutes(loads.len() as u64 * 3 + bucket_minutes);
         let avg = archive.average_cpu(subject(), SimTime::ZERO, to).unwrap();
         let reference: f64 = loads.iter().sum::<f64>() / loads.len() as f64;
-        prop_assert!((avg - reference).abs() < 1e-9, "bucketing must not distort the mean");
+        assert!(
+            (avg - reference).abs() < 1e-9,
+            "bucketing must not distort the mean"
+        );
 
         let profile = archive.daily_profile(subject(), SimDuration::from_hours(1));
         let lo = loads.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = loads.iter().copied().fold(0.0f64, f64::max);
         for &value in profile.iter().filter(|v| **v > 0.0) {
-            prop_assert!(value >= lo - 1e-12 && value <= hi + 1e-12);
+            assert!(value >= lo - 1e-12 && value <= hi + 1e-12);
         }
-    }
+    });
+}
 
-    /// Retention: after `retain_recent`, no bucket older than the horizon
-    /// answers queries, and recent data is untouched.
-    #[test]
-    fn archive_retention_is_a_clean_cut(horizon_minutes in 5u64..60) {
+#[test]
+fn archive_retention_is_a_clean_cut() {
+    // After `retain_recent`, no bucket older than the horizon answers
+    // queries, and recent data is untouched.
+    check::cases(64, |rng| {
+        let horizon_minutes = rng.random_int(5..=59);
         let mut archive = LoadArchive::new(SimDuration::from_minutes(1));
         for minute in 0..120u64 {
             archive.record(subject(), SimTime::from_minutes(minute), 0.5, 0.1);
@@ -103,25 +127,33 @@ proptest! {
         let now = SimTime::from_minutes(120);
         archive.retain_recent(now, SimDuration::from_minutes(horizon_minutes));
         let cutoff = now - SimDuration::from_minutes(horizon_minutes);
-        // Nothing strictly before the cutoff bucket.
         if cutoff.as_secs() >= 60 {
-            let old = archive.average_cpu(subject(), SimTime::ZERO, cutoff - SimDuration::from_minutes(1));
-            prop_assert!(old.is_none(), "old data must be gone");
+            let old = archive.average_cpu(
+                subject(),
+                SimTime::ZERO,
+                cutoff - SimDuration::from_minutes(1),
+            );
+            assert!(old.is_none(), "old data must be gone");
         }
         let recent = archive.average_cpu(subject(), cutoff, now);
-        prop_assert!(recent.is_some(), "recent data must remain");
-    }
+        assert!(recent.is_some(), "recent data must remain");
+    });
+}
 
-    /// SimTime arithmetic: associativity with durations and day wrapping.
-    #[test]
-    fn time_arithmetic_laws(a in 0u64..1_000_000, b in 0u64..500_000, c in 0u64..500_000) {
+#[test]
+fn time_arithmetic_laws() {
+    // SimTime arithmetic: associativity with durations and day wrapping.
+    check::cases(512, |rng| {
+        let a = rng.random_int(0..=999_999);
+        let b = rng.random_int(0..=499_999);
+        let c = rng.random_int(0..=499_999);
         let t = SimTime::from_secs(a);
         let d1 = SimDuration::from_secs(b);
         let d2 = SimDuration::from_secs(c);
-        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
-        prop_assert_eq!((t + d1).since(t), d1);
+        assert_eq!((t + d1) + d2, t + (d1 + d2));
+        assert_eq!((t + d1).since(t), d1);
         let wrapped = SimTime::from_secs(a).second_of_day();
-        prop_assert!(wrapped < 86_400);
-        prop_assert!(SimTime::from_secs(a).hour_of_day() < 24.0);
-    }
+        assert!(wrapped < 86_400);
+        assert!(SimTime::from_secs(a).hour_of_day() < 24.0);
+    });
 }

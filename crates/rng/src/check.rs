@@ -1,0 +1,82 @@
+//! A miniature seeded property-check harness.
+//!
+//! The workspace's `tests/properties.rs` suites assert invariants over many
+//! generated inputs. `proptest` cannot be fetched in an offline build, and
+//! its value here — random exploration plus shrinking — matters less than
+//! *reproducibility*: a failure must replay identically on every machine.
+//! So this harness is deliberately simple: a fixed number of cases, each
+//! driven by an [`Rng`] seeded from `(suite seed, case index)`, with the
+//! failing case index and seed printed on panic so a failure can be re-run
+//! in isolation.
+//!
+//! ```
+//! use autoglobe_rng::check;
+//!
+//! check::cases(256, |rng| {
+//!     let x = rng.random_range(0.0..=1.0);
+//!     assert!(x * x <= x + 1e-12);
+//! });
+//! ```
+
+use crate::Rng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default seed for [`cases`]; mixed with the case index per case.
+pub const DEFAULT_SEED: u64 = 0xA07_0610BE;
+
+/// Run `f` against `n` independently seeded generators ([`DEFAULT_SEED`]).
+///
+/// Panics propagate after printing the failing case index and seed.
+pub fn cases(n: usize, f: impl FnMut(&mut Rng)) {
+    cases_seeded(DEFAULT_SEED, n, f);
+}
+
+/// Like [`cases`] with an explicit suite seed.
+///
+/// Case `i` uses `Rng::seed_from_u64(splitmix64-mix(seed, i))`, so a single
+/// failing case can be replayed with [`case_rng`] without running the rest.
+pub fn cases_seeded(seed: u64, n: usize, mut f: impl FnMut(&mut Rng)) {
+    for i in 0..n {
+        let mut rng = case_rng(seed, i);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            eprintln!("property failed at case {i}/{n} (suite seed {seed:#x}); replay with check::case_rng({seed:#x}, {i})");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// The generator used for case `i` of a suite — for replaying one failure.
+pub fn case_rng(seed: u64, i: usize) -> Rng {
+    let mut s = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    Rng::seed_from_u64(crate::splitmix64(&mut s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_every_case_with_distinct_streams() {
+        let mut seen = Vec::new();
+        cases(16, |rng| seen.push(rng.next_u64()));
+        assert_eq!(seen.len(), 16);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 16, "case streams must be distinct");
+    }
+
+    #[test]
+    fn case_rng_is_reproducible() {
+        let mut a = case_rng(1, 5);
+        let mut b = case_rng(1, 5);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = case_rng(1, 6);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        cases(4, |_| panic!("boom"));
+    }
+}

@@ -2,10 +2,23 @@ use autoglobe_monitor::SimDuration;
 use autoglobe_simulator::*;
 
 fn main() {
-    let hours: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(80);
+    let hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80);
     let criterion = CapacityCriterion::default();
     for scenario in Scenario::ALL {
-        let r = find_max_users(scenario, criterion, 0.05, SimDuration::from_hours(hours), 42);
-        println!("{scenario}: max users {:.0}%  steps {:?}", r.max_users_percent(), r.steps);
+        let r = find_max_users(
+            scenario,
+            criterion,
+            0.05,
+            SimDuration::from_hours(hours),
+            42,
+        );
+        println!(
+            "{scenario}: max users {:.0}%  steps {:?}",
+            r.max_users_percent(),
+            r.steps
+        );
     }
 }

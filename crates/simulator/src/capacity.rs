@@ -137,8 +137,7 @@ mod tests {
         // Two simulated days: day 1 reflects steady state after the
         // controller's day-0 adaptation.
         let duration = SimDuration::from_hours(48);
-        let static_result =
-            find_max_users(Scenario::Static, criterion, 0.05, duration, 42);
+        let static_result = find_max_users(Scenario::Static, criterion, 0.05, duration, 42);
         let cm = find_max_users(Scenario::ConstrainedMobility, criterion, 0.05, duration, 42);
         let fm = find_max_users(Scenario::FullMobility, criterion, 0.05, duration, 42);
 

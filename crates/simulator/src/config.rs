@@ -131,10 +131,7 @@ mod tests {
         assert_eq!(c.tick, SimDuration::from_minutes(1));
         assert_eq!(c.user_multiplier, 1.15);
         assert!(c.controller_enabled);
-        assert_eq!(
-            c.controller.protection_time,
-            SimDuration::from_minutes(30)
-        );
+        assert_eq!(c.controller.protection_time, SimDuration::from_minutes(30));
         assert_eq!(c.num_ticks(), 80 * 60);
     }
 

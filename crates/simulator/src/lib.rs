@@ -46,7 +46,7 @@ pub mod workload;
 
 pub use capacity::{find_max_users, CapacityCriterion, CapacityResult};
 pub use config::{FailureInjection, SimConfig};
-pub use metrics::{Metrics, SeriesPoint};
+pub use metrics::{InstancePoint, Metrics, SeriesPoint};
 pub use sap::{build_environment, SapEnvironment};
 pub use scenario::Scenario;
 pub use sim::Simulation;

@@ -1,8 +1,9 @@
 //! Metrics collected during a simulation run — everything the paper's
 //! figures and tables are made of.
 
+use crate::scenario::Scenario;
 use autoglobe_controller::ActionRecord;
-use autoglobe_landscape::{InstanceId, ServerId};
+use autoglobe_landscape::{InstanceId, ServerId, ServiceId};
 use autoglobe_monitor::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -35,6 +36,14 @@ pub const OVERLOAD_LEVEL: f64 = 0.80;
 /// All data recorded during one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
+    /// The scenario the run simulated (`None` for hand-assembled metrics).
+    pub scenario: Option<Scenario>,
+    /// Server names in `ServerId` index order, captured when the simulation
+    /// starts — so renderers never have to rebuild the environment (and
+    /// guess its scenario) just to resolve ids back to the paper's names.
+    pub server_names: Vec<String>,
+    /// Service names in `ServiceId` index order.
+    pub service_names: Vec<String>,
     /// Per-server load series (Figures 12–14).
     pub server_series: BTreeMap<ServerId, Vec<SeriesPoint>>,
     /// Average load over all servers (the thick line in Figures 12–14).
@@ -72,6 +81,23 @@ pub struct Metrics {
 }
 
 impl Metrics {
+    /// The recorded name of a server, or `"?"` if the id is out of range
+    /// (hand-assembled metrics without name tables).
+    pub fn server_name(&self, id: ServerId) -> &str {
+        self.server_names
+            .get(id.index())
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
+    /// The recorded name of a service, or `"?"` if the id is out of range.
+    pub fn service_name(&self, id: ServiceId) -> &str {
+        self.service_names
+            .get(id.index())
+            .map(String::as_str)
+            .unwrap_or("?")
+    }
+
     /// Fraction of offered demand that could not be served.
     pub fn unserved_fraction(&self) -> f64 {
         if self.total_demand <= 0.0 {
@@ -120,8 +146,7 @@ impl Metrics {
         if self.average_series.is_empty() {
             return 0.0;
         }
-        self.average_series.iter().map(|p| p.value).sum::<f64>()
-            / self.average_series.len() as f64
+        self.average_series.iter().map(|p| p.value).sum::<f64>() / self.average_series.len() as f64
     }
 
     /// Number of executed actions by kind name → count (summaries, EXPERIMENTS.md).
@@ -184,8 +209,14 @@ mod tests {
     #[test]
     fn csv_rendering() {
         let points = vec![
-            SeriesPoint { time: SimTime::from_hours(1), value: 0.5 },
-            SeriesPoint { time: SimTime::from_minutes(90), value: 0.75 },
+            SeriesPoint {
+                time: SimTime::from_hours(1),
+                value: 0.5,
+            },
+            SeriesPoint {
+                time: SimTime::from_minutes(90),
+                value: 0.75,
+            },
         ];
         let csv = Metrics::series_csv(&points);
         assert_eq!(csv, "1.000,0.5000\n1.500,0.7500\n");

@@ -289,7 +289,12 @@ mod tests {
         // Static: nothing moves.
         let env = build_environment(Scenario::Static);
         let fi = env.landscape.service_by_name("FI").unwrap();
-        assert!(env.landscape.service(fi).unwrap().allowed_actions.is_empty());
+        assert!(env
+            .landscape
+            .service(fi)
+            .unwrap()
+            .allowed_actions
+            .is_empty());
 
         // CM (Table 5): app servers scale in/out only; DB/CI static;
         // min 2 FI and LES instances.
@@ -325,8 +330,16 @@ mod tests {
             assert_eq!(spec.min_performance_index, Some(5.0), "{name}");
         }
         // Exclusivity: only the ERP database (Tables 5/6).
-        assert!(l.service(l.service_by_name("DB-ERP").unwrap()).unwrap().exclusive);
-        assert!(!l.service(l.service_by_name("DB-CRM").unwrap()).unwrap().exclusive);
+        assert!(
+            l.service(l.service_by_name("DB-ERP").unwrap())
+                .unwrap()
+                .exclusive
+        );
+        assert!(
+            !l.service(l.service_by_name("DB-CRM").unwrap())
+                .unwrap()
+                .exclusive
+        );
     }
 
     #[test]

@@ -74,11 +74,9 @@ impl Scenario {
     /// The actions a *central instance* supports.
     pub fn central_instance_actions(self) -> Vec<ActionKind> {
         match self {
-            Scenario::FullMobility => vec![
-                ActionKind::ScaleUp,
-                ActionKind::ScaleDown,
-                ActionKind::Move,
-            ],
+            Scenario::FullMobility => {
+                vec![ActionKind::ScaleUp, ActionKind::ScaleDown, ActionKind::Move]
+            }
             _ => vec![],
         }
     }

@@ -72,7 +72,10 @@ impl SessionTable {
     /// True if the instance accepts users at `now`.
     pub fn is_active(&self, instance: InstanceId, now: SimTime) -> bool {
         self.users.contains_key(&instance)
-            && self.activating.get(&instance).is_none_or(|&ready| now >= ready)
+            && self
+                .activating
+                .get(&instance)
+                .is_none_or(|&ready| now >= ready)
     }
 
     /// Users currently on `instance`.
@@ -249,7 +252,10 @@ mod tests {
     fn dynamic_mode_excludes_starting_instances() {
         let mut t = SessionTable::new(DistributionMode::Dynamic);
         t.add_instance(inst(0));
-        t.add_starting_instance(inst(1), NOW + autoglobe_monitor::SimDuration::from_minutes(5));
+        t.add_starting_instance(
+            inst(1),
+            NOW + autoglobe_monitor::SimDuration::from_minutes(5),
+        );
         t.rebalance(100.0, NOW, 0.0, &|_| (0.0, 1.0));
         assert!((t.users_on(inst(0)) - 100.0).abs() < 1e-9);
         assert_eq!(t.users_on(inst(1)), 0.0);
@@ -267,7 +273,9 @@ mod tests {
         t.add_instance(inst(0));
         t.add_instance(inst(1));
         // Host 0 at 90 % load, host 1 at 10 %: weights 0.1 vs 0.9.
-        t.rebalance(100.0, NOW, 0.0, &|i| (if i == inst(0) { 0.9 } else { 0.1 }, 1.0));
+        t.rebalance(100.0, NOW, 0.0, &|i| {
+            (if i == inst(0) { 0.9 } else { 0.1 }, 1.0)
+        });
         assert!((t.users_on(inst(0)) - 10.0).abs() < 1e-9);
         assert!((t.users_on(inst(1)) - 90.0).abs() < 1e-9);
         // Equally idle hosts split a cold-start burst evenly (this is what
@@ -285,7 +293,9 @@ mod tests {
         let mut t = SessionTable::new(DistributionMode::Sticky);
         t.add_instance(inst(0));
         t.add_instance(inst(1));
-        t.rebalance(100.0, NOW, 0.0, &|i| (if i == inst(0) { 0.0 } else { 0.5 }, 1.0));
+        t.rebalance(100.0, NOW, 0.0, &|i| {
+            (if i == inst(0) { 0.0 } else { 0.5 }, 1.0)
+        });
         let before0 = t.users_on(inst(0));
         t.rebalance(50.0, NOW, 0.0, &|_| (0.0, 1.0));
         assert!((t.total_users() - 50.0).abs() < 1e-9);
@@ -298,7 +308,9 @@ mod tests {
         t.add_instance(inst(0));
         t.add_instance(inst(1));
         // Start with (almost) everything on instance 0: host 1 saturated.
-        t.rebalance(200.0, NOW, 0.0, &|i| (if i == inst(0) { 0.0 } else { 1.0 }, 1.0));
+        t.rebalance(200.0, NOW, 0.0, &|i| {
+            (if i == inst(0) { 0.0 } else { 1.0 }, 1.0)
+        });
         assert!(t.users_on(inst(0)) > 190.0);
         // Now instance 0's host is hot; 5 % fluctuation per tick drains it.
         let load = |i: InstanceId| (if i == inst(0) { 0.95 } else { 0.05 }, 1.0);
@@ -330,7 +342,10 @@ mod tests {
     #[test]
     fn no_active_instances_leaves_population_untouched() {
         let mut t = SessionTable::new(DistributionMode::Dynamic);
-        t.add_starting_instance(inst(0), NOW + autoglobe_monitor::SimDuration::from_minutes(5));
+        t.add_starting_instance(
+            inst(0),
+            NOW + autoglobe_monitor::SimDuration::from_minutes(5),
+        );
         t.rebalance(100.0, NOW, 0.0, &|_| (0.0, 1.0));
         assert_eq!(t.total_users(), 0.0);
     }
@@ -354,7 +369,9 @@ mod tests {
         t.add_instance(inst(0));
         t.add_instance(inst(1));
         // Host 1 is twice as powerful → gets twice the users.
-        t.rebalance(300.0, NOW, 0.0, &|i| (0.0, if i == inst(0) { 1.0 } else { 2.0 }));
+        t.rebalance(300.0, NOW, 0.0, &|i| {
+            (0.0, if i == inst(0) { 1.0 } else { 2.0 })
+        });
         assert!((t.users_on(inst(0)) - 100.0).abs() < 1e-9);
         assert!((t.users_on(inst(1)) - 200.0).abs() < 1e-9);
     }
@@ -365,7 +382,9 @@ mod tests {
         t.add_instance(inst(0));
         t.add_instance(inst(1));
         // Equal loads but host 1 twice as powerful → 2/3 of logins.
-        t.rebalance(90.0, NOW, 0.0, &|i| (0.5, if i == inst(0) { 1.0 } else { 2.0 }));
+        t.rebalance(90.0, NOW, 0.0, &|i| {
+            (0.5, if i == inst(0) { 1.0 } else { 2.0 })
+        });
         assert!((t.users_on(inst(0)) - 30.0).abs() < 1e-9);
         assert!((t.users_on(inst(1)) - 60.0).abs() < 1e-9);
     }

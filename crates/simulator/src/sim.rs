@@ -13,16 +13,13 @@ use crate::metrics::{InstancePoint, Metrics, SeriesPoint, OVERLOAD_LEVEL};
 use crate::sap::SapEnvironment;
 use crate::sessions::SessionTable;
 use crate::workload::WorkloadSpec;
-use autoglobe_controller::{
-    AutoGlobeController, ControllerEvent, LoadView, RuleBases,
-};
+use autoglobe_controller::{AutoGlobeController, ControllerEvent, LoadView, RuleBases};
 use autoglobe_landscape::{ApplyOutcome, InstanceId, Landscape, ServerId, ServiceId};
 use autoglobe_monitor::{
-    FailureEvent, FailureKind, LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration,
-    SimTime, Subject, SubjectConfig, TriggerEvent,
+    FailureEvent, FailureKind, LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime,
+    Subject, SubjectConfig, TriggerEvent,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autoglobe_rng::Rng;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Length of the rolling window used for overload accounting and for the
@@ -82,7 +79,7 @@ pub struct Simulation {
     controller: AutoGlobeController,
     monitoring: LoadMonitoringSystem,
     archive: LoadArchive,
-    rng: StdRng,
+    rng: Rng,
     time: SimTime,
     metrics: Metrics,
     rolling: BTreeMap<ServerId, VecDeque<f64>>,
@@ -154,6 +151,21 @@ impl Simulation {
             .filter_map(|name| landscape.service_by_name(name).ok())
             .collect();
 
+        // Metrics carry the scenario and the id → name tables so renderers
+        // never need to rebuild the environment to label a run's output.
+        let metrics = Metrics {
+            scenario: Some(config.scenario),
+            server_names: landscape
+                .server_ids()
+                .map(|id| landscape.server(id).unwrap().name.clone())
+                .collect(),
+            service_names: landscape
+                .service_ids()
+                .map(|id| landscape.service(id).unwrap().name.clone())
+                .collect(),
+            ..Metrics::default()
+        };
+
         let seed = config.seed;
         Simulation {
             config,
@@ -163,9 +175,9 @@ impl Simulation {
             controller,
             monitoring,
             archive: LoadArchive::new(SimDuration::from_minutes(1)),
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             time: SimTime::ZERO,
-            metrics: Metrics::default(),
+            metrics,
             rolling: BTreeMap::new(),
             last_loads: SimLoads::default(),
             last_sample: SimTime::ZERO,
@@ -449,9 +461,12 @@ impl Simulation {
         // ---- 7. controller ----------------------------------------------------
         if self.config.controller_enabled {
             for trigger in triggers {
-                let outcome =
-                    self.controller
-                        .handle_trigger(&trigger, &mut self.landscape, &loads, self.time);
+                let outcome = self.controller.handle_trigger(
+                    &trigger,
+                    &mut self.landscape,
+                    &loads,
+                    self.time,
+                );
                 for event in &outcome.events {
                     if matches!(event, ControllerEvent::AdministratorAlert { .. }) {
                         self.metrics.alerts += 1;
@@ -496,7 +511,10 @@ impl Simulation {
             .filter(|&s| self.landscape.is_available(s))
             .collect();
         for server in servers {
-            if self.rng.random_bool((cfg.server_failure_per_hour * tick_hours).clamp(0.0, 1.0)) {
+            if self
+                .rng
+                .random_bool((cfg.server_failure_per_hour * tick_hours).clamp(0.0, 1.0))
+            {
                 let event = FailureEvent {
                     kind: FailureKind::ServerFailed(server),
                     time: now,
@@ -513,7 +531,10 @@ impl Simulation {
         // Instance crashes.
         let instances: Vec<InstanceId> = self.landscape.instances().map(|i| i.id).collect();
         for instance in instances {
-            if self.rng.random_bool((cfg.instance_crash_per_hour * tick_hours).clamp(0.0, 1.0)) {
+            if self
+                .rng
+                .random_bool((cfg.instance_crash_per_hour * tick_hours).clamp(0.0, 1.0))
+            {
                 let event = FailureEvent {
                     kind: FailureKind::InstanceCrashed(instance),
                     time: now,
@@ -538,10 +559,7 @@ impl Simulation {
                 .entry(service)
                 .or_insert_with(|| SessionTable::new(self.config.scenario.distribution_mode()));
             // Remove vanished instances (users re-login next rebalance).
-            let stale: Vec<InstanceId> = table
-                .instances()
-                .filter(|i| !live.contains(i))
-                .collect();
+            let stale: Vec<InstanceId> = table.instances().filter(|i| !live.contains(i)).collect();
             for instance in stale {
                 table.remove_instance(instance);
             }
@@ -586,8 +604,8 @@ mod tests {
 
     fn quick_sim(scenario: Scenario, multiplier: f64, hours: u64) -> Metrics {
         let env = build_environment(scenario);
-        let config = SimConfig::paper(scenario, multiplier)
-            .with_duration(SimDuration::from_hours(hours));
+        let config =
+            SimConfig::paper(scenario, multiplier).with_duration(SimDuration::from_hours(hours));
         Simulation::new(env, config).run()
     }
 

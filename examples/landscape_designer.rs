@@ -31,10 +31,16 @@ fn main() {
         let profile: Vec<f64> = (0..24)
             .map(|h| {
                 spec.base_load
-                    + users / instances as f64 * pattern.active_fraction(h as f64) * spec.load_per_user
+                    + users / instances as f64
+                        * pattern.active_fraction(h as f64)
+                        * spec.load_per_user
             })
             .collect();
-        demands.push(ServiceDemand { service, instances, profile });
+        demands.push(ServiceDemand {
+            service,
+            instances,
+            profile,
+        });
     }
     // Central instances and databases, coupled to their subsystems' users.
     for (name, per_user, users) in [
@@ -47,27 +53,46 @@ fn main() {
         let profile: Vec<f64> = (0..24)
             .map(|h| 0.05 + users * DailyPattern::Interactive.active_fraction(h as f64) * per_user)
             .collect();
-        demands.push(ServiceDemand { service, instances: 1, profile });
+        demands.push(ServiceDemand {
+            service,
+            instances: 1,
+            profile,
+        });
     }
-    for (name, per_job) in [("CI-BW", calibration::CI_LOAD_PER_JOB), ("DB-BW", calibration::DB_LOAD_PER_JOB)] {
+    for (name, per_job) in [
+        ("CI-BW", calibration::CI_LOAD_PER_JOB),
+        ("DB-BW", calibration::DB_LOAD_PER_JOB),
+    ] {
         let service = landscape.service_by_name(name).unwrap();
         let profile: Vec<f64> = (0..24)
             .map(|h| 0.05 + 60.0 * DailyPattern::NightBatch.active_fraction(h as f64) * per_job)
             .collect();
-        demands.push(ServiceDemand { service, instances: 1, profile });
+        demands.push(ServiceDemand {
+            service,
+            instances: 1,
+            profile,
+        });
     }
 
     let placement = design(landscape, &demands).expect("feasible design");
 
-    println!("landscape designer result (peak load {:.0} %, mean {:.0} %):\n",
-        placement.peak_load * 100.0, placement.mean_load * 100.0);
+    println!(
+        "landscape designer result (peak load {:.0} %, mean {:.0} %):\n",
+        placement.peak_load * 100.0,
+        placement.mean_load * 100.0
+    );
     for (server, services) in placement.per_server() {
         let spec = landscape.server(server).unwrap();
         let names: Vec<String> = services
             .iter()
             .map(|s| landscape.service(*s).unwrap().name.clone())
             .collect();
-        println!("  {:<12} (perf {:>2}): {}", spec.name, spec.performance_index, names.join(", "));
+        println!(
+            "  {:<12} (perf {:>2}): {}",
+            spec.name,
+            spec.performance_index,
+            names.join(", ")
+        );
     }
 
     // Under the same equal-users-per-instance profiles, the hand-made

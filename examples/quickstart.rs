@@ -11,9 +11,15 @@ fn main() {
     // 1. Describe the landscape: two weak blades, one powerful database
     //    server, and one application service with two instances.
     let mut landscape = Landscape::new();
-    let blade1 = landscape.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
-    let blade2 = landscape.add_server(ServerSpec::fsc_bx300("Blade2")).unwrap();
-    let big = landscape.add_server(ServerSpec::hp_bl40p("DBServer1")).unwrap();
+    let blade1 = landscape
+        .add_server(ServerSpec::fsc_bx300("Blade1"))
+        .unwrap();
+    let blade2 = landscape
+        .add_server(ServerSpec::fsc_bx300("Blade2"))
+        .unwrap();
+    let big = landscape
+        .add_server(ServerSpec::hp_bl40p("DBServer1"))
+        .unwrap();
     let fi = landscape
         .add_service(
             ServiceSpec::new("FI", ServiceKind::ApplicationServer).with_instances(1, Some(4)),

@@ -21,7 +21,10 @@ fn main() {
     };
 
     println!("simulating one day of the paper's SAP installation");
-    println!("scenario: {scenario}, users at {:.0} % of Table 4\n", multiplier * 100.0);
+    println!(
+        "scenario: {scenario}, users at {:.0} % of Table 4\n",
+        multiplier * 100.0
+    );
 
     let env = build_environment(scenario);
     let server_names: Vec<String> = env
@@ -35,8 +38,7 @@ fn main() {
         .map(|id| env.landscape.service(id).unwrap().name.clone())
         .collect();
 
-    let config = SimConfig::paper(scenario, multiplier)
-        .with_duration(SimDuration::from_hours(24));
+    let config = SimConfig::paper(scenario, multiplier).with_duration(SimDuration::from_hours(24));
     let metrics = Simulation::new(env, config).run();
 
     println!("== controller actions ==");
@@ -57,19 +59,29 @@ fn main() {
     }
 
     println!("\n== load summary ==");
-    println!("  mean load over all servers: {:.1} %", metrics.mean_average_load() * 100.0);
+    println!(
+        "  mean load over all servers: {:.1} %",
+        metrics.mean_average_load() * 100.0
+    );
     println!(
         "  worst sustained overload on one server: {}",
         metrics.worst_overload()
     );
-    println!("  unserved demand: {:.3} %", metrics.unserved_fraction() * 100.0);
+    println!(
+        "  unserved demand: {:.3} %",
+        metrics.unserved_fraction() * 100.0
+    );
     println!("  administrator alerts: {}", metrics.alerts);
 
     println!("\n== busiest servers (peak load) ==");
     let mut peaks: Vec<_> = metrics.peak_load.iter().collect();
     peaks.sort_by(|a, b| b.1.partial_cmp(a.1).unwrap());
     for (server, peak) in peaks.iter().take(6) {
-        println!("  {:<12} peak {:.0} %", server_names[server.index()], **peak * 100.0);
+        println!(
+            "  {:<12} peak {:.0} %",
+            server_names[server.index()],
+            **peak * 100.0
+        );
     }
 
     println!("\n== actions by kind ==");

@@ -70,8 +70,12 @@ fn full_loop_from_xml_to_executed_action() {
 #[test]
 fn protection_suppresses_subsequent_triggers_end_to_end() {
     let mut landscape = Landscape::new();
-    let blade = landscape.add_server(ServerSpec::fsc_bx300("blade")).unwrap();
-    let other = landscape.add_server(ServerSpec::fsc_bx600("other")).unwrap();
+    let blade = landscape
+        .add_server(ServerSpec::fsc_bx300("blade"))
+        .unwrap();
+    let other = landscape
+        .add_server(ServerSpec::fsc_bx600("other"))
+        .unwrap();
     let big = landscape.add_server(ServerSpec::hp_bl40p("big")).unwrap();
     let app = landscape
         .add_service(ServiceSpec::new("app", ServiceKind::ApplicationServer))
@@ -115,7 +119,9 @@ fn protection_suppresses_subsequent_triggers_end_to_end() {
 #[test]
 fn archive_supports_watch_time_averages() {
     let mut landscape = Landscape::new();
-    let blade = landscape.add_server(ServerSpec::fsc_bx300("blade")).unwrap();
+    let blade = landscape
+        .add_server(ServerSpec::fsc_bx300("blade"))
+        .unwrap();
     let mut supervisor = Supervisor::new(landscape);
 
     for minute in 0..120u64 {
@@ -124,7 +130,11 @@ fn archive_supports_watch_time_averages() {
     }
     let first_hour = supervisor
         .archive()
-        .average_cpu(Subject::Server(blade), SimTime::ZERO, SimTime::from_hours(1))
+        .average_cpu(
+            Subject::Server(blade),
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+        )
         .unwrap();
     let second_hour = supervisor
         .archive()
@@ -166,7 +176,10 @@ fn declarative_constraints_bind_the_controller() {
           <instance service="cm-app" server="a"/>
         </allocation>
       </landscape>"#;
-    let landscape = LandscapeDescription::from_xml(xml).unwrap().build().unwrap();
+    let landscape = LandscapeDescription::from_xml(xml)
+        .unwrap()
+        .build()
+        .unwrap();
     let app = landscape.service_by_name("cm-app").unwrap();
     let a = landscape.server_by_name("a").unwrap();
     let b = landscape.server_by_name("b").unwrap();
@@ -188,7 +201,10 @@ fn declarative_constraints_bind_the_controller() {
     assert!(!executed.is_empty());
     for record in &executed {
         assert!(
-            matches!(record.action.kind(), ActionKind::ScaleIn | ActionKind::ScaleOut),
+            matches!(
+                record.action.kind(),
+                ActionKind::ScaleIn | ActionKind::ScaleOut
+            ),
             "only declared actions may execute, saw {}",
             record.action
         );
@@ -202,7 +218,9 @@ fn declarative_constraints_bind_the_controller() {
 #[test]
 fn unresolvable_overload_raises_alert() {
     let mut landscape = Landscape::new();
-    let blade = landscape.add_server(ServerSpec::fsc_bx300("blade")).unwrap();
+    let blade = landscape
+        .add_server(ServerSpec::fsc_bx300("blade"))
+        .unwrap();
     let frozen = landscape
         .add_service(ServiceSpec::new("frozen", ServiceKind::Database).immobile())
         .unwrap();
@@ -234,8 +252,12 @@ fn unresolvable_overload_raises_alert() {
 #[test]
 fn failures_heal_through_the_supervisor() {
     let mut landscape = Landscape::new();
-    let blade1 = landscape.add_server(ServerSpec::fsc_bx300("blade1")).unwrap();
-    let blade2 = landscape.add_server(ServerSpec::fsc_bx600("blade2")).unwrap();
+    let blade1 = landscape
+        .add_server(ServerSpec::fsc_bx300("blade1"))
+        .unwrap();
+    let blade2 = landscape
+        .add_server(ServerSpec::fsc_bx600("blade2"))
+        .unwrap();
     let app = landscape
         .add_service(ServiceSpec::new("app", ServiceKind::ApplicationServer))
         .unwrap();

@@ -6,8 +6,8 @@ use autoglobe::prelude::*;
 
 fn run(scenario: Scenario, multiplier: f64, hours: u64) -> Metrics {
     let env = build_environment(scenario);
-    let config = SimConfig::paper(scenario, multiplier)
-        .with_duration(SimDuration::from_hours(hours));
+    let config =
+        SimConfig::paper(scenario, multiplier).with_duration(SimDuration::from_hours(hours));
     Simulation::new(env, config).run()
 }
 
@@ -63,8 +63,7 @@ fn figure_13_cm_shortens_but_does_not_eliminate_overload() {
 #[test]
 fn fm_uses_movement_actions() {
     let fm = run(Scenario::FullMobility, 1.25, 30);
-    let kinds: std::collections::BTreeSet<_> =
-        fm.actions.iter().map(|r| r.action.kind()).collect();
+    let kinds: std::collections::BTreeSet<_> = fm.actions.iter().map(|r| r.action.kind()).collect();
     assert!(
         kinds.contains(&ActionKind::ScaleUp)
             || kinds.contains(&ActionKind::Move)

@@ -1,41 +1,33 @@
-//! Property-based integration tests: the declarative XML language round-trips
+//! Seeded integration tests: the declarative XML language round-trips
 //! arbitrary landscape descriptions, and controller rule bases embedded in
 //! XML compile into working engines.
 
 use autoglobe::controller::RuleBases;
 use autoglobe::prelude::*;
-use proptest::prelude::*;
+use autoglobe_rng::{check, Rng};
 
-fn action_kind_strategy() -> impl Strategy<Value = ActionKind> {
-    proptest::sample::select(ActionKind::ALL.to_vec())
+fn random_specs(rng: &mut Rng) -> (ServerSpec, ServiceSpec) {
+    let idx = rng.random_range(1.0..=16.0);
+    let mem = rng.random_int(512..=32_767);
+    let min_inst = rng.random_int(0..=2) as u32;
+    let actions: Vec<ActionKind> = ActionKind::ALL
+        .into_iter()
+        .filter(|_| rng.random_bool(0.5))
+        .collect();
+    let base = rng.random_range(0.0..=0.2);
+    let server = ServerSpec::new("host", (idx * 4.0).round() / 4.0).with_memory(mem, mem * 2);
+    let service = ServiceSpec::new("svc", ServiceKind::ApplicationServer)
+        .with_instances(min_inst, Some(min_inst.max(1) + 3))
+        .with_allowed_actions(actions)
+        .with_load_model((base * 100.0).round() / 100.0, 0.004);
+    (server, service)
 }
 
-
-fn spec_strategy() -> impl Strategy<Value = (ServerSpec, ServiceSpec)> {
-    (
-        1.0f64..16.0,
-        512u64..32768,
-        0u32..3,
-        proptest::collection::btree_set(action_kind_strategy(), 0..9),
-        0.0f64..0.2,
-    )
-        .prop_map(|(idx, mem, min_inst, actions, base)| {
-            let server = ServerSpec::new("host", (idx * 4.0).round() / 4.0)
-                .with_memory(mem, mem * 2);
-            let service = ServiceSpec::new("svc", ServiceKind::ApplicationServer)
-                .with_instances(min_inst, Some(min_inst.max(1) + 3))
-                .with_allowed_actions(actions)
-                .with_load_model((base * 100.0).round() / 100.0, 0.004);
-            (server, service)
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// XML serialization is a faithful encoding of specs.
-    #[test]
-    fn description_round_trips_through_xml((server, service) in spec_strategy()) {
+#[test]
+fn description_round_trips_through_xml() {
+    // XML serialization is a faithful encoding of specs.
+    check::cases(64, |rng| {
+        let (server, service) = random_specs(rng);
         let description = LandscapeDescription {
             servers: vec![server],
             services: vec![service],
@@ -44,20 +36,23 @@ proptest! {
         };
         let xml = description.to_xml();
         let reparsed = LandscapeDescription::from_xml(&xml).unwrap();
-        prop_assert_eq!(description, reparsed);
-    }
+        assert_eq!(description, reparsed);
+    });
+}
 
-    /// Any rule written in the DSL embeds into a <ruleBase> element, parses
-    /// back, and compiles into the controller's engines.
-    #[test]
-    fn xml_rule_bases_compile(
-        weight in 0.0f64..=1.0,
-        use_not in any::<bool>(),
-        trigger_idx in 0usize..4,
-    ) {
-        let trigger = TriggerKind::ALL[trigger_idx];
-        let atom = if use_not { "NOT cpuLoad IS low" } else { "cpuLoad IS high" };
-        let w = (weight * 100.0).round() / 100.0;
+#[test]
+fn xml_rule_bases_compile() {
+    // Any rule written in the DSL embeds into a <ruleBase> element, parses
+    // back, and compiles into the controller's engines.
+    check::cases(64, |rng| {
+        let trigger = *rng.choice(&TriggerKind::ALL);
+        let use_not = rng.random_bool(0.5);
+        let atom = if use_not {
+            "NOT cpuLoad IS low"
+        } else {
+            "cpuLoad IS high"
+        };
+        let w = (rng.random_range(0.0..=1.0) * 100.0).round() / 100.0;
         let xml = format!(
             r#"<landscape>
                  <ruleBase trigger="{}">
@@ -68,16 +63,21 @@ proptest! {
         );
         let description = LandscapeDescription::from_xml(&xml).unwrap();
         let mut rule_bases = RuleBases::paper_defaults();
-        rule_bases.apply_descriptions(&description.rule_bases).unwrap();
+        rule_bases
+            .apply_descriptions(&description.rule_bases)
+            .unwrap();
         let base = rule_bases.for_trigger(trigger, "any");
-        prop_assert_eq!(base.len(), 1, "replacement rule base has exactly one rule");
-        prop_assert!((base.rules()[0].weight - w).abs() < 1e-9);
-    }
+        assert_eq!(base.len(), 1, "replacement rule base has exactly one rule");
+        assert!((base.rules()[0].weight - w).abs() < 1e-9);
+    });
+}
 
-    /// A landscape built from XML enforces the same constraints as one built
-    /// programmatically: scale-out beyond maxInstances always fails.
-    #[test]
-    fn xml_constraints_equal_programmatic(max in 1u32..4) {
+#[test]
+fn xml_constraints_equal_programmatic() {
+    // A landscape built from XML enforces the same constraints as one built
+    // programmatically: scale-out beyond maxInstances always fails.
+    check::cases(16, |rng| {
+        let max = rng.random_int(1..=3) as u32;
         let xml = format!(
             r#"<landscape>
                  <servers><server name="a" performanceIndex="1" memoryMB="65536"/></servers>
@@ -88,15 +88,19 @@ proptest! {
                  </services>
                </landscape>"#
         );
-        let mut landscape = LandscapeDescription::from_xml(&xml).unwrap().build().unwrap();
+        let mut landscape = LandscapeDescription::from_xml(&xml)
+            .unwrap()
+            .build()
+            .unwrap();
         let service = landscape.service_by_name("s").unwrap();
         let server = landscape.server_by_name("a").unwrap();
-        let scale_out = Action::ScaleOut { service, target: server };
+        let scale_out = Action::ScaleOut {
+            service,
+            target: server,
+        };
         for _ in 0..max {
-            let ok = landscape.apply(&scale_out).is_ok();
-            prop_assert!(ok);
+            assert!(landscape.apply(&scale_out).is_ok());
         }
-        let rejected = landscape.apply(&scale_out).is_err();
-        prop_assert!(rejected);
-    }
+        assert!(landscape.apply(&scale_out).is_err());
+    });
 }
