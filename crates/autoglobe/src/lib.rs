@@ -77,8 +77,8 @@ pub use supervisor::Supervisor;
 pub mod prelude {
     pub use crate::supervisor::Supervisor;
     pub use autoglobe_controller::{
-        ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent, ExecutionMode,
-        LoadView, RuleBases,
+        ActionExecutor, ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent,
+        ExecutionMode, ExecutorConfig, LoadView, RuleBases,
     };
     pub use autoglobe_fuzzy::{
         parse_rule, parse_rules, Defuzzifier, Engine, EngineConfig, InferenceMethod,
@@ -89,11 +89,11 @@ pub mod prelude {
         ServiceId, ServiceKind, ServiceSpec,
     };
     pub use autoglobe_monitor::{
-        LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject,
-        SubjectConfig, TriggerEvent, TriggerKind,
+        HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor, LoadArchive, LoadMonitoringSystem,
+        LoadSample, SimDuration, SimTime, Subject, SubjectConfig, TriggerEvent, TriggerKind,
     };
     pub use autoglobe_simulator::{
-        build_environment, find_max_users, CapacityCriterion, Metrics, Scenario, SimConfig,
-        Simulation,
+        build_environment, find_max_users, CapacityCriterion, FailureInjection, HeartbeatDetection,
+        Metrics, Scenario, SimConfig, Simulation,
     };
 }

@@ -177,9 +177,11 @@ impl Supervisor {
             .handle_failure(&event, &mut self.landscape, &self.loads, now)
     }
 
-    /// Mark a previously failed host repaired.
-    pub fn report_server_repaired(&mut self, server: ServerId) {
+    /// Mark a previously failed host repaired: it rejoins the pool and the
+    /// controller logs a [`ControllerEvent::Repaired`] for the event view.
+    pub fn report_server_repaired(&mut self, server: ServerId, now: SimTime) -> ControllerEvent {
         let _ = self.landscape.set_available(server, true);
+        self.controller.note_repaired(server, now)
     }
 
     /// Register monitors for any servers/services added since construction,

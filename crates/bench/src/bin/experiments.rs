@@ -56,6 +56,7 @@ fn main() {
             run_fi_figure("fig17", Scenario::FullMobility, hours, seed)
         }),
         "table7" => timings.record("table7", || run_table7(hours, seed, jobs)),
+        "chaos" => timings.record("chaos", || run_chaos(hours, seed, jobs)),
         "designer" => timings.record("designer", run_designer),
         "ablation" => timings.record("ablation", || run_ablation(hours.min(30))),
         "all" => {
@@ -83,13 +84,14 @@ fn main() {
                 render_fi_figure(fig_fi, *scenario, m);
             }
             timings.record("table7", || run_table7(hours, seed, jobs));
+            timings.record("chaos", || run_chaos(hours, seed, jobs));
             timings.record("designer", run_designer);
             timings.record("ablation", || run_ablation(hours.min(30)));
         }
         _ => {
             eprintln!(
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
-                 fig15|fig16|fig17|table7|designer|ablation|all> \
+                 fig15|fig16|fig17|table7|chaos|designer|ablation|all> \
                  [--hours N] [--seed N] [--jobs N]"
             );
             std::process::exit(2);
@@ -233,6 +235,29 @@ fn run_table7(hours: u64, seed: u64, jobs: usize) {
         ));
     }
     write("results/table7_max_users.csv", &csv);
+}
+
+fn run_chaos(hours: u64, seed: u64, jobs: usize) {
+    println!(
+        "Chaos recovery sweep — Figure 13 scenario with fallible execution, \
+         heartbeat detection and scaled failure rates ({hours} h per point, {jobs} job(s)):"
+    );
+    let rows = xp::chaos_sweep(hours, seed, jobs);
+    for (scale, m) in &rows {
+        println!(
+            "  scale {scale:>5}: {:>3} failures, {:>3} detected (latency {:>5.0} s), \
+             {:>3} recovered (MTTR {:>5.0} s), {:>2} lost, {:>3} retries, {:>2} compensations",
+            m.failures,
+            m.detections,
+            m.mean_detection_latency_secs(),
+            m.recoveries,
+            m.mean_time_to_recovery_secs(),
+            m.lost_instances,
+            m.exec_retries,
+            m.exec_compensations,
+        );
+    }
+    write("results/chaos_recovery.csv", &xp::chaos_csv(&rows));
 }
 
 fn run_designer() {

@@ -20,13 +20,14 @@
 
 pub mod pool;
 
-use autoglobe_controller::ControllerConfig;
+use autoglobe_controller::{ControllerConfig, ExecutorConfig};
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
 use autoglobe_landscape::ServerId;
 use autoglobe_monitor::SimDuration;
+use autoglobe_rng::splitmix64;
 use autoglobe_simulator::{
-    build_environment, find_max_users, sap, CapacityCriterion, DailyPattern, Metrics, Scenario,
-    SimConfig, Simulation,
+    build_environment, find_max_users, sap, CapacityCriterion, DailyPattern, FailureInjection,
+    HeartbeatDetection, Metrics, Scenario, SimConfig, Simulation,
 };
 use std::fmt::Write as _;
 
@@ -491,6 +492,110 @@ pub fn scenario_runs(
     })
 }
 
+/// The failure-rate scales the chaos sweep walks: each point multiplies the
+/// base failure rates (instance crashes, host failures) and the execution
+/// failure probability, from a quarter of the baseline to eight times it.
+pub const CHAOS_SCALES: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+
+/// Baseline instance-crash rate of the chaos experiment (per instance per
+/// simulated hour, at scale 1.0).
+pub const CHAOS_INSTANCE_CRASH_PER_HOUR: f64 = 0.02;
+/// Baseline host-failure rate (per server per simulated hour, at scale 1.0).
+pub const CHAOS_SERVER_FAILURE_PER_HOUR: f64 = 0.004;
+/// Baseline per-attempt execution failure probability (at scale 1.0, capped
+/// at 0.5 so even the wildest sweep point can still make progress).
+pub const CHAOS_EXEC_FAILURE_PROBABILITY: f64 = 0.05;
+
+/// The chaos configuration at one sweep point: the Figure 13 scenario
+/// (constrained mobility, +15 % users) with scaled failure injection,
+/// a slightly lossy heartbeat network, and fallible asynchronous action
+/// execution.
+fn chaos_point_config(scale: f64, hours: u64, seed: u64) -> SimConfig {
+    SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed)
+        .with_failures(FailureInjection {
+            instance_crash_per_hour: CHAOS_INSTANCE_CRASH_PER_HOUR * scale,
+            server_failure_per_hour: CHAOS_SERVER_FAILURE_PER_HOUR * scale,
+            repair_after: SimDuration::from_hours(1),
+        })
+        .with_execution(ExecutorConfig {
+            min_latency: SimDuration::from_secs(30),
+            max_latency: SimDuration::from_minutes(3),
+            timeout: SimDuration::from_minutes(2),
+            failure_probability: (CHAOS_EXEC_FAILURE_PROBABILITY * scale).min(0.5),
+            ..ExecutorConfig::reliable()
+        })
+        .with_heartbeats(HeartbeatDetection {
+            miss_threshold: 3,
+            confirm_after: 2,
+            loss_probability: 0.01,
+        })
+}
+
+/// One chaos point: run the Figure 13 scenario with failure rates scaled by
+/// `scale`. A pure function of its arguments — the simulation owns its
+/// seeded RNGs — so points may run on any thread in any order.
+pub fn chaos_run(scale: f64, hours: u64, seed: u64) -> Metrics {
+    let env = build_environment(Scenario::ConstrainedMobility);
+    Simulation::new(env, chaos_point_config(scale, hours, seed)).run()
+}
+
+/// The chaos sweep: every [`CHAOS_SCALES`] point over the Figure 13
+/// scenario. Per-point seeds are derived from the master `seed` by a
+/// splitmix64 chain *before* the points fan out across the pool, so the
+/// result is bit-identical whatever `jobs` is.
+pub fn chaos_sweep(hours: u64, seed: u64, jobs: usize) -> Vec<(f64, Metrics)> {
+    let mut state = seed ^ 0x5EED_C4A0_5C4A; // chaos-sweep seed domain
+    let points: Vec<(f64, u64)> = CHAOS_SCALES
+        .iter()
+        .map(|&scale| (scale, splitmix64(&mut state)))
+        .collect();
+    pool::parallel_map(jobs, points, move |(scale, point_seed)| {
+        (scale, chaos_run(scale, hours, point_seed))
+    })
+}
+
+/// Render the chaos sweep as `results/chaos_recovery.csv`: one row per
+/// failure-rate scale with detection, recovery and execution-robustness
+/// metrics (MTTR and detection latency in seconds).
+pub fn chaos_csv(rows: &[(f64, Metrics)]) -> String {
+    let mut out = String::from(
+        "failure_scale,instance_crash_per_hour,server_failure_per_hour,\
+         exec_failure_probability,failures,detections,mean_detection_latency_s,\
+         recoveries,mttr_s,lost_instances,lost_sessions,suspected,reconciled,\
+         repairs,exec_retries,exec_timeouts,exec_fenced,exec_compensations,\
+         actions,alerts\n",
+    );
+    for (scale, m) in rows {
+        writeln!(
+            out,
+            "{scale},{:.4},{:.4},{:.4},{},{},{:.1},{},{:.1},{},{:.2},{},{},{},{},{},{},{},{},{}",
+            CHAOS_INSTANCE_CRASH_PER_HOUR * scale,
+            CHAOS_SERVER_FAILURE_PER_HOUR * scale,
+            (CHAOS_EXEC_FAILURE_PROBABILITY * scale).min(0.5),
+            m.failures,
+            m.detections,
+            m.mean_detection_latency_secs(),
+            m.recoveries,
+            m.mean_time_to_recovery_secs(),
+            m.lost_instances,
+            m.lost_sessions,
+            m.suspected_failures,
+            m.reconciliations,
+            m.repairs,
+            m.exec_retries,
+            m.exec_timeouts,
+            m.exec_fenced,
+            m.exec_compensations,
+            m.actions.len(),
+            m.alerts,
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Ablation: decision quality of the fuzzy-engine variants. For a spectrum
 /// of overload situations, report how often each (inference, defuzzifier)
 /// pair ranks the same top action as the paper's max–min/leftmost-max
@@ -911,6 +1016,49 @@ mod name_resolution_tests {
             m += 0.05;
         }
         assert!(m > 3.0, "the ladder ends exactly at the safety stop");
+    }
+
+    /// Chaos acceptance: the sweep must be bit-identical whatever the
+    /// worker-pool size — per-point seeds are chained off the master seed
+    /// before any point fans out.
+    #[test]
+    fn chaos_sweep_is_bit_identical_across_job_counts() {
+        let sequential = chaos_sweep(2, 7, 1);
+        let parallel = chaos_sweep(2, 7, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for ((s1, m1), (s2, m2)) in sequential.iter().zip(&parallel) {
+            assert_eq!(s1.to_bits(), s2.to_bits());
+            assert_eq!(m1.failures, m2.failures);
+            assert_eq!(m1.detections, m2.detections);
+            assert_eq!(m1.detection_latency_secs, m2.detection_latency_secs);
+            assert_eq!(m1.recoveries, m2.recoveries);
+            assert_eq!(m1.recovery_time_secs, m2.recovery_time_secs);
+            assert_eq!(m1.exec_retries, m2.exec_retries);
+            assert_eq!(m1.lost_sessions.to_bits(), m2.lost_sessions.to_bits());
+            assert_eq!(m1.actions, m2.actions);
+        }
+        assert_eq!(chaos_csv(&sequential), chaos_csv(&parallel));
+    }
+
+    /// The CSV renderer exposes every robustness column the experiment
+    /// documentation promises, one row per sweep point.
+    #[test]
+    fn chaos_csv_has_one_row_per_scale() {
+        let rows = chaos_sweep(1, 7, 0);
+        let csv = chaos_csv(&rows);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        for column in [
+            "failure_scale",
+            "mean_detection_latency_s",
+            "mttr_s",
+            "lost_sessions",
+            "exec_retries",
+            "exec_compensations",
+        ] {
+            assert!(header.contains(column), "missing column {column}");
+        }
+        assert_eq!(lines.count(), CHAOS_SCALES.len());
     }
 
     #[test]

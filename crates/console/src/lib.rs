@@ -174,6 +174,7 @@ pub fn message_view(controller: &AutoGlobeController, last: usize) -> String {
             ControllerEvent::SuppressedByProtection { .. } => "..",
             ControllerEvent::PendingConfirmation { .. } => "??",
             ControllerEvent::Recovered { .. } => "<3",
+            ControllerEvent::Repaired { .. } => "++",
         };
         writeln!(out, "  {marker} {event}").unwrap();
     }

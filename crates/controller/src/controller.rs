@@ -7,6 +7,7 @@
 //! success, and an administrator alert when nothing sufficiently applicable
 //! remains.
 
+use crate::executor::{DecidedAction, PlannedTrigger};
 use crate::inputs::{ActionInputs, LoadView, ServerInputs};
 use crate::log::{ActionRecord, ControllerEvent};
 use crate::protection::ProtectionRegistry;
@@ -263,6 +264,155 @@ impl AutoGlobeController {
             outcome.events.push(e);
         }
         outcome
+    }
+
+    /// Plan one confirmed trigger without touching the landscape: the
+    /// complete Figure 6 flow up to — but not including — execution. The
+    /// winning candidate is returned as a [`DecidedAction`] (carrying the
+    /// remaining ranked hosts as retry alternates) for an
+    /// [`crate::ActionExecutor`] to carry out asynchronously.
+    ///
+    /// Planning mirrors [`AutoGlobeController::handle_trigger`] exactly —
+    /// same protection handling, same candidate ordering, same constraint
+    /// verification, same log messages — so that a zero-latency, infallible
+    /// executor reproduces the synchronous path bit for bit.
+    pub fn plan_trigger(
+        &mut self,
+        event: &TriggerEvent,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> PlannedTrigger {
+        let mut planned = PlannedTrigger::default();
+        self.protection.expire(now);
+
+        if let Some(until) = self.protection.protected_until(event.subject, now) {
+            let e = ControllerEvent::SuppressedByProtection {
+                time: now,
+                trigger: event.kind,
+                protected_until: until,
+            };
+            self.log.push(e.clone());
+            planned.events.push(e);
+            return planned;
+        }
+
+        let mut candidates = self.collect_candidates(event, landscape, loads, now);
+        candidates.retain(|c| c.applicability >= self.config.min_applicability);
+        candidates.sort_by(|a, b| {
+            b.applicability
+                .partial_cmp(&a.applicability)
+                .unwrap()
+                .then_with(|| a.service.cmp(&b.service))
+        });
+
+        if candidates.is_empty() {
+            if event.kind.is_overload() {
+                let e = ControllerEvent::AdministratorAlert {
+                    time: now,
+                    trigger: event.kind,
+                    message: format!(
+                        "no action with applicability ≥ {:.0}% for {}",
+                        self.config.min_applicability * 100.0,
+                        event.subject
+                    ),
+                };
+                self.log.push(e.clone());
+                planned.events.push(e);
+            }
+            return planned;
+        }
+
+        for candidate in &candidates {
+            if let Some(decided) =
+                self.plan_candidate(candidate, event, landscape, loads, now, &mut planned.events)
+            {
+                planned.decided = Some(decided);
+                return planned;
+            }
+        }
+
+        if event.kind.is_overload() {
+            let e = ControllerEvent::AdministratorAlert {
+                time: now,
+                trigger: event.kind,
+                message: format!(
+                    "all {} candidate action(s) failed verification for {}",
+                    candidates.len(),
+                    event.subject
+                ),
+            };
+            self.log.push(e.clone());
+            planned.events.push(e);
+        }
+        planned
+    }
+
+    /// Planning counterpart of `try_candidate`: verify without applying.
+    fn plan_candidate(
+        &mut self,
+        candidate: &Candidate,
+        event: &TriggerEvent,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+        events: &mut Vec<ControllerEvent>,
+    ) -> Option<DecidedAction> {
+        let service_name = landscape.service(candidate.service).ok()?.name.clone();
+
+        if candidate.kind.needs_target() {
+            let hosts = self.rank_hosts(candidate, &service_name, landscape, loads, now);
+            for (idx, &(host, score)) in hosts.iter().enumerate() {
+                let Some(action) = concretize(candidate, host) else {
+                    continue;
+                };
+                match check_action(landscape, &action) {
+                    Ok(()) => {
+                        return Some(DecidedAction {
+                            action,
+                            trigger: event.kind,
+                            applicability: candidate.applicability,
+                            host_score: Some(score),
+                            alternates: hosts[idx + 1..].to_vec(),
+                        });
+                    }
+                    Err(violation) => {
+                        // Same wrapping as `Landscape::apply` reports, so
+                        // planned and synchronous logs match byte for byte.
+                        let e = ControllerEvent::Rejected {
+                            time: now,
+                            action,
+                            reason: autoglobe_landscape::LandscapeError::from(violation)
+                                .to_string(),
+                        };
+                        self.log.push(e.clone());
+                        events.push(e);
+                    }
+                }
+            }
+            None
+        } else {
+            let action = concretize(candidate, ServerId::new(0))?;
+            match check_action(landscape, &action) {
+                Ok(()) => Some(DecidedAction {
+                    action,
+                    trigger: event.kind,
+                    applicability: candidate.applicability,
+                    host_score: None,
+                    alternates: Vec::new(),
+                }),
+                Err(violation) => {
+                    let e = ControllerEvent::Rejected {
+                        time: now,
+                        action,
+                        reason: autoglobe_landscape::LandscapeError::from(violation).to_string(),
+                    };
+                    self.log.push(e.clone());
+                    events.push(e);
+                    None
+                }
+            }
+        }
     }
 
     /// Gather ranked candidates for the trigger, per Figure 7: a service
@@ -552,8 +702,14 @@ impl AutoGlobeController {
         }
     }
 
-    /// Protect the service and servers involved in an executed action.
-    fn protect_involved(&mut self, action: &Action, landscape: &Landscape, now: SimTime) {
+    /// Protect the service and servers involved in an executed action (also
+    /// used by the executor after an asynchronous attempt succeeds).
+    pub(crate) fn protect_involved(
+        &mut self,
+        action: &Action,
+        landscape: &Landscape,
+        now: SimTime,
+    ) {
         let d = self.config.protection_time;
         if let Some(target) = action.target() {
             self.protection.protect(Subject::Server(target), now, d);

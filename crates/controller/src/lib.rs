@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod controller;
+pub mod executor;
 pub mod inputs;
 pub mod log;
 pub mod protection;
@@ -43,6 +44,7 @@ pub mod variables;
 pub use controller::{
     AutoGlobeController, ControllerConfig, ExecutionMode, PendingAction, TriggerOutcome,
 };
+pub use executor::{ActionExecutor, DecidedAction, ExecutionEvent, ExecutorConfig, PlannedTrigger};
 pub use inputs::{ActionInputs, LoadView, ServerInputs};
 pub use log::{ActionRecord, ControllerEvent};
 pub use protection::ProtectionRegistry;

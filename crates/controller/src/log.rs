@@ -98,6 +98,13 @@ pub enum ControllerEvent {
         /// The host the restart landed on.
         server: autoglobe_landscape::ServerId,
     },
+    /// A previously failed host finished its repair and rejoined the pool.
+    Repaired {
+        /// When.
+        time: SimTime,
+        /// The host that came back.
+        server: autoglobe_landscape::ServerId,
+    },
 }
 
 impl ControllerEvent {
@@ -109,7 +116,8 @@ impl ControllerEvent {
             | ControllerEvent::AdministratorAlert { time, .. }
             | ControllerEvent::SuppressedByProtection { time, .. }
             | ControllerEvent::PendingConfirmation { time, .. }
-            | ControllerEvent::Recovered { time, .. } => *time,
+            | ControllerEvent::Recovered { time, .. }
+            | ControllerEvent::Repaired { time, .. } => *time,
         }
     }
 }
@@ -145,6 +153,9 @@ impl fmt::Display for ControllerEvent {
                 f,
                 "[{time}] recovered {service}: {old_instance} crashed, restarted as {new_instance} on {server}"
             ),
+            ControllerEvent::Repaired { time, server } => {
+                write!(f, "[{time}] {server} repaired and back in the pool")
+            }
         }
     }
 }
@@ -186,6 +197,16 @@ mod tests {
         };
         assert_eq!(e.time(), SimTime::from_hours(3));
         assert!(e.to_string().contains("ALERT"));
+    }
+
+    #[test]
+    fn repaired_event_display() {
+        let e = ControllerEvent::Repaired {
+            time: SimTime::from_minutes(150),
+            server: ServerId::new(3),
+        };
+        assert_eq!(e.time(), SimTime::from_minutes(150));
+        assert_eq!(e.to_string(), "[02:30] srv#3 repaired and back in the pool");
     }
 
     #[test]

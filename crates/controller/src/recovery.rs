@@ -23,8 +23,9 @@ use autoglobe_monitor::{FailureEvent, FailureKind, SimTime, TriggerKind};
 pub struct RecoveryOutcome {
     /// `(crashed instance, restarted instance, host)` per recovery.
     pub recovered: Vec<(InstanceId, InstanceId, ServerId)>,
-    /// Instances that could not be restarted anywhere.
-    pub lost: Vec<InstanceId>,
+    /// Instances that could not be restarted anywhere, with their service —
+    /// so callers can queue them for a retry once capacity returns.
+    pub lost: Vec<(InstanceId, ServiceId)>,
     /// Everything logged while handling the failure.
     pub events: Vec<ControllerEvent>,
 }
@@ -102,7 +103,7 @@ impl AutoGlobeController {
                 };
                 self.push_log(e.clone());
                 outcome.events.push(e);
-                outcome.lost.push(crashed);
+                outcome.lost.push((crashed, service));
             }
         }
     }
@@ -120,12 +121,32 @@ impl AutoGlobeController {
         if landscape.can_host(service, old_host) {
             return Some(old_host);
         }
+        self.best_restart_host(service, landscape, loads, now)
+    }
+
+    /// The best feasible host for restarting an instance of `service`, or
+    /// `None` only when no server can take it at all.
+    ///
+    /// A host that cannot be gathered or scored (e.g. a broken
+    /// service-specific placement rule base) is skipped, not allowed to
+    /// abort the whole search; if *no* candidate could be scored the first
+    /// feasible host wins — losing an instance is strictly worse than an
+    /// unscored placement.
+    pub fn best_restart_host(
+        &mut self,
+        service: ServiceId,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Option<ServerId> {
         let service_name = landscape.service(service).ok()?.name.clone();
         let mut best: Option<(ServerId, f64)> = None;
+        let mut fallback: Option<ServerId> = None;
         for server in landscape.server_ids() {
             if !landscape.can_host(service, server) {
                 continue;
             }
+            fallback = fallback.or(Some(server));
             // Protected hosts are still acceptable for recovery — losing an
             // instance is worse than disturbing a protected host — but they
             // score last among equals.
@@ -137,17 +158,58 @@ impl AutoGlobeController {
             } else {
                 1.0
             };
-            let inputs = ServerInputs::gather(landscape, loads, server)?;
-            let score = self
-                .server_selector_mut()
-                .score(ActionKind::Start, &service_name, &inputs)
-                .ok()?
-                * penalty;
+            let Some(inputs) = ServerInputs::gather(landscape, loads, server) else {
+                continue;
+            };
+            let Ok(score) =
+                self.server_selector_mut()
+                    .score(ActionKind::Start, &service_name, &inputs)
+            else {
+                continue;
+            };
+            let score = score * penalty;
             if best.as_ref().is_none_or(|&(_, s)| score > s) {
                 best = Some((server, score));
             }
         }
-        best.map(|(server, _)| server)
+        best.map(|(server, _)| server).or(fallback)
+    }
+
+    /// Retry the restart of a previously lost instance once capacity may
+    /// have returned (a repaired host, a freed exclusive server).
+    ///
+    /// On success the new instance is started, a
+    /// [`ControllerEvent::Recovered`] is logged, and
+    /// `(new instance, host)` is returned; with no feasible host the queue
+    /// entry stays pending and `None` is returned (silently — the loss was
+    /// already alerted when it happened).
+    pub fn retry_restart(
+        &mut self,
+        service: ServiceId,
+        old_instance: InstanceId,
+        landscape: &mut Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Option<(InstanceId, ServerId)> {
+        let host = self.best_restart_host(service, landscape, loads, now)?;
+        let new_instance = landscape.start_instance(service, host).ok()?;
+        let e = ControllerEvent::Recovered {
+            time: now,
+            service,
+            old_instance,
+            new_instance,
+            server: host,
+        };
+        self.push_log(e);
+        Some((new_instance, host))
+    }
+
+    /// Log that a previously failed host finished its repair and rejoined
+    /// the pool. Returns the logged event so callers can forward it.
+    pub fn note_repaired(&mut self, server: ServerId, now: SimTime) -> ControllerEvent {
+        let e = ControllerEvent::Repaired { time: now, server };
+        self.push_log(e.clone());
+        e
     }
 }
 
@@ -290,12 +352,100 @@ mod tests {
         let mut c = AutoGlobeController::new();
         let outcome = c.handle_failure(&event, &mut f.landscape, &f.loads, SimTime::from_hours(1));
         assert!(outcome.recovered.is_empty());
-        assert_eq!(outcome.lost, vec![f.instance]);
+        assert_eq!(outcome.lost, vec![(f.instance, f.app)]);
         assert_eq!(f.landscape.instance_count_of(f.app), 0);
         assert!(outcome
             .events
             .iter()
             .any(|e| matches!(e, ControllerEvent::AdministratorAlert { .. })));
+    }
+
+    #[test]
+    fn unscorable_candidates_do_not_abort_the_restart_search() {
+        // Regression: a service-specific placement rule base that fails to
+        // build (here: a rule over an action-selection-only variable) makes
+        // `ServerSelector::score` return Err for every host. The old code
+        // bailed out of the whole candidate loop with `.ok()?` and reported
+        // the instance lost even though feasible hosts existed; now the
+        // broken candidate is skipped and the first feasible host wins.
+        let mut f = fixture();
+        let mut bases = crate::rulebase::RuleBases::paper_defaults();
+        bases.add_service_action_rules(
+            ActionKind::Start,
+            "app",
+            autoglobe_fuzzy::parse_rules("IF serviceLoad IS high THEN score IS applicable")
+                .expect("parses fine; fails engine validation"),
+        );
+        let mut c = AutoGlobeController::with_rule_bases(
+            bases,
+            crate::controller::ControllerConfig::default(),
+        );
+        // The instance's own host fails, so restart_target must search.
+        let event = FailureEvent {
+            kind: FailureKind::ServerFailed(f.blade1),
+            time: SimTime::from_hours(1),
+        };
+        let outcome = c.handle_failure(&event, &mut f.landscape, &f.loads, SimTime::from_hours(1));
+        assert!(
+            outcome.lost.is_empty(),
+            "feasible hosts exist; nothing may be reported lost: {outcome:?}"
+        );
+        assert_eq!(outcome.recovered.len(), 1);
+        assert_ne!(outcome.recovered[0].2, f.blade1);
+    }
+
+    #[test]
+    fn retry_restart_succeeds_once_capacity_returns() {
+        let mut f = fixture();
+        // Everything down: the failure loses the instance.
+        f.landscape.set_available(f.blade2, false).unwrap();
+        f.landscape.set_available(f.big, false).unwrap();
+        let event = FailureEvent {
+            kind: FailureKind::ServerFailed(f.blade1),
+            time: SimTime::from_hours(1),
+        };
+        let mut c = AutoGlobeController::new();
+        let outcome = c.handle_failure(&event, &mut f.landscape, &f.loads, SimTime::from_hours(1));
+        assert_eq!(outcome.lost.len(), 1);
+        let (old_instance, service) = outcome.lost[0];
+
+        // While everything is still down the retry stays pending…
+        assert!(c
+            .retry_restart(
+                service,
+                old_instance,
+                &mut f.landscape,
+                &f.loads,
+                SimTime::from_hours(2)
+            )
+            .is_none());
+
+        // …and succeeds as soon as one host repairs.
+        f.landscape.set_available(f.blade2, true).unwrap();
+        let (new_instance, host) = c
+            .retry_restart(
+                service,
+                old_instance,
+                &mut f.landscape,
+                &f.loads,
+                SimTime::from_hours(3),
+            )
+            .expect("repaired host takes the restart");
+        assert_eq!(host, f.blade2);
+        assert!(f.landscape.instance(new_instance).is_ok());
+        assert!(c
+            .log()
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::Recovered { .. })));
+    }
+
+    #[test]
+    fn note_repaired_is_logged() {
+        let f = fixture();
+        let mut c = AutoGlobeController::new();
+        let e = c.note_repaired(f.blade1, SimTime::from_hours(4));
+        assert!(matches!(e, ControllerEvent::Repaired { server, .. } if server == f.blade1));
+        assert_eq!(c.log(), &[e]);
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Heartbeat-based failure detection.
+//!
+//! The paper's evaluation hands failures to the controller as oracle events;
+//! a real installation only ever *observes* silence. This module supplies
+//! the missing detector: every server and instance emits a heartbeat each
+//! monitoring tick, and the [`HeartbeatMonitor`] runs the classic
+//! suspect/confirm protocol over the beat stream:
+//!
+//! 1. `miss_threshold` consecutive missed beats raise a
+//!    [`HeartbeatEvent::Suspected`] — the detection latency of a real crash
+//!    is now a measurable quantity instead of zero.
+//! 2. A suspected subject that beats again before confirmation is
+//!    [`HeartbeatEvent::Reconciled`] — a dropped heartbeat (flaky network,
+//!    overloaded monitor) must not double-start a healthy instance.
+//! 3. `confirm_after` further silent ticks turn the suspicion into a
+//!    [`HeartbeatEvent::Confirmed`] failure; only then should consumers run
+//!    the self-healing path. Confirmed subjects are unwatched automatically
+//!    (the replacement gets its own watch).
+
+use crate::subject::Subject;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tunables of the suspect/confirm heartbeat protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Consecutive missed beats before a subject is suspected (N ≥ 1).
+    pub miss_threshold: u32,
+    /// Additional silent ticks after suspicion before the failure is
+    /// confirmed. `0` confirms in the same tick as the suspicion.
+    pub confirm_after: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            miss_threshold: 3,
+            confirm_after: 2,
+        }
+    }
+}
+
+impl HeartbeatConfig {
+    /// Check the parameters; a zero miss threshold would suspect every
+    /// subject on the first tick after a beat.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.miss_threshold == 0 {
+            return Err("miss_threshold must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// What the detector reports after each tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeartbeatEvent {
+    /// A subject missed `missed` consecutive beats and is now suspected.
+    Suspected {
+        /// The silent subject.
+        subject: Subject,
+        /// When the suspicion was raised.
+        time: SimTime,
+        /// Last beat received, if any beat was ever seen.
+        last_seen: Option<SimTime>,
+        /// Consecutive misses at suspicion time.
+        missed: u32,
+    },
+    /// A suspected subject produced a beat before confirmation — false
+    /// alarm, the subject is healthy again.
+    Reconciled {
+        /// The subject that came back.
+        subject: Subject,
+        /// When the reconciling beat arrived.
+        time: SimTime,
+    },
+    /// The suspicion survived the confirmation window: the subject is
+    /// declared failed and removed from the watch set.
+    Confirmed {
+        /// The failed subject.
+        subject: Subject,
+        /// When the failure was confirmed.
+        time: SimTime,
+        /// Last beat received, if any beat was ever seen.
+        last_seen: Option<SimTime>,
+    },
+}
+
+impl HeartbeatEvent {
+    /// The subject the event is about.
+    pub fn subject(&self) -> Subject {
+        match *self {
+            HeartbeatEvent::Suspected { subject, .. }
+            | HeartbeatEvent::Reconciled { subject, .. }
+            | HeartbeatEvent::Confirmed { subject, .. } => subject,
+        }
+    }
+
+    /// The event's timestamp.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            HeartbeatEvent::Suspected { time, .. }
+            | HeartbeatEvent::Reconciled { time, .. }
+            | HeartbeatEvent::Confirmed { time, .. } => time,
+        }
+    }
+}
+
+impl fmt::Display for HeartbeatEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HeartbeatEvent::Suspected {
+                subject,
+                time,
+                missed,
+                ..
+            } => write!(
+                f,
+                "[{time}] {subject} suspected ({missed} missed heartbeats)"
+            ),
+            HeartbeatEvent::Reconciled { subject, time } => {
+                write!(f, "[{time}] {subject} reconciled (heartbeats resumed)")
+            }
+            HeartbeatEvent::Confirmed { subject, time, .. } => {
+                write!(f, "[{time}] {subject} failure confirmed")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BeatState {
+    last_seen: Option<SimTime>,
+    misses: u32,
+    suspected: bool,
+    beat_this_round: bool,
+}
+
+/// Tracks heartbeats for a set of subjects and raises
+/// suspected/reconciled/confirmed events (see the module docs).
+///
+/// Drive it with [`HeartbeatMonitor::beat`] for every heartbeat that
+/// arrives, then call [`HeartbeatMonitor::tick`] once per monitoring
+/// interval; events are returned in subject order, so identical beat streams
+/// produce identical event streams.
+#[derive(Debug)]
+pub struct HeartbeatMonitor {
+    config: HeartbeatConfig,
+    states: BTreeMap<Subject, BeatState>,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor with the given protocol parameters.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`HeartbeatConfig::validate`].
+    pub fn new(config: HeartbeatConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid heartbeat config: {e}");
+        }
+        HeartbeatMonitor {
+            config,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// The protocol parameters.
+    pub fn config(&self) -> HeartbeatConfig {
+        self.config
+    }
+
+    /// Start watching a subject (no-op if already watched — the miss
+    /// counter of a watched subject is never reset by re-watching).
+    pub fn watch(&mut self, subject: Subject) {
+        self.states.entry(subject).or_default();
+    }
+
+    /// Stop watching a subject (e.g. an instance that was deliberately
+    /// stopped). Returns true if it was watched.
+    pub fn unwatch(&mut self, subject: Subject) -> bool {
+        self.states.remove(&subject).is_some()
+    }
+
+    /// Whether a subject is currently watched.
+    pub fn is_watched(&self, subject: Subject) -> bool {
+        self.states.contains_key(&subject)
+    }
+
+    /// All watched subjects, in order.
+    pub fn watched(&self) -> impl Iterator<Item = Subject> + '_ {
+        self.states.keys().copied()
+    }
+
+    /// Subjects currently under suspicion.
+    pub fn suspected(&self) -> impl Iterator<Item = Subject> + '_ {
+        self.states
+            .iter()
+            .filter(|(_, s)| s.suspected)
+            .map(|(k, _)| *k)
+    }
+
+    /// Record a heartbeat. Beats for unwatched subjects are ignored (the
+    /// subject may have been confirmed dead already — that is exactly the
+    /// fencing the protocol provides). Returns whether the beat was taken.
+    pub fn beat(&mut self, subject: Subject, now: SimTime) -> bool {
+        match self.states.get_mut(&subject) {
+            Some(state) => {
+                state.last_seen = Some(now);
+                state.beat_this_round = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Close one monitoring interval: every watched subject either beat
+    /// since the previous tick or missed. Returns the raised events in
+    /// subject order.
+    pub fn tick(&mut self, now: SimTime) -> Vec<HeartbeatEvent> {
+        let mut events = Vec::new();
+        let mut confirmed = Vec::new();
+        let confirm_at = self.config.miss_threshold + self.config.confirm_after;
+        for (&subject, state) in self.states.iter_mut() {
+            if state.beat_this_round {
+                state.beat_this_round = false;
+                state.misses = 0;
+                if state.suspected {
+                    state.suspected = false;
+                    events.push(HeartbeatEvent::Reconciled { subject, time: now });
+                }
+                continue;
+            }
+            state.misses += 1;
+            if !state.suspected && state.misses >= self.config.miss_threshold {
+                state.suspected = true;
+                events.push(HeartbeatEvent::Suspected {
+                    subject,
+                    time: now,
+                    last_seen: state.last_seen,
+                    missed: state.misses,
+                });
+            }
+            if state.suspected && state.misses >= confirm_at {
+                events.push(HeartbeatEvent::Confirmed {
+                    subject,
+                    time: now,
+                    last_seen: state.last_seen,
+                });
+                confirmed.push(subject);
+            }
+        }
+        for subject in confirmed {
+            self.states.remove(&subject);
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::{InstanceId, ServerId};
+
+    fn server(n: u32) -> Subject {
+        Subject::Server(ServerId::new(n))
+    }
+
+    fn monitor() -> HeartbeatMonitor {
+        HeartbeatMonitor::new(HeartbeatConfig {
+            miss_threshold: 3,
+            confirm_after: 2,
+        })
+    }
+
+    fn t(minute: u64) -> SimTime {
+        SimTime::from_minutes(minute)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(HeartbeatConfig::default().validate().is_ok());
+        let bad = HeartbeatConfig {
+            miss_threshold: 0,
+            confirm_after: 2,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn beating_subject_stays_healthy() {
+        let mut m = monitor();
+        m.watch(server(0));
+        for minute in 1..=20 {
+            m.beat(server(0), t(minute));
+            assert!(m.tick(t(minute)).is_empty());
+        }
+    }
+
+    #[test]
+    fn suspicion_after_n_misses_then_confirmation() {
+        let mut m = monitor();
+        m.watch(server(0));
+        m.beat(server(0), t(1));
+        assert!(m.tick(t(1)).is_empty());
+        // Silence from minute 2 on: misses 1, 2 → nothing; 3 → suspected.
+        assert!(m.tick(t(2)).is_empty());
+        assert!(m.tick(t(3)).is_empty());
+        let events = m.tick(t(4));
+        assert_eq!(
+            events,
+            vec![HeartbeatEvent::Suspected {
+                subject: server(0),
+                time: t(4),
+                last_seen: Some(t(1)),
+                missed: 3,
+            }]
+        );
+        assert_eq!(m.suspected().count(), 1);
+        // Two more silent ticks confirm the failure…
+        assert!(m.tick(t(5)).is_empty());
+        let events = m.tick(t(6));
+        assert_eq!(
+            events,
+            vec![HeartbeatEvent::Confirmed {
+                subject: server(0),
+                time: t(6),
+                last_seen: Some(t(1)),
+            }]
+        );
+        // …and the subject is auto-unwatched: detection latency from the
+        // last beat is (6 − 1) minutes, measurable by the consumer.
+        assert!(!m.is_watched(server(0)));
+        assert!(m.tick(t(7)).is_empty());
+    }
+
+    #[test]
+    fn false_suspicion_is_reconciled_not_confirmed() {
+        let mut m = monitor();
+        m.watch(server(0));
+        m.beat(server(0), t(1));
+        m.tick(t(1));
+        for minute in 2..=4 {
+            m.tick(t(minute)); // minute 4 raises the suspicion
+        }
+        // The subject beats again inside the confirmation window.
+        m.beat(server(0), t(5));
+        let events = m.tick(t(5));
+        assert_eq!(
+            events,
+            vec![HeartbeatEvent::Reconciled {
+                subject: server(0),
+                time: t(5),
+            }]
+        );
+        // Still watched, counter reset: three more silent ticks are needed
+        // for a new suspicion.
+        assert!(m.is_watched(server(0)));
+        assert!(m.tick(t(6)).is_empty());
+        assert!(m.tick(t(7)).is_empty());
+        assert!(!m.tick(t(8)).is_empty());
+    }
+
+    #[test]
+    fn beats_for_unwatched_subjects_are_fenced() {
+        let mut m = monitor();
+        assert!(!m.beat(server(9), t(1)), "unwatched beat must be ignored");
+        m.watch(server(9));
+        assert!(m.beat(server(9), t(2)));
+        m.unwatch(server(9));
+        assert!(!m.beat(server(9), t(3)));
+    }
+
+    #[test]
+    fn never_seen_subject_is_suspected_from_watch_time() {
+        // An instance that is started but never comes up has no last_seen.
+        let mut m = monitor();
+        m.watch(Subject::Instance(InstanceId::new(7)));
+        m.tick(t(1));
+        m.tick(t(2));
+        let events = m.tick(t(3));
+        assert!(matches!(
+            events[0],
+            HeartbeatEvent::Suspected {
+                last_seen: None,
+                missed: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_confirm_window_confirms_with_the_suspicion() {
+        let mut m = HeartbeatMonitor::new(HeartbeatConfig {
+            miss_threshold: 2,
+            confirm_after: 0,
+        });
+        m.watch(server(1));
+        m.tick(t(1));
+        let events = m.tick(t(2));
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], HeartbeatEvent::Suspected { .. }));
+        assert!(matches!(events[1], HeartbeatEvent::Confirmed { .. }));
+    }
+
+    #[test]
+    fn events_are_ordered_by_subject() {
+        let mut m = monitor();
+        m.watch(server(2));
+        m.watch(server(1));
+        for minute in 1..=3 {
+            m.tick(t(minute));
+        }
+        let events = m.tick(t(4));
+        // BTreeMap order: srv#1 before srv#2 — deterministic regardless of
+        // watch order.
+        assert_eq!(events.len(), 0);
+        let events = {
+            let mut m2 = monitor();
+            m2.watch(server(2));
+            m2.watch(server(1));
+            m2.tick(t(1));
+            m2.tick(t(2));
+            m2.tick(t(3))
+        };
+        assert_eq!(events[0].subject(), server(1));
+        assert_eq!(events[1].subject(), server(2));
+    }
+
+    #[test]
+    fn display_strings() {
+        let e = HeartbeatEvent::Suspected {
+            subject: server(4),
+            time: SimTime::from_minutes(61),
+            last_seen: Some(SimTime::from_minutes(58)),
+            missed: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "[01:01] srv#4 suspected (3 missed heartbeats)"
+        );
+        let e = HeartbeatEvent::Confirmed {
+            subject: server(4),
+            time: SimTime::from_minutes(63),
+            last_seen: None,
+        };
+        assert_eq!(e.to_string(), "[01:03] srv#4 failure confirmed");
+        let e = HeartbeatEvent::Reconciled {
+            subject: server(4),
+            time: SimTime::from_minutes(62),
+        };
+        assert_eq!(
+            e.to_string(),
+            "[01:02] srv#4 reconciled (heartbeats resumed)"
+        );
+        assert_eq!(e.subject(), server(4));
+        assert_eq!(e.time(), SimTime::from_minutes(62));
+    }
+}

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod heartbeat;
 pub mod monitor;
 pub mod subject;
 pub mod system;
@@ -31,6 +32,7 @@ pub mod time;
 pub mod trigger;
 
 pub use archive::LoadArchive;
+pub use heartbeat::{HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor};
 pub use monitor::{LoadMonitor, LoadSample};
 pub use subject::Subject;
 pub use system::{Advisor, LoadMonitoringSystem, SubjectConfig};

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use crate::scenario::Scenario;
-use autoglobe_controller::ControllerConfig;
+use autoglobe_controller::{ControllerConfig, ExecutorConfig};
 use autoglobe_monitor::SimDuration;
 
 /// Failure-injection parameters ("Failure situations like a program crash
@@ -17,12 +17,76 @@ pub struct FailureInjection {
     pub repair_after: SimDuration,
 }
 
+impl FailureInjection {
+    /// Check the parameters on construction rather than clamping at use
+    /// sites: rates must be finite probabilities in `[0, 1]`, and a failed
+    /// host must stay down for a positive repair duration.
+    pub fn validate(&self) -> Result<(), String> {
+        let check_rate = |name: &str, rate: f64| -> Result<(), String> {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!(
+                    "{name} must be a finite probability in [0, 1] per hour, got {rate}"
+                ));
+            }
+            Ok(())
+        };
+        check_rate("instance_crash_per_hour", self.instance_crash_per_hour)?;
+        check_rate("server_failure_per_hour", self.server_failure_per_hour)?;
+        if self.repair_after == SimDuration::ZERO {
+            return Err("repair_after must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 impl Default for FailureInjection {
     fn default() -> Self {
         FailureInjection {
             instance_crash_per_hour: 0.01,
             server_failure_per_hour: 0.001,
             repair_after: SimDuration::from_hours(2),
+        }
+    }
+}
+
+/// Heartbeat-based failure detection (replaces the oracle failure path when
+/// set): servers and instances emit a heartbeat every tick; `miss_threshold`
+/// consecutive misses raise a suspicion, `confirm_after` further silent
+/// ticks confirm the failure. `loss_probability` models a lossy monitoring
+/// network — healthy entities occasionally drop a beat, producing false
+/// suspicions the detector must reconcile.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatDetection {
+    /// Consecutive missed heartbeats before a subject is suspected.
+    pub miss_threshold: u32,
+    /// Further silent ticks before a suspicion is confirmed.
+    pub confirm_after: u32,
+    /// Probability per healthy entity per tick of dropping a heartbeat.
+    pub loss_probability: f64,
+}
+
+impl HeartbeatDetection {
+    /// Check the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.miss_threshold == 0 {
+            return Err("miss_threshold must be at least 1".into());
+        }
+        if !self.loss_probability.is_finite() || !(0.0..=1.0).contains(&self.loss_probability) {
+            return Err(format!(
+                "loss_probability must be a finite probability in [0, 1], got {}",
+                self.loss_probability
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for HeartbeatDetection {
+    fn default() -> Self {
+        HeartbeatDetection {
+            miss_threshold: 3,
+            confirm_after: 2,
+            loss_probability: 0.0,
         }
     }
 }
@@ -62,6 +126,12 @@ pub struct SimConfig {
     /// Optional failure injection (None = no failures, the paper's load
     /// studies).
     pub failures: Option<FailureInjection>,
+    /// Optional fallible asynchronous action execution (None = the
+    /// synchronous, infallible substrate the paper's load studies assume).
+    pub execution: Option<ExecutorConfig>,
+    /// Optional heartbeat failure detection (None = the oracle failure
+    /// path: the controller is told about failures instantly).
+    pub heartbeats: Option<HeartbeatDetection>,
 }
 
 impl SimConfig {
@@ -79,6 +149,8 @@ impl SimConfig {
             sample_every: SimDuration::from_minutes(5),
             record_instances_of: vec!["FI".to_string()],
             failures: None,
+            execution: None,
+            heartbeats: None,
         }
     }
 
@@ -114,9 +186,35 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style: enable fallible asynchronous action execution.
+    pub fn with_execution(mut self, execution: ExecutorConfig) -> Self {
+        self.execution = Some(execution);
+        self
+    }
+
+    /// Builder-style: enable heartbeat failure detection.
+    pub fn with_heartbeats(mut self, heartbeats: HeartbeatDetection) -> Self {
+        self.heartbeats = Some(heartbeats);
+        self
+    }
+
     /// Number of ticks in the run.
     pub fn num_ticks(&self) -> u64 {
         self.duration.as_secs() / self.tick.as_secs().max(1)
+    }
+
+    /// Check every optional subsystem's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(f) = &self.failures {
+            f.validate().map_err(|e| format!("failures: {e}"))?;
+        }
+        if let Some(e) = &self.execution {
+            e.validate().map_err(|e| format!("execution: {e}"))?;
+        }
+        if let Some(h) = &self.heartbeats {
+            h.validate().map_err(|e| format!("heartbeats: {e}"))?;
+        }
+        Ok(())
     }
 }
 
@@ -133,6 +231,59 @@ mod tests {
         assert!(c.controller_enabled);
         assert_eq!(c.controller.protection_time, SimDuration::from_minutes(30));
         assert_eq!(c.num_ticks(), 80 * 60);
+    }
+
+    #[test]
+    fn failure_injection_is_validated_on_construction() {
+        assert!(FailureInjection::default().validate().is_ok());
+        for bad_rate in [f64::NAN, -0.01, 1.5] {
+            let f = FailureInjection {
+                instance_crash_per_hour: bad_rate,
+                ..FailureInjection::default()
+            };
+            assert!(f.validate().is_err());
+        }
+        let f = FailureInjection {
+            server_failure_per_hour: f64::INFINITY,
+            ..FailureInjection::default()
+        };
+        assert!(f.validate().is_err());
+        let f = FailureInjection {
+            repair_after: SimDuration::ZERO,
+            ..FailureInjection::default()
+        };
+        assert!(f.validate().is_err());
+        // An invalid sub-config fails the whole SimConfig.
+        let c = SimConfig::quick(Scenario::FullMobility).with_failures(f);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn heartbeat_detection_is_validated() {
+        assert!(HeartbeatDetection::default().validate().is_ok());
+        let h = HeartbeatDetection {
+            miss_threshold: 0,
+            ..HeartbeatDetection::default()
+        };
+        assert!(h.validate().is_err());
+        for bad_loss in [f64::NAN, 1.1] {
+            let h = HeartbeatDetection {
+                loss_probability: bad_loss,
+                ..HeartbeatDetection::default()
+            };
+            assert!(h.validate().is_err());
+        }
+    }
+
+    #[test]
+    fn chaos_builders_chain_and_validate() {
+        let c = SimConfig::quick(Scenario::ConstrainedMobility)
+            .with_failures(FailureInjection::default())
+            .with_execution(ExecutorConfig::reliable())
+            .with_heartbeats(HeartbeatDetection::default());
+        assert!(c.validate().is_ok());
+        assert!(c.execution.is_some());
+        assert!(c.heartbeats.is_some());
     }
 
     #[test]

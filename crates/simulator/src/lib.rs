@@ -45,7 +45,7 @@ pub mod sim;
 pub mod workload;
 
 pub use capacity::{find_max_users, CapacityCriterion, CapacityResult};
-pub use config::{FailureInjection, SimConfig};
+pub use config::{FailureInjection, HeartbeatDetection, SimConfig};
 pub use metrics::{InstancePoint, Metrics, SeriesPoint};
 pub use sap::{build_environment, SapEnvironment};
 pub use scenario::Scenario;

@@ -70,6 +70,33 @@ pub struct Metrics {
     pub recoveries: usize,
     /// Instances that could not be restarted anywhere.
     pub lost_instances: usize,
+    /// Failed hosts that finished their repair and rejoined the pool.
+    pub repairs: usize,
+    /// Execution attempts that failed and were retried.
+    pub exec_retries: usize,
+    /// Execution attempts that outlived their timeout.
+    pub exec_timeouts: usize,
+    /// Fenced late successes that were discarded (would-be ghost effects).
+    pub exec_fenced: usize,
+    /// Operations abandoned after exhausting attempts/alternates — nothing
+    /// was applied, so compensation amounted to leaving the landscape
+    /// untouched.
+    pub exec_compensations: usize,
+    /// Heartbeat suspicions raised (true and false).
+    pub suspected_failures: usize,
+    /// False suspicions reconciled when heartbeats resumed.
+    pub reconciliations: usize,
+    /// Confirmed failure detections of genuinely failed entities.
+    pub detections: usize,
+    /// Sum over detections of (confirmation time − ground-truth failure
+    /// time), in seconds.
+    pub detection_latency_secs: u64,
+    /// Sum over recoveries of (restart time − ground-truth failure time),
+    /// in seconds — the numerator of MTTR.
+    pub recovery_time_secs: u64,
+    /// Users whose sessions were severed by a failure (fractional users:
+    /// the demand model distributes load continuously).
+    pub lost_sessions: f64,
     /// Integral of demand the hardware could not serve, in
     /// performance-unit-seconds (requests delayed — "users cannot perform
     /// all their requests in a given period").
@@ -149,6 +176,26 @@ impl Metrics {
         self.average_series.iter().map(|p| p.value).sum::<f64>() / self.average_series.len() as f64
     }
 
+    /// Mean time from ground-truth failure to completed restart, in
+    /// seconds (over successful recoveries with a recorded failure time).
+    pub fn mean_time_to_recovery_secs(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_time_secs as f64 / self.recoveries as f64
+        }
+    }
+
+    /// Mean time from ground-truth failure to confirmed detection, in
+    /// seconds (zero for the oracle path, where detection is instant).
+    pub fn mean_detection_latency_secs(&self) -> f64 {
+        if self.detections == 0 {
+            0.0
+        } else {
+            self.detection_latency_secs as f64 / self.detections as f64
+        }
+    }
+
     /// Number of executed actions by kind name → count (summaries, EXPERIMENTS.md).
     pub fn action_counts(&self) -> BTreeMap<&'static str, usize> {
         let mut counts = BTreeMap::new();
@@ -204,6 +251,19 @@ mod tests {
             ..Metrics::default()
         };
         assert!((m.unserved_fraction() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_and_detection_means() {
+        let mut m = Metrics::default();
+        assert_eq!(m.mean_time_to_recovery_secs(), 0.0);
+        assert_eq!(m.mean_detection_latency_secs(), 0.0);
+        m.recoveries = 4;
+        m.recovery_time_secs = 4 * 600;
+        m.detections = 2;
+        m.detection_latency_secs = 2 * 300;
+        assert!((m.mean_time_to_recovery_secs() - 600.0).abs() < 1e-12);
+        assert!((m.mean_detection_latency_secs() - 300.0).abs() < 1e-12);
     }
 
     #[test]

@@ -279,8 +279,10 @@ fn failures_heal_through_the_supervisor() {
     assert!(supervisor.landscape().instance(restarted).is_err());
     assert!(supervisor.landscape().instance(evacuated).is_ok());
 
-    // Repair brings the host back into the candidate pool.
-    supervisor.report_server_repaired(blade1);
+    // Repair brings the host back into the candidate pool — and is itself
+    // a logged event, not a silent availability flip.
+    let repaired = supervisor.report_server_repaired(blade1, SimTime::from_minutes(30));
+    assert!(matches!(repaired, ControllerEvent::Repaired { server, .. } if server == blade1));
     assert!(supervisor.landscape().is_available(blade1));
     assert!(supervisor.landscape().can_host(app, blade1));
 
@@ -291,4 +293,10 @@ fn failures_heal_through_the_supervisor() {
         .filter(|e| matches!(e, ControllerEvent::Recovered { .. }))
         .count();
     assert_eq!(recoveries, 2);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, ControllerEvent::Repaired { .. })),
+        "the repair must appear in the event log"
+    );
 }
