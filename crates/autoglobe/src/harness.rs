@@ -1,0 +1,200 @@
+//! Driving the paper's simulated SAP workload through the [`Supervisor`].
+//!
+//! The simulator crate owns a faithful copy of the evaluation loop — but
+//! the evaluation loop an *integrator* cares about is the one behind the
+//! production API. [`SupervisedRun`] closes that gap: it advances the
+//! simulator's [`WorkloadEngine`] (daily curves, sticky sessions, the
+//! request-flow demand model) against the Supervisor's landscape, feeds the
+//! resulting measurements through [`Supervisor::record_server`] /
+//! `record_service` / `record_instance`, lets [`Supervisor::tick`] watch →
+//! confirm → decide → act, and mirrors every completed action back into the
+//! session tables — the same beat/tick/poll control plane a real deployment
+//! drives, measured with the same [`Metrics`] the paper's figures use.
+
+use crate::supervisor::{Supervisor, SupervisorConfig};
+use autoglobe_controller::ControllerEvent;
+use autoglobe_landscape::InstanceId;
+use autoglobe_monitor::{SimDuration, SimTime};
+use autoglobe_rng::Rng;
+use autoglobe_simulator::sap::SapEnvironment;
+use autoglobe_simulator::{Metrics, SimConfig, WorkloadEngine};
+use std::collections::BTreeSet;
+
+/// A simulation of the paper's SAP workload run through the [`Supervisor`]
+/// control plane instead of the simulator's bespoke wiring.
+pub struct SupervisedRun {
+    supervisor: Supervisor,
+    engine: WorkloadEngine,
+    rng: Rng,
+    metrics: Metrics,
+    time: SimTime,
+    tick: SimDuration,
+    duration: SimDuration,
+}
+
+impl SupervisedRun {
+    /// Wire `env`'s landscape and workloads to a [`Supervisor`] built from
+    /// `supervisor` config. `sim` supplies the workload model's knobs
+    /// (scenario, duration, tick, user multiplier, seed); its controller
+    /// settings are *not* applied automatically — put them in
+    /// `supervisor.controller` if the run should use them.
+    ///
+    /// # Panics
+    /// Panics when `sim` fails [`SimConfig::validate`].
+    pub fn new(env: SapEnvironment, sim: &SimConfig, supervisor: SupervisorConfig) -> Self {
+        if let Err(e) = sim.validate() {
+            panic!("invalid simulation config: {e}");
+        }
+        let SapEnvironment {
+            landscape,
+            workloads,
+        } = env;
+        let engine = WorkloadEngine::new(&landscape, workloads, sim);
+        let metrics = Metrics {
+            scenario: Some(sim.scenario),
+            server_names: landscape
+                .server_ids()
+                .map(|id| landscape.server(id).unwrap().name.clone())
+                .collect(),
+            service_names: landscape
+                .service_ids()
+                .map(|id| landscape.service(id).unwrap().name.clone())
+                .collect(),
+            ..Metrics::default()
+        };
+        SupervisedRun {
+            supervisor: Supervisor::with_config(landscape, supervisor),
+            engine,
+            rng: Rng::seed_from_u64(sim.seed),
+            metrics,
+            time: SimTime::ZERO,
+            tick: sim.tick,
+            duration: sim.duration,
+        }
+    }
+
+    /// The control plane (to add hints, switch modes, inspect state).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// Mutable control-plane access.
+    pub fn supervisor_mut(&mut self) -> &mut Supervisor {
+        &mut self.supervisor
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Advance one tick: workload model → measurements → supervisor tick →
+    /// mirror completed actions into the session tables.
+    pub fn step(&mut self) {
+        self.time += self.tick;
+
+        // Workload model against the supervisor's (current) landscape. The
+        // supervised harness injects no ground-truth failures, so nothing
+        // is dead-but-undetected.
+        let dead: BTreeSet<InstanceId> = BTreeSet::new();
+        let loads = self.engine.advance(
+            self.supervisor.landscape(),
+            &dead,
+            self.time,
+            &mut self.rng,
+            &mut self.metrics,
+        );
+
+        // Measurements in — exactly what a deployment agent would report.
+        for (&server, &cpu) in &loads.server_cpu {
+            self.supervisor
+                .record_server(server, self.time, cpu, loads.server_mem[&server]);
+        }
+        for (&service, &cpu) in &loads.service_cpu {
+            self.supervisor.record_service(service, self.time, cpu);
+        }
+        for (&instance, &cpu) in &loads.instance_cpu {
+            self.supervisor.record_instance(instance, self.time, cpu);
+        }
+
+        // Actions out.
+        for record in self.supervisor.tick(self.time) {
+            self.engine
+                .note_action(&record.outcome, self.supervisor.landscape(), self.time);
+            self.metrics.actions.push(record);
+        }
+        for event in self.supervisor.drain_events() {
+            if matches!(event, ControllerEvent::AdministratorAlert { .. }) {
+                self.metrics.alerts += 1;
+            }
+        }
+    }
+
+    /// Run to completion and return the metrics (proactive firings are
+    /// folded into [`Metrics::proactive_triggers`] and
+    /// [`Metrics::proactive_lead_secs`]).
+    pub fn run(mut self) -> Metrics {
+        let ticks = self.duration.as_secs() / self.tick.as_secs().max(1);
+        for _ in 0..ticks {
+            self.step();
+        }
+        self.metrics.duration = self.duration;
+        self.metrics.proactive_triggers = self.supervisor.proactive_firings().len();
+        self.metrics.proactive_lead_secs = self
+            .supervisor
+            .proactive_firings()
+            .iter()
+            .map(|f| f.lead().as_secs())
+            .sum();
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_simulator::{build_environment, Scenario};
+
+    fn config(hours: u64) -> SimConfig {
+        SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
+            .with_duration(SimDuration::from_hours(hours))
+    }
+
+    #[test]
+    fn supervised_run_is_deterministic() {
+        let run = |_: u32| {
+            let sim = config(4);
+            let sup = SupervisorConfig {
+                controller: sim.controller,
+                ..SupervisorConfig::default()
+            };
+            SupervisedRun::new(build_environment(Scenario::ConstrainedMobility), &sim, sup).run()
+        };
+        let a = run(0);
+        let b = run(1);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.overload_secs, b.overload_secs);
+        assert_eq!(a.total_demand.to_bits(), b.total_demand.to_bits());
+    }
+
+    #[test]
+    fn supervised_run_acts_on_the_workload() {
+        let sim = config(24);
+        let sup = SupervisorConfig {
+            controller: sim.controller,
+            ..SupervisorConfig::default()
+        };
+        let metrics =
+            SupervisedRun::new(build_environment(Scenario::ConstrainedMobility), &sim, sup).run();
+        assert!(
+            !metrics.actions.is_empty(),
+            "the supervised controller must act on the daily ramp"
+        );
+        assert_eq!(metrics.proactive_triggers, 0, "reactive run has no firings");
+    }
+}

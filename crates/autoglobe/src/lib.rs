@@ -39,21 +39,31 @@
 //!     .unwrap();
 //! let instance = landscape.start_instance(fi, blade).unwrap();
 //!
-//! // 2. Wire the supervisor (monitoring + fuzzy controller).
+//! // 2. Wire the supervisor (monitoring + heartbeats + fuzzy controller).
+//! //    The default config reproduces the paper's synchronous behavior;
+//! //    SupervisorConfig switches on the asynchronous execution substrate,
+//! //    heartbeat tuning and proactive forecasting.
 //! let mut supervisor = Supervisor::new(landscape);
 //!
-//! // 3. Feed measurements; the supervisor watches, confirms, decides, acts.
+//! // 3. Each interval: measurements and liveness in, one tick of the
+//! //    control loop (watch → confirm → decide → act), completed actions
+//! //    out. poll() settles in-flight work of a slow execution substrate
+//! //    between ticks — with the default synchronous one it's a no-op.
 //! let mut t = SimTime::ZERO;
+//! let mut executed = Vec::new();
 //! for _ in 0..15 {
 //!     t += SimDuration::from_minutes(1);
 //!     supervisor.record_server(blade, t, 0.95, 0.5);
 //!     supervisor.record_instance(instance, t, 0.95);
 //!     supervisor.record_service(fi, t, 0.95);
-//!     supervisor.tick(t);
+//!     supervisor.beat(Subject::Instance(instance), t);
+//!     executed.extend(supervisor.tick(t));
+//!     executed.extend(supervisor.poll(t));
 //! }
 //!
 //! // The controller added capacity on the idle big host — here by scaling
 //! // the single-instance service out onto it.
+//! assert!(!executed.is_empty());
 //! assert_eq!(supervisor.landscape().instances_on(big).len(), 1);
 //! ```
 
@@ -69,16 +79,22 @@ pub use autoglobe_landscape as landscape;
 pub use autoglobe_monitor as monitor;
 pub use autoglobe_simulator as simulator;
 
+pub mod harness;
 pub mod supervisor;
 
-pub use supervisor::Supervisor;
+pub use harness::SupervisedRun;
+pub use supervisor::{Supervisor, SupervisorConfig};
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::supervisor::Supervisor;
+    pub use crate::harness::SupervisedRun;
+    pub use crate::supervisor::{Supervisor, SupervisorConfig};
     pub use autoglobe_controller::{
         ActionExecutor, ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent,
         ExecutionMode, ExecutorConfig, LoadView, RuleBases,
+    };
+    pub use autoglobe_forecast::{
+        Forecaster, HintBook, ProactiveConfig, ProactiveFiring, ProactiveTrigger,
     };
     pub use autoglobe_fuzzy::{
         parse_rule, parse_rules, Defuzzifier, Engine, EngineConfig, InferenceMethod,
@@ -94,6 +110,6 @@ pub mod prelude {
     };
     pub use autoglobe_simulator::{
         build_environment, find_max_users, CapacityCriterion, FailureInjection, HeartbeatDetection,
-        Metrics, Scenario, SimConfig, Simulation,
+        Metrics, Scenario, SimConfig, Simulation, TickLoads, WorkloadEngine,
     };
 }

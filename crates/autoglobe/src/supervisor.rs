@@ -1,20 +1,37 @@
-//! A ready-wired supervision loop: measurements in, actions out.
+//! The production control plane: measurements and heartbeats in, actions
+//! out.
 //!
 //! [`Supervisor`] bundles the pieces an integrator would otherwise wire by
 //! hand — a [`LoadMonitoringSystem`] with the paper's thresholds, a
-//! [`LoadArchive`], and the [`AutoGlobeController`] — around a
-//! [`Landscape`]. Feed it measurements with the `record_*` methods and call
-//! [`Supervisor::tick`] periodically; confirmed triggers flow into the fuzzy
-//! controller, whose actions mutate the landscape.
+//! [`LoadArchive`], a [`HeartbeatMonitor`], an [`ActionExecutor`] and the
+//! [`AutoGlobeController`] — around a [`Landscape`], behind three calls:
+//!
+//! * [`Supervisor::beat`] — a liveness signal from a server or instance.
+//!   Subjects enroll on their first beat; `miss_threshold` silent ticks
+//!   suspect them, `confirm_after` more confirm the failure and run the
+//!   self-healing path. A beat during suspicion reconciles (no
+//!   double-start).
+//! * [`Supervisor::tick`] — close one monitoring interval: settle in-flight
+//!   operations, evaluate heartbeats, run proactive forecast checks, and
+//!   dispatch confirmed triggers through the fuzzy controller.
+//! * [`Supervisor::poll`] — settle in-flight operations between ticks (only
+//!   relevant with a fallible/latent [`ExecutorConfig`]; the default
+//!   reliable substrate completes everything inside `tick`).
+//!
+//! With [`SupervisorConfig::default`] — reliable executor, no proactive
+//! triggering, heartbeats dormant until the first beat — the supervisor
+//! reproduces the original synchronous facade bit for bit (test-enforced).
 
 use autoglobe_controller::RecoveryOutcome;
 use autoglobe_controller::{
-    ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent, LoadView, RuleBases,
+    ActionExecutor, ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent,
+    ExecutionEvent, ExecutionMode, ExecutorConfig, LoadView, RuleBases,
 };
-use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId};
+use autoglobe_forecast::{HintBook, ProactiveConfig, ProactiveFiring, ProactiveTrigger};
+use autoglobe_landscape::{InstanceId, Landscape, LandscapeError, ServerId, ServiceId};
 use autoglobe_monitor::{
-    FailureEvent, FailureKind, LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime,
-    Subject, SubjectConfig, TriggerEvent,
+    FailureEvent, FailureKind, HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor, LoadArchive,
+    LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject, SubjectConfig, TriggerEvent,
 };
 use std::collections::BTreeMap;
 
@@ -34,7 +51,146 @@ impl LoadView for RecordedLoads {
     }
 }
 
-/// The ready-wired AutoGlobe supervision loop.
+/// A confirmed trigger awaiting dispatch, tagged with its provenance: a
+/// forecast-driven (proactive) trigger carries the predicted load so the
+/// controller can plan against the *predicted* situation rather than the
+/// still-calm present.
+#[derive(Debug, Clone)]
+struct PendingTrigger {
+    event: TriggerEvent,
+    /// Predicted CPU load of the trigger subject, for proactive triggers.
+    forecast: Option<f64>,
+}
+
+/// Load view for planning a proactive trigger: the fired subject's load is
+/// replaced by the forecast, and the loads of its co-located instances and
+/// services are scaled by the same factor (the forecast is a uniform demand
+/// multiplier on the subject — the instance mix does not change between now
+/// and the predicted overload). Every other subject — in particular the
+/// candidate target hosts of a scale-out or move — keeps its current,
+/// measured load.
+struct ForecastView<'a> {
+    inner: &'a RecordedLoads,
+    cpu_overrides: BTreeMap<Subject, f64>,
+}
+
+impl<'a> ForecastView<'a> {
+    fn new(
+        inner: &'a RecordedLoads,
+        landscape: &Landscape,
+        subject: Subject,
+        predicted: f64,
+    ) -> Self {
+        let current = inner.cpu(subject);
+        // With a meaningful current load the co-located subjects scale by
+        // the same demand ratio; from a near-idle baseline the best
+        // projection available is the predicted level itself.
+        let ratio = if current > 0.05 {
+            predicted / current
+        } else {
+            f64::INFINITY
+        };
+        let scale = |load: f64| {
+            if ratio.is_finite() {
+                (load * ratio).min(1.0)
+            } else {
+                predicted.min(1.0)
+            }
+        };
+        let mut cpu_overrides = BTreeMap::new();
+        cpu_overrides.insert(subject, predicted.min(1.0));
+        match subject {
+            Subject::Server(server) => {
+                for instance_id in landscape.instances_on(server) {
+                    let Ok(inst) = landscape.instance(instance_id) else {
+                        continue;
+                    };
+                    cpu_overrides.insert(
+                        Subject::Instance(instance_id),
+                        scale(inner.cpu(Subject::Instance(instance_id))),
+                    );
+                    cpu_overrides
+                        .entry(Subject::Service(inst.service))
+                        .or_insert_with(|| scale(inner.cpu(Subject::Service(inst.service))));
+                }
+            }
+            Subject::Service(service) => {
+                for instance_id in landscape.instances_of(service) {
+                    cpu_overrides.insert(
+                        Subject::Instance(instance_id),
+                        scale(inner.cpu(Subject::Instance(instance_id))),
+                    );
+                }
+            }
+            Subject::Instance(_) => {}
+        }
+        ForecastView {
+            inner,
+            cpu_overrides,
+        }
+    }
+}
+
+impl LoadView for ForecastView<'_> {
+    fn cpu(&self, subject: Subject) -> f64 {
+        self.cpu_overrides
+            .get(&subject)
+            .copied()
+            .unwrap_or_else(|| self.inner.cpu(subject))
+    }
+    fn mem(&self, subject: Subject) -> f64 {
+        self.inner.mem(subject)
+    }
+}
+
+/// Everything configurable about a [`Supervisor`]. The default reproduces
+/// the paper's synchronous facade exactly: paper rule bases and thresholds,
+/// an instant infallible execution substrate, heartbeat detection that stays
+/// dormant until the first [`Supervisor::beat`], and no proactive
+/// triggering.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Fuzzy rule bases for action and server selection.
+    pub rule_bases: RuleBases,
+    /// Controller thresholds, protection time, execution mode defaults.
+    pub controller: ControllerConfig,
+    /// The action-execution substrate. [`ExecutorConfig::reliable`] (the
+    /// default) completes every dispatch instantly and infallibly,
+    /// reproducing synchronous execution bit for bit.
+    pub executor: ExecutorConfig,
+    /// Seed of the executor's own RNG stream (only drawn from when the
+    /// substrate has non-zero latency span or failure probability).
+    pub executor_seed: u64,
+    /// Heartbeat suspect/confirm protocol parameters.
+    pub heartbeats: HeartbeatConfig,
+    /// Enable forecast-driven proactive triggers over the built-in load
+    /// archive. `None` (the default) keeps the control plane purely
+    /// reactive.
+    pub proactive: Option<ProactiveConfig>,
+    /// Minimum spacing between proactive firings for the same subject — a
+    /// hot forecast must not storm the controller every tick.
+    pub proactive_cooldown: SimDuration,
+    /// How often the (comparatively expensive) proactive forecast checks
+    /// run; triggers still dispatch on the next tick after a check fires.
+    pub proactive_every: SimDuration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            rule_bases: RuleBases::paper_defaults(),
+            controller: ControllerConfig::default(),
+            executor: ExecutorConfig::reliable(),
+            executor_seed: 0,
+            heartbeats: HeartbeatConfig::default(),
+            proactive: None,
+            proactive_cooldown: SimDuration::from_minutes(30),
+            proactive_every: SimDuration::from_minutes(10),
+        }
+    }
+}
+
+/// The ready-wired AutoGlobe control plane.
 #[derive(Debug)]
 pub struct Supervisor {
     landscape: Landscape,
@@ -42,27 +198,33 @@ pub struct Supervisor {
     monitoring: LoadMonitoringSystem,
     archive: LoadArchive,
     loads: RecordedLoads,
-    pending_triggers: Vec<TriggerEvent>,
+    pending_triggers: Vec<PendingTrigger>,
     executed: Vec<ActionRecord>,
+    executor: ActionExecutor,
+    heartbeats: HeartbeatMonitor,
+    heartbeat_log: Vec<HeartbeatEvent>,
+    proactive: Option<ProactiveTrigger>,
+    proactive_cooldown: SimDuration,
+    proactive_every: SimDuration,
+    last_proactive_check: Option<SimTime>,
+    last_proactive: BTreeMap<Subject, SimTime>,
+    proactive_firings: Vec<ProactiveFiring>,
+    hints: HintBook,
+    execution_log: Vec<ExecutionEvent>,
 }
 
 impl Supervisor {
-    /// Supervise `landscape` with the paper's default rule bases, monitor
-    /// thresholds and controller configuration.
+    /// Supervise `landscape` with the paper's default configuration.
     pub fn new(landscape: Landscape) -> Self {
-        Self::with_config(
-            landscape,
-            RuleBases::paper_defaults(),
-            ControllerConfig::default(),
-        )
+        Self::with_config(landscape, SupervisorConfig::default())
     }
 
-    /// Supervise with explicit rule bases and controller configuration.
-    pub fn with_config(
-        landscape: Landscape,
-        rule_bases: RuleBases,
-        config: ControllerConfig,
-    ) -> Self {
+    /// Supervise with an explicit configuration.
+    ///
+    /// # Panics
+    /// Panics when the executor or heartbeat configuration is invalid (see
+    /// [`ExecutorConfig::validate`] and [`HeartbeatConfig::validate`]).
+    pub fn with_config(landscape: Landscape, config: SupervisorConfig) -> Self {
         let mut monitoring = LoadMonitoringSystem::new();
         for server in landscape.server_ids() {
             let idx = landscape
@@ -76,12 +238,25 @@ impl Supervisor {
         }
         Supervisor {
             landscape,
-            controller: AutoGlobeController::with_rule_bases(rule_bases, config),
+            controller: AutoGlobeController::with_rule_bases(config.rule_bases, config.controller),
             monitoring,
             archive: LoadArchive::new(SimDuration::from_minutes(1)),
             loads: RecordedLoads::default(),
             pending_triggers: Vec::new(),
             executed: Vec::new(),
+            executor: ActionExecutor::new(config.executor, config.executor_seed),
+            heartbeats: HeartbeatMonitor::new(config.heartbeats),
+            heartbeat_log: Vec::new(),
+            proactive: config
+                .proactive
+                .map(|p| ProactiveTrigger::with_config(p, Default::default())),
+            proactive_cooldown: config.proactive_cooldown,
+            proactive_every: config.proactive_every,
+            last_proactive_check: None,
+            last_proactive: BTreeMap::new(),
+            proactive_firings: Vec::new(),
+            hints: HintBook::new(),
+            execution_log: Vec::new(),
         }
     }
 
@@ -92,7 +267,8 @@ impl Supervisor {
 
     /// Mutable access for administrative changes (registering servers and
     /// services). Newly added entities are picked up by monitoring on the
-    /// next [`Supervisor::tick`].
+    /// next [`Supervisor::tick`]; departed ones (stopped instances) are
+    /// pruned from monitoring, the load view and the heartbeat watch set.
     pub fn landscape_mut(&mut self) -> &mut Landscape {
         &mut self.landscape
     }
@@ -113,14 +289,58 @@ impl Supervisor {
         &self.archive
     }
 
+    /// Administrator reservations merged into proactive forecasts
+    /// ("mission-critical batch run at 22:00 needs 2 CPU units").
+    pub fn hints(&self) -> &HintBook {
+        &self.hints
+    }
+
+    /// Mutable access to the reservation book.
+    pub fn hints_mut(&mut self) -> &mut HintBook {
+        &mut self.hints
+    }
+
     /// Every action executed so far.
     pub fn executed(&self) -> &[ActionRecord] {
         &self.executed
     }
 
+    /// Every proactive firing so far (trigger + predicted crossing time;
+    /// [`ProactiveFiring::lead`] is the head start the forecast bought).
+    pub fn proactive_firings(&self) -> &[ProactiveFiring] {
+        &self.proactive_firings
+    }
+
+    /// Number of operations currently in flight on the execution substrate.
+    pub fn in_flight(&self) -> usize {
+        self.executor.in_flight()
+    }
+
+    /// True when no operation is in flight and nothing is fenced.
+    pub fn is_idle(&self) -> bool {
+        self.executor.is_idle()
+    }
+
+    /// Subjects currently under heartbeat suspicion.
+    pub fn suspected(&self) -> Vec<Subject> {
+        self.heartbeats.suspected().collect()
+    }
+
     /// Drain and return the controller's event log.
     pub fn drain_events(&mut self) -> Vec<ControllerEvent> {
         self.controller.drain_log()
+    }
+
+    /// Drain and return the heartbeat detector's event log
+    /// (suspected / reconciled / confirmed).
+    pub fn drain_heartbeat_events(&mut self) -> Vec<HeartbeatEvent> {
+        std::mem::take(&mut self.heartbeat_log)
+    }
+
+    /// Drain and return the execution substrate's event log (completions,
+    /// retries, timeouts, fenced late successes, abandonments).
+    pub fn drain_execution_events(&mut self) -> Vec<ExecutionEvent> {
+        std::mem::take(&mut self.execution_log)
     }
 
     /// Record a server measurement.
@@ -150,14 +370,38 @@ impl Supervisor {
                 .monitoring
                 .observe(subject, LoadSample::new(time, cpu, mem))
             {
-                self.pending_triggers.push(trigger);
+                self.pending_triggers.push(PendingTrigger {
+                    event: trigger,
+                    forecast: None,
+                });
             }
         }
+    }
+
+    /// Record a liveness signal. A subject's first beat enrolls it in the
+    /// watch set; from then on every [`Supervisor::tick`] it must either
+    /// beat or accrue a miss. Returns false when the beat was fenced: the
+    /// subject does not exist in the landscape (e.g. a zombie process of an
+    /// already-stopped instance).
+    pub fn beat(&mut self, subject: Subject, now: SimTime) -> bool {
+        if !self.heartbeats.is_watched(subject) {
+            let exists = match subject {
+                Subject::Server(s) => self.landscape.server(s).is_ok(),
+                Subject::Service(s) => self.landscape.service(s).is_ok(),
+                Subject::Instance(i) => self.landscape.instance(i).is_ok(),
+            };
+            if !exists {
+                return false;
+            }
+            self.heartbeats.watch(subject);
+        }
+        self.heartbeats.beat(subject, now)
     }
 
     /// Report a crashed instance; the self-healing path restarts it
     /// immediately (no watch time — the process is already gone).
     pub fn report_instance_crash(&mut self, instance: InstanceId, now: SimTime) -> RecoveryOutcome {
+        self.heartbeats.unwatch(Subject::Instance(instance));
         let event = FailureEvent {
             kind: FailureKind::InstanceCrashed(instance),
             time: now,
@@ -169,6 +413,7 @@ impl Supervisor {
     /// Report a failed host; it is marked unavailable and all its instances
     /// restart elsewhere.
     pub fn report_server_failure(&mut self, server: ServerId, now: SimTime) -> RecoveryOutcome {
+        self.heartbeats.unwatch(Subject::Server(server));
         let event = FailureEvent {
             kind: FailureKind::ServerFailed(server),
             time: now,
@@ -179,15 +424,115 @@ impl Supervisor {
 
     /// Mark a previously failed host repaired: it rejoins the pool and the
     /// controller logs a [`ControllerEvent::Repaired`] for the event view.
-    pub fn report_server_repaired(&mut self, server: ServerId, now: SimTime) -> ControllerEvent {
-        let _ = self.landscape.set_available(server, true);
-        self.controller.note_repaired(server, now)
+    ///
+    /// Returns `Err` for a server the landscape does not know, and
+    /// `Ok(None)` for a server that never failed (it is already available —
+    /// nothing is logged, no `Repaired` event is fabricated).
+    pub fn report_server_repaired(
+        &mut self,
+        server: ServerId,
+        now: SimTime,
+    ) -> Result<Option<ControllerEvent>, LandscapeError> {
+        self.landscape.server(server)?;
+        if self.landscape.is_available(server) {
+            return Ok(None);
+        }
+        self.landscape.set_available(server, true)?;
+        Ok(Some(self.controller.note_repaired(server, now)))
     }
 
-    /// Register monitors for any servers/services added since construction,
-    /// dispatch confirmed triggers to the fuzzy controller, and execute its
-    /// decisions. Returns the actions executed this tick.
+    /// Settle in-flight operations on the execution substrate: apply
+    /// completed attempts, schedule retries, fence timeouts. Returns the
+    /// actions that completed. With the default reliable substrate
+    /// everything completes inside [`Supervisor::tick`], so `poll` is a
+    /// no-op between ticks.
+    pub fn poll(&mut self, now: SimTime) -> Vec<ActionRecord> {
+        let completed = self.settle(now);
+        self.executed.extend(completed.iter().cloned());
+        completed
+    }
+
+    /// Close one monitoring interval: register monitors for new
+    /// servers/services, prune state for departed entities, settle
+    /// in-flight operations, evaluate heartbeats (confirmed failures run
+    /// the self-healing path), run proactive forecast checks, and dispatch
+    /// confirmed triggers through the fuzzy controller. Returns the actions
+    /// that completed this tick.
     pub fn tick(&mut self, now: SimTime) -> Vec<ActionRecord> {
+        self.register_new_subjects();
+        self.prune_departed();
+
+        // Settle operations dispatched on earlier ticks first, so a freed
+        // host is visible to this tick's planning.
+        let mut completed = self.settle(now);
+
+        self.run_heartbeats(now);
+        self.run_proactive(now);
+
+        // Proactive and reactive triggers flow through the same dispatch
+        // path — protection mode treats them uniformly.
+        let triggers = std::mem::take(&mut self.pending_triggers);
+        match self.controller.mode() {
+            ExecutionMode::SemiAutomatic => {
+                // Queueing for administrator confirmation lives in the
+                // synchronous path; nothing is dispatched to the substrate.
+                for PendingTrigger { event, forecast } in triggers {
+                    let outcome = match forecast {
+                        // A forecast-driven trigger is planned against the
+                        // predicted loads — the present ones are exactly
+                        // what the forecaster says will not last.
+                        Some(predicted) => {
+                            let view = ForecastView::new(
+                                &self.loads,
+                                &self.landscape,
+                                event.subject,
+                                predicted,
+                            );
+                            self.controller
+                                .handle_trigger(&event, &mut self.landscape, &view, now)
+                        }
+                        None => self.controller.handle_trigger(
+                            &event,
+                            &mut self.landscape,
+                            &self.loads,
+                            now,
+                        ),
+                    };
+                    completed.extend(outcome.executed);
+                }
+            }
+            ExecutionMode::Automatic => {
+                for PendingTrigger { event, forecast } in triggers {
+                    let planned = match forecast {
+                        Some(predicted) => {
+                            let view = ForecastView::new(
+                                &self.loads,
+                                &self.landscape,
+                                event.subject,
+                                predicted,
+                            );
+                            self.controller
+                                .plan_trigger(&event, &self.landscape, &view, now)
+                        }
+                        None => {
+                            self.controller
+                                .plan_trigger(&event, &self.landscape, &self.loads, now)
+                        }
+                    };
+                    if let Some(decided) = planned.decided {
+                        self.executor.dispatch(decided, now);
+                        completed.extend(self.settle(now));
+                    }
+                }
+            }
+        }
+
+        self.executed.extend(completed.iter().cloned());
+        completed
+    }
+
+    /// Register monitors for servers/services added since construction.
+    fn register_new_subjects(&mut self) {
         for server in self.landscape.server_ids() {
             let subject = Subject::Server(server);
             if !self.monitoring.is_registered(subject) {
@@ -207,17 +552,147 @@ impl Supervisor {
                     .register(subject, SubjectConfig::service_defaults());
             }
         }
+    }
 
-        let triggers = std::mem::take(&mut self.pending_triggers);
-        let mut executed = Vec::new();
-        for trigger in triggers {
-            let outcome =
-                self.controller
-                    .handle_trigger(&trigger, &mut self.landscape, &self.loads, now);
-            executed.extend(outcome.executed);
+    /// Drop recorded loads, monitors, heartbeat watches and proactive state
+    /// for entities that left the landscape — a stopped instance must not
+    /// keep feeding stale CPU into server selection.
+    fn prune_departed(&mut self) {
+        let candidates: Vec<Subject> = self
+            .loads
+            .cpu
+            .keys()
+            .copied()
+            .chain(self.heartbeats.watched())
+            .collect();
+        for subject in candidates {
+            let departed = match subject {
+                Subject::Server(s) => self.landscape.server(s).is_err(),
+                Subject::Service(s) => self.landscape.service(s).is_err(),
+                Subject::Instance(i) => self.landscape.instance(i).is_err(),
+            };
+            if departed {
+                self.loads.cpu.remove(&subject);
+                self.loads.mem.remove(&subject);
+                self.monitoring.unregister(subject);
+                self.heartbeats.unwatch(subject);
+                self.last_proactive.remove(&subject);
+            }
         }
-        self.executed.extend(executed.iter().cloned());
-        executed
+        // Pending triggers from a departed subject are stale too.
+        let landscape = &self.landscape;
+        self.pending_triggers.retain(|t| match t.event.subject {
+            Subject::Server(s) => landscape.server(s).is_ok(),
+            Subject::Service(s) => landscape.service(s).is_ok(),
+            Subject::Instance(i) => landscape.instance(i).is_ok(),
+        });
+    }
+
+    /// One poll of the execution substrate; non-completion events land in
+    /// the execution log, completed records are returned.
+    fn settle(&mut self, now: SimTime) -> Vec<ActionRecord> {
+        if self.executor.is_idle() {
+            return Vec::new();
+        }
+        let events = self
+            .executor
+            .poll(now, &mut self.landscape, &mut self.controller);
+        let mut completed = Vec::new();
+        for event in events {
+            if let ExecutionEvent::Completed { record, .. } = &event {
+                completed.push(record.clone());
+            }
+            self.execution_log.push(event);
+        }
+        completed
+    }
+
+    /// Evaluate the heartbeat watch set; confirmed failures flow into the
+    /// self-healing path exactly like reported ones.
+    fn run_heartbeats(&mut self, now: SimTime) {
+        let events = self.heartbeats.tick(now);
+        for event in &events {
+            if let HeartbeatEvent::Confirmed { subject, time, .. } = event {
+                let kind = match *subject {
+                    Subject::Server(server) => Some(FailureKind::ServerFailed(server)),
+                    Subject::Instance(instance) => Some(FailureKind::InstanceCrashed(instance)),
+                    // Services have no single process to fail; their
+                    // instances are watched individually.
+                    Subject::Service(_) => None,
+                };
+                if let Some(kind) = kind {
+                    let failure = FailureEvent { kind, time: *time };
+                    self.controller
+                        .handle_failure(&failure, &mut self.landscape, &self.loads, now);
+                }
+            }
+        }
+        self.heartbeat_log.extend(events);
+    }
+
+    /// Run proactive forecast checks over the archive (when enabled and the
+    /// check cadence is due); firings become pending triggers.
+    fn run_proactive(&mut self, now: SimTime) {
+        let Some(proactive) = &self.proactive else {
+            return;
+        };
+        if let Some(last) = self.last_proactive_check {
+            if now.since(last) < self.proactive_every {
+                return;
+            }
+        }
+        self.last_proactive_check = Some(now);
+        self.hints.expire(now);
+
+        // Servers first, then services — deterministic check order.
+        let mut subjects: Vec<(Subject, f64)> = Vec::new();
+        for server in self.landscape.server_ids() {
+            if !self.landscape.is_available(server) {
+                continue;
+            }
+            let idx = self
+                .landscape
+                .server(server)
+                .map(|s| s.performance_index)
+                .unwrap_or(1.0);
+            subjects.push((Subject::Server(server), idx));
+        }
+        for service in self.landscape.service_ids() {
+            // Reserved demand converts to load against the total capacity
+            // currently hosting the service.
+            let capacity: f64 = self
+                .landscape
+                .instances_of(service)
+                .iter()
+                .filter_map(|&i| self.landscape.instance(i).ok())
+                .filter_map(|inst| self.landscape.server(inst.server).ok())
+                .map(|s| s.performance_index)
+                .sum();
+            let capacity = if capacity > 0.0 { capacity } else { 1.0 };
+            subjects.push((Subject::Service(service), capacity));
+        }
+
+        let mut firings = Vec::new();
+        for (subject, capacity) in subjects {
+            if let Some(&last) = self.last_proactive.get(&subject) {
+                if now.since(last) < self.proactive_cooldown {
+                    continue;
+                }
+            }
+            if let Some(firing) =
+                proactive.check(&self.archive, &self.hints, subject, capacity, now)
+            {
+                firings.push(firing);
+            }
+        }
+        for firing in firings {
+            self.last_proactive.insert(firing.event.subject, now);
+            self.pending_triggers.push(PendingTrigger {
+                event: firing.event,
+                forecast: Some(firing.event.average_cpu),
+            });
+            self.proactive_firings.push(firing);
+        }
     }
 }
 
@@ -265,6 +740,7 @@ mod tests {
             "expected capacity on the big host"
         );
         assert_eq!(sup.executed().len(), all_executed.len());
+        assert!(sup.is_idle(), "reliable substrate completes inside tick");
     }
 
     #[test]
@@ -347,5 +823,301 @@ mod tests {
             )
             .unwrap();
         assert!((avg - 0.5).abs() < 1e-9);
+    }
+
+    /// The default configuration must reproduce the original synchronous
+    /// facade bit for bit: identical executed records, identical landscape,
+    /// identical controller log against a hand-wired monitoring →
+    /// `handle_trigger` reference loop over the same trace.
+    #[test]
+    fn default_config_matches_synchronous_reference() {
+        // --- reference: hand-wired monitoring + synchronous controller ----
+        let mut landscape = Landscape::new();
+        let blade = landscape
+            .add_server(ServerSpec::fsc_bx300("Blade1"))
+            .unwrap();
+        let _big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
+        let fi = landscape
+            .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
+            .unwrap();
+        let instance = landscape.start_instance(fi, blade).unwrap();
+
+        let mut monitoring = LoadMonitoringSystem::new();
+        for server in landscape.server_ids() {
+            let idx = landscape.server(server).unwrap().performance_index;
+            monitoring.register(Subject::Server(server), SubjectConfig::paper_defaults(idx));
+        }
+        for service in landscape.service_ids() {
+            monitoring.register(Subject::Service(service), SubjectConfig::service_defaults());
+        }
+        let mut controller = AutoGlobeController::new();
+        let mut loads = RecordedLoads::default();
+        let mut ref_executed = Vec::new();
+
+        // --- candidate: the supervisor with the default config ------------
+        let (mut sup, s_blade, _s_big, s_fi, s_instance) = minimal();
+        assert_eq!((blade, fi), (s_blade, s_fi));
+
+        let trace = |minute: u64| -> (f64, f64) {
+            // Overload for 20 minutes, calm for 10, hot again.
+            if !(20..30).contains(&minute) {
+                (0.95, 0.5)
+            } else {
+                (0.25, 0.2)
+            }
+        };
+        let mut t = SimTime::ZERO;
+        for minute in 0..45 {
+            t += SimDuration::from_minutes(1);
+            let (cpu, mem) = trace(minute);
+
+            // Reference loop.
+            let mut triggers = Vec::new();
+            for (subject, scpu, smem) in [
+                (Subject::Server(blade), cpu, mem),
+                (Subject::Instance(instance), cpu, 0.0),
+                (Subject::Service(fi), cpu, 0.0),
+            ] {
+                loads.cpu.insert(subject, scpu);
+                loads.mem.insert(subject, smem);
+                if monitoring.is_registered(subject) {
+                    if let Some(trigger) =
+                        monitoring.observe(subject, LoadSample::new(t, scpu, smem))
+                    {
+                        triggers.push(trigger);
+                    }
+                }
+            }
+            for trigger in triggers {
+                let outcome = controller.handle_trigger(&trigger, &mut landscape, &loads, t);
+                ref_executed.extend(outcome.executed);
+            }
+
+            // Supervisor.
+            sup.record_server(s_blade, t, cpu, mem);
+            sup.record_instance(s_instance, t, cpu);
+            sup.record_service(s_fi, t, cpu);
+            sup.tick(t);
+        }
+
+        assert_eq!(sup.executed(), &ref_executed[..], "identical records");
+        assert_eq!(
+            sup.landscape().instance(s_instance).unwrap().server,
+            landscape.instance(instance).unwrap().server,
+            "identical final allocation"
+        );
+        assert_eq!(
+            sup.landscape().num_instances(),
+            landscape.num_instances(),
+            "identical instance count"
+        );
+        let ref_log: Vec<String> = controller
+            .drain_log()
+            .iter()
+            .map(|e| e.to_string())
+            .collect();
+        let sup_log: Vec<String> = sup.drain_events().iter().map(|e| e.to_string()).collect();
+        assert_eq!(sup_log, ref_log, "identical controller event log");
+    }
+
+    #[test]
+    fn stopped_instance_is_pruned_from_loads_and_watches() {
+        let (mut sup, blade, _big, fi, instance) = minimal();
+        let t = SimTime::from_minutes(1);
+        sup.record_instance(instance, t, 0.97);
+        sup.beat(Subject::Instance(instance), t);
+        assert!(sup.heartbeats.is_watched(Subject::Instance(instance)));
+        assert!((sup.loads.cpu(Subject::Instance(instance)) - 0.97).abs() < 1e-12);
+
+        // Keep a second instance so the service stays alive, then stop the
+        // first deliberately.
+        let other = sup.landscape_mut().start_instance(fi, blade).unwrap();
+        sup.landscape_mut().stop_instance(instance).unwrap();
+        sup.tick(SimTime::from_minutes(2));
+
+        assert_eq!(
+            sup.loads.cpu(Subject::Instance(instance)),
+            0.0,
+            "stale instance load must not feed server selection"
+        );
+        assert!(
+            !sup.heartbeats.is_watched(Subject::Instance(instance)),
+            "stopped instance must not accrue heartbeat misses"
+        );
+        assert!(!sup.monitoring.is_registered(Subject::Instance(instance)));
+        // The survivor is untouched.
+        assert!(sup.landscape().instance(other).is_ok());
+    }
+
+    #[test]
+    fn repairing_unknown_or_healthy_server_fabricates_nothing() {
+        let (mut sup, blade, _big, _fi, _instance) = minimal();
+        let t = SimTime::from_minutes(5);
+
+        // Unknown server: an error, not a Repaired event.
+        let unknown = ServerId::new(99);
+        assert!(sup.report_server_repaired(unknown, t).is_err());
+
+        // Never-failed server: skipped, nothing logged.
+        assert!(sup.landscape().is_available(blade));
+        let outcome = sup.report_server_repaired(blade, t).unwrap();
+        assert!(outcome.is_none(), "healthy server needs no repair");
+        assert!(
+            sup.drain_events().is_empty(),
+            "no fabricated Repaired event"
+        );
+
+        // A genuinely failed server still produces the event.
+        sup.report_server_failure(blade, t);
+        let repaired = sup
+            .report_server_repaired(blade, SimTime::from_minutes(30))
+            .unwrap();
+        assert!(matches!(repaired, Some(ControllerEvent::Repaired { .. })));
+        assert!(sup.landscape().is_available(blade));
+    }
+
+    #[test]
+    fn missed_beats_confirm_failure_through_the_self_healing_path() {
+        let (mut sup, blade, big, fi, instance) = minimal();
+        let subject = Subject::Server(blade);
+        let mut t = SimTime::ZERO;
+        // Healthy beats for 5 minutes.
+        for _ in 0..5 {
+            t += SimDuration::from_minutes(1);
+            assert!(sup.beat(subject, t));
+            sup.record_server(blade, t, 0.4, 0.3);
+            sup.record_instance(instance, t, 0.4);
+            sup.record_service(fi, t, 0.4);
+            sup.tick(t);
+        }
+        assert!(sup.drain_heartbeat_events().is_empty());
+
+        // Silence: 3 misses suspect, 2 more confirm (defaults).
+        let mut confirmed_at = None;
+        for _ in 0..6 {
+            t += SimDuration::from_minutes(1);
+            sup.tick(t);
+            for e in sup.drain_heartbeat_events() {
+                if let HeartbeatEvent::Confirmed { time, .. } = e {
+                    confirmed_at = Some(time);
+                }
+            }
+        }
+        let confirmed_at = confirmed_at.expect("failure must be confirmed");
+        // Beats stopped after minute 5; first missed tick is minute 6;
+        // confirmation lands (3 + 2 − 1) ticks later, at minute 10.
+        assert_eq!(confirmed_at, SimTime::from_minutes(10));
+        // The self-healing path ran: host out of the pool, instance
+        // restarted on the big server.
+        assert!(!sup.landscape().is_available(blade));
+        assert!(sup.landscape().instance(instance).is_err());
+        assert_eq!(sup.landscape().instances_on(big).len(), 1);
+    }
+
+    #[test]
+    fn reconciled_suspect_causes_no_double_start() {
+        let (mut sup, blade, _big, fi, instance) = minimal();
+        let subject = Subject::Server(blade);
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            t += SimDuration::from_minutes(1);
+            sup.beat(subject, t);
+            sup.record_server(blade, t, 0.4, 0.3);
+            sup.record_instance(instance, t, 0.4);
+            sup.record_service(fi, t, 0.4);
+            sup.tick(t);
+        }
+        let before = sup.landscape().num_instances();
+        // Three silent ticks raise the suspicion…
+        for _ in 0..3 {
+            t += SimDuration::from_minutes(1);
+            sup.tick(t);
+        }
+        assert_eq!(sup.suspected(), vec![subject]);
+        // …then heartbeats resume inside the confirmation window.
+        t += SimDuration::from_minutes(1);
+        sup.beat(subject, t);
+        sup.tick(t);
+        let events = sup.drain_heartbeat_events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, HeartbeatEvent::Reconciled { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, HeartbeatEvent::Confirmed { .. })));
+        assert!(sup.suspected().is_empty());
+        assert_eq!(
+            sup.landscape().num_instances(),
+            before,
+            "no double-start after a false alarm"
+        );
+        assert!(sup.landscape().is_available(blade));
+    }
+
+    #[test]
+    fn zombie_beat_for_departed_instance_is_fenced() {
+        let (mut sup, blade, _big, fi, instance) = minimal();
+        let _other = sup.landscape_mut().start_instance(fi, blade).unwrap();
+        sup.landscape_mut().stop_instance(instance).unwrap();
+        assert!(
+            !sup.beat(Subject::Instance(instance), SimTime::from_minutes(1)),
+            "a beat from a stopped instance must be fenced"
+        );
+    }
+
+    #[test]
+    fn proactive_forecast_fires_ahead_of_the_daily_surge() {
+        let mut landscape = Landscape::new();
+        let blade = landscape
+            .add_server(ServerSpec::fsc_bx300("Blade1"))
+            .unwrap();
+        let _big = landscape.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
+        let fi = landscape
+            .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
+            .unwrap();
+        let _instance = landscape.start_instance(fi, blade).unwrap();
+        let mut sup = Supervisor::with_config(
+            landscape,
+            SupervisorConfig {
+                proactive: Some(ProactiveConfig::default()),
+                ..SupervisorConfig::default()
+            },
+        );
+
+        // Four days of a hard daily step (hot 09:00–17:00) so confidence is
+        // established, then check the morning of day 5 at 08:30: the surge
+        // is an hour away, load is still cold — only a forecast can fire.
+        for minute in 0..4 * 24 * 60 {
+            let t = SimTime::from_minutes(minute);
+            let load = if (9.0..17.0).contains(&t.hour_of_day()) {
+                0.9
+            } else {
+                0.2
+            };
+            sup.record_server(blade, t, load, 0.2);
+        }
+        let now = SimTime::from_hours(4 * 24 + 8) + SimDuration::from_minutes(30);
+        sup.tick(now);
+        // The firing is queued this tick and dispatched on the next.
+        assert!(
+            !sup.proactive_firings().is_empty(),
+            "forecast must fire before the surge"
+        );
+        let firing = sup.proactive_firings()[0];
+        assert_eq!(firing.event.subject, Subject::Server(blade));
+        assert!(firing.lead() > SimDuration::ZERO, "positive lead time");
+
+        // Cooldown: an immediate re-check must not fire again for the same
+        // subject.
+        let count = sup.proactive_firings().len();
+        sup.tick(now + SimDuration::from_minutes(10));
+        assert_eq!(
+            sup.proactive_firings()
+                .iter()
+                .filter(|f| f.event.subject == Subject::Server(blade))
+                .count(),
+            count,
+            "cooldown suppresses repeat firings"
+        );
     }
 }

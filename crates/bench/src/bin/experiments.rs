@@ -57,6 +57,7 @@ fn main() {
         }),
         "table7" => timings.record("table7", || run_table7(hours, seed, jobs)),
         "chaos" => timings.record("chaos", || run_chaos(hours, seed, jobs)),
+        "proactive" => timings.record("proactive", || run_proactive(hours, seed, jobs)),
         "designer" => timings.record("designer", run_designer),
         "ablation" => timings.record("ablation", || run_ablation(hours.min(30))),
         "all" => {
@@ -85,13 +86,14 @@ fn main() {
             }
             timings.record("table7", || run_table7(hours, seed, jobs));
             timings.record("chaos", || run_chaos(hours, seed, jobs));
+            timings.record("proactive", || run_proactive(hours, seed, jobs));
             timings.record("designer", run_designer);
             timings.record("ablation", || run_ablation(hours.min(30)));
         }
         _ => {
             eprintln!(
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
-                 fig15|fig16|fig17|table7|chaos|designer|ablation|all> \
+                 fig15|fig16|fig17|table7|chaos|proactive|designer|ablation|all> \
                  [--hours N] [--seed N] [--jobs N]"
             );
             std::process::exit(2);
@@ -258,6 +260,29 @@ fn run_chaos(hours: u64, seed: u64, jobs: usize) {
         );
     }
     write("results/chaos_recovery.csv", &xp::chaos_csv(&rows));
+}
+
+fn run_proactive(hours: u64, seed: u64, jobs: usize) {
+    println!(
+        "Proactive vs. reactive — Figure 13 scenario through the Supervisor \
+         control plane, actions take 5-10 min to land ({hours} h per mode, \
+         {jobs} job(s)):"
+    );
+    let rows = xp::proactive_compare(hours, seed, jobs);
+    for (proactive, m) in &rows {
+        println!(
+            "  {:<9}: {:>7.1} overload-min (worst {:>6.1}), {:>3} actions, \
+             {:>2} alerts, {:>3} proactive firings (mean lead {:>5.1} min)",
+            if *proactive { "proactive" } else { "reactive" },
+            m.total_overload().as_secs() as f64 / 60.0,
+            m.worst_overload().as_secs() as f64 / 60.0,
+            m.actions.len(),
+            m.alerts,
+            m.proactive_triggers,
+            m.mean_proactive_lead_secs() / 60.0,
+        );
+    }
+    write("results/proactive.csv", &xp::proactive_csv(&rows));
 }
 
 fn run_designer() {

@@ -20,6 +20,8 @@
 
 pub mod pool;
 
+use autoglobe::forecast::ProactiveConfig;
+use autoglobe::{SupervisedRun, SupervisorConfig};
 use autoglobe_controller::{ControllerConfig, ExecutorConfig};
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
 use autoglobe_landscape::ServerId;
@@ -596,6 +598,83 @@ pub fn chaos_csv(rows: &[(f64, Metrics)]) -> String {
     out
 }
 
+/// Fastest dispatch-to-completion time of the proactive experiment's
+/// execution substrate. Remedial actions that take minutes to land are what
+/// makes a forecast head start worth having: a reactive controller pays the
+/// watch time *plus* this latency in overload, a proactive one has the
+/// capacity ready when the surge arrives.
+pub const PROACTIVE_MIN_LATENCY: SimDuration = SimDuration::from_minutes(5);
+/// Slowest dispatch-to-completion time of the proactive experiment's
+/// execution substrate.
+pub const PROACTIVE_MAX_LATENCY: SimDuration = SimDuration::from_minutes(10);
+
+/// Run the Figure 13 scenario (constrained mobility, +15 % users) through
+/// the [`SupervisedRun`] control-plane harness, purely reactive or with the
+/// forecast-driven proactive trigger enabled. Both modes run on an
+/// execution substrate where actions take [`PROACTIVE_MIN_LATENCY`]–
+/// [`PROACTIVE_MAX_LATENCY`] to complete. A pure function of its arguments,
+/// safe to fan out across the pool.
+pub fn proactive_run(proactive: bool, hours: u64, seed: u64) -> Metrics {
+    let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed);
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15; // executor seed domain
+    let supervisor = SupervisorConfig {
+        controller: sim.controller,
+        executor: ExecutorConfig {
+            min_latency: PROACTIVE_MIN_LATENCY,
+            max_latency: PROACTIVE_MAX_LATENCY,
+            timeout: SimDuration::from_minutes(60),
+            ..ExecutorConfig::reliable()
+        },
+        executor_seed: splitmix64(&mut state),
+        proactive: proactive.then(ProactiveConfig::default),
+        ..SupervisorConfig::default()
+    };
+    SupervisedRun::new(
+        build_environment(Scenario::ConstrainedMobility),
+        &sim,
+        supervisor,
+    )
+    .run()
+}
+
+/// The Table 7 / Figure 13 reactive-vs-proactive comparison. Both runs use
+/// the *same* seed so the offered workload is identical; the only
+/// difference is whether the forecaster gets to fire ahead of the daily
+/// surge. Points fan out across the pool; the result is bit-identical
+/// whatever `jobs` is.
+pub fn proactive_compare(hours: u64, seed: u64, jobs: usize) -> Vec<(bool, Metrics)> {
+    pool::parallel_map(jobs, vec![false, true], move |proactive| {
+        (proactive, proactive_run(proactive, hours, seed))
+    })
+}
+
+/// Render the comparison as `results/proactive.csv`: one row per mode with
+/// overload exposure, action counts and — for the proactive run — how far
+/// ahead of the predicted overload the forecaster fired on average.
+pub fn proactive_csv(rows: &[(bool, Metrics)]) -> String {
+    let mut out = String::from(
+        "mode,overload_minutes,worst_overload_minutes,actions,alerts,\
+         proactive_triggers,mean_lead_minutes\n",
+    );
+    for (proactive, m) in rows {
+        writeln!(
+            out,
+            "{},{:.1},{:.1},{},{},{},{:.1}",
+            if *proactive { "proactive" } else { "reactive" },
+            m.total_overload().as_secs() as f64 / 60.0,
+            m.worst_overload().as_secs() as f64 / 60.0,
+            m.actions.len(),
+            m.alerts,
+            m.proactive_triggers,
+            m.mean_proactive_lead_secs() / 60.0,
+        )
+        .unwrap();
+    }
+    out
+}
+
 /// Ablation: decision quality of the fuzzy-engine variants. For a spectrum
 /// of overload situations, report how often each (inference, defuzzifier)
 /// pair ranks the same top action as the paper's max–min/leftmost-max
@@ -1059,6 +1138,48 @@ mod name_resolution_tests {
             assert!(header.contains(column), "missing column {column}");
         }
         assert_eq!(lines.count(), CHAOS_SCALES.len());
+    }
+
+    /// Proactive acceptance: the reactive-vs-proactive comparison must be
+    /// bit-identical whatever the worker-pool size — both runs share the
+    /// master seed, and the pool reorders nothing observable.
+    #[test]
+    fn proactive_compare_is_bit_identical_across_job_counts() {
+        let sequential = proactive_compare(2, 7, 1);
+        let parallel = proactive_compare(2, 7, 4);
+        assert_eq!(sequential.len(), parallel.len());
+        for ((p1, m1), (p2, m2)) in sequential.iter().zip(&parallel) {
+            assert_eq!(p1, p2);
+            assert_eq!(m1.actions, m2.actions);
+            assert_eq!(m1.overload_secs, m2.overload_secs);
+            assert_eq!(m1.proactive_triggers, m2.proactive_triggers);
+            assert_eq!(m1.proactive_lead_secs, m2.proactive_lead_secs);
+            assert_eq!(m1.total_demand.to_bits(), m2.total_demand.to_bits());
+        }
+        assert_eq!(proactive_csv(&sequential), proactive_csv(&parallel));
+    }
+
+    /// The proactive CSV has exactly one reactive and one proactive row and
+    /// every documented column.
+    #[test]
+    fn proactive_csv_has_one_row_per_mode() {
+        let rows = proactive_compare(2, 7, 0);
+        let csv = proactive_csv(&rows);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        for column in [
+            "mode",
+            "overload_minutes",
+            "actions",
+            "proactive_triggers",
+            "mean_lead_minutes",
+        ] {
+            assert!(header.contains(column), "missing column {column}");
+        }
+        let rows: Vec<&str> = lines.collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("reactive,"));
+        assert!(rows[1].starts_with("proactive,"));
     }
 
     #[test]

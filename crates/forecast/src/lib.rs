@@ -36,4 +36,4 @@ pub mod proactive;
 pub use forecaster::{Forecast, Forecaster, ForecasterConfig};
 pub use hints::{Hint, HintBook};
 pub use periodicity::{autocorrelation, detect_period};
-pub use proactive::ProactiveTrigger;
+pub use proactive::{ProactiveConfig, ProactiveFiring, ProactiveTrigger};

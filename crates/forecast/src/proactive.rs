@@ -32,6 +32,25 @@ impl Default for ProactiveConfig {
     }
 }
 
+/// A proactive trigger together with its forecast provenance: when the
+/// threshold crossing is predicted to happen. The lead time —
+/// `predicted_at - event.time` — is how much head start the controller got
+/// over a purely reactive detection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProactiveFiring {
+    /// The synthetic trigger, stamped at decision time.
+    pub event: TriggerEvent,
+    /// When the forecast predicts the threshold crossing.
+    pub predicted_at: SimTime,
+}
+
+impl ProactiveFiring {
+    /// How far ahead of the predicted crossing the trigger fired.
+    pub fn lead(&self) -> SimDuration {
+        self.predicted_at.since(self.event.time)
+    }
+}
+
 /// Turns forecasts into early triggers.
 #[derive(Debug, Clone, Default)]
 pub struct ProactiveTrigger {
@@ -52,7 +71,13 @@ impl ProactiveTrigger {
 
     /// Check one subject: if its forecast (plus active reservations scaled
     /// by `capacity`) crosses the threshold within the horizon, return a
-    /// proactive trigger stamped `now`.
+    /// proactive trigger stamped `now` along with the predicted crossing
+    /// time.
+    ///
+    /// Only servers and services carry forecastable aggregate load;
+    /// instance subjects are rejected (`None`) rather than mislabelled as
+    /// service triggers — an instance forecast belongs to its service's
+    /// archive, which the caller should query instead.
     ///
     /// `capacity` is the performance index of the subject's host(s), used
     /// to convert reserved demand into load.
@@ -63,7 +88,12 @@ impl ProactiveTrigger {
         subject: Subject,
         capacity: f64,
         now: SimTime,
-    ) -> Option<TriggerEvent> {
+    ) -> Option<ProactiveFiring> {
+        let kind = match subject {
+            Subject::Server(_) => TriggerKind::ServerOverloaded,
+            Subject::Service(_) => TriggerKind::ServiceOverloaded,
+            Subject::Instance(_) => return None,
+        };
         let forecasts = self
             .forecaster
             .predict_series(archive, subject, now, self.config.horizon);
@@ -77,16 +107,15 @@ impl ProactiveTrigger {
                 .unwrap_or(0.0);
             let predicted = (forecast.cpu + reserved_load).min(1.0);
             if predicted >= self.config.overload_threshold {
-                return Some(TriggerEvent {
-                    kind: if subject.is_server() {
-                        TriggerKind::ServerOverloaded
-                    } else {
-                        TriggerKind::ServiceOverloaded
+                return Some(ProactiveFiring {
+                    event: TriggerEvent {
+                        kind,
+                        subject,
+                        time: now,
+                        average_cpu: predicted,
+                        average_mem: 0.0,
                     },
-                    subject,
-                    time: now,
-                    average_cpu: predicted,
-                    average_mem: 0.0,
+                    predicted_at: forecast.time,
                 });
             }
         }
@@ -129,10 +158,21 @@ mod tests {
             1.0,
             now,
         );
-        let event = event.expect("proactive trigger fires before the surge");
-        assert_eq!(event.kind, TriggerKind::ServerOverloaded);
-        assert_eq!(event.time, now, "stamped at decision time, not surge time");
-        assert!(event.average_cpu >= 0.7);
+        let firing = event.expect("proactive trigger fires before the surge");
+        assert_eq!(firing.event.kind, TriggerKind::ServerOverloaded);
+        assert_eq!(
+            firing.event.time, now,
+            "stamped at decision time, not surge time"
+        );
+        assert!(firing.event.average_cpu >= 0.7);
+        assert!(
+            firing.predicted_at > now,
+            "predicted crossing lies in the future"
+        );
+        assert!(
+            firing.lead() <= SimDuration::from_minutes(60),
+            "lead bounded by the horizon"
+        );
     }
 
     #[test]
@@ -183,6 +223,33 @@ mod tests {
         );
         let without = trigger.check(&archive, &HintBook::new(), service, 1.0, now);
         assert!(without.is_none(), "no trigger without the reservation");
+    }
+
+    #[test]
+    fn instance_subjects_are_rejected_not_mislabelled() {
+        // An instance archive hot enough to fire must NOT come back as a
+        // (malformed) service trigger — instances carry no forecastable
+        // aggregate and are rejected outright.
+        use autoglobe_landscape::InstanceId;
+        let mut archive = LoadArchive::new(SimDuration::from_minutes(1));
+        let subject = Subject::Instance(InstanceId::new(7));
+        for minute in 0..4 * 24 * 60 {
+            let t = SimTime::from_minutes(minute);
+            let load = if (9.0..17.0).contains(&t.hour_of_day()) {
+                0.9
+            } else {
+                0.2
+            };
+            archive.record(subject, t, load, 0.2);
+        }
+        let trigger = ProactiveTrigger::new();
+        let now = SimTime::from_hours(4 * 24 + 8) + SimDuration::from_minutes(30);
+        assert!(
+            trigger
+                .check(&archive, &HintBook::new(), subject, 1.0, now)
+                .is_none(),
+            "instance subject must not produce a proactive trigger"
+        );
     }
 
     #[test]

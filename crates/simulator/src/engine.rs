@@ -1,0 +1,403 @@
+//! The reusable workload engine behind the tick loop.
+//!
+//! [`WorkloadEngine`] owns everything the simulation knows about *load* —
+//! the daily workload curves, the session tables users log into, the
+//! request-flow demand model (application server → central instance →
+//! database) and the per-server rolling windows — but nothing about
+//! *control*. Each tick it turns the current landscape into a
+//! [`TickLoads`] snapshot; whoever drives the engine (the built-in
+//! [`crate::Simulation`] or an external control plane such as the
+//! `autoglobe` crate's Supervisor harness) decides what to do with it.
+
+use crate::config::SimConfig;
+use crate::metrics::{Metrics, OVERLOAD_LEVEL};
+use crate::sessions::{DistributionMode, SessionTable};
+use crate::workload::WorkloadSpec;
+use autoglobe_controller::LoadView;
+use autoglobe_landscape::{ApplyOutcome, InstanceId, Landscape, ServerId, ServiceId};
+use autoglobe_monitor::{SimDuration, SimTime, Subject};
+use autoglobe_rng::Rng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Length of the rolling window used for overload accounting and for the
+/// controller's smoothed server loads (the paper's 10-minute watch time).
+pub(crate) const ROLLING_WINDOW_TICKS: usize = 10;
+
+/// A workload with its service references resolved to ids.
+#[derive(Debug, Clone)]
+struct ResolvedWorkload {
+    spec: WorkloadSpec,
+    service: ServiceId,
+    ci: Option<ServiceId>,
+    db: Option<ServiceId>,
+}
+
+/// The per-tick load snapshot the engine produces: per-server CPU (raw and
+/// watch-time-smoothed) and memory, per-service and per-instance CPU, plus
+/// the landscape-wide average. Implements [`LoadView`], so it can be handed
+/// straight to the fuzzy controller.
+#[derive(Debug, Clone, Default)]
+pub struct TickLoads {
+    /// Raw per-server CPU load (0–1).
+    pub server_cpu: BTreeMap<ServerId, f64>,
+    /// Rolling-window mean per server (the controller's view).
+    pub server_cpu_smoothed: BTreeMap<ServerId, f64>,
+    /// Per-server memory load (0–1).
+    pub server_mem: BTreeMap<ServerId, f64>,
+    /// Per-service average CPU over its live instances.
+    pub service_cpu: BTreeMap<ServiceId, f64>,
+    /// Per-instance CPU share of its host.
+    pub instance_cpu: BTreeMap<InstanceId, f64>,
+    /// Mean raw CPU load over all servers this tick.
+    pub average_cpu: f64,
+}
+
+impl LoadView for TickLoads {
+    fn cpu(&self, subject: Subject) -> f64 {
+        match subject {
+            // The controller sees the watch-time mean, not the last tick
+            // ("set to the arithmetic means of the load values during the
+            // service specific watchTime", Section 4.1).
+            Subject::Server(id) => self
+                .server_cpu_smoothed
+                .get(&id)
+                .or_else(|| self.server_cpu.get(&id))
+                .copied()
+                .unwrap_or(0.0),
+            Subject::Service(id) => self.service_cpu.get(&id).copied().unwrap_or(0.0),
+            Subject::Instance(id) => self.instance_cpu.get(&id).copied().unwrap_or(0.0),
+        }
+    }
+
+    fn mem(&self, subject: Subject) -> f64 {
+        match subject {
+            Subject::Server(id) => self.server_mem.get(&id).copied().unwrap_or(0.0),
+            _ => 0.0,
+        }
+    }
+}
+
+/// The SAP workload model of one run: daily curves, session tables and the
+/// request-flow demand model, independent of any controller wiring.
+#[derive(Debug)]
+pub struct WorkloadEngine {
+    workloads: Vec<ResolvedWorkload>,
+    sessions: BTreeMap<ServiceId, SessionTable>,
+    rolling: BTreeMap<ServerId, VecDeque<f64>>,
+    last_loads: TickLoads,
+    mode: DistributionMode,
+    fluctuation: f64,
+    user_multiplier: f64,
+    startup_latency: SimDuration,
+    tick: SimDuration,
+}
+
+impl WorkloadEngine {
+    /// Resolve the workload specs against `landscape` and seat the initial
+    /// allocation's instances (immediately active).
+    ///
+    /// # Panics
+    /// Panics when a workload references an unknown service, mirroring
+    /// [`crate::Simulation::new`].
+    pub fn new(landscape: &Landscape, workloads: Vec<WorkloadSpec>, config: &SimConfig) -> Self {
+        let mut resolved = Vec::with_capacity(workloads.len());
+        for spec in workloads {
+            let service = landscape
+                .service_by_name(&spec.service)
+                .expect("workload references a known service");
+            let ci = spec
+                .ci_service
+                .as_deref()
+                .map(|n| landscape.service_by_name(n).expect("known CI service"));
+            let db = spec
+                .db_service
+                .as_deref()
+                .map(|n| landscape.service_by_name(n).expect("known DB service"));
+            resolved.push(ResolvedWorkload {
+                spec,
+                service,
+                ci,
+                db,
+            });
+        }
+
+        let mode = config.scenario.distribution_mode();
+        let mut sessions = BTreeMap::new();
+        for service in landscape.service_ids() {
+            let mut table = SessionTable::new(mode);
+            for instance in landscape.instances_of(service) {
+                table.add_instance(instance);
+            }
+            sessions.insert(service, table);
+        }
+
+        WorkloadEngine {
+            workloads: resolved,
+            sessions,
+            rolling: BTreeMap::new(),
+            last_loads: TickLoads::default(),
+            mode,
+            fluctuation: config.scenario.fluctuation(),
+            user_multiplier: config.user_multiplier,
+            startup_latency: config.startup_latency,
+            tick: config.tick,
+        }
+    }
+
+    /// The loads computed on the most recent [`WorkloadEngine::advance`]
+    /// call (default-empty before the first tick) — the view restart-host
+    /// selection and other out-of-band decisions read between ticks.
+    pub fn last_loads(&self) -> &TickLoads {
+        &self.last_loads
+    }
+
+    /// One tick of the workload model at `time`: sync session tables with
+    /// the landscape, advance the daily curves, let users (re-)distribute
+    /// over instances, run the request-flow demand model, and derive
+    /// per-server/-service/-instance loads. Overload, peak-load and demand
+    /// accounting is folded into `metrics`; `dead` instances (crashed but
+    /// not yet detected) serve nothing.
+    pub fn advance(
+        &mut self,
+        landscape: &Landscape,
+        dead: &BTreeSet<InstanceId>,
+        time: SimTime,
+        rng: &mut Rng,
+        metrics: &mut Metrics,
+    ) -> TickLoads {
+        let hour = time.hour_of_day();
+        let tick_secs = self.tick.as_secs() as f64;
+
+        // ---- 1. sessions follow the workload curves -----------------------
+        self.sync_sessions(landscape, dead, time);
+        let fluctuation = self.fluctuation;
+        let mut instance_server = BTreeMap::new();
+        for inst in landscape.instances() {
+            instance_server.insert(inst.id, inst.server);
+        }
+        let mut server_info: BTreeMap<ServerId, (f64, f64)> = BTreeMap::new();
+        for server in landscape.server_ids() {
+            let capacity = landscape
+                .server(server)
+                .map(|s| s.performance_index)
+                .unwrap_or(1.0);
+            let load = self
+                .last_loads
+                .server_cpu
+                .get(&server)
+                .copied()
+                .unwrap_or(0.0);
+            server_info.insert(server, (load, capacity));
+        }
+        for w in &self.workloads {
+            let target = w.spec.active_users(hour, self.user_multiplier, rng);
+            let table = self.sessions.get_mut(&w.service).expect("session table");
+            let instance_cpu = &self.last_loads.instance_cpu;
+            // The capacity an instance can offer its users is its host's
+            // power minus what *other* services on that host consume —
+            // SAP logon groups balance on response time, which reflects
+            // exactly this effective capacity.
+            let lookup = |instance: InstanceId| {
+                let (load, capacity) = instance_server
+                    .get(&instance)
+                    .and_then(|srv| server_info.get(srv))
+                    .copied()
+                    .unwrap_or((0.0, 1.0));
+                let own = instance_cpu.get(&instance).copied().unwrap_or(0.0);
+                let foreign = (load - own).max(0.0);
+                (load, capacity * (1.0 - foreign).max(0.05))
+            };
+            table.rebalance(target, time, fluctuation, &lookup);
+        }
+
+        // ---- 2. demand model ------------------------------------------------
+        let mut instance_demand: BTreeMap<InstanceId, f64> = BTreeMap::new();
+        // Application instances: base + per-user demand.
+        for w in &self.workloads {
+            let spec = landscape.service(w.service).expect("service");
+            let load_scale = w.spec.load_scale(self.user_multiplier);
+            let table = &self.sessions[&w.service];
+            for instance in landscape.instances_of(w.service) {
+                if dead.contains(&instance) {
+                    continue;
+                }
+                let users = table.users_on(instance);
+                let demand = spec.base_load + users * spec.load_per_user * load_scale;
+                *instance_demand.entry(instance).or_insert(0.0) += demand;
+            }
+        }
+        // Central instances and databases: coupled to the member services'
+        // logged-in users ("Before handling the request in the database, the
+        // lock management of the central instance is requested").
+        let mut backend_demand: BTreeMap<ServiceId, f64> = BTreeMap::new();
+        for w in &self.workloads {
+            let users = self.sessions[&w.service].total_users();
+            let load_scale = w.spec.load_scale(self.user_multiplier);
+            if let Some(ci) = w.ci {
+                *backend_demand.entry(ci).or_insert(0.0) +=
+                    users * w.spec.ci_load_per_user * load_scale;
+            }
+            if let Some(db) = w.db {
+                *backend_demand.entry(db).or_insert(0.0) +=
+                    users * w.spec.db_load_per_user * load_scale;
+            }
+        }
+        for (&service, &demand) in &backend_demand {
+            let instances: Vec<InstanceId> = landscape
+                .instances_of(service)
+                .into_iter()
+                .filter(|i| !dead.contains(i))
+                .collect();
+            if instances.is_empty() {
+                continue;
+            }
+            let spec = landscape.service(service).expect("service");
+            let share = demand / instances.len() as f64;
+            for instance in instances {
+                *instance_demand.entry(instance).or_insert(0.0) += spec.base_load + share;
+            }
+        }
+
+        // ---- 3. per-server loads -------------------------------------------
+        let mut loads = TickLoads::default();
+        let mut server_demand: BTreeMap<ServerId, f64> = BTreeMap::new();
+        for (&instance, &demand) in &instance_demand {
+            if let Ok(inst) = landscape.instance(instance) {
+                *server_demand.entry(inst.server).or_insert(0.0) += demand;
+            }
+        }
+        let mut load_sum = 0.0;
+        for server in landscape.server_ids() {
+            let spec = landscape.server(server).expect("server");
+            let demand = server_demand.get(&server).copied().unwrap_or(0.0);
+            let capacity = spec.performance_index;
+            let load = (demand / capacity).min(1.0);
+            load_sum += load;
+            metrics.total_demand += demand * tick_secs;
+            if demand > capacity {
+                metrics.unserved_demand += (demand - capacity) * tick_secs;
+            }
+            let mem = if spec.memory_mb == 0 {
+                0.0
+            } else {
+                (landscape.memory_used_on(server) as f64 / spec.memory_mb as f64).min(1.0)
+            };
+            loads.server_cpu.insert(server, load);
+            loads.server_mem.insert(server, mem);
+
+            // Rolling window for overload accounting + controller smoothing.
+            let window = self.rolling.entry(server).or_default();
+            window.push_back(load);
+            if window.len() > ROLLING_WINDOW_TICKS {
+                window.pop_front();
+            }
+            let avg = window.iter().sum::<f64>() / window.len() as f64;
+            loads.server_cpu_smoothed.insert(server, avg);
+            if avg > OVERLOAD_LEVEL {
+                let tick_secs_int = self.tick.as_secs();
+                *metrics.overload_secs.entry(server).or_insert(0) += tick_secs_int;
+                *metrics
+                    .overload_secs_by_day
+                    .entry((server, time.day()))
+                    .or_insert(0) += tick_secs_int;
+            }
+            let peak = metrics.peak_load.entry(server).or_insert(0.0);
+            if load > *peak {
+                *peak = load;
+            }
+        }
+        loads.average_cpu = load_sum / landscape.num_servers().max(1) as f64;
+
+        // Instance shares and per-service averages.
+        for (&instance, &demand) in &instance_demand {
+            if let Ok(inst) = landscape.instance(instance) {
+                let capacity = landscape
+                    .server(inst.server)
+                    .map(|s| s.performance_index)
+                    .unwrap_or(1.0);
+                loads
+                    .instance_cpu
+                    .insert(instance, (demand / capacity).min(1.0));
+            }
+        }
+        for service in landscape.service_ids() {
+            let instances: Vec<InstanceId> = landscape
+                .instances_of(service)
+                .into_iter()
+                .filter(|i| !dead.contains(i))
+                .collect();
+            if instances.is_empty() {
+                continue;
+            }
+            let sum: f64 = instances
+                .iter()
+                .filter_map(|i| loads.instance_cpu.get(i))
+                .sum();
+            loads
+                .service_cpu
+                .insert(service, sum / instances.len() as f64);
+        }
+
+        self.last_loads = loads.clone();
+        loads
+    }
+
+    /// Keep session tables and landscape instances in sync. Dead instances
+    /// (crashed but not yet detected) accept no logins.
+    fn sync_sessions(&mut self, landscape: &Landscape, dead: &BTreeSet<InstanceId>, now: SimTime) {
+        for service in landscape.service_ids() {
+            let live = landscape.instances_of(service);
+            let table = self
+                .sessions
+                .entry(service)
+                .or_insert_with(|| SessionTable::new(self.mode));
+            // Remove vanished instances (users re-login next rebalance).
+            let stale: Vec<InstanceId> = table.instances().filter(|i| !live.contains(i)).collect();
+            for instance in stale {
+                table.remove_instance(instance);
+            }
+            // Add unknown instances as starting up.
+            let ready_at = now + self.startup_latency;
+            for instance in live {
+                if !dead.contains(&instance) && !table.instances().any(|i| i == instance) {
+                    table.add_starting_instance(instance, ready_at);
+                }
+            }
+        }
+    }
+
+    /// Mirror a controller action into session state: started instances
+    /// accept users after the start-up latency, stopped instances drop
+    /// theirs. Moves keep sessions (the virtual IP travels with the
+    /// instance); priority changes have no session effect.
+    pub fn note_action(&mut self, outcome: &ApplyOutcome, landscape: &Landscape, now: SimTime) {
+        match *outcome {
+            ApplyOutcome::Started(instance) => {
+                if let Ok(inst) = landscape.instance(instance) {
+                    let service = inst.service;
+                    let ready_at = now + self.startup_latency;
+                    if let Some(table) = self.sessions.get_mut(&service) {
+                        table.add_starting_instance(instance, ready_at);
+                    }
+                }
+            }
+            ApplyOutcome::Stopped(instance) => {
+                for table in self.sessions.values_mut() {
+                    table.remove_instance(instance);
+                }
+            }
+            ApplyOutcome::Moved { .. } | ApplyOutcome::PriorityChanged { .. } => {}
+        }
+    }
+
+    /// Sever every session on a failed instance and return the stranded
+    /// user count (they must re-login once capacity recovers).
+    pub fn sever_sessions(&mut self, landscape: &Landscape, instance: InstanceId) -> f64 {
+        if let Ok(inst) = landscape.instance(instance) {
+            if let Some(table) = self.sessions.get_mut(&inst.service) {
+                return table.remove_instance(instance);
+            }
+        }
+        0.0
+    }
+}

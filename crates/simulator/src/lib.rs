@@ -37,6 +37,7 @@
 
 pub mod capacity;
 pub mod config;
+pub mod engine;
 pub mod metrics;
 pub mod sap;
 pub mod scenario;
@@ -46,6 +47,7 @@ pub mod workload;
 
 pub use capacity::{find_max_users, CapacityCriterion, CapacityResult};
 pub use config::{FailureInjection, HeartbeatDetection, SimConfig};
+pub use engine::{TickLoads, WorkloadEngine};
 pub use metrics::{InstancePoint, Metrics, SeriesPoint};
 pub use sap::{build_environment, SapEnvironment};
 pub use scenario::Scenario;

@@ -97,6 +97,12 @@ pub struct Metrics {
     /// Users whose sessions were severed by a failure (fractional users:
     /// the demand model distributes load continuously).
     pub lost_sessions: f64,
+    /// Proactive (forecast-driven) triggers the control plane acted on.
+    pub proactive_triggers: usize,
+    /// Sum over proactive triggers of (predicted overload time − trigger
+    /// time), in seconds — how far ahead of the overload the forecaster
+    /// fired.
+    pub proactive_lead_secs: u64,
     /// Integral of demand the hardware could not serve, in
     /// performance-unit-seconds (requests delayed — "users cannot perform
     /// all their requests in a given period").
@@ -183,6 +189,16 @@ impl Metrics {
             0.0
         } else {
             self.recovery_time_secs as f64 / self.recoveries as f64
+        }
+    }
+
+    /// Mean lead time of proactive triggers (predicted overload time minus
+    /// trigger time), in seconds — zero when no proactive trigger fired.
+    pub fn mean_proactive_lead_secs(&self) -> f64 {
+        if self.proactive_triggers == 0 {
+            0.0
+        } else {
+            self.proactive_lead_secs as f64 / self.proactive_triggers as f64
         }
     }
 

@@ -9,13 +9,12 @@
 //! instances accept users.
 
 use crate::config::SimConfig;
-use crate::metrics::{InstancePoint, Metrics, SeriesPoint, OVERLOAD_LEVEL};
+use crate::engine::{TickLoads, WorkloadEngine};
+use crate::metrics::{InstancePoint, Metrics, SeriesPoint};
 use crate::sap::SapEnvironment;
-use crate::sessions::SessionTable;
-use crate::workload::WorkloadSpec;
 use autoglobe_controller::{
-    ActionExecutor, AutoGlobeController, ControllerEvent, ExecutionEvent, LoadView,
-    RecoveryOutcome, RuleBases,
+    ActionExecutor, AutoGlobeController, ControllerEvent, ExecutionEvent, RecoveryOutcome,
+    RuleBases,
 };
 use autoglobe_landscape::{ApplyOutcome, InstanceId, Landscape, ServerId, ServiceId};
 use autoglobe_monitor::{
@@ -23,70 +22,19 @@ use autoglobe_monitor::{
     LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject, SubjectConfig, TriggerEvent,
 };
 use autoglobe_rng::{splitmix64, Rng};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
-
-/// Length of the rolling window used for overload accounting and for the
-/// controller's smoothed server loads (the paper's 10-minute watch time).
-const ROLLING_WINDOW_TICKS: usize = 10;
-
-/// A workload with its service references resolved to ids.
-#[derive(Debug, Clone)]
-struct ResolvedWorkload {
-    spec: WorkloadSpec,
-    service: ServiceId,
-    ci: Option<ServiceId>,
-    db: Option<ServiceId>,
-}
-
-/// The per-tick load snapshot handed to the controller.
-#[derive(Debug, Clone, Default)]
-struct SimLoads {
-    server_cpu: BTreeMap<ServerId, f64>,
-    server_cpu_smoothed: BTreeMap<ServerId, f64>,
-    server_mem: BTreeMap<ServerId, f64>,
-    service_cpu: BTreeMap<ServiceId, f64>,
-    instance_cpu: BTreeMap<InstanceId, f64>,
-}
-
-impl LoadView for SimLoads {
-    fn cpu(&self, subject: Subject) -> f64 {
-        match subject {
-            // The controller sees the watch-time mean, not the last tick
-            // ("set to the arithmetic means of the load values during the
-            // service specific watchTime", Section 4.1).
-            Subject::Server(id) => self
-                .server_cpu_smoothed
-                .get(&id)
-                .or_else(|| self.server_cpu.get(&id))
-                .copied()
-                .unwrap_or(0.0),
-            Subject::Service(id) => self.service_cpu.get(&id).copied().unwrap_or(0.0),
-            Subject::Instance(id) => self.instance_cpu.get(&id).copied().unwrap_or(0.0),
-        }
-    }
-
-    fn mem(&self, subject: Subject) -> f64 {
-        match subject {
-            Subject::Server(id) => self.server_mem.get(&id).copied().unwrap_or(0.0),
-            _ => 0.0,
-        }
-    }
-}
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A full simulation run.
 pub struct Simulation {
     config: SimConfig,
     landscape: Landscape,
-    workloads: Vec<ResolvedWorkload>,
-    sessions: BTreeMap<ServiceId, SessionTable>,
+    engine: WorkloadEngine,
     controller: AutoGlobeController,
     monitoring: LoadMonitoringSystem,
     archive: LoadArchive,
     rng: Rng,
     time: SimTime,
     metrics: Metrics,
-    rolling: BTreeMap<ServerId, VecDeque<f64>>,
-    last_loads: SimLoads,
     last_sample: SimTime,
     record_instances_of: Vec<ServiceId>,
     /// Failed servers awaiting repair: `(repair time, server)`.
@@ -124,38 +72,8 @@ impl Simulation {
             workloads,
         } = env;
 
-        let mut resolved = Vec::with_capacity(workloads.len());
-        for spec in workloads {
-            let service = landscape
-                .service_by_name(&spec.service)
-                .expect("workload references a known service");
-            let ci = spec
-                .ci_service
-                .as_deref()
-                .map(|n| landscape.service_by_name(n).expect("known CI service"));
-            let db = spec
-                .db_service
-                .as_deref()
-                .map(|n| landscape.service_by_name(n).expect("known DB service"));
-            resolved.push(ResolvedWorkload {
-                spec,
-                service,
-                ci,
-                db,
-            });
-        }
-
-        // Sessions: every service gets a table; the initial allocation's
-        // instances are immediately active.
-        let mode = config.scenario.distribution_mode();
-        let mut sessions = BTreeMap::new();
-        for service in landscape.service_ids() {
-            let mut table = SessionTable::new(mode);
-            for instance in landscape.instances_of(service) {
-                table.add_instance(instance);
-            }
-            sessions.insert(service, table);
-        }
+        // The workload model: daily curves, session tables, demand flow.
+        let engine = WorkloadEngine::new(&landscape, workloads, &config);
 
         // Monitoring: servers with performance-index-scaled idle thresholds,
         // services with the standard thresholds.
@@ -220,16 +138,13 @@ impl Simulation {
         Simulation {
             config,
             landscape,
-            workloads: resolved,
-            sessions,
+            engine,
             controller,
             monitoring,
             archive: LoadArchive::new(SimDuration::from_minutes(1)),
             rng: Rng::seed_from_u64(seed),
             time: SimTime::ZERO,
             metrics,
-            rolling: BTreeMap::new(),
-            last_loads: SimLoads::default(),
             last_sample: SimTime::ZERO,
             record_instances_of,
             pending_repairs: Vec::new(),
@@ -281,8 +196,6 @@ impl Simulation {
     /// Advance one tick. Public so examples can interleave inspection.
     pub fn step(&mut self) {
         self.time += self.config.tick;
-        let hour = self.time.hour_of_day();
-        let tick_secs = self.config.tick.as_secs() as f64;
 
         // Ground-truth dead entities (heartbeat mode only): crashed
         // instances and instances on down hosts serve nothing until the
@@ -302,182 +215,15 @@ impl Simulation {
             BTreeSet::new()
         };
 
-        // ---- 1. sessions follow the workload curves -----------------------
-        self.sync_sessions(&dead);
-        let fluctuation = self.config.scenario.fluctuation();
-        let mut instance_server = BTreeMap::new();
-        for inst in self.landscape.instances() {
-            instance_server.insert(inst.id, inst.server);
-        }
-        let mut server_info: BTreeMap<ServerId, (f64, f64)> = BTreeMap::new();
-        for server in self.landscape.server_ids() {
-            let capacity = self
-                .landscape
-                .server(server)
-                .map(|s| s.performance_index)
-                .unwrap_or(1.0);
-            let load = self
-                .last_loads
-                .server_cpu
-                .get(&server)
-                .copied()
-                .unwrap_or(0.0);
-            server_info.insert(server, (load, capacity));
-        }
-        for w in &self.workloads {
-            let target = w
-                .spec
-                .active_users(hour, self.config.user_multiplier, &mut self.rng);
-            let table = self.sessions.get_mut(&w.service).expect("session table");
-            let instance_cpu = &self.last_loads.instance_cpu;
-            // The capacity an instance can offer its users is its host's
-            // power minus what *other* services on that host consume —
-            // SAP logon groups balance on response time, which reflects
-            // exactly this effective capacity.
-            let lookup = |instance: InstanceId| {
-                let (load, capacity) = instance_server
-                    .get(&instance)
-                    .and_then(|srv| server_info.get(srv))
-                    .copied()
-                    .unwrap_or((0.0, 1.0));
-                let own = instance_cpu.get(&instance).copied().unwrap_or(0.0);
-                let foreign = (load - own).max(0.0);
-                (load, capacity * (1.0 - foreign).max(0.05))
-            };
-            table.rebalance(target, self.time, fluctuation, &lookup);
-        }
-
-        // ---- 2. demand model ------------------------------------------------
-        let mut instance_demand: BTreeMap<InstanceId, f64> = BTreeMap::new();
-        // Application instances: base + per-user demand.
-        for w in &self.workloads {
-            let spec = self.landscape.service(w.service).expect("service");
-            let load_scale = w.spec.load_scale(self.config.user_multiplier);
-            let table = &self.sessions[&w.service];
-            for instance in self.landscape.instances_of(w.service) {
-                if dead.contains(&instance) {
-                    continue;
-                }
-                let users = table.users_on(instance);
-                let demand = spec.base_load + users * spec.load_per_user * load_scale;
-                *instance_demand.entry(instance).or_insert(0.0) += demand;
-            }
-        }
-        // Central instances and databases: coupled to the member services'
-        // logged-in users ("Before handling the request in the database, the
-        // lock management of the central instance is requested").
-        let mut backend_demand: BTreeMap<ServiceId, f64> = BTreeMap::new();
-        for w in &self.workloads {
-            let users = self.sessions[&w.service].total_users();
-            let load_scale = w.spec.load_scale(self.config.user_multiplier);
-            if let Some(ci) = w.ci {
-                *backend_demand.entry(ci).or_insert(0.0) +=
-                    users * w.spec.ci_load_per_user * load_scale;
-            }
-            if let Some(db) = w.db {
-                *backend_demand.entry(db).or_insert(0.0) +=
-                    users * w.spec.db_load_per_user * load_scale;
-            }
-        }
-        for (&service, &demand) in &backend_demand {
-            let instances: Vec<InstanceId> = self
-                .landscape
-                .instances_of(service)
-                .into_iter()
-                .filter(|i| !dead.contains(i))
-                .collect();
-            if instances.is_empty() {
-                continue;
-            }
-            let spec = self.landscape.service(service).expect("service");
-            let share = demand / instances.len() as f64;
-            for instance in instances {
-                *instance_demand.entry(instance).or_insert(0.0) += spec.base_load + share;
-            }
-        }
-
-        // ---- 3. per-server loads -------------------------------------------
-        let mut loads = SimLoads::default();
-        let mut server_demand: BTreeMap<ServerId, f64> = BTreeMap::new();
-        for (&instance, &demand) in &instance_demand {
-            if let Ok(inst) = self.landscape.instance(instance) {
-                *server_demand.entry(inst.server).or_insert(0.0) += demand;
-            }
-        }
-        let mut load_sum = 0.0;
-        for server in self.landscape.server_ids() {
-            let spec = self.landscape.server(server).expect("server");
-            let demand = server_demand.get(&server).copied().unwrap_or(0.0);
-            let capacity = spec.performance_index;
-            let load = (demand / capacity).min(1.0);
-            load_sum += load;
-            self.metrics.total_demand += demand * tick_secs;
-            if demand > capacity {
-                self.metrics.unserved_demand += (demand - capacity) * tick_secs;
-            }
-            let mem = if spec.memory_mb == 0 {
-                0.0
-            } else {
-                (self.landscape.memory_used_on(server) as f64 / spec.memory_mb as f64).min(1.0)
-            };
-            loads.server_cpu.insert(server, load);
-            loads.server_mem.insert(server, mem);
-
-            // Rolling window for overload accounting + controller smoothing.
-            let window = self.rolling.entry(server).or_default();
-            window.push_back(load);
-            if window.len() > ROLLING_WINDOW_TICKS {
-                window.pop_front();
-            }
-            let avg = window.iter().sum::<f64>() / window.len() as f64;
-            loads.server_cpu_smoothed.insert(server, avg);
-            if avg > OVERLOAD_LEVEL {
-                let tick_secs_int = self.config.tick.as_secs();
-                *self.metrics.overload_secs.entry(server).or_insert(0) += tick_secs_int;
-                *self
-                    .metrics
-                    .overload_secs_by_day
-                    .entry((server, self.time.day()))
-                    .or_insert(0) += tick_secs_int;
-            }
-            let peak = self.metrics.peak_load.entry(server).or_insert(0.0);
-            if load > *peak {
-                *peak = load;
-            }
-        }
-        let average_load = load_sum / self.landscape.num_servers().max(1) as f64;
-
-        // Instance shares and per-service averages.
-        for (&instance, &demand) in &instance_demand {
-            if let Ok(inst) = self.landscape.instance(instance) {
-                let capacity = self
-                    .landscape
-                    .server(inst.server)
-                    .map(|s| s.performance_index)
-                    .unwrap_or(1.0);
-                loads
-                    .instance_cpu
-                    .insert(instance, (demand / capacity).min(1.0));
-            }
-        }
-        for service in self.landscape.service_ids() {
-            let instances: Vec<InstanceId> = self
-                .landscape
-                .instances_of(service)
-                .into_iter()
-                .filter(|i| !dead.contains(i))
-                .collect();
-            if instances.is_empty() {
-                continue;
-            }
-            let sum: f64 = instances
-                .iter()
-                .filter_map(|i| loads.instance_cpu.get(i))
-                .sum();
-            loads
-                .service_cpu
-                .insert(service, sum / instances.len() as f64);
-        }
+        // ---- 1–3. workload model: sessions, demand, per-server loads --------
+        let loads = self.engine.advance(
+            &self.landscape,
+            &dead,
+            self.time,
+            &mut self.rng,
+            &mut self.metrics,
+        );
+        let average_load = loads.average_cpu;
 
         // ---- 4. record -------------------------------------------------------
         for (&server, &load) in &loads.server_cpu {
@@ -601,8 +347,6 @@ impl Simulation {
                 }
             }
         }
-
-        self.last_loads = loads;
     }
 
     /// Settle in-flight executor operations and fold their events into the
@@ -631,7 +375,7 @@ impl Simulation {
 
     /// Retry restarts of lost instances; entries stay queued until a
     /// feasible host exists (e.g. their only possible host repairs).
-    fn drain_restart_queue(&mut self, loads: &SimLoads) {
+    fn drain_restart_queue(&mut self, loads: &TickLoads) {
         if self.restart_queue.is_empty() {
             return;
         }
@@ -682,7 +426,7 @@ impl Simulation {
     /// self-healing path (the *oracle* path: the controller learns of a
     /// failure the instant it happens), and repair hosts whose downtime is
     /// over. Rates were validated on construction, so no clamping here.
-    fn inject_failures(&mut self, loads: &SimLoads) {
+    fn inject_failures(&mut self, loads: &TickLoads) {
         let Some(cfg) = self.config.failures else {
             return;
         };
@@ -752,7 +496,7 @@ impl Simulation {
     /// the controller — measurable detection latency, reconciled false
     /// suspicions, and quarantine + re-certification for falsely confirmed
     /// hosts.
-    fn chaos_tick(&mut self, loads: &SimLoads) {
+    fn chaos_tick(&mut self, loads: &TickLoads) {
         let now = self.time;
 
         // Repairs: the host rejoins the pool and is watched again with a
@@ -928,59 +672,11 @@ impl Simulation {
     /// Sever every session on a failed instance; the stranded users count
     /// as lost sessions (they must re-login once capacity recovers).
     fn sever_sessions(&mut self, instance: InstanceId) {
-        if let Ok(inst) = self.landscape.instance(instance) {
-            let service = inst.service;
-            if let Some(table) = self.sessions.get_mut(&service) {
-                self.metrics.lost_sessions += table.remove_instance(instance);
-            }
-        }
-    }
-
-    /// Keep session tables and landscape instances in sync, and mirror
-    /// controller actions into session/monitoring state. Dead instances
-    /// (crashed but not yet detected) accept no logins.
-    fn sync_sessions(&mut self, dead: &BTreeSet<InstanceId>) {
-        for service in self.landscape.service_ids() {
-            let live = self.landscape.instances_of(service);
-            let table = self
-                .sessions
-                .entry(service)
-                .or_insert_with(|| SessionTable::new(self.config.scenario.distribution_mode()));
-            // Remove vanished instances (users re-login next rebalance).
-            let stale: Vec<InstanceId> = table.instances().filter(|i| !live.contains(i)).collect();
-            for instance in stale {
-                table.remove_instance(instance);
-            }
-            // Add unknown instances as starting up.
-            let ready_at = self.time + self.config.startup_latency;
-            for instance in live {
-                if !dead.contains(&instance) && !table.instances().any(|i| i == instance) {
-                    table.add_starting_instance(instance, ready_at);
-                }
-            }
-        }
+        self.metrics.lost_sessions += self.engine.sever_sessions(&self.landscape, instance);
     }
 
     fn apply_side_effects(&mut self, outcome: &ApplyOutcome) {
-        match *outcome {
-            ApplyOutcome::Started(instance) => {
-                if let Ok(inst) = self.landscape.instance(instance) {
-                    let service = inst.service;
-                    let ready_at = self.time + self.config.startup_latency;
-                    if let Some(table) = self.sessions.get_mut(&service) {
-                        table.add_starting_instance(instance, ready_at);
-                    }
-                }
-            }
-            ApplyOutcome::Stopped(instance) => {
-                for table in self.sessions.values_mut() {
-                    table.remove_instance(instance);
-                }
-            }
-            // Moves keep sessions (the virtual IP travels with the
-            // instance); priority changes have no session effect.
-            ApplyOutcome::Moved { .. } | ApplyOutcome::PriorityChanged { .. } => {}
-        }
+        self.engine.note_action(outcome, &self.landscape, self.time);
     }
 }
 
@@ -1412,7 +1108,12 @@ mod chaos_tests {
             for service in queued {
                 assert!(
                     sim.controller
-                        .best_restart_host(service, &sim.landscape, &sim.last_loads, sim.time)
+                        .best_restart_host(
+                            service,
+                            &sim.landscape,
+                            sim.engine.last_loads(),
+                            sim.time
+                        )
                         .is_none(),
                     "instance stayed lost although a feasible host exists"
                 );

@@ -59,7 +59,12 @@ fn main() {
     for server_name in ["Blade3", "DBServer3"] {
         let server = sim.landscape().server_by_name(server_name).unwrap();
         match proactive.check(archive, &hints, Subject::Server(server), 1.0, now) {
-            Some(event) => println!("  {server_name}: {event}"),
+            Some(firing) => println!(
+                "  {server_name}: {} (predicted for {}, {} lead)",
+                firing.event,
+                firing.predicted_at,
+                firing.lead()
+            ),
             None => println!("  {server_name}: no imminent overload predicted"),
         }
     }

@@ -281,8 +281,10 @@ fn failures_heal_through_the_supervisor() {
 
     // Repair brings the host back into the candidate pool — and is itself
     // a logged event, not a silent availability flip.
-    let repaired = supervisor.report_server_repaired(blade1, SimTime::from_minutes(30));
-    assert!(matches!(repaired, ControllerEvent::Repaired { server, .. } if server == blade1));
+    let repaired = supervisor
+        .report_server_repaired(blade1, SimTime::from_minutes(30))
+        .unwrap();
+    assert!(matches!(repaired, Some(ControllerEvent::Repaired { server, .. }) if server == blade1));
     assert!(supervisor.landscape().is_available(blade1));
     assert!(supervisor.landscape().can_host(app, blade1));
 
