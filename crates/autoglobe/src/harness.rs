@@ -111,14 +111,13 @@ impl SupervisedRun {
         );
 
         // Measurements in — exactly what a deployment agent would report.
-        for (&server, &cpu) in &loads.server_cpu {
-            self.supervisor
-                .record_server(server, self.time, cpu, loads.server_mem[&server]);
+        for (server, cpu, mem) in loads.server_entries() {
+            self.supervisor.record_server(server, self.time, cpu, mem);
         }
-        for (&service, &cpu) in &loads.service_cpu {
+        for (service, cpu) in loads.service_entries() {
             self.supervisor.record_service(service, self.time, cpu);
         }
-        for (&instance, &cpu) in &loads.instance_cpu {
+        for (instance, cpu) in loads.instance_entries() {
             self.supervisor.record_instance(instance, self.time, cpu);
         }
 

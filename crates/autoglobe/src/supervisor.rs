@@ -36,18 +36,124 @@ use autoglobe_monitor::{
 use std::collections::BTreeMap;
 
 /// Latest-value load view fed by the supervisor's recorded measurements.
+///
+/// Stored as dense per-kind arenas indexed by the raw id (ids are dense in
+/// this system), with presence flags distinguishing "never recorded /
+/// pruned" from a recorded 0.0 — the per-tick record path writes three
+/// array slots instead of rebalancing two `BTreeMap`s per measurement.
 #[derive(Debug, Clone, Default)]
 struct RecordedLoads {
-    cpu: BTreeMap<Subject, f64>,
-    mem: BTreeMap<Subject, f64>,
+    server_cpu: Vec<f64>,
+    server_mem: Vec<f64>,
+    server_set: Vec<bool>,
+    service_cpu: Vec<f64>,
+    service_set: Vec<bool>,
+    instance_cpu: Vec<f64>,
+    instance_mem: Vec<f64>,
+    instance_set: Vec<bool>,
+}
+
+/// Grow a dense lane so `idx` is addressable.
+fn grow_to<T: Clone + Default>(lane: &mut Vec<T>, idx: usize) {
+    if lane.len() <= idx {
+        lane.resize(idx + 1, T::default());
+    }
+}
+
+impl RecordedLoads {
+    /// Record the latest measurement for `subject`.
+    fn set(&mut self, subject: Subject, cpu: f64, mem: f64) {
+        match subject {
+            Subject::Server(id) => {
+                let idx = id.index();
+                grow_to(&mut self.server_cpu, idx);
+                grow_to(&mut self.server_mem, idx);
+                grow_to(&mut self.server_set, idx);
+                self.server_cpu[idx] = cpu;
+                self.server_mem[idx] = mem;
+                self.server_set[idx] = true;
+            }
+            Subject::Service(id) => {
+                let idx = id.index();
+                grow_to(&mut self.service_cpu, idx);
+                grow_to(&mut self.service_set, idx);
+                self.service_cpu[idx] = cpu;
+                self.service_set[idx] = true;
+            }
+            Subject::Instance(id) => {
+                let idx = id.index();
+                grow_to(&mut self.instance_cpu, idx);
+                grow_to(&mut self.instance_mem, idx);
+                grow_to(&mut self.instance_set, idx);
+                self.instance_cpu[idx] = cpu;
+                self.instance_mem[idx] = mem;
+                self.instance_set[idx] = true;
+            }
+        }
+    }
+
+    /// Forget `subject` (it departed the landscape).
+    fn remove(&mut self, subject: Subject) {
+        let (lane, idx) = match subject {
+            Subject::Server(id) => (&mut self.server_set, id.index()),
+            Subject::Service(id) => (&mut self.service_set, id.index()),
+            Subject::Instance(id) => (&mut self.instance_set, id.index()),
+        };
+        if let Some(set) = lane.get_mut(idx) {
+            *set = false;
+        }
+    }
+
+    /// All recorded subjects: servers, then services, then instances, each
+    /// ascending — the same order as [`Subject`]'s derived `Ord` gave the
+    /// old map-backed storage.
+    fn subjects(&self) -> impl Iterator<Item = Subject> + '_ {
+        let servers = self
+            .server_set
+            .iter()
+            .enumerate()
+            .filter(|(_, &set)| set)
+            .map(|(i, _)| Subject::Server(ServerId::new(i as u32)));
+        let services = self
+            .service_set
+            .iter()
+            .enumerate()
+            .filter(|(_, &set)| set)
+            .map(|(i, _)| Subject::Service(ServiceId::new(i as u32)));
+        let instances = self
+            .instance_set
+            .iter()
+            .enumerate()
+            .filter(|(_, &set)| set)
+            .map(|(i, _)| Subject::Instance(InstanceId::new(i as u32)));
+        servers.chain(services).chain(instances)
+    }
 }
 
 impl LoadView for RecordedLoads {
     fn cpu(&self, subject: Subject) -> f64 {
-        self.cpu.get(&subject).copied().unwrap_or(0.0)
+        let (set, cpu, idx) = match subject {
+            Subject::Server(id) => (&self.server_set, &self.server_cpu, id.index()),
+            Subject::Service(id) => (&self.service_set, &self.service_cpu, id.index()),
+            Subject::Instance(id) => (&self.instance_set, &self.instance_cpu, id.index()),
+        };
+        if set.get(idx).copied().unwrap_or(false) {
+            cpu[idx]
+        } else {
+            0.0
+        }
     }
     fn mem(&self, subject: Subject) -> f64 {
-        self.mem.get(&subject).copied().unwrap_or(0.0)
+        let (set, mem, idx) = match subject {
+            Subject::Server(id) => (&self.server_set, &self.server_mem, id.index()),
+            Subject::Service(_) => return 0.0,
+            Subject::Instance(id) => (&self.instance_set, &self.instance_mem, id.index()),
+        };
+        if set.get(idx).copied().unwrap_or(false) {
+            mem[idx]
+        } else {
+            0.0
+        }
     }
 }
 
@@ -359,8 +465,7 @@ impl Supervisor {
     }
 
     fn record(&mut self, subject: Subject, time: SimTime, cpu: f64, mem: f64) {
-        self.loads.cpu.insert(subject, cpu);
-        self.loads.mem.insert(subject, mem);
+        self.loads.set(subject, cpu, mem);
         self.archive.record(subject, time, cpu, mem);
         // Instances are not registered as monitored subjects by default
         // (triggers come from servers and services), but measurements for
@@ -560,9 +665,7 @@ impl Supervisor {
     fn prune_departed(&mut self) {
         let candidates: Vec<Subject> = self
             .loads
-            .cpu
-            .keys()
-            .copied()
+            .subjects()
             .chain(self.heartbeats.watched())
             .collect();
         for subject in candidates {
@@ -572,8 +675,7 @@ impl Supervisor {
                 Subject::Instance(i) => self.landscape.instance(i).is_err(),
             };
             if departed {
-                self.loads.cpu.remove(&subject);
-                self.loads.mem.remove(&subject);
+                self.loads.remove(subject);
                 self.monitoring.unregister(subject);
                 self.heartbeats.unwatch(subject);
                 self.last_proactive.remove(&subject);
@@ -878,8 +980,7 @@ mod tests {
                 (Subject::Instance(instance), cpu, 0.0),
                 (Subject::Service(fi), cpu, 0.0),
             ] {
-                loads.cpu.insert(subject, scpu);
-                loads.mem.insert(subject, smem);
+                loads.set(subject, scpu, smem);
                 if monitoring.is_registered(subject) {
                     if let Some(trigger) =
                         monitoring.observe(subject, LoadSample::new(t, scpu, smem))

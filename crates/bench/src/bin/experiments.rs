@@ -24,6 +24,9 @@ fn main() {
     let hours = flag(&args, "--hours").unwrap_or(80);
     let seed = flag(&args, "--seed").unwrap_or(42);
     let jobs = xp::pool::effective_jobs(flag(&args, "--jobs").unwrap_or(0) as usize);
+    // Intra-run worker threads for the per-server tick phase. Defaults to 1
+    // (fully sequential); output is bit-identical at any width.
+    let inner_jobs = flag(&args, "--inner-jobs").unwrap_or(1) as usize;
 
     fs::create_dir_all("results").expect("create results dir");
     let mut timings = Timings::new(jobs, hours, seed);
@@ -38,23 +41,36 @@ fn main() {
         "fig10" => timings.record("fig10", run_fig10),
         "inventory" => timings.record("inventory", || println!("{}", xp::inventory())),
         "fig12" => timings.record("fig12", || {
-            run_scenario_figure("fig12", Scenario::Static, hours, seed)
+            run_scenario_figure("fig12", Scenario::Static, hours, seed, inner_jobs)
         }),
         "fig13" => timings.record("fig13", || {
-            run_scenario_figure("fig13", Scenario::ConstrainedMobility, hours, seed)
+            run_scenario_figure(
+                "fig13",
+                Scenario::ConstrainedMobility,
+                hours,
+                seed,
+                inner_jobs,
+            )
         }),
         "fig14" => timings.record("fig14", || {
-            run_scenario_figure("fig14", Scenario::FullMobility, hours, seed)
+            run_scenario_figure("fig14", Scenario::FullMobility, hours, seed, inner_jobs)
         }),
         "fig15" => timings.record("fig15", || {
-            run_fi_figure("fig15", Scenario::Static, hours, seed)
+            run_fi_figure("fig15", Scenario::Static, hours, seed, inner_jobs)
         }),
         "fig16" => timings.record("fig16", || {
-            run_fi_figure("fig16", Scenario::ConstrainedMobility, hours, seed)
+            run_fi_figure(
+                "fig16",
+                Scenario::ConstrainedMobility,
+                hours,
+                seed,
+                inner_jobs,
+            )
         }),
         "fig17" => timings.record("fig17", || {
-            run_fi_figure("fig17", Scenario::FullMobility, hours, seed)
+            run_fi_figure("fig17", Scenario::FullMobility, hours, seed, inner_jobs)
         }),
+        "bench" => timings.record("bench", || run_bench(hours, seed)),
         "table7" => timings.record("table7", || run_table7(hours, seed, jobs)),
         "chaos" => timings.record("chaos", || run_chaos(hours, seed, jobs)),
         "proactive" => timings.record("proactive", || run_proactive(hours, seed, jobs)),
@@ -93,8 +109,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
-                 fig15|fig16|fig17|table7|chaos|proactive|designer|ablation|all> \
-                 [--hours N] [--seed N] [--jobs N]"
+                 fig15|fig16|fig17|bench|table7|chaos|proactive|designer|ablation|all> \
+                 [--hours N] [--seed N] [--jobs N] [--inner-jobs N]"
             );
             std::process::exit(2);
         }
@@ -205,15 +221,32 @@ fn render_fi_figure(name: &str, scenario: Scenario, metrics: &Metrics) {
     summarize(name, scenario, metrics);
 }
 
-fn run_scenario_figure(name: &str, scenario: Scenario, hours: u64, seed: u64) {
+fn run_scenario_figure(name: &str, scenario: Scenario, hours: u64, seed: u64, inner_jobs: usize) {
     // The paper's Figures 12–14 run at +15 % users.
-    let metrics = xp::scenario_run(scenario, 1.15, hours, seed);
+    let metrics = xp::scenario_run_at(scenario, 1.15, hours, seed, inner_jobs);
     render_scenario_figure(name, scenario, &metrics);
 }
 
-fn run_fi_figure(name: &str, scenario: Scenario, hours: u64, seed: u64) {
-    let metrics = xp::scenario_run(scenario, 1.15, hours, seed);
+fn run_fi_figure(name: &str, scenario: Scenario, hours: u64, seed: u64, inner_jobs: usize) {
+    let metrics = xp::scenario_run_at(scenario, 1.15, hours, seed, inner_jobs);
     render_fi_figure(name, scenario, &metrics);
+}
+
+fn run_bench(hours: u64, seed: u64) {
+    let previous = fs::read_to_string("results/BENCH_tick.json")
+        .ok()
+        .and_then(|json| xp::bench_single_thread_ticks_per_sec(&json));
+    let json = xp::bench_tick_report(hours, seed, 3, previous);
+    let single = xp::bench_single_thread_ticks_per_sec(&json).unwrap_or(0.0);
+    println!("Tick benchmark — Figure 13 scenario, {hours} h, best of 3:");
+    println!("  single-thread: {single:.0} ticks/sec");
+    if let Some(prev) = previous {
+        println!(
+            "  previous:      {prev:.0} ticks/sec ({:.2}x)",
+            single / prev
+        );
+    }
+    write("results/BENCH_tick.json", &json);
 }
 
 fn run_table7(hours: u64, seed: u64, jobs: usize) {
@@ -282,7 +315,24 @@ fn run_proactive(hours: u64, seed: u64, jobs: usize) {
             m.mean_proactive_lead_secs() / 60.0,
         );
     }
-    write("results/proactive.csv", &xp::proactive_csv(&rows));
+    println!(
+        "  capacity ladder — highest user level each mode sustains \
+         (Table 7 criterion):"
+    );
+    let ladder = xp::proactive_capacity_ladder(hours, seed, jobs);
+    for (proactive, multiplier) in &ladder {
+        println!(
+            "  {:<9}: {:>3.0} % users",
+            if *proactive { "proactive" } else { "reactive" },
+            multiplier * 100.0,
+        );
+    }
+    let csv = format!(
+        "{}{}",
+        xp::proactive_csv(&rows),
+        xp::proactive_ladder_csv(&ladder)
+    );
+    write("results/proactive.csv", &csv);
 }
 
 fn run_designer() {

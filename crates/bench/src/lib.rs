@@ -18,7 +18,7 @@
 
 #![forbid(unsafe_code)]
 
-pub mod pool;
+pub use autoglobe_pool as pool;
 
 use autoglobe::forecast::ProactiveConfig;
 use autoglobe::{SupervisedRun, SupervisorConfig};
@@ -233,10 +233,25 @@ pub fn tables_5_6() -> String {
 /// [`all_servers_csv`], [`fi_series_csv`] and [`action_log`] to render the
 /// figure data.
 pub fn scenario_run(scenario: Scenario, multiplier: f64, hours: u64, seed: u64) -> Metrics {
+    scenario_run_at(scenario, multiplier, hours, seed, 1)
+}
+
+/// [`scenario_run`] with an explicit intra-run worker count
+/// (`SimConfig::inner_jobs`). Output is bit-identical at any width — the
+/// per-server phase computes only server-local values and every reduction
+/// runs sequentially in ascending server order.
+pub fn scenario_run_at(
+    scenario: Scenario,
+    multiplier: f64,
+    hours: u64,
+    seed: u64,
+    inner_jobs: usize,
+) -> Metrics {
     let env = build_environment(scenario);
     let config = SimConfig::paper(scenario, multiplier)
         .with_duration(SimDuration::from_hours(hours))
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_inner_jobs(inner_jobs);
     Simulation::new(env, config).run()
 }
 
@@ -615,7 +630,13 @@ pub const PROACTIVE_MAX_LATENCY: SimDuration = SimDuration::from_minutes(10);
 /// [`PROACTIVE_MAX_LATENCY`] to complete. A pure function of its arguments,
 /// safe to fan out across the pool.
 pub fn proactive_run(proactive: bool, hours: u64, seed: u64) -> Metrics {
-    let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
+    proactive_run_at(proactive, 1.15, hours, seed)
+}
+
+/// [`proactive_run`] at an arbitrary user multiplier — one probe of the
+/// proactive capacity ladder. A pure function of its arguments.
+pub fn proactive_run_at(proactive: bool, multiplier: f64, hours: u64, seed: u64) -> Metrics {
+    let sim = SimConfig::paper(Scenario::ConstrainedMobility, multiplier)
         .with_duration(SimDuration::from_hours(hours))
         .with_seed(seed);
     let mut state = seed ^ 0x9E37_79B9_7F4A_7C15; // executor seed domain
@@ -669,6 +690,45 @@ pub fn proactive_csv(rows: &[(bool, Metrics)]) -> String {
             m.alerts,
             m.proactive_triggers,
             m.mean_proactive_lead_secs() / 60.0,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Walk the Table 7 capacity ladder (the same `+= 0.05` accumulation as
+/// [`table7`]) through the supervised control plane for each mode: the
+/// highest user level reactive and proactive administration each sustain
+/// before the [`CapacityCriterion`] trips. Records whether a forecast head
+/// start raises the number of users the landscape can carry. The two modes
+/// fan out across the pool; each mode's walk consumes the ladder strictly
+/// in order, so the result is bit-identical whatever `jobs` is.
+pub fn proactive_capacity_ladder(hours: u64, seed: u64, jobs: usize) -> Vec<(bool, f64)> {
+    let criterion = CapacityCriterion::default();
+    pool::parallel_map(jobs, vec![false, true], move |proactive| {
+        let mut max_multiplier = 1.0;
+        for multiplier in capacity_ladder(0.05) {
+            if criterion.overloaded(&proactive_run_at(proactive, multiplier, hours, seed)) {
+                break;
+            }
+            max_multiplier = multiplier;
+        }
+        (proactive, max_multiplier)
+    })
+}
+
+/// Render the ladder sweep as the capacity section appended to
+/// `results/proactive.csv` (after the overload-exposure rows from
+/// [`proactive_csv`]): one row per mode with the highest sustained user
+/// level, `table7_max_users.csv` style.
+pub fn proactive_ladder_csv(rows: &[(bool, f64)]) -> String {
+    let mut out = String::from("ladder_mode,max_users_percent\n");
+    for (proactive, multiplier) in rows {
+        writeln!(
+            out,
+            "{},{:.0}",
+            if *proactive { "proactive" } else { "reactive" },
+            multiplier * 100.0,
         )
         .unwrap();
     }
@@ -882,6 +942,128 @@ pub fn ablation_timing(hours: u64) -> Vec<(String, usize, u64)> {
         ));
     }
     rows
+}
+
+// ---- bench trajectory ------------------------------------------------------
+
+/// Intra-run worker widths measured by [`bench_tick_report`].
+pub const BENCH_INNER_JOBS: [usize; 3] = [1, 2, 4];
+
+/// One timed configuration of the tick benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchPoint {
+    /// `SimConfig::inner_jobs` of the measured run.
+    pub inner_jobs: usize,
+    /// Best wall-clock seconds over the repeats.
+    pub best_secs: f64,
+    /// Simulation ticks per wall-clock second at the best repeat.
+    pub ticks_per_sec: f64,
+}
+
+/// The tick-throughput measurement behind `results/BENCH_tick.json`:
+/// best-of-`repeats` wall clock of the Figure 13 scenario (constrained
+/// mobility, +15 % users) at each width in [`BENCH_INNER_JOBS`], plus the
+/// wall clock of each per-server figure scenario. `previous` is the
+/// single-thread ticks/sec of the last checked-in report (if any), so the
+/// emitted JSON carries its own trajectory: every regeneration records the
+/// speedup against the number it replaces.
+pub fn bench_tick_report(hours: u64, seed: u64, repeats: u32, previous: Option<f64>) -> String {
+    use std::time::Instant;
+    let scenario = Scenario::ConstrainedMobility;
+    let base = SimConfig::paper(scenario, 1.15)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed);
+    let ticks = base.num_ticks();
+
+    let mut scaling = Vec::new();
+    for &inner_jobs in &BENCH_INNER_JOBS {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats.max(1) {
+            let env = build_environment(scenario);
+            let config = base.clone().with_inner_jobs(inner_jobs);
+            let start = Instant::now();
+            let metrics = Simulation::new(env, config).run();
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(&metrics);
+            best = best.min(secs);
+        }
+        scaling.push(BenchPoint {
+            inner_jobs,
+            best_secs: best,
+            ticks_per_sec: ticks as f64 / best,
+        });
+    }
+    let single = scaling[0].ticks_per_sec;
+
+    let mut figures = Vec::new();
+    for (figure, scenario) in [
+        ("fig12", Scenario::Static),
+        ("fig13", Scenario::ConstrainedMobility),
+        ("fig14", Scenario::FullMobility),
+    ] {
+        let start = Instant::now();
+        let metrics = scenario_run(scenario, 1.15, hours, seed);
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(&metrics);
+        figures.push((figure, scenario.name(), secs));
+    }
+
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"schema\": 1,").unwrap();
+    writeln!(out, "  \"scenario\": \"{}\",", scenario.name()).unwrap();
+    writeln!(out, "  \"user_multiplier\": 1.15,").unwrap();
+    writeln!(out, "  \"hours\": {hours},").unwrap();
+    writeln!(out, "  \"ticks\": {ticks},").unwrap();
+    writeln!(out, "  \"seed\": {seed},").unwrap();
+    writeln!(out, "  \"repeats\": {},", repeats.max(1)).unwrap();
+    writeln!(out, "  \"single_thread_ticks_per_sec\": {single:.1},").unwrap();
+    match previous {
+        Some(prev) if prev > 0.0 => {
+            writeln!(
+                out,
+                "  \"previous_single_thread_ticks_per_sec\": {prev:.1},"
+            )
+            .unwrap();
+            writeln!(out, "  \"speedup_vs_previous\": {:.3},", single / prev).unwrap();
+        }
+        _ => {
+            writeln!(out, "  \"previous_single_thread_ticks_per_sec\": null,").unwrap();
+            writeln!(out, "  \"speedup_vs_previous\": null,").unwrap();
+        }
+    }
+    out.push_str("  \"inner_jobs_scaling\": [\n");
+    for (i, p) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"inner_jobs\": {}, \"best_secs\": {:.4}, \"ticks_per_sec\": {:.1}}}{comma}",
+            p.inner_jobs, p.best_secs, p.ticks_per_sec
+        )
+        .unwrap();
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"figure_wall_clock\": [\n");
+    for (i, (figure, name, secs)) in figures.iter().enumerate() {
+        let comma = if i + 1 < figures.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"figure\": \"{figure}\", \"scenario\": \"{name}\", \"secs\": {secs:.4}}}{comma}"
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extract `single_thread_ticks_per_sec` from a previously emitted
+/// [`bench_tick_report`] JSON, so the next regeneration can record its
+/// speedup against the number it replaces. Tolerant of a missing or
+/// malformed file (returns `None`).
+pub fn bench_single_thread_ticks_per_sec(json: &str) -> Option<f64> {
+    let key = "\"single_thread_ticks_per_sec\":";
+    let rest = &json[json.find(key)? + key.len()..];
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
 }
 
 #[cfg(test)]
@@ -1180,6 +1362,28 @@ mod name_resolution_tests {
         assert_eq!(rows.len(), 2);
         assert!(rows[0].starts_with("reactive,"));
         assert!(rows[1].starts_with("proactive,"));
+    }
+
+    /// The ladder sweep consumes each mode's ladder strictly in order, so
+    /// fanning the modes across workers cannot change the answer — and the
+    /// CSV section it renders is deterministic for CI to byte-diff.
+    #[test]
+    fn proactive_ladder_is_bit_identical_across_job_counts() {
+        let sequential = proactive_capacity_ladder(2, 7, 1);
+        let parallel = proactive_capacity_ladder(2, 7, 4);
+        assert_eq!(sequential.len(), 2);
+        assert!(!sequential[0].0);
+        assert!(sequential[1].0);
+        for ((p1, m1), (p2, m2)) in sequential.iter().zip(&parallel) {
+            assert_eq!(p1, p2);
+            assert_eq!(m1.to_bits(), m2.to_bits());
+        }
+        let csv = proactive_ladder_csv(&sequential);
+        assert_eq!(csv, proactive_ladder_csv(&parallel));
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("ladder_mode,max_users_percent"));
+        assert!(lines.next().unwrap().starts_with("reactive,"));
+        assert!(lines.next().unwrap().starts_with("proactive,"));
     }
 
     #[test]

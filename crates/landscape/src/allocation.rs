@@ -206,6 +206,14 @@ impl Landscape {
         self.instances.len()
     }
 
+    /// Exclusive upper bound on every instance id ever issued. Instance
+    /// ids are allocated densely from 0, so `id.index() < bound` holds for
+    /// all past and present instances — dense arenas indexed by
+    /// `InstanceId::index` can be sized from this.
+    pub fn instance_id_bound(&self) -> u32 {
+        self.next_instance
+    }
+
     /// Ids of all instances of `service`.
     pub fn instances_of(&self, service: ServiceId) -> Vec<InstanceId> {
         self.instances

@@ -8,6 +8,7 @@
 
 use crate::subject::Subject;
 use crate::time::{SimDuration, SimTime};
+use autoglobe_landscape::{InstanceId, ServerId, ServiceId};
 use std::collections::BTreeMap;
 
 /// One aggregation bucket.
@@ -58,10 +59,16 @@ pub struct ArchivePoint {
 }
 
 /// Time-bucketed aggregated load storage, keyed by subject.
+///
+/// The per-subject bucket maps live in dense per-kind lanes indexed by the
+/// raw id (ids are dense in this system): the per-tick record path resolves
+/// its subject with one array access instead of a tree descent.
 #[derive(Debug, Clone)]
 pub struct LoadArchive {
     bucket: SimDuration,
-    data: BTreeMap<Subject, BTreeMap<u64, Bucket>>,
+    servers: Vec<Option<BTreeMap<u64, Bucket>>>,
+    services: Vec<Option<BTreeMap<u64, Bucket>>>,
+    instances: Vec<Option<BTreeMap<u64, Bucket>>>,
 }
 
 impl LoadArchive {
@@ -74,7 +81,9 @@ impl LoadArchive {
         assert!(bucket.as_secs() > 0, "bucket width must be positive");
         LoadArchive {
             bucket,
-            data: BTreeMap::new(),
+            servers: Vec::new(),
+            services: Vec::new(),
+            instances: Vec::new(),
         }
     }
 
@@ -87,12 +96,28 @@ impl LoadArchive {
         time.as_secs() / self.bucket.as_secs()
     }
 
+    fn buckets(&self, subject: Subject) -> Option<&BTreeMap<u64, Bucket>> {
+        let (lane, idx) = match subject {
+            Subject::Server(id) => (&self.servers, id.index()),
+            Subject::Service(id) => (&self.services, id.index()),
+            Subject::Instance(id) => (&self.instances, id.index()),
+        };
+        lane.get(idx)?.as_ref()
+    }
+
     /// Record a measurement.
     pub fn record(&mut self, subject: Subject, time: SimTime, cpu: f64, mem: f64) {
         let idx = self.bucket_index(time);
-        self.data
-            .entry(subject)
-            .or_default()
+        let (lane, i) = match subject {
+            Subject::Server(id) => (&mut self.servers, id.index()),
+            Subject::Service(id) => (&mut self.services, id.index()),
+            Subject::Instance(id) => (&mut self.instances, id.index()),
+        };
+        if lane.len() <= i {
+            lane.resize_with(i + 1, || None);
+        }
+        lane[i]
+            .get_or_insert_with(BTreeMap::new)
             .entry(idx)
             .or_default()
             .add(cpu.clamp(0.0, 1.0), mem.clamp(0.0, 1.0));
@@ -101,7 +126,7 @@ impl LoadArchive {
     /// Average CPU load of `subject` over `[from, to)`. `None` if nothing
     /// was recorded there.
     pub fn average_cpu(&self, subject: Subject, from: SimTime, to: SimTime) -> Option<f64> {
-        let buckets = self.data.get(&subject)?;
+        let buckets = self.buckets(subject)?;
         let (lo, hi) = (self.bucket_index(from), self.bucket_index(to));
         let mut sum = 0.0;
         let mut count = 0u64;
@@ -119,7 +144,7 @@ impl LoadArchive {
     /// The aggregated series of `subject` over `[from, to)`, one point per
     /// bucket that holds data.
     pub fn series(&self, subject: Subject, from: SimTime, to: SimTime) -> Vec<ArchivePoint> {
-        let Some(buckets) = self.data.get(&subject) else {
+        let Some(buckets) = self.buckets(subject) else {
             return Vec::new();
         };
         let (lo, hi) = (self.bucket_index(from), self.bucket_index(to));
@@ -144,7 +169,7 @@ impl LoadArchive {
         let slots = (86_400 / slot_secs) as usize;
         let mut sums = vec![0.0; slots];
         let mut counts = vec![0u64; slots];
-        if let Some(buckets) = self.data.get(&subject) {
+        if let Some(buckets) = self.buckets(subject) {
             for (&idx, b) in buckets {
                 let start = idx * self.bucket.as_secs();
                 let slot_idx = ((start % 86_400) / slot_secs) as usize;
@@ -160,23 +185,59 @@ impl LoadArchive {
             .collect()
     }
 
-    /// Subjects with recorded data.
+    /// Subjects with recorded data: servers, then services, then instances,
+    /// each in ascending id order (the order [`Subject`]'s derived `Ord`
+    /// gave the old map-backed storage).
     pub fn subjects(&self) -> impl Iterator<Item = Subject> + '_ {
-        self.data.keys().copied()
+        let present = |lane: &[Option<BTreeMap<u64, Bucket>>]| {
+            lane.iter()
+                .enumerate()
+                .filter(|(_, slot)| slot.is_some())
+                .map(|(i, _)| i as u32)
+                .collect::<Vec<_>>()
+        };
+        present(&self.servers)
+            .into_iter()
+            .map(|i| Subject::Server(ServerId::new(i)))
+            .chain(
+                present(&self.services)
+                    .into_iter()
+                    .map(|i| Subject::Service(ServiceId::new(i))),
+            )
+            .chain(
+                present(&self.instances)
+                    .into_iter()
+                    .map(|i| Subject::Instance(InstanceId::new(i))),
+            )
     }
 
     /// Total number of non-empty buckets across all subjects (a size gauge).
     pub fn bucket_count(&self) -> usize {
-        self.data.values().map(BTreeMap::len).sum()
+        self.servers
+            .iter()
+            .chain(&self.services)
+            .chain(&self.instances)
+            .filter_map(|slot| slot.as_ref())
+            .map(BTreeMap::len)
+            .sum()
     }
 
     /// Drop all data older than `horizon` before `now` (archive compaction).
     pub fn retain_recent(&mut self, now: SimTime, horizon: SimDuration) {
         let cutoff = self.bucket_index(now - horizon);
-        for buckets in self.data.values_mut() {
-            *buckets = buckets.split_off(&cutoff);
+        for slot in self
+            .servers
+            .iter_mut()
+            .chain(&mut self.services)
+            .chain(&mut self.instances)
+        {
+            if let Some(buckets) = slot {
+                *buckets = buckets.split_off(&cutoff);
+                if buckets.is_empty() {
+                    *slot = None;
+                }
+            }
         }
-        self.data.retain(|_, buckets| !buckets.is_empty());
     }
 }
 

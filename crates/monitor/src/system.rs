@@ -14,7 +14,7 @@ use crate::monitor::{LoadMonitor, LoadSample};
 use crate::subject::Subject;
 use crate::time::{SimDuration, SimTime};
 use crate::trigger::{TriggerEvent, TriggerKind};
-use std::collections::BTreeMap;
+use autoglobe_landscape::{ServerId, ServiceId};
 
 /// Per-subject monitoring thresholds and watch times.
 ///
@@ -173,9 +173,25 @@ impl Advisor {
 }
 
 /// The load monitoring system: one advisor per registered subject.
+///
+/// Advisors live in dense per-kind lanes indexed by the raw id (ids are
+/// dense in this system), so the per-tick observation path is an array walk
+/// instead of a tree lookup per subject, and whole load arenas can be fed
+/// in one [`LoadMonitoringSystem::observe_servers`] /
+/// [`LoadMonitoringSystem::observe_services`] batch call.
 #[derive(Debug, Clone, Default)]
 pub struct LoadMonitoringSystem {
-    advisors: BTreeMap<Subject, Advisor>,
+    servers: Vec<Option<Advisor>>,
+    services: Vec<Option<Advisor>>,
+    instances: Vec<Option<Advisor>>,
+}
+
+/// Grow-on-demand slot access for a dense advisor lane.
+fn slot_mut(lane: &mut Vec<Option<Advisor>>, idx: usize) -> &mut Option<Advisor> {
+    if lane.len() <= idx {
+        lane.resize_with(idx + 1, || None);
+    }
+    &mut lane[idx]
 }
 
 impl LoadMonitoringSystem {
@@ -184,54 +200,111 @@ impl LoadMonitoringSystem {
         LoadMonitoringSystem::default()
     }
 
+    fn lane_of(&self, subject: Subject) -> (&Vec<Option<Advisor>>, usize) {
+        match subject {
+            Subject::Server(id) => (&self.servers, id.index()),
+            Subject::Service(id) => (&self.services, id.index()),
+            Subject::Instance(id) => (&self.instances, id.index()),
+        }
+    }
+
+    fn lane_of_mut(&mut self, subject: Subject) -> (&mut Vec<Option<Advisor>>, usize) {
+        match subject {
+            Subject::Server(id) => (&mut self.servers, id.index()),
+            Subject::Service(id) => (&mut self.services, id.index()),
+            Subject::Instance(id) => (&mut self.instances, id.index()),
+        }
+    }
+
     /// Register (or replace) a subject with its config.
     pub fn register(&mut self, subject: Subject, config: SubjectConfig) {
-        self.advisors.insert(subject, Advisor::new(subject, config));
+        let (lane, idx) = self.lane_of_mut(subject);
+        *slot_mut(lane, idx) = Some(Advisor::new(subject, config));
     }
 
     /// Remove a subject (e.g. after the instance it watched was stopped).
     pub fn unregister(&mut self, subject: Subject) {
-        self.advisors.remove(&subject);
+        let (lane, idx) = self.lane_of_mut(subject);
+        if let Some(slot) = lane.get_mut(idx) {
+            *slot = None;
+        }
     }
 
     /// True if the subject is registered.
     pub fn is_registered(&self, subject: Subject) -> bool {
-        self.advisors.contains_key(&subject)
+        self.advisor(subject).is_some()
     }
 
     /// Number of registered subjects.
     pub fn len(&self) -> usize {
-        self.advisors.len()
+        self.servers
+            .iter()
+            .chain(&self.services)
+            .chain(&self.instances)
+            .filter(|slot| slot.is_some())
+            .count()
     }
 
     /// True if no subjects are registered.
     pub fn is_empty(&self) -> bool {
-        self.advisors.is_empty()
+        self.len() == 0
     }
 
     /// Feed one measurement for `subject`; unknown subjects are ignored
     /// (their monitor may have been unregistered concurrently).
     pub fn observe(&mut self, subject: Subject, sample: LoadSample) -> Option<TriggerEvent> {
-        self.advisors.get_mut(&subject)?.observe(sample)
+        let (lane, idx) = self.lane_of_mut(subject);
+        lane.get_mut(idx)?.as_mut()?.observe(sample)
+    }
+
+    /// Feed one tick's server measurements in iteration order, appending
+    /// confirmed triggers to `triggers`. Unregistered servers are ignored,
+    /// exactly like [`LoadMonitoringSystem::observe`].
+    pub fn observe_servers<I>(&mut self, samples: I, triggers: &mut Vec<TriggerEvent>)
+    where
+        I: IntoIterator<Item = (ServerId, LoadSample)>,
+    {
+        for (server, sample) in samples {
+            if let Some(Some(advisor)) = self.servers.get_mut(server.index()) {
+                if let Some(t) = advisor.observe(sample) {
+                    triggers.push(t);
+                }
+            }
+        }
+    }
+
+    /// Feed one tick's service measurements in iteration order, appending
+    /// confirmed triggers to `triggers`.
+    pub fn observe_services<I>(&mut self, samples: I, triggers: &mut Vec<TriggerEvent>)
+    where
+        I: IntoIterator<Item = (ServiceId, LoadSample)>,
+    {
+        for (service, sample) in samples {
+            if let Some(Some(advisor)) = self.services.get_mut(service.index()) {
+                if let Some(t) = advisor.observe(sample) {
+                    triggers.push(t);
+                }
+            }
+        }
     }
 
     /// The advisor for a subject.
     pub fn advisor(&self, subject: Subject) -> Option<&Advisor> {
-        self.advisors.get(&subject)
+        let (lane, idx) = self.lane_of(subject);
+        lane.get(idx)?.as_ref()
     }
 
     /// Average CPU load of `subject` over the trailing `window` ending at
     /// `now` — used to initialize the fuzzy controller's load variables.
     pub fn average_cpu(&self, subject: Subject, now: SimTime, window: SimDuration) -> Option<f64> {
-        self.advisors
-            .get(&subject)?
+        self.advisor(subject)?
             .monitor()
             .average_cpu(now - window, now)
     }
 
     /// Latest sample of `subject`.
     pub fn latest(&self, subject: Subject) -> Option<LoadSample> {
-        self.advisors.get(&subject)?.monitor().latest()
+        self.advisor(subject)?.monitor().latest()
     }
 }
 
@@ -365,5 +438,56 @@ mod tests {
 
         system.unregister(subject);
         assert!(!system.is_registered(subject));
+    }
+
+    #[test]
+    fn batch_observation_matches_per_subject_observation() {
+        let mut batch = LoadMonitoringSystem::new();
+        for s in 0..3u32 {
+            batch.register(
+                Subject::Server(ServerId::new(s)),
+                SubjectConfig::paper_defaults(1.0),
+            );
+        }
+        batch.register(
+            Subject::Service(ServiceId::new(1)),
+            SubjectConfig::service_defaults(),
+        );
+        let mut single = batch.clone();
+
+        let mut batch_triggers = Vec::new();
+        let mut single_triggers = Vec::new();
+        for minute in 0..25 {
+            let t = SimTime::from_minutes(minute);
+            // Server 1 overloads, server 2 idles, server 0 is unremarkable;
+            // server 9 is unregistered and must be ignored by both paths.
+            let servers = [(0u32, 0.5), (1, 0.9), (2, 0.01), (9, 1.0)];
+            batch.observe_servers(
+                servers
+                    .iter()
+                    .map(|&(s, cpu)| (ServerId::new(s), LoadSample::new(t, cpu, 0.3))),
+                &mut batch_triggers,
+            );
+            batch.observe_services(
+                [(ServiceId::new(1), LoadSample::new(t, 0.85, 0.0))],
+                &mut batch_triggers,
+            );
+            for (s, cpu) in servers {
+                if let Some(e) = single.observe(
+                    Subject::Server(ServerId::new(s)),
+                    LoadSample::new(t, cpu, 0.3),
+                ) {
+                    single_triggers.push(e);
+                }
+            }
+            if let Some(e) = single.observe(
+                Subject::Service(ServiceId::new(1)),
+                LoadSample::new(t, 0.85, 0.0),
+            ) {
+                single_triggers.push(e);
+            }
+        }
+        assert!(!batch_triggers.is_empty());
+        assert_eq!(batch_triggers, single_triggers);
     }
 }

@@ -1,0 +1,186 @@
+//! A tiny scoped-thread work pool (no external dependencies —
+//! `std::thread::scope` only), shared by the experiment harness and the
+//! simulator's intra-run tick pipeline.
+//!
+//! Two primitives, both deterministic by construction:
+//!
+//! * [`parallel_map`] fans independent items across worker threads and
+//!   returns results **in input order** — each result is written into the
+//!   slot of the item that produced it, so the caller's fold over the
+//!   output is identical at any thread count.
+//! * [`parallel_chunks_mut`] splits one mutable slice into contiguous
+//!   chunks with disjoint write sets and runs a pure per-element pass on
+//!   each chunk. Because every element is computed only from its own
+//!   state (plus shared read-only context captured by the closure), the
+//!   slice contents afterwards are bit-identical at any thread count; any
+//!   cross-element reduction happens afterwards, sequentially, in index
+//!   order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve a `--jobs` request: `0` means "use the machine", anything else
+/// is taken literally.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Apply `f` to every item on up to `jobs` worker threads and return the
+/// results **in input order**. `jobs == 0` uses the machine's available
+/// parallelism; `jobs == 1` (or a single item) degenerates to a plain
+/// sequential map on the calling thread.
+///
+/// Work is handed out through a shared atomic cursor, so threads that
+/// finish early pick up the remaining items instead of idling. A panic in
+/// `f` propagates to the caller when the scope joins.
+pub fn parallel_map<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("pool slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let result = f(item);
+                *results[i].lock().expect("pool result poisoned") = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("pool result poisoned")
+                .expect("every claimed slot produced a result")
+        })
+        .collect()
+}
+
+/// Run `f(offset, chunk)` over contiguous chunks of `items` on up to
+/// `jobs` threads. `offset` is the index of the chunk's first element in
+/// the full slice, so the callback can recover each element's global
+/// index. `jobs <= 1` (or a slice shorter than two elements) runs
+/// `f(0, items)` on the calling thread — the zero-overhead path the
+/// single-threaded configuration takes.
+///
+/// The chunks have disjoint write sets by construction (`chunks_mut`), so
+/// no synchronization is needed and no unsafe code is involved. For the
+/// result to be bit-identical at any `jobs`, `f` must compute each element
+/// from that element's own state plus read-only captures — which is
+/// exactly the contract the simulator's per-server phase satisfies.
+pub fn parallel_chunks_mut<T, F>(jobs: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = items.len();
+    let jobs = effective_jobs(jobs).min(n.max(1));
+    if jobs <= 1 {
+        f(0, items);
+        return;
+    }
+
+    let chunk = n.div_ceil(jobs);
+    std::thread::scope(|scope| {
+        for (idx, slice) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx * chunk, slice));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [0, 1, 2, 4, 16] {
+            let got = parallel_map(jobs, items.clone(), |x| x * x);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(4, empty, |x| x).is_empty());
+        assert_eq!(parallel_map(4, vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_the_machine() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn threads_steal_remaining_work() {
+        // More items than threads: the shared cursor must hand every item
+        // to exactly one worker.
+        let got = parallel_map(2, (0..100u64).collect(), |x| x + 1);
+        assert_eq!(got, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunked_fanout_sees_every_element_once_with_its_global_index() {
+        for jobs in [0, 1, 2, 3, 4, 16] {
+            let mut items: Vec<(usize, u64)> = (0..41).map(|i| (usize::MAX, i)).collect();
+            parallel_chunks_mut(jobs, &mut items, |offset, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    assert_eq!(slot.0, usize::MAX, "element touched twice (jobs={jobs})");
+                    slot.0 = offset + k;
+                    slot.1 *= 10;
+                }
+            });
+            for (i, &(idx, v)) in items.iter().enumerate() {
+                assert_eq!(idx, i, "jobs={jobs}");
+                assert_eq!(v, i as u64 * 10, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_fanout_handles_empty_and_short_slices() {
+        let mut empty: Vec<u8> = Vec::new();
+        parallel_chunks_mut(4, &mut empty, |_, _| {});
+        let mut one = vec![5u8];
+        parallel_chunks_mut(4, &mut one, |offset, chunk| {
+            assert_eq!(offset, 0);
+            chunk[0] += 1;
+        });
+        assert_eq!(one, vec![6]);
+    }
+}

@@ -132,6 +132,12 @@ pub struct SimConfig {
     /// Optional heartbeat failure detection (None = the oracle failure
     /// path: the controller is told about failures instantly).
     pub heartbeats: Option<HeartbeatDetection>,
+    /// Worker threads for the *intra-run* per-server evaluation phase
+    /// (`0` = use the machine, `1` = fully sequential). Results are
+    /// bit-identical at any setting — the parallel phase computes only
+    /// per-server-local values and every cross-server reduction runs
+    /// sequentially in ascending server order.
+    pub inner_jobs: usize,
 }
 
 impl SimConfig {
@@ -151,6 +157,7 @@ impl SimConfig {
             failures: None,
             execution: None,
             heartbeats: None,
+            inner_jobs: 1,
         }
     }
 
@@ -195,6 +202,13 @@ impl SimConfig {
     /// Builder-style: enable heartbeat failure detection.
     pub fn with_heartbeats(mut self, heartbeats: HeartbeatDetection) -> Self {
         self.heartbeats = Some(heartbeats);
+        self
+    }
+
+    /// Builder-style: set the intra-run worker-thread count (`0` = use the
+    /// machine). Output is bit-identical at any setting.
+    pub fn with_inner_jobs(mut self, inner_jobs: usize) -> Self {
+        self.inner_jobs = inner_jobs;
         self
     }
 

@@ -9,7 +9,7 @@
 //! instances accept users.
 
 use crate::config::SimConfig;
-use crate::engine::{TickLoads, WorkloadEngine};
+use crate::engine::WorkloadEngine;
 use crate::metrics::{InstancePoint, Metrics, SeriesPoint};
 use crate::sap::SapEnvironment;
 use autoglobe_controller::{
@@ -226,21 +226,17 @@ impl Simulation {
         let average_load = loads.average_cpu;
 
         // ---- 4. record -------------------------------------------------------
-        for (&server, &load) in &loads.server_cpu {
-            self.archive.record(
-                Subject::Server(server),
-                self.time,
-                load,
-                loads.server_mem[&server],
-            );
+        for (server, load, mem) in loads.server_entries() {
+            self.archive
+                .record(Subject::Server(server), self.time, load, mem);
         }
-        for (&service, &load) in &loads.service_cpu {
+        for (service, load) in loads.service_entries() {
             self.archive
                 .record(Subject::Service(service), self.time, load, 0.0);
         }
         if self.time.since(self.last_sample) >= self.config.sample_every {
             self.last_sample = self.time;
-            for (&server, &load) in &loads.server_cpu {
+            for (server, load, _) in loads.server_entries() {
                 self.metrics
                     .server_series
                     .entry(server)
@@ -256,9 +252,9 @@ impl Simulation {
             });
             for &service in &self.record_instances_of {
                 for instance in self.landscape.instances_of(service) {
-                    if let (Ok(inst), Some(&value)) = (
+                    if let (Ok(inst), Some(value)) = (
                         self.landscape.instance(instance),
-                        loads.instance_cpu.get(&instance),
+                        loads.instance_cpu_of(instance),
                     ) {
                         self.metrics
                             .instance_series
@@ -275,32 +271,34 @@ impl Simulation {
         }
 
         // ---- 5. monitoring → triggers ---------------------------------------
+        // Batch observation straight off the arena, ascending servers then
+        // ascending services — the same subject order as ever. A down host
+        // reports no monitoring data (heartbeat mode; the map is empty
+        // otherwise).
         let mut triggers: Vec<TriggerEvent> = Vec::new();
-        for (&server, &load) in &loads.server_cpu {
-            // A down host reports no monitoring data (heartbeat mode; the
-            // map is empty otherwise).
-            if self.down_servers.contains_key(&server) {
-                continue;
-            }
-            let sample = LoadSample::new(self.time, load, loads.server_mem[&server]);
-            if let Some(t) = self.monitoring.observe(Subject::Server(server), sample) {
-                triggers.push(t);
-            }
-        }
-        for (&service, &load) in &loads.service_cpu {
-            let sample = LoadSample::new(self.time, load, 0.0);
-            if let Some(t) = self.monitoring.observe(Subject::Service(service), sample) {
-                triggers.push(t);
-            }
-        }
+        let time = self.time;
+        let down_servers = &self.down_servers;
+        self.monitoring.observe_servers(
+            loads
+                .server_entries()
+                .filter(|(server, _, _)| !down_servers.contains_key(server))
+                .map(|(server, cpu, mem)| (server, LoadSample::new(time, cpu, mem))),
+            &mut triggers,
+        );
+        self.monitoring.observe_services(
+            loads
+                .service_entries()
+                .map(|(service, cpu)| (service, LoadSample::new(time, cpu, 0.0))),
+            &mut triggers,
+        );
 
         // ---- 6. failures (self-healing path) ---------------------------------
         if self.heartbeats.is_some() {
-            self.chaos_tick(&loads);
+            self.chaos_tick();
         } else {
-            self.inject_failures(&loads);
+            self.inject_failures();
         }
-        self.drain_restart_queue(&loads);
+        self.drain_restart_queue();
 
         // ---- 7. controller ----------------------------------------------------
         if self.config.controller_enabled {
@@ -311,9 +309,12 @@ impl Simulation {
                 // immediate poll, reproducing the synchronous path exactly.
                 self.poll_executor();
                 for trigger in triggers {
-                    let planned =
-                        self.controller
-                            .plan_trigger(&trigger, &self.landscape, &loads, self.time);
+                    let planned = self.controller.plan_trigger(
+                        &trigger,
+                        &self.landscape,
+                        self.engine.last_loads(),
+                        self.time,
+                    );
                     for event in &planned.events {
                         if matches!(event, ControllerEvent::AdministratorAlert { .. }) {
                             self.metrics.alerts += 1;
@@ -332,7 +333,7 @@ impl Simulation {
                     let outcome = self.controller.handle_trigger(
                         &trigger,
                         &mut self.landscape,
-                        &loads,
+                        self.engine.last_loads(),
                         self.time,
                     );
                     for event in &outcome.events {
@@ -375,7 +376,7 @@ impl Simulation {
 
     /// Retry restarts of lost instances; entries stay queued until a
     /// feasible host exists (e.g. their only possible host repairs).
-    fn drain_restart_queue(&mut self, loads: &TickLoads) {
+    fn drain_restart_queue(&mut self) {
         if self.restart_queue.is_empty() {
             return;
         }
@@ -385,7 +386,7 @@ impl Simulation {
                 service,
                 old_instance,
                 &mut self.landscape,
-                loads,
+                self.engine.last_loads(),
                 self.time,
             ) {
                 Some(_) => {
@@ -426,7 +427,7 @@ impl Simulation {
     /// self-healing path (the *oracle* path: the controller learns of a
     /// failure the instant it happens), and repair hosts whose downtime is
     /// over. Rates were validated on construction, so no clamping here.
-    fn inject_failures(&mut self, loads: &TickLoads) {
+    fn inject_failures(&mut self) {
         let Some(cfg) = self.config.failures else {
             return;
         };
@@ -449,9 +450,12 @@ impl Simulation {
                     kind: FailureKind::ServerFailed(server),
                     time: now,
                 };
-                let outcome =
-                    self.controller
-                        .handle_failure(&event, &mut self.landscape, loads, now);
+                let outcome = self.controller.handle_failure(
+                    &event,
+                    &mut self.landscape,
+                    self.engine.last_loads(),
+                    now,
+                );
                 self.metrics.failures += 1;
                 self.absorb_recovery(outcome, now);
                 self.pending_repairs.push((now + cfg.repair_after, server));
@@ -468,9 +472,12 @@ impl Simulation {
                     kind: FailureKind::InstanceCrashed(instance),
                     time: now,
                 };
-                let outcome =
-                    self.controller
-                        .handle_failure(&event, &mut self.landscape, loads, now);
+                let outcome = self.controller.handle_failure(
+                    &event,
+                    &mut self.landscape,
+                    self.engine.last_loads(),
+                    now,
+                );
                 self.metrics.failures += 1;
                 self.absorb_recovery(outcome, now);
             }
@@ -496,7 +503,7 @@ impl Simulation {
     /// the controller — measurable detection latency, reconciled false
     /// suspicions, and quarantine + re-certification for falsely confirmed
     /// hosts.
-    fn chaos_tick(&mut self, loads: &TickLoads) {
+    fn chaos_tick(&mut self) {
         let now = self.time;
 
         // Repairs: the host rejoins the pool and is watched again with a
@@ -636,9 +643,12 @@ impl Simulation {
                             kind: FailureKind::ServerFailed(server),
                             time: now,
                         };
-                        let outcome =
-                            self.controller
-                                .handle_failure(&ev, &mut self.landscape, loads, now);
+                        let outcome = self.controller.handle_failure(
+                            &ev,
+                            &mut self.landscape,
+                            self.engine.last_loads(),
+                            now,
+                        );
                         self.absorb_recovery(outcome, failed_at.unwrap_or(now));
                     }
                     Subject::Instance(instance) => {
@@ -651,9 +661,12 @@ impl Simulation {
                             kind: FailureKind::InstanceCrashed(instance),
                             time: now,
                         };
-                        let outcome =
-                            self.controller
-                                .handle_failure(&ev, &mut self.landscape, loads, now);
+                        let outcome = self.controller.handle_failure(
+                            &ev,
+                            &mut self.landscape,
+                            self.engine.last_loads(),
+                            now,
+                        );
                         self.absorb_recovery(outcome, failed_at.unwrap_or(now));
                     }
                     Subject::Service(_) => {}
@@ -768,6 +781,62 @@ mod tests {
             assert_eq!(pa.value, pb.value);
         }
         assert_eq!(a.overload_secs, b.overload_secs);
+    }
+
+    /// Bitwise comparison of two runs' metrics: every f64 by `to_bits`,
+    /// everything else by equality, and the full Debug rendering as a
+    /// catch-all for fields added later.
+    pub(crate) fn assert_metrics_bit_identical(a: &Metrics, b: &Metrics) {
+        assert_eq!(a.total_demand.to_bits(), b.total_demand.to_bits());
+        assert_eq!(a.unserved_demand.to_bits(), b.unserved_demand.to_bits());
+        assert_eq!(a.lost_sessions.to_bits(), b.lost_sessions.to_bits());
+        assert_eq!(a.overload_secs, b.overload_secs);
+        assert_eq!(a.overload_secs_by_day, b.overload_secs_by_day);
+        let peaks = |m: &Metrics| {
+            m.peak_load
+                .iter()
+                .map(|(&s, &v)| (s, v.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(peaks(a), peaks(b));
+        assert_eq!(a.server_series.len(), b.server_series.len());
+        for ((sa, va), (sb, vb)) in a.server_series.iter().zip(&b.server_series) {
+            assert_eq!(sa, sb);
+            assert_eq!(va.len(), vb.len());
+            for (pa, pb) in va.iter().zip(vb) {
+                assert_eq!(pa.time, pb.time);
+                assert_eq!(pa.value.to_bits(), pb.value.to_bits());
+            }
+        }
+        for ((ia, va), (ib, vb)) in a.instance_series.iter().zip(&b.instance_series) {
+            assert_eq!(ia, ib);
+            for (pa, pb) in va.iter().zip(vb) {
+                assert_eq!((pa.time, pa.server), (pb.time, pb.server));
+                assert_eq!(pa.value.to_bits(), pb.value.to_bits());
+            }
+        }
+        for (pa, pb) in a.average_series.iter().zip(&b.average_series) {
+            assert_eq!(pa.value.to_bits(), pb.value.to_bits());
+        }
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn inner_jobs_are_bit_identical() {
+        // The intra-run parallel phase must not change a single bit of any
+        // output, mirroring the --jobs guarantee across runs.
+        let run = |inner_jobs: usize| {
+            let env = build_environment(Scenario::FullMobility);
+            let config = SimConfig::paper(Scenario::FullMobility, 1.15)
+                .with_duration(SimDuration::from_hours(8))
+                .with_seed(7)
+                .with_inner_jobs(inner_jobs);
+            Simulation::new(env, config).run()
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_metrics_bit_identical(&sequential, &parallel);
+        assert!(!sequential.actions.is_empty(), "controller must have acted");
     }
 
     #[test]
@@ -930,6 +999,23 @@ mod chaos_tests {
             failure_probability: 0.2,
             ..ExecutorConfig::reliable()
         }
+    }
+
+    #[test]
+    fn inner_jobs_are_bit_identical_under_chaos() {
+        // Same guarantee with every stochastic layer on top: failure
+        // injection, lossy heartbeats and flaky asynchronous execution.
+        let run = |inner_jobs: usize| {
+            Simulation::new(
+                build_environment(Scenario::ConstrainedMobility),
+                chaos_config(8).with_inner_jobs(inner_jobs),
+            )
+            .run()
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        super::tests::assert_metrics_bit_identical(&sequential, &parallel);
+        assert!(sequential.failures > 0, "chaos must have injected failures");
     }
 
     fn chaos_config(hours: u64) -> SimConfig {
