@@ -22,14 +22,15 @@ pub use autoglobe_pool as pool;
 
 use autoglobe::forecast::ProactiveConfig;
 use autoglobe::{SupervisedRun, SupervisorConfig};
+use autoglobe_controller::inputs::TableLoads;
 use autoglobe_controller::{ControllerConfig, ExecutorConfig};
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
-use autoglobe_landscape::ServerId;
-use autoglobe_monitor::SimDuration;
+use autoglobe_landscape::{ActionKind, ServerId, SynthConfig};
+use autoglobe_monitor::{SimDuration, SimTime, Subject, TriggerEvent, TriggerKind};
 use autoglobe_rng::splitmix64;
 use autoglobe_simulator::{
-    build_environment, find_max_users, sap, CapacityCriterion, DailyPattern, FailureInjection,
-    HeartbeatDetection, Metrics, Scenario, SimConfig, Simulation,
+    build_environment, find_max_users, sap, synth_environment, CapacityCriterion, DailyPattern,
+    FailureInjection, HeartbeatDetection, Metrics, Scenario, SimConfig, Simulation,
 };
 use std::fmt::Write as _;
 
@@ -975,24 +976,32 @@ pub fn bench_tick_report(hours: u64, seed: u64, repeats: u32, previous: Option<f
         .with_seed(seed);
     let ticks = base.num_ticks();
 
-    let mut scaling = Vec::new();
-    for &inner_jobs in &BENCH_INNER_JOBS {
-        let mut best = f64::INFINITY;
-        for _ in 0..repeats.max(1) {
+    // Interleave the repeats round-robin across the widths: the runs are
+    // short (tens of milliseconds), so measuring one width's repeats
+    // back-to-back would fold any slow drift of the machine (frequency
+    // scaling, cgroup throttling) into a systematic bias against whichever
+    // width happens to run last.
+    let mut best = [f64::INFINITY; BENCH_INNER_JOBS.len()];
+    for _ in 0..repeats.max(1) {
+        for (slot, &inner_jobs) in BENCH_INNER_JOBS.iter().enumerate() {
             let env = build_environment(scenario);
             let config = base.clone().with_inner_jobs(inner_jobs);
             let start = Instant::now();
             let metrics = Simulation::new(env, config).run();
             let secs = start.elapsed().as_secs_f64();
             std::hint::black_box(&metrics);
-            best = best.min(secs);
+            best[slot] = best[slot].min(secs);
         }
-        scaling.push(BenchPoint {
-            inner_jobs,
-            best_secs: best,
-            ticks_per_sec: ticks as f64 / best,
-        });
     }
+    let scaling: Vec<BenchPoint> = BENCH_INNER_JOBS
+        .iter()
+        .zip(best)
+        .map(|(&inner_jobs, best_secs)| BenchPoint {
+            inner_jobs,
+            best_secs,
+            ticks_per_sec: ticks as f64 / best_secs,
+        })
+        .collect();
     let single = scaling[0].ticks_per_sec;
 
     let mut figures = Vec::new();
@@ -1064,6 +1073,300 @@ pub fn bench_single_thread_ticks_per_sec(json: &str) -> Option<f64> {
     let rest = &json[json.find(key)? + key.len()..];
     let end = rest.find([',', '\n', '}'])?;
     rest[..end].trim().parse().ok()
+}
+
+/// Check a [`bench_tick_report`] JSON for the inner-jobs inversion this
+/// benchmark once recorded (19 tiny lanes paying a thread spawn per tick):
+/// every `inner_jobs > 1` row must reach at least `(1 - tolerance)` of the
+/// single-thread throughput. Returns the offending rows on failure.
+pub fn check_inner_jobs_no_regression(json: &str, tolerance: f64) -> Result<(), String> {
+    let mut rows: Vec<(u64, f64)> = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("{\"inner_jobs\":") {
+        let row = &rest[at..];
+        let end = row.find('}').unwrap_or(row.len());
+        let row = &row[..end];
+        let field = |key: &str| -> Option<f64> {
+            let v = &row[row.find(key)? + key.len()..];
+            let stop = v.find([',', '}']).unwrap_or(v.len());
+            v[..stop].trim().parse().ok()
+        };
+        if let (Some(jobs), Some(ticks)) = (field("\"inner_jobs\":"), field("\"ticks_per_sec\":")) {
+            rows.push((jobs as u64, ticks));
+        }
+        rest = &rest[at + end..];
+    }
+    let Some(&(_, single)) = rows.iter().find(|(jobs, _)| *jobs == 1) else {
+        return Err("no inner_jobs = 1 row in the report".into());
+    };
+    let floor = single * (1.0 - tolerance);
+    let offenders: Vec<String> = rows
+        .iter()
+        .filter(|(jobs, ticks)| *jobs > 1 && *ticks < floor)
+        .map(|(jobs, ticks)| {
+            format!("inner_jobs {jobs}: {ticks:.1} ticks/s < {floor:.1} (single {single:.1})")
+        })
+        .collect();
+    if offenders.is_empty() {
+        Ok(())
+    } else {
+        Err(offenders.join("; "))
+    }
+}
+
+// ---- scale ladder ----------------------------------------------------------
+
+/// The landscape sizes the scale ladder walks: the paper's 19-server SAP
+/// pool, then synthetic landscapes up to roughly 100× the paper (~2,000
+/// servers, millions of aggregate users).
+pub const SCALE_RUNGS: [usize; 5] = [19, 50, 200, 1000, 2000];
+
+/// One measured rung of the scale ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleRung {
+    /// Servers in the landscape.
+    pub servers: usize,
+    /// Services in the landscape.
+    pub services: usize,
+    /// Running instances at the start of the run.
+    pub instances: usize,
+    /// Aggregate user base across all workloads.
+    pub users: f64,
+    /// Simulation throughput, best-of-repeats.
+    pub ticks_per_sec: f64,
+    /// Mean wall-clock of one full trigger decision (`plan_trigger`), µs.
+    pub mean_decision_us: f64,
+    /// Mean wall-clock of one indexed host ranking, µs.
+    pub mean_rank_indexed_us: f64,
+    /// Mean wall-clock of one exhaustive host ranking, µs.
+    pub mean_rank_exhaustive_us: f64,
+    /// Whether indexed and exhaustive ranking returned bit-identical
+    /// results (same hosts, same order, same score bits) on this rung.
+    pub indexed_matches_exhaustive: bool,
+}
+
+/// Landscape + workloads for one rung: the paper's own pool at 19 servers,
+/// a seeded synthetic landscape everywhere else.
+pub fn scale_environment(servers: usize, seed: u64) -> sap::SapEnvironment {
+    if servers == 19 {
+        build_environment(Scenario::ConstrainedMobility)
+    } else {
+        synth_environment(&SynthConfig::sized(servers, seed))
+    }
+}
+
+/// An overload situation on `env` for decision-latency measurement: up to
+/// eight application services run hot (their instances and hosts too), the
+/// rest of the pool idles — the shape a real trigger storm has, and one
+/// where the memoized indexed path can collapse the idle pool.
+fn hot_spot(env: &sap::SapEnvironment) -> (TableLoads, Vec<autoglobe_landscape::ServiceId>) {
+    let mut loads = TableLoads::new();
+    let hot: Vec<autoglobe_landscape::ServiceId> =
+        env.application_services().into_iter().take(8).collect();
+    for &service in &hot {
+        loads.set(Subject::Service(service), 0.93, 0.4);
+        for instance in env.landscape.instances_of(service) {
+            loads.set(Subject::Instance(instance), 0.95, 0.4);
+            if let Ok(inst) = env.landscape.instance(instance) {
+                loads.set(Subject::Server(inst.server), 0.94, 0.5);
+            }
+        }
+    }
+    (loads, hot)
+}
+
+/// Measure one rung of the scale ladder: simulation throughput at
+/// `inner_jobs = 1`, mean full-decision latency over the hot services, and
+/// indexed-vs-exhaustive ranking latency plus bit-equivalence.
+pub fn scale_rung(servers: usize, hours: u64, seed: u64, repeats: u32) -> ScaleRung {
+    use autoglobe_controller::AutoGlobeController;
+    use std::time::Instant;
+    let repeats = repeats.max(1);
+
+    // Throughput: the full simulate-monitor-decide loop on this landscape.
+    let config = SimConfig::paper(Scenario::ConstrainedMobility, 1.0)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed);
+    let ticks = config.num_ticks();
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let env = scale_environment(servers, seed);
+        let start = Instant::now();
+        let metrics = Simulation::new(env, config.clone()).run();
+        let secs = start.elapsed().as_secs_f64();
+        std::hint::black_box(&metrics);
+        best = best.min(secs);
+    }
+
+    // Decision latency: plan (never execute) a service-overload trigger for
+    // each hot service, so the landscape stays fixed across iterations.
+    let env = scale_environment(servers, seed);
+    let (loads, hot) = hot_spot(&env);
+    let now = SimTime::from_hours(9);
+    let users: f64 = env.workloads.iter().map(|w| w.base_users).sum();
+    let mut controller = AutoGlobeController::new();
+    let events: Vec<TriggerEvent> = hot
+        .iter()
+        .map(|&service| TriggerEvent {
+            kind: TriggerKind::ServiceOverloaded,
+            subject: Subject::Service(service),
+            time: now,
+            average_cpu: 0.93,
+            average_mem: 0.4,
+        })
+        .collect();
+    for event in &events {
+        // Warm-up: fuzzy engines lazily compile on first use.
+        std::hint::black_box(controller.plan_trigger(event, &env.landscape, &loads, now));
+    }
+    let mut best_decision = f64::INFINITY;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        for event in &events {
+            std::hint::black_box(controller.plan_trigger(event, &env.landscape, &loads, now));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        best_decision = best_decision.min(secs / events.len().max(1) as f64);
+    }
+
+    // Ranking latency and the bit-equivalence proof, indexed vs exhaustive.
+    let service = hot.first().copied().unwrap_or_else(|| {
+        env.landscape
+            .service_ids()
+            .next()
+            .expect("landscape has services")
+    });
+    let indexed = controller.rank_hosts_indexed(
+        ActionKind::ScaleOut,
+        service,
+        None,
+        &env.landscape,
+        &loads,
+        now,
+    );
+    let exhaustive = controller.rank_hosts_exhaustive(
+        ActionKind::ScaleOut,
+        service,
+        None,
+        &env.landscape,
+        &loads,
+        now,
+    );
+    let matches = indexed.len() == exhaustive.len()
+        && indexed
+            .iter()
+            .zip(&exhaustive)
+            .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+    let time_ranking = |controller: &mut AutoGlobeController, indexed_path: bool| {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let ranked = if indexed_path {
+                controller.rank_hosts_indexed(
+                    ActionKind::ScaleOut,
+                    service,
+                    None,
+                    &env.landscape,
+                    &loads,
+                    now,
+                )
+            } else {
+                controller.rank_hosts_exhaustive(
+                    ActionKind::ScaleOut,
+                    service,
+                    None,
+                    &env.landscape,
+                    &loads,
+                    now,
+                )
+            };
+            let secs = start.elapsed().as_secs_f64();
+            std::hint::black_box(&ranked);
+            best = best.min(secs);
+        }
+        best
+    };
+    let rank_indexed = time_ranking(&mut controller, true);
+    let rank_exhaustive = time_ranking(&mut controller, false);
+
+    ScaleRung {
+        servers: env.landscape.num_servers(),
+        services: env.landscape.num_services(),
+        instances: env.landscape.num_instances(),
+        users,
+        ticks_per_sec: ticks as f64 / best,
+        mean_decision_us: best_decision * 1e6,
+        mean_rank_indexed_us: rank_indexed * 1e6,
+        mean_rank_exhaustive_us: rank_exhaustive * 1e6,
+        indexed_matches_exhaustive: matches,
+    }
+}
+
+/// The scale-ladder report behind `results/BENCH_scale.json`: every
+/// [`SCALE_RUNGS`] size, measured by [`scale_rung`].
+pub fn bench_scale_report(hours: u64, seed: u64, repeats: u32) -> (Vec<ScaleRung>, String) {
+    let rungs: Vec<ScaleRung> = SCALE_RUNGS
+        .iter()
+        .map(|&servers| scale_rung(servers, hours, seed, repeats))
+        .collect();
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"schema\": 1,").unwrap();
+    writeln!(out, "  \"benchmark\": \"scale_ladder\",").unwrap();
+    writeln!(out, "  \"hours\": {hours},").unwrap();
+    writeln!(out, "  \"seed\": {seed},").unwrap();
+    writeln!(out, "  \"repeats\": {},", repeats.max(1)).unwrap();
+    out.push_str("  \"rungs\": [\n");
+    for (i, r) in rungs.iter().enumerate() {
+        let comma = if i + 1 < rungs.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"servers\": {}, \"services\": {}, \"instances\": {}, \"users\": {:.0}, \
+             \"ticks_per_sec\": {:.1}, \"mean_decision_us\": {:.1}, \
+             \"mean_rank_indexed_us\": {:.1}, \"mean_rank_exhaustive_us\": {:.1}, \
+             \"indexed_matches_exhaustive\": {}}}{comma}",
+            r.servers,
+            r.services,
+            r.instances,
+            r.users,
+            r.ticks_per_sec,
+            r.mean_decision_us,
+            r.mean_rank_indexed_us,
+            r.mean_rank_exhaustive_us,
+            r.indexed_matches_exhaustive,
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    (rungs, out)
+}
+
+/// A deterministic digest of one synthetic-landscape run, for CI to diff
+/// across `inner_jobs` widths: every float is rendered as exact bits, so
+/// any divergence — however small — shows up as a byte difference.
+pub fn scale_smoke(servers: usize, hours: u64, seed: u64, inner_jobs: usize) -> String {
+    let env = scale_environment(servers, seed);
+    let config = SimConfig::paper(Scenario::ConstrainedMobility, 1.0)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed)
+        .with_inner_jobs(inner_jobs);
+    let metrics = Simulation::new(env, config).run();
+    let mut out = String::from("metric,value\n");
+    writeln!(out, "servers,{servers}").unwrap();
+    writeln!(out, "actions,{}", metrics.actions.len()).unwrap();
+    writeln!(out, "alerts,{}", metrics.alerts).unwrap();
+    writeln!(out, "overload_secs,{}", metrics.total_overload().as_secs()).unwrap();
+    for point in metrics.average_series.iter().rev().take(1) {
+        writeln!(out, "final_average_bits,{:016x}", point.value.to_bits()).unwrap();
+    }
+    let mut checksum = 0u64;
+    for point in &metrics.average_series {
+        checksum ^= point.value.to_bits().rotate_left((checksum % 63) as u32);
+    }
+    writeln!(out, "average_series_checksum,{checksum:016x}").unwrap();
+    for record in &metrics.actions {
+        writeln!(out, "action,{record}").unwrap();
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1152,6 +1455,107 @@ mod tests {
             designed < 0.8,
             "designed peak stays under the overload level"
         );
+    }
+
+    /// Satellite acceptance for the inner-jobs fix: on the paper's 19-server
+    /// landscape, `--inner-jobs 4` must not be slower than sequential beyond
+    /// noise — the lane clamp routes tiny arenas straight through the
+    /// sequential path, so there is no per-tick spawn cost left to pay.
+    #[test]
+    fn inner_jobs_do_not_regress_on_the_paper_landscape() {
+        use std::time::Instant;
+        let best_of = |jobs: usize| {
+            let mut best = f64::INFINITY;
+            for _ in 0..5 {
+                let start = Instant::now();
+                let metrics = scenario_run_at(Scenario::ConstrainedMobility, 1.15, 2, 7, jobs);
+                let secs = start.elapsed().as_secs_f64();
+                std::hint::black_box(&metrics);
+                best = best.min(secs);
+            }
+            best
+        };
+        let sequential = best_of(1);
+        let wide = best_of(4);
+        assert!(
+            wide <= sequential * 1.05 + 0.005,
+            "inner_jobs 4 regressed: {wide:.4}s vs sequential {sequential:.4}s"
+        );
+    }
+
+    #[test]
+    fn inner_jobs_regression_checker_reads_report_rows() {
+        let good = r#"{"inner_jobs_scaling": [
+            {"inner_jobs": 1, "best_secs": 1.0, "ticks_per_sec": 1000.0},
+            {"inner_jobs": 2, "best_secs": 1.0, "ticks_per_sec": 990.0},
+            {"inner_jobs": 4, "best_secs": 1.0, "ticks_per_sec": 1005.0}
+        ]}"#;
+        assert_eq!(check_inner_jobs_no_regression(good, 0.05), Ok(()));
+        let bad = r#"{"inner_jobs_scaling": [
+            {"inner_jobs": 1, "best_secs": 1.0, "ticks_per_sec": 1000.0},
+            {"inner_jobs": 4, "best_secs": 1.0, "ticks_per_sec": 300.0}
+        ]}"#;
+        let err = check_inner_jobs_no_regression(bad, 0.05).unwrap_err();
+        assert!(err.contains("inner_jobs 4"), "{err}");
+        assert!(check_inner_jobs_no_regression("{}", 0.05).is_err());
+    }
+
+    /// The checked-in benchmark report must never again carry the inversion
+    /// this PR fixed (inner_jobs 4 at 0.18× the single-thread throughput).
+    #[test]
+    fn checked_in_bench_tick_report_has_no_inner_jobs_regression() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_tick.json");
+        let json = std::fs::read_to_string(path).expect("results/BENCH_tick.json is checked in");
+        if let Err(err) = check_inner_jobs_no_regression(&json, 0.10) {
+            panic!("results/BENCH_tick.json records an inner-jobs regression: {err}");
+        }
+    }
+
+    /// Synthetic rungs must rank hosts bit-identically through the index
+    /// and the exhaustive scan, and the smoke digest must not depend on the
+    /// lane width.
+    #[test]
+    fn scale_smoke_is_bit_identical_across_job_counts() {
+        let sequential = scale_smoke(50, 2, 7, 1);
+        let wide = scale_smoke(50, 2, 7, 4);
+        assert_eq!(sequential, wide);
+        assert!(sequential.contains("average_series_checksum,"));
+    }
+
+    #[test]
+    fn synthetic_rung_ranks_identically_through_the_index() {
+        use autoglobe_controller::AutoGlobeController;
+        let env = scale_environment(200, 42);
+        let (loads, hot) = hot_spot(&env);
+        let now = SimTime::from_hours(9);
+        let mut controller = AutoGlobeController::new();
+        for kind in [ActionKind::Start, ActionKind::ScaleOut, ActionKind::Move] {
+            for &service in hot.iter().take(3) {
+                let instance = env.landscape.instances_of(service).into_iter().next();
+                let instance = kind.needs_target().then_some(instance).flatten();
+                let indexed = controller.rank_hosts_indexed(
+                    kind,
+                    service,
+                    instance,
+                    &env.landscape,
+                    &loads,
+                    now,
+                );
+                let exhaustive = controller.rank_hosts_exhaustive(
+                    kind,
+                    service,
+                    instance,
+                    &env.landscape,
+                    &loads,
+                    now,
+                );
+                assert_eq!(indexed.len(), exhaustive.len(), "{kind:?} on {service}");
+                for (a, b) in indexed.iter().zip(&exhaustive) {
+                    assert_eq!(a.0, b.0, "{kind:?} on {service}");
+                    assert_eq!(a.1.to_bits(), b.1.to_bits(), "{kind:?} on {service}");
+                }
+            }
+        }
     }
 
     #[test]

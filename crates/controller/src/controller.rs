@@ -8,6 +8,7 @@
 //! remains.
 
 use crate::executor::{DecidedAction, PlannedTrigger};
+use crate::index::HostIndex;
 use crate::inputs::{ActionInputs, LoadView, ServerInputs};
 use crate::log::{ActionRecord, ControllerEvent};
 use crate::protection::ProtectionRegistry;
@@ -216,12 +217,7 @@ impl AutoGlobeController {
         // descending order. Actions whose applicability value is lower than
         // an administrator-controlled minimum threshold are discarded."
         candidates.retain(|c| c.applicability >= self.config.min_applicability);
-        candidates.sort_by(|a, b| {
-            b.applicability
-                .partial_cmp(&a.applicability)
-                .unwrap()
-                .then_with(|| a.service.cmp(&b.service))
-        });
+        candidates.sort_unstable_by(candidate_order);
 
         if candidates.is_empty() {
             // An unresolvable *overload* needs the administrator; an idle
@@ -299,12 +295,7 @@ impl AutoGlobeController {
 
         let mut candidates = self.collect_candidates(event, landscape, loads, now);
         candidates.retain(|c| c.applicability >= self.config.min_applicability);
-        candidates.sort_by(|a, b| {
-            b.applicability
-                .partial_cmp(&a.applicability)
-                .unwrap()
-                .then_with(|| a.service.cmp(&b.service))
-        });
+        candidates.sort_unstable_by(candidate_order);
 
         if candidates.is_empty() {
             if event.kind.is_overload() {
@@ -565,8 +556,122 @@ impl AutoGlobeController {
         }
     }
 
-    /// Score all eligible hosts for a candidate, best first.
+    /// Score all eligible hosts for a candidate, best first. Runs the
+    /// indexed path: one [`HostIndex`] build (O(instances + servers)), then
+    /// constant-time constraint prefilters and memoized fuzzy scoring per
+    /// server — bit-identical to the exhaustive scan (see
+    /// [`AutoGlobeController::rank_hosts_exhaustive`]) but sublinear per
+    /// trigger once the idle pool dominates.
     fn rank_hosts(
+        &mut self,
+        candidate: &Candidate,
+        service_name: &str,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Vec<(ServerId, f64)> {
+        let index = HostIndex::build(landscape);
+        self.rank_hosts_over(candidate, service_name, landscape, loads, now, &index)
+    }
+
+    /// The indexed ranking pass over a prebuilt [`HostIndex`].
+    fn rank_hosts_over(
+        &mut self,
+        candidate: &Candidate,
+        service_name: &str,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+        index: &HostIndex,
+    ) -> Vec<(ServerId, f64)> {
+        let current_host = candidate
+            .instance
+            .and_then(|i| landscape.instance(i).ok().map(|inst| inst.server));
+        let current_index = current_host
+            .and_then(|h| landscape.server(h).ok())
+            .map(|s| s.performance_index);
+
+        // The fuzzy score is a pure function of the ten crisp inputs, and a
+        // large pool is mostly identical idle servers (same tier, same zero
+        // load) — memoizing on the exact input bit patterns collapses those
+        // to one engine evaluation per distinct tier/load combination.
+        let mut memo: std::collections::HashMap<[u64; 10], f64> = std::collections::HashMap::new();
+
+        let mut scored = Vec::new();
+        for server in landscape.server_ids() {
+            // "Initially, these are all servers on which an instance of the
+            // service can be started and that are not in protection mode."
+            if self.protection.is_protected(Subject::Server(server), now) {
+                continue;
+            }
+            if Some(server) == current_host {
+                continue;
+            }
+            if !index.can_host(landscape, candidate.service, server) {
+                continue;
+            }
+            // A scale-out onto a host that already runs the service would
+            // split the same saturated CPU without adding capacity.
+            if candidate.kind == ActionKind::ScaleOut
+                && index.runs_service(server, candidate.service)
+            {
+                continue;
+            }
+            // Power direction for scale-up/down (cheap pre-filter; the
+            // constraint checker enforces it again at execution).
+            let Ok(spec) = landscape.server(server) else {
+                continue;
+            };
+            if let Some(from_idx) = current_index {
+                match candidate.kind {
+                    ActionKind::ScaleUp if spec.performance_index <= from_idx => continue,
+                    ActionKind::ScaleDown if spec.performance_index >= from_idx => continue,
+                    _ => {}
+                }
+            }
+            // Field-for-field what `ServerInputs::gather` produces, with the
+            // instance count read from the index instead of a table scan.
+            let inputs = ServerInputs {
+                cpu_load: loads.cpu(Subject::Server(server)),
+                mem_load: loads.mem(Subject::Server(server)),
+                instances_on_server: index.instance_count_on(server) as f64,
+                performance_index: spec.performance_index,
+                number_of_cpus: spec.num_cpus as f64,
+                cpu_clock: spec.cpu_clock_mhz as f64,
+                cpu_cache: spec.cpu_cache_kb as f64,
+                memory: spec.memory_mb as f64,
+                swap_space: spec.swap_mb as f64,
+                temp_space: spec.temp_space_mb as f64,
+            };
+            let mut key = [0u64; 10];
+            for (slot, (_, value)) in key.iter_mut().zip(inputs.measurements()) {
+                *slot = value.to_bits();
+            }
+            let score = match memo.get(&key) {
+                Some(&score) => score,
+                None => {
+                    let Ok(score) =
+                        self.server_selector
+                            .score(candidate.kind, service_name, &inputs)
+                    else {
+                        continue;
+                    };
+                    memo.insert(key, score);
+                    score
+                }
+            };
+            if score >= self.config.min_host_score {
+                scored.push((server, score));
+            }
+        }
+        scored.sort_unstable_by(host_order);
+        scored
+    }
+
+    /// Reference implementation of host ranking: the original exhaustive
+    /// pass, one full-instance-table scan per server. Kept verbatim as the
+    /// oracle the indexed path is proven against.
+    fn rank_hosts_scan(
         &mut self,
         candidate: &Candidate,
         service_name: &str,
@@ -583,8 +688,6 @@ impl AutoGlobeController {
 
         let mut scored = Vec::new();
         for server in landscape.server_ids() {
-            // "Initially, these are all servers on which an instance of the
-            // service can be started and that are not in protection mode."
             if self.protection.is_protected(Subject::Server(server), now) {
                 continue;
             }
@@ -594,8 +697,6 @@ impl AutoGlobeController {
             if !landscape.can_host(candidate.service, server) {
                 continue;
             }
-            // A scale-out onto a host that already runs the service would
-            // split the same saturated CPU without adding capacity.
             if candidate.kind == ActionKind::ScaleOut
                 && landscape.instances_on(server).iter().any(|i| {
                     landscape.instance(*i).map(|inst| inst.service) == Ok(candidate.service)
@@ -603,8 +704,6 @@ impl AutoGlobeController {
             {
                 continue;
             }
-            // Power direction for scale-up/down (cheap pre-filter; the
-            // constraint checker enforces it again at execution).
             if let (Some(from_idx), Ok(spec)) = (current_index, landscape.server(server)) {
                 match candidate.kind {
                     ActionKind::ScaleUp if spec.performance_index <= from_idx => continue,
@@ -625,8 +724,61 @@ impl AutoGlobeController {
                 scored.push((server, score));
             }
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        scored.sort_unstable_by(host_order);
         scored
+    }
+
+    /// Rank target hosts for a prospective `kind` action on `service`
+    /// through the indexed fast path — the production route taken by
+    /// [`AutoGlobeController::handle_trigger`] /
+    /// [`AutoGlobeController::plan_trigger`]. Public so benchmarks and
+    /// tests can time and compare host selection in isolation;
+    /// `instance` is the instance the action would operate on, if any.
+    pub fn rank_hosts_indexed(
+        &mut self,
+        kind: ActionKind,
+        service: ServiceId,
+        instance: Option<InstanceId>,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Vec<(ServerId, f64)> {
+        let Ok(service_name) = landscape.service(service).map(|s| s.name.clone()) else {
+            return Vec::new();
+        };
+        let candidate = Candidate {
+            service,
+            instance,
+            kind,
+            applicability: 1.0,
+        };
+        self.rank_hosts(&candidate, &service_name, landscape, loads, now)
+    }
+
+    /// Rank target hosts through the exhaustive reference scan. Exists to
+    /// prove, bit for bit, that the index changes nothing: for any
+    /// landscape, loads and action this returns exactly what
+    /// [`AutoGlobeController::rank_hosts_indexed`] returns — same hosts,
+    /// same order, same score bits.
+    pub fn rank_hosts_exhaustive(
+        &mut self,
+        kind: ActionKind,
+        service: ServiceId,
+        instance: Option<InstanceId>,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+    ) -> Vec<(ServerId, f64)> {
+        let Ok(service_name) = landscape.service(service).map(|s| s.name.clone()) else {
+            return Vec::new();
+        };
+        let candidate = Candidate {
+            service,
+            instance,
+            kind,
+            applicability: 1.0,
+        };
+        self.rank_hosts_scan(&candidate, &service_name, landscape, loads, now)
     }
 
     /// Verify and execute (or queue) one concrete action.
@@ -789,6 +941,23 @@ impl Default for AutoGlobeController {
     }
 }
 
+/// Total order over candidates: applicability descending, then service id,
+/// then action name — a deterministic key with no `partial_cmp().unwrap()`
+/// panic path. Equal-applicability candidates from `ActionSelector::rank`
+/// arrive sorted by (service, action name) already, so this reproduces the
+/// old stable sort's output exactly while tolerating NaN-adjacent scores.
+fn candidate_order(a: &Candidate, b: &Candidate) -> std::cmp::Ordering {
+    b.applicability
+        .total_cmp(&a.applicability)
+        .then_with(|| a.service.cmp(&b.service))
+        .then_with(|| a.kind.variable_name().cmp(b.kind.variable_name()))
+}
+
+/// Total order over scored hosts: score descending, server id ascending.
+fn host_order(a: &(ServerId, f64), b: &(ServerId, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
 /// Whether a kind operates on an existing instance.
 fn kind_uses_instance(kind: ActionKind) -> bool {
     matches!(
@@ -828,14 +997,16 @@ fn representative_instance(
         }
     }
     let key = |i: &InstanceId| loads.cpu(Subject::Instance(*i));
+    // `total_cmp` plus the id tiebreak keeps the pick deterministic (and
+    // panic-free) when several instances report identical load.
     if trigger.is_overload() {
         instances
             .into_iter()
-            .max_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())
+            .max_by(|a, b| key(a).total_cmp(&key(b)).then_with(|| a.cmp(b)))
     } else {
         instances
             .into_iter()
-            .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())
+            .min_by(|a, b| key(a).total_cmp(&key(b)).then_with(|| a.cmp(b)))
     }
 }
 
@@ -1180,5 +1351,103 @@ mod tests {
         let drained = c.drain_log();
         assert!(!drained.is_empty());
         assert!(c.log().is_empty());
+    }
+
+    #[test]
+    fn indexed_ranking_is_bit_identical_to_exhaustive() {
+        let mut f = fixture();
+        // A mixed landscape state: one hot blade, one idle, the big server
+        // partly loaded, plus an instance on Big so the index sees variety.
+        f.landscape.start_instance(f.fi, f.big).unwrap();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Server(f.blade2), 0.1, 0.2);
+        f.loads.set(Subject::Server(f.big), 0.4, 0.3);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Instance(f.i2), 0.1, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.6, 0.0);
+
+        let mut c = AutoGlobeController::new();
+        let now = SimTime::from_minutes(30);
+        for kind in ActionKind::ALL {
+            let instance = kind_uses_instance(kind).then_some(f.i1);
+            let indexed = c.rank_hosts_indexed(kind, f.fi, instance, &f.landscape, &f.loads, now);
+            let exhaustive =
+                c.rank_hosts_exhaustive(kind, f.fi, instance, &f.landscape, &f.loads, now);
+            assert_eq!(
+                indexed.len(),
+                exhaustive.len(),
+                "host count diverged for {kind:?}"
+            );
+            for (a, b) in indexed.iter().zip(exhaustive.iter()) {
+                assert_eq!(a.0, b.0, "host order diverged for {kind:?}");
+                assert_eq!(
+                    a.1.to_bits(),
+                    b.1.to_bits(),
+                    "score bits diverged for {kind:?} on {:?}",
+                    a.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_sort_is_deterministic_for_equal_and_nan_scores() {
+        // Equal applicability: service id, then action name, decide.
+        let mk = |service: u32, kind: ActionKind, applicability: f64| Candidate {
+            service: ServiceId::new(service),
+            instance: None,
+            kind,
+            applicability,
+        };
+        let mut candidates = [
+            mk(2, ActionKind::Start, 0.5),
+            mk(1, ActionKind::ScaleOut, 0.5),
+            mk(1, ActionKind::Move, 0.5),
+            mk(3, ActionKind::Stop, 0.9),
+        ];
+        candidates.sort_unstable_by(candidate_order);
+        let key: Vec<(u32, ActionKind)> = candidates
+            .iter()
+            .map(|c| (c.service.index() as u32, c.kind))
+            .collect();
+        assert_eq!(
+            key,
+            vec![
+                (3, ActionKind::Stop),
+                (1, ActionKind::Move),
+                (1, ActionKind::ScaleOut),
+                (2, ActionKind::Start),
+            ]
+        );
+
+        // NaN applicability must not panic; total_cmp orders NaN above all
+        // finite values (descending sort), and the run stays deterministic.
+        let mut with_nan = [
+            mk(1, ActionKind::Start, 0.4),
+            mk(2, ActionKind::Start, f64::NAN),
+            mk(3, ActionKind::Start, 0.8),
+        ];
+        with_nan.sort_unstable_by(candidate_order);
+        let services: Vec<usize> = with_nan.iter().map(|c| c.service.index()).collect();
+        assert_eq!(services, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn host_sort_breaks_score_ties_by_server_id() {
+        let mut scored = [
+            (ServerId::new(5), 0.7),
+            (ServerId::new(1), 0.7),
+            (ServerId::new(3), 0.9),
+            (ServerId::new(2), 0.7),
+        ];
+        scored.sort_unstable_by(host_order);
+        let ids: Vec<usize> = scored.iter().map(|(s, _)| s.index()).collect();
+        assert_eq!(ids, vec![3, 1, 2, 5]);
+
+        // -0.0 and 0.0 are distinct under total_cmp (0.0 sorts first in a
+        // descending sort); the outcome is deterministic, never a panic.
+        let mut signed_zero = [(ServerId::new(1), -0.0), (ServerId::new(2), 0.0)];
+        signed_zero.sort_unstable_by(host_order);
+        assert_eq!(signed_zero[0].0, ServerId::new(2));
     }
 }

@@ -1,0 +1,225 @@
+//! Dense per-server aggregates for sublinear host ranking.
+//!
+//! [`Landscape::can_host`] and [`crate::ServerInputs::gather`] each scan
+//! the full instance table, so ranking hosts for one trigger used to cost
+//! O(servers × instances) — superlinear in landscape size and the latent
+//! blowup the scale ladder exposed at the 1,000-server rung. [`HostIndex`]
+//! folds the instance table once into dense per-server arrays (instance
+//! count, memory in use, distinct resident services), after which every
+//! per-server constraint question is O(log residents) or O(1) and a whole
+//! trigger decision is O(instances + servers).
+//!
+//! The index answers exactly the same questions as the exhaustive scans —
+//! [`AutoGlobeController::rank_hosts_indexed`] is proven bit-identical to
+//! [`AutoGlobeController::rank_hosts_exhaustive`] by tests and by the
+//! `experiments scale` harness at every ladder rung.
+//!
+//! [`AutoGlobeController::rank_hosts_indexed`]: crate::AutoGlobeController::rank_hosts_indexed
+//! [`AutoGlobeController::rank_hosts_exhaustive`]: crate::AutoGlobeController::rank_hosts_exhaustive
+//! [`Landscape::can_host`]: autoglobe_landscape::Landscape::can_host
+
+use autoglobe_landscape::{Landscape, ServerId, ServiceId};
+
+/// Per-server aggregates of the current allocation, built in one pass over
+/// the instance table.
+#[derive(Debug, Clone)]
+pub struct HostIndex {
+    /// Instances on each server.
+    instance_count: Vec<u32>,
+    /// Memory in use on each server, MB (order-independent u64 sum).
+    mem_used: Vec<u64>,
+    /// Distinct services resident on each server, ascending.
+    resident_services: Vec<Vec<ServiceId>>,
+    /// How many of those distinct residents are exclusive services.
+    exclusive_residents: Vec<u32>,
+}
+
+impl HostIndex {
+    /// Build the index for the landscape's current allocation.
+    pub fn build(landscape: &Landscape) -> HostIndex {
+        let n = landscape.num_servers();
+        let mut index = HostIndex {
+            instance_count: vec![0; n],
+            mem_used: vec![0; n],
+            resident_services: vec![Vec::new(); n],
+            exclusive_residents: vec![0; n],
+        };
+        for inst in landscape.instances() {
+            let s = inst.server.index();
+            if s >= n {
+                continue;
+            }
+            index.instance_count[s] += 1;
+            index.mem_used[s] += landscape
+                .service(inst.service)
+                .map(|spec| spec.memory_per_instance_mb)
+                .unwrap_or(0);
+            let residents = &mut index.resident_services[s];
+            if let Err(pos) = residents.binary_search(&inst.service) {
+                residents.insert(pos, inst.service);
+            }
+        }
+        for s in 0..n {
+            index.exclusive_residents[s] = index.resident_services[s]
+                .iter()
+                .filter(|&&svc| {
+                    landscape
+                        .service(svc)
+                        .map(|spec| spec.exclusive)
+                        .unwrap_or(false)
+                })
+                .count() as u32;
+        }
+        index
+    }
+
+    /// Number of instances on `server` (the `instancesOnServer` fuzzy
+    /// input) — equals `landscape.instance_count_on(server)`.
+    pub fn instance_count_on(&self, server: ServerId) -> u32 {
+        self.instance_count
+            .get(server.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Memory in use on `server`, MB — equals
+    /// `landscape.memory_used_on(server)`.
+    pub fn memory_used_on(&self, server: ServerId) -> u64 {
+        self.mem_used.get(server.index()).copied().unwrap_or(0)
+    }
+
+    /// Whether at least one instance of `service` runs on `server`.
+    pub fn runs_service(&self, server: ServerId, service: ServiceId) -> bool {
+        self.resident_services
+            .get(server.index())
+            .map(|r| r.binary_search(&service).is_ok())
+            .unwrap_or(false)
+    }
+
+    /// Index-backed replica of [`Landscape::can_host`]: available host,
+    /// minimum performance index, exclusivity in both directions, memory —
+    /// the same checks, the same order, without scanning the instance
+    /// table.
+    ///
+    /// [`Landscape::can_host`]: autoglobe_landscape::Landscape::can_host
+    pub fn can_host(&self, landscape: &Landscape, service: ServiceId, server: ServerId) -> bool {
+        let Ok(svc) = landscape.service(service) else {
+            return false;
+        };
+        let Ok(srv) = landscape.server(server) else {
+            return false;
+        };
+        if !landscape.is_available(server) {
+            return false;
+        }
+        if let Some(min_idx) = svc.min_performance_index {
+            if srv.performance_index < min_idx {
+                return false;
+            }
+        }
+        let s = server.index();
+        let residents = &self.resident_services[s];
+        let runs_candidate = residents.binary_search(&service).is_ok();
+        // Exclusivity in both directions, over distinct resident services.
+        let foreign = residents.len() - usize::from(runs_candidate);
+        if svc.exclusive && foreign > 0 {
+            return false;
+        }
+        let foreign_exclusive =
+            self.exclusive_residents[s] - u32::from(svc.exclusive && runs_candidate);
+        if foreign_exclusive > 0 {
+            return false;
+        }
+        // Memory.
+        if self.mem_used[s] + svc.memory_per_instance_mb > srv.memory_mb {
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autoglobe_landscape::{ServerSpec, ServiceKind, ServiceSpec};
+
+    /// A landscape exercising every `can_host` clause: exclusivity both
+    /// ways, minimum performance index, tight memory, a failed host.
+    fn varied_landscape() -> Landscape {
+        let mut l = Landscape::new();
+        let b1 = l.add_server(ServerSpec::fsc_bx300("Blade1")).unwrap();
+        let b2 = l.add_server(ServerSpec::fsc_bx300("Blade2")).unwrap();
+        let b3 = l.add_server(ServerSpec::fsc_bx600("Blade3")).unwrap();
+        let big = l.add_server(ServerSpec::hp_bl40p("Big")).unwrap();
+        let down = l.add_server(ServerSpec::fsc_bx600("Down")).unwrap();
+        l.set_available(down, false).unwrap();
+
+        let fi = l
+            .add_service(ServiceSpec::new("FI", ServiceKind::ApplicationServer))
+            .unwrap();
+        let db = l
+            .add_service(
+                ServiceSpec::new("DB", ServiceKind::Database)
+                    .with_exclusive(true)
+                    .with_min_performance_index(5.0),
+            )
+            .unwrap();
+        let fat = l
+            .add_service(ServiceSpec::new("Fat", ServiceKind::Generic).with_memory(1500))
+            .unwrap();
+
+        l.start_instance(fi, b1).unwrap();
+        l.start_instance(fi, b1).unwrap();
+        l.start_instance(db, big).unwrap();
+        l.start_instance(fat, b2).unwrap();
+        let _ = b3;
+        l
+    }
+
+    #[test]
+    fn index_agrees_with_exhaustive_can_host_everywhere() {
+        let l = varied_landscape();
+        let index = HostIndex::build(&l);
+        for service in l.service_ids() {
+            for server in l.server_ids() {
+                assert_eq!(
+                    index.can_host(&l, service, server),
+                    l.can_host(service, server),
+                    "service {service:?} on server {server:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_match_the_scans() {
+        let l = varied_landscape();
+        let index = HostIndex::build(&l);
+        for server in l.server_ids() {
+            assert_eq!(
+                index.instance_count_on(server) as usize,
+                l.instance_count_on(server)
+            );
+            assert_eq!(index.memory_used_on(server), l.memory_used_on(server));
+            for service in l.service_ids() {
+                let scan = l
+                    .instances_on(server)
+                    .iter()
+                    .any(|i| l.instance(*i).unwrap().service == service);
+                assert_eq!(index.runs_service(server, service), scan);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_ids_read_as_empty() {
+        let l = varied_landscape();
+        let index = HostIndex::build(&l);
+        let ghost = ServerId::new(999);
+        assert_eq!(index.instance_count_on(ghost), 0);
+        assert_eq!(index.memory_used_on(ghost), 0);
+        assert!(!index.runs_service(ghost, ServiceId::new(0)));
+        assert!(!index.can_host(&l, ServiceId::new(0), ghost));
+        assert!(!index.can_host(&l, ServiceId::new(999), ServerId::new(0)));
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod controller;
 pub mod executor;
+pub mod index;
 pub mod inputs;
 pub mod log;
 pub mod protection;
@@ -45,6 +46,7 @@ pub use controller::{
     AutoGlobeController, ControllerConfig, ExecutionMode, PendingAction, TriggerOutcome,
 };
 pub use executor::{ActionExecutor, DecidedAction, ExecutionEvent, ExecutorConfig, PlannedTrigger};
+pub use index::HostIndex;
 pub use inputs::{ActionInputs, LoadView, ServerInputs};
 pub use log::{ActionRecord, ControllerEvent};
 pub use protection::ProtectionRegistry;

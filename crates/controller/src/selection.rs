@@ -128,10 +128,12 @@ impl ActionSelector {
                 })
             })
             .collect();
-        ranked.sort_by(|a, b| {
+        // Total order (no `partial_cmp().unwrap()` panic path): the action
+        // name tiebreak is unique per kind, so the sort is deterministic
+        // even for equal or non-finite applicabilities.
+        ranked.sort_unstable_by(|a, b| {
             b.applicability
-                .partial_cmp(&a.applicability)
-                .unwrap()
+                .total_cmp(&a.applicability)
                 .then_with(|| a.kind.variable_name().cmp(b.kind.variable_name()))
         });
         Ok(ranked)

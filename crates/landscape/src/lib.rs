@@ -18,6 +18,9 @@
 //! * **The allocation table** ([`Landscape`]) — which instance runs where,
 //!   with transactional application of actions and constraint checking
 //!   ([`constraints`]).
+//! * **Synthetic landscapes** ([`synth`]) — seeded, tiered generator for
+//!   the 100×–1000× scale ladder: paper-shaped subsystems at arbitrary
+//!   server counts with millions of aggregate users.
 //! * **The declarative XML description language** ([`xml`]) — landscapes,
 //!   service constraints and fuzzy rule bases are described in XML, parsed
 //!   by a from-scratch minimal XML parser (the paper uses a proprietary
@@ -33,6 +36,7 @@ pub mod error;
 pub mod ids;
 pub mod server;
 pub mod service;
+pub mod synth;
 pub mod xml;
 
 pub use action::{Action, ActionKind};
@@ -42,3 +46,4 @@ pub use error::LandscapeError;
 pub use ids::{InstanceId, ServerId, ServiceId};
 pub use server::ServerSpec;
 pub use service::{ServiceKind, ServiceSpec};
+pub use synth::{SynthConfig, SynthLandscape, SynthWorkload};

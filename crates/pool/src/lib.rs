@@ -103,8 +103,28 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    parallel_chunks_mut_min(jobs, 1, items, f);
+}
+
+/// [`parallel_chunks_mut`] with a minimum amount of work per lane: the
+/// effective lane count is clamped to `ceil(n / min_per_lane)`, and a slice
+/// that fits a single lane runs sequentially on the calling thread with no
+/// scope or spawn at all.
+///
+/// This is the fix for the small-arena inversion where `--inner-jobs 4` on a
+/// 19-element slice spent far more on per-call thread spawns than the ~5
+/// elements each lane computed, collapsing throughput to a fraction of the
+/// sequential run. Chunk boundaries never change results — `f` computes each
+/// element from its own state only — so the clamp preserves bit-identity at
+/// any `jobs` × `min_per_lane` combination.
+pub fn parallel_chunks_mut_min<T, F>(jobs: usize, min_per_lane: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
     let n = items.len();
-    let jobs = effective_jobs(jobs).min(n.max(1));
+    let max_lanes = n.div_ceil(min_per_lane.max(1)).max(1);
+    let jobs = effective_jobs(jobs).min(n.max(1)).min(max_lanes);
     if jobs <= 1 {
         f(0, items);
         return;
@@ -168,6 +188,45 @@ mod tests {
             for (i, &(idx, v)) in items.iter().enumerate() {
                 assert_eq!(idx, i, "jobs={jobs}");
                 assert_eq!(v, i as u64 * 10, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_per_lane_clamps_the_lane_count() {
+        use std::collections::BTreeSet;
+        use std::sync::Mutex;
+        // 19 items with a 256-element minimum: exactly one lane, i.e. the
+        // sequential fast path (a single callback at offset 0).
+        let offsets = Mutex::new(BTreeSet::new());
+        let mut items = vec![0u8; 19];
+        parallel_chunks_mut_min(4, 256, &mut items, |offset, _| {
+            offsets.lock().unwrap().insert(offset);
+        });
+        assert_eq!(*offsets.lock().unwrap(), BTreeSet::from([0]));
+
+        // 1000 items, 256 minimum → at most ceil(1000/256) = 4 lanes even
+        // when far more jobs are requested.
+        let offsets = Mutex::new(BTreeSet::new());
+        let mut items = vec![0u8; 1000];
+        parallel_chunks_mut_min(16, 256, &mut items, |offset, _| {
+            offsets.lock().unwrap().insert(offset);
+        });
+        assert!(offsets.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn min_per_lane_preserves_results_at_any_width() {
+        let expected: Vec<u64> = (0..517).map(|i| i * 3 + 1).collect();
+        for jobs in [1, 2, 4, 16] {
+            for min_per_lane in [1, 7, 64, 256, 1024] {
+                let mut items: Vec<u64> = (0..517).collect();
+                parallel_chunks_mut_min(jobs, min_per_lane, &mut items, |_, chunk| {
+                    for v in chunk {
+                        *v = *v * 3 + 1;
+                    }
+                });
+                assert_eq!(items, expected, "jobs={jobs} min={min_per_lane}");
             }
         }
     }

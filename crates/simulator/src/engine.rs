@@ -45,6 +45,15 @@ use std::collections::{BTreeSet, VecDeque};
 /// controller's smoothed server loads (the paper's 10-minute watch time).
 pub(crate) const ROLLING_WINDOW_TICKS: usize = 10;
 
+/// Minimum number of server lanes per worker thread in the parallel
+/// per-server phase. A lane evaluation is tens of nanoseconds of arithmetic,
+/// while spawning a scoped thread costs microseconds — on the paper's
+/// 19-server landscape, `--inner-jobs 4` used to spend ~5× the sequential
+/// tick time on spawns alone. Below `jobs × MIN_SERVERS_PER_LANE` servers
+/// the fan-out clamps down (ultimately to the zero-overhead sequential
+/// path), so `--inner-jobs N` can never regress below `--inner-jobs 1`.
+pub const MIN_SERVERS_PER_LANE: usize = 256;
+
 /// Sentinel in the instance → server arena for ids with no live instance.
 const NO_SERVER: u32 = u32::MAX;
 
@@ -494,9 +503,12 @@ impl WorkloadEngine {
         }
         // The parallel phase: each lane is evaluated purely from its own
         // state, so chunking the lane slice gives disjoint write sets and
-        // a bit-identical result at any `inner_jobs`.
-        autoglobe_pool::parallel_chunks_mut(
+        // a bit-identical result at any `inner_jobs`. The per-lane minimum
+        // keeps small arenas on the sequential path (see
+        // [`MIN_SERVERS_PER_LANE`]).
+        autoglobe_pool::parallel_chunks_mut_min(
             self.inner_jobs,
+            MIN_SERVERS_PER_LANE,
             &mut self.lanes[..num_servers],
             |_, chunk| {
                 for lane in chunk {

@@ -47,9 +47,9 @@ pub mod workload;
 
 pub use capacity::{find_max_users, CapacityCriterion, CapacityResult};
 pub use config::{FailureInjection, HeartbeatDetection, SimConfig};
-pub use engine::{TickLoads, WorkloadEngine};
+pub use engine::{TickLoads, WorkloadEngine, MIN_SERVERS_PER_LANE};
 pub use metrics::{InstancePoint, Metrics, SeriesPoint};
-pub use sap::{build_environment, SapEnvironment};
+pub use sap::{build_environment, synth_environment, SapEnvironment};
 pub use scenario::Scenario;
 pub use sim::Simulation;
 pub use workload::{DailyPattern, WorkloadSpec};

@@ -214,6 +214,37 @@ pub fn build_environment(scenario: Scenario) -> SapEnvironment {
     }
 }
 
+/// Build a simulation environment from a synthetic scale-ladder landscape
+/// ([`autoglobe_landscape::synth`]): paper-shaped subsystems at arbitrary
+/// server counts, each generated workload driven by the same daily patterns
+/// as the Table 4 scenarios. Deterministic under `config.seed`.
+pub fn synth_environment(config: &autoglobe_landscape::SynthConfig) -> SapEnvironment {
+    let synth = autoglobe_landscape::synth::generate(config);
+    let workloads = synth
+        .workloads
+        .iter()
+        .map(|w| WorkloadSpec {
+            service: w.service.clone(),
+            pattern: if w.night_batch {
+                DailyPattern::NightBatch
+            } else {
+                DailyPattern::Interactive
+            },
+            base_users: w.users,
+            scale_load_not_users: false,
+            ci_service: Some(w.ci_service.clone()),
+            db_service: Some(w.db_service.clone()),
+            ci_load_per_user: w.ci_load_per_user,
+            db_load_per_user: w.db_load_per_user,
+            jitter: calibration::JITTER,
+        })
+        .collect();
+    SapEnvironment {
+        landscape: synth.landscape,
+        workloads,
+    }
+}
+
 fn interactive(service: &str, subsystem: &str, users: f64) -> WorkloadSpec {
     WorkloadSpec {
         service: service.into(),
