@@ -12,13 +12,13 @@
 //! drives, measured with the same [`Metrics`] the paper's figures use.
 
 use crate::supervisor::{Supervisor, SupervisorConfig};
-use autoglobe_controller::ControllerEvent;
-use autoglobe_landscape::InstanceId;
-use autoglobe_monitor::{SimDuration, SimTime};
-use autoglobe_rng::Rng;
+use autoglobe_controller::{ControllerEvent, ExecutionEvent};
+use autoglobe_landscape::{InstanceId, ServerId, ServiceId};
+use autoglobe_monitor::{HeartbeatConfig, HeartbeatEvent, SimDuration, SimTime, Subject};
+use autoglobe_rng::{splitmix64, Rng};
 use autoglobe_simulator::sap::SapEnvironment;
-use autoglobe_simulator::{Metrics, SimConfig, WorkloadEngine};
-use std::collections::BTreeSet;
+use autoglobe_simulator::{FailureInjection, Metrics, SimConfig, WorkloadEngine};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A simulation of the paper's SAP workload run through the [`Supervisor`]
 /// control plane instead of the simulator's bespoke wiring.
@@ -121,8 +121,13 @@ impl SupervisedRun {
             self.supervisor.record_instance(instance, self.time, cpu);
         }
 
-        // Actions out.
-        for record in self.supervisor.tick(self.time) {
+        // Actions out. The harness clock only moves forward, so the
+        // monotonicity guard cannot fire.
+        let records = self
+            .supervisor
+            .tick(self.time)
+            .expect("harness time advances monotonically");
+        for record in records {
             self.engine
                 .note_action(&record.outcome, self.supervisor.landscape(), self.time);
             self.metrics.actions.push(record);
@@ -154,6 +159,414 @@ impl SupervisedRun {
     }
 }
 
+/// The chaos evaluation — fallible asynchronous execution, lossy heartbeat
+/// detection, swept failure injection — run through the public
+/// [`Supervisor`] control plane instead of the simulator's bespoke wiring.
+///
+/// The harness owns the ground truth (which hosts are down, which instances
+/// crashed, the repair clock) and the supervisor owns the *beliefs*: it only
+/// learns of a failure when the heartbeat detector confirms the silence.
+/// Detection latency, reconciled false suspicions, quarantine of falsely
+/// confirmed hosts, MTTR and lost work are measured exactly like the
+/// simulator's internal chaos path, so `results/chaos_recovery.csv` keeps
+/// its meaning — but every signal now flows through
+/// [`Supervisor::record_server`] / [`Supervisor::beat`] /
+/// [`Supervisor::tick`], the same API a real deployment drives.
+pub struct ChaosRun {
+    supervisor: Supervisor,
+    engine: WorkloadEngine,
+    /// Main stream: workload fluctuation + ground-truth failure dice, the
+    /// same draw order as the simulator's heartbeat path.
+    rng: Rng,
+    /// Separate stream for heartbeat-loss dice, sub-seeded from the master
+    /// seed so enabling loss never perturbs the failure schedule.
+    chaos_rng: Rng,
+    metrics: Metrics,
+    time: SimTime,
+    tick: SimDuration,
+    duration: SimDuration,
+    failures: FailureInjection,
+    hb_loss: f64,
+    /// Ground truth: down hosts and when they went down.
+    down_servers: BTreeMap<ServerId, SimTime>,
+    /// Ground truth: crashed-but-unconfirmed instances and their crash time.
+    crashed_instances: BTreeMap<InstanceId, SimTime>,
+    /// (due, server) repair schedule — also used to re-certify falsely
+    /// confirmed (quarantined) hosts.
+    pending_repairs: Vec<(SimTime, ServerId)>,
+    /// Lost instances awaiting a feasible host: (service, old instance,
+    /// ground-truth failure time).
+    restart_queue: Vec<(ServiceId, InstanceId, SimTime)>,
+}
+
+impl ChaosRun {
+    /// Wire `env` to a [`Supervisor`] configured from `sim`: the executor
+    /// substrate from [`SimConfig::execution`] (reliable when `None`), the
+    /// suspect/confirm protocol and loss rate from [`SimConfig::heartbeats`],
+    /// failure injection from [`SimConfig::failures`]. Executor and
+    /// loss-dice seeds derive from `sim.seed` through the same SplitMix64
+    /// chain as [`autoglobe_simulator::Simulation`].
+    ///
+    /// # Panics
+    /// Panics when `sim` fails [`SimConfig::validate`], and when `sim`
+    /// enables no failure injection or no heartbeat detection — a chaos run
+    /// without chaos (or without a detector to measure) is a misconfigured
+    /// experiment, not a degenerate run.
+    pub fn new(env: SapEnvironment, sim: &SimConfig) -> Self {
+        if let Err(e) = sim.validate() {
+            panic!("invalid simulation config: {e}");
+        }
+        let failures = sim
+            .failures
+            .expect("ChaosRun needs failure injection (SimConfig::with_failures)");
+        let detection = sim
+            .heartbeats
+            .expect("ChaosRun needs heartbeat detection (SimConfig::with_heartbeats)");
+
+        let SapEnvironment {
+            landscape,
+            workloads,
+        } = env;
+        let engine = WorkloadEngine::new(&landscape, workloads, sim);
+        let metrics = Metrics {
+            scenario: Some(sim.scenario),
+            server_names: landscape
+                .server_ids()
+                .map(|id| landscape.server(id).unwrap().name.clone())
+                .collect(),
+            service_names: landscape
+                .service_ids()
+                .map(|id| landscape.service(id).unwrap().name.clone())
+                .collect(),
+            ..Metrics::default()
+        };
+
+        // The same sub-seed chain the simulator uses: the master seed keeps
+        // driving workload + failure dice untouched, the executor and the
+        // lossy monitoring network get their own streams.
+        let mut sub_seed_state = sim.seed ^ 0x9E37_79B9_7F4A_7C15;
+        let exec_seed = splitmix64(&mut sub_seed_state);
+        let chaos_seed = splitmix64(&mut sub_seed_state);
+
+        let supervisor_config = SupervisorConfig {
+            controller: sim.controller,
+            executor: sim.execution.clone().unwrap_or_default(),
+            executor_seed: exec_seed,
+            heartbeats: HeartbeatConfig {
+                miss_threshold: detection.miss_threshold,
+                confirm_after: detection.confirm_after,
+            },
+            ..SupervisorConfig::default()
+        };
+        let mut supervisor = Supervisor::with_config(landscape, supervisor_config);
+        // Everything present at t=0 is watched from the start, exactly like
+        // the simulator's chaos path.
+        let servers: Vec<ServerId> = supervisor.landscape().server_ids().collect();
+        for server in servers {
+            supervisor.watch(Subject::Server(server));
+        }
+        let instances: Vec<InstanceId> = supervisor.landscape().instances().map(|i| i.id).collect();
+        for instance in instances {
+            supervisor.watch(Subject::Instance(instance));
+        }
+
+        ChaosRun {
+            supervisor,
+            engine,
+            rng: Rng::seed_from_u64(sim.seed),
+            chaos_rng: Rng::seed_from_u64(chaos_seed),
+            metrics,
+            time: SimTime::ZERO,
+            tick: sim.tick,
+            duration: sim.duration,
+            failures,
+            hb_loss: detection.loss_probability,
+            down_servers: BTreeMap::new(),
+            crashed_instances: BTreeMap::new(),
+            pending_repairs: Vec::new(),
+            restart_queue: Vec::new(),
+        }
+    }
+
+    /// The control plane (to inspect beliefs vs. the harness's ground truth).
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Advance one tick: workload → measurements → repairs → failure dice →
+    /// lossy heartbeats → supervisor tick → account recoveries, detections,
+    /// retries and alerts.
+    pub fn step(&mut self) {
+        self.time += self.tick;
+        let now = self.time;
+
+        // Ground-truth dead entities serve nothing until the detector
+        // confirms the failure and the controller reacts.
+        let dead: BTreeSet<InstanceId> = self
+            .supervisor
+            .landscape()
+            .instances()
+            .filter(|i| {
+                self.crashed_instances.contains_key(&i.id)
+                    || self.down_servers.contains_key(&i.server)
+            })
+            .map(|i| i.id)
+            .collect();
+        let loads = self.engine.advance(
+            self.supervisor.landscape(),
+            &dead,
+            now,
+            &mut self.rng,
+            &mut self.metrics,
+        );
+
+        // Measurements in — a down host reports nothing, a dead instance
+        // reports nothing.
+        for (server, cpu, mem) in loads.server_entries() {
+            if !self.down_servers.contains_key(&server) {
+                self.supervisor.record_server(server, now, cpu, mem);
+            }
+        }
+        for (service, cpu) in loads.service_entries() {
+            self.supervisor.record_service(service, now, cpu);
+        }
+        for (instance, cpu) in loads.instance_entries() {
+            if !dead.contains(&instance) {
+                self.supervisor.record_instance(instance, now, cpu);
+            }
+        }
+
+        // Repairs: the host rejoins the pool and is watched again with a
+        // fresh heartbeat state.
+        let mut repaired = Vec::new();
+        self.pending_repairs.retain(|&(at, server)| {
+            if now >= at {
+                repaired.push(server);
+                false
+            } else {
+                true
+            }
+        });
+        for server in repaired {
+            let _ = self.supervisor.report_server_repaired(server, now);
+            self.down_servers.remove(&server);
+            self.metrics.repairs += 1;
+            self.supervisor.unwatch(Subject::Server(server));
+            self.supervisor.watch(Subject::Server(server));
+        }
+
+        // Watch-set resync: new instances (restarts, scale-outs) get
+        // monitored. Instances on a ground-truth down host stay unwatched —
+        // host-level detection covers them. Departed instances are pruned
+        // inside the supervisor's own tick.
+        let fresh: Vec<InstanceId> = self
+            .supervisor
+            .landscape()
+            .instances()
+            .filter(|i| !self.down_servers.contains_key(&i.server))
+            .map(|i| i.id)
+            .collect();
+        for instance in fresh {
+            self.supervisor.watch(Subject::Instance(instance));
+        }
+
+        // Ground-truth failure dice — same stream and order as the
+        // simulator's chaos path: available servers ascending, then live
+        // instances ascending.
+        let tick_hours = self.tick.as_secs() as f64 / 3600.0;
+        let servers: Vec<ServerId> = self
+            .supervisor
+            .landscape()
+            .server_ids()
+            .filter(|&s| self.supervisor.landscape().is_available(s))
+            .collect();
+        for server in servers {
+            if self
+                .rng
+                .random_bool(self.failures.server_failure_per_hour * tick_hours)
+            {
+                self.metrics.failures += 1;
+                self.down_servers.insert(server, now);
+                let _ = self.supervisor.landscape_mut().set_available(server, false);
+                self.pending_repairs
+                    .push((now + self.failures.repair_after, server));
+                // The host's instances die with it: sever their sessions
+                // and stop watching them individually.
+                for instance in self.supervisor.landscape().instances_on(server) {
+                    self.supervisor.unwatch(Subject::Instance(instance));
+                    self.sever_sessions(instance);
+                }
+            }
+        }
+        let instances: Vec<InstanceId> = self
+            .supervisor
+            .landscape()
+            .instances()
+            .filter(|i| {
+                !self.crashed_instances.contains_key(&i.id)
+                    && !self.down_servers.contains_key(&i.server)
+            })
+            .map(|i| i.id)
+            .collect();
+        for instance in instances {
+            if self
+                .rng
+                .random_bool(self.failures.instance_crash_per_hour * tick_hours)
+            {
+                self.metrics.failures += 1;
+                self.crashed_instances.insert(instance, now);
+                self.sever_sessions(instance);
+            }
+        }
+
+        // Heartbeats: everything alive beats, unless the lossy monitoring
+        // network drops the beat (separate RNG stream).
+        for subject in self.supervisor.watched() {
+            let alive = match subject {
+                Subject::Server(s) => !self.down_servers.contains_key(&s),
+                Subject::Instance(i) => {
+                    !self.crashed_instances.contains_key(&i)
+                        && self
+                            .supervisor
+                            .landscape()
+                            .instance(i)
+                            .map(|inst| !self.down_servers.contains_key(&inst.server))
+                            .unwrap_or(false)
+                }
+                Subject::Service(_) => true,
+            };
+            if alive && !(self.hb_loss > 0.0 && self.chaos_rng.random_bool(self.hb_loss)) {
+                self.supervisor
+                    .beat(subject, now)
+                    .expect("harness time advances monotonically");
+            }
+        }
+
+        // One tick of the control loop: settle in-flight work, evaluate
+        // heartbeats (confirmed failures run the self-healing path inside),
+        // dispatch confirmed triggers.
+        let records = self
+            .supervisor
+            .tick(now)
+            .expect("harness time advances monotonically");
+        for record in records {
+            self.engine
+                .note_action(&record.outcome, self.supervisor.landscape(), now);
+            self.metrics.actions.push(record);
+        }
+
+        // Self-healing outcomes of confirmed failures: detection latency
+        // against the ground-truth clock, MTTR, lost work. A confirmed
+        // server that was in fact healthy is a false positive — it was
+        // quarantined by the recovery path and re-certifies after a
+        // repair-length check.
+        for recovery in self.supervisor.drain_recoveries() {
+            let failed_at = match recovery.subject {
+                Subject::Server(server) => {
+                    let failed_at = self.down_servers.get(&server).copied();
+                    match failed_at {
+                        Some(failed_at) => {
+                            self.metrics.detections += 1;
+                            self.metrics.detection_latency_secs += now.since(failed_at).as_secs();
+                        }
+                        None => self
+                            .pending_repairs
+                            .push((now + self.failures.repair_after, server)),
+                    }
+                    failed_at
+                }
+                Subject::Instance(instance) => {
+                    let failed_at = self.crashed_instances.remove(&instance);
+                    if let Some(failed_at) = failed_at {
+                        self.metrics.detections += 1;
+                        self.metrics.detection_latency_secs += now.since(failed_at).as_secs();
+                    }
+                    failed_at
+                }
+                Subject::Service(_) => None,
+            }
+            .unwrap_or(now);
+            self.metrics.recoveries += recovery.outcome.recovered.len();
+            self.metrics.recovery_time_secs +=
+                now.since(failed_at).as_secs() * recovery.outcome.recovered.len() as u64;
+            self.metrics.lost_instances += recovery.outcome.lost.len();
+            for (old_instance, service) in recovery.outcome.lost {
+                self.restart_queue.push((service, old_instance, failed_at));
+            }
+        }
+        for event in self.supervisor.drain_heartbeat_events() {
+            match event {
+                HeartbeatEvent::Suspected { .. } => self.metrics.suspected_failures += 1,
+                HeartbeatEvent::Reconciled { .. } => self.metrics.reconciliations += 1,
+                // Confirmations were accounted through the recovery records.
+                HeartbeatEvent::Confirmed { .. } => {}
+            }
+        }
+
+        // Retry restarts of lost instances; entries stay queued until a
+        // feasible host exists (e.g. their only possible host repairs).
+        let mut still_lost = Vec::new();
+        for (service, old_instance, failed_at) in std::mem::take(&mut self.restart_queue) {
+            match self.supervisor.retry_restart(service, old_instance, now) {
+                Some(_) => {
+                    self.metrics.recoveries += 1;
+                    self.metrics.lost_instances -= 1;
+                    self.metrics.recovery_time_secs += now.since(failed_at).as_secs();
+                }
+                None => still_lost.push((service, old_instance, failed_at)),
+            }
+        }
+        self.restart_queue = still_lost;
+
+        // Substrate events: completions were counted from the tick's return
+        // value, everything else feeds the chaos columns.
+        for event in self.supervisor.drain_execution_events() {
+            match event {
+                ExecutionEvent::Completed { .. } => {}
+                ExecutionEvent::Retried { .. } => self.metrics.exec_retries += 1,
+                ExecutionEvent::TimedOut { .. } => self.metrics.exec_timeouts += 1,
+                ExecutionEvent::FencedLateSuccess { .. }
+                | ExecutionEvent::FencedStaleEpoch { .. } => self.metrics.exec_fenced += 1,
+                ExecutionEvent::Abandoned { .. } => self.metrics.exec_compensations += 1,
+            }
+        }
+        for event in self.supervisor.drain_events() {
+            if matches!(event, ControllerEvent::AdministratorAlert { .. }) {
+                self.metrics.alerts += 1;
+            }
+        }
+
+        // Entries whose instance was removed by other means (a host-level
+        // recovery, a controller stop) can never be confirmed — drop them.
+        let landscape = self.supervisor.landscape();
+        self.crashed_instances
+            .retain(|i, _| landscape.instance(*i).is_ok());
+    }
+
+    /// Sever every session on a failed instance; the stranded users count
+    /// as lost sessions (they must re-login once capacity recovers).
+    fn sever_sessions(&mut self, instance: InstanceId) {
+        self.metrics.lost_sessions += self
+            .engine
+            .sever_sessions(self.supervisor.landscape(), instance);
+    }
+
+    /// Run to completion and return the metrics.
+    pub fn run(mut self) -> Metrics {
+        let ticks = self.duration.as_secs() / self.tick.as_secs().max(1);
+        for _ in 0..ticks {
+            self.step();
+        }
+        self.metrics.duration = self.duration;
+        self.metrics
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +592,72 @@ mod tests {
         assert_eq!(a.actions, b.actions);
         assert_eq!(a.overload_secs, b.overload_secs);
         assert_eq!(a.total_demand.to_bits(), b.total_demand.to_bits());
+    }
+
+    fn chaos_config(hours: u64) -> SimConfig {
+        use autoglobe_controller::ExecutorConfig;
+        use autoglobe_simulator::HeartbeatDetection;
+        config(hours)
+            .with_failures(FailureInjection {
+                instance_crash_per_hour: 0.03,
+                server_failure_per_hour: 0.06,
+                repair_after: SimDuration::from_hours(1),
+            })
+            .with_execution(ExecutorConfig {
+                min_latency: SimDuration::from_secs(30),
+                max_latency: SimDuration::from_minutes(3),
+                timeout: SimDuration::from_minutes(2),
+                failure_probability: 0.1,
+                ..ExecutorConfig::reliable()
+            })
+            .with_heartbeats(HeartbeatDetection {
+                miss_threshold: 3,
+                confirm_after: 2,
+                loss_probability: 0.01,
+            })
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic() {
+        let run = |_: u32| {
+            ChaosRun::new(
+                build_environment(Scenario::ConstrainedMobility),
+                &chaos_config(12),
+            )
+            .run()
+        };
+        let a = run(0);
+        let b = run(1);
+        assert_eq!(a.actions, b.actions);
+        assert_eq!(a.failures, b.failures);
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.detection_latency_secs, b.detection_latency_secs);
+        assert_eq!(a.recoveries, b.recoveries);
+        assert_eq!(a.lost_sessions.to_bits(), b.lost_sessions.to_bits());
+    }
+
+    #[test]
+    fn chaos_run_detects_and_recovers_from_injected_failures() {
+        let metrics = ChaosRun::new(
+            build_environment(Scenario::ConstrainedMobility),
+            &chaos_config(24),
+        )
+        .run();
+        assert!(metrics.failures > 0, "the dice must roll failures in 24h");
+        assert!(
+            metrics.detections > 0,
+            "confirmed silences must be detected ({} failures)",
+            metrics.failures
+        );
+        assert!(
+            metrics.recoveries > 0,
+            "the self-healing path must restart instances"
+        );
+        assert!(
+            metrics.detection_latency_secs > 0,
+            "heartbeat detection takes miss+confirm ticks, never zero"
+        );
+        assert!(metrics.repairs > 0, "downed hosts must rejoin after 1h");
     }
 
     #[test]

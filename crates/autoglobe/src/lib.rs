@@ -56,9 +56,9 @@
 //!     supervisor.record_server(blade, t, 0.95, 0.5);
 //!     supervisor.record_instance(instance, t, 0.95);
 //!     supervisor.record_service(fi, t, 0.95);
-//!     supervisor.beat(Subject::Instance(instance), t);
-//!     executed.extend(supervisor.tick(t));
-//!     executed.extend(supervisor.poll(t));
+//!     supervisor.beat(Subject::Instance(instance), t).unwrap();
+//!     executed.extend(supervisor.tick(t).unwrap());
+//!     executed.extend(supervisor.poll(t).unwrap());
 //! }
 //!
 //! // The controller added capacity on the idle big host — here by scaling
@@ -80,14 +80,21 @@ pub use autoglobe_monitor as monitor;
 pub use autoglobe_simulator as simulator;
 
 pub mod harness;
+pub mod sharded;
 pub mod supervisor;
 
-pub use harness::SupervisedRun;
+pub use harness::{ChaosRun, SupervisedRun};
+pub use sharded::{
+    Lease, PlaneEvent, ShardChaos, ShardRecoveryStats, ShardedControlPlane, ShardedRun,
+};
 pub use supervisor::{Supervisor, SupervisorConfig};
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::harness::SupervisedRun;
+    pub use crate::harness::{ChaosRun, SupervisedRun};
+    pub use crate::sharded::{
+        Lease, PlaneEvent, ShardChaos, ShardRecoveryStats, ShardedControlPlane, ShardedRun,
+    };
     pub use crate::supervisor::{Supervisor, SupervisorConfig};
     pub use autoglobe_controller::{
         ActionExecutor, ActionRecord, AutoGlobeController, ControllerConfig, ControllerEvent,

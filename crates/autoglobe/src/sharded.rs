@@ -1,0 +1,1375 @@
+//! The sharded, self-healing control plane: N [`Supervisor`] replicas, a
+//! lease table with epoch fencing, and deterministic failover.
+//!
+//! # Model
+//!
+//! The landscape is partitioned into `shards` by the explicit, deterministic
+//! [`ShardMap`] (hash-by-id, see `autoglobe-landscape`). Each shard has an
+//! *owner*: one of N supervisor replicas, recorded in a [`Lease`] carrying a
+//! monotonically increasing epoch. Every replica receives **all**
+//! measurements and applies them to its own full copy of the landscape —
+//! state machine replication, not state partitioning — so each replica's
+//! monitoring derives the identical confirmed-trigger stream. The plane
+//! takes that stream from the lowest live replica (the *canonical* one) and
+//! brokers each dispatch through the lease table: only the shard's current
+//! lease holder plans and executes the trigger, stamped with the lease
+//! epoch, and every resulting [`ActionRecord`] is replayed onto the other
+//! replicas ([`Supervisor::apply_remote`]) to keep them in lockstep.
+//!
+//! # Failure of a shard owner
+//!
+//! Supervisors heartbeat each other through the existing
+//! [`HeartbeatMonitor`]: every plane tick each live supervisor beats a
+//! plane-private monitor, and a supervisor that falls silent goes through
+//! the same suspect → confirm protocol as any watched server. When an owner
+//! is *confirmed* dead:
+//!
+//! 1. the global epoch increments, and every shard the dead supervisor
+//!    owned is re-adopted by the deterministic successor — the lowest live
+//!    supervisor id — under a fresh [`Lease`] at the new epoch;
+//! 2. the dead owner's execution substrate is fenced below the new epoch
+//!    ([`Supervisor::fence_stale_epochs`]): its in-flight actions are
+//!    discarded as [`ExecutionEvent::FencedStaleEpoch`], and even a
+//!    *revived* old owner that later tries to settle work finds every
+//!    operation stamped with a stale epoch refused at poll time — no ghost
+//!    moves;
+//! 3. the successor watch-adopts every subject of the shard that has ever
+//!    heartbeated the plane, so a server that was already silent when the
+//!    old owner died still accrues misses with the new owner and its
+//!    failure is confirmed after the usual detection window.
+//!
+//! Triggers for a shard whose lease still points at a dead-but-unconfirmed
+//! owner are dropped (and counted): the shard is headless for the detection
+//! window, and monitoring re-raises the trigger once a live owner holds the
+//! lease — the paper's watch-time confirmation makes the re-raise cheap.
+//!
+//! With `shards = 1` the plane is a single supervisor driven through the
+//! same code path, bit-identical to [`SupervisedRun`](crate::harness)
+//! (test-enforced); at any shard count the paper scenarios (reliable
+//! executor, no failures) produce byte-identical results because planning
+//! is deterministic over replicated state.
+
+use crate::supervisor::{PendingTrigger, RecoveryRecord, Supervisor, SupervisorConfig};
+use autoglobe_controller::{ActionRecord, ControllerEvent, ExecutionEvent};
+use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId, ShardId, ShardMap};
+use autoglobe_monitor::{
+    HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor, SimDuration, SimTime, Subject,
+};
+use autoglobe_pool as pool;
+use autoglobe_rng::{splitmix64, Rng};
+use autoglobe_simulator::sap::SapEnvironment;
+use autoglobe_simulator::{Metrics, SimConfig, WorkloadEngine};
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::supervisor::SupervisorError;
+
+/// Seed domain separating the derived executor streams of secondary
+/// replicas from the primary's configured seed.
+const REPLICA_SEED_DOMAIN: u64 = 0x5EED_5A4D_0003;
+
+/// A shard ownership lease: who may act for the shard, and under which
+/// coordination epoch. Epochs only ever increase; an action stamped with an
+/// older epoch than the shard's current lease is stale by definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// Index of the supervisor replica holding the lease.
+    pub owner: usize,
+    /// The epoch the lease was issued under.
+    pub epoch: u64,
+}
+
+/// Coordination-layer events: owner liveness transitions and shard
+/// re-adoptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaneEvent {
+    /// A shard owner missed enough plane heartbeats to be suspected.
+    OwnerSuspected {
+        /// The silent supervisor's index.
+        supervisor: usize,
+        /// When the suspicion was raised.
+        time: SimTime,
+    },
+    /// A shard owner's silence survived the confirmation window; its leases
+    /// are revoked and its shards re-adopted.
+    OwnerConfirmed {
+        /// The confirmed-dead supervisor's index.
+        supervisor: usize,
+        /// When the failure was confirmed.
+        time: SimTime,
+    },
+    /// A shard moved to its deterministic successor under a fresh epoch.
+    ShardReadopted {
+        /// The re-adopted shard.
+        shard: ShardId,
+        /// The dead previous owner.
+        from: usize,
+        /// The successor (lowest live supervisor index).
+        to: usize,
+        /// The new lease epoch.
+        epoch: u64,
+        /// When the re-adoption happened.
+        time: SimTime,
+    },
+    /// A confirmed trigger addressed a shard whose lease still points at a
+    /// dead-but-unconfirmed owner; it was dropped and will be re-raised by
+    /// monitoring once the shard has a live owner.
+    TriggerDropped {
+        /// The headless shard.
+        shard: ShardId,
+        /// The trigger's subject.
+        subject: Subject,
+        /// When the trigger was dropped.
+        time: SimTime,
+    },
+}
+
+/// One supervisor replica plus its plane-side bookkeeping.
+#[derive(Debug)]
+struct ShardWorker {
+    supervisor: Supervisor,
+    alive: bool,
+    inbox_beats: Vec<(Subject, SimTime)>,
+    scratch_triggers: Vec<PendingTrigger>,
+}
+
+/// Everything one [`ShardedControlPlane::tick`] produced.
+#[derive(Debug, Default)]
+pub struct PlaneTickReport {
+    /// Actions completed this tick, in canonical dispatch order (already
+    /// applied to every live replica).
+    pub executed: Vec<ActionRecord>,
+    /// Coordination events (suspicions, confirmations, re-adoptions,
+    /// dropped triggers).
+    pub events: Vec<PlaneEvent>,
+    /// Self-healing outcomes of subject failures confirmed by shard owners
+    /// this tick (already replayed onto every live replica).
+    pub recoveries: Vec<RecoveryRecord>,
+    /// In-flight operations of deposed owners fenced this tick.
+    pub fenced: usize,
+    /// Triggers dropped because their shard was headless.
+    pub dropped_triggers: usize,
+}
+
+/// The sharded control plane (see the module docs for the model).
+#[derive(Debug)]
+pub struct ShardedControlPlane {
+    workers: Vec<ShardWorker>,
+    map: ShardMap,
+    leases: Vec<Lease>,
+    epoch: u64,
+    /// Plane-private liveness monitor; supervisor `i` appears as
+    /// `Subject::Server(ServerId::new(i))` (the ids are unrelated to the
+    /// landscape's servers — this monitor watches supervisors).
+    liveness: HeartbeatMonitor,
+    /// Every subject that has ever heartbeated through the plane, so a
+    /// successor knows what to watch-adopt.
+    beated: BTreeSet<Subject>,
+    /// Measurements buffered since the last tick, in arrival order; every
+    /// live replica applies the full stream at the next tick.
+    measurements: Vec<(Subject, SimTime, f64, f64)>,
+    /// The authoritative controller-event stream (one copy per event, in
+    /// plane order — replica replays are drained and discarded).
+    controller_events: Vec<ControllerEvent>,
+    jobs: usize,
+    last_now: Option<SimTime>,
+}
+
+impl ShardedControlPlane {
+    /// Shard `landscape` into `shards` partitions, each owned by its own
+    /// supervisor replica built from `config`. Replica 0 keeps
+    /// `config.executor_seed`; the others derive disjoint executor streams
+    /// via splitmix64, so a fallible substrate stays deterministic per
+    /// replica without the streams colliding.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero or `config` fails validation.
+    pub fn new(landscape: Landscape, shards: usize, config: SupervisorConfig) -> Self {
+        let map = ShardMap::new(&landscape, shards);
+        let workers: Vec<ShardWorker> = (0..shards)
+            .map(|i| {
+                let mut worker_config = config.clone();
+                if i > 0 {
+                    let mut state = config.executor_seed ^ REPLICA_SEED_DOMAIN ^ (i as u64);
+                    worker_config.executor_seed = splitmix64(&mut state);
+                }
+                ShardWorker {
+                    supervisor: Supervisor::with_config(landscape.clone(), worker_config),
+                    alive: true,
+                    inbox_beats: Vec::new(),
+                    scratch_triggers: Vec::new(),
+                }
+            })
+            .collect();
+        let mut liveness = HeartbeatMonitor::new(HeartbeatConfig::default());
+        for i in 0..shards {
+            liveness.watch(Subject::Server(ServerId::new(i as u32)));
+        }
+        ShardedControlPlane {
+            workers,
+            leases: (0..shards).map(|i| Lease { owner: i, epoch: 0 }).collect(),
+            map,
+            epoch: 0,
+            liveness,
+            beated: BTreeSet::new(),
+            measurements: Vec::new(),
+            controller_events: Vec::new(),
+            jobs: shards,
+            last_now: None,
+        }
+    }
+
+    /// Cap the scoped-thread fan-out of the per-replica interval close.
+    /// Output-neutral: replicas are independent, so any width produces
+    /// bit-identical results (CI-enforced).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Number of shards (== number of supervisor replicas).
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The current global coordination epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The lease currently covering `shard`.
+    pub fn lease(&self, shard: ShardId) -> Lease {
+        self.leases[shard]
+    }
+
+    /// Whether supervisor `i` is live.
+    pub fn is_alive(&self, i: usize) -> bool {
+        self.workers.get(i).map(|w| w.alive).unwrap_or(false)
+    }
+
+    /// Index of the canonical replica: the lowest live supervisor. Its
+    /// trigger stream is the global one (all replicas derive identical
+    /// streams), and it is the deterministic successor for orphaned shards.
+    pub fn canonical(&self) -> usize {
+        self.workers
+            .iter()
+            .position(|w| w.alive)
+            .expect("at least one supervisor is always live")
+    }
+
+    /// The canonical replica's landscape (all live replicas are identical).
+    pub fn landscape(&self) -> &Landscape {
+        self.workers[self.canonical()].supervisor.landscape()
+    }
+
+    /// Direct access to replica `i`'s supervisor (inspection / tests).
+    pub fn supervisor(&self, i: usize) -> &Supervisor {
+        &self.workers[i].supervisor
+    }
+
+    /// Kill supervisor `i` (crash-stop: it stops heartbeating the plane and
+    /// is excluded from all future work). Its leases stay in place until
+    /// the plane *confirms* the death — that window is exactly the
+    /// detection latency the shardchaos experiment measures. Refuses to
+    /// kill the last live supervisor (the plane would be headless forever)
+    /// and returns whether the kill took effect.
+    pub fn kill(&mut self, i: usize) -> bool {
+        let live = self.workers.iter().filter(|w| w.alive).count();
+        match self.workers.get_mut(i) {
+            Some(w) if w.alive && live > 1 => {
+                w.alive = false;
+                w.inbox_beats.clear();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Buffer a server measurement for every live replica.
+    pub fn record_server(&mut self, server: ServerId, time: SimTime, cpu: f64, mem: f64) {
+        self.measurements
+            .push((Subject::Server(server), time, cpu, mem));
+    }
+
+    /// Buffer a service measurement for every live replica.
+    pub fn record_service(&mut self, service: ServiceId, time: SimTime, cpu: f64) {
+        self.measurements
+            .push((Subject::Service(service), time, cpu, 0.0));
+    }
+
+    /// Buffer an instance measurement for every live replica.
+    pub fn record_instance(&mut self, instance: InstanceId, time: SimTime, cpu: f64) {
+        self.measurements
+            .push((Subject::Instance(instance), time, cpu, 0.0));
+    }
+
+    /// Route a liveness signal to the owner of the subject's shard. A beat
+    /// whose owner is dead-but-unconfirmed is lost — exactly like a
+    /// heartbeat sent to a crashed coordinator — until the shard's
+    /// successor adopts the watch. Returns false for a subject the
+    /// landscape does not know (the beat is fenced).
+    pub fn beat(&mut self, subject: Subject, now: SimTime) -> bool {
+        let Some(shard) = self.shard_of_subject(subject) else {
+            return false;
+        };
+        self.beated.insert(subject);
+        let owner = self.leases[shard].owner;
+        if self.workers[owner].alive {
+            self.workers[owner].inbox_beats.push((subject, now));
+        }
+        true
+    }
+
+    /// The shard responsible for `subject`. Instances belong to their host
+    /// server's shard; `None` when the subject has left the landscape.
+    pub fn shard_of_subject(&self, subject: Subject) -> Option<ShardId> {
+        let landscape = self.landscape();
+        match subject {
+            Subject::Server(s) => landscape.server(s).ok().map(|_| self.map.shard_of(s)),
+            Subject::Service(s) => landscape
+                .service(s)
+                .ok()
+                .map(|_| self.map.shard_of_service(s)),
+            Subject::Instance(i) => landscape
+                .instance(i)
+                .ok()
+                .map(|inst| self.map.shard_of(inst.server)),
+        }
+    }
+
+    /// Mark a server (un)available on every live replica — the harness's
+    /// failure-injection hook, mirroring the simulator's oracle.
+    pub fn set_server_available(&mut self, server: ServerId, available: bool) {
+        for w in self.workers.iter_mut().filter(|w| w.alive) {
+            w.supervisor
+                .landscape_mut()
+                .set_available(server, available)
+                .expect("replicas agree on the server set");
+        }
+    }
+
+    /// Broadcast a repair to every live replica; the canonical replica's
+    /// `Repaired` event (if any) is kept as the authoritative copy.
+    pub fn report_server_repaired(&mut self, server: ServerId, now: SimTime) -> bool {
+        let canonical = self.canonical();
+        let mut repaired = false;
+        for i in 0..self.workers.len() {
+            if !self.workers[i].alive {
+                continue;
+            }
+            let outcome = self.workers[i]
+                .supervisor
+                .report_server_repaired(server, now)
+                .expect("replicas agree on the server set");
+            let events = self.workers[i].supervisor.drain_events();
+            if i == canonical {
+                repaired = outcome.is_some();
+                self.controller_events.extend(events);
+            }
+        }
+        repaired
+    }
+
+    /// Broadcast a restart retry for a lost instance to every live replica
+    /// (deterministic planning over identical state picks the same host on
+    /// each). Returns the canonical replica's result.
+    pub fn retry_restart(
+        &mut self,
+        service: ServiceId,
+        old_instance: InstanceId,
+        now: SimTime,
+    ) -> Option<(InstanceId, ServerId)> {
+        let canonical = self.canonical();
+        let mut result = None;
+        for i in 0..self.workers.len() {
+            if !self.workers[i].alive {
+                continue;
+            }
+            let outcome = self.workers[i]
+                .supervisor
+                .retry_restart(service, old_instance, now);
+            let events = self.workers[i].supervisor.drain_events();
+            if i == canonical {
+                result = outcome;
+                self.controller_events.extend(events);
+            } else {
+                debug_assert_eq!(outcome, result, "replicas diverged on a restart retry");
+            }
+        }
+        result
+    }
+
+    /// Drain the authoritative controller-event stream (owner-side planning
+    /// and failure events, one copy each, in plane order).
+    pub fn drain_controller_events(&mut self) -> Vec<ControllerEvent> {
+        std::mem::take(&mut self.controller_events)
+    }
+
+    /// Drain every replica's execution-substrate log, dead replicas
+    /// included, tagged with the replica index — the fencing property tests
+    /// audit this for double applies.
+    pub fn drain_all_execution_events(&mut self) -> Vec<(usize, ExecutionEvent)> {
+        let mut out = Vec::new();
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            for event in w.supervisor.drain_execution_events() {
+                out.push((i, event));
+            }
+        }
+        out
+    }
+
+    fn advance_clock(&mut self, now: SimTime) -> Result<(), SupervisorError> {
+        if let Some(last) = self.last_now {
+            if now < last {
+                return Err(SupervisorError::NonMonotonicTime { now, last });
+            }
+        }
+        self.last_now = Some(now);
+        Ok(())
+    }
+
+    /// Indices of the live replicas, ascending.
+    fn live(&self) -> Vec<usize> {
+        (0..self.workers.len())
+            .filter(|&i| self.workers[i].alive)
+            .collect()
+    }
+
+    /// Apply `record` to every live replica except `source`.
+    fn replicate(&mut self, record: &ActionRecord, source: usize) {
+        for i in 0..self.workers.len() {
+            if i != source && self.workers[i].alive {
+                self.workers[i]
+                    .supervisor
+                    .apply_remote(record)
+                    .expect("replicas apply owner-executed actions in lockstep");
+            }
+        }
+    }
+
+    /// One plane tick (see the module docs): owner liveness + succession,
+    /// the parallel per-replica interval close, settle/recovery
+    /// replication, and the canonical trigger stream brokered through the
+    /// lease table.
+    pub fn tick(&mut self, now: SimTime) -> Result<PlaneTickReport, SupervisorError> {
+        self.advance_clock(now)?;
+        let mut report = PlaneTickReport::default();
+
+        // ---- 1. Supervisor liveness: every live replica beats the plane
+        // monitor; confirmed silence triggers deterministic succession.
+        for i in 0..self.workers.len() {
+            if self.workers[i].alive {
+                self.liveness
+                    .beat(Subject::Server(ServerId::new(i as u32)), now);
+            }
+        }
+        for event in self.liveness.tick(now) {
+            let (subject, time) = (event.subject(), event.time());
+            let Subject::Server(id) = subject else {
+                continue;
+            };
+            let supervisor = id.index();
+            match event {
+                HeartbeatEvent::Suspected { .. } => {
+                    report
+                        .events
+                        .push(PlaneEvent::OwnerSuspected { supervisor, time });
+                }
+                HeartbeatEvent::Confirmed { .. } => {
+                    report
+                        .events
+                        .push(PlaneEvent::OwnerConfirmed { supervisor, time });
+                    report.fenced += self.succeed(supervisor, now, &mut report.events);
+                }
+                HeartbeatEvent::Reconciled { .. } => {}
+            }
+        }
+
+        // ---- 2. Parallel measurement fan-in: every live replica applies
+        // the full buffered measurement stream and its routed beats.
+        // Replicas are independent here, so any fan-out width produces
+        // identical results.
+        let measurements = std::mem::take(&mut self.measurements);
+        pool::parallel_chunks_mut(self.jobs, &mut self.workers, |_, chunk| {
+            for w in chunk.iter_mut().filter(|w| w.alive) {
+                for &(subject, time, cpu, mem) in &measurements {
+                    match subject {
+                        Subject::Server(s) => w.supervisor.record_server(s, time, cpu, mem),
+                        Subject::Service(s) => w.supervisor.record_service(s, time, cpu),
+                        Subject::Instance(i) => w.supervisor.record_instance(i, time, cpu),
+                    }
+                }
+                for (subject, time) in std::mem::take(&mut w.inbox_beats) {
+                    w.supervisor
+                        .beat(subject, time)
+                        .expect("the plane routes monotonic beats");
+                }
+            }
+        });
+
+        // ---- 3/4. Sequential interval close, ascending replica order:
+        // close replica i's monitoring interval (which settles its earlier
+        // dispatches and runs its heartbeat self-healing), then immediately
+        // replicate those mutations — settled actions via `apply_remote`,
+        // confirmed failures via `replay_failure` — to every other live
+        // replica before the next replica closes its own interval. The
+        // strict order matters for more than tidiness: landscape mutations
+        // allocate instance ids sequentially, so all replicas must apply
+        // the same tick's mutations in one global order. Were each owner
+        // to close in parallel, two owners mutating in the same tick would
+        // each apply their own mutation first and the other's second,
+        // swapping the allocation order and forking the replicas' id
+        // spaces.
+        let live = self.live();
+        for &i in &live {
+            let (completed, triggers) = self.workers[i]
+                .supervisor
+                .tick_collect(now)
+                .expect("the plane clock is monotonic");
+            self.workers[i].scratch_triggers = triggers;
+            for record in completed {
+                self.replicate(&record, i);
+                report.executed.push(record);
+            }
+            let events = self.workers[i].supervisor.drain_events();
+            self.controller_events.extend(events);
+            // Replay owner-confirmed subject failures on the other replicas
+            // (deterministic recovery over identical state), draining and
+            // discarding the replicas' duplicate event copies.
+            for rec in self.workers[i].supervisor.drain_recoveries() {
+                for &j in &live {
+                    if j != i {
+                        self.workers[j]
+                            .supervisor
+                            .replay_failure(rec.subject, rec.time);
+                        self.workers[j].supervisor.drain_recoveries();
+                        self.workers[j].supervisor.drain_events();
+                    }
+                }
+                report.recoveries.push(rec);
+            }
+        }
+
+        // ---- 5. The canonical trigger stream, brokered through the lease
+        // table: the owner stamps the lease epoch, plans, dispatches; every
+        // completion is replicated. Headless shards drop (and count) their
+        // triggers — monitoring re-raises them under the next owner.
+        let canonical = self.canonical();
+        let triggers = std::mem::take(&mut self.workers[canonical].scratch_triggers);
+        for &i in &live {
+            self.workers[i].scratch_triggers.clear();
+        }
+        for trigger in triggers {
+            let Some(shard) = self.shard_of_subject(trigger.event.subject) else {
+                continue;
+            };
+            let lease = self.leases[shard];
+            if !self.workers[lease.owner].alive {
+                report.dropped_triggers += 1;
+                report.events.push(PlaneEvent::TriggerDropped {
+                    shard,
+                    subject: trigger.event.subject,
+                    time: now,
+                });
+                continue;
+            }
+            let owner = lease.owner;
+            self.workers[owner]
+                .supervisor
+                .set_execution_epoch(lease.epoch);
+            let records = self.workers[owner]
+                .supervisor
+                .dispatch_trigger(trigger, now)
+                .expect("the plane clock is monotonic");
+            for record in records {
+                self.replicate(&record, owner);
+                report.executed.push(record);
+            }
+            let events = self.workers[owner].supervisor.drain_events();
+            self.controller_events.extend(events);
+        }
+
+        Ok(report)
+    }
+
+    /// Settle in-flight operations on every live replica's substrate and
+    /// replicate whatever completed (only shard owners ever have in-flight
+    /// work). Returns the completed actions in ascending-replica order.
+    pub fn poll(&mut self, now: SimTime) -> Result<Vec<ActionRecord>, SupervisorError> {
+        self.advance_clock(now)?;
+        let mut executed = Vec::new();
+        for i in self.live() {
+            let records = self.workers[i]
+                .supervisor
+                .poll(now)
+                .expect("the plane clock is monotonic");
+            for record in records {
+                self.replicate(&record, i);
+                executed.push(record);
+            }
+            let events = self.workers[i].supervisor.drain_events();
+            self.controller_events.extend(events);
+        }
+        Ok(executed)
+    }
+
+    /// Deterministic succession for a confirmed-dead supervisor: bump the
+    /// global epoch, move every lease it held to the lowest live replica,
+    /// watch-adopt the shard's heartbeating subjects, and fence the dead
+    /// owner's in-flight work below the new epoch. Returns the number of
+    /// fenced operations.
+    fn succeed(&mut self, dead: usize, now: SimTime, events: &mut Vec<PlaneEvent>) -> usize {
+        let orphaned: Vec<ShardId> = (0..self.leases.len())
+            .filter(|&s| self.leases[s].owner == dead)
+            .collect();
+        if orphaned.is_empty() {
+            return 0;
+        }
+        self.epoch += 1;
+        let successor = self.canonical();
+        for &shard in &orphaned {
+            self.leases[shard] = Lease {
+                owner: successor,
+                epoch: self.epoch,
+            };
+            events.push(PlaneEvent::ShardReadopted {
+                shard,
+                from: dead,
+                to: successor,
+                epoch: self.epoch,
+                time: now,
+            });
+            let adopt: Vec<Subject> = self
+                .beated
+                .iter()
+                .copied()
+                .filter(|&s| self.shard_of_subject(s) == Some(shard))
+                .collect();
+            for subject in adopt {
+                self.workers[successor].supervisor.watch(subject);
+            }
+        }
+        self.workers[dead]
+            .supervisor
+            .fence_stale_epochs(self.epoch, now)
+            .len()
+    }
+}
+
+/// Chaos-injection knobs for a [`ShardedRun`]: ground-truth server failures
+/// plus a schedule of shard-owner kills.
+#[derive(Debug, Clone)]
+pub struct ShardChaos {
+    /// Probability of a host failing, per server per simulated hour.
+    pub server_failure_per_hour: f64,
+    /// How long a failed host stays down before it is repaired.
+    pub repair_after: SimDuration,
+    /// Fractions of the horizon at which the lowest live supervisor is
+    /// killed (e.g. `[0.35, 0.65]` kills two owners mid-run). Kills that
+    /// would leave the plane headless are refused and simply don't happen.
+    pub kill_fracs: Vec<f64>,
+}
+
+impl ShardChaos {
+    /// No failures, no kills — the plane under ideal paper conditions.
+    pub fn none() -> Self {
+        ShardChaos {
+            server_failure_per_hour: 0.0,
+            repair_after: SimDuration::from_hours(1),
+            kill_fracs: Vec::new(),
+        }
+    }
+}
+
+/// Recovery metrics of one [`ShardedRun`] — the `shard_recovery.csv`
+/// columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardRecoveryStats {
+    /// Ground-truth server failures injected.
+    pub failures_injected: usize,
+    /// Server failures confirmed through an owner's heartbeat path.
+    pub detections: usize,
+    /// Total seconds from injection to confirmation, over all detections.
+    pub detection_secs: u64,
+    /// Shard owners killed.
+    pub owner_kills: usize,
+    /// Owner kills the plane confirmed.
+    pub owner_detections: usize,
+    /// Total seconds from kill to plane confirmation.
+    pub owner_detection_secs: u64,
+    /// Shards re-adopted by a successor.
+    pub readoptions: usize,
+    /// Total seconds from the owner's kill to each shard's re-adoption.
+    pub readoption_secs: u64,
+    /// In-flight operations fenced with a stale epoch.
+    pub fenced_ops: usize,
+    /// Triggers dropped while their shard was headless.
+    pub dropped_triggers: usize,
+    /// Instances the self-healing path restarted elsewhere.
+    pub recovered_instances: usize,
+    /// Instances lost for lack of capacity (queued for retry).
+    pub lost_instances: usize,
+    /// Lost restarts later satisfied by a retry.
+    pub retried_restarts: usize,
+    /// Hosts repaired and returned to the pool.
+    pub repairs: usize,
+    /// Sessions severed by host failures.
+    pub lost_sessions: f64,
+}
+
+impl ShardRecoveryStats {
+    /// Mean seconds from server-failure injection to confirmation.
+    pub fn mean_detection_secs(&self) -> f64 {
+        if self.detections == 0 {
+            0.0
+        } else {
+            self.detection_secs as f64 / self.detections as f64
+        }
+    }
+
+    /// Mean seconds from an owner kill to the plane confirming it.
+    pub fn mean_owner_detection_secs(&self) -> f64 {
+        if self.owner_detections == 0 {
+            0.0
+        } else {
+            self.owner_detection_secs as f64 / self.owner_detections as f64
+        }
+    }
+
+    /// Mean seconds from an owner kill to each of its shards being
+    /// re-adopted (the plane re-adopts in the same tick it confirms, so
+    /// this equals the detection latency under the default protocol).
+    pub fn mean_readoption_secs(&self) -> f64 {
+        if self.readoptions == 0 {
+            0.0
+        } else {
+            self.readoption_secs as f64 / self.readoptions as f64
+        }
+    }
+}
+
+/// The paper's SAP workload driven through a [`ShardedControlPlane`], with
+/// optional ground-truth chaos: host failures detected through the owners'
+/// heartbeat paths, and shard-owner kills that exercise lease succession
+/// and epoch fencing. With [`ShardChaos::none`] and one shard this is
+/// bit-identical to [`SupervisedRun`](crate::harness::SupervisedRun)
+/// (test-enforced).
+pub struct ShardedRun {
+    plane: ShardedControlPlane,
+    engine: WorkloadEngine,
+    rng: Rng,
+    metrics: Metrics,
+    time: SimTime,
+    tick: SimDuration,
+    duration: SimDuration,
+    chaos: ShardChaos,
+    fail_per_tick: f64,
+    down: BTreeSet<ServerId>,
+    dead_instances: BTreeSet<InstanceId>,
+    repairs_due: Vec<(SimTime, ServerId)>,
+    restart_queue: Vec<(ServiceId, InstanceId)>,
+    failed_at: BTreeMap<ServerId, SimTime>,
+    kill_times: Vec<SimTime>,
+    killed_at: BTreeMap<usize, SimTime>,
+    /// Recovery metrics accumulated so far.
+    pub stats: ShardRecoveryStats,
+}
+
+impl ShardedRun {
+    /// Wire `env` to a `shards`-way control plane built from `supervisor`
+    /// config, with `jobs` capping the plane's scoped-thread fan-out.
+    ///
+    /// # Panics
+    /// Panics when `sim` fails validation or `shards` is zero.
+    pub fn new(
+        env: SapEnvironment,
+        sim: &SimConfig,
+        supervisor: SupervisorConfig,
+        shards: usize,
+        jobs: usize,
+        chaos: ShardChaos,
+    ) -> Self {
+        if let Err(e) = sim.validate() {
+            panic!("invalid simulation config: {e}");
+        }
+        let SapEnvironment {
+            landscape,
+            workloads,
+        } = env;
+        let engine = WorkloadEngine::new(&landscape, workloads, sim);
+        let metrics = Metrics {
+            scenario: Some(sim.scenario),
+            server_names: landscape
+                .server_ids()
+                .map(|id| landscape.server(id).unwrap().name.clone())
+                .collect(),
+            service_names: landscape
+                .service_ids()
+                .map(|id| landscape.service(id).unwrap().name.clone())
+                .collect(),
+            ..Metrics::default()
+        };
+        let fail_per_tick = chaos.server_failure_per_hour * sim.tick.as_secs() as f64 / 3600.0;
+        let kill_times: Vec<SimTime> = chaos
+            .kill_fracs
+            .iter()
+            .map(|f| {
+                SimTime::ZERO + SimDuration::from_secs((sim.duration.as_secs() as f64 * f) as u64)
+            })
+            .collect();
+        ShardedRun {
+            plane: ShardedControlPlane::new(landscape, shards, supervisor).with_jobs(jobs),
+            engine,
+            rng: Rng::seed_from_u64(sim.seed),
+            metrics,
+            time: SimTime::ZERO,
+            tick: sim.tick,
+            duration: sim.duration,
+            chaos,
+            fail_per_tick,
+            down: BTreeSet::new(),
+            dead_instances: BTreeSet::new(),
+            repairs_due: Vec::new(),
+            restart_queue: Vec::new(),
+            failed_at: BTreeMap::new(),
+            kill_times,
+            killed_at: BTreeMap::new(),
+            stats: ShardRecoveryStats::default(),
+        }
+    }
+
+    /// The plane (to inspect leases, epochs, replicas).
+    pub fn plane(&self) -> &ShardedControlPlane {
+        &self.plane
+    }
+
+    /// Mutable plane access (tests: kill owners directly, drain logs).
+    pub fn plane_mut(&mut self) -> &mut ShardedControlPlane {
+        &mut self.plane
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Advance one tick: workload model → measurement broadcast → chaos
+    /// injection → heartbeats → plane tick → session mirroring and recovery
+    /// accounting.
+    pub fn step(&mut self) {
+        self.time += self.tick;
+        let time = self.time;
+
+        // Workload model against the canonical replica's landscape;
+        // instances on failed-but-undetected hosts serve nothing.
+        let loads = self.engine.advance(
+            self.plane.landscape(),
+            &self.dead_instances,
+            time,
+            &mut self.rng,
+            &mut self.metrics,
+        );
+
+        // Measurements in — a dead box reports nothing.
+        let mut records: Vec<(Subject, f64, f64)> = Vec::new();
+        for (server, cpu, mem) in loads.server_entries() {
+            if !self.down.contains(&server) {
+                records.push((Subject::Server(server), cpu, mem));
+            }
+        }
+        for (service, cpu) in loads.service_entries() {
+            records.push((Subject::Service(service), cpu, 0.0));
+        }
+        for (instance, cpu) in loads.instance_entries() {
+            if !self.dead_instances.contains(&instance) {
+                records.push((Subject::Instance(instance), cpu, 0.0));
+            }
+        }
+        for (subject, cpu, mem) in records {
+            match subject {
+                Subject::Server(s) => self.plane.record_server(s, time, cpu, mem),
+                Subject::Service(s) => self.plane.record_service(s, time, cpu),
+                Subject::Instance(i) => self.plane.record_instance(i, time, cpu),
+            }
+        }
+
+        // Due repairs return hosts to the pool on every replica.
+        let due: Vec<ServerId> = self
+            .repairs_due
+            .iter()
+            .filter(|(at, _)| *at <= time)
+            .map(|&(_, s)| s)
+            .collect();
+        self.repairs_due.retain(|(at, _)| *at > time);
+        for server in due {
+            self.down.remove(&server);
+            self.failed_at.remove(&server);
+            self.plane.report_server_repaired(server, time);
+            self.stats.repairs += 1;
+        }
+
+        // Ground-truth host failures (ascending server ids, one die each —
+        // the draw order is pinned so runs reproduce bit for bit).
+        if self.fail_per_tick > 0.0 {
+            let servers: Vec<ServerId> = self.plane.landscape().server_ids().collect();
+            for server in servers {
+                if self.down.contains(&server) {
+                    continue;
+                }
+                if self.rng.random_bool(self.fail_per_tick) {
+                    self.stats.failures_injected += 1;
+                    self.down.insert(server);
+                    self.failed_at.insert(server, time);
+                    self.repairs_due
+                        .push((time + self.chaos.repair_after, server));
+                    let residents = self.plane.landscape().instances_on(server);
+                    for instance in residents {
+                        let severed = self.engine.sever_sessions(self.plane.landscape(), instance);
+                        self.stats.lost_sessions += severed;
+                        self.metrics.lost_sessions += severed;
+                        self.dead_instances.insert(instance);
+                    }
+                    self.plane.set_server_available(server, false);
+                }
+            }
+        }
+
+        // The kill schedule takes down the lowest live supervisor — the
+        // canonical replica itself, the hardest owner to lose.
+        while self
+            .kill_times
+            .first()
+            .map(|&at| at <= time)
+            .unwrap_or(false)
+        {
+            self.kill_times.remove(0);
+            let victim = self.plane.canonical();
+            if self.plane.kill(victim) {
+                self.stats.owner_kills += 1;
+                self.killed_at.insert(victim, time);
+            }
+        }
+
+        // Liveness: every healthy host beats its shard owner.
+        let servers: Vec<ServerId> = self.plane.landscape().server_ids().collect();
+        for server in servers {
+            if !self.down.contains(&server) {
+                self.plane.beat(Subject::Server(server), time);
+            }
+        }
+
+        // One plane tick; then mirror and account for what it did.
+        let report = self
+            .plane
+            .tick(time)
+            .expect("the harness clock advances monotonically");
+        for record in report.executed {
+            self.engine
+                .note_action(&record.outcome, self.plane.landscape(), time);
+            self.metrics.actions.push(record);
+        }
+        for rec in report.recoveries {
+            if let Subject::Server(server) = rec.subject {
+                if let Some(at) = self.failed_at.remove(&server) {
+                    self.stats.detections += 1;
+                    self.stats.detection_secs += time.since(at).as_secs();
+                    self.metrics.detections += 1;
+                }
+            }
+            self.stats.recovered_instances += rec.outcome.recovered.len();
+            self.stats.lost_instances += rec.outcome.lost.len();
+            for &(instance, service) in &rec.outcome.lost {
+                self.restart_queue.push((service, instance));
+            }
+        }
+        for event in report.events {
+            match event {
+                PlaneEvent::OwnerConfirmed {
+                    supervisor,
+                    time: at,
+                } => {
+                    if let Some(&killed) = self.killed_at.get(&supervisor) {
+                        self.stats.owner_detections += 1;
+                        self.stats.owner_detection_secs += at.since(killed).as_secs();
+                    }
+                }
+                PlaneEvent::ShardReadopted { from, time: at, .. } => {
+                    self.stats.readoptions += 1;
+                    if let Some(&killed) = self.killed_at.get(&from) {
+                        self.stats.readoption_secs += at.since(killed).as_secs();
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.stats.fenced_ops += report.fenced;
+        self.stats.dropped_triggers += report.dropped_triggers;
+
+        // Lost instances retry once capacity may have returned.
+        for (service, instance) in std::mem::take(&mut self.restart_queue) {
+            if self.plane.retry_restart(service, instance, time).is_some() {
+                self.stats.retried_restarts += 1;
+            } else {
+                self.restart_queue.push((service, instance));
+            }
+        }
+
+        // Dead instances that recovery replaced are gone from the
+        // landscape; stop tracking them.
+        let landscape = self.plane.landscape();
+        self.dead_instances
+            .retain(|&i| landscape.instance(i).is_ok());
+
+        for event in self.plane.drain_controller_events() {
+            if matches!(event, ControllerEvent::AdministratorAlert { .. }) {
+                self.metrics.alerts += 1;
+            }
+        }
+    }
+
+    /// Run to completion; returns the workload metrics and the recovery
+    /// stats.
+    pub fn run(mut self) -> (Metrics, ShardRecoveryStats) {
+        let ticks = self.duration.as_secs() / self.tick.as_secs().max(1);
+        for _ in 0..ticks {
+            self.step();
+        }
+        self.metrics.duration = self.duration;
+        (self.metrics, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::SupervisedRun;
+    use autoglobe_controller::ExecutorConfig;
+    use autoglobe_landscape::{ServerSpec, ServiceKind, ServiceSpec};
+    use autoglobe_simulator::{build_environment, Scenario};
+
+    fn fig13_config(hours: u64) -> SimConfig {
+        SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
+            .with_duration(SimDuration::from_hours(hours))
+    }
+
+    /// A printable fingerprint of a landscape's observable state, for
+    /// replica-lockstep assertions (the type has no `PartialEq`).
+    fn landscape_digest(l: &Landscape) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for server in l.server_ids() {
+            writeln!(out, "server {} avail={}", server, l.is_available(server)).unwrap();
+        }
+        for inst in l.instances() {
+            writeln!(
+                out,
+                "instance {} service={} server={} ip={}",
+                inst.id, inst.service, inst.server, inst.ip
+            )
+            .unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn one_shard_reproduces_the_supervised_run_bit_for_bit() {
+        let hours = 12;
+        let sim = fig13_config(hours);
+        let sup = || SupervisorConfig {
+            controller: sim.controller,
+            ..SupervisorConfig::default()
+        };
+        let reference = SupervisedRun::new(
+            build_environment(Scenario::ConstrainedMobility),
+            &sim,
+            sup(),
+        )
+        .run();
+        let (sharded, stats) = ShardedRun::new(
+            build_environment(Scenario::ConstrainedMobility),
+            &sim,
+            sup(),
+            1,
+            1,
+            ShardChaos::none(),
+        )
+        .run();
+        assert_eq!(reference.actions, sharded.actions);
+        assert_eq!(reference.alerts, sharded.alerts);
+        assert_eq!(reference.overload_secs, sharded.overload_secs);
+        assert_eq!(
+            reference.total_demand.to_bits(),
+            sharded.total_demand.to_bits()
+        );
+        assert_eq!(
+            stats,
+            ShardRecoveryStats::default(),
+            "no chaos, no recovery"
+        );
+    }
+
+    #[test]
+    fn shard_count_is_invisible_to_paper_scenarios() {
+        let hours = 12;
+        let sim = fig13_config(hours);
+        let run = |shards: usize, jobs: usize| {
+            let sup = SupervisorConfig {
+                controller: sim.controller,
+                ..SupervisorConfig::default()
+            };
+            ShardedRun::new(
+                build_environment(Scenario::ConstrainedMobility),
+                &sim,
+                sup,
+                shards,
+                jobs,
+                ShardChaos::none(),
+            )
+            .run()
+        };
+        let (one, _) = run(1, 1);
+        let (four, _) = run(4, 2);
+        assert_eq!(one.actions, four.actions);
+        assert_eq!(one.alerts, four.alerts);
+        assert_eq!(one.overload_secs, four.overload_secs);
+        assert_eq!(one.total_demand.to_bits(), four.total_demand.to_bits());
+    }
+
+    /// A tiny landscape the plane tests drive by hand.
+    fn tiny_plane(shards: usize, executor: ExecutorConfig) -> (ShardedControlPlane, Vec<ServerId>) {
+        let mut landscape = Landscape::new();
+        let servers: Vec<ServerId> = (0..6)
+            .map(|i| {
+                landscape
+                    .add_server(ServerSpec::fsc_bx300(format!("srv{i}")))
+                    .unwrap()
+            })
+            .collect();
+        let fi = landscape
+            .add_service(
+                ServiceSpec::new("FI", ServiceKind::ApplicationServer).with_instances(1, Some(6)),
+            )
+            .unwrap();
+        landscape.start_instance(fi, servers[0]).unwrap();
+        let config = SupervisorConfig {
+            executor,
+            executor_seed: 7,
+            ..SupervisorConfig::default()
+        };
+        (ShardedControlPlane::new(landscape, shards, config), servers)
+    }
+
+    #[test]
+    fn killed_owner_is_confirmed_and_its_shards_readopted_under_a_new_epoch() {
+        let (mut plane, servers) = tiny_plane(3, ExecutorConfig::reliable());
+        let minute = SimDuration::from_minutes(1);
+        let mut t = SimTime::ZERO;
+
+        // A couple of healthy ticks so everything is enrolled.
+        for _ in 0..2 {
+            t += minute;
+            for &s in &servers {
+                plane.beat(Subject::Server(s), t);
+            }
+            plane.tick(t).unwrap();
+        }
+        let victim = plane.canonical();
+        let orphaned: Vec<ShardId> = (0..plane.shards())
+            .filter(|&s| plane.lease(s).owner == victim)
+            .collect();
+        assert!(!orphaned.is_empty());
+        assert!(plane.kill(victim));
+        assert!(!plane.is_alive(victim));
+        let successor_expected = plane.canonical();
+        assert_ne!(victim, successor_expected);
+
+        // Default protocol: 3 misses to suspect + 2 to confirm.
+        let mut confirmed = false;
+        let mut readopted = 0;
+        for _ in 0..6 {
+            t += minute;
+            for &s in &servers {
+                plane.beat(Subject::Server(s), t);
+            }
+            let report = plane.tick(t).unwrap();
+            for event in report.events {
+                match event {
+                    PlaneEvent::OwnerConfirmed { supervisor, .. } => {
+                        assert_eq!(supervisor, victim);
+                        confirmed = true;
+                    }
+                    PlaneEvent::ShardReadopted {
+                        shard,
+                        from,
+                        to,
+                        epoch,
+                        ..
+                    } => {
+                        assert_eq!(from, victim);
+                        assert_eq!(to, successor_expected);
+                        assert_eq!(epoch, 1);
+                        assert!(orphaned.contains(&shard));
+                        readopted += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(confirmed, "the plane must confirm the killed owner");
+        assert_eq!(readopted, orphaned.len(), "every orphaned shard re-adopts");
+        assert_eq!(plane.epoch(), 1);
+        for shard in orphaned {
+            assert_eq!(
+                plane.lease(shard),
+                Lease {
+                    owner: successor_expected,
+                    epoch: 1
+                }
+            );
+        }
+        // Killing everyone but the last is allowed; the last is refused.
+        let mut live: Vec<usize> = (0..3).filter(|&i| plane.is_alive(i)).collect();
+        while live.len() > 1 {
+            assert!(plane.kill(live[0]));
+            live.remove(0);
+        }
+        assert!(!plane.kill(live[0]), "the last live supervisor is immortal");
+    }
+
+    #[test]
+    fn subject_failures_during_the_headless_window_are_detected_by_the_successor() {
+        let (mut plane, servers) = tiny_plane(2, ExecutorConfig::reliable());
+        let minute = SimDuration::from_minutes(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..2 {
+            t += minute;
+            for &s in &servers {
+                plane.beat(Subject::Server(s), t);
+            }
+            plane.tick(t).unwrap();
+        }
+        // Pick a server owned by the canonical replica, then kill that
+        // replica AND the server in the same breath: its silence must be
+        // confirmed by the successor after watch adoption.
+        let victim = plane.canonical();
+        let dying = *servers
+            .iter()
+            .find(|&&s| {
+                plane
+                    .lease(plane.shard_of_subject(Subject::Server(s)).unwrap())
+                    .owner
+                    == victim
+            })
+            .expect("the canonical replica owns at least one beated server");
+        assert!(plane.kill(victim));
+        plane.set_server_available(dying, false);
+
+        let mut server_confirmed_at = None;
+        for _ in 0..14 {
+            t += minute;
+            for &s in &servers {
+                if s != dying {
+                    plane.beat(Subject::Server(s), t);
+                }
+            }
+            let report = plane.tick(t).unwrap();
+            for rec in report.recoveries {
+                if rec.subject == Subject::Server(dying) {
+                    server_confirmed_at = Some(rec.time);
+                }
+            }
+        }
+        assert!(
+            server_confirmed_at.is_some(),
+            "the successor must confirm the server that died while its shard was headless"
+        );
+        // All live replicas agree on the resulting landscape.
+        let canonical = landscape_digest(plane.landscape());
+        for i in 0..plane.shards() {
+            if plane.is_alive(i) {
+                assert_eq!(
+                    canonical,
+                    landscape_digest(plane.supervisor(i).landscape()),
+                    "replica {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_action_is_applied_twice_across_an_epoch_change() {
+        // A latent, fallible substrate so owners carry in-flight work when
+        // they are killed — the fencing path must discard it exactly once
+        // and never complete it.
+        let executor = ExecutorConfig {
+            min_latency: SimDuration::from_minutes(2),
+            max_latency: SimDuration::from_minutes(8),
+            timeout: SimDuration::from_minutes(6),
+            failure_probability: 0.1,
+            ..ExecutorConfig::reliable()
+        };
+        let sim = fig13_config(16);
+        let sup = SupervisorConfig {
+            controller: sim.controller,
+            executor,
+            executor_seed: 99,
+            ..SupervisorConfig::default()
+        };
+        let chaos = ShardChaos {
+            server_failure_per_hour: 0.05,
+            repair_after: SimDuration::from_hours(1),
+            kill_fracs: vec![0.4, 0.7],
+        };
+        let mut run = ShardedRun::new(
+            build_environment(Scenario::ConstrainedMobility),
+            &sim,
+            sup,
+            4,
+            2,
+            chaos,
+        );
+        let ticks = 16 * 60; // one-minute ticks
+        for _ in 0..ticks {
+            run.step();
+        }
+        assert!(run.stats.owner_kills >= 1, "the schedule must kill owners");
+        assert!(run.stats.owner_detections >= 1, "kills must be confirmed");
+        assert!(run.stats.readoptions >= 1, "shards must be re-adopted");
+
+        // Audit every replica's execution log: a dispatch id completes at
+        // most once, and never both completes and gets fenced.
+        let mut completed: BTreeSet<(usize, u64)> = BTreeSet::new();
+        let mut fenced: BTreeSet<(usize, u64)> = BTreeSet::new();
+        for (replica, event) in run.plane_mut().drain_all_execution_events() {
+            match event {
+                ExecutionEvent::Completed { id, .. } => {
+                    assert!(
+                        completed.insert((replica, id)),
+                        "op {id} on replica {replica} completed twice"
+                    );
+                }
+                ExecutionEvent::FencedStaleEpoch { id, .. } => {
+                    fenced.insert((replica, id));
+                }
+                _ => {}
+            }
+        }
+        for key in &fenced {
+            assert!(
+                !completed.contains(key),
+                "op {key:?} was both fenced and applied — a ghost move"
+            );
+        }
+
+        // And the live replicas' landscapes are still in lockstep.
+        let canonical = landscape_digest(run.plane().landscape());
+        for i in 0..run.plane().shards() {
+            if run.plane().is_alive(i) {
+                assert_eq!(
+                    canonical,
+                    landscape_digest(run.plane().supervisor(i).landscape()),
+                    "replica {i} diverged"
+                );
+            }
+        }
+    }
+}

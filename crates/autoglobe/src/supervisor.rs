@@ -161,11 +161,16 @@ impl LoadView for RecordedLoads {
 /// forecast-driven (proactive) trigger carries the predicted load so the
 /// controller can plan against the *predicted* situation rather than the
 /// still-calm present.
+///
+/// Public so a sharded control plane can take a supervisor's confirmed
+/// triggers ([`Supervisor::tick_collect`]) and broker dispatch through the
+/// lease table instead of letting each supervisor act unilaterally.
 #[derive(Debug, Clone)]
-struct PendingTrigger {
-    event: TriggerEvent,
+pub struct PendingTrigger {
+    /// The confirmed trigger.
+    pub event: TriggerEvent,
     /// Predicted CPU load of the trigger subject, for proactive triggers.
-    forecast: Option<f64>,
+    pub forecast: Option<f64>,
 }
 
 /// Load view for planning a proactive trigger: the fired subject's load is
@@ -249,6 +254,37 @@ impl LoadView for ForecastView<'_> {
     }
 }
 
+/// A rejected call into the [`Supervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// `now` ran backwards relative to an earlier `beat`/`tick`/`poll`.
+    /// Accepting it would silently corrupt the heartbeat miss windows
+    /// (a stale beat could reconcile a genuinely dead subject) and the
+    /// protection registry's expiry arithmetic, so the call is refused
+    /// before any state changes.
+    NonMonotonicTime {
+        /// The rejected timestamp.
+        now: SimTime,
+        /// The latest timestamp the supervisor has already processed.
+        last: SimTime,
+    },
+}
+
+impl std::fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SupervisorError::NonMonotonicTime { now, last } => write!(
+                f,
+                "time ran backwards: {}s is earlier than the already-processed {}s",
+                now.as_secs(),
+                last.as_secs()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
 /// Everything configurable about a [`Supervisor`]. The default reproduces
 /// the paper's synchronous facade exactly: paper rule bases and thresholds,
 /// an instant infallible execution substrate, heartbeat detection that stays
@@ -279,6 +315,41 @@ pub struct SupervisorConfig {
     /// How often the (comparatively expensive) proactive forecast checks
     /// run; triggers still dispatch on the next tick after a check fires.
     pub proactive_every: SimDuration,
+}
+
+impl SupervisorConfig {
+    /// Check the configuration for values and combinations that cannot
+    /// work, mirroring [`ExecutorConfig::validate`] and
+    /// [`HeartbeatConfig::validate`] (both of which this delegates to).
+    ///
+    /// `executor_seed` itself has no invalid values — any `u64` seeds a
+    /// valid stream, and a zero-draw substrate (the default
+    /// [`ExecutorConfig::reliable`]) never consults it — but the proactive
+    /// cadence/cooldown pair is checked as a combination: a zero check
+    /// cadence would re-run the forecast scan every tick, and a cooldown
+    /// shorter than the cadence is unenforceable (firings cannot be spaced
+    /// more finely than checks run), so both are almost certainly a
+    /// misconfigured unit rather than an intent.
+    pub fn validate(&self) -> Result<(), String> {
+        self.executor.validate()?;
+        self.heartbeats.validate()?;
+        if self.proactive.is_some() {
+            if self.proactive_every == SimDuration::ZERO {
+                return Err("proactive_every must be positive — a zero cadence re-runs \
+                     the forecast scan every tick"
+                    .into());
+            }
+            if self.proactive_cooldown < self.proactive_every {
+                return Err(format!(
+                    "proactive_cooldown ({}s) shorter than proactive_every ({}s) is \
+                     unenforceable: firings cannot be spaced more finely than checks run",
+                    self.proactive_cooldown.as_secs(),
+                    self.proactive_every.as_secs()
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Default for SupervisorConfig {
@@ -317,6 +388,21 @@ pub struct Supervisor {
     proactive_firings: Vec<ProactiveFiring>,
     hints: HintBook,
     execution_log: Vec<ExecutionEvent>,
+    recovery_log: Vec<RecoveryRecord>,
+    last_now: Option<SimTime>,
+}
+
+/// A self-healing outcome from a heartbeat-confirmed failure, recorded so
+/// harnesses and the sharded control plane can account for (and replicate)
+/// recoveries that [`Supervisor::tick`] performed internally.
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    /// The confirmed-dead subject the self-healing path ran for.
+    pub subject: Subject,
+    /// When the failure was confirmed (= when recovery ran).
+    pub time: SimTime,
+    /// What the controller recovered and what it had to give up on.
+    pub outcome: RecoveryOutcome,
 }
 
 impl Supervisor {
@@ -328,9 +414,13 @@ impl Supervisor {
     /// Supervise with an explicit configuration.
     ///
     /// # Panics
-    /// Panics when the executor or heartbeat configuration is invalid (see
-    /// [`ExecutorConfig::validate`] and [`HeartbeatConfig::validate`]).
+    /// Panics when the configuration fails [`SupervisorConfig::validate`]
+    /// (invalid executor/heartbeat settings or an unenforceable proactive
+    /// cadence/cooldown combination).
     pub fn with_config(landscape: Landscape, config: SupervisorConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid supervisor config: {e}");
+        }
         let mut monitoring = LoadMonitoringSystem::new();
         for server in landscape.server_ids() {
             let idx = landscape
@@ -363,6 +453,8 @@ impl Supervisor {
             proactive_firings: Vec::new(),
             hints: HintBook::new(),
             execution_log: Vec::new(),
+            recovery_log: Vec::new(),
+            last_now: None,
         }
     }
 
@@ -432,6 +524,14 @@ impl Supervisor {
         self.heartbeats.suspected().collect()
     }
 
+    /// Subjects currently enrolled in the heartbeat watch set — a harness
+    /// that emits liveness signals iterates this rather than guessing who
+    /// the detector cares about (a falsely confirmed host, for example, is
+    /// quarantined out of the watch set until it is re-certified).
+    pub fn watched(&self) -> Vec<Subject> {
+        self.heartbeats.watched().collect()
+    }
+
     /// Drain and return the controller's event log.
     pub fn drain_events(&mut self) -> Vec<ControllerEvent> {
         self.controller.drain_log()
@@ -447,6 +547,26 @@ impl Supervisor {
     /// retries, timeouts, fenced late successes, abandonments).
     pub fn drain_execution_events(&mut self) -> Vec<ExecutionEvent> {
         std::mem::take(&mut self.execution_log)
+    }
+
+    /// Drain and return the self-healing outcomes of heartbeat-confirmed
+    /// failures handled inside [`Supervisor::tick`] — the restarts a
+    /// harness must account for (and a replica must replay) even though
+    /// they are not dispatched through the execution substrate.
+    pub fn drain_recoveries(&mut self) -> Vec<RecoveryRecord> {
+        std::mem::take(&mut self.recovery_log)
+    }
+
+    /// Refuse clocks that run backwards; equal timestamps are fine (`tick`
+    /// then `poll` at the same instant is the documented idiom).
+    fn advance_clock(&mut self, now: SimTime) -> Result<(), SupervisorError> {
+        if let Some(last) = self.last_now {
+            if now < last {
+                return Err(SupervisorError::NonMonotonicTime { now, last });
+            }
+        }
+        self.last_now = Some(now);
+        Ok(())
     }
 
     /// Record a server measurement.
@@ -485,10 +605,18 @@ impl Supervisor {
 
     /// Record a liveness signal. A subject's first beat enrolls it in the
     /// watch set; from then on every [`Supervisor::tick`] it must either
-    /// beat or accrue a miss. Returns false when the beat was fenced: the
-    /// subject does not exist in the landscape (e.g. a zombie process of an
-    /// already-stopped instance).
-    pub fn beat(&mut self, subject: Subject, now: SimTime) -> bool {
+    /// beat or accrue a miss. Returns `Ok(false)` when the beat was fenced:
+    /// the subject does not exist in the landscape (e.g. a zombie process
+    /// of an already-stopped instance). Returns
+    /// [`SupervisorError::NonMonotonicTime`] for a beat stamped earlier
+    /// than already-processed time — accepting it would corrupt the miss
+    /// windows the failure detector counts on.
+    pub fn beat(&mut self, subject: Subject, now: SimTime) -> Result<bool, SupervisorError> {
+        self.advance_clock(now)?;
+        Ok(self.beat_inner(subject, now))
+    }
+
+    fn beat_inner(&mut self, subject: Subject, now: SimTime) -> bool {
         if !self.heartbeats.is_watched(subject) {
             let exists = match subject {
                 Subject::Server(s) => self.landscape.server(s).is_ok(),
@@ -546,15 +674,105 @@ impl Supervisor {
         Ok(Some(self.controller.note_repaired(server, now)))
     }
 
+    /// Enroll `subject` in the heartbeat watch set without waiting for its
+    /// first beat — the sharded control plane calls this when a successor
+    /// adopts a shard, so subjects that were already silent when the old
+    /// owner died still accrue misses (a dead server that never beats the
+    /// new owner must not be invisible to it). Returns false (and watches
+    /// nothing) for a subject the landscape does not know.
+    pub fn watch(&mut self, subject: Subject) -> bool {
+        let exists = match subject {
+            Subject::Server(s) => self.landscape.server(s).is_ok(),
+            Subject::Service(s) => self.landscape.service(s).is_ok(),
+            Subject::Instance(i) => self.landscape.instance(i).is_ok(),
+        };
+        if exists {
+            self.heartbeats.watch(subject);
+        }
+        exists
+    }
+
+    /// Remove `subject` from the heartbeat watch set (e.g. a deployment
+    /// agent decommissioning a host: silence is expected, not a failure).
+    /// Returns whether it was watched.
+    pub fn unwatch(&mut self, subject: Subject) -> bool {
+        self.heartbeats.unwatch(subject)
+    }
+
+    /// Retry the restart of an instance the self-healing path had to give
+    /// up on ([`RecoveryOutcome::lost`]) — capacity may have returned
+    /// since. Returns the replacement and its host when a feasible host
+    /// exists now.
+    pub fn retry_restart(
+        &mut self,
+        service: ServiceId,
+        old_instance: InstanceId,
+        now: SimTime,
+    ) -> Option<(InstanceId, ServerId)> {
+        self.controller
+            .retry_restart(service, old_instance, &mut self.landscape, &self.loads, now)
+    }
+
+    /// Apply an action decided, executed and recorded by *another*
+    /// supervisor replica. Replicas of the same landscape that record the
+    /// same measurements stay in lockstep by replaying each owner-executed
+    /// record: the action applies to this replica's landscape and the
+    /// involved entities are protected exactly as the owner protected
+    /// them. The record is not re-logged — the owner's log is the
+    /// authoritative one.
+    pub fn apply_remote(&mut self, record: &ActionRecord) -> Result<(), LandscapeError> {
+        self.landscape.apply(&record.action)?;
+        self.controller
+            .protect_involved(&record.action, &self.landscape, record.time);
+        Ok(())
+    }
+
+    /// Replay a failure confirmation another replica's self-healing path
+    /// already handled ([`Supervisor::drain_recoveries`] on the owner).
+    /// Deterministic planning over identical state yields the identical
+    /// recovery, keeping the replicas' landscapes in lockstep.
+    pub fn replay_failure(&mut self, subject: Subject, time: SimTime) -> Option<RecoveryOutcome> {
+        let kind = match subject {
+            Subject::Server(server) => FailureKind::ServerFailed(server),
+            Subject::Instance(instance) => FailureKind::InstanceCrashed(instance),
+            Subject::Service(_) => return None,
+        };
+        self.heartbeats.unwatch(subject);
+        let failure = FailureEvent { kind, time };
+        Some(
+            self.controller
+                .handle_failure(&failure, &mut self.landscape, &self.loads, time),
+        )
+    }
+
+    /// Stamp subsequent dispatches with the issuing lease epoch (see
+    /// [`ActionExecutor::set_epoch`]). The pre-sharded default is epoch 0.
+    pub fn set_execution_epoch(&mut self, epoch: u64) {
+        self.executor.set_epoch(epoch);
+    }
+
+    /// Fence every in-flight operation issued under a lease epoch older
+    /// than `min_epoch` (see [`ActionExecutor::fence_below`]); the fenced
+    /// events are also appended to the execution log. The coordination
+    /// layer calls this on a deposed shard owner so its in-flight work is
+    /// reconciled instead of applied.
+    pub fn fence_stale_epochs(&mut self, min_epoch: u64, now: SimTime) -> Vec<ExecutionEvent> {
+        let events = self.executor.fence_below(min_epoch, now);
+        self.execution_log.extend(events.iter().cloned());
+        events
+    }
+
     /// Settle in-flight operations on the execution substrate: apply
     /// completed attempts, schedule retries, fence timeouts. Returns the
     /// actions that completed. With the default reliable substrate
     /// everything completes inside [`Supervisor::tick`], so `poll` is a
-    /// no-op between ticks.
-    pub fn poll(&mut self, now: SimTime) -> Vec<ActionRecord> {
+    /// no-op between ticks. Rejects a `now` earlier than already-processed
+    /// time with [`SupervisorError::NonMonotonicTime`].
+    pub fn poll(&mut self, now: SimTime) -> Result<Vec<ActionRecord>, SupervisorError> {
+        self.advance_clock(now)?;
         let completed = self.settle(now);
         self.executed.extend(completed.iter().cloned());
-        completed
+        Ok(completed)
     }
 
     /// Close one monitoring interval: register monitors for new
@@ -562,76 +780,118 @@ impl Supervisor {
     /// in-flight operations, evaluate heartbeats (confirmed failures run
     /// the self-healing path), run proactive forecast checks, and dispatch
     /// confirmed triggers through the fuzzy controller. Returns the actions
-    /// that completed this tick.
-    pub fn tick(&mut self, now: SimTime) -> Vec<ActionRecord> {
+    /// that completed this tick. Rejects a `now` earlier than
+    /// already-processed time with [`SupervisorError::NonMonotonicTime`].
+    pub fn tick(&mut self, now: SimTime) -> Result<Vec<ActionRecord>, SupervisorError> {
+        self.advance_clock(now)?;
+        let mut completed = self.prepare_interval(now);
+        // Proactive and reactive triggers flow through the same dispatch
+        // path — protection mode treats them uniformly.
+        for trigger in std::mem::take(&mut self.pending_triggers) {
+            completed.extend(self.dispatch_inner(trigger, now));
+        }
+        Ok(completed)
+    }
+
+    /// The first half of [`Supervisor::tick`]: close the monitoring
+    /// interval but *return* the confirmed triggers instead of dispatching
+    /// them. A sharded control plane uses this to merge the trigger
+    /// streams of all shards and broker each dispatch through the lease
+    /// table ([`Supervisor::dispatch_trigger`]); a standalone supervisor
+    /// has no reason to call it.
+    pub fn tick_collect(
+        &mut self,
+        now: SimTime,
+    ) -> Result<(Vec<ActionRecord>, Vec<PendingTrigger>), SupervisorError> {
+        self.advance_clock(now)?;
+        let completed = self.prepare_interval(now);
+        Ok((completed, std::mem::take(&mut self.pending_triggers)))
+    }
+
+    /// The second half of [`Supervisor::tick`]: plan and dispatch one
+    /// confirmed trigger. `tick(now)` is equivalent to `tick_collect(now)`
+    /// followed by `dispatch_trigger` over every returned trigger, in
+    /// order.
+    pub fn dispatch_trigger(
+        &mut self,
+        trigger: PendingTrigger,
+        now: SimTime,
+    ) -> Result<Vec<ActionRecord>, SupervisorError> {
+        self.advance_clock(now)?;
+        Ok(self.dispatch_inner(trigger, now))
+    }
+
+    /// Register/prune subjects, settle earlier dispatches, evaluate
+    /// heartbeats and proactive checks — everything [`Supervisor::tick`]
+    /// does before dispatching this interval's triggers.
+    fn prepare_interval(&mut self, now: SimTime) -> Vec<ActionRecord> {
         self.register_new_subjects();
         self.prune_departed();
 
         // Settle operations dispatched on earlier ticks first, so a freed
         // host is visible to this tick's planning.
-        let mut completed = self.settle(now);
+        let completed = self.settle(now);
+        self.executed.extend(completed.iter().cloned());
 
         self.run_heartbeats(now);
         self.run_proactive(now);
+        completed
+    }
 
-        // Proactive and reactive triggers flow through the same dispatch
-        // path — protection mode treats them uniformly.
-        let triggers = std::mem::take(&mut self.pending_triggers);
+    /// Plan one confirmed trigger and (in automatic mode) dispatch it on
+    /// the execution substrate; returns whatever completed.
+    fn dispatch_inner(&mut self, trigger: PendingTrigger, now: SimTime) -> Vec<ActionRecord> {
+        let PendingTrigger { event, forecast } = trigger;
+        let mut completed = Vec::new();
         match self.controller.mode() {
             ExecutionMode::SemiAutomatic => {
                 // Queueing for administrator confirmation lives in the
                 // synchronous path; nothing is dispatched to the substrate.
-                for PendingTrigger { event, forecast } in triggers {
-                    let outcome = match forecast {
-                        // A forecast-driven trigger is planned against the
-                        // predicted loads — the present ones are exactly
-                        // what the forecaster says will not last.
-                        Some(predicted) => {
-                            let view = ForecastView::new(
-                                &self.loads,
-                                &self.landscape,
-                                event.subject,
-                                predicted,
-                            );
-                            self.controller
-                                .handle_trigger(&event, &mut self.landscape, &view, now)
-                        }
-                        None => self.controller.handle_trigger(
-                            &event,
-                            &mut self.landscape,
+                let outcome = match forecast {
+                    // A forecast-driven trigger is planned against the
+                    // predicted loads — the present ones are exactly
+                    // what the forecaster says will not last.
+                    Some(predicted) => {
+                        let view = ForecastView::new(
                             &self.loads,
-                            now,
-                        ),
-                    };
-                    completed.extend(outcome.executed);
-                }
+                            &self.landscape,
+                            event.subject,
+                            predicted,
+                        );
+                        self.controller
+                            .handle_trigger(&event, &mut self.landscape, &view, now)
+                    }
+                    None => self.controller.handle_trigger(
+                        &event,
+                        &mut self.landscape,
+                        &self.loads,
+                        now,
+                    ),
+                };
+                completed.extend(outcome.executed);
             }
             ExecutionMode::Automatic => {
-                for PendingTrigger { event, forecast } in triggers {
-                    let planned = match forecast {
-                        Some(predicted) => {
-                            let view = ForecastView::new(
-                                &self.loads,
-                                &self.landscape,
-                                event.subject,
-                                predicted,
-                            );
-                            self.controller
-                                .plan_trigger(&event, &self.landscape, &view, now)
-                        }
-                        None => {
-                            self.controller
-                                .plan_trigger(&event, &self.landscape, &self.loads, now)
-                        }
-                    };
-                    if let Some(decided) = planned.decided {
-                        self.executor.dispatch(decided, now);
-                        completed.extend(self.settle(now));
+                let planned = match forecast {
+                    Some(predicted) => {
+                        let view = ForecastView::new(
+                            &self.loads,
+                            &self.landscape,
+                            event.subject,
+                            predicted,
+                        );
+                        self.controller
+                            .plan_trigger(&event, &self.landscape, &view, now)
                     }
+                    None => self
+                        .controller
+                        .plan_trigger(&event, &self.landscape, &self.loads, now),
+                };
+                if let Some(decided) = planned.decided {
+                    self.executor.dispatch(decided, now);
+                    completed.extend(self.settle(now));
                 }
             }
         }
-
         self.executed.extend(completed.iter().cloned());
         completed
     }
@@ -724,8 +984,17 @@ impl Supervisor {
                 };
                 if let Some(kind) = kind {
                     let failure = FailureEvent { kind, time: *time };
-                    self.controller
-                        .handle_failure(&failure, &mut self.landscape, &self.loads, now);
+                    let outcome = self.controller.handle_failure(
+                        &failure,
+                        &mut self.landscape,
+                        &self.loads,
+                        now,
+                    );
+                    self.recovery_log.push(RecoveryRecord {
+                        subject: *subject,
+                        time: *time,
+                        outcome,
+                    });
                 }
             }
         }
@@ -827,7 +1096,7 @@ mod tests {
             sup.record_server(blade, t, 0.95, 0.5);
             sup.record_instance(instance, t, 0.95);
             sup.record_service(fi, t, 0.95);
-            all_executed.extend(sup.tick(t));
+            all_executed.extend(sup.tick(t).unwrap());
         }
         assert!(
             !all_executed.is_empty(),
@@ -856,7 +1125,7 @@ mod tests {
             sup.record_server(blade, t, cpu, 0.3);
             sup.record_instance(instance, t, cpu);
             sup.record_service(fi, t, cpu);
-            let executed = sup.tick(t);
+            let executed = sup.tick(t).unwrap();
             assert!(executed.is_empty(), "no action on a short peak");
         }
     }
@@ -869,7 +1138,7 @@ mod tests {
             .add_service(ServiceSpec::new("HR", ServiceKind::ApplicationServer))
             .unwrap();
         let hr_inst = sup.landscape_mut().start_instance(hr, blade).unwrap();
-        sup.tick(SimTime::ZERO); // registers the monitor
+        sup.tick(SimTime::ZERO).unwrap(); // registers the monitor
         let mut t = SimTime::ZERO;
         let mut acted = false;
         for _ in 0..15 {
@@ -877,7 +1146,7 @@ mod tests {
             sup.record_service(hr, t, 0.9);
             sup.record_instance(hr_inst, t, 0.9);
             sup.record_server(blade, t, 0.9, 0.3);
-            acted |= !sup.tick(t).is_empty();
+            acted |= !sup.tick(t).unwrap().is_empty();
         }
         assert!(acted, "the dynamically added service is supervised");
     }
@@ -892,7 +1161,7 @@ mod tests {
             sup.record_server(blade, t, 0.95, 0.5);
             sup.record_instance(instance, t, 0.95);
             sup.record_service(fi, t, 0.95);
-            sup.tick(t);
+            sup.tick(t).unwrap();
         }
         assert!(sup.executed().is_empty());
         assert!(!sup.controller().pending().is_empty());
@@ -998,7 +1267,7 @@ mod tests {
             sup.record_server(s_blade, t, cpu, mem);
             sup.record_instance(s_instance, t, cpu);
             sup.record_service(s_fi, t, cpu);
-            sup.tick(t);
+            sup.tick(t).unwrap();
         }
 
         assert_eq!(sup.executed(), &ref_executed[..], "identical records");
@@ -1026,7 +1295,7 @@ mod tests {
         let (mut sup, blade, _big, fi, instance) = minimal();
         let t = SimTime::from_minutes(1);
         sup.record_instance(instance, t, 0.97);
-        sup.beat(Subject::Instance(instance), t);
+        sup.beat(Subject::Instance(instance), t).unwrap();
         assert!(sup.heartbeats.is_watched(Subject::Instance(instance)));
         assert!((sup.loads.cpu(Subject::Instance(instance)) - 0.97).abs() < 1e-12);
 
@@ -1034,7 +1303,7 @@ mod tests {
         // first deliberately.
         let other = sup.landscape_mut().start_instance(fi, blade).unwrap();
         sup.landscape_mut().stop_instance(instance).unwrap();
-        sup.tick(SimTime::from_minutes(2));
+        sup.tick(SimTime::from_minutes(2)).unwrap();
 
         assert_eq!(
             sup.loads.cpu(Subject::Instance(instance)),
@@ -1085,11 +1354,11 @@ mod tests {
         // Healthy beats for 5 minutes.
         for _ in 0..5 {
             t += SimDuration::from_minutes(1);
-            assert!(sup.beat(subject, t));
+            assert!(sup.beat(subject, t).unwrap());
             sup.record_server(blade, t, 0.4, 0.3);
             sup.record_instance(instance, t, 0.4);
             sup.record_service(fi, t, 0.4);
-            sup.tick(t);
+            sup.tick(t).unwrap();
         }
         assert!(sup.drain_heartbeat_events().is_empty());
 
@@ -1097,7 +1366,7 @@ mod tests {
         let mut confirmed_at = None;
         for _ in 0..6 {
             t += SimDuration::from_minutes(1);
-            sup.tick(t);
+            sup.tick(t).unwrap();
             for e in sup.drain_heartbeat_events() {
                 if let HeartbeatEvent::Confirmed { time, .. } = e {
                     confirmed_at = Some(time);
@@ -1122,23 +1391,23 @@ mod tests {
         let mut t = SimTime::ZERO;
         for _ in 0..5 {
             t += SimDuration::from_minutes(1);
-            sup.beat(subject, t);
+            sup.beat(subject, t).unwrap();
             sup.record_server(blade, t, 0.4, 0.3);
             sup.record_instance(instance, t, 0.4);
             sup.record_service(fi, t, 0.4);
-            sup.tick(t);
+            sup.tick(t).unwrap();
         }
         let before = sup.landscape().num_instances();
         // Three silent ticks raise the suspicion…
         for _ in 0..3 {
             t += SimDuration::from_minutes(1);
-            sup.tick(t);
+            sup.tick(t).unwrap();
         }
         assert_eq!(sup.suspected(), vec![subject]);
         // …then heartbeats resume inside the confirmation window.
         t += SimDuration::from_minutes(1);
-        sup.beat(subject, t);
-        sup.tick(t);
+        sup.beat(subject, t).unwrap();
+        sup.tick(t).unwrap();
         let events = sup.drain_heartbeat_events();
         assert!(events
             .iter()
@@ -1161,7 +1430,8 @@ mod tests {
         let _other = sup.landscape_mut().start_instance(fi, blade).unwrap();
         sup.landscape_mut().stop_instance(instance).unwrap();
         assert!(
-            !sup.beat(Subject::Instance(instance), SimTime::from_minutes(1)),
+            !sup.beat(Subject::Instance(instance), SimTime::from_minutes(1))
+                .unwrap(),
             "a beat from a stopped instance must be fenced"
         );
     }
@@ -1198,7 +1468,7 @@ mod tests {
             sup.record_server(blade, t, load, 0.2);
         }
         let now = SimTime::from_hours(4 * 24 + 8) + SimDuration::from_minutes(30);
-        sup.tick(now);
+        sup.tick(now).unwrap();
         // The firing is queued this tick and dispatched on the next.
         assert!(
             !sup.proactive_firings().is_empty(),
@@ -1211,7 +1481,7 @@ mod tests {
         // Cooldown: an immediate re-check must not fire again for the same
         // subject.
         let count = sup.proactive_firings().len();
-        sup.tick(now + SimDuration::from_minutes(10));
+        sup.tick(now + SimDuration::from_minutes(10)).unwrap();
         assert_eq!(
             sup.proactive_firings()
                 .iter()
@@ -1220,5 +1490,96 @@ mod tests {
             count,
             "cooldown suppresses repeat firings"
         );
+    }
+
+    #[test]
+    fn time_running_backwards_is_a_typed_error() {
+        let (mut sup, blade, _big, fi, instance) = minimal();
+        let t = SimTime::from_minutes(10);
+        sup.record_server(blade, t, 0.5, 0.3);
+        sup.tick(t).unwrap();
+        // Equal timestamps are fine (beat + tick inside one interval) …
+        assert!(sup.tick(t).is_ok());
+        assert!(sup.beat(Subject::Instance(instance), t).is_ok());
+        assert!(sup.poll(t).is_ok());
+        // … but every entry point rejects a clock that ran backwards.
+        let early = SimTime::from_minutes(9);
+        let err = SupervisorError::NonMonotonicTime {
+            now: early,
+            last: t,
+        };
+        assert_eq!(sup.tick(early).unwrap_err(), err);
+        assert_eq!(sup.poll(early).unwrap_err(), err);
+        assert_eq!(
+            sup.beat(Subject::Instance(instance), early).unwrap_err(),
+            err
+        );
+        assert_eq!(sup.dispatch_trigger_error(early), err);
+        // The rejected call mutated nothing: the clock still reads `t`, and
+        // the supervisor keeps working from there.
+        assert!(sup.tick(t).is_ok());
+        let _ = fi;
+    }
+
+    impl Supervisor {
+        /// Test helper: a stale `dispatch_trigger` must fail the same way.
+        fn dispatch_trigger_error(&mut self, now: SimTime) -> SupervisorError {
+            let trigger = PendingTrigger {
+                event: TriggerEvent {
+                    subject: Subject::Server(ServerId::new(0)),
+                    kind: autoglobe_monitor::TriggerKind::ServerOverloaded,
+                    time: now,
+                    average_cpu: 0.9,
+                    average_mem: 0.5,
+                },
+                forecast: None,
+            };
+            self.dispatch_trigger(trigger, now).unwrap_err()
+        }
+    }
+
+    #[test]
+    fn invalid_supervisor_configs_are_rejected() {
+        // The defaults are valid.
+        assert!(SupervisorConfig::default().validate().is_ok());
+
+        // Proactive cadence of zero would re-run the forecaster every tick
+        // with no interval semantics.
+        let cfg = SupervisorConfig {
+            proactive: Some(ProactiveConfig::default()),
+            proactive_every: SimDuration::ZERO,
+            ..SupervisorConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        // A cooldown shorter than the cadence is unenforceable.
+        let cfg = SupervisorConfig {
+            proactive: Some(ProactiveConfig::default()),
+            proactive_every: SimDuration::from_minutes(30),
+            proactive_cooldown: SimDuration::from_minutes(10),
+            ..SupervisorConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+
+        // Invalid nested executor / heartbeat configs surface too.
+        let cfg = SupervisorConfig {
+            executor: ExecutorConfig {
+                failure_probability: 1.5,
+                ..ExecutorConfig::default()
+            },
+            ..SupervisorConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid supervisor config")]
+    fn with_config_panics_on_invalid_config() {
+        let cfg = SupervisorConfig {
+            proactive: Some(ProactiveConfig::default()),
+            proactive_every: SimDuration::ZERO,
+            ..SupervisorConfig::default()
+        };
+        let _ = Supervisor::with_config(Landscape::new(), cfg);
     }
 }

@@ -85,6 +85,21 @@ fn main() {
         }),
         "table7" => timings.record("table7", || run_table7(hours, seed, jobs)),
         "chaos" => timings.record("chaos", || run_chaos(hours, seed, jobs)),
+        "shardchaos" => timings.record("shardchaos", || {
+            // For shardchaos, --shards widens the plane's scoped-thread
+            // fan-out (output-neutral); the shard counts of the sweep
+            // points are the experiment's ladder and are fixed.
+            let plane_jobs = flag(&args, "--shards").unwrap_or(1) as usize;
+            run_shard_chaos(hours, seed, jobs, plane_jobs)
+        }),
+        "shard-smoke" => timings.record("shard-smoke", || {
+            // Here --shards IS the shard count: CI diffs the digest at
+            // --shards 1 against --shards 4 to prove partitioning is
+            // invisible to the paper scenarios.
+            let shards = flag(&args, "--shards").unwrap_or(1) as usize;
+            let hours = flag(&args, "--hours").unwrap_or(6);
+            run_shard_smoke(shards, hours, seed, jobs)
+        }),
         "proactive" => timings.record("proactive", || run_proactive(hours, seed, jobs)),
         "designer" => timings.record("designer", run_designer),
         "ablation" => timings.record("ablation", || run_ablation(hours.min(30))),
@@ -114,6 +129,7 @@ fn main() {
             }
             timings.record("table7", || run_table7(hours, seed, jobs));
             timings.record("chaos", || run_chaos(hours, seed, jobs));
+            timings.record("shardchaos", || run_shard_chaos(hours, seed, jobs, 1));
             timings.record("proactive", || run_proactive(hours, seed, jobs));
             timings.record("designer", run_designer);
             timings.record("ablation", || run_ablation(hours.min(30)));
@@ -121,9 +137,9 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
-                 fig15|fig16|fig17|bench|scale|scale-smoke|table7|chaos|proactive|designer|\
-                 ablation|all> [--hours N] [--seed N] [--jobs N] [--inner-jobs N] \
-                 [--repeats N] [--servers N]"
+                 fig15|fig16|fig17|bench|scale|scale-smoke|table7|chaos|shardchaos|\
+                 shard-smoke|proactive|designer|ablation|all> [--hours N] [--seed N] \
+                 [--jobs N] [--inner-jobs N] [--repeats N] [--servers N] [--shards N]"
             );
             std::process::exit(2);
         }
@@ -349,6 +365,39 @@ fn run_chaos(hours: u64, seed: u64, jobs: usize) {
         );
     }
     write("results/chaos_recovery.csv", &xp::chaos_csv(&rows));
+}
+
+fn run_shard_chaos(hours: u64, seed: u64, jobs: usize, plane_jobs: usize) {
+    println!(
+        "Shard chaos sweep — Figure 13 scenario on a sharded control plane \
+         with host failures and owner kills ({hours} h per point, {jobs} job(s), \
+         plane fan-out {plane_jobs}):"
+    );
+    let rows = xp::shard_chaos_sweep(hours, seed, jobs, plane_jobs);
+    for (shards, kills, m, s) in &rows {
+        println!(
+            "  {shards} shard(s), {kills} kill(s): {:>2} owner detections \
+             (latency {:>5.0} s), {:>2} re-adoptions ({:>5.0} s), {:>2} fenced, \
+             {:>2} dropped triggers, {:>3} failures / {:>3} detected, \
+             {:>3} actions, {:>2} alerts",
+            s.owner_detections,
+            s.mean_owner_detection_secs(),
+            s.readoptions,
+            s.mean_readoption_secs(),
+            s.fenced_ops,
+            s.dropped_triggers,
+            s.failures_injected,
+            s.detections,
+            m.actions.len(),
+            m.alerts,
+        );
+    }
+    write("results/shard_recovery.csv", &xp::shard_chaos_csv(&rows));
+}
+
+fn run_shard_smoke(shards: usize, hours: u64, seed: u64, plane_jobs: usize) {
+    let digest = xp::shard_smoke(shards, hours, seed, plane_jobs);
+    write("results/shard_smoke.csv", &digest);
 }
 
 fn run_proactive(hours: u64, seed: u64, jobs: usize) {

@@ -21,7 +21,8 @@
 pub use autoglobe_pool as pool;
 
 use autoglobe::forecast::ProactiveConfig;
-use autoglobe::{SupervisedRun, SupervisorConfig};
+use autoglobe::harness::ChaosRun;
+use autoglobe::{ShardChaos, ShardRecoveryStats, ShardedRun, SupervisedRun, SupervisorConfig};
 use autoglobe_controller::inputs::TableLoads;
 use autoglobe_controller::{ControllerConfig, ExecutorConfig};
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
@@ -552,11 +553,16 @@ fn chaos_point_config(scale: f64, hours: u64, seed: u64) -> SimConfig {
 }
 
 /// One chaos point: run the Figure 13 scenario with failure rates scaled by
-/// `scale`. A pure function of its arguments — the simulation owns its
-/// seeded RNGs — so points may run on any thread in any order.
+/// `scale`. A pure function of its arguments — the run owns its seeded
+/// RNGs — so points may run on any thread in any order.
+///
+/// Since the supervisor became the public face of the control plane, the
+/// sweep drives [`ChaosRun`] — the chaos evaluation over the beat/tick/poll
+/// API — rather than the simulator's internal chaos wiring (which remains
+/// as the simulator crate's own regression surface).
 pub fn chaos_run(scale: f64, hours: u64, seed: u64) -> Metrics {
     let env = build_environment(Scenario::ConstrainedMobility);
-    Simulation::new(env, chaos_point_config(scale, hours, seed)).run()
+    ChaosRun::new(env, &chaos_point_config(scale, hours, seed)).run()
 }
 
 /// The chaos sweep: every [`CHAOS_SCALES`] point over the Figure 13
@@ -610,6 +616,158 @@ pub fn chaos_csv(rows: &[(f64, Metrics)]) -> String {
             m.alerts,
         )
         .unwrap();
+    }
+    out
+}
+
+/// The ladder the shard-chaos sweep walks: `(shards, owner_kills)` — from
+/// a single owner under ideal conditions up to a 4-way plane losing two
+/// owners mid-run. The shard count of each point is part of the experiment
+/// (it determines how many shards each kill orphans), *not* a concurrency
+/// knob: the `--shards` flag of `experiments shardchaos` only widens the
+/// plane's scoped-thread fan-out and never changes this ladder or the CSV.
+pub const SHARD_CHAOS_LADDER: [(usize, usize); 4] = [(1, 0), (2, 1), (3, 2), (4, 2)];
+
+/// Host-failure rate of the shard-chaos experiment (per server per
+/// simulated hour) — an order of magnitude above the baseline chaos sweep,
+/// so even short horizons exercise detection through a successor owner.
+pub const SHARD_CHAOS_SERVER_FAILURE_PER_HOUR: f64 = 0.05;
+
+/// One shard-chaos point: the Figure 13 scenario on a `shards`-way control
+/// plane with ground-truth host failures, a latent fallible execution
+/// substrate (so owner kills leave in-flight work to fence), and
+/// `owner_kills` scheduled kills of the canonical supervisor. `plane_jobs`
+/// caps the plane's scoped-thread fan-out and is output-neutral. A pure
+/// function of its arguments — safe to fan out across the pool.
+pub fn shard_chaos_run(
+    shards: usize,
+    owner_kills: usize,
+    hours: u64,
+    seed: u64,
+    plane_jobs: usize,
+) -> (Metrics, ShardRecoveryStats) {
+    let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed);
+    let mut sub_seed_state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let exec_seed = splitmix64(&mut sub_seed_state);
+    let supervisor = SupervisorConfig {
+        controller: sim.controller,
+        executor: ExecutorConfig {
+            min_latency: SimDuration::from_secs(30),
+            max_latency: SimDuration::from_minutes(3),
+            timeout: SimDuration::from_minutes(2),
+            failure_probability: CHAOS_EXEC_FAILURE_PROBABILITY,
+            ..ExecutorConfig::reliable()
+        },
+        executor_seed: exec_seed,
+        ..SupervisorConfig::default()
+    };
+    let chaos = ShardChaos {
+        server_failure_per_hour: SHARD_CHAOS_SERVER_FAILURE_PER_HOUR,
+        repair_after: SimDuration::from_hours(1),
+        // Kill the canonical owner at ~1/3 of the horizon, and (for the
+        // two-kill points) its successor at ~2/3.
+        kill_fracs: [0.35, 0.65][..owner_kills.min(2)].to_vec(),
+    };
+    let env = build_environment(Scenario::ConstrainedMobility);
+    ShardedRun::new(env, &sim, supervisor, shards, plane_jobs, chaos).run()
+}
+
+/// The shard-chaos sweep: every [`SHARD_CHAOS_LADDER`] point. Per-point
+/// seeds derive from the master `seed` by a splitmix64 chain *before* the
+/// points fan out across the pool, so the result is bit-identical whatever
+/// `jobs` (sweep fan-out) or `plane_jobs` (per-plane fan-out) is.
+pub fn shard_chaos_sweep(
+    hours: u64,
+    seed: u64,
+    jobs: usize,
+    plane_jobs: usize,
+) -> Vec<(usize, usize, Metrics, ShardRecoveryStats)> {
+    let mut state = seed ^ 0x5EED_0A11_D05E; // shard-chaos seed domain
+    let points: Vec<((usize, usize), u64)> = SHARD_CHAOS_LADDER
+        .iter()
+        .map(|&point| (point, splitmix64(&mut state)))
+        .collect();
+    pool::parallel_map(jobs, points, move |((shards, kills), point_seed)| {
+        let (metrics, stats) = shard_chaos_run(shards, kills, hours, point_seed, plane_jobs);
+        (shards, kills, metrics, stats)
+    })
+}
+
+/// Render the shard-chaos sweep as `results/shard_recovery.csv`: one row
+/// per ladder point with owner-kill detection and shard re-adoption
+/// latencies, fenced operations, dropped triggers, and the self-healing
+/// columns (latencies in seconds).
+pub fn shard_chaos_csv(rows: &[(usize, usize, Metrics, ShardRecoveryStats)]) -> String {
+    let mut out = String::from(
+        "shards,owner_kills,owner_detections,mean_owner_detection_s,\
+         readoptions,mean_readoption_s,fenced_ops,dropped_triggers,\
+         failures,detections,mean_detection_s,recovered,lost_instances,\
+         retried_restarts,repairs,lost_sessions,actions,alerts\n",
+    );
+    for (shards, kills, m, s) in rows {
+        writeln!(
+            out,
+            "{shards},{kills},{},{:.1},{},{:.1},{},{},{},{},{:.1},{},{},{},{},{:.2},{},{}",
+            s.owner_detections,
+            s.mean_owner_detection_secs(),
+            s.readoptions,
+            s.mean_readoption_secs(),
+            s.fenced_ops,
+            s.dropped_triggers,
+            s.failures_injected,
+            s.detections,
+            s.mean_detection_secs(),
+            s.recovered_instances,
+            s.lost_instances,
+            s.retried_restarts,
+            s.repairs,
+            s.lost_sessions,
+            m.actions.len(),
+            m.alerts,
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// A byte-diffable digest of the Figure 13 scenario run on a `shards`-way
+/// control plane under ideal conditions (no chaos, the default reliable
+/// substrate). The digest deliberately omits the shard count: CI diffs the
+/// `--shards 1` digest against `--shards 4` to prove the partitioning is
+/// invisible to the paper's scenarios. Every float is rendered as exact
+/// bits, so any divergence — however small — shows up as a byte difference.
+pub fn shard_smoke(shards: usize, hours: u64, seed: u64, plane_jobs: usize) -> String {
+    let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed);
+    let supervisor = SupervisorConfig {
+        controller: sim.controller,
+        ..SupervisorConfig::default()
+    };
+    let env = build_environment(Scenario::ConstrainedMobility);
+    let (metrics, _) = ShardedRun::new(
+        env,
+        &sim,
+        supervisor,
+        shards,
+        plane_jobs,
+        ShardChaos::none(),
+    )
+    .run();
+    let mut out = String::from("metric,value\n");
+    writeln!(out, "actions,{}", metrics.actions.len()).unwrap();
+    writeln!(out, "alerts,{}", metrics.alerts).unwrap();
+    writeln!(out, "overload_secs,{}", metrics.total_overload().as_secs()).unwrap();
+    writeln!(
+        out,
+        "total_demand_bits,{:016x}",
+        metrics.total_demand.to_bits()
+    )
+    .unwrap();
+    for record in &metrics.actions {
+        writeln!(out, "action,{record}").unwrap();
     }
     out
 }
@@ -1703,6 +1861,32 @@ mod name_resolution_tests {
             assert_eq!(m1.actions, m2.actions);
         }
         assert_eq!(chaos_csv(&sequential), chaos_csv(&parallel));
+    }
+
+    /// `shard_recovery.csv` is a function of (hours, seed) alone: the sweep
+    /// fan-out (`--jobs`) and the per-plane scoped-thread fan-out
+    /// (`--shards` of `experiments shardchaos`) are both output-neutral.
+    #[test]
+    fn shard_chaos_csv_is_bit_identical_across_job_and_plane_job_counts() {
+        let baseline = shard_chaos_csv(&shard_chaos_sweep(2, 7, 1, 1));
+        for (jobs, plane_jobs) in [(4, 1), (1, 2), (4, 4)] {
+            assert_eq!(
+                baseline,
+                shard_chaos_csv(&shard_chaos_sweep(2, 7, jobs, plane_jobs)),
+                "shard chaos diverged at jobs={jobs}, plane_jobs={plane_jobs}"
+            );
+        }
+    }
+
+    /// The shard-smoke digest omits the shard count on purpose — the
+    /// partitioning must be invisible to the paper's scenarios, so the
+    /// digest of a 1-shard plane equals the digest of a 4-shard one.
+    #[test]
+    fn shard_smoke_digest_is_shard_count_invariant() {
+        let one = shard_smoke(1, 6, 42, 1);
+        let four = shard_smoke(4, 6, 42, 2);
+        assert_eq!(one, four);
+        assert!(one.lines().count() >= 5, "digest must carry the metrics");
     }
 
     /// The CSV renderer exposes every robustness column the experiment

@@ -855,13 +855,10 @@ impl AutoGlobeController {
     }
 
     /// Protect the service and servers involved in an executed action (also
-    /// used by the executor after an asynchronous attempt succeeds).
-    pub(crate) fn protect_involved(
-        &mut self,
-        action: &Action,
-        landscape: &Landscape,
-        now: SimTime,
-    ) {
+    /// used by the executor after an asynchronous attempt succeeds, and by
+    /// a control-plane replica replaying an owner-executed record so its
+    /// protection registry matches the owner's).
+    pub fn protect_involved(&mut self, action: &Action, landscape: &Landscape, now: SimTime) {
         let d = self.config.protection_time;
         if let Some(target) = action.target() {
             self.protection.protect(Subject::Server(target), now, d);

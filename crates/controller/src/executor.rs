@@ -188,6 +188,21 @@ pub enum ExecutionEvent {
         /// When the late outcome arrived.
         time: SimTime,
     },
+    /// The operation was stamped with a lease epoch older than the
+    /// executor's fence: its issuer lost ownership (crashed, partitioned,
+    /// or was superseded) after dispatching, so the action is discarded
+    /// without touching the landscape — a revived old owner cannot issue
+    /// ghost moves.
+    FencedStaleEpoch {
+        /// Operation id.
+        id: u64,
+        /// The discarded action.
+        action: Action,
+        /// The stale epoch the operation was issued under.
+        epoch: u64,
+        /// When the fence caught it.
+        time: SimTime,
+    },
     /// The operation exhausted its attempts (or alternate hosts) and was
     /// abandoned; nothing was applied, so no compensation beyond the alert
     /// is needed.
@@ -225,6 +240,8 @@ struct InFlightOp {
     alternates: VecDeque<(ServerId, f64)>,
     /// 1-based number of the current attempt.
     attempt: u32,
+    /// Lease epoch the op was issued under; ops below the fence never apply.
+    epoch: u64,
     state: OpState,
 }
 
@@ -245,6 +262,11 @@ pub struct ActionExecutor {
     in_flight: Vec<InFlightOp>,
     fenced: Vec<LatentOutcome>,
     next_op: u64,
+    /// Epoch stamped onto newly dispatched operations.
+    current_epoch: u64,
+    /// Minimum epoch an operation needs to apply; raised by
+    /// [`ActionExecutor::fence_below`] when a lease changes hands.
+    fence_epoch: u64,
 }
 
 impl ActionExecutor {
@@ -263,7 +285,52 @@ impl ActionExecutor {
             in_flight: Vec::new(),
             fenced: Vec::new(),
             next_op: 0,
+            current_epoch: 0,
+            fence_epoch: 0,
         }
+    }
+
+    /// The lease epoch stamped onto subsequent dispatches. Epoch 0 (the
+    /// default) is the single-owner mode every pre-sharded caller runs in.
+    pub fn epoch(&self) -> u64 {
+        self.current_epoch
+    }
+
+    /// Stamp subsequent dispatches with `epoch` — the issuing shard
+    /// owner's current lease epoch.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.current_epoch = epoch;
+    }
+
+    /// The minimum epoch an operation must carry to be applied.
+    pub fn fence_epoch(&self) -> u64 {
+        self.fence_epoch
+    }
+
+    /// Raise the fence to `min_epoch`: every in-flight operation issued
+    /// under an older lease epoch is discarded immediately (returned as
+    /// [`ExecutionEvent::FencedStaleEpoch`], in dispatch order), and any
+    /// operation dispatched later with a stale stamp is discarded at its
+    /// next poll. The coordination layer calls this when a shard lease
+    /// changes hands, so the previous owner's in-flight work can never
+    /// mutate the landscape after the succession.
+    pub fn fence_below(&mut self, min_epoch: u64, now: SimTime) -> Vec<ExecutionEvent> {
+        self.fence_epoch = self.fence_epoch.max(min_epoch);
+        let mut events = Vec::new();
+        let ops = std::mem::take(&mut self.in_flight);
+        for op in ops {
+            if op.epoch < self.fence_epoch {
+                events.push(ExecutionEvent::FencedStaleEpoch {
+                    id: op.id,
+                    action: op.action,
+                    epoch: op.epoch,
+                    time: now,
+                });
+            } else {
+                self.in_flight.push(op);
+            }
+        }
+        events
     }
 
     /// The substrate configuration.
@@ -294,6 +361,7 @@ impl ActionExecutor {
             host_score: decided.host_score,
             alternates: decided.alternates.into_iter().collect(),
             attempt: 1,
+            epoch: self.current_epoch,
             state,
         });
         id
@@ -329,6 +397,18 @@ impl ActionExecutor {
 
         let ops = std::mem::take(&mut self.in_flight);
         for mut op in ops {
+            // An op dispatched under a lease epoch the fence has since
+            // passed is discarded before its state can advance — late
+            // dispatches from a deposed owner never apply.
+            if op.epoch < self.fence_epoch {
+                events.push(ExecutionEvent::FencedStaleEpoch {
+                    id: op.id,
+                    action: op.action,
+                    epoch: op.epoch,
+                    time: now,
+                });
+                continue;
+            }
             // One op can pass through several states within one poll (e.g.
             // resume from backoff and complete instantly at zero latency);
             // max_attempts bounds the loop.
@@ -826,5 +906,76 @@ mod tests {
         assert_eq!(exec.dispatch(d.clone(), SimTime::ZERO), 0);
         assert_eq!(exec.dispatch(d, SimTime::ZERO), 1);
         assert_eq!(exec.in_flight(), 2);
+    }
+
+    #[test]
+    fn stale_epoch_in_flight_work_is_fenced_at_succession() {
+        // A shard owner dispatches under lease epoch 1, then loses the
+        // lease while the op is still in flight. Raising the fence must
+        // discard the op without it ever touching the landscape.
+        let mut f = fixture();
+        let mut c = AutoGlobeController::new();
+        let config = ExecutorConfig {
+            min_latency: SimDuration::from_minutes(5),
+            max_latency: SimDuration::from_minutes(5),
+            timeout: SimDuration::from_minutes(30),
+            ..ExecutorConfig::reliable()
+        };
+        let mut exec = ActionExecutor::new(config, 7);
+        exec.set_epoch(1);
+        let event = overload_event(f.fi);
+        let planned = c.plan_trigger(&event, &f.landscape, &f.loads, event.time);
+        exec.dispatch(planned.decided.expect("trigger must decide"), event.time);
+        assert_eq!(exec.in_flight(), 1);
+        let before = f.landscape.num_instances();
+
+        let fenced = exec.fence_below(2, event.time + SimDuration::from_minutes(1));
+        assert_eq!(fenced.len(), 1);
+        assert!(
+            matches!(fenced[0], ExecutionEvent::FencedStaleEpoch { epoch: 1, .. }),
+            "succession must fence the stale-epoch op: {fenced:?}"
+        );
+        assert!(exec.is_idle());
+
+        // Long after the op would have completed, nothing applies.
+        let later = event.time + SimDuration::from_hours(1);
+        let events = exec.poll(later, &mut f.landscape, &mut c);
+        assert!(events.is_empty(), "fenced op must stay dead: {events:?}");
+        assert_eq!(f.landscape.num_instances(), before);
+    }
+
+    #[test]
+    fn revived_owner_cannot_issue_ghost_moves() {
+        // The deposed owner revives still believing in its old epoch and
+        // dispatches after the fence was raised: the op is discarded at
+        // its first poll, not applied.
+        let mut f = fixture();
+        let mut c = AutoGlobeController::new();
+        let mut exec = ActionExecutor::new(ExecutorConfig::reliable(), 7);
+        exec.set_epoch(1);
+        assert!(exec.fence_below(2, SimTime::ZERO).is_empty());
+
+        let event = overload_event(f.fi);
+        let planned = c.plan_trigger(&event, &f.landscape, &f.loads, event.time);
+        exec.dispatch(planned.decided.expect("trigger must decide"), event.time);
+        let before = f.landscape.num_instances();
+        let events = exec.poll(event.time, &mut f.landscape, &mut c);
+        assert_eq!(events.len(), 1);
+        assert!(
+            matches!(events[0], ExecutionEvent::FencedStaleEpoch { epoch: 1, .. }),
+            "stale dispatch must fence, not apply: {events:?}"
+        );
+        assert_eq!(f.landscape.num_instances(), before);
+        assert!(exec.is_idle());
+
+        // Re-admitted at the current epoch, the same owner acts normally.
+        exec.set_epoch(2);
+        let planned = c.plan_trigger(&event, &f.landscape, &f.loads, event.time);
+        exec.dispatch(planned.decided.expect("trigger must decide"), event.time);
+        let events = exec.poll(event.time, &mut f.landscape, &mut c);
+        assert!(
+            matches!(events[0], ExecutionEvent::Completed { .. }),
+            "current-epoch dispatch must apply: {events:?}"
+        );
     }
 }

@@ -18,6 +18,9 @@
 //! * **The allocation table** ([`Landscape`]) — which instance runs where,
 //!   with transactional application of actions and constraint checking
 //!   ([`constraints`]).
+//! * **Shard maps** ([`shard`]) — explicit deterministic partitions of the
+//!   landscape for the sharded control plane: every server hashes to one
+//!   shard, services hash on their own id.
 //! * **Synthetic landscapes** ([`synth`]) — seeded, tiered generator for
 //!   the 100×–1000× scale ladder: paper-shaped subsystems at arbitrary
 //!   server counts with millions of aggregate users.
@@ -36,6 +39,7 @@ pub mod error;
 pub mod ids;
 pub mod server;
 pub mod service;
+pub mod shard;
 pub mod synth;
 pub mod xml;
 
@@ -46,4 +50,5 @@ pub use error::LandscapeError;
 pub use ids::{InstanceId, ServerId, ServiceId};
 pub use server::ServerSpec;
 pub use service::{ServiceKind, ServiceSpec};
+pub use shard::{ShardId, ShardMap};
 pub use synth::{SynthConfig, SynthLandscape, SynthWorkload};

@@ -1,0 +1,156 @@
+//! Deterministic landscape sharding for the distributed control plane.
+//!
+//! The sharded control plane partitions ownership of the landscape across
+//! N supervisors: every server hashes to exactly one shard, an instance
+//! belongs to its host's shard, and services (which span servers) hash on
+//! their own id. The map is *explicit* — shard assignment for every server
+//! known at build time is precomputed into a table, so the partition in
+//! force is inspectable and stable even if the hash function ever changes
+//! under it — with the hash as fallback for servers registered later.
+//!
+//! The hash is a fixed splitmix64 finalizer over the raw id, so the same
+//! landscape and shard count always produce the same partition, on any
+//! host, in any process: the partition is part of the deterministic seed
+//! contract, not an ephemeral runtime artifact.
+
+use crate::allocation::Landscape;
+use crate::ids::{ServerId, ServiceId};
+use autoglobe_rng::splitmix64;
+
+/// Index of a shard — also the id of the supervisor that owns it at
+/// construction of a sharded control plane.
+pub type ShardId = usize;
+
+/// Domain salt separating the server hash stream from the service one, so
+/// `srv#k` and `svc#k` do not systematically land on the same shard.
+const SERVER_SALT: u64 = 0x5EED_5A4D_0001;
+const SERVICE_SALT: u64 = 0x5EED_5A4D_0002;
+
+/// An explicit, deterministic partition of a landscape into shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    /// `server index → shard`, for every server known at build time.
+    assignment: Vec<ShardId>,
+}
+
+impl ShardMap {
+    /// Partition `landscape` into `shards` shards by hashing each
+    /// `ServerId` into the explicit assignment table.
+    ///
+    /// # Panics
+    /// Panics when `shards` is zero — an empty partition owns nothing.
+    pub fn new(landscape: &Landscape, shards: usize) -> Self {
+        assert!(shards >= 1, "a shard map needs at least one shard");
+        let bound = landscape
+            .server_ids()
+            .map(|s| s.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut assignment = vec![0; bound];
+        for server in landscape.server_ids() {
+            assignment[server.index()] = hash_shard(server.raw(), SERVER_SALT, shards);
+        }
+        ShardMap { shards, assignment }
+    }
+
+    /// Number of shards in the partition.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `server`. Servers beyond the build-time table fall
+    /// back to the same hash the table was built from, so late-registered
+    /// servers get a stable home without rebuilding the map.
+    pub fn shard_of(&self, server: ServerId) -> ShardId {
+        self.assignment
+            .get(server.index())
+            .copied()
+            .unwrap_or_else(|| hash_shard(server.raw(), SERVER_SALT, self.shards))
+    }
+
+    /// The shard owning `service`. Services span servers, so they hash on
+    /// their own id rather than inheriting a host's shard.
+    pub fn shard_of_service(&self, service: ServiceId) -> ShardId {
+        hash_shard(service.raw(), SERVICE_SALT, self.shards)
+    }
+
+    /// All servers of `landscape` assigned to `shard`, ascending.
+    pub fn servers_of(&self, landscape: &Landscape, shard: ShardId) -> Vec<ServerId> {
+        landscape
+            .server_ids()
+            .filter(|&s| self.shard_of(s) == shard)
+            .collect()
+    }
+}
+
+/// splitmix64 finalizer over `(salt, raw id)` reduced modulo the shard
+/// count. One mixing round is enough: consecutive ids must spread across
+/// shards, not satisfy any cryptographic property.
+fn hash_shard(raw: u32, salt: u64, shards: usize) -> ShardId {
+    let mut state = salt ^ u64::from(raw);
+    (splitmix64(&mut state) % shards as u64) as ShardId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerSpec;
+    use crate::service::{ServiceKind, ServiceSpec};
+
+    fn landscape(servers: u32) -> Landscape {
+        let mut l = Landscape::default();
+        for i in 0..servers {
+            l.add_server(ServerSpec::new(format!("srv{i}"), 1.0))
+                .unwrap();
+        }
+        l.add_service(ServiceSpec::new("svc", ServiceKind::ApplicationServer))
+            .unwrap();
+        l
+    }
+
+    #[test]
+    fn partition_is_total_deterministic_and_explicit() {
+        let l = landscape(19);
+        let a = ShardMap::new(&l, 4);
+        let b = ShardMap::new(&l, 4);
+        assert_eq!(a, b, "same landscape + shard count ⇒ same partition");
+        for server in l.server_ids() {
+            let shard = a.shard_of(server);
+            assert!(shard < 4, "{server} assigned out-of-range shard {shard}");
+            assert!(a.servers_of(&l, shard).contains(&server));
+        }
+        // The explicit table and the hash fallback agree, so a server
+        // registered after the map was built lands where a rebuild would
+        // have put it.
+        let rebuilt = ShardMap::new(&landscape(40), 4);
+        for server in landscape(40).server_ids() {
+            assert_eq!(a.shard_of(server), rebuilt.shard_of(server));
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything_and_many_shards_spread() {
+        let l = landscape(19);
+        let single = ShardMap::new(&l, 1);
+        for server in l.server_ids() {
+            assert_eq!(single.shard_of(server), 0);
+        }
+        for service in l.service_ids() {
+            assert_eq!(single.shard_of_service(service), 0);
+        }
+        let spread = ShardMap::new(&l, 4);
+        let owners: std::collections::BTreeSet<ShardId> =
+            l.server_ids().map(|s| spread.shard_of(s)).collect();
+        assert!(
+            owners.len() > 1,
+            "19 servers hashed into 4 shards must not collapse onto one owner"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        ShardMap::new(&landscape(3), 0);
+    }
+}

@@ -365,7 +365,8 @@ impl Simulation {
                 }
                 ExecutionEvent::Retried { .. } => self.metrics.exec_retries += 1,
                 ExecutionEvent::TimedOut { .. } => self.metrics.exec_timeouts += 1,
-                ExecutionEvent::FencedLateSuccess { .. } => self.metrics.exec_fenced += 1,
+                ExecutionEvent::FencedLateSuccess { .. }
+                | ExecutionEvent::FencedStaleEpoch { .. } => self.metrics.exec_fenced += 1,
                 ExecutionEvent::Abandoned { .. } => {
                     self.metrics.exec_compensations += 1;
                     self.metrics.alerts += 1;

@@ -50,7 +50,7 @@ fn main() {
         supervisor.record_instance(i2, t, 0.50);
         supervisor.record_service(fi, t, (cpu_i1 + 0.5) / 2.0);
 
-        for record in supervisor.tick(t) {
+        for record in supervisor.tick(t).expect("time advances monotonically") {
             println!("[{t}] executed: {record}");
         }
     }

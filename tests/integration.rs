@@ -50,7 +50,7 @@ fn full_loop_from_xml_to_executed_action() {
         supervisor.record_instance(instance, t, 0.93);
         supervisor.record_instance(instance2, t, 0.88);
         supervisor.record_service(app, t, 0.9);
-        executed.extend(supervisor.tick(t));
+        executed.extend(supervisor.tick(t).expect("monotonic time"));
     }
 
     assert!(!executed.is_empty(), "controller must act");
@@ -96,7 +96,7 @@ fn protection_suppresses_subsequent_triggers_end_to_end() {
         }
         supervisor.record_instance(instance, t, 0.92);
         supervisor.record_service(app, t, 0.92);
-        for record in supervisor.tick(t) {
+        for record in supervisor.tick(t).expect("monotonic time") {
             action_times.push(record.time);
         }
     }
@@ -196,7 +196,7 @@ fn declarative_constraints_bind_the_controller() {
         supervisor.record_server(c, t, 0.1, 0.1);
         supervisor.record_instance(instance, t, 0.92);
         supervisor.record_service(app, t, 0.92);
-        executed.extend(supervisor.tick(t));
+        executed.extend(supervisor.tick(t).expect("monotonic time"));
     }
     assert!(!executed.is_empty());
     for record in &executed {
@@ -233,7 +233,7 @@ fn unresolvable_overload_raises_alert() {
         supervisor.record_server(blade, t, 0.95, 0.5);
         supervisor.record_instance(instance, t, 0.95);
         supervisor.record_service(frozen, t, 0.95);
-        assert!(supervisor.tick(t).is_empty());
+        assert!(supervisor.tick(t).expect("monotonic time").is_empty());
     }
     let events = supervisor.drain_events();
     assert!(
