@@ -13,6 +13,7 @@
 //! job count because every simulation owns its seeded RNG.
 
 use autoglobe_bench as xp;
+use autoglobe_controller::ScoringMode;
 use autoglobe_simulator::{Metrics, Scenario};
 use std::fs;
 use std::path::Path;
@@ -27,6 +28,16 @@ fn main() {
     // Intra-run worker threads for the per-server tick phase. Defaults to 1
     // (fully sequential); output is bit-identical at any width.
     let inner_jobs = flag(&args, "--inner-jobs").unwrap_or(1) as usize;
+    // Advisor scoring path. CI renders the figures under `--scoring scalar`
+    // and diffs them against the batched default to prove equivalence.
+    let scoring = match str_flag(&args, "--scoring").as_deref() {
+        None | Some("batched") => ScoringMode::Batched,
+        Some("scalar") => ScoringMode::Scalar,
+        Some(other) => {
+            eprintln!("unknown --scoring value {other:?}; expected scalar or batched");
+            std::process::exit(2);
+        }
+    };
 
     fs::create_dir_all("results").expect("create results dir");
     let mut timings = Timings::new(jobs, hours, seed);
@@ -41,7 +52,7 @@ fn main() {
         "fig10" => timings.record("fig10", run_fig10),
         "inventory" => timings.record("inventory", || println!("{}", xp::inventory())),
         "fig12" => timings.record("fig12", || {
-            run_scenario_figure("fig12", Scenario::Static, hours, seed, inner_jobs)
+            run_scenario_figure("fig12", Scenario::Static, hours, seed, inner_jobs, scoring)
         }),
         "fig13" => timings.record("fig13", || {
             run_scenario_figure(
@@ -50,13 +61,21 @@ fn main() {
                 hours,
                 seed,
                 inner_jobs,
+                scoring,
             )
         }),
         "fig14" => timings.record("fig14", || {
-            run_scenario_figure("fig14", Scenario::FullMobility, hours, seed, inner_jobs)
+            run_scenario_figure(
+                "fig14",
+                Scenario::FullMobility,
+                hours,
+                seed,
+                inner_jobs,
+                scoring,
+            )
         }),
         "fig15" => timings.record("fig15", || {
-            run_fi_figure("fig15", Scenario::Static, hours, seed, inner_jobs)
+            run_fi_figure("fig15", Scenario::Static, hours, seed, inner_jobs, scoring)
         }),
         "fig16" => timings.record("fig16", || {
             run_fi_figure(
@@ -65,10 +84,18 @@ fn main() {
                 hours,
                 seed,
                 inner_jobs,
+                scoring,
             )
         }),
         "fig17" => timings.record("fig17", || {
-            run_fi_figure("fig17", Scenario::FullMobility, hours, seed, inner_jobs)
+            run_fi_figure(
+                "fig17",
+                Scenario::FullMobility,
+                hours,
+                seed,
+                inner_jobs,
+                scoring,
+            )
         }),
         "bench" => timings.record("bench", || run_bench(hours, seed)),
         "scale" => timings.record("scale", || {
@@ -81,7 +108,7 @@ fn main() {
         "scale-smoke" => timings.record("scale-smoke", || {
             let servers = flag(&args, "--servers").unwrap_or(200) as usize;
             let hours = flag(&args, "--hours").unwrap_or(2);
-            run_scale_smoke(servers, hours, seed, inner_jobs)
+            run_scale_smoke(servers, hours, seed, inner_jobs, scoring)
         }),
         "table7" => timings.record("table7", || run_table7(hours, seed, jobs)),
         "chaos" => timings.record("chaos", || run_chaos(hours, seed, jobs)),
@@ -139,7 +166,8 @@ fn main() {
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
                  fig15|fig16|fig17|bench|scale|scale-smoke|table7|chaos|shardchaos|\
                  shard-smoke|proactive|designer|ablation|all> [--hours N] [--seed N] \
-                 [--jobs N] [--inner-jobs N] [--repeats N] [--servers N] [--shards N]"
+                 [--jobs N] [--inner-jobs N] [--repeats N] [--servers N] [--shards N] \
+                 [--scoring scalar|batched]"
             );
             std::process::exit(2);
         }
@@ -153,6 +181,13 @@ fn flag(args: &[String], name: &str) -> Option<u64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn write(path: &str, contents: &str) {
@@ -250,14 +285,28 @@ fn render_fi_figure(name: &str, scenario: Scenario, metrics: &Metrics) {
     summarize(name, scenario, metrics);
 }
 
-fn run_scenario_figure(name: &str, scenario: Scenario, hours: u64, seed: u64, inner_jobs: usize) {
+fn run_scenario_figure(
+    name: &str,
+    scenario: Scenario,
+    hours: u64,
+    seed: u64,
+    inner_jobs: usize,
+    scoring: ScoringMode,
+) {
     // The paper's Figures 12–14 run at +15 % users.
-    let metrics = xp::scenario_run_at(scenario, 1.15, hours, seed, inner_jobs);
+    let metrics = xp::scenario_run_scored(scenario, 1.15, hours, seed, inner_jobs, scoring);
     render_scenario_figure(name, scenario, &metrics);
 }
 
-fn run_fi_figure(name: &str, scenario: Scenario, hours: u64, seed: u64, inner_jobs: usize) {
-    let metrics = xp::scenario_run_at(scenario, 1.15, hours, seed, inner_jobs);
+fn run_fi_figure(
+    name: &str,
+    scenario: Scenario,
+    hours: u64,
+    seed: u64,
+    inner_jobs: usize,
+    scoring: ScoringMode,
+) {
+    let metrics = xp::scenario_run_scored(scenario, 1.15, hours, seed, inner_jobs, scoring);
     render_fi_figure(name, scenario, &metrics);
 }
 
@@ -283,6 +332,12 @@ fn run_bench(hours: u64, seed: u64) {
     // width may fall below the single-thread throughput beyond noise.
     if let Err(err) = xp::check_inner_jobs_no_regression(&json, 0.10) {
         eprintln!("inner-jobs regression detected: {err}");
+        std::process::exit(1);
+    }
+    // Likewise the batched advisor path: it must keep up with the scalar
+    // seed path (and decide identically) on every trigger rung.
+    if let Err(err) = xp::check_triggers_no_regression(&json, 0.10) {
+        eprintln!("trigger-throughput regression detected: {err}");
         std::process::exit(1);
     }
 }
@@ -316,8 +371,8 @@ fn run_scale(hours: u64, seed: u64, repeats: u32) {
     }
 }
 
-fn run_scale_smoke(servers: usize, hours: u64, seed: u64, inner_jobs: usize) {
-    let digest = xp::scale_smoke(servers, hours, seed, inner_jobs);
+fn run_scale_smoke(servers: usize, hours: u64, seed: u64, inner_jobs: usize, scoring: ScoringMode) {
+    let digest = xp::scale_smoke_scored(servers, hours, seed, inner_jobs, scoring);
     write(&format!("results/scale_smoke_{servers}.csv"), &digest);
 }
 

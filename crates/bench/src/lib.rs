@@ -24,7 +24,7 @@ use autoglobe::forecast::ProactiveConfig;
 use autoglobe::harness::ChaosRun;
 use autoglobe::{ShardChaos, ShardRecoveryStats, ShardedRun, SupervisedRun, SupervisorConfig};
 use autoglobe_controller::inputs::TableLoads;
-use autoglobe_controller::{ControllerConfig, ExecutorConfig};
+use autoglobe_controller::{ControllerConfig, ExecutorConfig, ScoringMode};
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
 use autoglobe_landscape::{ActionKind, ServerId, SynthConfig};
 use autoglobe_monitor::{SimDuration, SimTime, Subject, TriggerEvent, TriggerKind};
@@ -249,11 +249,34 @@ pub fn scenario_run_at(
     seed: u64,
     inner_jobs: usize,
 ) -> Metrics {
+    scenario_run_scored(
+        scenario,
+        multiplier,
+        hours,
+        seed,
+        inner_jobs,
+        ScoringMode::default(),
+    )
+}
+
+/// [`scenario_run_at`] with an explicit advisor [`ScoringMode`]. CI diffs
+/// the rendered figures at `ScoringMode::Scalar` against the batched
+/// default to prove the batch path reproduces the paper results byte for
+/// byte.
+pub fn scenario_run_scored(
+    scenario: Scenario,
+    multiplier: f64,
+    hours: u64,
+    seed: u64,
+    inner_jobs: usize,
+    scoring: ScoringMode,
+) -> Metrics {
     let env = build_environment(scenario);
-    let config = SimConfig::paper(scenario, multiplier)
+    let mut config = SimConfig::paper(scenario, multiplier)
         .with_duration(SimDuration::from_hours(hours))
         .with_seed(seed)
         .with_inner_jobs(inner_jobs);
+    config.controller.scoring = scoring;
     Simulation::new(env, config).run()
 }
 
@@ -1218,8 +1241,197 @@ pub fn bench_tick_report(hours: u64, seed: u64, repeats: u32, previous: Option<f
         )
         .unwrap();
     }
+    out.push_str("  ],\n");
+
+    // Trigger-decision throughput: the batched column-wise advisor path and
+    // its warm incremental layer against the seed scalar path, across the
+    // scale ladder. Trigger measurements are far cheaper than the full
+    // simulations above, but the 2,000-server rung still plans hundreds of
+    // decisions per repeat — cap the repeats independently.
+    let trigger_repeats = repeats.clamp(1, 20);
+    let trigger_rungs: Vec<TriggerRung> = TRIGGER_RUNGS
+        .iter()
+        .map(|&servers| trigger_rung(servers, seed, trigger_repeats))
+        .collect();
+    out.push_str("  \"triggers_per_second\": [\n");
+    for (i, r) in trigger_rungs.iter().enumerate() {
+        let comma = if i + 1 < trigger_rungs.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"servers\": {}, \"scalar_triggers_per_sec\": {:.1}, \
+             \"batched_triggers_per_sec\": {:.1}, \
+             \"incremental_triggers_per_sec\": {:.1}, \
+             \"batched_matches_scalar\": {}}}{comma}",
+            r.servers,
+            r.scalar_triggers_per_sec,
+            r.batched_triggers_per_sec,
+            r.incremental_triggers_per_sec,
+            r.batched_matches_scalar,
+        )
+        .unwrap();
+    }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Landscape sizes of the trigger-throughput measurement: the paper pool,
+/// a mid-size synthetic landscape, and the 100× rung.
+pub const TRIGGER_RUNGS: [usize; 3] = [19, 200, 2000];
+
+/// One measured rung of the trigger-throughput benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct TriggerRung {
+    /// Servers in the landscape.
+    pub servers: usize,
+    /// Full trigger decisions per second through the seed scalar path
+    /// (one engine run per candidate, per-call memo).
+    pub scalar_triggers_per_sec: f64,
+    /// Decisions per second through the batched column-wise path with the
+    /// cross-trigger cache flushed before every pass (cold cache: what a
+    /// first-ever trigger storm on a fresh landscape revision pays).
+    pub batched_triggers_per_sec: f64,
+    /// Decisions per second through the batched path with warm caches (the
+    /// steady state: repeated triggers on an unchanged landscape are served
+    /// by the pattern memo and the incremental verdict layer).
+    pub incremental_triggers_per_sec: f64,
+    /// Whether batched and scalar planning decided identically (same
+    /// actions, same host-score bits) on this rung.
+    pub batched_matches_scalar: bool,
+}
+
+/// Measure one rung of the trigger-throughput ladder: best-of-`repeats`
+/// mean `plan_trigger` throughput over the hot services, through the
+/// scalar, batched-cold and batched-warm (incremental) paths.
+pub fn trigger_rung(servers: usize, seed: u64, repeats: u32) -> TriggerRung {
+    use autoglobe_controller::{AutoGlobeController, RuleBases};
+    use std::time::Instant;
+    let repeats = repeats.max(1);
+
+    let env = scale_environment(servers, seed);
+    let (loads, hot) = hot_spot(&env);
+    let now = SimTime::from_hours(9);
+    let events: Vec<TriggerEvent> = hot
+        .iter()
+        .map(|&service| TriggerEvent {
+            kind: TriggerKind::ServiceOverloaded,
+            subject: Subject::Service(service),
+            time: now,
+            average_cpu: 0.93,
+            average_mem: 0.4,
+        })
+        .collect();
+
+    let controller_for = |scoring: ScoringMode| {
+        let config = ControllerConfig {
+            scoring,
+            ..ControllerConfig::default()
+        };
+        AutoGlobeController::with_rule_bases(RuleBases::paper_defaults(), config)
+    };
+
+    // The equivalence probe doubles as engine warm-up for both modes.
+    let mut scalar = controller_for(ScoringMode::Scalar);
+    let mut batched = controller_for(ScoringMode::Batched);
+    let mut matches = true;
+    for event in &events {
+        let s = scalar.plan_trigger(event, &env.landscape, &loads, now);
+        let b = batched.plan_trigger(event, &env.landscape, &loads, now);
+        matches &= match (&s.decided, &b.decided) {
+            (Some(s), Some(b)) => {
+                s.action == b.action
+                    && s.host_score.map(f64::to_bits) == b.host_score.map(f64::to_bits)
+            }
+            (None, None) => true,
+            _ => false,
+        };
+    }
+
+    let measure = |controller: &mut AutoGlobeController, cold: bool| {
+        let mut best = f64::INFINITY;
+        for _ in 0..repeats {
+            if cold {
+                controller.clear_score_cache();
+            }
+            let start = Instant::now();
+            for event in &events {
+                std::hint::black_box(controller.plan_trigger(event, &env.landscape, &loads, now));
+            }
+            let secs = start.elapsed().as_secs_f64();
+            best = best.min(secs / events.len().max(1) as f64);
+        }
+        1.0 / best
+    };
+
+    let scalar_tps = measure(&mut scalar, false);
+    // Cold: flush the cross-trigger cache before every pass, so the number
+    // is a pure batched-inference figure, not an incremental one.
+    let batched_tps = measure(&mut batched, true);
+    // Warm: the caches carry across passes on the unchanged landscape.
+    let incremental_tps = measure(&mut batched, false);
+
+    TriggerRung {
+        servers: env.landscape.num_servers(),
+        scalar_triggers_per_sec: scalar_tps,
+        batched_triggers_per_sec: batched_tps,
+        incremental_triggers_per_sec: incremental_tps,
+        batched_matches_scalar: matches,
+    }
+}
+
+/// Check a [`bench_tick_report`] JSON for a batched-inference regression:
+/// every `triggers_per_second` row must show the batched and incremental
+/// paths reaching at least `(1 - tolerance)` of the scalar throughput, and
+/// batched planning must have decided identically to scalar. Returns the
+/// offending rows on failure.
+pub fn check_triggers_no_regression(json: &str, tolerance: f64) -> Result<(), String> {
+    let mut offenders = Vec::new();
+    let mut rows = 0usize;
+    let mut rest = json;
+    while let Some(at) = rest.find("{\"servers\":") {
+        let row = &rest[at..];
+        let end = row.find('}').unwrap_or(row.len());
+        let row = &row[..end];
+        let field = |key: &str| -> Option<f64> {
+            let v = &row[row.find(key)? + key.len()..];
+            let stop = v.find([',', '}']).unwrap_or(v.len());
+            v[..stop].trim().parse().ok()
+        };
+        if let (Some(servers), Some(scalar), Some(batched), Some(incremental)) = (
+            field("\"servers\":"),
+            field("\"scalar_triggers_per_sec\":"),
+            field("\"batched_triggers_per_sec\":"),
+            field("\"incremental_triggers_per_sec\":"),
+        ) {
+            rows += 1;
+            let floor = scalar * (1.0 - tolerance);
+            if batched < floor {
+                offenders.push(format!(
+                    "servers {servers:.0}: batched {batched:.1} triggers/s < {floor:.1} \
+                     (scalar {scalar:.1})"
+                ));
+            }
+            if incremental < floor {
+                offenders.push(format!(
+                    "servers {servers:.0}: incremental {incremental:.1} triggers/s < {floor:.1} \
+                     (scalar {scalar:.1})"
+                ));
+            }
+            if row.contains("\"batched_matches_scalar\": false") {
+                offenders.push(format!(
+                    "servers {servers:.0}: batched planning diverged from scalar"
+                ));
+            }
+        }
+        rest = &rest[at + end..];
+    }
+    if rows == 0 {
+        return Err("no triggers_per_second rows in the report".into());
+    }
+    if offenders.is_empty() {
+        Ok(())
+    } else {
+        Err(offenders.join("; "))
+    }
 }
 
 /// Extract `single_thread_ticks_per_sec` from a previously emitted
@@ -1502,11 +1714,25 @@ pub fn bench_scale_report(hours: u64, seed: u64, repeats: u32) -> (Vec<ScaleRung
 /// across `inner_jobs` widths: every float is rendered as exact bits, so
 /// any divergence — however small — shows up as a byte difference.
 pub fn scale_smoke(servers: usize, hours: u64, seed: u64, inner_jobs: usize) -> String {
+    scale_smoke_scored(servers, hours, seed, inner_jobs, ScoringMode::default())
+}
+
+/// [`scale_smoke`] with an explicit advisor [`ScoringMode`]; CI diffs the
+/// scalar digest against the batched default on a synthetic landscape the
+/// same way it diffs the paper figures.
+pub fn scale_smoke_scored(
+    servers: usize,
+    hours: u64,
+    seed: u64,
+    inner_jobs: usize,
+    scoring: ScoringMode,
+) -> String {
     let env = scale_environment(servers, seed);
-    let config = SimConfig::paper(Scenario::ConstrainedMobility, 1.0)
+    let mut config = SimConfig::paper(Scenario::ConstrainedMobility, 1.0)
         .with_duration(SimDuration::from_hours(hours))
         .with_seed(seed)
         .with_inner_jobs(inner_jobs);
+    config.controller.scoring = scoring;
     let metrics = Simulation::new(env, config).run();
     let mut out = String::from("metric,value\n");
     writeln!(out, "servers,{servers}").unwrap();
@@ -1666,6 +1892,150 @@ mod tests {
         let json = std::fs::read_to_string(path).expect("results/BENCH_tick.json is checked in");
         if let Err(err) = check_inner_jobs_no_regression(&json, 0.10) {
             panic!("results/BENCH_tick.json records an inner-jobs regression: {err}");
+        }
+    }
+
+    #[test]
+    fn triggers_regression_checker_reads_report_rows() {
+        let good = r#"{"triggers_per_second": [
+            {"servers": 19, "scalar_triggers_per_sec": 1000.0, "batched_triggers_per_sec": 1200.0, "incremental_triggers_per_sec": 5000.0, "batched_matches_scalar": true},
+            {"servers": 2000, "scalar_triggers_per_sec": 100.0, "batched_triggers_per_sec": 98.0, "incremental_triggers_per_sec": 400.0, "batched_matches_scalar": true}
+        ]}"#;
+        assert_eq!(check_triggers_no_regression(good, 0.10), Ok(()));
+        let slow = r#"{"triggers_per_second": [
+            {"servers": 200, "scalar_triggers_per_sec": 1000.0, "batched_triggers_per_sec": 500.0, "incremental_triggers_per_sec": 2000.0, "batched_matches_scalar": true}
+        ]}"#;
+        let err = check_triggers_no_regression(slow, 0.10).unwrap_err();
+        assert!(err.contains("batched 500.0"), "{err}");
+        let diverged = r#"{"triggers_per_second": [
+            {"servers": 200, "scalar_triggers_per_sec": 1000.0, "batched_triggers_per_sec": 2000.0, "incremental_triggers_per_sec": 2000.0, "batched_matches_scalar": false}
+        ]}"#;
+        let err = check_triggers_no_regression(diverged, 0.10).unwrap_err();
+        assert!(err.contains("diverged"), "{err}");
+        assert!(check_triggers_no_regression("{}", 0.10).is_err());
+    }
+
+    /// The checked-in benchmark report must show the batched advisor path
+    /// holding its ground against the scalar seed path (and the warm
+    /// incremental layer on top), with identical decisions.
+    #[test]
+    fn checked_in_bench_tick_report_has_no_triggers_regression() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_tick.json");
+        let json = std::fs::read_to_string(path).expect("results/BENCH_tick.json is checked in");
+        if let Err(err) = check_triggers_no_regression(&json, 0.10) {
+            panic!("results/BENCH_tick.json records a trigger-throughput regression: {err}");
+        }
+    }
+
+    /// Tentpole acceptance, property-style: across seeded random landscapes
+    /// and every action kind, the batched path, the scalar seed path, and
+    /// the incremental layer at epsilon 0 (second ranking served from the
+    /// warm cache) all return bit-identical host rankings — mirroring the
+    /// `indexed_matches_exhaustive` proof one layer down.
+    #[test]
+    fn batched_scalar_and_incremental_rankings_are_bit_identical_on_random_landscapes() {
+        use autoglobe_controller::{AutoGlobeController, RuleBases};
+        let controller_for = |scoring: ScoringMode| {
+            let config = ControllerConfig {
+                scoring,
+                ..ControllerConfig::default()
+            };
+            AutoGlobeController::with_rule_bases(RuleBases::paper_defaults(), config)
+        };
+        let mut state = 0xBA7C_4ED5_C0DEu64;
+        for servers in [37usize, 110] {
+            let env_seed = splitmix64(&mut state);
+            let env = scale_environment(servers, env_seed);
+            let mut loads = TableLoads::new();
+            let rnd = |state: &mut u64| (splitmix64(state) % 1001) as f64 / 1000.0;
+            for server in env.landscape.server_ids() {
+                let (cpu, mem) = (rnd(&mut state), rnd(&mut state));
+                loads.set(Subject::Server(server), cpu, mem);
+            }
+            for service in env.landscape.service_ids() {
+                let (cpu, mem) = (rnd(&mut state), rnd(&mut state));
+                loads.set(Subject::Service(service), cpu, mem);
+                for instance in env.landscape.instances_of(service) {
+                    let cpu = rnd(&mut state);
+                    loads.set(Subject::Instance(instance), cpu, 0.0);
+                }
+            }
+            let now = SimTime::from_hours(9);
+            let mut scalar = controller_for(ScoringMode::Scalar);
+            let mut batched = controller_for(ScoringMode::Batched);
+            let mut warm = controller_for(ScoringMode::Batched);
+            let services: Vec<_> = env.landscape.service_ids().take(3).collect();
+            for kind in ActionKind::ALL {
+                for &service in &services {
+                    let instance = env.landscape.instances_of(service).into_iter().next();
+                    let instance = kind.needs_target().then_some(instance).flatten();
+                    let s = scalar.rank_hosts_indexed(
+                        kind,
+                        service,
+                        instance,
+                        &env.landscape,
+                        &loads,
+                        now,
+                    );
+                    let variants = [
+                        (
+                            "batched",
+                            batched.rank_hosts_indexed(
+                                kind,
+                                service,
+                                instance,
+                                &env.landscape,
+                                &loads,
+                                now,
+                            ),
+                        ),
+                        (
+                            "incremental cold",
+                            warm.rank_hosts_indexed(
+                                kind,
+                                service,
+                                instance,
+                                &env.landscape,
+                                &loads,
+                                now,
+                            ),
+                        ),
+                        (
+                            "incremental warm",
+                            warm.rank_hosts_indexed(
+                                kind,
+                                service,
+                                instance,
+                                &env.landscape,
+                                &loads,
+                                now,
+                            ),
+                        ),
+                    ];
+                    for (label, ranked) in &variants {
+                        assert_eq!(
+                            ranked.len(),
+                            s.len(),
+                            "{label} host count diverged for {kind:?} on {service} \
+                             ({servers} servers)"
+                        );
+                        for (a, b) in ranked.iter().zip(&s) {
+                            assert_eq!(a.0, b.0, "{label} order diverged for {kind:?}");
+                            assert_eq!(
+                                a.1.to_bits(),
+                                b.1.to_bits(),
+                                "{label} score bits diverged for {kind:?} on {:?}",
+                                a.0
+                            );
+                        }
+                    }
+                }
+            }
+            let stats = warm.score_cache_stats();
+            assert!(
+                stats.pattern_hits + stats.incremental_hits > 0,
+                "the repeated rankings must be served from the cache: {stats:?}"
+            );
         }
     }
 

@@ -1,0 +1,294 @@
+//! Cross-trigger fuzzy-score caching for host ranking.
+//!
+//! The server-selection score is a pure function of the ten crisp
+//! [`crate::inputs::ServerInputs`] lanes and the engine (action kind +
+//! service-specific rule base, if any). Two layers exploit that:
+//!
+//! - a **pattern memo** keyed on the exact `[u64; 10]` bit pattern of the
+//!   lanes — a large pool is mostly identical idle servers, which collapse
+//!   to one engine evaluation per distinct tier/load combination, now
+//!   *across* triggers within one landscape revision instead of per call;
+//! - an **incremental verdict layer** keyed per server: the lanes and score
+//!   of the server's last evaluation. When every lane moved less than a
+//!   configurable epsilon since then, re-inference is skipped and the
+//!   cached verdict reused. At epsilon 0 (the default) the gate is exact
+//!   bit equality, so reuse is trivially bit-identical; a non-zero epsilon
+//!   is the opt-in approximate fast mode.
+//!
+//! Both layers are bounded and epoch-cleared: any landscape mutation (seen
+//! via [`autoglobe_landscape::Landscape::revision`]) flushes them, as does
+//! overflowing the size caps below.
+
+use autoglobe_landscape::{ActionKind, ServerId};
+use std::collections::HashMap;
+
+/// Pattern-memo capacity; overflow clears the memo (a full clear is cheaper
+/// and simpler than eviction, and patterns re-memoize in one pass).
+const MAX_PATTERN_ENTRIES: usize = 1 << 16;
+
+/// Verdict-layer capacity (naturally bounded by servers × engines, but
+/// capped defensively all the same).
+const MAX_VERDICT_ENTRIES: usize = 1 << 18;
+
+/// Counters and sizes of the controller's score cache, for tests, consoles
+/// and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScoreCacheStats {
+    /// Lookups answered by the exact-bit-pattern memo.
+    pub pattern_hits: u64,
+    /// Lookups answered by the per-server epsilon-gated verdict layer.
+    pub incremental_hits: u64,
+    /// Lookups that fell through to engine evaluation.
+    pub misses: u64,
+    /// Times the cache was flushed (landscape revision change, manual
+    /// clear, or capacity overflow).
+    pub clears: u64,
+    /// Live pattern-memo entries.
+    pub pattern_entries: usize,
+    /// Live verdict entries.
+    pub verdict_entries: usize,
+}
+
+/// A server's last evaluated inputs (bits for the exact gate, values for
+/// the epsilon gate) and the score they produced.
+#[derive(Debug, Clone, Copy)]
+struct Verdict {
+    bits: [u64; 10],
+    lanes: [f64; 10],
+    score: f64,
+}
+
+/// The bounded, epoch-cleared score cache held by the controller.
+#[derive(Debug, Default)]
+pub(crate) struct ScoreCache {
+    /// Landscape revision the cached entries were computed against.
+    revision: Option<u64>,
+    /// Interned `(action kind, engine key)` pairs; index = engine slot.
+    /// Engine keys follow [`crate::selection::ServerSelector::engine_key`],
+    /// so services sharing the default-base engine share cache entries too.
+    engines: Vec<(ActionKind, String)>,
+    patterns: HashMap<(u32, [u64; 10]), f64>,
+    verdicts: HashMap<(u32, ServerId), Verdict>,
+    pattern_hits: u64,
+    incremental_hits: u64,
+    misses: u64,
+    clears: u64,
+}
+
+impl ScoreCache {
+    /// Flush cached scores if the landscape changed since they were
+    /// computed. Scores are pure functions of their inputs, so this is about
+    /// honoring the epoch contract (and boundedness), not correctness of
+    /// individual entries.
+    pub(crate) fn sync_revision(&mut self, revision: u64) {
+        if self.revision != Some(revision) {
+            if self.revision.is_some() {
+                self.clears += 1;
+            }
+            self.patterns.clear();
+            self.verdicts.clear();
+            self.revision = Some(revision);
+        }
+    }
+
+    /// Unconditionally flush all cached scores (e.g. after swapping rule
+    /// bases or engine configuration).
+    pub(crate) fn clear(&mut self) {
+        self.patterns.clear();
+        self.verdicts.clear();
+        self.revision = None;
+        self.clears += 1;
+    }
+
+    /// Intern an `(action, engine key)` pair into a compact slot id.
+    pub(crate) fn engine_slot(&mut self, kind: ActionKind, engine_key: &str) -> u32 {
+        if let Some(i) = self
+            .engines
+            .iter()
+            .position(|(k, s)| *k == kind && s == engine_key)
+        {
+            return i as u32;
+        }
+        self.engines.push((kind, engine_key.to_string()));
+        (self.engines.len() - 1) as u32
+    }
+
+    /// The incremental layer: the cached verdict for `server`, if its lanes
+    /// moved less than `epsilon` since the last evaluation (exact bit
+    /// equality at `epsilon == 0`).
+    pub(crate) fn incremental_lookup(
+        &mut self,
+        slot: u32,
+        server: ServerId,
+        bits: &[u64; 10],
+        lanes: &[f64; 10],
+        epsilon: f64,
+    ) -> Option<f64> {
+        let verdict = self.verdicts.get(&(slot, server))?;
+        let within = if epsilon == 0.0 {
+            verdict.bits == *bits
+        } else {
+            verdict
+                .lanes
+                .iter()
+                .zip(lanes.iter())
+                .all(|(old, new)| (old - new).abs() <= epsilon)
+        };
+        if within {
+            self.incremental_hits += 1;
+            Some(verdict.score)
+        } else {
+            None
+        }
+    }
+
+    /// The pattern memo: the score of an exact input bit pattern, if any
+    /// server with these inputs was evaluated this epoch.
+    pub(crate) fn pattern_lookup(&mut self, slot: u32, bits: &[u64; 10]) -> Option<f64> {
+        match self.patterns.get(&(slot, *bits)) {
+            Some(&score) => {
+                self.pattern_hits += 1;
+                Some(score)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record a freshly evaluated pattern.
+    pub(crate) fn insert_pattern(&mut self, slot: u32, bits: [u64; 10], score: f64) {
+        if self.patterns.len() >= MAX_PATTERN_ENTRIES {
+            self.patterns.clear();
+            self.clears += 1;
+        }
+        self.patterns.insert((slot, bits), score);
+    }
+
+    /// Anchor a server's verdict at the inputs it was (actually) evaluated
+    /// at. Deliberately *not* called on incremental hits: re-anchoring on a
+    /// skipped evaluation would let a slow drift stay forever within epsilon
+    /// of a moving anchor and never re-evaluate.
+    pub(crate) fn store_verdict(
+        &mut self,
+        slot: u32,
+        server: ServerId,
+        bits: [u64; 10],
+        lanes: [f64; 10],
+        score: f64,
+    ) {
+        if self.verdicts.len() >= MAX_VERDICT_ENTRIES {
+            self.verdicts.clear();
+            self.clears += 1;
+        }
+        self.verdicts
+            .insert((slot, server), Verdict { bits, lanes, score });
+    }
+
+    /// Current counters and sizes.
+    pub(crate) fn stats(&self) -> ScoreCacheStats {
+        ScoreCacheStats {
+            pattern_hits: self.pattern_hits,
+            incremental_hits: self.incremental_hits,
+            misses: self.misses,
+            clears: self.clears,
+            pattern_entries: self.patterns.len(),
+            verdict_entries: self.verdicts.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BITS: [u64; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+    const LANES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+
+    #[test]
+    fn pattern_memo_hits_and_epoch_clears() {
+        let mut cache = ScoreCache::default();
+        cache.sync_revision(7);
+        let slot = cache.engine_slot(ActionKind::Move, "");
+        assert_eq!(cache.pattern_lookup(slot, &BITS), None);
+        cache.insert_pattern(slot, BITS, 0.75);
+        assert_eq!(cache.pattern_lookup(slot, &BITS), Some(0.75));
+        // Same revision: entries survive.
+        cache.sync_revision(7);
+        assert_eq!(cache.pattern_lookup(slot, &BITS), Some(0.75));
+        // Landscape changed: flushed.
+        cache.sync_revision(8);
+        assert_eq!(cache.pattern_lookup(slot, &BITS), None);
+        let stats = cache.stats();
+        assert_eq!(stats.pattern_hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.clears, 1);
+    }
+
+    #[test]
+    fn engine_slots_separate_actions_and_service_keys() {
+        let mut cache = ScoreCache::default();
+        let a = cache.engine_slot(ActionKind::Move, "");
+        let b = cache.engine_slot(ActionKind::ScaleUp, "");
+        let c = cache.engine_slot(ActionKind::Move, "DB");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, cache.engine_slot(ActionKind::Move, ""));
+        cache.insert_pattern(a, BITS, 0.5);
+        assert_eq!(cache.pattern_lookup(b, &BITS), None, "slots are isolated");
+    }
+
+    #[test]
+    fn incremental_gate_is_exact_at_zero_epsilon() {
+        let mut cache = ScoreCache::default();
+        let slot = cache.engine_slot(ActionKind::Move, "");
+        let server = ServerId::new(3);
+        cache.store_verdict(slot, server, BITS, LANES, 0.6);
+        assert_eq!(
+            cache.incremental_lookup(slot, server, &BITS, &LANES, 0.0),
+            Some(0.6)
+        );
+        let mut moved_bits = BITS;
+        moved_bits[0] ^= 1;
+        assert_eq!(
+            cache.incremental_lookup(slot, server, &moved_bits, &LANES, 0.0),
+            None,
+            "any bit change defeats the exact gate"
+        );
+    }
+
+    #[test]
+    fn incremental_gate_tolerates_small_moves_at_nonzero_epsilon() {
+        let mut cache = ScoreCache::default();
+        let slot = cache.engine_slot(ActionKind::Move, "");
+        let server = ServerId::new(3);
+        cache.store_verdict(slot, server, BITS, LANES, 0.6);
+        let mut nearby = LANES;
+        nearby[0] += 0.005;
+        let mut far = LANES;
+        far[4] += 0.5;
+        let nearby_bits = [0u64; 10]; // bits are ignored at nonzero epsilon
+        assert_eq!(
+            cache.incremental_lookup(slot, server, &nearby_bits, &nearby, 0.01),
+            Some(0.6)
+        );
+        assert_eq!(
+            cache.incremental_lookup(slot, server, &nearby_bits, &far, 0.01),
+            None
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_flushes_instead_of_growing() {
+        let mut cache = ScoreCache::default();
+        let slot = cache.engine_slot(ActionKind::Move, "");
+        for i in 0..(MAX_PATTERN_ENTRIES + 10) as u64 {
+            let mut bits = BITS;
+            bits[0] = i;
+            cache.insert_pattern(slot, bits, 0.5);
+        }
+        assert!(cache.stats().pattern_entries <= MAX_PATTERN_ENTRIES);
+        assert!(cache.stats().clears >= 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! success, and an administrator alert when nothing sufficiently applicable
 //! remains.
 
+use crate::cache::{ScoreCache, ScoreCacheStats};
 use crate::executor::{DecidedAction, PlannedTrigger};
 use crate::index::HostIndex;
 use crate::inputs::{ActionInputs, LoadView, ServerInputs};
@@ -34,6 +35,17 @@ pub struct ControllerConfig {
     pub protection_time: SimDuration,
     /// Fuzzy engine configuration (inference method, defuzzifier).
     pub engine: EngineConfig,
+    /// Which evaluation path host scoring takes (batched column-wise
+    /// inference by default; the seed scalar path stays selectable).
+    pub scoring: ScoringMode,
+    /// Epsilon for the incremental scoring layer (batched mode only): a
+    /// server whose ten input lanes all moved less than this since its last
+    /// evaluation keeps its cached verdict without re-inference. `0.0` (the
+    /// default) means the gate is exact input-bit equality, so every result
+    /// stays bit-identical to scalar evaluation; a positive value is the
+    /// opt-in approximate fast mode. Non-finite or negative values are
+    /// treated as `0.0`.
+    pub score_epsilon: f64,
 }
 
 impl Default for ControllerConfig {
@@ -43,8 +55,26 @@ impl Default for ControllerConfig {
             min_host_score: 0.2,
             protection_time: SimDuration::from_minutes(30),
             engine: EngineConfig::default(),
+            scoring: ScoringMode::default(),
+            score_epsilon: 0.0,
         }
     }
+}
+
+/// Which evaluation path [`AutoGlobeController`] uses to score candidate
+/// hosts (see [`ControllerConfig::scoring`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoringMode {
+    /// Column-wise batched fuzzy inference over all eligible candidates at
+    /// once, with a cross-trigger pattern memo and the epsilon-gated
+    /// incremental layer. Bit-identical to [`ScoringMode::Scalar`] when
+    /// [`ControllerConfig::score_epsilon`] is `0.0` (test- and CI-enforced).
+    #[default]
+    Batched,
+    /// One scalar engine run per candidate with a per-call memo — the seed
+    /// behavior, kept selectable as the reference for equivalence diffs and
+    /// the `triggers_per_second` benchmark baseline.
+    Scalar,
 }
 
 /// Automatic vs. semi-automatic operation (Section 4.3).
@@ -114,6 +144,9 @@ pub struct AutoGlobeController {
     log: Vec<ControllerEvent>,
     pending: Vec<PendingAction>,
     next_pending_id: u64,
+    /// Cross-trigger fuzzy-score cache (batched mode): bounded, cleared
+    /// whenever the landscape revision moves.
+    score_cache: ScoreCache,
 }
 
 impl AutoGlobeController {
@@ -133,7 +166,20 @@ impl AutoGlobeController {
             log: Vec::new(),
             pending: Vec::new(),
             next_pending_id: 0,
+            score_cache: ScoreCache::default(),
         }
+    }
+
+    /// Counters and sizes of the cross-trigger score cache (batched mode).
+    pub fn score_cache_stats(&self) -> ScoreCacheStats {
+        self.score_cache.stats()
+    }
+
+    /// Flush the cross-trigger score cache. Invalidation on landscape
+    /// changes is automatic (revision-tracked); call this after swapping
+    /// rule bases or engine configuration out from under the controller.
+    pub fn clear_score_cache(&mut self) {
+        self.score_cache.clear();
     }
 
     /// Switch between automatic and semi-automatic operation.
@@ -574,8 +620,189 @@ impl AutoGlobeController {
         self.rank_hosts_over(candidate, service_name, landscape, loads, now, &index)
     }
 
-    /// The indexed ranking pass over a prebuilt [`HostIndex`].
+    /// The indexed ranking pass over a prebuilt [`HostIndex`], dispatched
+    /// by [`ControllerConfig::scoring`]. Both paths produce bit-identical
+    /// rankings (at `score_epsilon = 0`); batched is the production default.
     fn rank_hosts_over(
+        &mut self,
+        candidate: &Candidate,
+        service_name: &str,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+        index: &HostIndex,
+    ) -> Vec<(ServerId, f64)> {
+        match self.config.scoring {
+            ScoringMode::Batched => {
+                self.rank_hosts_over_batched(candidate, service_name, landscape, loads, now, index)
+            }
+            ScoringMode::Scalar => {
+                self.rank_hosts_over_scalar(candidate, service_name, landscape, loads, now, index)
+            }
+        }
+    }
+
+    /// Batched ranking: one constraint-prefilter pass gathering the dense
+    /// input lanes of every eligible server, cache resolution against the
+    /// cross-trigger pattern memo and the epsilon-gated incremental layer,
+    /// then a **single** column-wise engine cycle
+    /// ([`ServerSelector::score_batch`]) over the distinct uncached input
+    /// patterns — no per-server engine call, no per-server `HashMap`.
+    fn rank_hosts_over_batched(
+        &mut self,
+        candidate: &Candidate,
+        service_name: &str,
+        landscape: &Landscape,
+        loads: &dyn LoadView,
+        now: SimTime,
+        index: &HostIndex,
+    ) -> Vec<(ServerId, f64)> {
+        self.score_cache.sync_revision(landscape.revision());
+        let slot = {
+            let key = self
+                .server_selector
+                .engine_key(candidate.kind, service_name);
+            self.score_cache.engine_slot(candidate.kind, key)
+        };
+        let epsilon = if self.config.score_epsilon.is_finite() && self.config.score_epsilon > 0.0 {
+            self.config.score_epsilon
+        } else {
+            0.0
+        };
+
+        let current_host = candidate
+            .instance
+            .and_then(|i| landscape.instance(i).ok().map(|inst| inst.server));
+        let current_index = current_host
+            .and_then(|h| landscape.server(h).ok())
+            .map(|s| s.performance_index);
+
+        // Pass 1: constraint prefilters and dense lane gather — identical
+        // filters, in identical order, to the scalar path; no engine calls.
+        let mut eligible: Vec<(ServerId, ServerInputs, [u64; 10], [f64; 10])> = Vec::new();
+        for server in landscape.server_ids() {
+            if self.protection.is_protected(Subject::Server(server), now) {
+                continue;
+            }
+            if Some(server) == current_host {
+                continue;
+            }
+            if !index.can_host(landscape, candidate.service, server) {
+                continue;
+            }
+            if candidate.kind == ActionKind::ScaleOut
+                && index.runs_service(server, candidate.service)
+            {
+                continue;
+            }
+            let Ok(spec) = landscape.server(server) else {
+                continue;
+            };
+            if let Some(from_idx) = current_index {
+                match candidate.kind {
+                    ActionKind::ScaleUp if spec.performance_index <= from_idx => continue,
+                    ActionKind::ScaleDown if spec.performance_index >= from_idx => continue,
+                    _ => {}
+                }
+            }
+            let inputs = ServerInputs {
+                cpu_load: loads.cpu(Subject::Server(server)),
+                mem_load: loads.mem(Subject::Server(server)),
+                instances_on_server: index.instance_count_on(server) as f64,
+                performance_index: spec.performance_index,
+                number_of_cpus: spec.num_cpus as f64,
+                cpu_clock: spec.cpu_clock_mhz as f64,
+                cpu_cache: spec.cpu_cache_kb as f64,
+                memory: spec.memory_mb as f64,
+                swap_space: spec.swap_mb as f64,
+                temp_space: spec.temp_space_mb as f64,
+            };
+            let mut bits = [0u64; 10];
+            let mut lanes = [0.0f64; 10];
+            for (i, (_, value)) in inputs.measurements().into_iter().enumerate() {
+                bits[i] = value.to_bits();
+                lanes[i] = value;
+            }
+            // The engine rejects non-finite measurements and the scalar path
+            // skips such servers on that error; skip them up front here so
+            // one poisoned lane cannot abort the whole batch.
+            if lanes.iter().any(|v| !v.is_finite()) {
+                continue;
+            }
+            eligible.push((server, inputs, bits, lanes));
+        }
+
+        // Pass 2: resolve from the caches; collect the first occurrence of
+        // each uncached distinct pattern as a batch row. `refresh` is false
+        // for incremental hits — a reused verdict must not re-anchor the
+        // epsilon gate, or slow drift would never trigger re-evaluation.
+        let mut resolved: Vec<Option<(f64, bool)>> = vec![None; eligible.len()];
+        let mut batch_rows: Vec<usize> = Vec::new();
+        let mut pending: std::collections::HashMap<[u64; 10], Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, (server, _, bits, lanes)) in eligible.iter().enumerate() {
+            if let Some(score) = self
+                .score_cache
+                .incremental_lookup(slot, *server, bits, lanes, epsilon)
+            {
+                resolved[i] = Some((score, false));
+                continue;
+            }
+            if let Some(score) = self.score_cache.pattern_lookup(slot, bits) {
+                resolved[i] = Some((score, true));
+                continue;
+            }
+            pending
+                .entry(*bits)
+                .or_insert_with(|| {
+                    batch_rows.push(i);
+                    Vec::new()
+                })
+                .push(i);
+        }
+        if !batch_rows.is_empty() {
+            let rows: Vec<ServerInputs> = batch_rows.iter().map(|&i| eligible[i].1).collect();
+            // On an engine failure (uniform across one rule base's inputs)
+            // every unresolved server stays skipped, exactly as the scalar
+            // path's per-server skip-on-error behaves.
+            if let Ok(scores) =
+                self.server_selector
+                    .score_batch(candidate.kind, service_name, &rows)
+            {
+                for (&i, score) in batch_rows.iter().zip(scores) {
+                    self.score_cache.insert_pattern(slot, eligible[i].2, score);
+                    if let Some(waiters) = pending.get(&eligible[i].2) {
+                        for &j in waiters {
+                            resolved[j] = Some((score, true));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 3: anchor fresh verdicts for the epsilon gate and apply the
+        // administrator threshold.
+        let mut scored = Vec::new();
+        for (i, (server, _, bits, lanes)) in eligible.iter().enumerate() {
+            let Some((score, refresh)) = resolved[i] else {
+                continue;
+            };
+            if refresh {
+                self.score_cache
+                    .store_verdict(slot, *server, *bits, *lanes, score);
+            }
+            if score >= self.config.min_host_score {
+                scored.push((*server, score));
+            }
+        }
+        scored.sort_unstable_by(host_order);
+        scored
+    }
+
+    /// The seed scalar ranking pass: one engine run per candidate server
+    /// with a per-call pattern memo. Kept verbatim as the reference
+    /// [`ScoringMode::Scalar`] path.
+    fn rank_hosts_over_scalar(
         &mut self,
         candidate: &Candidate,
         service_name: &str,
@@ -1446,5 +1673,243 @@ mod tests {
         let mut signed_zero = [(ServerId::new(1), -0.0), (ServerId::new(2), 0.0)];
         signed_zero.sort_unstable_by(host_order);
         assert_eq!(signed_zero[0].0, ServerId::new(2));
+    }
+
+    /// A controller with the paper rule bases and an explicit scoring mode
+    /// and incremental epsilon.
+    fn controller_with(scoring: ScoringMode, score_epsilon: f64) -> AutoGlobeController {
+        let config = ControllerConfig {
+            scoring,
+            score_epsilon,
+            ..ControllerConfig::default()
+        };
+        AutoGlobeController::with_rule_bases(RuleBases::paper_defaults(), config)
+    }
+
+    /// Mixed-load fixture state shared by the mode-equivalence tests.
+    fn mixed_loads(f: &mut Fixture) {
+        f.landscape.start_instance(f.fi, f.big).unwrap();
+        f.loads.set(Subject::Server(f.blade1), 0.95, 0.5);
+        f.loads.set(Subject::Server(f.blade2), 0.1, 0.2);
+        f.loads.set(Subject::Server(f.big), 0.4, 0.3);
+        f.loads.set(Subject::Instance(f.i1), 0.95, 0.0);
+        f.loads.set(Subject::Instance(f.i2), 0.1, 0.0);
+        f.loads.set(Subject::Service(f.fi), 0.6, 0.0);
+    }
+
+    #[test]
+    fn batched_ranking_is_bit_identical_to_scalar_mode() {
+        let mut f = fixture();
+        mixed_loads(&mut f);
+        let mut batched = controller_with(ScoringMode::Batched, 0.0);
+        let mut scalar = controller_with(ScoringMode::Scalar, 0.0);
+        let now = SimTime::from_minutes(30);
+        for kind in ActionKind::ALL {
+            let instance = kind_uses_instance(kind).then_some(f.i1);
+            let b = batched.rank_hosts_indexed(kind, f.fi, instance, &f.landscape, &f.loads, now);
+            let s = scalar.rank_hosts_indexed(kind, f.fi, instance, &f.landscape, &f.loads, now);
+            assert_eq!(b.len(), s.len(), "host count diverged for {kind:?}");
+            for (x, y) in b.iter().zip(s.iter()) {
+                assert_eq!(x.0, y.0, "host order diverged for {kind:?}");
+                assert_eq!(
+                    x.1.to_bits(),
+                    y.1.to_bits(),
+                    "score bits diverged for {kind:?} on {:?}",
+                    x.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn second_trigger_is_served_from_the_hoisted_cache() {
+        let mut f = fixture();
+        mixed_loads(&mut f);
+        let mut c = AutoGlobeController::new();
+        let event = overload_event(Subject::Service(f.fi), TriggerKind::ServiceOverloaded);
+
+        // First trigger: all evaluations are fresh (the per-call memo is
+        // gone; its replacement lives on the controller).
+        let first = c.plan_trigger(&event, &f.landscape, &f.loads, event.time);
+        let after_first = c.score_cache_stats();
+        assert!(after_first.misses > 0, "first trigger must evaluate");
+        assert!(after_first.pattern_entries > 0);
+
+        // Second trigger on the unchanged landscape: the hoisted cache
+        // answers (the seed's per-call HashMap could not carry over).
+        let second = c.plan_trigger(&event, &f.landscape, &f.loads, event.time);
+        let after_second = c.score_cache_stats();
+        assert!(
+            after_second.pattern_hits + after_second.incremental_hits
+                > after_first.pattern_hits + after_first.incremental_hits,
+            "second trigger must hit the cross-trigger cache: {after_second:?}"
+        );
+        assert_eq!(
+            after_second.clears, after_first.clears,
+            "unchanged landscape must not flush the cache"
+        );
+
+        // Rankings stay bit-identical: same decision, same scores, and both
+        // match a cache-cold fresh controller.
+        let mut fresh = AutoGlobeController::new();
+        let reference = fresh.plan_trigger(&event, &f.landscape, &f.loads, event.time);
+        for planned in [&first, &second] {
+            let d = planned.decided.as_ref().expect("a decision");
+            let r = reference.decided.as_ref().expect("a decision");
+            assert_eq!(d.action, r.action);
+            assert_eq!(
+                d.host_score.map(f64::to_bits),
+                r.host_score.map(f64::to_bits)
+            );
+            assert_eq!(d.alternates.len(), r.alternates.len());
+            for (a, b) in d.alternates.iter().zip(r.alternates.iter()) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn landscape_mutation_flushes_the_score_cache() {
+        let mut f = fixture();
+        mixed_loads(&mut f);
+        let mut c = AutoGlobeController::new();
+        let now = SimTime::from_minutes(30);
+        c.rank_hosts_indexed(
+            ActionKind::Move,
+            f.fi,
+            Some(f.i1),
+            &f.landscape,
+            &f.loads,
+            now,
+        );
+        let before = c.score_cache_stats();
+        assert!(before.pattern_entries > 0);
+
+        // Any landscape mutation bumps the revision; the next ranking must
+        // start from an empty cache.
+        f.landscape.start_instance(f.fi, f.big).unwrap();
+        c.rank_hosts_indexed(
+            ActionKind::Move,
+            f.fi,
+            Some(f.i1),
+            &f.landscape,
+            &f.loads,
+            now,
+        );
+        let after = c.score_cache_stats();
+        assert_eq!(after.clears, before.clears + 1);
+        assert_eq!(after.incremental_hits, 0);
+    }
+
+    #[test]
+    fn nan_load_lanes_are_excluded_in_both_scoring_modes() {
+        let mut f = fixture();
+        mixed_loads(&mut f);
+        // Poison one candidate's CPU lane. The engine now rejects non-finite
+        // measurements with a typed error, so the server is skipped instead
+        // of ranked on a NaN-poisoned score — in both modes, without
+        // aborting the rest of the batch.
+        f.loads.set(Subject::Server(f.big), f64::NAN, 0.3);
+        let now = SimTime::from_minutes(30);
+        for (label, mode) in [
+            ("batched", ScoringMode::Batched),
+            ("scalar", ScoringMode::Scalar),
+        ] {
+            let mut c = controller_with(mode, 0.0);
+            let hosts = c.rank_hosts_indexed(
+                ActionKind::Move,
+                f.fi,
+                Some(f.i1),
+                &f.landscape,
+                &f.loads,
+                now,
+            );
+            assert!(
+                hosts.iter().all(|(s, _)| *s != f.big),
+                "{label}: NaN-lane server must not be ranked: {hosts:?}"
+            );
+            assert!(
+                hosts.iter().all(|(_, score)| score.is_finite()),
+                "{label}: no NaN score may survive: {hosts:?}"
+            );
+            assert!(
+                !hosts.is_empty(),
+                "{label}: healthy candidates must still be ranked"
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_epsilon_skips_reinference_and_zero_epsilon_does_not() {
+        let mut f = fixture();
+        mixed_loads(&mut f);
+        let now = SimTime::from_minutes(30);
+
+        // Opt-in fast mode: a sub-epsilon load move keeps the cached
+        // verdicts (same scores, no re-inference).
+        let mut fast = controller_with(ScoringMode::Batched, 0.05);
+        let before = fast.rank_hosts_indexed(
+            ActionKind::Move,
+            f.fi,
+            Some(f.i1),
+            &f.landscape,
+            &f.loads,
+            now,
+        );
+        f.loads.set(Subject::Server(f.blade2), 0.11, 0.21);
+        let after = fast.rank_hosts_indexed(
+            ActionKind::Move,
+            f.fi,
+            Some(f.i1),
+            &f.landscape,
+            &f.loads,
+            now,
+        );
+        assert!(
+            fast.score_cache_stats().incremental_hits > 0,
+            "sub-epsilon drift must reuse verdicts: {:?}",
+            fast.score_cache_stats()
+        );
+        assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(after.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+
+        // Pinned equivalence at epsilon 0: the same drift re-evaluates and
+        // lands bit-identical to the scalar seed path.
+        let mut exact = controller_with(ScoringMode::Batched, 0.0);
+        exact.rank_hosts_indexed(
+            ActionKind::Move,
+            f.fi,
+            Some(f.i1),
+            &f.landscape,
+            &f.loads,
+            now,
+        );
+        f.loads.set(Subject::Server(f.blade2), 0.12, 0.22);
+        let exact_hosts = exact.rank_hosts_indexed(
+            ActionKind::Move,
+            f.fi,
+            Some(f.i1),
+            &f.landscape,
+            &f.loads,
+            now,
+        );
+        let mut scalar = controller_with(ScoringMode::Scalar, 0.0);
+        let scalar_hosts = scalar.rank_hosts_indexed(
+            ActionKind::Move,
+            f.fi,
+            Some(f.i1),
+            &f.landscape,
+            &f.loads,
+            now,
+        );
+        assert_eq!(exact_hosts.len(), scalar_hosts.len());
+        for (a, b) in exact_hosts.iter().zip(scalar_hosts.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
     }
 }

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod controller;
 pub mod executor;
 pub mod index;
@@ -42,8 +43,10 @@ pub mod rulebase;
 pub mod selection;
 pub mod variables;
 
+pub use cache::ScoreCacheStats;
 pub use controller::{
-    AutoGlobeController, ControllerConfig, ExecutionMode, PendingAction, TriggerOutcome,
+    AutoGlobeController, ControllerConfig, ExecutionMode, PendingAction, ScoringMode,
+    TriggerOutcome,
 };
 pub use executor::{ActionExecutor, DecidedAction, ExecutionEvent, ExecutorConfig, PlannedTrigger};
 pub use index::HostIndex;

@@ -13,29 +13,36 @@ use autoglobe_fuzzy::{parse_rules, FuzzyError, RuleBase};
 use autoglobe_landscape::xml::RuleBaseDescription;
 use autoglobe_landscape::{ActionKind, LandscapeError};
 use autoglobe_monitor::TriggerKind;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The complete set of rule bases the controller runs with: one per trigger
 /// kind for action selection, one per action kind for server selection, plus
 /// optional service-specific extensions layered on top.
+///
+/// All four maps are `BTreeMap`s on purpose: `service_trigger_keys` /
+/// `service_action_keys` are *iterated* when the selectors pre-build their
+/// engines, and a `HashMap` there would make iteration order (and any future
+/// order-dependent consumer) vary run to run — seed-invisible
+/// nondeterminism the rest of the decision path is carefully built to
+/// exclude.
 #[derive(Debug, Clone)]
 pub struct RuleBases {
-    triggers: HashMap<TriggerKind, RuleBase>,
+    triggers: BTreeMap<TriggerKind, RuleBase>,
     /// `(trigger, service name) → extension rules`.
-    service_triggers: HashMap<(TriggerKind, String), RuleBase>,
-    actions: HashMap<ActionKind, RuleBase>,
+    service_triggers: BTreeMap<(TriggerKind, String), RuleBase>,
+    actions: BTreeMap<ActionKind, RuleBase>,
     /// `(action, service name) → extension rules`.
-    service_actions: HashMap<(ActionKind, String), RuleBase>,
+    service_actions: BTreeMap<(ActionKind, String), RuleBase>,
 }
 
 impl RuleBases {
     /// An empty collection (no rules at all — the controller will never act).
     pub fn empty() -> Self {
         RuleBases {
-            triggers: HashMap::new(),
-            service_triggers: HashMap::new(),
-            actions: HashMap::new(),
-            service_actions: HashMap::new(),
+            triggers: BTreeMap::new(),
+            service_triggers: BTreeMap::new(),
+            actions: BTreeMap::new(),
+            service_actions: BTreeMap::new(),
         }
     }
 
@@ -141,12 +148,14 @@ impl RuleBases {
             .contains_key(&(action, service_name.to_string()))
     }
 
-    /// All `(trigger, service)` pairs with service-specific extensions.
+    /// All `(trigger, service)` pairs with service-specific extensions, in
+    /// sorted (deterministic) order.
     pub fn service_trigger_keys(&self) -> impl Iterator<Item = (TriggerKind, &str)> {
         self.service_triggers.keys().map(|(t, s)| (*t, s.as_str()))
     }
 
-    /// All `(action, service)` pairs with service-specific extensions.
+    /// All `(action, service)` pairs with service-specific extensions, in
+    /// sorted (deterministic) order.
     pub fn service_action_keys(&self) -> impl Iterator<Item = (ActionKind, &str)> {
         self.service_actions.keys().map(|(a, s)| (*a, s.as_str()))
     }
@@ -531,6 +540,39 @@ mod tests {
             }]);
             assert!(result.is_err(), "should reject key={key} text={text}");
         }
+    }
+
+    #[test]
+    fn service_keys_iterate_in_sorted_order_regardless_of_insertion() {
+        // The selectors iterate these key sets when pre-building engines;
+        // sorted order (BTreeMap-backed) keeps that — and any future
+        // order-dependent consumer — deterministic run to run.
+        let rules = || parse_rules("IF cpuLoad IS high THEN scaleOut IS applicable").unwrap();
+        let score_rules =
+            || parse_rules("IF performanceIndex IS high THEN score IS applicable").unwrap();
+        let mut forward = RuleBases::paper_defaults();
+        let mut reverse = RuleBases::paper_defaults();
+        let services = ["Web", "DB", "FI", "CRM", "APO"];
+        for svc in services {
+            forward.add_service_trigger_rules(TriggerKind::ServiceOverloaded, svc, rules());
+            forward.add_service_action_rules(ActionKind::Move, svc, score_rules());
+        }
+        for svc in services.iter().rev() {
+            reverse.add_service_trigger_rules(TriggerKind::ServiceOverloaded, *svc, rules());
+            reverse.add_service_action_rules(ActionKind::Move, *svc, score_rules());
+        }
+        let fwd_triggers: Vec<_> = forward.service_trigger_keys().collect();
+        let rev_triggers: Vec<_> = reverse.service_trigger_keys().collect();
+        assert_eq!(fwd_triggers, rev_triggers, "insertion order must not leak");
+        let mut sorted = fwd_triggers.clone();
+        sorted.sort();
+        assert_eq!(fwd_triggers, sorted, "keys iterate sorted");
+        let fwd_actions: Vec<_> = forward.service_action_keys().collect();
+        let rev_actions: Vec<_> = reverse.service_action_keys().collect();
+        assert_eq!(fwd_actions, rev_actions);
+        let mut sorted = fwd_actions.clone();
+        sorted.sort();
+        assert_eq!(fwd_actions, sorted);
     }
 
     #[test]

@@ -28,6 +28,12 @@ pub struct ActionSelector {
     rule_bases: RuleBases,
     config: EngineConfig,
     /// Cache key: `(trigger, service name if it has specific rules else "")`.
+    ///
+    /// Iteration-order audit: this map is only ever probed by key
+    /// (`contains_key` / `insert` / index) — never iterated — so `HashMap`'s
+    /// arbitrary order cannot leak into decisions. The key *lists* that seed
+    /// it come from [`RuleBases::service_trigger_keys`], which is
+    /// `BTreeMap`-backed and therefore sorted.
     engines: HashMap<(TriggerKind, String), Engine>,
 }
 
@@ -148,6 +154,10 @@ pub struct ServerSelector {
     rule_bases: RuleBases,
     config: EngineConfig,
     /// Cache key: `(action, service name if it has specific rules else "")`.
+    ///
+    /// Iteration-order audit: probed by key only, never iterated (see
+    /// [`ActionSelector`]); seeded from the sorted
+    /// [`RuleBases::service_action_keys`].
     engines: HashMap<(ActionKind, String), Engine>,
 }
 
@@ -197,15 +207,24 @@ impl ServerSelector {
         Ok(engine)
     }
 
-    fn engine(&mut self, action: ActionKind, service_name: &str) -> Result<&Engine, FuzzyError> {
-        let service = if self
+    /// The engine-cache key for `(action, service_name)`: the service's own
+    /// name when a service-specific rule extension exists, otherwise the
+    /// empty string (all such services share the default-base engine).
+    /// Exposed so callers that cache scores can key their caches compatibly
+    /// with this engine sharing.
+    pub fn engine_key<'a>(&self, action: ActionKind, service_name: &'a str) -> &'a str {
+        if self
             .rule_bases
             .has_service_action_rules(action, service_name)
         {
             service_name
         } else {
             ""
-        };
+        }
+    }
+
+    fn engine(&mut self, action: ActionKind, service_name: &str) -> Result<&Engine, FuzzyError> {
+        let service = self.engine_key(action, service_name);
         let key = (action, service.to_string());
         if !self.engines.contains_key(&key) {
             let engine = Self::build_engine(&self.rule_bases, self.config, action, service)?;
@@ -226,6 +245,44 @@ impl ServerSelector {
         let engine = self.engine(action, service_name)?;
         let outputs = engine.run(inputs.measurements())?;
         Ok(outputs.get("score").unwrap_or(0.0))
+    }
+
+    /// Score a whole slice of candidate hosts for `action` in one batched
+    /// engine cycle ([`Engine::run_batch`]): the ten measurement lanes are
+    /// laid out as columns and each membership grid is evaluated in one pass
+    /// over all candidates. Bit-identical to calling
+    /// [`ServerSelector::score`] once per candidate (enforced by tests).
+    pub fn score_batch(
+        &mut self,
+        action: ActionKind,
+        service_name: &str,
+        inputs: &[ServerInputs],
+    ) -> Result<Vec<f64>, FuzzyError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let engine = self.engine(action, service_name)?;
+        let rows = inputs.len();
+        let mut names = [""; 10];
+        let mut columns: Vec<Vec<f64>> = (0..10).map(|_| Vec::with_capacity(rows)).collect();
+        for (row, server) in inputs.iter().enumerate() {
+            for (lane, (name, value)) in server.measurements().into_iter().enumerate() {
+                if row == 0 {
+                    names[lane] = name;
+                }
+                columns[lane].push(value);
+            }
+        }
+        let named: Vec<(&str, &[f64])> = names
+            .iter()
+            .zip(columns.iter())
+            .map(|(name, col)| (*name, col.as_slice()))
+            .collect();
+        let outputs = engine.run_batch(&named)?;
+        Ok(match outputs.column("score") {
+            Some(col) => col.to_vec(),
+            None => vec![0.0; rows],
+        })
     }
 }
 
@@ -409,6 +466,64 @@ mod tests {
         let weak_score = s.score(ActionKind::ScaleDown, "FI", &weak).unwrap();
         let strong_score = s.score(ActionKind::ScaleDown, "FI", &strong).unwrap();
         assert!(weak_score > strong_score);
+    }
+
+    #[test]
+    fn score_batch_is_bit_identical_to_scalar_scores() {
+        let mut s = ServerSelector::new(RuleBases::paper_defaults(), EngineConfig::default());
+        let base = ServerInputs {
+            cpu_load: 0.05,
+            mem_load: 0.1,
+            instances_on_server: 0.0,
+            performance_index: 2.0,
+            number_of_cpus: 2.0,
+            cpu_clock: 933.0,
+            cpu_cache: 512.0,
+            memory: 4096.0,
+            swap_space: 8192.0,
+            temp_space: 20_480.0,
+        };
+        let candidates: Vec<ServerInputs> = (0..40)
+            .map(|i| ServerInputs {
+                cpu_load: i as f64 / 40.0,
+                mem_load: (40 - i) as f64 / 50.0,
+                instances_on_server: (i % 7) as f64,
+                performance_index: (i % 10) as f64,
+                ..base
+            })
+            .collect();
+        for kind in ActionKind::ALL {
+            let batched = s.score_batch(kind, "FI", &candidates).unwrap();
+            assert_eq!(batched.len(), candidates.len());
+            for (row, inputs) in candidates.iter().enumerate() {
+                let scalar = s.score(kind, "FI", inputs).unwrap();
+                assert_eq!(
+                    batched[row].to_bits(),
+                    scalar.to_bits(),
+                    "{kind:?} row {row}: batch {} vs scalar {scalar}",
+                    batched[row]
+                );
+            }
+        }
+        assert!(s
+            .score_batch(ActionKind::Move, "FI", &[])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn engine_key_tracks_service_specific_rules() {
+        let mut rb = RuleBases::paper_defaults();
+        rb.add_service_action_rules(
+            ActionKind::Move,
+            "DB",
+            autoglobe_fuzzy::parse_rules("IF performanceIndex IS high THEN score IS applicable")
+                .unwrap(),
+        );
+        let s = ServerSelector::new(rb, EngineConfig::default());
+        assert_eq!(s.engine_key(ActionKind::Move, "DB"), "DB");
+        assert_eq!(s.engine_key(ActionKind::Move, "FI"), "");
+        assert_eq!(s.engine_key(ActionKind::ScaleUp, "DB"), "");
     }
 
     #[test]

@@ -58,7 +58,7 @@ impl Outputs {
             .iter()
             .map(|(k, &val)| (k.as_str(), val))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         v
     }
 
@@ -84,6 +84,45 @@ impl Index<&str> for Outputs {
         self.values
             .get(name)
             .unwrap_or_else(|| panic!("no output variable `{name}`"))
+    }
+}
+
+/// Crisp outputs of one batched controller cycle ([`Engine::run_batch`]):
+/// one value per declared output variable per input row, stored column-major
+/// and row-aligned with the input columns.
+#[derive(Debug, Clone)]
+pub struct BatchOutputs {
+    rows: usize,
+    /// Output variable names, sorted, one per column of `values`.
+    names: Vec<String>,
+    /// `values[col * rows + row]` is output `names[col]` for input row `row`.
+    values: Vec<f64>,
+}
+
+impl BatchOutputs {
+    /// Number of input rows this batch evaluated.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The crisp values of output variable `name` across all rows, or `None`
+    /// if no such output variable is declared.
+    pub fn column(&self, name: &str) -> Option<&[f64]> {
+        let col = self.names.binary_search_by(|n| n.as_str().cmp(name)).ok()?;
+        Some(&self.values[col * self.rows..(col + 1) * self.rows])
+    }
+
+    /// The outputs of a single row, in the same shape [`Engine::run`] returns.
+    ///
+    /// # Panics
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: usize) -> Outputs {
+        assert!(row < self.rows, "row {row} out of {} batch rows", self.rows);
+        let mut values = HashMap::with_capacity(self.names.len());
+        for (col, name) in self.names.iter().enumerate() {
+            values.insert(name.clone(), self.values[col * self.rows + row]);
+        }
+        Outputs { values }
     }
 }
 
@@ -334,6 +373,12 @@ impl Engine {
                 .inputs
                 .get(name)
                 .ok_or_else(|| FuzzyError::UnknownVariable { name: name.into() })?;
+            if !value.is_finite() {
+                return Err(FuzzyError::NonFiniteMeasurement {
+                    name: name.into(),
+                    value,
+                });
+            }
             measured.insert(name, value);
             for (term, grade) in var.fuzzify_named(value) {
                 grades.insert((name.to_string(), term.to_string()), grade);
@@ -393,6 +438,192 @@ impl Engine {
         Ok(Outputs { values })
     }
 
+    /// Run one controller cycle over a whole batch of measurement rows.
+    ///
+    /// `columns` supplies one `(input variable, values)` column per measured
+    /// variable; all columns must have the same length (the row count). Row
+    /// `i` of every column together forms one measurement set, exactly as if
+    /// passed to [`Engine::run`] — and the results are **bit-identical** to
+    /// `rows` scalar `run` calls (a property the test suite enforces).
+    ///
+    /// On the analytic path (the paper's max–min / leftmost-max configuration
+    /// with single-ramp consequents, see [`Engine::run`]) evaluation is
+    /// column-wise: each membership function is applied in one pass over the
+    /// whole column (a tight, autovectorizable loop), rule antecedents are
+    /// evaluated element-wise over grade columns, and no per-row `HashMap` is
+    /// built at all. Other configurations transparently fall back to per-row
+    /// scalar runs.
+    ///
+    /// # Panics
+    /// Panics if the columns disagree on length.
+    pub fn run_batch(&self, columns: &[(&str, &[f64])]) -> Result<BatchOutputs, FuzzyError> {
+        let rows = columns.first().map(|(_, v)| v.len()).unwrap_or(0);
+        for (name, values) in columns {
+            assert_eq!(
+                values.len(),
+                rows,
+                "batch column `{name}` has {} rows, expected {rows}",
+                values.len()
+            );
+        }
+
+        // Same validation as the scalar path: known variables, finite values,
+        // and a measurement for every rule-referenced input.
+        for (name, values) in columns {
+            if !self.inputs.contains_key(*name) {
+                return Err(FuzzyError::UnknownVariable {
+                    name: (*name).into(),
+                });
+            }
+            for &value in values.iter() {
+                if !value.is_finite() {
+                    return Err(FuzzyError::NonFiniteMeasurement {
+                        name: (*name).into(),
+                        value,
+                    });
+                }
+            }
+        }
+        for var_name in self.rules.input_variables() {
+            if !columns.iter().any(|(name, _)| *name == var_name) {
+                return Err(FuzzyError::MissingMeasurement {
+                    name: var_name.to_string(),
+                });
+            }
+        }
+
+        let mut names: Vec<String> = self.outputs.keys().cloned().collect();
+        names.sort_unstable();
+
+        if rows == 0 {
+            return Ok(BatchOutputs {
+                rows: 0,
+                names,
+                values: Vec::new(),
+            });
+        }
+
+        if !self.analytic_eligible() {
+            // Fallback: row-at-a-time scalar cycles — trivially bit-identical.
+            let mut values = vec![0.0; names.len() * rows];
+            let mut row_buf: Vec<(&str, f64)> = Vec::with_capacity(columns.len());
+            for row in 0..rows {
+                row_buf.clear();
+                row_buf.extend(columns.iter().map(|(name, col)| (*name, col[row])));
+                let out = self.run(row_buf.iter().copied())?;
+                for (col, name) in names.iter().enumerate() {
+                    values[col * rows + row] = out.get(name).expect("declared output");
+                }
+            }
+            return Ok(BatchOutputs {
+                rows,
+                names,
+                values,
+            });
+        }
+
+        self.infer_batch(columns, rows, names)
+    }
+
+    /// The column-wise analytic core of [`Engine::run_batch`]: membership
+    /// grids evaluated one pass per `(variable, term)` over the whole input
+    /// slice, compiled slot-indexed antecedents evaluated element-wise, and
+    /// the closed-form ramp defuzzification applied per output column.
+    ///
+    /// Every arithmetic step mirrors [`Engine::run_analytic`] operation for
+    /// operation (clamp → membership eval, `min`/`max`/`1 − x` antecedent
+    /// combinators in the same association order, weight multiply, strict `>`
+    /// height accumulation from 0.0, `(a + h·(b − a)).clamp(lo, hi)`), which
+    /// is what makes the batch bit-identical to scalar runs.
+    fn infer_batch(
+        &self,
+        columns: &[(&str, &[f64])],
+        rows: usize,
+        names: Vec<String>,
+    ) -> Result<BatchOutputs, FuzzyError> {
+        // 1. Fuzzification, column-wise: a grade column per (variable, term).
+        let mut slot_of: HashMap<(&str, &str), usize> = HashMap::new();
+        let mut grades: Vec<Vec<f64>> = Vec::new();
+        let mut clamped = vec![0.0f64; rows];
+        for (name, values) in columns {
+            let var = &self.inputs[*name];
+            let (lo, hi) = var.range();
+            for (dst, &x) in clamped.iter_mut().zip(values.iter()) {
+                *dst = x.clamp(lo, hi);
+            }
+            for term in var.terms() {
+                let slot = *slot_of.entry((*name, term.name())).or_insert_with(|| {
+                    grades.push(Vec::new());
+                    grades.len() - 1
+                });
+                let col = &mut grades[slot];
+                col.clear();
+                col.reserve(rows);
+                // One membership function over one contiguous column: the
+                // autovectorizable inner loop of the batch path.
+                col.extend(clamped.iter().map(|&x| term.grade(x)));
+            }
+        }
+
+        // 2. Compile rule antecedents to grade-slot indices (no string
+        //    lookups in the per-row evaluation below).
+        let mut height_slot_of: HashMap<&str, usize> = HashMap::new();
+        let mut heights: Vec<Vec<f64>> = Vec::new();
+        let mut compiled: Vec<(BatchNode, f64, usize)> = Vec::with_capacity(self.rules.len());
+        for rule in self.rules.rules() {
+            let node = compile_antecedent(&rule.antecedent, &slot_of)?;
+            let slot = *height_slot_of
+                .entry(rule.consequent.variable.as_str())
+                .or_insert_with(|| {
+                    heights.push(vec![0.0; rows]);
+                    heights.len() - 1
+                });
+            compiled.push((node, rule.weight, slot));
+        }
+
+        // 3. Inference, element-wise: rule truth columns folded into per-output
+        //    height columns with the same strict-`>` max as the scalar path.
+        let mut truth = vec![0.0f64; rows];
+        for (node, weight, slot) in &compiled {
+            node.eval_into(&grades, &mut truth);
+            let height = &mut heights[*slot];
+            for (h, &t) in height.iter_mut().zip(truth.iter()) {
+                let t = t * weight;
+                if t > *h {
+                    *h = t;
+                }
+            }
+        }
+
+        // 4. Closed-form defuzzification per output column.
+        let mut values = vec![0.0; names.len() * rows];
+        for (col, name) in names.iter().enumerate() {
+            let var = &self.outputs[name];
+            let (lo, hi) = var.range();
+            let out = &mut values[col * rows..(col + 1) * rows];
+            match (
+                height_slot_of.get(name.as_str()).map(|&s| &heights[s]),
+                self.ramps.get(name),
+            ) {
+                (Some(height), Some(&Some((a, b)))) => {
+                    for (dst, &h) in out.iter_mut().zip(height.iter()) {
+                        *dst = if h > 0.0 {
+                            (a + h * (b - a)).clamp(lo, hi)
+                        } else {
+                            lo
+                        };
+                    }
+                }
+                _ => out.fill(lo),
+            }
+        }
+        Ok(BatchOutputs {
+            rows,
+            names,
+            values,
+        })
+    }
+
     fn run_detailed_from_grades(
         &self,
         grades: &HashMap<(String, String), Truth>,
@@ -443,6 +674,76 @@ fn validate_terms(
         }
         Not(a) => validate_terms(a, var_name, var),
     }
+}
+
+/// A rule antecedent compiled against a batch's grade columns: `Is` atoms
+/// become indices into the per-`(variable, term)` grade slots, so per-row
+/// evaluation does no string hashing at all.
+#[derive(Debug, Clone)]
+enum BatchNode {
+    Is(usize),
+    And(Box<BatchNode>, Box<BatchNode>),
+    Or(Box<BatchNode>, Box<BatchNode>),
+    Not(Box<BatchNode>),
+}
+
+impl BatchNode {
+    /// Evaluate this node element-wise over all rows into `out`. The
+    /// combinators are the same `f64::min` / `f64::max` / `1.0 − x` (left
+    /// operand first) as `Antecedent::eval`, applied per element.
+    fn eval_into(&self, grades: &[Vec<f64>], out: &mut [f64]) {
+        match self {
+            BatchNode::Is(slot) => out.copy_from_slice(&grades[*slot]),
+            BatchNode::And(a, b) => {
+                a.eval_into(grades, out);
+                let mut rhs = vec![0.0; out.len()];
+                b.eval_into(grades, &mut rhs);
+                for (l, &r) in out.iter_mut().zip(rhs.iter()) {
+                    *l = l.min(r);
+                }
+            }
+            BatchNode::Or(a, b) => {
+                a.eval_into(grades, out);
+                let mut rhs = vec![0.0; out.len()];
+                b.eval_into(grades, &mut rhs);
+                for (l, &r) in out.iter_mut().zip(rhs.iter()) {
+                    *l = l.max(r);
+                }
+            }
+            BatchNode::Not(a) => {
+                a.eval_into(grades, out);
+                for v in out.iter_mut() {
+                    *v = 1.0 - *v;
+                }
+            }
+        }
+    }
+}
+
+/// Resolve every `Is` atom of `ant` to its grade-column slot.
+fn compile_antecedent(
+    ant: &crate::rule::Antecedent,
+    slot_of: &HashMap<(&str, &str), usize>,
+) -> Result<BatchNode, FuzzyError> {
+    use crate::rule::Antecedent::*;
+    Ok(match ant {
+        Is { variable, term } => BatchNode::Is(
+            *slot_of
+                .get(&(variable.as_str(), term.as_str()))
+                .ok_or_else(|| FuzzyError::UnknownVariable {
+                    name: format!("{variable} IS {term}"),
+                })?,
+        ),
+        And(a, b) => BatchNode::And(
+            Box::new(compile_antecedent(a, slot_of)?),
+            Box::new(compile_antecedent(b, slot_of)?),
+        ),
+        Or(a, b) => BatchNode::Or(
+            Box::new(compile_antecedent(a, slot_of)?),
+            Box::new(compile_antecedent(b, slot_of)?),
+        ),
+        Not(a) => BatchNode::Not(Box::new(compile_antecedent(a, slot_of)?)),
+    })
 }
 
 /// The full result of [`Engine::run_detailed`].
@@ -708,6 +1009,143 @@ mod tests {
         let ranked = out.ranked();
         assert_eq!(ranked[0].0, "a");
         assert_eq!(ranked[1].0, "b");
+    }
+
+    #[test]
+    fn non_finite_measurements_are_rejected() {
+        let e = paper_engine();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = e
+                .run([("cpuLoad", bad), ("performanceIndex", 5.0)])
+                .unwrap_err();
+            assert!(
+                matches!(err, FuzzyError::NonFiniteMeasurement { ref name, .. } if name == "cpuLoad"),
+                "expected NonFiniteMeasurement for {bad}, got {err:?}"
+            );
+        }
+        // The batch path rejects the same inputs.
+        let err = e
+            .run_batch(&[
+                ("cpuLoad", &[0.5, f64::NAN][..]),
+                ("performanceIndex", &[5.0, 5.0][..]),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, FuzzyError::NonFiniteMeasurement { .. }));
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_scalar_runs_on_a_sweep() {
+        // The core batch guarantee: run_batch over N rows produces exactly
+        // the bits N scalar `run` calls produce, across the whole input grid.
+        let e = paper_engine();
+        let mut cpu = Vec::new();
+        let mut perf = Vec::new();
+        for c in 0..=20 {
+            for p in 0..=25 {
+                cpu.push(c as f64 / 20.0);
+                perf.push(p as f64 / 2.5);
+            }
+        }
+        let batch = e
+            .run_batch(&[("cpuLoad", &cpu[..]), ("performanceIndex", &perf[..])])
+            .unwrap();
+        assert_eq!(batch.rows(), cpu.len());
+        for row in 0..cpu.len() {
+            let scalar = e
+                .run([("cpuLoad", cpu[row]), ("performanceIndex", perf[row])])
+                .unwrap();
+            for name in ["scaleUp", "scaleOut"] {
+                let b = batch.column(name).unwrap()[row];
+                assert_eq!(
+                    b.to_bits(),
+                    scalar[name].to_bits(),
+                    "{name} row {row}: batch {b} vs scalar {}",
+                    scalar[name]
+                );
+            }
+            // The per-row view agrees too.
+            let view = batch.row(row);
+            assert_eq!(view["scaleUp"].to_bits(), scalar["scaleUp"].to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_on_the_non_analytic_fallback() {
+        // Triangle consequent → sampled path; run_batch must transparently
+        // fall back to per-row scalar cycles and stay bit-identical.
+        let mut e = Engine::new();
+        e.add_input(load_variable("x"));
+        e.add_output(
+            LinguisticVariable::builder("y")
+                .range(0.0, 1.0)
+                .term("mid", MembershipFunction::triangle(0.2, 0.5, 0.8))
+                .build()
+                .unwrap(),
+        );
+        e.add_rule_str("IF x IS high THEN y IS mid").unwrap();
+        let xs: Vec<f64> = (0..=40).map(|i| i as f64 / 40.0).collect();
+        let batch = e.run_batch(&[("x", &xs[..])]).unwrap();
+        for (row, &x) in xs.iter().enumerate() {
+            let scalar = e.run([("x", x)]).unwrap();
+            assert_eq!(
+                batch.column("y").unwrap()[row].to_bits(),
+                scalar["y"].to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_handles_weighted_and_compound_rules() {
+        // Exercise Not/Or nesting and rule weights through the compiled
+        // element-wise evaluator.
+        let mut e = paper_engine();
+        e.add_rule(
+            parse_rule(
+                "IF NOT (cpuLoad IS low OR cpuLoad IS medium) AND performanceIndex IS low \
+                 THEN scaleUp IS applicable",
+            )
+            .unwrap()
+            .with_weight(0.7),
+        )
+        .unwrap();
+        let cpu: Vec<f64> = (0..=30).map(|i| i as f64 / 30.0).collect();
+        let perf: Vec<f64> = (0..=30).map(|i| (30 - i) as f64 / 3.0).collect();
+        let batch = e
+            .run_batch(&[("cpuLoad", &cpu[..]), ("performanceIndex", &perf[..])])
+            .unwrap();
+        for row in 0..cpu.len() {
+            let scalar = e
+                .run([("cpuLoad", cpu[row]), ("performanceIndex", perf[row])])
+                .unwrap();
+            for name in ["scaleUp", "scaleOut"] {
+                assert_eq!(
+                    batch.column(name).unwrap()[row].to_bits(),
+                    scalar[name].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_validates_like_the_scalar_path() {
+        let e = paper_engine();
+        // Unknown column.
+        assert!(matches!(
+            e.run_batch(&[("bogus", &[0.1][..])]),
+            Err(FuzzyError::UnknownVariable { .. })
+        ));
+        // Missing rule input.
+        assert!(matches!(
+            e.run_batch(&[("cpuLoad", &[0.1][..])]),
+            Err(FuzzyError::MissingMeasurement { .. })
+        ));
+        // Empty batch: still well-formed, zero rows.
+        let empty = e
+            .run_batch(&[("cpuLoad", &[][..]), ("performanceIndex", &[][..])])
+            .unwrap();
+        assert_eq!(empty.rows(), 0);
+        assert_eq!(empty.column("scaleUp").unwrap().len(), 0);
+        assert!(empty.column("bogus").is_none());
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub enum FuzzyError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// A measurement was NaN or infinite. Non-finite values would otherwise
+    /// flow through `clamp` (which passes NaN) into membership grades, rule
+    /// truths, and finally into `total_cmp`-sorted rankings — silently
+    /// poisoning the decision instead of surfacing the faulty sensor.
+    NonFiniteMeasurement {
+        /// Name of the measured variable.
+        name: String,
+        /// The offending value (NaN, +∞ or −∞).
+        value: f64,
+    },
 }
 
 impl fmt::Display for FuzzyError {
@@ -95,6 +105,12 @@ impl fmt::Display for FuzzyError {
             }
             FuzzyError::VariableRoleMismatch { name, reason } => {
                 write!(f, "variable `{name}` used in the wrong role: {reason}")
+            }
+            FuzzyError::NonFiniteMeasurement { name, value } => {
+                write!(
+                    f,
+                    "non-finite measurement for input variable `{name}`: {value}"
+                )
             }
         }
     }

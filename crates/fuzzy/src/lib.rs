@@ -89,7 +89,7 @@ pub mod set;
 pub mod variable;
 
 pub use defuzz::Defuzzifier;
-pub use engine::{Engine, EngineConfig, Outputs};
+pub use engine::{BatchOutputs, Engine, EngineConfig, Outputs};
 pub use error::FuzzyError;
 pub use inference::{infer, infer_with_grids, InferenceConfig, InferenceMethod, InferenceResult};
 pub use membership::MembershipFunction;

@@ -95,6 +95,11 @@ pub struct Landscape {
     instances: BTreeMap<InstanceId, Instance>,
     next_instance: u32,
     next_ip: u32,
+    /// Bumped on every successful mutation (registration, availability,
+    /// instance start/stop/move, priority change). Callers that cache
+    /// decisions derived from the landscape — e.g. the controller's
+    /// fuzzy-score caches — compare revisions to know when to invalidate.
+    revision: u64,
 }
 
 impl Landscape {
@@ -114,6 +119,7 @@ impl Landscape {
         let id = ServerId::new(self.servers.len() as u32);
         self.servers.push(spec);
         self.available.push(true);
+        self.revision += 1;
         Ok(id)
     }
 
@@ -126,6 +132,7 @@ impl Landscape {
         let id = ServiceId::new(self.services.len() as u32);
         self.priorities.push(spec.priority);
         self.services.push(spec);
+        self.revision += 1;
         Ok(id)
     }
 
@@ -269,6 +276,13 @@ impl Landscape {
         self.available.get(server.index()).copied().unwrap_or(false)
     }
 
+    /// Monotonic change counter: bumped on every successful mutation. Two
+    /// equal revisions on the same `Landscape` value guarantee no allocation,
+    /// availability, registration or priority change happened in between.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Mark a server failed or repaired. Marking a host failed does not
     /// remove its instances — the controller's failure handling restarts
     /// them elsewhere.
@@ -279,6 +293,7 @@ impl Landscape {
     ) -> Result<(), LandscapeError> {
         self.server(server)?;
         self.available[server.index()] = available;
+        self.revision += 1;
         Ok(())
     }
 
@@ -315,14 +330,18 @@ impl Landscape {
                 ip,
             },
         );
+        self.revision += 1;
         Ok(id)
     }
 
     /// Stop an instance. Does **not** check constraints.
     pub fn stop_instance(&mut self, id: InstanceId) -> Result<Instance, LandscapeError> {
-        self.instances
+        let inst = self
+            .instances
             .remove(&id)
-            .ok_or(LandscapeError::UnknownInstance { id })
+            .ok_or(LandscapeError::UnknownInstance { id })?;
+        self.revision += 1;
+        Ok(inst)
     }
 
     /// Move an instance to `target`, rebinding its virtual IP. Does **not**
@@ -339,6 +358,7 @@ impl Landscape {
             .ok_or(LandscapeError::UnknownInstance { id })?;
         let from = inst.server;
         inst.server = target;
+        self.revision += 1;
         Ok(from)
     }
 
@@ -373,6 +393,7 @@ impl Landscape {
             Action::IncreasePriority { service } => {
                 let p = self.priority(service)?.increased();
                 self.priorities[service.index()] = p;
+                self.revision += 1;
                 ApplyOutcome::PriorityChanged {
                     service,
                     priority: p,
@@ -381,6 +402,7 @@ impl Landscape {
             Action::ReducePriority { service } => {
                 let p = self.priority(service)?.reduced();
                 self.priorities[service.index()] = p;
+                self.revision += 1;
                 ApplyOutcome::PriorityChanged {
                     service,
                     priority: p,
