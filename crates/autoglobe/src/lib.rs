@@ -85,7 +85,8 @@ pub mod supervisor;
 
 pub use harness::{ChaosRun, SupervisedRun};
 pub use sharded::{
-    Lease, PlaneEvent, ShardChaos, ShardRecoveryStats, ShardedControlPlane, ShardedRun,
+    IngestStats, Lease, PlaneEvent, ReplicationMode, ShardChaos, ShardRecoveryStats,
+    ShardedControlPlane, ShardedRun,
 };
 pub use supervisor::{Supervisor, SupervisorConfig};
 

@@ -6,15 +6,36 @@
 //! The landscape is partitioned into `shards` by the explicit, deterministic
 //! [`ShardMap`] (hash-by-id, see `autoglobe-landscape`). Each shard has an
 //! *owner*: one of N supervisor replicas, recorded in a [`Lease`] carrying a
-//! monotonically increasing epoch. Every replica receives **all**
-//! measurements and applies them to its own full copy of the landscape —
-//! state machine replication, not state partitioning — so each replica's
-//! monitoring derives the identical confirmed-trigger stream. The plane
-//! takes that stream from the lowest live replica (the *canonical* one) and
-//! brokers each dispatch through the lease table: only the shard's current
-//! lease holder plans and executes the trigger, stamped with the lease
-//! epoch, and every resulting [`ActionRecord`] is replayed onto the other
-//! replicas ([`Supervisor::apply_remote`]) to keep them in lockstep.
+//! monotonically increasing epoch. Every replica keeps a full copy of the
+//! landscape, and every landscape mutation — each [`ActionRecord`] an owner
+//! executes, each confirmed failure — is replayed onto the other replicas
+//! ([`Supervisor::apply_remote`], [`Supervisor::replay_failure`]) in one
+//! global ascending-live-replica order, keeping them in lockstep. What
+//! differs between the two [`ReplicationMode`]s is who ingests the
+//! *measurement* stream:
+//!
+//! * [`ReplicationMode::Full`] — every live replica applies the complete
+//!   buffered stream to its own monitoring (state machine replication,
+//!   not state partitioning), so each replica derives the identical
+//!   confirmed-trigger stream; the plane takes that stream from the lowest
+//!   live replica (the *canonical* one).
+//! * [`ReplicationMode::Delta`] (the default) — each replica ingests only
+//!   the measurements of subjects in its **owned** shards, so its load
+//!   archive and fuzzy advisors cover 1/shards of the landscape and
+//!   per-replica monitoring work drops from O(landscape) to
+//!   O(landscape/shards) per tick. Foreign loads arrive as a compact
+//!   per-shard [`ShardDelta`] (current loads plus advisor watch
+//!   snapshots), applied in ascending live-replica order exactly where
+//!   `apply_remote` runs; cross-shard reads during trigger planning go
+//!   through this read-only replicated loads view, never through foreign
+//!   monitoring state. The global trigger stream is the merge of the
+//!   owners' streams, restored to measurement-arrival order (then
+//!   proactive subjects ascending) — the very order the canonical replica
+//!   derives in full mode, bit for bit.
+//!
+//! Either way the plane brokers each dispatch through the lease table: only
+//! the shard's current lease holder plans and executes the trigger, stamped
+//! with the lease epoch.
 //!
 //! # Failure of a shard owner
 //!
@@ -36,7 +57,15 @@
 //! 3. the successor watch-adopts every subject of the shard that has ever
 //!    heartbeated the plane, so a server that was already silent when the
 //!    old owner died still accrues misses with the new owner and its
-//!    failure is confirmed after the usual detection window.
+//!    failure is confirmed after the usual detection window;
+//! 4. under delta replication the successor also rebuilds the shard's
+//!    monitoring from the plane's [`SampleRing`]: each adopted advisor is
+//!    restored from the dead owner's last published watch snapshot and
+//!    replays the samples that arrived after it. Any trigger the replay
+//!    re-derives is one full replication would have dropped at dispatch
+//!    while the shard was headless, so it is counted and evented
+//!    identically ([`PlaneEvent::TriggerDropped`] at the trigger's own
+//!    confirmation time).
 //!
 //! Triggers for a shard whose lease still points at a dead-but-unconfirmed
 //! owner are dropped (and counted): the shard is headless for the detection
@@ -51,9 +80,13 @@
 
 use crate::supervisor::{PendingTrigger, RecoveryRecord, Supervisor, SupervisorConfig};
 use autoglobe_controller::{ActionRecord, ControllerEvent, ExecutionEvent};
-use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId, ShardId, ShardMap};
+use autoglobe_landscape::{
+    DeltaSubject, InstanceId, Landscape, SampleRing, ServerId, ServiceId, ShardDelta, ShardId,
+    ShardMap, WatchSnapshot,
+};
 use autoglobe_monitor::{
-    HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor, SimDuration, SimTime, Subject,
+    Advisor, HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor, LoadSample, SimDuration, SimTime,
+    Subject, SubjectConfig, WatchState,
 };
 use autoglobe_pool as pool;
 use autoglobe_rng::{splitmix64, Rng};
@@ -66,6 +99,94 @@ use crate::supervisor::SupervisorError;
 /// Seed domain separating the derived executor streams of secondary
 /// replicas from the primary's configured seed.
 const REPLICA_SEED_DOMAIN: u64 = 0x5EED_5A4D_0003;
+
+/// How non-owners learn about foreign shards' measurements (see the module
+/// docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicationMode {
+    /// Every live replica ingests the complete measurement stream into its
+    /// own monitoring — state machine replication. Kept as the
+    /// proof/reference path: CI diffs its outputs against delta mode.
+    Full,
+    /// Owner-scoped ingestion plus compact per-shard [`ShardDelta`]s:
+    /// per-replica monitoring work is O(landscape/shards) per tick with
+    /// bit-identical outputs (test-enforced).
+    #[default]
+    Delta,
+}
+
+/// Cumulative measurement-ingestion accounting. Full replication performs
+/// `live_replicas ×` the buffered count of supervisor-side ingestions;
+/// delta replication at most one per measurement — the per-replica work
+/// reduction, assertable in tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Measurements buffered through `record_*` and consumed by ticks.
+    pub buffered: u64,
+    /// Supervisor-side measurement ingestions (archive + advisor records).
+    pub ingested: u64,
+}
+
+/// Global ordering key for merging the owners' trigger streams in delta
+/// mode: measured triggers first, in measurement-arrival order (full
+/// mode's record order), then proactive triggers by subject (full mode's
+/// servers-then-services landscape walk is exactly [`Subject`]'s order).
+/// The derived `Ord` encodes both rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TriggerKey {
+    Measured(u64),
+    Proactive(Subject),
+}
+
+fn to_delta(subject: Subject) -> DeltaSubject {
+    match subject {
+        Subject::Server(s) => DeltaSubject::Server(s),
+        Subject::Service(s) => DeltaSubject::Service(s),
+        Subject::Instance(i) => DeltaSubject::Instance(i),
+    }
+}
+
+fn from_delta(subject: DeltaSubject) -> Subject {
+    match subject {
+        DeltaSubject::Server(s) => Subject::Server(s),
+        DeltaSubject::Service(s) => Subject::Service(s),
+        DeltaSubject::Instance(i) => Subject::Instance(i),
+    }
+}
+
+fn snapshot_of(watch: WatchState) -> WatchSnapshot {
+    match watch {
+        WatchState::Quiet => WatchSnapshot::Quiet,
+        WatchState::Overload { since } => WatchSnapshot::Overload {
+            since_secs: since.as_secs(),
+        },
+        WatchState::Idle { since } => WatchSnapshot::Idle {
+            since_secs: since.as_secs(),
+        },
+    }
+}
+
+fn state_of(snapshot: WatchSnapshot) -> WatchState {
+    match snapshot {
+        WatchSnapshot::Quiet => WatchState::Quiet,
+        WatchSnapshot::Overload { since_secs } => WatchState::Overload {
+            since: SimTime::from_secs(since_secs),
+        },
+        WatchSnapshot::Idle { since_secs } => WatchState::Idle {
+            since: SimTime::from_secs(since_secs),
+        },
+    }
+}
+
+/// Ring retention: the longest advisor retention a plane-registered subject
+/// can have, plus an hour of slack. [`Advisor::restore`] re-prunes to the
+/// advisor's own retention during replay, so the slack never changes a
+/// rebuild — it only guarantees no needed sample was evicted early.
+fn ring_retention_secs() -> u64 {
+    let server = SubjectConfig::paper_defaults(1.0).retention().as_secs();
+    let service = SubjectConfig::service_defaults().retention().as_secs();
+    server.max(service) + 3600
+}
 
 /// A shard ownership lease: who may act for the shard, and under which
 /// coordination epoch. Epochs only ever increase; an action stamped with an
@@ -129,6 +250,13 @@ struct ShardWorker {
     supervisor: Supervisor,
     alive: bool,
     inbox_beats: Vec<(Subject, SimTime)>,
+    /// Delta mode: owner-routed measurements for this replica's shards,
+    /// tagged with their global arrival sequence (buffer reused per tick).
+    inbox_measurements: Vec<(u64, Subject, SimTime, f64, f64)>,
+    /// Delta mode: arrival tags of the measurements whose ingestion raised
+    /// a confirmed trigger, in ingestion order — tandem with the measured
+    /// prefix of `scratch_triggers`.
+    trigger_tags: Vec<(u64, Subject)>,
     scratch_triggers: Vec<PendingTrigger>,
 }
 
@@ -164,12 +292,27 @@ pub struct ShardedControlPlane {
     /// Every subject that has ever heartbeated through the plane, so a
     /// successor knows what to watch-adopt.
     beated: BTreeSet<Subject>,
-    /// Measurements buffered since the last tick, in arrival order; every
-    /// live replica applies the full stream at the next tick.
+    /// Measurements buffered since the last tick, in arrival order; the
+    /// next tick drains them in place (the buffer's capacity is reused,
+    /// never reallocated per tick — test-enforced).
     measurements: Vec<(Subject, SimTime, f64, f64)>,
     /// The authoritative controller-event stream (one copy per event, in
     /// plane order — replica replays are drained and discarded).
     controller_events: Vec<ControllerEvent>,
+    replication: ReplicationMode,
+    /// Delta mode: plane-retained samples plus last published watch
+    /// snapshots for every server/service — what a successor rebuilds an
+    /// adopted shard's monitoring from.
+    ring: SampleRing,
+    /// Per-shard delta under construction each delta-mode tick (buffers
+    /// reused across ticks).
+    deltas: Vec<ShardDelta>,
+    ingest: IngestStats,
+    /// Reusable instance-routing table for delta-mode ticks: instance id →
+    /// owning shard (`u32::MAX` = departed). Refilled from one instance
+    /// walk per tick, replacing a tree lookup per instance measurement.
+    /// Length is meaningless between ticks.
+    route_scratch: Vec<u32>,
     jobs: usize,
     last_now: Option<SimTime>,
 }
@@ -196,6 +339,8 @@ impl ShardedControlPlane {
                     supervisor: Supervisor::with_config(landscape.clone(), worker_config),
                     alive: true,
                     inbox_beats: Vec::new(),
+                    inbox_measurements: Vec::new(),
+                    trigger_tags: Vec::new(),
                     scratch_triggers: Vec::new(),
                 }
             })
@@ -204,7 +349,7 @@ impl ShardedControlPlane {
         for i in 0..shards {
             liveness.watch(Subject::Server(ServerId::new(i as u32)));
         }
-        ShardedControlPlane {
+        let mut plane = ShardedControlPlane {
             workers,
             leases: (0..shards).map(|i| Lease { owner: i, epoch: 0 }).collect(),
             map,
@@ -213,8 +358,78 @@ impl ShardedControlPlane {
             beated: BTreeSet::new(),
             measurements: Vec::new(),
             controller_events: Vec::new(),
+            replication: ReplicationMode::Delta,
+            ring: SampleRing::new(ring_retention_secs()),
+            deltas: (0..shards).map(|s| ShardDelta::new(s, 0, 0)).collect(),
+            ingest: IngestStats::default(),
+            route_scratch: Vec::new(),
             jobs: shards,
             last_now: None,
+        };
+        plane.apply_scopes();
+        plane
+    }
+
+    /// Choose the [`ReplicationMode`] (builder form). Must be applied
+    /// before any measurement is recorded: switching re-scopes every
+    /// replica's monitoring from scratch.
+    pub fn with_replication(mut self, mode: ReplicationMode) -> Self {
+        self.set_replication(mode);
+        self
+    }
+
+    /// Choose the [`ReplicationMode`]; see
+    /// [`with_replication`](Self::with_replication).
+    pub fn set_replication(&mut self, mode: ReplicationMode) {
+        if mode == self.replication {
+            return;
+        }
+        self.replication = mode;
+        match mode {
+            ReplicationMode::Full => {
+                for w in &mut self.workers {
+                    w.supervisor.clear_monitor_scope();
+                }
+            }
+            ReplicationMode::Delta => self.apply_scopes(),
+        }
+    }
+
+    /// The active replication mode.
+    pub fn replication(&self) -> ReplicationMode {
+        self.replication
+    }
+
+    /// Cumulative measurement-ingestion counters.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest
+    }
+
+    /// Capacity of the plane's measurement buffer (allocation tests: the
+    /// buffer is drained in place and reused, never handed off per tick).
+    pub fn measurement_buffer_capacity(&self) -> usize {
+        self.measurements.capacity()
+    }
+
+    /// The per-shard deltas published by the last delta-mode tick
+    /// (inspection / tests; the buffers are rebuilt every tick).
+    pub fn last_deltas(&self) -> &[ShardDelta] {
+        &self.deltas
+    }
+
+    /// Scope each replica's monitoring to the shards it currently owns.
+    fn apply_scopes(&mut self) {
+        for i in 0..self.workers.len() {
+            let owned: BTreeSet<ShardId> = self
+                .leases
+                .iter()
+                .enumerate()
+                .filter(|&(_, lease)| lease.owner == i)
+                .map(|(shard, _)| shard)
+                .collect();
+            self.workers[i]
+                .supervisor
+                .set_monitor_scope(self.map.clone(), owned);
         }
     }
 
@@ -478,33 +693,46 @@ impl ShardedControlPlane {
                     report
                         .events
                         .push(PlaneEvent::OwnerConfirmed { supervisor, time });
-                    report.fenced += self.succeed(supervisor, now, &mut report.events);
+                    let fenced = self.succeed(supervisor, now, &mut report);
+                    report.fenced += fenced;
                 }
                 HeartbeatEvent::Reconciled { .. } => {}
             }
         }
 
-        // ---- 2. Parallel measurement fan-in: every live replica applies
-        // the full buffered measurement stream and its routed beats.
-        // Replicas are independent here, so any fan-out width produces
-        // identical results.
-        let measurements = std::mem::take(&mut self.measurements);
-        pool::parallel_chunks_mut(self.jobs, &mut self.workers, |_, chunk| {
-            for w in chunk.iter_mut().filter(|w| w.alive) {
-                for &(subject, time, cpu, mem) in &measurements {
-                    match subject {
-                        Subject::Server(s) => w.supervisor.record_server(s, time, cpu, mem),
-                        Subject::Service(s) => w.supervisor.record_service(s, time, cpu),
-                        Subject::Instance(i) => w.supervisor.record_instance(i, time, cpu),
+        // ---- 2. Measurement fan-in. Full mode: every live replica applies
+        // the complete buffered stream. Delta mode: the plane routes each
+        // measurement to its owner and publishes per-shard deltas. Replicas
+        // are independent inside the parallel regions, so any fan-out width
+        // produces identical results.
+        self.ingest.buffered += self.measurements.len() as u64;
+        match self.replication {
+            ReplicationMode::Full => {
+                let live_count = self.workers.iter().filter(|w| w.alive).count() as u64;
+                self.ingest.ingested += live_count * self.measurements.len() as u64;
+                let measurements = &self.measurements;
+                pool::parallel_chunks_mut(self.jobs, &mut self.workers, |_, chunk| {
+                    for w in chunk.iter_mut().filter(|w| w.alive) {
+                        for &(subject, time, cpu, mem) in measurements {
+                            match subject {
+                                Subject::Server(s) => w.supervisor.record_server(s, time, cpu, mem),
+                                Subject::Service(s) => w.supervisor.record_service(s, time, cpu),
+                                Subject::Instance(i) => w.supervisor.record_instance(i, time, cpu),
+                            }
+                        }
+                        for idx in 0..w.inbox_beats.len() {
+                            let (subject, time) = w.inbox_beats[idx];
+                            w.supervisor
+                                .beat(subject, time)
+                                .expect("the plane routes monotonic beats");
+                        }
+                        w.inbox_beats.clear();
                     }
-                }
-                for (subject, time) in std::mem::take(&mut w.inbox_beats) {
-                    w.supervisor
-                        .beat(subject, time)
-                        .expect("the plane routes monotonic beats");
-                }
+                });
+                self.measurements.clear();
             }
-        });
+            ReplicationMode::Delta => self.ingest_deltas(now),
+        }
 
         // ---- 3/4. Sequential interval close, ascending replica order:
         // close replica i's monitoring interval (which settles its earlier
@@ -545,19 +773,36 @@ impl ShardedControlPlane {
                         self.workers[j].supervisor.drain_events();
                     }
                 }
+                if self.replication == ReplicationMode::Delta {
+                    if let Some(shard) = self.shard_of_subject(rec.subject) {
+                        self.deltas[shard]
+                            .recoveries
+                            .push((to_delta(rec.subject), rec.time.as_secs()));
+                    }
+                }
                 report.recoveries.push(rec);
             }
         }
 
-        // ---- 5. The canonical trigger stream, brokered through the lease
-        // table: the owner stamps the lease epoch, plans, dispatches; every
-        // completion is replicated. Headless shards drop (and count) their
-        // triggers — monitoring re-raises them under the next owner.
-        let canonical = self.canonical();
-        let triggers = std::mem::take(&mut self.workers[canonical].scratch_triggers);
-        for &i in &live {
-            self.workers[i].scratch_triggers.clear();
-        }
+        // ---- 5. The global trigger stream, brokered through the lease
+        // table. Full mode: the canonical replica's stream (all replicas
+        // derive identical copies). Delta mode: the owners' streams merged
+        // back into that same global order. The owner stamps the lease
+        // epoch, plans, dispatches; every completion is replicated.
+        // Headless shards drop (and count) their triggers — monitoring
+        // re-raises them under the next owner.
+        let triggers: Vec<PendingTrigger> = match self.replication {
+            ReplicationMode::Full => {
+                let canonical = self.canonical();
+                let triggers = std::mem::take(&mut self.workers[canonical].scratch_triggers);
+                for &i in &live {
+                    self.workers[i].scratch_triggers.clear();
+                    self.workers[i].trigger_tags.clear();
+                }
+                triggers
+            }
+            ReplicationMode::Delta => self.merge_triggers(&live),
+        };
         for trigger in triggers {
             let Some(shard) = self.shard_of_subject(trigger.event.subject) else {
                 continue;
@@ -614,10 +859,11 @@ impl ShardedControlPlane {
 
     /// Deterministic succession for a confirmed-dead supervisor: bump the
     /// global epoch, move every lease it held to the lowest live replica,
-    /// watch-adopt the shard's heartbeating subjects, and fence the dead
+    /// watch-adopt the shard's heartbeating subjects, rebuild the shard's
+    /// monitoring from the sample ring (delta mode), and fence the dead
     /// owner's in-flight work below the new epoch. Returns the number of
     /// fenced operations.
-    fn succeed(&mut self, dead: usize, now: SimTime, events: &mut Vec<PlaneEvent>) -> usize {
+    fn succeed(&mut self, dead: usize, now: SimTime, report: &mut PlaneTickReport) -> usize {
         let orphaned: Vec<ShardId> = (0..self.leases.len())
             .filter(|&s| self.leases[s].owner == dead)
             .collect();
@@ -631,7 +877,7 @@ impl ShardedControlPlane {
                 owner: successor,
                 epoch: self.epoch,
             };
-            events.push(PlaneEvent::ShardReadopted {
+            report.events.push(PlaneEvent::ShardReadopted {
                 shard,
                 from: dead,
                 to: successor,
@@ -647,11 +893,316 @@ impl ShardedControlPlane {
             for subject in adopt {
                 self.workers[successor].supervisor.watch(subject);
             }
+            if self.replication == ReplicationMode::Delta {
+                self.workers[successor].supervisor.adopt_shard(shard);
+                self.rebuild_shard_monitoring(shard, successor, report);
+            }
         }
         self.workers[dead]
             .supervisor
             .fence_stale_epochs(self.epoch, now)
             .len()
+    }
+
+    /// Delta-mode phase 2: route the buffered stream (owner inboxes, the
+    /// sample ring, per-shard delta loads), let owners ingest their
+    /// inboxes in parallel, then publish the deltas — watch snapshots into
+    /// the ring, foreign loads onto every other live replica — in
+    /// ascending live-replica order. Headless shards have no publisher;
+    /// the plane itself applies their loads to every live replica so
+    /// cross-shard planning never reads a stale view.
+    fn ingest_deltas(&mut self, now: SimTime) {
+        let now_secs = now.as_secs();
+        for shard in 0..self.deltas.len() {
+            let epoch = self.leases[shard].epoch;
+            let delta = &mut self.deltas[shard];
+            delta.shard = shard;
+            delta.epoch = epoch;
+            delta.now_secs = now_secs;
+            delta.loads.clear();
+            delta.watches.clear();
+            delta.recoveries.clear();
+        }
+
+        // Hoist subject routing out of the arrival loop: server and service
+        // shards come from bounds checks plus [`ShardMap`], and one instance
+        // walk flattens the tree into a dense id → shard table — the loop
+        // below must not pay a canonical-landscape resolve and a tree
+        // lookup per instance measurement. The table reproduces
+        // [`Self::shard_of_subject`] exactly: a departed instance id maps
+        // to the `u32::MAX` sentinel, i.e. `None`.
+        let mut instance_shard = std::mem::take(&mut self.route_scratch);
+        let (num_servers, num_services) = {
+            let landscape = self.landscape();
+            instance_shard.clear();
+            instance_shard.resize(landscape.instance_id_bound() as usize, u32::MAX);
+            for inst in landscape.instances() {
+                instance_shard[inst.id.index()] = self.map.shard_of(inst.server) as u32;
+            }
+            (landscape.num_servers(), landscape.num_services())
+        };
+
+        // Route in global arrival order, tagging each measurement with its
+        // arrival sequence. Subjects that departed since recording drop
+        // here — the supervisors' own `record` fences them identically.
+        for seq in 0..self.measurements.len() {
+            let (subject, time, cpu, mem) = self.measurements[seq];
+            let shard = match subject {
+                Subject::Server(s) if s.index() < num_servers => self.map.shard_of(s),
+                Subject::Service(s) if s.index() < num_services => self.map.shard_of_service(s),
+                Subject::Instance(i) => match instance_shard.get(i.index()).copied() {
+                    Some(shard) if shard != u32::MAX => shard as ShardId,
+                    _ => continue,
+                },
+                _ => continue,
+            };
+            match subject {
+                Subject::Server(_) | Subject::Service(_) => {
+                    self.ring.push(to_delta(subject), time.as_secs(), cpu, mem);
+                }
+                Subject::Instance(_) => {}
+            }
+            self.deltas[shard].loads.push((to_delta(subject), cpu, mem));
+            let owner = self.leases[shard].owner;
+            if self.workers[owner].alive {
+                self.workers[owner]
+                    .inbox_measurements
+                    .push((seq as u64, subject, time, cpu, mem));
+            }
+        }
+        self.measurements.clear();
+        self.route_scratch = instance_shard;
+
+        // Owners ingest their own shards only — O(landscape/shards) per
+        // replica — noting the arrival tag of every ingestion that raised
+        // a trigger, so phase 5 can restore the global order.
+        self.ingest.ingested += self
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .map(|w| w.inbox_measurements.len() as u64)
+            .sum::<u64>();
+        pool::parallel_chunks_mut(self.jobs, &mut self.workers, |_, chunk| {
+            for w in chunk.iter_mut().filter(|w| w.alive) {
+                for idx in 0..w.inbox_measurements.len() {
+                    let (seq, subject, time, cpu, mem) = w.inbox_measurements[idx];
+                    let before = w.supervisor.pending_trigger_count();
+                    match subject {
+                        Subject::Server(s) => w.supervisor.record_server(s, time, cpu, mem),
+                        Subject::Service(s) => w.supervisor.record_service(s, time, cpu),
+                        Subject::Instance(i) => w.supervisor.record_instance(i, time, cpu),
+                    }
+                    if w.supervisor.pending_trigger_count() > before {
+                        w.trigger_tags.push((seq, subject));
+                    }
+                }
+                w.inbox_measurements.clear();
+                for idx in 0..w.inbox_beats.len() {
+                    let (subject, time) = w.inbox_beats[idx];
+                    w.supervisor
+                        .beat(subject, time)
+                        .expect("the plane routes monotonic beats");
+                }
+                w.inbox_beats.clear();
+            }
+        });
+
+        // Collect each live owner's end-of-ingestion watch states into its
+        // shards' deltas — the snapshots a successor restores from.
+        {
+            let Self {
+                ref workers,
+                ref mut deltas,
+                ref map,
+                ref leases,
+                ..
+            } = *self;
+            let canonical = workers
+                .iter()
+                .position(|w| w.alive)
+                .expect("at least one supervisor is always live");
+            let landscape = workers[canonical].supervisor.landscape();
+            for server in landscape.server_ids() {
+                let shard = map.shard_of(server);
+                let owner = leases[shard].owner;
+                if !workers[owner].alive {
+                    continue;
+                }
+                if let Some(advisor) = workers[owner].supervisor.advisor(Subject::Server(server)) {
+                    deltas[shard].watches.push((
+                        DeltaSubject::Server(server),
+                        snapshot_of(advisor.watch_state()),
+                    ));
+                }
+            }
+            for service in landscape.service_ids() {
+                let shard = map.shard_of_service(service);
+                let owner = leases[shard].owner;
+                if !workers[owner].alive {
+                    continue;
+                }
+                if let Some(advisor) = workers[owner].supervisor.advisor(Subject::Service(service))
+                {
+                    deltas[shard].watches.push((
+                        DeltaSubject::Service(service),
+                        snapshot_of(advisor.watch_state()),
+                    ));
+                }
+            }
+        }
+
+        // Publish in ascending live-replica order: each publisher's shard
+        // deltas absorb into the ring and land on every other live
+        // replica's loads view.
+        let live = self.live();
+        for &publisher in &live {
+            for shard in 0..self.deltas.len() {
+                if self.leases[shard].owner != publisher {
+                    continue;
+                }
+                self.ring.absorb(&self.deltas[shard]);
+                for &replica in &live {
+                    if replica != publisher {
+                        self.apply_delta_loads(shard, replica);
+                    }
+                }
+            }
+        }
+        for shard in 0..self.deltas.len() {
+            if self.workers[self.leases[shard].owner].alive {
+                continue;
+            }
+            for &replica in &live {
+                self.apply_delta_loads(shard, replica);
+            }
+        }
+    }
+
+    /// Apply one shard delta's loads to `replica`'s latest-value view.
+    fn apply_delta_loads(&mut self, shard: ShardId, replica: usize) {
+        let Self {
+            ref deltas,
+            ref mut workers,
+            ..
+        } = *self;
+        for &(subject, cpu, mem) in &deltas[shard].loads {
+            workers[replica]
+                .supervisor
+                .apply_remote_load(from_delta(subject), cpu, mem);
+        }
+    }
+
+    /// Delta-mode phase 5: interleave the owners' trigger streams back into
+    /// the global order full replication derives. Measured triggers carry
+    /// the arrival sequence of the measurement that raised them (the
+    /// tandem `trigger_tags`); proactive triggers sort by subject. A tag
+    /// whose trigger was pruned before the interval closed (its subject
+    /// departed) is skipped by the tandem walk — a departed subject can
+    /// never collide with a live proactive subject, so the walk stays
+    /// aligned.
+    fn merge_triggers(&mut self, live: &[usize]) -> Vec<PendingTrigger> {
+        let mut keyed: Vec<(TriggerKey, PendingTrigger)> = Vec::new();
+        for &i in live {
+            let triggers = std::mem::take(&mut self.workers[i].scratch_triggers);
+            let tags = &mut self.workers[i].trigger_tags;
+            let mut cursor = 0;
+            for trigger in triggers {
+                let subject = trigger.event.subject;
+                let mut matched = None;
+                let mut probe = cursor;
+                while probe < tags.len() {
+                    if tags[probe].1 == subject {
+                        matched = Some(tags[probe].0);
+                        cursor = probe + 1;
+                        break;
+                    }
+                    probe += 1;
+                }
+                let key = match matched {
+                    Some(seq) => TriggerKey::Measured(seq),
+                    None => TriggerKey::Proactive(subject),
+                };
+                keyed.push((key, trigger));
+            }
+            tags.clear();
+        }
+        keyed.sort_by_key(|&(key, _)| key);
+        keyed.into_iter().map(|(_, trigger)| trigger).collect()
+    }
+
+    /// Delta-mode adoption: rebuild the successor's monitoring for an
+    /// adopted shard from the plane's sample ring. Each server/service of
+    /// the shard restores from the dead owner's last published watch
+    /// snapshot, then replays the samples that arrived after it. Any
+    /// trigger the replay re-derives is one full replication would have
+    /// dropped at dispatch while the shard was headless, so it is counted
+    /// and evented identically, stamped with the trigger's own
+    /// confirmation time. (The owner's load *archive* is not rebuilt: it
+    /// only feeds proactive control, which restarts cold for the adopted
+    /// shard — a documented limitation.)
+    fn rebuild_shard_monitoring(
+        &mut self,
+        shard: ShardId,
+        successor: usize,
+        report: &mut PlaneTickReport,
+    ) {
+        let subjects: Vec<(Subject, SubjectConfig)> = {
+            let landscape = self.workers[successor].supervisor.landscape();
+            let servers = landscape
+                .server_ids()
+                .filter(|&s| self.map.shard_of(s) == shard)
+                .map(|s| {
+                    let idx = landscape
+                        .server(s)
+                        .map(|spec| spec.performance_index)
+                        .unwrap_or(1.0);
+                    (Subject::Server(s), SubjectConfig::paper_defaults(idx))
+                });
+            let services = landscape
+                .service_ids()
+                .filter(|&s| self.map.shard_of_service(s) == shard)
+                .map(|s| (Subject::Service(s), SubjectConfig::service_defaults()));
+            servers.chain(services).collect()
+        };
+        for (subject, config) in subjects {
+            let key = to_delta(subject);
+            let snapshot = self.ring.watch_of(key);
+            let mut advisor = match snapshot {
+                Some((state, at)) => Advisor::restore(
+                    subject,
+                    config,
+                    state_of(state),
+                    self.ring
+                        .samples_of(key)
+                        .filter(move |&(t, _, _)| t <= at)
+                        .map(|(t, cpu, mem)| LoadSample::new(SimTime::from_secs(t), cpu, mem)),
+                ),
+                // The owner died before publishing any delta: no snapshot,
+                // so the whole retained window replays through a fresh
+                // advisor.
+                None => Advisor::restore(subject, config, WatchState::Quiet, std::iter::empty()),
+            };
+            let split = snapshot.map(|(_, at)| at);
+            let mut replays: Vec<SimTime> = Vec::new();
+            for (t, cpu, mem) in self.ring.samples_of(key) {
+                if split.map(|at| t > at).unwrap_or(true) {
+                    if let Some(trigger) =
+                        advisor.observe(LoadSample::new(SimTime::from_secs(t), cpu, mem))
+                    {
+                        replays.push(trigger.time);
+                    }
+                }
+            }
+            for time in replays {
+                report.dropped_triggers += 1;
+                report.events.push(PlaneEvent::TriggerDropped {
+                    shard,
+                    subject,
+                    time,
+                });
+            }
+            self.workers[successor].supervisor.install_advisor(advisor);
+        }
     }
 }
 
@@ -837,6 +1388,13 @@ impl ShardedRun {
         }
     }
 
+    /// Choose the plane's [`ReplicationMode`] (builder form; apply before
+    /// the first step).
+    pub fn with_replication(mut self, mode: ReplicationMode) -> Self {
+        self.plane.set_replication(mode);
+        self
+    }
+
     /// The plane (to inspect leases, epochs, replicas).
     pub fn plane(&self) -> &ShardedControlPlane {
         &self.plane
@@ -869,26 +1427,20 @@ impl ShardedRun {
             &mut self.metrics,
         );
 
-        // Measurements in — a dead box reports nothing.
-        let mut records: Vec<(Subject, f64, f64)> = Vec::new();
+        // Measurements in — a dead box reports nothing. Each entry goes
+        // straight into the plane's reused buffer; no per-tick staging
+        // vector (test-enforced by the allocation assertions).
         for (server, cpu, mem) in loads.server_entries() {
             if !self.down.contains(&server) {
-                records.push((Subject::Server(server), cpu, mem));
+                self.plane.record_server(server, time, cpu, mem);
             }
         }
         for (service, cpu) in loads.service_entries() {
-            records.push((Subject::Service(service), cpu, 0.0));
+            self.plane.record_service(service, time, cpu);
         }
         for (instance, cpu) in loads.instance_entries() {
             if !self.dead_instances.contains(&instance) {
-                records.push((Subject::Instance(instance), cpu, 0.0));
-            }
-        }
-        for (subject, cpu, mem) in records {
-            match subject {
-                Subject::Server(s) => self.plane.record_server(s, time, cpu, mem),
-                Subject::Service(s) => self.plane.record_service(s, time, cpu),
-                Subject::Instance(i) => self.plane.record_instance(i, time, cpu),
+                self.plane.record_instance(instance, time, cpu);
             }
         }
 
@@ -1084,27 +1636,129 @@ mod tests {
             sup(),
         )
         .run();
-        let (sharded, stats) = ShardedRun::new(
-            build_environment(Scenario::ConstrainedMobility),
-            &sim,
-            sup(),
-            1,
-            1,
-            ShardChaos::none(),
-        )
-        .run();
-        assert_eq!(reference.actions, sharded.actions);
-        assert_eq!(reference.alerts, sharded.alerts);
-        assert_eq!(reference.overload_secs, sharded.overload_secs);
+        // Both replication modes must reproduce the unsharded run: delta is
+        // the default, full is the reference path — pinned twins.
+        for mode in [ReplicationMode::Delta, ReplicationMode::Full] {
+            let (sharded, stats) = ShardedRun::new(
+                build_environment(Scenario::ConstrainedMobility),
+                &sim,
+                sup(),
+                1,
+                1,
+                ShardChaos::none(),
+            )
+            .with_replication(mode)
+            .run();
+            assert_eq!(reference.actions, sharded.actions, "{mode:?}");
+            assert_eq!(reference.alerts, sharded.alerts, "{mode:?}");
+            assert_eq!(reference.overload_secs, sharded.overload_secs, "{mode:?}");
+            assert_eq!(
+                reference.total_demand.to_bits(),
+                sharded.total_demand.to_bits(),
+                "{mode:?}"
+            );
+            assert_eq!(
+                stats,
+                ShardRecoveryStats::default(),
+                "no chaos, no recovery ({mode:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_and_full_replication_agree_bit_for_bit_under_chaos() {
+        // The tentpole contract: owner-scoped ingestion with compact delta
+        // replication produces the same actions, workload metrics and
+        // recovery statistics as full state machine replication — through
+        // owner kills, epoch changes and monitoring rebuilds.
+        let sim = fig13_config(16);
+        let run = |mode: ReplicationMode| {
+            let executor = ExecutorConfig {
+                min_latency: SimDuration::from_minutes(2),
+                max_latency: SimDuration::from_minutes(8),
+                timeout: SimDuration::from_minutes(6),
+                failure_probability: 0.1,
+                ..ExecutorConfig::reliable()
+            };
+            let sup = SupervisorConfig {
+                controller: sim.controller,
+                executor,
+                executor_seed: 99,
+                ..SupervisorConfig::default()
+            };
+            let chaos = ShardChaos {
+                server_failure_per_hour: 0.05,
+                repair_after: SimDuration::from_hours(1),
+                kill_fracs: vec![0.4, 0.7],
+            };
+            ShardedRun::new(
+                build_environment(Scenario::ConstrainedMobility),
+                &sim,
+                sup,
+                4,
+                2,
+                chaos,
+            )
+            .with_replication(mode)
+            .run()
+        };
+        let (full, full_stats) = run(ReplicationMode::Full);
+        let (delta, delta_stats) = run(ReplicationMode::Delta);
+        assert_eq!(full.actions, delta.actions);
+        assert_eq!(full.alerts, delta.alerts);
+        assert_eq!(full.overload_secs, delta.overload_secs);
+        assert_eq!(full.total_demand.to_bits(), delta.total_demand.to_bits());
+        assert_eq!(full_stats, delta_stats);
+    }
+
+    #[test]
+    fn plane_buffers_are_reused_and_delta_ingests_each_measurement_once() {
+        let minute = SimDuration::from_minutes(1);
+        // Delta (the default): one supervisor-side ingestion per
+        // measurement across the whole plane, and the measurement buffer
+        // settles at its first-tick capacity — drained in place, never
+        // handed off or reallocated.
+        let (mut plane, servers) = tiny_plane(2, ExecutorConfig::reliable());
+        let mut t = SimTime::ZERO;
+        let mut cap = None;
+        for tick in 0..120 {
+            t += minute;
+            for &s in &servers {
+                plane.record_server(s, t, 0.3, 0.3);
+                plane.beat(Subject::Server(s), t);
+            }
+            plane.tick(t).unwrap();
+            if tick == 0 {
+                cap = Some(plane.measurement_buffer_capacity());
+            }
+        }
         assert_eq!(
-            reference.total_demand.to_bits(),
-            sharded.total_demand.to_bits()
+            Some(plane.measurement_buffer_capacity()),
+            cap,
+            "the measurement buffer must be reused, not reallocated per tick"
         );
+        let stats = plane.ingest_stats();
+        assert_eq!(stats.buffered, 120 * servers.len() as u64);
         assert_eq!(
-            stats,
-            ShardRecoveryStats::default(),
-            "no chaos, no recovery"
+            stats.ingested, stats.buffered,
+            "delta routes each measurement to exactly one owner"
         );
+
+        // Full replication ingests the stream on every live replica.
+        let (plane, servers) = tiny_plane(2, ExecutorConfig::reliable());
+        let mut plane = plane.with_replication(ReplicationMode::Full);
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += minute;
+            for &s in &servers {
+                plane.record_server(s, t, 0.3, 0.3);
+                plane.beat(Subject::Server(s), t);
+            }
+            plane.tick(t).unwrap();
+        }
+        let stats = plane.ingest_stats();
+        assert_eq!(stats.buffered, 10 * servers.len() as u64);
+        assert_eq!(stats.ingested, stats.buffered * 2);
     }
 
     #[test]

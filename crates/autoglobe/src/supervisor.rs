@@ -28,12 +28,15 @@ use autoglobe_controller::{
     ExecutionEvent, ExecutionMode, ExecutorConfig, LoadView, RuleBases,
 };
 use autoglobe_forecast::{HintBook, ProactiveConfig, ProactiveFiring, ProactiveTrigger};
-use autoglobe_landscape::{InstanceId, Landscape, LandscapeError, ServerId, ServiceId};
-use autoglobe_monitor::{
-    FailureEvent, FailureKind, HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor, LoadArchive,
-    LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject, SubjectConfig, TriggerEvent,
+use autoglobe_landscape::{
+    InstanceId, Landscape, LandscapeError, ServerId, ServiceId, ShardId, ShardMap,
 };
-use std::collections::BTreeMap;
+use autoglobe_monitor::{
+    Advisor, FailureEvent, FailureKind, HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor,
+    LoadArchive, LoadMonitoringSystem, LoadSample, SimDuration, SimTime, Subject, SubjectConfig,
+    TriggerEvent,
+};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Latest-value load view fed by the supervisor's recorded measurements.
 ///
@@ -367,6 +370,15 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// Owner-scoped ingestion: the shards this replica runs monitoring and
+/// archive state for. Subjects outside the scope only update the
+/// replicated latest-value load view ([`Supervisor::apply_remote_load`]).
+#[derive(Debug, Clone)]
+struct MonitorScope {
+    map: ShardMap,
+    owned: BTreeSet<ShardId>,
+}
+
 /// The ready-wired AutoGlobe control plane.
 #[derive(Debug)]
 pub struct Supervisor {
@@ -375,6 +387,11 @@ pub struct Supervisor {
     monitoring: LoadMonitoringSystem,
     archive: LoadArchive,
     loads: RecordedLoads,
+    scope: Option<MonitorScope>,
+    /// Landscape revision at the last registration/prune pass. Quiet
+    /// intervals (no landscape mutation, no scope change) skip both
+    /// landscape walks entirely.
+    seen_revision: Option<u64>,
     pending_triggers: Vec<PendingTrigger>,
     executed: Vec<ActionRecord>,
     executor: ActionExecutor,
@@ -438,6 +455,8 @@ impl Supervisor {
             monitoring,
             archive: LoadArchive::new(SimDuration::from_minutes(1)),
             loads: RecordedLoads::default(),
+            scope: None,
+            seen_revision: None,
             pending_triggers: Vec::new(),
             executed: Vec::new(),
             executor: ActionExecutor::new(config.executor, config.executor_seed),
@@ -586,6 +605,11 @@ impl Supervisor {
 
     fn record(&mut self, subject: Subject, time: SimTime, cpu: f64, mem: f64) {
         self.loads.set(subject, cpu, mem);
+        // Outside the owner scope only the replicated load view is kept —
+        // no foreign monitoring or archive state at all.
+        if !self.owns_subject(subject) {
+            return;
+        }
         self.archive.record(subject, time, cpu, mem);
         // Instances are not registered as monitored subjects by default
         // (triggers come from servers and services), but measurements for
@@ -745,6 +769,101 @@ impl Supervisor {
         )
     }
 
+    /// Restrict monitoring and archive ingestion to `owned` shards of
+    /// `map` (delta replication's owner scope). Advisors for subjects
+    /// outside the scope are unregistered; from here on, foreign
+    /// measurements flow only into the replicated latest-value load view
+    /// (via [`Supervisor::apply_remote_load`] or a gated
+    /// [`Supervisor::record_server`]-family call), never into
+    /// monitoring or the archive. Call right after construction, before
+    /// any measurements are recorded — existing archive state is not
+    /// rolled back.
+    pub fn set_monitor_scope(&mut self, map: ShardMap, owned: BTreeSet<ShardId>) {
+        self.scope = Some(MonitorScope { map, owned });
+        self.seen_revision = None;
+        let foreign: Vec<Subject> = self
+            .landscape
+            .server_ids()
+            .map(Subject::Server)
+            .chain(self.landscape.service_ids().map(Subject::Service))
+            .filter(|&s| !self.owns_subject(s))
+            .collect();
+        for subject in foreign {
+            self.monitoring.unregister(subject);
+        }
+    }
+
+    /// Drop the monitor scope and register fresh advisors for every
+    /// landscape subject — the inverse of
+    /// [`Supervisor::set_monitor_scope`], under the same contract: call
+    /// before any measurements are recorded, so "fresh" and "never scoped"
+    /// are the same state.
+    pub fn clear_monitor_scope(&mut self) {
+        self.scope = None;
+        self.seen_revision = None;
+        self.register_new_subjects();
+    }
+
+    /// Extend the monitor scope with a re-adopted shard. No advisors are
+    /// created here — the adopter installs restored ones via
+    /// [`Supervisor::install_advisor`] (or lets the next tick register
+    /// fresh ones for never-measured subjects). No-op without a scope.
+    pub fn adopt_shard(&mut self, shard: ShardId) {
+        if let Some(scope) = &mut self.scope {
+            scope.owned.insert(shard);
+            self.seen_revision = None;
+        }
+    }
+
+    /// True when this replica runs monitoring for `subject`: always,
+    /// without a scope; with one, when the subject's shard is owned.
+    /// Instances follow their host server's shard; an instance the
+    /// landscape no longer knows is nobody's.
+    fn owns_subject(&self, subject: Subject) -> bool {
+        let Some(scope) = &self.scope else {
+            return true;
+        };
+        let shard = match subject {
+            Subject::Server(s) => scope.map.shard_of(s),
+            Subject::Service(s) => scope.map.shard_of_service(s),
+            Subject::Instance(i) => match self.landscape.instance(i) {
+                Ok(inst) => scope.map.shard_of(inst.server),
+                Err(_) => return false,
+            },
+        };
+        scope.owned.contains(&shard)
+    }
+
+    /// Apply a measurement another replica's owner ingested: update only
+    /// the replicated latest-value load view — the read-only planning
+    /// input for cross-shard candidate hosts — without touching
+    /// monitoring or archive state. This is the load section of a shard
+    /// delta, applied exactly where `apply_remote` applies the mutation
+    /// section.
+    pub fn apply_remote_load(&mut self, subject: Subject, cpu: f64, mem: f64) {
+        self.loads.set(subject, cpu, mem);
+    }
+
+    /// Install a pre-built advisor (the sharded plane's re-adoption path
+    /// restores the dead owner's advisors from replicated deltas and
+    /// installs them here).
+    pub fn install_advisor(&mut self, advisor: Advisor) {
+        self.monitoring.install(advisor);
+    }
+
+    /// The advisor currently monitoring `subject`, if any (delta
+    /// publication snapshots its watch state).
+    pub fn advisor(&self, subject: Subject) -> Option<&Advisor> {
+        self.monitoring.advisor(subject)
+    }
+
+    /// Number of triggers confirmed but not yet dispatched — the sharded
+    /// plane samples this around each routed measurement to tag triggers
+    /// with their global arrival sequence.
+    pub(crate) fn pending_trigger_count(&self) -> usize {
+        self.pending_triggers.len()
+    }
+
     /// Stamp subsequent dispatches with the issuing lease epoch (see
     /// [`ActionExecutor::set_epoch`]). The pre-sharded default is epoch 0.
     pub fn set_execution_epoch(&mut self, epoch: u64) {
@@ -825,8 +944,15 @@ impl Supervisor {
     /// heartbeats and proactive checks — everything [`Supervisor::tick`]
     /// does before dispatching this interval's triggers.
     fn prepare_interval(&mut self, now: SimTime) -> Vec<ActionRecord> {
-        self.register_new_subjects();
-        self.prune_departed();
+        // Registration and pruning only have work to do when the landscape
+        // (or the monitor scope) changed since the last pass; the revision
+        // gate makes quiet intervals O(1) instead of a landscape walk.
+        let revision = self.landscape.revision();
+        if self.seen_revision != Some(revision) {
+            self.register_new_subjects();
+            self.prune_departed();
+            self.seen_revision = Some(revision);
+        }
 
         // Settle operations dispatched on earlier ticks first, so a freed
         // host is visible to this tick's planning.
@@ -896,11 +1022,12 @@ impl Supervisor {
         completed
     }
 
-    /// Register monitors for servers/services added since construction.
+    /// Register monitors for servers/services added since construction
+    /// (owned shards only, when a monitor scope is set).
     fn register_new_subjects(&mut self) {
         for server in self.landscape.server_ids() {
             let subject = Subject::Server(server);
-            if !self.monitoring.is_registered(subject) {
+            if !self.monitoring.is_registered(subject) && self.owns_subject(subject) {
                 let idx = self
                     .landscape
                     .server(server)
@@ -912,7 +1039,7 @@ impl Supervisor {
         }
         for service in self.landscape.service_ids() {
             let subject = Subject::Service(service);
-            if !self.monitoring.is_registered(subject) {
+            if !self.monitoring.is_registered(subject) && self.owns_subject(subject) {
                 self.monitoring
                     .register(subject, SubjectConfig::service_defaults());
             }
@@ -1015,10 +1142,13 @@ impl Supervisor {
         self.last_proactive_check = Some(now);
         self.hints.expire(now);
 
-        // Servers first, then services — deterministic check order.
+        // Servers first, then services — deterministic check order. A
+        // monitor scope restricts checks to owned subjects (foreign
+        // archives are empty under delta replication and could never
+        // fire anyway).
         let mut subjects: Vec<(Subject, f64)> = Vec::new();
         for server in self.landscape.server_ids() {
-            if !self.landscape.is_available(server) {
+            if !self.landscape.is_available(server) || !self.owns_subject(Subject::Server(server)) {
                 continue;
             }
             let idx = self
@@ -1029,6 +1159,9 @@ impl Supervisor {
             subjects.push((Subject::Server(server), idx));
         }
         for service in self.landscape.service_ids() {
+            if !self.owns_subject(Subject::Service(service)) {
+                continue;
+            }
             // Reserved demand converts to load against the total capacity
             // currently hosting the service.
             let capacity: f64 = self

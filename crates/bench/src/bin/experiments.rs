@@ -12,6 +12,7 @@
 //! the machine's available parallelism); results are bit-identical at any
 //! job count because every simulation owns its seeded RNG.
 
+use autoglobe::ReplicationMode;
 use autoglobe_bench as xp;
 use autoglobe_controller::ScoringMode;
 use autoglobe_simulator::{Metrics, Scenario};
@@ -35,6 +36,17 @@ fn main() {
         Some("scalar") => ScoringMode::Scalar,
         Some(other) => {
             eprintln!("unknown --scoring value {other:?}; expected scalar or batched");
+            std::process::exit(2);
+        }
+    };
+    // Control-plane replication mode for the shard experiments. CI renders
+    // the shard-smoke digest under `--replication full` and diffs it
+    // against the delta default to prove equivalence.
+    let replication = match str_flag(&args, "--replication").as_deref() {
+        None | Some("delta") => ReplicationMode::Delta,
+        Some("full") => ReplicationMode::Full,
+        Some(other) => {
+            eprintln!("unknown --replication value {other:?}; expected full or delta");
             std::process::exit(2);
         }
     };
@@ -117,15 +129,23 @@ fn main() {
             // fan-out (output-neutral); the shard counts of the sweep
             // points are the experiment's ladder and are fixed.
             let plane_jobs = flag(&args, "--shards").unwrap_or(1) as usize;
-            run_shard_chaos(hours, seed, jobs, plane_jobs)
+            run_shard_chaos(hours, seed, jobs, plane_jobs, replication)
         }),
         "shard-smoke" => timings.record("shard-smoke", || {
             // Here --shards IS the shard count: CI diffs the digest at
-            // --shards 1 against --shards 4 to prove partitioning is
-            // invisible to the paper scenarios.
+            // --shards 1 against --shards 4 (and --replication full
+            // against delta) to prove partitioning and delta replication
+            // are invisible to the paper scenarios.
             let shards = flag(&args, "--shards").unwrap_or(1) as usize;
             let hours = flag(&args, "--hours").unwrap_or(6);
-            run_shard_smoke(shards, hours, seed, jobs)
+            run_shard_smoke(shards, hours, seed, jobs, replication)
+        }),
+        "shard-scale" => timings.record("shard-scale", || {
+            // The 2,000-server rung dominates; keep the default window
+            // short like the scale ladder's.
+            let hours = flag(&args, "--hours").unwrap_or(2);
+            let repeats = flag(&args, "--repeats").unwrap_or(3) as u32;
+            run_shard_scale(hours, seed, repeats)
         }),
         "proactive" => timings.record("proactive", || run_proactive(hours, seed, jobs)),
         "designer" => timings.record("designer", run_designer),
@@ -156,7 +176,9 @@ fn main() {
             }
             timings.record("table7", || run_table7(hours, seed, jobs));
             timings.record("chaos", || run_chaos(hours, seed, jobs));
-            timings.record("shardchaos", || run_shard_chaos(hours, seed, jobs, 1));
+            timings.record("shardchaos", || {
+                run_shard_chaos(hours, seed, jobs, 1, replication)
+            });
             timings.record("proactive", || run_proactive(hours, seed, jobs));
             timings.record("designer", run_designer);
             timings.record("ablation", || run_ablation(hours.min(30)));
@@ -165,9 +187,9 @@ fn main() {
             eprintln!(
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
                  fig15|fig16|fig17|bench|scale|scale-smoke|table7|chaos|shardchaos|\
-                 shard-smoke|proactive|designer|ablation|all> [--hours N] [--seed N] \
-                 [--jobs N] [--inner-jobs N] [--repeats N] [--servers N] [--shards N] \
-                 [--scoring scalar|batched]"
+                 shard-smoke|shard-scale|proactive|designer|ablation|all> [--hours N] \
+                 [--seed N] [--jobs N] [--inner-jobs N] [--repeats N] [--servers N] \
+                 [--shards N] [--scoring scalar|batched] [--replication full|delta]"
             );
             std::process::exit(2);
         }
@@ -340,6 +362,15 @@ fn run_bench(hours: u64, seed: u64) {
         eprintln!("trigger-throughput regression detected: {err}");
         std::process::exit(1);
     }
+    // And the sharded control plane: if a shard-scale report is checked
+    // in, delta replication must still match full replication byte for
+    // byte and must not be slower at the largest point.
+    if let Ok(shard_json) = fs::read_to_string("results/BENCH_shard_scale.json") {
+        if let Err(err) = xp::check_shard_scale_no_regression(&shard_json) {
+            eprintln!("shard-scale regression detected: {err}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_scale(hours: u64, seed: u64, repeats: u32) {
@@ -422,13 +453,19 @@ fn run_chaos(hours: u64, seed: u64, jobs: usize) {
     write("results/chaos_recovery.csv", &xp::chaos_csv(&rows));
 }
 
-fn run_shard_chaos(hours: u64, seed: u64, jobs: usize, plane_jobs: usize) {
+fn run_shard_chaos(
+    hours: u64,
+    seed: u64,
+    jobs: usize,
+    plane_jobs: usize,
+    replication: ReplicationMode,
+) {
     println!(
         "Shard chaos sweep — Figure 13 scenario on a sharded control plane \
          with host failures and owner kills ({hours} h per point, {jobs} job(s), \
-         plane fan-out {plane_jobs}):"
+         plane fan-out {plane_jobs}, {replication:?} replication):"
     );
-    let rows = xp::shard_chaos_sweep(hours, seed, jobs, plane_jobs);
+    let rows = xp::shard_chaos_sweep(hours, seed, jobs, plane_jobs, replication);
     for (shards, kills, m, s) in &rows {
         println!(
             "  {shards} shard(s), {kills} kill(s): {:>2} owner detections \
@@ -450,9 +487,41 @@ fn run_shard_chaos(hours: u64, seed: u64, jobs: usize, plane_jobs: usize) {
     write("results/shard_recovery.csv", &xp::shard_chaos_csv(&rows));
 }
 
-fn run_shard_smoke(shards: usize, hours: u64, seed: u64, plane_jobs: usize) {
-    let digest = xp::shard_smoke(shards, hours, seed, plane_jobs);
+fn run_shard_smoke(
+    shards: usize,
+    hours: u64,
+    seed: u64,
+    plane_jobs: usize,
+    replication: ReplicationMode,
+) {
+    let digest = xp::shard_smoke(shards, hours, seed, plane_jobs, replication);
     write("results/shard_smoke.csv", &digest);
+}
+
+fn run_shard_scale(hours: u64, seed: u64, repeats: u32) {
+    println!(
+        "Shard-scale benchmark — full-stream vs delta replication on the \
+         sharded control plane, plane fan-out 1 so wall clock sums the \
+         per-replica work ({hours} h per point, best of {repeats}):"
+    );
+    let (points, json) = xp::shard_scale_report(hours, seed, repeats);
+    for p in &points {
+        println!(
+            "  {:>4} servers x {} shard(s): full {:>8.1} ticks/s, delta {:>8.1} ticks/s \
+             ({:>5.2}x), identical: {}",
+            p.servers,
+            p.shards,
+            p.full_ticks_per_sec,
+            p.delta_ticks_per_sec,
+            p.delta_speedup,
+            p.delta_matches_full,
+        );
+    }
+    write("results/BENCH_shard_scale.json", &json);
+    if let Err(err) = xp::check_shard_scale_no_regression(&json) {
+        eprintln!("shard-scale regression detected: {err}");
+        std::process::exit(1);
+    }
 }
 
 fn run_proactive(hours: u64, seed: u64, jobs: usize) {

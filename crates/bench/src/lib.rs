@@ -22,7 +22,9 @@ pub use autoglobe_pool as pool;
 
 use autoglobe::forecast::ProactiveConfig;
 use autoglobe::harness::ChaosRun;
-use autoglobe::{ShardChaos, ShardRecoveryStats, ShardedRun, SupervisedRun, SupervisorConfig};
+use autoglobe::{
+    ReplicationMode, ShardChaos, ShardRecoveryStats, ShardedRun, SupervisedRun, SupervisorConfig,
+};
 use autoglobe_controller::inputs::TableLoads;
 use autoglobe_controller::{ControllerConfig, ExecutorConfig, ScoringMode};
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
@@ -668,6 +670,7 @@ pub fn shard_chaos_run(
     hours: u64,
     seed: u64,
     plane_jobs: usize,
+    replication: ReplicationMode,
 ) -> (Metrics, ShardRecoveryStats) {
     let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
         .with_duration(SimDuration::from_hours(hours))
@@ -694,7 +697,9 @@ pub fn shard_chaos_run(
         kill_fracs: [0.35, 0.65][..owner_kills.min(2)].to_vec(),
     };
     let env = build_environment(Scenario::ConstrainedMobility);
-    ShardedRun::new(env, &sim, supervisor, shards, plane_jobs, chaos).run()
+    ShardedRun::new(env, &sim, supervisor, shards, plane_jobs, chaos)
+        .with_replication(replication)
+        .run()
 }
 
 /// The shard-chaos sweep: every [`SHARD_CHAOS_LADDER`] point. Per-point
@@ -706,6 +711,7 @@ pub fn shard_chaos_sweep(
     seed: u64,
     jobs: usize,
     plane_jobs: usize,
+    replication: ReplicationMode,
 ) -> Vec<(usize, usize, Metrics, ShardRecoveryStats)> {
     let mut state = seed ^ 0x5EED_0A11_D05E; // shard-chaos seed domain
     let points: Vec<((usize, usize), u64)> = SHARD_CHAOS_LADDER
@@ -713,7 +719,8 @@ pub fn shard_chaos_sweep(
         .map(|&point| (point, splitmix64(&mut state)))
         .collect();
     pool::parallel_map(jobs, points, move |((shards, kills), point_seed)| {
-        let (metrics, stats) = shard_chaos_run(shards, kills, hours, point_seed, plane_jobs);
+        let (metrics, stats) =
+            shard_chaos_run(shards, kills, hours, point_seed, plane_jobs, replication);
         (shards, kills, metrics, stats)
     })
 }
@@ -757,11 +764,19 @@ pub fn shard_chaos_csv(rows: &[(usize, usize, Metrics, ShardRecoveryStats)]) -> 
 
 /// A byte-diffable digest of the Figure 13 scenario run on a `shards`-way
 /// control plane under ideal conditions (no chaos, the default reliable
-/// substrate). The digest deliberately omits the shard count: CI diffs the
-/// `--shards 1` digest against `--shards 4` to prove the partitioning is
-/// invisible to the paper's scenarios. Every float is rendered as exact
-/// bits, so any divergence — however small — shows up as a byte difference.
-pub fn shard_smoke(shards: usize, hours: u64, seed: u64, plane_jobs: usize) -> String {
+/// substrate). The digest deliberately omits the shard count *and* the
+/// replication mode: CI diffs the `--shards 1` digest against `--shards 4`
+/// and `--replication full` against `--replication delta` to prove both the
+/// partitioning and the delta-replication fast path are invisible to the
+/// paper's scenarios. Every float is rendered as exact bits, so any
+/// divergence — however small — shows up as a byte difference.
+pub fn shard_smoke(
+    shards: usize,
+    hours: u64,
+    seed: u64,
+    plane_jobs: usize,
+    replication: ReplicationMode,
+) -> String {
     let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
         .with_duration(SimDuration::from_hours(hours))
         .with_seed(seed);
@@ -778,7 +793,15 @@ pub fn shard_smoke(shards: usize, hours: u64, seed: u64, plane_jobs: usize) -> S
         plane_jobs,
         ShardChaos::none(),
     )
+    .with_replication(replication)
     .run();
+    metrics_digest(&metrics)
+}
+
+/// The byte-diffable scenario digest shared by [`shard_smoke`] and the
+/// shard-scale equivalence check: action count, alerts, overload seconds,
+/// the total-demand float as exact bits, and every action record in order.
+pub fn metrics_digest(metrics: &Metrics) -> String {
     let mut out = String::from("metric,value\n");
     writeln!(out, "actions,{}", metrics.actions.len()).unwrap();
     writeln!(out, "alerts,{}", metrics.alerts).unwrap();
@@ -793,6 +816,194 @@ pub fn shard_smoke(shards: usize, hours: u64, seed: u64, plane_jobs: usize) -> S
         writeln!(out, "action,{record}").unwrap();
     }
     out
+}
+
+// ---- shard scale -----------------------------------------------------------
+
+/// Landscape sizes of the shard-scale benchmark (`results/
+/// BENCH_shard_scale.json`): the mid-size synthetic landscape and the
+/// 100× rung of the scale ladder.
+pub const SHARD_SCALE_SERVERS: [usize; 2] = [200, 2000];
+
+/// Shard counts of the shard-scale benchmark.
+pub const SHARD_SCALE_SHARDS: [usize; 3] = [1, 2, 4];
+
+/// One measured point of the shard-scale benchmark: full-stream vs delta
+/// replication throughput of a `shards`-way control plane on a `servers`
+/// landscape.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardScalePoint {
+    /// Servers in the landscape.
+    pub servers: usize,
+    /// Supervisor replicas / initial shard owners on the plane.
+    pub shards: usize,
+    /// Ticks per second with every replica ingesting the full measurement
+    /// stream (the seed replication mode, kept as the reference path).
+    pub full_ticks_per_sec: f64,
+    /// Ticks per second with owner-scoped ingestion + compact deltas.
+    pub delta_ticks_per_sec: f64,
+    /// `full best / delta best` wall clock — how much per-replica work the
+    /// delta path saves at this point.
+    pub delta_speedup: f64,
+    /// Whether the two modes produced byte-identical scenario digests.
+    pub delta_matches_full: bool,
+}
+
+/// Measure one point of the shard-scale benchmark. The plane runs with
+/// `plane_jobs = 1`, so the wall clock is the *sum* of per-replica work —
+/// exactly the quantity the delta path shrinks from `shards × O(landscape)`
+/// to `O(landscape)` + routing. Full and delta repeats are interleaved so
+/// machine drift cannot bias one mode, and the first repeat of each mode
+/// is digested to prove the modes agree byte for byte.
+pub fn shard_scale_point(
+    servers: usize,
+    shards: usize,
+    hours: u64,
+    seed: u64,
+    repeats: u32,
+) -> ShardScalePoint {
+    use std::time::Instant;
+    let repeats = repeats.max(1);
+    let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.0)
+        .with_duration(SimDuration::from_hours(hours))
+        .with_seed(seed);
+    let ticks = sim.num_ticks();
+    let supervisor = SupervisorConfig {
+        controller: sim.controller,
+        ..SupervisorConfig::default()
+    };
+    let run = |replication: ReplicationMode| {
+        let env = scale_environment(servers, seed);
+        let start = Instant::now();
+        let (metrics, _) =
+            ShardedRun::new(env, &sim, supervisor.clone(), shards, 1, ShardChaos::none())
+                .with_replication(replication)
+                .run();
+        (start.elapsed().as_secs_f64(), metrics)
+    };
+    let mut best_full = f64::INFINITY;
+    let mut best_delta = f64::INFINITY;
+    let mut digests = None;
+    for _ in 0..repeats {
+        let (secs, full) = run(ReplicationMode::Full);
+        best_full = best_full.min(secs);
+        let (secs, delta) = run(ReplicationMode::Delta);
+        best_delta = best_delta.min(secs);
+        if digests.is_none() {
+            digests = Some((metrics_digest(&full), metrics_digest(&delta)));
+        }
+    }
+    let (full_digest, delta_digest) = digests.expect("repeats >= 1");
+    ShardScalePoint {
+        servers,
+        shards,
+        full_ticks_per_sec: ticks as f64 / best_full,
+        delta_ticks_per_sec: ticks as f64 / best_delta,
+        delta_speedup: best_full / best_delta,
+        delta_matches_full: full_digest == delta_digest,
+    }
+}
+
+/// The shard-scale benchmark behind `results/BENCH_shard_scale.json`:
+/// every [`SHARD_SCALE_SERVERS`] × [`SHARD_SCALE_SHARDS`] point, with
+/// per-rung seeds derived from the master `seed` by a splitmix64 chain.
+/// Returns the points and the rendered JSON.
+pub fn shard_scale_report(hours: u64, seed: u64, repeats: u32) -> (Vec<ShardScalePoint>, String) {
+    let mut state = seed ^ 0x5EED_5CA1_ED00; // shard-scale seed domain
+    let mut points = Vec::new();
+    for &servers in &SHARD_SCALE_SERVERS {
+        let rung_seed = splitmix64(&mut state);
+        for &shards in &SHARD_SCALE_SHARDS {
+            points.push(shard_scale_point(
+                servers, shards, hours, rung_seed, repeats,
+            ));
+        }
+    }
+    let mut out = String::from("{\n");
+    writeln!(out, "  \"schema\": 1,").unwrap();
+    writeln!(
+        out,
+        "  \"scenario\": \"{}\",",
+        Scenario::ConstrainedMobility.name()
+    )
+    .unwrap();
+    writeln!(out, "  \"user_multiplier\": 1.0,").unwrap();
+    writeln!(out, "  \"hours\": {hours},").unwrap();
+    writeln!(out, "  \"seed\": {seed},").unwrap();
+    writeln!(out, "  \"repeats\": {},", repeats.max(1)).unwrap();
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        writeln!(
+            out,
+            "    {{\"servers\": {}, \"shards\": {}, \"full_ticks_per_sec\": {:.1}, \
+             \"delta_ticks_per_sec\": {:.1}, \"delta_speedup\": {:.3}, \
+             \"delta_matches_full\": {}}}{comma}",
+            p.servers,
+            p.shards,
+            p.full_ticks_per_sec,
+            p.delta_ticks_per_sec,
+            p.delta_speedup,
+            p.delta_matches_full,
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+    (points, out)
+}
+
+/// Check a [`shard_scale_report`] JSON: every point must show the delta
+/// and full modes agreeing byte for byte, and at the largest point
+/// (most servers, most shards — where owner-scoped ingestion has the
+/// most replicated work to save) delta replication must not be slower
+/// than full replication. Returns the offending rows on failure.
+pub fn check_shard_scale_no_regression(json: &str) -> Result<(), String> {
+    let mut offenders = Vec::new();
+    let mut rows: Vec<(u64, u64, f64, f64)> = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("{\"servers\":") {
+        let row = &rest[at..];
+        let end = row.find('}').unwrap_or(row.len());
+        let row = &row[..end];
+        let field = |key: &str| -> Option<f64> {
+            let v = &row[row.find(key)? + key.len()..];
+            let stop = v.find([',', '}']).unwrap_or(v.len());
+            v[..stop].trim().parse().ok()
+        };
+        if let (Some(servers), Some(shards), Some(full), Some(delta)) = (
+            field("\"servers\":"),
+            field("\"shards\":"),
+            field("\"full_ticks_per_sec\":"),
+            field("\"delta_ticks_per_sec\":"),
+        ) {
+            rows.push((servers as u64, shards as u64, full, delta));
+            if row.contains("\"delta_matches_full\": false") {
+                offenders.push(format!(
+                    "servers {servers:.0} shards {shards:.0}: delta replication \
+                     diverged from full"
+                ));
+            }
+        }
+        rest = &rest[at + end..];
+    }
+    if rows.is_empty() {
+        return Err("no shard-scale points in the report".into());
+    }
+    let &(servers, shards, full, delta) = rows
+        .iter()
+        .max_by_key(|&&(servers, shards, _, _)| (servers, shards))
+        .expect("rows is non-empty");
+    if shards > 1 && delta < full {
+        offenders.push(format!(
+            "servers {servers} shards {shards}: delta {delta:.1} ticks/s slower \
+             than full {full:.1}"
+        ));
+    }
+    if offenders.is_empty() {
+        Ok(())
+    } else {
+        Err(offenders.join("; "))
+    }
 }
 
 /// Fastest dispatch-to-completion time of the proactive experiment's
@@ -1162,7 +1373,7 @@ pub fn bench_tick_report(hours: u64, seed: u64, repeats: u32, previous: Option<f
     // back-to-back would fold any slow drift of the machine (frequency
     // scaling, cgroup throttling) into a systematic bias against whichever
     // width happens to run last.
-    let mut best = [f64::INFINITY; BENCH_INNER_JOBS.len()];
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); BENCH_INNER_JOBS.len()];
     for _ in 0..repeats.max(1) {
         for (slot, &inner_jobs) in BENCH_INNER_JOBS.iter().enumerate() {
             let env = build_environment(scenario);
@@ -1171,19 +1382,23 @@ pub fn bench_tick_report(hours: u64, seed: u64, repeats: u32, previous: Option<f
             let metrics = Simulation::new(env, config).run();
             let secs = start.elapsed().as_secs_f64();
             std::hint::black_box(&metrics);
-            best[slot] = best[slot].min(secs);
+            samples[slot].push(secs);
         }
     }
     let scaling: Vec<BenchPoint> = BENCH_INNER_JOBS
         .iter()
-        .zip(best)
-        .map(|(&inner_jobs, best_secs)| BenchPoint {
-            inner_jobs,
-            best_secs,
-            ticks_per_sec: ticks as f64 / best_secs,
+        .zip(&samples)
+        .map(|(&inner_jobs, times)| {
+            let best_secs = times.iter().copied().fold(f64::INFINITY, f64::min);
+            BenchPoint {
+                inner_jobs,
+                best_secs,
+                ticks_per_sec: ticks as f64 / best_secs,
+            }
         })
         .collect();
     let single = scaling[0].ticks_per_sec;
+    let noise = measurement_noise(&samples);
 
     let mut figures = Vec::new();
     for (figure, scenario) in [
@@ -1206,6 +1421,7 @@ pub fn bench_tick_report(hours: u64, seed: u64, repeats: u32, previous: Option<f
     writeln!(out, "  \"ticks\": {ticks},").unwrap();
     writeln!(out, "  \"seed\": {seed},").unwrap();
     writeln!(out, "  \"repeats\": {},", repeats.max(1)).unwrap();
+    writeln!(out, "  \"measurement_noise\": {noise:.4},").unwrap();
     writeln!(out, "  \"single_thread_ticks_per_sec\": {single:.1},").unwrap();
     match previous {
         Some(prev) if prev > 0.0 => {
@@ -1272,6 +1488,45 @@ pub fn bench_tick_report(hours: u64, seed: u64, repeats: u32, previous: Option<f
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Relative measurement noise across interleaved repeats of the same
+/// configurations: the worst `(median − best) / median` over the sample
+/// sets. Near zero on a quiet machine, climbing toward the container's
+/// jitter when repeats of the *same* configuration disagree — exactly the
+/// signal that separates "the code got slower" from "the machine got
+/// noisier". The regression checkers widen their tolerance by this figure
+/// so a noisy CI container doesn't flag a phantom regression.
+fn measurement_noise(samples: &[Vec<f64>]) -> f64 {
+    samples
+        .iter()
+        .filter(|s| s.len() >= 2)
+        .map(|s| {
+            let mut sorted = s.clone();
+            sorted.sort_by(f64::total_cmp);
+            let best = sorted[0];
+            let median = sorted[sorted.len() / 2];
+            if median > 0.0 {
+                (median - best) / median
+            } else {
+                0.0
+            }
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Extract the `measurement_noise` field from a [`bench_tick_report`]
+/// JSON. Reports from before the field existed (or a malformed file)
+/// read as `0.0` — the strict interpretation.
+pub fn bench_measurement_noise(json: &str) -> f64 {
+    let key = "\"measurement_noise\":";
+    json.find(key)
+        .and_then(|at| {
+            let rest = &json[at + key.len()..];
+            let end = rest.find([',', '\n', '}'])?;
+            rest[..end].trim().parse().ok()
+        })
+        .unwrap_or(0.0)
 }
 
 /// Landscape sizes of the trigger-throughput measurement: the paper pool,
@@ -1346,44 +1601,52 @@ pub fn trigger_rung(servers: usize, seed: u64, repeats: u32) -> TriggerRung {
         };
     }
 
-    let measure = |controller: &mut AutoGlobeController, cold: bool| {
-        let mut best = f64::INFINITY;
-        for _ in 0..repeats {
-            if cold {
-                controller.clear_score_cache();
-            }
-            let start = Instant::now();
-            for event in &events {
-                std::hint::black_box(controller.plan_trigger(event, &env.landscape, &loads, now));
-            }
-            let secs = start.elapsed().as_secs_f64();
-            best = best.min(secs / events.len().max(1) as f64);
+    let time_pass = |controller: &mut AutoGlobeController| {
+        let start = Instant::now();
+        for event in &events {
+            std::hint::black_box(controller.plan_trigger(event, &env.landscape, &loads, now));
         }
-        1.0 / best
+        start.elapsed().as_secs_f64() / events.len().max(1) as f64
     };
 
-    let scalar_tps = measure(&mut scalar, false);
-    // Cold: flush the cross-trigger cache before every pass, so the number
-    // is a pure batched-inference figure, not an incremental one.
-    let batched_tps = measure(&mut batched, true);
-    // Warm: the caches carry across passes on the unchanged landscape.
-    let incremental_tps = measure(&mut batched, false);
+    // Interleave the three paths round-robin per repeat, for the same
+    // reason the tick benchmark interleaves its widths: the passes are
+    // short, so measuring one path's repeats back-to-back folds any slow
+    // drift of the machine (frequency scaling, cgroup throttling) into a
+    // systematic bias against whichever path happens to run last.
+    let mut best_scalar = f64::INFINITY;
+    let mut best_cold = f64::INFINITY;
+    let mut best_warm = f64::INFINITY;
+    for _ in 0..repeats {
+        best_scalar = best_scalar.min(time_pass(&mut scalar));
+        // Cold: flush the cross-trigger cache before the pass, so the
+        // number is a pure batched-inference figure, not an incremental
+        // one.
+        batched.clear_score_cache();
+        best_cold = best_cold.min(time_pass(&mut batched));
+        // Warm: the caches the cold pass just filled are still valid on
+        // the unchanged landscape.
+        best_warm = best_warm.min(time_pass(&mut batched));
+    }
 
     TriggerRung {
         servers: env.landscape.num_servers(),
-        scalar_triggers_per_sec: scalar_tps,
-        batched_triggers_per_sec: batched_tps,
-        incremental_triggers_per_sec: incremental_tps,
+        scalar_triggers_per_sec: 1.0 / best_scalar,
+        batched_triggers_per_sec: 1.0 / best_cold,
+        incremental_triggers_per_sec: 1.0 / best_warm,
         batched_matches_scalar: matches,
     }
 }
 
 /// Check a [`bench_tick_report`] JSON for a batched-inference regression:
 /// every `triggers_per_second` row must show the batched and incremental
-/// paths reaching at least `(1 - tolerance)` of the scalar throughput, and
-/// batched planning must have decided identically to scalar. Returns the
-/// offending rows on failure.
+/// paths reaching at least `(1 - tolerance - noise)` of the scalar
+/// throughput — where `noise` is the report's own `measurement_noise`
+/// field, so a run on a jittery container is judged against a floor the
+/// container can actually hold — and batched planning must have decided
+/// identically to scalar. Returns the offending rows on failure.
 pub fn check_triggers_no_regression(json: &str, tolerance: f64) -> Result<(), String> {
+    let tolerance = (tolerance + bench_measurement_noise(json)).min(0.9);
     let mut offenders = Vec::new();
     let mut rows = 0usize;
     let mut rest = json;
@@ -1447,9 +1710,12 @@ pub fn bench_single_thread_ticks_per_sec(json: &str) -> Option<f64> {
 
 /// Check a [`bench_tick_report`] JSON for the inner-jobs inversion this
 /// benchmark once recorded (19 tiny lanes paying a thread spawn per tick):
-/// every `inner_jobs > 1` row must reach at least `(1 - tolerance)` of the
-/// single-thread throughput. Returns the offending rows on failure.
+/// every `inner_jobs > 1` row must reach at least `(1 - tolerance - noise)`
+/// of the single-thread throughput, with `noise` read from the report's
+/// own `measurement_noise` field (see [`check_triggers_no_regression`]).
+/// Returns the offending rows on failure.
 pub fn check_inner_jobs_no_regression(json: &str, tolerance: f64) -> Result<(), String> {
+    let tolerance = (tolerance + bench_measurement_noise(json)).min(0.9);
     let mut rows: Vec<(u64, f64)> = Vec::new();
     let mut rest = json;
     while let Some(at) = rest.find("{\"inner_jobs\":") {
@@ -2238,25 +2504,135 @@ mod name_resolution_tests {
     /// (`--shards` of `experiments shardchaos`) are both output-neutral.
     #[test]
     fn shard_chaos_csv_is_bit_identical_across_job_and_plane_job_counts() {
-        let baseline = shard_chaos_csv(&shard_chaos_sweep(2, 7, 1, 1));
+        let baseline = shard_chaos_csv(&shard_chaos_sweep(2, 7, 1, 1, ReplicationMode::Delta));
         for (jobs, plane_jobs) in [(4, 1), (1, 2), (4, 4)] {
             assert_eq!(
                 baseline,
-                shard_chaos_csv(&shard_chaos_sweep(2, 7, jobs, plane_jobs)),
+                shard_chaos_csv(&shard_chaos_sweep(
+                    2,
+                    7,
+                    jobs,
+                    plane_jobs,
+                    ReplicationMode::Delta
+                )),
                 "shard chaos diverged at jobs={jobs}, plane_jobs={plane_jobs}"
+            );
+        }
+        // Replication mode is output-neutral too: the whole sweep — owner
+        // kills, fencing, monitoring rebuilds and all — is bit-identical
+        // under full-stream replication.
+        assert_eq!(
+            baseline,
+            shard_chaos_csv(&shard_chaos_sweep(2, 7, 1, 1, ReplicationMode::Full)),
+            "shard chaos diverged between delta and full replication"
+        );
+    }
+
+    /// The shard-smoke digest omits the shard count *and* the replication
+    /// mode on purpose — the partitioning must be invisible to the paper's
+    /// scenarios, so the digest of a 1-shard delta plane equals the digest
+    /// of a 4-shard full-replication one.
+    #[test]
+    fn shard_smoke_digest_is_shard_count_and_replication_invariant() {
+        let one = shard_smoke(1, 6, 42, 1, ReplicationMode::Delta);
+        let four = shard_smoke(4, 6, 42, 2, ReplicationMode::Full);
+        assert_eq!(one, four);
+        assert!(one.lines().count() >= 5, "digest must carry the metrics");
+    }
+
+    /// Tentpole acceptance on *synthetic* landscapes: owner-scoped
+    /// ingestion + delta replication is bitwise equivalent to full-stream
+    /// replication across seeded landscape sizes, shard counts and
+    /// owner-kill chaos — not just on the paper pool the in-crate twin
+    /// pins. Each point runs the same seeded world through both modes and
+    /// compares the scenario digest (action stream, overload, demand bits)
+    /// and the full recovery statistics.
+    #[test]
+    fn delta_replication_matches_full_on_synth_landscapes() {
+        for &(servers, shards, kills, seed) in &[(50usize, 2usize, 1usize, 77u64), (120, 4, 2, 131)]
+        {
+            let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.0)
+                .with_duration(SimDuration::from_hours(4))
+                .with_seed(seed);
+            let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+            let exec_seed = splitmix64(&mut state);
+            let run = |replication: ReplicationMode| {
+                let supervisor = SupervisorConfig {
+                    controller: sim.controller,
+                    executor: ExecutorConfig {
+                        min_latency: SimDuration::from_secs(30),
+                        max_latency: SimDuration::from_minutes(3),
+                        timeout: SimDuration::from_minutes(2),
+                        failure_probability: CHAOS_EXEC_FAILURE_PROBABILITY,
+                        ..ExecutorConfig::reliable()
+                    },
+                    executor_seed: exec_seed,
+                    ..SupervisorConfig::default()
+                };
+                let chaos = ShardChaos {
+                    server_failure_per_hour: SHARD_CHAOS_SERVER_FAILURE_PER_HOUR,
+                    repair_after: SimDuration::from_hours(1),
+                    kill_fracs: [0.35, 0.65][..kills.min(2)].to_vec(),
+                };
+                let env = synth_environment(&SynthConfig::sized(servers, seed));
+                ShardedRun::new(env, &sim, supervisor, shards, 2, chaos)
+                    .with_replication(replication)
+                    .run()
+            };
+            let (full, full_stats) = run(ReplicationMode::Full);
+            let (delta, delta_stats) = run(ReplicationMode::Delta);
+            assert_eq!(
+                metrics_digest(&full),
+                metrics_digest(&delta),
+                "servers {servers} shards {shards} kills {kills}: scenario digests diverged"
+            );
+            assert_eq!(
+                full_stats, delta_stats,
+                "servers {servers} shards {shards} kills {kills}: recovery stats diverged"
             );
         }
     }
 
-    /// The shard-smoke digest omits the shard count on purpose — the
-    /// partitioning must be invisible to the paper's scenarios, so the
-    /// digest of a 1-shard plane equals the digest of a 4-shard one.
+    /// The shard-scale gate fails on either divergence (delta ≠ full) or a
+    /// delta slowdown at the largest point, and on an empty report.
     #[test]
-    fn shard_smoke_digest_is_shard_count_invariant() {
-        let one = shard_smoke(1, 6, 42, 1);
-        let four = shard_smoke(4, 6, 42, 2);
-        assert_eq!(one, four);
-        assert!(one.lines().count() >= 5, "digest must carry the metrics");
+    fn shard_scale_checker_enforces_equivalence_and_speed() {
+        let ok = "{\n  \"points\": [\n    \
+                  {\"servers\": 200, \"shards\": 1, \"full_ticks_per_sec\": 100.0, \
+                  \"delta_ticks_per_sec\": 99.0, \"delta_speedup\": 0.990, \
+                  \"delta_matches_full\": true},\n    \
+                  {\"servers\": 2000, \"shards\": 4, \"full_ticks_per_sec\": 10.0, \
+                  \"delta_ticks_per_sec\": 25.0, \"delta_speedup\": 2.500, \
+                  \"delta_matches_full\": true}\n  ]\n}\n";
+        assert!(check_shard_scale_no_regression(ok).is_ok());
+        let diverged = ok.replace(
+            "\"delta_speedup\": 2.500, \"delta_matches_full\": true",
+            "\"delta_speedup\": 2.500, \"delta_matches_full\": false",
+        );
+        assert!(check_shard_scale_no_regression(&diverged).is_err());
+        let slow = ok.replace(
+            "\"delta_ticks_per_sec\": 25.0",
+            "\"delta_ticks_per_sec\": 5.0",
+        );
+        assert!(check_shard_scale_no_regression(&slow).is_err());
+        assert!(check_shard_scale_no_regression("{}").is_err());
+    }
+
+    /// The regression checkers read the report's own `measurement_noise`
+    /// and widen their tolerance by it: a shortfall that fails on a quiet
+    /// container passes when the repeats themselves showed that much
+    /// jitter — container noise is not a code regression.
+    #[test]
+    fn measurement_noise_widens_the_checker_tolerance() {
+        let report = "{\n  \"measurement_noise\": 0.1500,\n  \"inner_jobs_scaling\": [\n    \
+                      {\"inner_jobs\": 1, \"best_secs\": 1.0, \"ticks_per_sec\": 100.0},\n    \
+                      {\"inner_jobs\": 4, \"best_secs\": 1.2, \"ticks_per_sec\": 82.0}\n  ]\n}\n";
+        assert!((bench_measurement_noise(report) - 0.15).abs() < 1e-9);
+        assert!(check_inner_jobs_no_regression(report, 0.10).is_ok());
+        let quiet = report.replace("0.1500", "0.0000");
+        assert!(check_inner_jobs_no_regression(&quiet, 0.10).is_err());
+        // Reports from before the field existed read as zero noise.
+        assert_eq!(bench_measurement_noise("{}"), 0.0);
     }
 
     /// The CSV renderer exposes every robustness column the experiment

@@ -6,21 +6,87 @@
 //!
 //! - a **pattern memo** keyed on the exact `[u64; 10]` bit pattern of the
 //!   lanes — a large pool is mostly identical idle servers, which collapse
-//!   to one engine evaluation per distinct tier/load combination, now
-//!   *across* triggers within one landscape revision instead of per call;
+//!   to one engine evaluation per distinct tier/load combination. Because
+//!   the score depends on nothing but the engine and the bit pattern, the
+//!   memo is *revision-independent*: it survives landscape mutations and
+//!   only empties on engine swaps ([`ScoreCache::clear`]) or capacity
+//!   overflow. A hit returns the exact bits an engine evaluation of the
+//!   same pattern produced, so persistence cannot perturb outputs;
 //! - an **incremental verdict layer** keyed per server: the lanes and score
 //!   of the server's last evaluation. When every lane moved less than a
 //!   configurable epsilon since then, re-inference is skipped and the
 //!   cached verdict reused. At epsilon 0 (the default) the gate is exact
 //!   bit equality, so reuse is trivially bit-identical; a non-zero epsilon
-//!   is the opt-in approximate fast mode.
+//!   is the opt-in approximate fast mode. Unlike the pattern memo this
+//!   layer is epoch-cleared: any landscape mutation (seen via
+//!   [`autoglobe_landscape::Landscape::revision`]) flushes it, keeping the
+//!   per-server anchors scoped to one allocation.
 //!
-//! Both layers are bounded and epoch-cleared: any landscape mutation (seen
-//! via [`autoglobe_landscape::Landscape::revision`]) flushes them, as does
-//! overflowing the size caps below.
+//! Both layers are bounded; overflowing the size caps below flushes the
+//! overflowing layer.
 
 use autoglobe_landscape::{ActionKind, ServerId};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A deterministic multiply-rotate hasher for the cache maps.
+///
+/// The keys here are content-derived (`[u64; 10]` input lanes, server ids,
+/// engine slots), not attacker-controlled, and map iteration order is never
+/// observed — only `get`/`insert` — so SipHash's DoS resistance buys
+/// nothing while dominating lookup cost on the 88-byte pattern keys. One
+/// multiply + rotate per word is plenty of diffusion for bit patterns of
+/// load values, and being deterministic it cannot perturb reproducibility.
+#[derive(Default)]
+pub(crate) struct FastHasher(u64);
+
+impl FastHasher {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A `HashMap` over the deterministic [`FastHasher`].
+pub(crate) type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// Pattern-memo capacity; overflow clears the memo (a full clear is cheaper
 /// and simpler than eviction, and patterns re-memoize in one pass).
@@ -50,16 +116,29 @@ pub struct ScoreCacheStats {
 }
 
 /// A server's last evaluated inputs (bits for the exact gate, values for
-/// the epsilon gate) and the score they produced.
+/// the epsilon gate) and the score they produced. `epoch` stamps the flush
+/// generation the verdict was stored in; a stale stamp reads as absent, so
+/// flushing the dense layer is one counter bump instead of a wipe.
 #[derive(Debug, Clone, Copy)]
 struct Verdict {
+    epoch: u64,
     bits: [u64; 10],
     lanes: [f64; 10],
     score: f64,
 }
 
+impl Verdict {
+    /// A never-valid slot filler: epoch 0 predates the first live epoch.
+    const EMPTY: Verdict = Verdict {
+        epoch: 0,
+        bits: [0; 10],
+        lanes: [0.0; 10],
+        score: 0.0,
+    };
+}
+
 /// The bounded, epoch-cleared score cache held by the controller.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct ScoreCache {
     /// Landscape revision the cached entries were computed against.
     revision: Option<u64>,
@@ -67,35 +146,71 @@ pub(crate) struct ScoreCache {
     /// Engine keys follow [`crate::selection::ServerSelector::engine_key`],
     /// so services sharing the default-base engine share cache entries too.
     engines: Vec<(ActionKind, String)>,
-    patterns: HashMap<(u32, [u64; 10]), f64>,
-    verdicts: HashMap<(u32, ServerId), Verdict>,
+    patterns: FastMap<(u32, [u64; 10]), f64>,
+    /// Dense verdict layer: `verdicts[slot][server.index()]`, epoch-stamped.
+    /// Ranking touches every eligible server each call, so the layer is hit
+    /// and re-anchored thousands of times per tick — a direct array access
+    /// beats hashing an 88-byte key on both sides, and an epoch bump makes
+    /// the per-revision flush free instead of a full-map wipe.
+    verdicts: Vec<Vec<Verdict>>,
+    /// Flush generation; only verdicts stamped with it are live.
+    epoch: u64,
+    /// Live verdict count (entries stamped with the current epoch).
+    verdict_count: usize,
     pattern_hits: u64,
     incremental_hits: u64,
     misses: u64,
     clears: u64,
 }
 
+impl Default for ScoreCache {
+    fn default() -> Self {
+        ScoreCache {
+            revision: None,
+            engines: Vec::new(),
+            patterns: FastMap::default(),
+            verdicts: Vec::new(),
+            // Epoch 0 is reserved for [`Verdict::EMPTY`]; live epochs start
+            // above it so freshly grown slots never read as valid.
+            epoch: 1,
+            verdict_count: 0,
+            pattern_hits: 0,
+            incremental_hits: 0,
+            misses: 0,
+            clears: 0,
+        }
+    }
+}
+
 impl ScoreCache {
-    /// Flush cached scores if the landscape changed since they were
-    /// computed. Scores are pure functions of their inputs, so this is about
-    /// honoring the epoch contract (and boundedness), not correctness of
-    /// individual entries.
+    /// Flush the per-server verdict layer if the landscape changed since its
+    /// anchors were stored. The pattern memo deliberately survives: a score
+    /// is a pure function of engine slot and input bits, so a pattern entry
+    /// stays exact across any allocation change, while verdict anchors are
+    /// per-server state that should not outlive the allocation they
+    /// described.
     pub(crate) fn sync_revision(&mut self, revision: u64) {
         if self.revision != Some(revision) {
             if self.revision.is_some() {
                 self.clears += 1;
             }
-            self.patterns.clear();
-            self.verdicts.clear();
+            self.flush_verdicts();
             self.revision = Some(revision);
         }
+    }
+
+    /// Invalidate every verdict by moving to the next epoch; storage is
+    /// kept for reuse.
+    fn flush_verdicts(&mut self) {
+        self.epoch += 1;
+        self.verdict_count = 0;
     }
 
     /// Unconditionally flush all cached scores (e.g. after swapping rule
     /// bases or engine configuration).
     pub(crate) fn clear(&mut self) {
         self.patterns.clear();
-        self.verdicts.clear();
+        self.flush_verdicts();
         self.revision = None;
         self.clears += 1;
     }
@@ -124,7 +239,11 @@ impl ScoreCache {
         lanes: &[f64; 10],
         epsilon: f64,
     ) -> Option<f64> {
-        let verdict = self.verdicts.get(&(slot, server))?;
+        let verdict = self
+            .verdicts
+            .get(slot as usize)?
+            .get(server.index())
+            .filter(|v| v.epoch == self.epoch)?;
         let within = if epsilon == 0.0 {
             verdict.bits == *bits
         } else {
@@ -178,12 +297,28 @@ impl ScoreCache {
         lanes: [f64; 10],
         score: f64,
     ) {
-        if self.verdicts.len() >= MAX_VERDICT_ENTRIES {
-            self.verdicts.clear();
+        if self.verdict_count >= MAX_VERDICT_ENTRIES {
+            self.flush_verdicts();
             self.clears += 1;
         }
-        self.verdicts
-            .insert((slot, server), Verdict { bits, lanes, score });
+        let slot = slot as usize;
+        if self.verdicts.len() <= slot {
+            self.verdicts.resize(slot + 1, Vec::new());
+        }
+        let lane = &mut self.verdicts[slot];
+        let at = server.index();
+        if lane.len() <= at {
+            lane.resize(at + 1, Verdict::EMPTY);
+        }
+        if lane[at].epoch != self.epoch {
+            self.verdict_count += 1;
+        }
+        lane[at] = Verdict {
+            epoch: self.epoch,
+            bits,
+            lanes,
+            score,
+        };
     }
 
     /// Current counters and sizes.
@@ -194,7 +329,7 @@ impl ScoreCache {
             misses: self.misses,
             clears: self.clears,
             pattern_entries: self.patterns.len(),
-            verdict_entries: self.verdicts.len(),
+            verdict_entries: self.verdict_count,
         }
     }
 }
@@ -207,23 +342,37 @@ mod tests {
     const LANES: [f64; 10] = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
     #[test]
-    fn pattern_memo_hits_and_epoch_clears() {
+    fn pattern_memo_survives_revisions_while_verdicts_flush() {
         let mut cache = ScoreCache::default();
         cache.sync_revision(7);
         let slot = cache.engine_slot(ActionKind::Move, "");
+        let server = ServerId::new(3);
         assert_eq!(cache.pattern_lookup(slot, &BITS), None);
         cache.insert_pattern(slot, BITS, 0.75);
+        cache.store_verdict(slot, server, BITS, LANES, 0.75);
         assert_eq!(cache.pattern_lookup(slot, &BITS), Some(0.75));
-        // Same revision: entries survive.
+        // Same revision: both layers survive.
         cache.sync_revision(7);
         assert_eq!(cache.pattern_lookup(slot, &BITS), Some(0.75));
-        // Landscape changed: flushed.
+        assert_eq!(
+            cache.incremental_lookup(slot, server, &BITS, &LANES, 0.0),
+            Some(0.75)
+        );
+        // Landscape changed: verdict anchors flush, the pure-function
+        // pattern memo stays warm.
         cache.sync_revision(8);
-        assert_eq!(cache.pattern_lookup(slot, &BITS), None);
+        assert_eq!(
+            cache.incremental_lookup(slot, server, &BITS, &LANES, 0.0),
+            None
+        );
+        assert_eq!(cache.pattern_lookup(slot, &BITS), Some(0.75));
         let stats = cache.stats();
-        assert_eq!(stats.pattern_hits, 2);
-        assert_eq!(stats.misses, 2);
         assert_eq!(stats.clears, 1);
+        assert_eq!(stats.verdict_entries, 0);
+        assert_eq!(stats.pattern_entries, 1);
+        // Engine swap: everything goes.
+        cache.clear();
+        assert_eq!(cache.pattern_lookup(slot, &BITS), None);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! success, and an administrator alert when nothing sufficiently applicable
 //! remains.
 
-use crate::cache::{ScoreCache, ScoreCacheStats};
+use crate::cache::{FastMap, ScoreCache, ScoreCacheStats};
 use crate::executor::{DecidedAction, PlannedTrigger};
 use crate::index::HostIndex;
 use crate::inputs::{ActionInputs, LoadView, ServerInputs};
@@ -147,6 +147,18 @@ pub struct AutoGlobeController {
     /// Cross-trigger fuzzy-score cache (batched mode): bounded, cleared
     /// whenever the landscape revision moves.
     score_cache: ScoreCache,
+    /// Cross-trigger [`HostIndex`] memo, keyed by landscape revision. The
+    /// index is a pure function of the allocation, and every landscape
+    /// mutation bumps the revision, so a revision hit replays the identical
+    /// index a fresh build would produce. Same caveat as the score cache:
+    /// the controller assumes it is driven against one landscape, which
+    /// every supervisor upholds.
+    host_index: Option<(u64, HostIndex)>,
+    /// Reusable pass-1 buffer of [`Self::rank_hosts_over_batched`]: one
+    /// entry per eligible server, ~250 bytes each, so letting each rank
+    /// call grow a fresh vector would re-copy hundreds of kilobytes per
+    /// trigger. Length is meaningless between calls.
+    eligible_scratch: Vec<(ServerId, ServerInputs, [u64; 10], [f64; 10])>,
 }
 
 impl AutoGlobeController {
@@ -167,6 +179,8 @@ impl AutoGlobeController {
             pending: Vec::new(),
             next_pending_id: 0,
             score_cache: ScoreCache::default(),
+            host_index: None,
+            eligible_scratch: Vec::new(),
         }
     }
 
@@ -257,7 +271,9 @@ impl AutoGlobeController {
         }
 
         // Phase 1: action selection (Figure 7) — per considered service.
-        let mut candidates = self.collect_candidates(event, landscape, loads, now);
+        let index = self.take_index(landscape);
+        let mut candidates = self.collect_candidates(event, landscape, loads, now, &index);
+        self.put_index(landscape, index);
 
         // "Afterwards, the actions are sorted by their applicability in
         // descending order. Actions whose applicability value is lower than
@@ -339,7 +355,9 @@ impl AutoGlobeController {
             return planned;
         }
 
-        let mut candidates = self.collect_candidates(event, landscape, loads, now);
+        let index = self.take_index(landscape);
+        let mut candidates = self.collect_candidates(event, landscape, loads, now, &index);
+        self.put_index(landscape, index);
         candidates.retain(|c| c.applicability >= self.config.min_applicability);
         candidates.sort_unstable_by(candidate_order);
 
@@ -461,6 +479,7 @@ impl AutoGlobeController {
         landscape: &Landscape,
         loads: &dyn LoadView,
         now: SimTime,
+        index: &HostIndex,
     ) -> Vec<Candidate> {
         let mut out = Vec::new();
         // Protected services are "excluded from further actions" (Section
@@ -473,13 +492,13 @@ impl AutoGlobeController {
             if this.protection.is_protected(Subject::Service(service), now) {
                 return;
             }
-            this.rank_service(event.kind, landscape, loads, service, instance, out);
+            this.rank_service(event.kind, landscape, loads, service, instance, index, out);
         };
         match event.subject {
             Subject::Service(service) => {
                 let prefer = None;
                 if let Some(instance) =
-                    representative_instance(landscape, loads, service, event.kind, prefer)
+                    representative_instance(landscape, index, loads, service, event.kind, prefer)
                 {
                     consider(self, service, instance, &mut out);
                 }
@@ -493,7 +512,7 @@ impl AutoGlobeController {
             Subject::Server(server) => {
                 // One fuzzy evaluation per service on the host.
                 let mut seen = std::collections::BTreeSet::new();
-                for instance_id in landscape.instances_on(server) {
+                for &instance_id in index.instances_on(server) {
                     let Ok(inst) = landscape.instance(instance_id) else {
                         continue;
                     };
@@ -506,6 +525,7 @@ impl AutoGlobeController {
         out
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn rank_service(
         &mut self,
         trigger: TriggerKind,
@@ -513,12 +533,13 @@ impl AutoGlobeController {
         loads: &dyn LoadView,
         service: ServiceId,
         instance: InstanceId,
+        index: &HostIndex,
         out: &mut Vec<Candidate>,
     ) {
         let Ok(spec) = landscape.service(service) else {
             return;
         };
-        let Some(inputs) = ActionInputs::gather(landscape, loads, service, instance) else {
+        let Some(inputs) = gather_action_inputs(landscape, index, loads, service, instance) else {
             return;
         };
         let Ok(ranked) = self.action_selector.rank(trigger, &spec.name, &inputs) else {
@@ -616,8 +637,33 @@ impl AutoGlobeController {
         loads: &dyn LoadView,
         now: SimTime,
     ) -> Vec<(ServerId, f64)> {
-        let index = HostIndex::build(landscape);
-        self.rank_hosts_over(candidate, service_name, landscape, loads, now, &index)
+        let index = self.take_index(landscape);
+        let ranked = self.rank_hosts_over(candidate, service_name, landscape, loads, now, &index);
+        self.put_index(landscape, index);
+        ranked
+    }
+
+    /// The revision-keyed [`HostIndex`] memo, take side: reuse the cached
+    /// index while the allocation is unchanged; any landscape mutation —
+    /// including one executed between two candidates of the same trigger —
+    /// bumps the revision and forces a rebuild.
+    fn take_index(&mut self, landscape: &Landscape) -> HostIndex {
+        match self.host_index.take() {
+            Some((cached, index)) if cached == landscape.revision() => index,
+            // A stale index still owns every buffer the rebuild needs.
+            Some((_, mut stale)) => {
+                stale.rebuild(landscape);
+                stale
+            }
+            None => HostIndex::build(landscape),
+        }
+    }
+
+    /// Put side of the memo: re-key the index at the landscape's current
+    /// revision. Callers never mutate the landscape while holding the index,
+    /// so the revision read here is the one the index was valid for.
+    fn put_index(&mut self, landscape: &Landscape, index: HostIndex) {
+        self.host_index = Some((landscape.revision(), index));
     }
 
     /// The indexed ranking pass over a prebuilt [`HostIndex`], dispatched
@@ -679,9 +725,15 @@ impl AutoGlobeController {
 
         // Pass 1: constraint prefilters and dense lane gather — identical
         // filters, in identical order, to the scalar path; no engine calls.
-        let mut eligible: Vec<(ServerId, ServerInputs, [u64; 10], [f64; 10])> = Vec::new();
+        // The protection set is snapshotted once (it is a handful of
+        // recently rearranged subjects) so the per-server probe is a
+        // binary search of a tiny array, not a tree walk.
+        let protected = self.protection.protected_servers(now);
+        let mut eligible = std::mem::take(&mut self.eligible_scratch);
+        eligible.clear();
+        eligible.reserve(landscape.num_servers());
         for server in landscape.server_ids() {
-            if self.protection.is_protected(Subject::Server(server), now) {
+            if protected.binary_search(&server).is_ok() {
                 continue;
             }
             if Some(server) == current_host {
@@ -738,8 +790,7 @@ impl AutoGlobeController {
         // epsilon gate, or slow drift would never trigger re-evaluation.
         let mut resolved: Vec<Option<(f64, bool)>> = vec![None; eligible.len()];
         let mut batch_rows: Vec<usize> = Vec::new();
-        let mut pending: std::collections::HashMap<[u64; 10], Vec<usize>> =
-            std::collections::HashMap::new();
+        let mut pending: FastMap<[u64; 10], Vec<usize>> = FastMap::default();
         for (i, (server, _, bits, lanes)) in eligible.iter().enumerate() {
             if let Some(score) = self
                 .score_cache
@@ -796,6 +847,7 @@ impl AutoGlobeController {
             }
         }
         scored.sort_unstable_by(host_order);
+        self.eligible_scratch = eligible;
         scored
     }
 
@@ -822,7 +874,7 @@ impl AutoGlobeController {
         // large pool is mostly identical idle servers (same tier, same zero
         // load) — memoizing on the exact input bit patterns collapses those
         // to one engine evaluation per distinct tier/load combination.
-        let mut memo: std::collections::HashMap<[u64; 10], f64> = std::collections::HashMap::new();
+        let mut memo: FastMap<[u64; 10], f64> = FastMap::default();
 
         let mut scored = Vec::new();
         for server in landscape.server_ids() {
@@ -1197,14 +1249,40 @@ fn kind_uses_instance(kind: ActionKind) -> bool {
 /// Pick the instance a service-level trigger should operate on: the hottest
 /// instance for overload triggers, the coolest for idle triggers. When
 /// `prefer_server` is given (server triggers), instances on that host win.
+/// Index-backed [`ActionInputs::gather`]: identical inputs, with the two
+/// instance-table count scans answered by the prebuilt [`HostIndex`].
+fn gather_action_inputs(
+    landscape: &Landscape,
+    index: &HostIndex,
+    loads: &dyn LoadView,
+    service: ServiceId,
+    instance: InstanceId,
+) -> Option<ActionInputs> {
+    let inst = landscape.instance(instance).ok()?;
+    let server = inst.server;
+    let spec = landscape.server(server).ok()?;
+    let instance_load = loads.cpu(Subject::Instance(instance));
+    Some(ActionInputs {
+        cpu_load: loads.cpu(Subject::Server(server)),
+        mem_load: loads.mem(Subject::Server(server)),
+        performance_index: spec.performance_index,
+        instance_load,
+        service_load: loads.cpu(Subject::Service(service)),
+        instances_on_server: index.instance_count_on(server) as f64,
+        instances_of_service: index.instance_count_of(service) as f64,
+        instance_demand: instance_load * spec.performance_index,
+    })
+}
+
 fn representative_instance(
     landscape: &Landscape,
+    index: &HostIndex,
     loads: &dyn LoadView,
     service: ServiceId,
     trigger: TriggerKind,
     prefer_server: Option<ServerId>,
 ) -> Option<InstanceId> {
-    let mut instances = landscape.instances_of(service);
+    let mut instances = index.instances_of(service).to_vec();
     if let Some(server) = prefer_server {
         let on_server: Vec<InstanceId> = instances
             .iter()
@@ -1770,7 +1848,7 @@ mod tests {
     }
 
     #[test]
-    fn landscape_mutation_flushes_the_score_cache() {
+    fn landscape_mutation_flushes_the_verdict_layer() {
         let mut f = fixture();
         mixed_loads(&mut f);
         let mut c = AutoGlobeController::new();
@@ -1787,7 +1865,8 @@ mod tests {
         assert!(before.pattern_entries > 0);
 
         // Any landscape mutation bumps the revision; the next ranking must
-        // start from an empty cache.
+        // drop every per-server verdict anchor (the pure-function pattern
+        // memo may stay warm).
         f.landscape.start_instance(f.fi, f.big).unwrap();
         c.rank_hosts_indexed(
             ActionKind::Move,

@@ -18,59 +18,225 @@
 //! [`AutoGlobeController::rank_hosts_exhaustive`]: crate::AutoGlobeController::rank_hosts_exhaustive
 //! [`Landscape::can_host`]: autoglobe_landscape::Landscape::can_host
 
-use autoglobe_landscape::{Landscape, ServerId, ServiceId};
+use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId};
 
-/// Per-server aggregates of the current allocation, built in one pass over
-/// the instance table.
-#[derive(Debug, Clone)]
+/// Per-server aggregates of the current allocation, built in two passes
+/// over the instance table.
+///
+/// The per-server and per-service id lists use a CSR layout (one flat id
+/// array plus prefix-sum offsets) instead of a `Vec` per server: the
+/// controller rebuilds the index whenever the landscape revision moves,
+/// which happens several times per tick under churn, and a build that
+/// allocates O(servers) small vectors costs more than the scans it
+/// replaces. The flat layout keeps a rebuild at a handful of exact-sized
+/// allocations.
+#[derive(Debug, Clone, Default)]
 pub struct HostIndex {
     /// Instances on each server.
     instance_count: Vec<u32>,
     /// Memory in use on each server, MB (order-independent u64 sum).
     mem_used: Vec<u64>,
-    /// Distinct services resident on each server, ascending.
-    resident_services: Vec<Vec<ServiceId>>,
-    /// How many of those distinct residents are exclusive services.
+    /// How many distinct resident services on each server are exclusive.
     exclusive_residents: Vec<u32>,
+    /// CSR offsets into `server_instances`, len `n + 1`.
+    server_starts: Vec<u32>,
+    /// Instance ids grouped by server, each group ascending — the id order
+    /// [`Landscape::instances_on`] produces.
+    ///
+    /// [`Landscape::instances_on`]: autoglobe_landscape::Landscape::instances_on
+    server_instances: Vec<InstanceId>,
+    /// CSR offsets into `residents`, len `n + 1`.
+    resident_starts: Vec<u32>,
+    /// Distinct services resident on each server, each group ascending.
+    residents: Vec<ServiceId>,
+    /// CSR offsets into `service_instances`, len `services + 1`.
+    service_starts: Vec<u32>,
+    /// Instance ids grouped by service, each group ascending — the id
+    /// order [`Landscape::instances_of`] produces.
+    ///
+    /// [`Landscape::instances_of`]: autoglobe_landscape::Landscape::instances_of
+    service_instances: Vec<InstanceId>,
+    /// Build-time temporaries retained across [`HostIndex::rebuild`] calls
+    /// so a revision bump costs refills, not reallocations.
+    scratch: BuildScratch,
+}
+
+/// Reusable build-time buffers. Lengths are meaningless between builds;
+/// every [`HostIndex::rebuild`] resets them before use.
+#[derive(Debug, Clone, Default)]
+struct BuildScratch {
+    /// `memory_per_instance_mb` per service index (spec-table hoist).
+    mem_per_service: Vec<u64>,
+    /// `exclusive` flag per service index (spec-table hoist).
+    exclusive: Vec<bool>,
+    /// Instances of each service (prefix-sum input).
+    per_service: Vec<u32>,
+    /// One flat copy of the instance table, in ascending-id walk order —
+    /// the fill pass re-reads this instead of walking the table again.
+    table: Vec<(ServerId, ServiceId, InstanceId)>,
+    /// Resident service of each `server_instances` slot (pre-dedup).
+    server_services: Vec<ServiceId>,
+    /// Per-server fill cursor into `server_instances`.
+    server_cursor: Vec<u32>,
+    /// Per-service fill cursor into `service_instances`.
+    service_cursor: Vec<u32>,
+    /// Sort + dedup workspace for one server's resident group.
+    dedup: Vec<ServiceId>,
+}
+
+/// Reset `v` to `n` copies of `fill`, reusing its allocation.
+fn refill<T: Clone>(v: &mut Vec<T>, n: usize, fill: T) {
+    v.clear();
+    v.resize(n, fill);
 }
 
 impl HostIndex {
     /// Build the index for the landscape's current allocation.
     pub fn build(landscape: &Landscape) -> HostIndex {
+        let mut index = HostIndex::default();
+        index.rebuild(landscape);
+        index
+    }
+
+    /// Rebuild in place for the landscape's current allocation, reusing
+    /// every buffer of the previous build. The result is identical to a
+    /// fresh [`HostIndex::build`]; only the allocations differ.
+    pub fn rebuild(&mut self, landscape: &Landscape) {
         let n = landscape.num_servers();
-        let mut index = HostIndex {
-            instance_count: vec![0; n],
-            mem_used: vec![0; n],
-            resident_services: vec![Vec::new(); n],
-            exclusive_residents: vec![0; n],
-        };
+        let services = landscape.num_services();
+
+        // Per-service spec lookups hoisted out of the instance loops.
+        refill(&mut self.scratch.mem_per_service, services, 0u64);
+        refill(&mut self.scratch.exclusive, services, false);
+        for service in landscape.service_ids() {
+            let idx = service.index();
+            if idx >= services {
+                continue;
+            }
+            if let Ok(spec) = landscape.service(service) {
+                self.scratch.mem_per_service[idx] = spec.memory_per_instance_mb;
+                self.scratch.exclusive[idx] = spec.exclusive;
+            }
+        }
+
+        // Pass 1: counts and memory sums. The one tree walk also flattens
+        // the instance table — `instances()` ascends by instance id, so
+        // every per-server / per-service group filled from the flat copy
+        // inherits the id order the landscape's own scans produce.
+        refill(&mut self.instance_count, n, 0u32);
+        refill(&mut self.mem_used, n, 0u64);
+        refill(&mut self.scratch.per_service, services, 0u32);
+        self.scratch.table.clear();
         for inst in landscape.instances() {
+            self.scratch
+                .table
+                .push((inst.server, inst.service, inst.id));
+            let svc = inst.service.index();
+            if svc < services {
+                self.scratch.per_service[svc] += 1;
+            }
             let s = inst.server.index();
             if s >= n {
                 continue;
             }
-            index.instance_count[s] += 1;
-            index.mem_used[s] += landscape
-                .service(inst.service)
-                .map(|spec| spec.memory_per_instance_mb)
+            self.instance_count[s] += 1;
+            self.mem_used[s] += self
+                .scratch
+                .mem_per_service
+                .get(inst.service.index())
+                .copied()
                 .unwrap_or(0);
-            let residents = &mut index.resident_services[s];
-            if let Err(pos) = residents.binary_search(&inst.service) {
-                residents.insert(pos, inst.service);
-            }
         }
+
+        // Prefix sums give each group its slice in the flat arrays.
+        refill(&mut self.server_starts, n + 1, 0u32);
         for s in 0..n {
-            index.exclusive_residents[s] = index.resident_services[s]
+            self.server_starts[s + 1] = self.server_starts[s] + self.instance_count[s];
+        }
+        refill(&mut self.service_starts, services + 1, 0u32);
+        for svc in 0..services {
+            self.service_starts[svc + 1] = self.service_starts[svc] + self.scratch.per_service[svc];
+        }
+
+        // Pass 2: fill the flat arrays from the flattened table.
+        let total_on_servers = self.server_starts[n] as usize;
+        let total_of_services = self.service_starts[services] as usize;
+        refill(
+            &mut self.server_instances,
+            total_on_servers,
+            InstanceId::new(0),
+        );
+        refill(
+            &mut self.scratch.server_services,
+            total_on_servers,
+            ServiceId::new(0),
+        );
+        refill(
+            &mut self.service_instances,
+            total_of_services,
+            InstanceId::new(0),
+        );
+        self.scratch.server_cursor.clear();
+        self.scratch
+            .server_cursor
+            .extend_from_slice(&self.server_starts[..n]);
+        self.scratch.service_cursor.clear();
+        self.scratch
+            .service_cursor
+            .extend_from_slice(&self.service_starts[..services]);
+        for &(server, service, id) in &self.scratch.table {
+            let svc = service.index();
+            if svc < services {
+                let at = self.scratch.service_cursor[svc] as usize;
+                self.service_instances[at] = id;
+                self.scratch.service_cursor[svc] += 1;
+            }
+            let s = server.index();
+            if s >= n {
+                continue;
+            }
+            let at = self.scratch.server_cursor[s] as usize;
+            self.server_instances[at] = id;
+            self.scratch.server_services[at] = service;
+            self.scratch.server_cursor[s] += 1;
+        }
+
+        // Distinct residents per server: sort + dedup each server's
+        // service group in a reusable scratch buffer.
+        refill(&mut self.resident_starts, n + 1, 0u32);
+        self.residents.clear();
+        refill(&mut self.exclusive_residents, n, 0u32);
+        for s in 0..n {
+            let group = &self.scratch.server_services
+                [self.server_starts[s] as usize..self.server_starts[s + 1] as usize];
+            self.scratch.dedup.clear();
+            self.scratch.dedup.extend_from_slice(group);
+            self.scratch.dedup.sort_unstable();
+            self.scratch.dedup.dedup();
+            self.exclusive_residents[s] = self
+                .scratch
+                .dedup
                 .iter()
-                .filter(|&&svc| {
-                    landscape
-                        .service(svc)
-                        .map(|spec| spec.exclusive)
+                .filter(|svc| {
+                    self.scratch
+                        .exclusive
+                        .get(svc.index())
+                        .copied()
                         .unwrap_or(false)
                 })
                 .count() as u32;
+            self.residents.extend_from_slice(&self.scratch.dedup);
+            self.resident_starts[s + 1] = self.residents.len() as u32;
         }
-        index
+    }
+
+    /// Distinct services resident on `server`, ascending.
+    fn residents_on(&self, server: ServerId) -> &[ServiceId] {
+        let s = server.index();
+        if s + 1 >= self.resident_starts.len() {
+            return &[];
+        }
+        &self.residents[self.resident_starts[s] as usize..self.resident_starts[s + 1] as usize]
     }
 
     /// Number of instances on `server` (the `instancesOnServer` fuzzy
@@ -88,12 +254,36 @@ impl HostIndex {
         self.mem_used.get(server.index()).copied().unwrap_or(0)
     }
 
+    /// Instance ids on `server`, ascending — equals
+    /// `landscape.instances_on(server)` without the scan.
+    pub fn instances_on(&self, server: ServerId) -> &[InstanceId] {
+        let s = server.index();
+        if s + 1 >= self.server_starts.len() {
+            return &[];
+        }
+        &self.server_instances[self.server_starts[s] as usize..self.server_starts[s + 1] as usize]
+    }
+
+    /// Instance ids of `service`, ascending — equals
+    /// `landscape.instances_of(service)` without the scan.
+    pub fn instances_of(&self, service: ServiceId) -> &[InstanceId] {
+        let s = service.index();
+        if s + 1 >= self.service_starts.len() {
+            return &[];
+        }
+        &self.service_instances
+            [self.service_starts[s] as usize..self.service_starts[s + 1] as usize]
+    }
+
+    /// Number of instances of `service` (the `instancesOfService` fuzzy
+    /// input) — equals `landscape.instance_count_of(service)`.
+    pub fn instance_count_of(&self, service: ServiceId) -> u32 {
+        self.instances_of(service).len() as u32
+    }
+
     /// Whether at least one instance of `service` runs on `server`.
     pub fn runs_service(&self, server: ServerId, service: ServiceId) -> bool {
-        self.resident_services
-            .get(server.index())
-            .map(|r| r.binary_search(&service).is_ok())
-            .unwrap_or(false)
+        self.residents_on(server).binary_search(&service).is_ok()
     }
 
     /// Index-backed replica of [`Landscape::can_host`]: available host,
@@ -118,7 +308,7 @@ impl HostIndex {
             }
         }
         let s = server.index();
-        let residents = &self.resident_services[s];
+        let residents = self.residents_on(server);
         let runs_candidate = residents.binary_search(&service).is_ok();
         // Exclusivity in both directions, over distinct resident services.
         let foreign = residents.len() - usize::from(runs_candidate);

@@ -6,6 +6,7 @@
 //! moving services back and forth." (Section 4) The paper's simulations use
 //! 30 minutes (Section 5.1).
 
+use autoglobe_landscape::ServerId;
 use autoglobe_monitor::{SimDuration, SimTime, Subject};
 use std::collections::BTreeMap;
 
@@ -42,6 +43,21 @@ impl ProtectionRegistry {
             .get(&subject)
             .copied()
             .filter(|&until| now < until)
+    }
+
+    /// Server ids protected at `now`, ascending. The host-ranking
+    /// prefilter probes every server of the landscape, so it snapshots
+    /// this small set once per ranking instead of paying a tree lookup
+    /// per server; membership here is exactly [`Self::is_protected`] on
+    /// `Subject::Server` at the same `now`.
+    pub fn protected_servers(&self, now: SimTime) -> Vec<ServerId> {
+        self.until
+            .iter()
+            .filter_map(|(subject, &until)| match subject {
+                Subject::Server(s) if now < until => Some(*s),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Remove expired entries (call periodically; correctness does not
@@ -129,6 +145,34 @@ mod tests {
         p.expire(SimTime::from_minutes(30));
         assert_eq!(p.len(), 1);
         assert!(p.is_protected(subject(1), SimTime::from_minutes(30)));
+    }
+
+    #[test]
+    fn protected_servers_snapshot_matches_is_protected() {
+        use autoglobe_landscape::{InstanceId, ServiceId};
+        let mut p = ProtectionRegistry::new();
+        p.protect(subject(7), SimTime::ZERO, THIRTY_MIN);
+        p.protect(subject(2), SimTime::ZERO, SimDuration::from_minutes(5));
+        p.protect(
+            Subject::Service(ServiceId::new(1)),
+            SimTime::ZERO,
+            THIRTY_MIN,
+        );
+        p.protect(
+            Subject::Instance(InstanceId::new(3)),
+            SimTime::ZERO,
+            THIRTY_MIN,
+        );
+        // Both servers inside their windows, ascending; non-servers omitted.
+        assert_eq!(
+            p.protected_servers(SimTime::from_minutes(1)),
+            vec![ServerId::new(2), ServerId::new(7)]
+        );
+        // The short protection has lapsed by minute 10.
+        assert_eq!(
+            p.protected_servers(SimTime::from_minutes(10)),
+            vec![ServerId::new(7)]
+        );
     }
 
     #[test]

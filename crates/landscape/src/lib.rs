@@ -50,5 +50,5 @@ pub use error::LandscapeError;
 pub use ids::{InstanceId, ServerId, ServiceId};
 pub use server::ServerSpec;
 pub use service::{ServiceKind, ServiceSpec};
-pub use shard::{ShardId, ShardMap};
+pub use shard::{DeltaSubject, SampleRing, ShardDelta, ShardId, ShardMap, WatchSnapshot};
 pub use synth::{SynthConfig, SynthLandscape, SynthWorkload};

@@ -14,8 +14,9 @@
 //! contract, not an ephemeral runtime artifact.
 
 use crate::allocation::Landscape;
-use crate::ids::{ServerId, ServiceId};
+use crate::ids::{InstanceId, ServerId, ServiceId};
 use autoglobe_rng::splitmix64;
+use std::collections::VecDeque;
 
 /// Index of a shard — also the id of the supervisor that owns it at
 /// construction of a sharded control plane.
@@ -92,6 +93,220 @@ fn hash_shard(raw: u32, salt: u64, shards: usize) -> ShardId {
     (splitmix64(&mut state) % shards as u64) as ShardId
 }
 
+/// A monitored subject in delta records, by raw id.
+///
+/// The monitor crate's `Subject` lives above this crate, so delta
+/// replication (which rides at the landscape layer) names subjects by
+/// their raw landscape ids. The derived `Ord` matches `Subject`'s:
+/// servers before services before instances, ascending by id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DeltaSubject {
+    /// A pooled server.
+    Server(ServerId),
+    /// A service (aggregate over its instances).
+    Service(ServiceId),
+    /// One running instance of a service.
+    Instance(InstanceId),
+}
+
+/// A replicated advisor observation state, in plain seconds.
+///
+/// Mirrors the monitor crate's `WatchState` with `SimTime` flattened to
+/// seconds, so the landscape layer can carry it without depending on the
+/// monitor crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchSnapshot {
+    /// Nothing unusual.
+    Quiet,
+    /// An overload watch window opened at `since_secs`.
+    Overload {
+        /// Window open time, in seconds of simulated time.
+        since_secs: u64,
+    },
+    /// An idle watch window opened at `since_secs`.
+    Idle {
+        /// Window open time, in seconds of simulated time.
+        since_secs: u64,
+    },
+}
+
+/// The compact per-shard record a shard owner publishes at interval close.
+///
+/// Under delta replication only the lease owner of a shard ingests that
+/// shard's measurement stream into its monitoring/archive state; everything
+/// other replicas need is carried here:
+///
+/// * `loads` — the shard's measurements of this tick, in arrival order.
+///   Non-owners apply them to their read-only replicated load view (the
+///   planning input for cross-shard candidate hosts) without touching any
+///   monitoring state.
+/// * `watches` — the end-of-tick observation state of every advisor the
+///   owner runs for this shard. Absorbed into the plane's [`SampleRing`],
+///   these let a successor rebuild the owner's advisors exactly if the
+///   owner dies (re-adoption replays ring samples newer than `now_secs`
+///   through a restored advisor).
+/// * `recoveries` — failure replays the owner performed this tick
+///   (subject + time in seconds), mirrored by every other replica.
+///
+/// Landscape mutations (completed actions) are controller-typed
+/// `ActionRecord`s and replicate inline at the `apply_remote` call sites of
+/// the control plane — they are the mutation section of the delta, carried
+/// one layer up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDelta {
+    /// The shard this delta describes.
+    pub shard: ShardId,
+    /// The lease epoch the owner held when publishing.
+    pub epoch: u64,
+    /// Interval-close time, in seconds of simulated time.
+    pub now_secs: u64,
+    /// This tick's measurements for the shard, in arrival order:
+    /// `(subject, cpu, mem)`.
+    pub loads: Vec<(DeltaSubject, f64, f64)>,
+    /// End-of-tick advisor states for the shard's monitored subjects.
+    pub watches: Vec<(DeltaSubject, WatchSnapshot)>,
+    /// Failure replays performed this tick: `(subject, time_secs)`.
+    pub recoveries: Vec<(DeltaSubject, u64)>,
+}
+
+impl ShardDelta {
+    /// An empty delta for `shard` at `epoch`, closed at `now_secs`.
+    pub fn new(shard: ShardId, epoch: u64, now_secs: u64) -> Self {
+        ShardDelta {
+            shard,
+            epoch,
+            now_secs,
+            loads: Vec::new(),
+            watches: Vec::new(),
+            recoveries: Vec::new(),
+        }
+    }
+
+    /// True when the delta carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty() && self.watches.is_empty() && self.recoveries.is_empty()
+    }
+}
+
+/// One subject's retained history in the plane-global [`SampleRing`].
+#[derive(Debug, Clone, Default)]
+struct RingLane {
+    /// `(time_secs, cpu, mem)`, oldest first, within retention of the
+    /// newest sample.
+    samples: VecDeque<(u64, f64, f64)>,
+    /// The latest absorbed watch snapshot and the delta close time it was
+    /// taken at.
+    watch: Option<(WatchSnapshot, u64)>,
+}
+
+/// Plane-global bounded sample history plus latest advisor snapshots.
+///
+/// The sharded control plane feeds every routed measurement into the ring
+/// once (dense per-kind lanes, same eviction rule as the monitor crate's
+/// `LoadMonitor`: newest-sample time minus retention) and absorbs each
+/// published [`ShardDelta`]'s watch states. When a shard owner dies, the
+/// re-adopting successor rebuilds the dead owner's advisors from the ring:
+/// samples up to the snapshot time restore the monitor window, samples
+/// after it replay the headless interval.
+#[derive(Debug, Clone)]
+pub struct SampleRing {
+    retention_secs: u64,
+    servers: Vec<RingLane>,
+    services: Vec<RingLane>,
+    instances: Vec<RingLane>,
+}
+
+impl SampleRing {
+    /// A ring retaining `retention_secs` of history per subject — at least
+    /// the advisors' own retention, or restores will truncate the window.
+    pub fn new(retention_secs: u64) -> Self {
+        SampleRing {
+            retention_secs,
+            servers: Vec::new(),
+            services: Vec::new(),
+            instances: Vec::new(),
+        }
+    }
+
+    fn lane_mut(&mut self, subject: DeltaSubject) -> &mut RingLane {
+        let (lane, idx) = match subject {
+            DeltaSubject::Server(id) => (&mut self.servers, id.index()),
+            DeltaSubject::Service(id) => (&mut self.services, id.index()),
+            DeltaSubject::Instance(id) => (&mut self.instances, id.index()),
+        };
+        if lane.len() <= idx {
+            lane.resize_with(idx + 1, RingLane::default);
+        }
+        &mut lane[idx]
+    }
+
+    fn lane(&self, subject: DeltaSubject) -> Option<&RingLane> {
+        match subject {
+            DeltaSubject::Server(id) => self.servers.get(id.index()),
+            DeltaSubject::Service(id) => self.services.get(id.index()),
+            DeltaSubject::Instance(id) => self.instances.get(id.index()),
+        }
+    }
+
+    /// Record one measurement. Out-of-order samples are dropped and
+    /// samples older than retention (relative to the lane's newest) are
+    /// evicted — the exact eviction rule of the monitor crate's
+    /// `LoadMonitor`, so a restore replays the same window a live advisor
+    /// would have retained.
+    pub fn push(&mut self, subject: DeltaSubject, time_secs: u64, cpu: f64, mem: f64) {
+        let retention = self.retention_secs;
+        let lane = self.lane_mut(subject);
+        if let Some(&(back, _, _)) = lane.samples.back() {
+            if time_secs < back {
+                return;
+            }
+        }
+        lane.samples.push_back((time_secs, cpu, mem));
+        let cutoff = time_secs.saturating_sub(retention);
+        while let Some(&(front, _, _)) = lane.samples.front() {
+            if front < cutoff {
+                lane.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Absorb a published delta's advisor snapshots.
+    pub fn absorb(&mut self, delta: &ShardDelta) {
+        for &(subject, snapshot) in &delta.watches {
+            self.lane_mut(subject).watch = Some((snapshot, delta.now_secs));
+        }
+    }
+
+    /// Retained samples for `subject`, oldest first: `(time_secs, cpu, mem)`.
+    pub fn samples_of(&self, subject: DeltaSubject) -> impl Iterator<Item = (u64, f64, f64)> + '_ {
+        self.lane(subject)
+            .map(|l| l.samples.iter().copied())
+            .into_iter()
+            .flatten()
+    }
+
+    /// The latest absorbed snapshot for `subject` and when it was taken:
+    /// `(snapshot, snapshot_time_secs)`.
+    pub fn watch_of(&self, subject: DeltaSubject) -> Option<(WatchSnapshot, u64)> {
+        self.lane(subject).and_then(|l| l.watch)
+    }
+
+    /// Drop a departed subject's history (e.g. a stopped instance).
+    pub fn remove(&mut self, subject: DeltaSubject) {
+        let lane = match subject {
+            DeltaSubject::Server(id) => self.servers.get_mut(id.index()),
+            DeltaSubject::Service(id) => self.services.get_mut(id.index()),
+            DeltaSubject::Instance(id) => self.instances.get_mut(id.index()),
+        };
+        if let Some(lane) = lane {
+            lane.samples.clear();
+            lane.watch = None;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +367,70 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_is_rejected() {
         ShardMap::new(&landscape(3), 0);
+    }
+
+    #[test]
+    fn ring_retention_mirrors_load_monitor_eviction() {
+        let mut ring = SampleRing::new(600);
+        let s = DeltaSubject::Server(ServerId::new(0));
+        for minute in 0..30u64 {
+            ring.push(s, minute * 60, 0.5, 0.1);
+        }
+        // Newest sample at 1740 s; cutoff 1140 s; survivors 1140..=1740.
+        let kept: Vec<u64> = ring.samples_of(s).map(|(t, _, _)| t).collect();
+        assert_eq!(kept.len(), 11);
+        assert_eq!(kept[0], 1140);
+        assert_eq!(*kept.last().unwrap(), 1740);
+        // Out-of-order pushes are dropped, like LoadMonitor::record.
+        ring.push(s, 0, 0.9, 0.9);
+        assert_eq!(ring.samples_of(s).count(), 11);
+    }
+
+    #[test]
+    fn ring_absorbs_snapshots_and_forgets_removed_subjects() {
+        let mut ring = SampleRing::new(600);
+        let srv = DeltaSubject::Server(ServerId::new(2));
+        let svc = DeltaSubject::Service(ServiceId::new(1));
+        ring.push(srv, 60, 0.8, 0.2);
+        let mut delta = ShardDelta::new(3, 7, 120);
+        assert!(delta.is_empty());
+        delta
+            .watches
+            .push((srv, WatchSnapshot::Overload { since_secs: 60 }));
+        delta.watches.push((svc, WatchSnapshot::Quiet));
+        delta.loads.push((srv, 0.8, 0.2));
+        assert!(!delta.is_empty());
+        ring.absorb(&delta);
+        assert_eq!(
+            ring.watch_of(srv),
+            Some((WatchSnapshot::Overload { since_secs: 60 }, 120))
+        );
+        assert_eq!(ring.watch_of(svc), Some((WatchSnapshot::Quiet, 120)));
+        assert_eq!(ring.watch_of(DeltaSubject::Server(ServerId::new(9))), None);
+        ring.remove(srv);
+        assert_eq!(ring.samples_of(srv).count(), 0);
+        assert_eq!(ring.watch_of(srv), None);
+    }
+
+    #[test]
+    fn delta_subject_order_is_servers_services_instances_ascending() {
+        let mut subjects = vec![
+            DeltaSubject::Instance(InstanceId::new(0)),
+            DeltaSubject::Service(ServiceId::new(1)),
+            DeltaSubject::Server(ServerId::new(5)),
+            DeltaSubject::Service(ServiceId::new(0)),
+            DeltaSubject::Server(ServerId::new(1)),
+        ];
+        subjects.sort();
+        assert_eq!(
+            subjects,
+            vec![
+                DeltaSubject::Server(ServerId::new(1)),
+                DeltaSubject::Server(ServerId::new(5)),
+                DeltaSubject::Service(ServiceId::new(0)),
+                DeltaSubject::Service(ServiceId::new(1)),
+                DeltaSubject::Instance(InstanceId::new(0)),
+            ]
+        );
     }
 }

@@ -35,6 +35,6 @@ pub use archive::LoadArchive;
 pub use heartbeat::{HeartbeatConfig, HeartbeatEvent, HeartbeatMonitor};
 pub use monitor::{LoadMonitor, LoadSample};
 pub use subject::Subject;
-pub use system::{Advisor, LoadMonitoringSystem, SubjectConfig};
+pub use system::{Advisor, LoadMonitoringSystem, SubjectConfig, WatchState};
 pub use time::{SimDuration, SimTime};
 pub use trigger::{FailureEvent, FailureKind, TriggerEvent, TriggerKind};

@@ -54,17 +54,37 @@ impl SubjectConfig {
         self.idle_threshold = -1.0;
         self
     }
+
+    /// How long an advisor's monitor retains samples for this config:
+    /// twice the longest watch time plus one minute of slack. Any sample
+    /// older than this can never influence a watch-window average, so a
+    /// replica that retains `retention()` of history can rebuild the
+    /// advisor exactly.
+    pub fn retention(&self) -> SimDuration {
+        SimDuration::from_secs(
+            self.overload_watch.as_secs().max(self.idle_watch.as_secs()) * 2 + 60,
+        )
+    }
 }
 
 /// Observation state of one subject.
+///
+/// Public so that a control plane replicating advisor state (the sharded
+/// plane's delta replication) can snapshot and restore it exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Watch {
+pub enum WatchState {
     /// Nothing unusual.
     Quiet,
     /// Advisor flagged an imminent overload at `since`; observing.
-    Overload { since: SimTime },
+    Overload {
+        /// When the overload watch window opened.
+        since: SimTime,
+    },
     /// Advisor flagged an imminent idle situation at `since`; observing.
-    Idle { since: SimTime },
+    Idle {
+        /// When the idle watch window opened.
+        since: SimTime,
+    },
 }
 
 /// The advisor for one subject: keeps the local load view (a
@@ -76,31 +96,51 @@ pub struct Advisor {
     /// Monitoring configuration.
     pub config: SubjectConfig,
     monitor: LoadMonitor,
-    watch: Watch,
+    watch: WatchState,
 }
 
 impl Advisor {
-    /// Create an advisor. The monitor retains twice the longest watch time.
+    /// Create an advisor. The monitor retains twice the longest watch time
+    /// (see [`SubjectConfig::retention`]).
     pub fn new(subject: Subject, config: SubjectConfig) -> Self {
-        let retention = SimDuration::from_secs(
-            config
-                .overload_watch
-                .as_secs()
-                .max(config.idle_watch.as_secs())
-                * 2
-                + 60,
-        );
         Advisor {
             subject,
             config,
-            monitor: LoadMonitor::new(retention),
-            watch: Watch::Quiet,
+            monitor: LoadMonitor::new(config.retention()),
+            watch: WatchState::Quiet,
         }
+    }
+
+    /// Rebuild an advisor from a replicated watch state and sample history.
+    ///
+    /// `samples` must be in non-decreasing time order (out-of-order samples
+    /// are dropped, exactly like live recording). The result is bitwise
+    /// identical to an advisor that observed the same samples live and was
+    /// left in `watch` — the restore path of the sharded plane's delta
+    /// replication uses this to re-adopt a shard without having run its
+    /// monitoring locally.
+    pub fn restore(
+        subject: Subject,
+        config: SubjectConfig,
+        watch: WatchState,
+        samples: impl IntoIterator<Item = LoadSample>,
+    ) -> Self {
+        let mut advisor = Advisor::new(subject, config);
+        for sample in samples {
+            advisor.monitor.record(sample);
+        }
+        advisor.watch = watch;
+        advisor
     }
 
     /// The underlying sliding-window monitor.
     pub fn monitor(&self) -> &LoadMonitor {
         &self.monitor
+    }
+
+    /// The current observation state.
+    pub fn watch_state(&self) -> WatchState {
+        self.watch
     }
 
     /// Feed one measurement; returns a trigger if a watch window just
@@ -112,20 +152,20 @@ impl Advisor {
         let cfg = self.config;
 
         match self.watch {
-            Watch::Quiet => {
+            WatchState::Quiet => {
                 if cpu >= cfg.overload_threshold {
-                    self.watch = Watch::Overload { since: now };
+                    self.watch = WatchState::Overload { since: now };
                 } else if cpu <= cfg.idle_threshold {
-                    self.watch = Watch::Idle { since: now };
+                    self.watch = WatchState::Idle { since: now };
                 }
                 None
             }
-            Watch::Overload { since } => {
+            WatchState::Overload { since } => {
                 if now.since(since) >= cfg.overload_watch {
                     // Watch window complete: decide on the average.
                     let avg = self.monitor.average_cpu(since, now).unwrap_or(cpu);
                     let avg_mem = self.monitor.average_mem(since, now).unwrap_or(0.0);
-                    self.watch = Watch::Quiet;
+                    self.watch = WatchState::Quiet;
                     if avg >= cfg.overload_threshold {
                         return Some(TriggerEvent {
                             kind: if self.subject.is_server() {
@@ -142,11 +182,11 @@ impl Advisor {
                 }
                 None
             }
-            Watch::Idle { since } => {
+            WatchState::Idle { since } => {
                 if now.since(since) >= cfg.idle_watch {
                     let avg = self.monitor.average_cpu(since, now).unwrap_or(cpu);
                     let avg_mem = self.monitor.average_mem(since, now).unwrap_or(0.0);
-                    self.watch = Watch::Quiet;
+                    self.watch = WatchState::Quiet;
                     if avg <= cfg.idle_threshold {
                         return Some(TriggerEvent {
                             kind: if self.subject.is_server() {
@@ -168,7 +208,7 @@ impl Advisor {
 
     /// True if the advisor is currently inside a watch window.
     pub fn is_watching(&self) -> bool {
-        self.watch != Watch::Quiet
+        self.watch != WatchState::Quiet
     }
 }
 
@@ -220,6 +260,14 @@ impl LoadMonitoringSystem {
     pub fn register(&mut self, subject: Subject, config: SubjectConfig) {
         let (lane, idx) = self.lane_of_mut(subject);
         *slot_mut(lane, idx) = Some(Advisor::new(subject, config));
+    }
+
+    /// Install a pre-built advisor (e.g. one rebuilt via
+    /// [`Advisor::restore`]) in the slot of its subject, replacing any
+    /// existing one.
+    pub fn install(&mut self, advisor: Advisor) {
+        let (lane, idx) = self.lane_of_mut(advisor.subject);
+        *slot_mut(lane, idx) = Some(advisor);
     }
 
     /// Remove a subject (e.g. after the instance it watched was stopped).
@@ -401,6 +449,40 @@ mod tests {
         assert!(!a.is_watching());
         a.observe(LoadSample::new(SimTime::from_minutes(0), 0.9, 0.0));
         assert!(a.is_watching());
+    }
+
+    #[test]
+    fn restore_is_bitwise_identical_to_live_observation() {
+        let cfg = SubjectConfig::paper_defaults(1.0);
+        let mut live = Advisor::new(srv(), cfg);
+        // Drive into the middle of an overload watch.
+        run_minutes(&mut live, 0, &[0.4, 0.9, 0.92, 0.95]);
+        assert!(live.is_watching());
+
+        let snapshot = live.watch_state();
+        let samples: Vec<LoadSample> = live.monitor().samples().copied().collect();
+        let mut restored = Advisor::restore(srv(), cfg, snapshot, samples);
+        assert_eq!(restored.watch_state(), live.watch_state());
+        assert_eq!(restored.monitor().len(), live.monitor().len());
+
+        // Both must now evolve identically, down to the trigger's float bits.
+        let live_events = run_minutes(&mut live, 4, &[0.93; 10]);
+        let restored_events = run_minutes(&mut restored, 4, &[0.93; 10]);
+        assert_eq!(live_events.len(), 1);
+        assert_eq!(live_events.len(), restored_events.len());
+        for (a, b) in live_events.iter().zip(&restored_events) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.average_cpu.to_bits(), b.average_cpu.to_bits());
+            assert_eq!(a.average_mem.to_bits(), b.average_mem.to_bits());
+        }
+    }
+
+    #[test]
+    fn retention_matches_advisor_monitor_window() {
+        let cfg = SubjectConfig::paper_defaults(1.0);
+        // 2 * max(10 min, 20 min) + 60 s.
+        assert_eq!(cfg.retention(), SimDuration::from_secs(2460));
     }
 
     #[test]
