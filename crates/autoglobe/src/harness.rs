@@ -13,12 +13,91 @@
 
 use crate::supervisor::{Supervisor, SupervisorConfig};
 use autoglobe_controller::{ControllerEvent, ExecutionEvent};
-use autoglobe_landscape::{InstanceId, ServerId, ServiceId};
+use autoglobe_landscape::{InstanceId, Landscape, ServerId, ServiceId};
 use autoglobe_monitor::{HeartbeatConfig, HeartbeatEvent, SimDuration, SimTime, Subject};
 use autoglobe_rng::{splitmix64, Rng};
 use autoglobe_simulator::sap::SapEnvironment;
-use autoglobe_simulator::{FailureInjection, Metrics, SimConfig, WorkloadEngine};
+use autoglobe_simulator::{
+    FailureInjection, LoadModulation, Metrics, ScenarioSchedule, SimConfig, WorkloadEngine,
+};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Build the paper-scenario [`Metrics`] shell for a landscape.
+pub(crate) fn metrics_shell(sim: &SimConfig, landscape: &Landscape) -> Metrics {
+    Metrics {
+        scenario: Some(sim.scenario),
+        server_names: landscape
+            .server_ids()
+            .map(|id| landscape.server(id).unwrap().name.clone())
+            .collect(),
+        service_names: landscape
+            .service_ids()
+            .map(|id| landscape.service(id).unwrap().name.clone())
+            .collect(),
+        ..Metrics::default()
+    }
+}
+
+/// The supervisor configuration a chaos run derives from `sim`, plus the
+/// heartbeat-loss sub-seed — the same SplitMix64 chain as
+/// [`autoglobe_simulator::Simulation`], so the builder and the legacy
+/// constructor produce bit-identical runs.
+pub(crate) fn chaos_supervisor_config(sim: &SimConfig) -> (SupervisorConfig, u64) {
+    let detection = sim
+        .heartbeats
+        .expect("chaos harness needs heartbeat detection (SimConfig::with_heartbeats)");
+    let mut sub_seed_state = sim.seed ^ 0x9E37_79B9_7F4A_7C15;
+    let exec_seed = splitmix64(&mut sub_seed_state);
+    let chaos_seed = splitmix64(&mut sub_seed_state);
+    let config = SupervisorConfig {
+        controller: sim.controller,
+        executor: sim.execution.clone().unwrap_or_default(),
+        executor_seed: exec_seed,
+        heartbeats: HeartbeatConfig {
+            miss_threshold: detection.miss_threshold,
+            confirm_after: detection.confirm_after,
+        },
+        ..SupervisorConfig::default()
+    };
+    (config, chaos_seed)
+}
+
+/// Scheduled correlated kills resolved to ids: `(at, server, down_for)`,
+/// ascending by time.
+pub(crate) type KillEvents = Vec<(SimTime, ServerId, SimDuration)>;
+/// Scheduled maintenance drains resolved to ids: `(from, to, server)`,
+/// ascending by window start.
+pub(crate) type DrainEvents = Vec<(SimTime, SimTime, ServerId)>;
+
+/// Resolve a [`ScenarioSchedule`]'s server names against a landscape into
+/// `(kills, drains)` event lists over [`ServerId`]s, each ascending by
+/// time. Unknown server names panic: a scenario naming a host the
+/// landscape lacks is a misconfigured experiment.
+pub(crate) fn resolve_schedule(
+    schedule: &ScenarioSchedule,
+    landscape: &Landscape,
+) -> (KillEvents, DrainEvents) {
+    let resolve = |name: &str| {
+        landscape
+            .server_by_name(name)
+            .unwrap_or_else(|_| panic!("scenario schedule names unknown server {name:?}"))
+    };
+    let mut kills = Vec::new();
+    for kill in &schedule.kills {
+        for name in &kill.servers {
+            kills.push((kill.at, resolve(name), kill.down_for));
+        }
+    }
+    let mut drains = Vec::new();
+    for drain in &schedule.drains {
+        for name in &drain.servers {
+            drains.push((drain.from, drain.to, resolve(name)));
+        }
+    }
+    kills.sort();
+    drains.sort();
+    (kills, drains)
+}
 
 /// A simulation of the paper's SAP workload run through the [`Supervisor`]
 /// control plane instead of the simulator's bespoke wiring.
@@ -41,7 +120,20 @@ impl SupervisedRun {
     ///
     /// # Panics
     /// Panics when `sim` fails [`SimConfig::validate`].
+    #[deprecated(note = "use RunBuilder::new(..).supervisor(..).supervised()")]
     pub fn new(env: SapEnvironment, sim: &SimConfig, supervisor: SupervisorConfig) -> Self {
+        Self::assemble(env, sim, supervisor, None)
+    }
+
+    /// The real constructor behind both [`SupervisedRun::new`] and
+    /// [`crate::RunBuilder::supervised`]: with `modulation: None` it is the
+    /// seed path, bit for bit.
+    pub(crate) fn assemble(
+        env: SapEnvironment,
+        sim: &SimConfig,
+        supervisor: SupervisorConfig,
+        modulation: Option<LoadModulation>,
+    ) -> Self {
         if let Err(e) = sim.validate() {
             panic!("invalid simulation config: {e}");
         }
@@ -49,19 +141,9 @@ impl SupervisedRun {
             landscape,
             workloads,
         } = env;
-        let engine = WorkloadEngine::new(&landscape, workloads, sim);
-        let metrics = Metrics {
-            scenario: Some(sim.scenario),
-            server_names: landscape
-                .server_ids()
-                .map(|id| landscape.server(id).unwrap().name.clone())
-                .collect(),
-            service_names: landscape
-                .service_ids()
-                .map(|id| landscape.service(id).unwrap().name.clone())
-                .collect(),
-            ..Metrics::default()
-        };
+        let mut engine = WorkloadEngine::new(&landscape, workloads, sim);
+        engine.set_modulation(modulation);
+        let metrics = metrics_shell(sim, &landscape);
         SupervisedRun {
             supervisor: Supervisor::with_config(landscape, supervisor),
             engine,
@@ -197,6 +279,16 @@ pub struct ChaosRun {
     /// Lost instances awaiting a feasible host: (service, old instance,
     /// ground-truth failure time).
     restart_queue: Vec<(ServiceId, InstanceId, SimTime)>,
+    /// Scenario-scheduled correlated kills `(at, server, down_for)`,
+    /// ascending, drained as they come due. Scheduled events draw nothing
+    /// from the RNG, so adding a schedule never perturbs the dice.
+    scheduled_kills: Vec<(SimTime, ServerId, SimDuration)>,
+    /// Scenario-scheduled maintenance drains `(from, to, server)`,
+    /// ascending by start.
+    scheduled_drains: Vec<(SimTime, SimTime, ServerId)>,
+    /// Servers currently drained for planned maintenance (alive but out of
+    /// rotation — distinct from ground-truth `down_servers`).
+    draining: BTreeMap<ServerId, SimTime>,
 }
 
 impl ChaosRun {
@@ -212,13 +304,43 @@ impl ChaosRun {
     /// enables no failure injection or no heartbeat detection — a chaos run
     /// without chaos (or without a detector to measure) is a misconfigured
     /// experiment, not a degenerate run.
+    #[deprecated(note = "use RunBuilder::new(..).chaos(..).chaos_run()")]
     pub fn new(env: SapEnvironment, sim: &SimConfig) -> Self {
+        sim.failures
+            .expect("ChaosRun needs failure injection (SimConfig::with_failures)");
+        let (supervisor, _) = chaos_supervisor_config(sim);
+        Self::assemble(env, sim, supervisor, None, ScenarioSchedule::default())
+    }
+
+    /// The real constructor behind both [`ChaosRun::new`] and
+    /// [`crate::RunBuilder::chaos_run`]. Failure injection may be absent
+    /// when `schedule` carries events (a purely scheduled production-day
+    /// scenario rolls no dice); heartbeat detection is always required —
+    /// it is how scheduled kills get *detected*. With a default
+    /// `supervisor` derived by [`chaos_supervisor_config`], no modulation
+    /// and an empty schedule this is the legacy path, bit for bit.
+    pub(crate) fn assemble(
+        env: SapEnvironment,
+        sim: &SimConfig,
+        supervisor: SupervisorConfig,
+        modulation: Option<LoadModulation>,
+        schedule: ScenarioSchedule,
+    ) -> Self {
         if let Err(e) = sim.validate() {
             panic!("invalid simulation config: {e}");
         }
-        let failures = sim
-            .failures
-            .expect("ChaosRun needs failure injection (SimConfig::with_failures)");
+        let failures = match sim.failures {
+            Some(failures) => failures,
+            None if !schedule.is_empty() => FailureInjection {
+                instance_crash_per_hour: 0.0,
+                server_failure_per_hour: 0.0,
+                repair_after: SimDuration::from_hours(1),
+            },
+            None => panic!(
+                "ChaosRun needs failure injection (SimConfig::with_failures) \
+                 or a scenario schedule with events"
+            ),
+        };
         let detection = sim
             .heartbeats
             .expect("ChaosRun needs heartbeat detection (SimConfig::with_heartbeats)");
@@ -227,38 +349,18 @@ impl ChaosRun {
             landscape,
             workloads,
         } = env;
-        let engine = WorkloadEngine::new(&landscape, workloads, sim);
-        let metrics = Metrics {
-            scenario: Some(sim.scenario),
-            server_names: landscape
-                .server_ids()
-                .map(|id| landscape.server(id).unwrap().name.clone())
-                .collect(),
-            service_names: landscape
-                .service_ids()
-                .map(|id| landscape.service(id).unwrap().name.clone())
-                .collect(),
-            ..Metrics::default()
-        };
+        let mut engine = WorkloadEngine::new(&landscape, workloads, sim);
+        engine.set_modulation(modulation);
+        let metrics = metrics_shell(sim, &landscape);
+        let (scheduled_kills, scheduled_drains) = resolve_schedule(&schedule, &landscape);
 
-        // The same sub-seed chain the simulator uses: the master seed keeps
-        // driving workload + failure dice untouched, the executor and the
-        // lossy monitoring network get their own streams.
+        // The chaos-dice sub-seed comes from the same chain as the executor
+        // seed inside `supervisor` — see [`chaos_supervisor_config`].
         let mut sub_seed_state = sim.seed ^ 0x9E37_79B9_7F4A_7C15;
-        let exec_seed = splitmix64(&mut sub_seed_state);
+        let _exec_seed = splitmix64(&mut sub_seed_state);
         let chaos_seed = splitmix64(&mut sub_seed_state);
 
-        let supervisor_config = SupervisorConfig {
-            controller: sim.controller,
-            executor: sim.execution.clone().unwrap_or_default(),
-            executor_seed: exec_seed,
-            heartbeats: HeartbeatConfig {
-                miss_threshold: detection.miss_threshold,
-                confirm_after: detection.confirm_after,
-            },
-            ..SupervisorConfig::default()
-        };
-        let mut supervisor = Supervisor::with_config(landscape, supervisor_config);
+        let mut supervisor = Supervisor::with_config(landscape, supervisor);
         // Everything present at t=0 is watched from the start, exactly like
         // the simulator's chaos path.
         let servers: Vec<ServerId> = supervisor.landscape().server_ids().collect();
@@ -285,6 +387,9 @@ impl ChaosRun {
             crashed_instances: BTreeMap::new(),
             pending_repairs: Vec::new(),
             restart_queue: Vec::new(),
+            scheduled_kills,
+            scheduled_drains,
+            draining: BTreeMap::new(),
         }
     }
 
@@ -373,6 +478,67 @@ impl ChaosRun {
             .collect();
         for instance in fresh {
             self.supervisor.watch(Subject::Instance(instance));
+        }
+
+        // Scenario-scheduled infrastructure events. These replay a fixed
+        // timetable and draw nothing from the RNG, so composing a schedule
+        // over a chaos config never perturbs the dice below. Drain ends
+        // come first: a host rejoining this tick is back in the pool
+        // before any new event resolves.
+        let rejoining: Vec<ServerId> = self
+            .draining
+            .iter()
+            .filter(|&(_, &to)| now >= to)
+            .map(|(&server, _)| server)
+            .collect();
+        for server in rejoining {
+            self.draining.remove(&server);
+            let _ = self.supervisor.report_server_repaired(server, now);
+            self.supervisor.watch(Subject::Server(server));
+        }
+        // Drain starts: planned failover through the supervisor's oracle
+        // path — instances restart elsewhere immediately (zero detection
+        // latency and no severed sessions, unlike a kill), then the host
+        // sits out of rotation until its window closes.
+        while let Some(&(from, to, server)) = self.scheduled_drains.first() {
+            if now < from {
+                break;
+            }
+            self.scheduled_drains.remove(0);
+            if self.down_servers.contains_key(&server)
+                || !self.supervisor.landscape().is_available(server)
+            {
+                continue;
+            }
+            let outcome = self.supervisor.report_server_failure(server, now);
+            self.metrics.recoveries += outcome.recovered.len();
+            self.metrics.lost_instances += outcome.lost.len();
+            for (old_instance, service) in outcome.lost {
+                self.restart_queue.push((service, old_instance, now));
+            }
+            self.draining.insert(server, to);
+        }
+        // Scheduled correlated kills: the same ground-truth bookkeeping as
+        // a dice kill — the supervisor only learns of it when the
+        // heartbeat detector confirms the silence, so MTTR is measured.
+        while let Some(&(at, server, down_for)) = self.scheduled_kills.first() {
+            if now < at {
+                break;
+            }
+            self.scheduled_kills.remove(0);
+            if self.down_servers.contains_key(&server)
+                || !self.supervisor.landscape().is_available(server)
+            {
+                continue;
+            }
+            self.metrics.failures += 1;
+            self.down_servers.insert(server, now);
+            let _ = self.supervisor.landscape_mut().set_available(server, false);
+            self.pending_repairs.push((now + down_for, server));
+            for instance in self.supervisor.landscape().instances_on(server) {
+                self.supervisor.unwatch(Subject::Instance(instance));
+                self.sever_sessions(instance);
+            }
         }
 
         // Ground-truth failure dice — same stream and order as the
@@ -556,13 +722,22 @@ impl ChaosRun {
             .sever_sessions(self.supervisor.landscape(), instance);
     }
 
-    /// Run to completion and return the metrics.
+    /// Run to completion and return the metrics (proactive firings are
+    /// folded in, like [`SupervisedRun::run`] — zero unless
+    /// [`SupervisorConfig::proactive`] was configured).
     pub fn run(mut self) -> Metrics {
         let ticks = self.duration.as_secs() / self.tick.as_secs().max(1);
         for _ in 0..ticks {
             self.step();
         }
         self.metrics.duration = self.duration;
+        self.metrics.proactive_triggers = self.supervisor.proactive_firings().len();
+        self.metrics.proactive_lead_secs = self
+            .supervisor
+            .proactive_firings()
+            .iter()
+            .map(|f| f.lead().as_secs())
+            .sum();
         self.metrics
     }
 }
@@ -570,6 +745,7 @@ impl ChaosRun {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::RunBuilder;
     use autoglobe_simulator::{build_environment, Scenario};
 
     fn config(hours: u64) -> SimConfig {
@@ -580,12 +756,10 @@ mod tests {
     #[test]
     fn supervised_run_is_deterministic() {
         let run = |_: u32| {
-            let sim = config(4);
-            let sup = SupervisorConfig {
-                controller: sim.controller,
-                ..SupervisorConfig::default()
-            };
-            SupervisedRun::new(build_environment(Scenario::ConstrainedMobility), &sim, sup).run()
+            RunBuilder::new(Scenario::ConstrainedMobility)
+                .hours(4)
+                .supervised()
+                .run()
         };
         let a = run(0);
         let b = run(1);
@@ -603,11 +777,10 @@ mod tests {
         let run = |scoring: ScoringMode| {
             let mut sim = config(8);
             sim.controller.scoring = scoring;
-            let sup = SupervisorConfig {
-                controller: sim.controller,
-                ..SupervisorConfig::default()
-            };
-            SupervisedRun::new(build_environment(Scenario::ConstrainedMobility), &sim, sup).run()
+            RunBuilder::new(Scenario::ConstrainedMobility)
+                .sim(sim)
+                .supervised()
+                .run()
         };
         let batched = run(ScoringMode::Batched);
         let scalar = run(ScoringMode::Scalar);
@@ -650,11 +823,10 @@ mod tests {
     #[test]
     fn chaos_run_is_deterministic() {
         let run = |_: u32| {
-            ChaosRun::new(
-                build_environment(Scenario::ConstrainedMobility),
-                &chaos_config(12),
-            )
-            .run()
+            RunBuilder::new(Scenario::ConstrainedMobility)
+                .sim(chaos_config(12))
+                .chaos_run()
+                .run()
         };
         let a = run(0);
         let b = run(1);
@@ -668,11 +840,10 @@ mod tests {
 
     #[test]
     fn chaos_run_detects_and_recovers_from_injected_failures() {
-        let metrics = ChaosRun::new(
-            build_environment(Scenario::ConstrainedMobility),
-            &chaos_config(24),
-        )
-        .run();
+        let metrics = RunBuilder::new(Scenario::ConstrainedMobility)
+            .sim(chaos_config(24))
+            .chaos_run()
+            .run();
         assert!(metrics.failures > 0, "the dice must roll failures in 24h");
         assert!(
             metrics.detections > 0,
@@ -692,17 +863,51 @@ mod tests {
 
     #[test]
     fn supervised_run_acts_on_the_workload() {
-        let sim = config(24);
-        let sup = SupervisorConfig {
-            controller: sim.controller,
-            ..SupervisorConfig::default()
-        };
-        let metrics =
-            SupervisedRun::new(build_environment(Scenario::ConstrainedMobility), &sim, sup).run();
+        let metrics = RunBuilder::new(Scenario::ConstrainedMobility)
+            .hours(24)
+            .supervised()
+            .run();
         assert!(
             !metrics.actions.is_empty(),
             "the supervised controller must act on the daily ramp"
         );
         assert_eq!(metrics.proactive_triggers, 0, "reactive run has no firings");
+    }
+
+    /// The deprecated constructors are thin shims over the builder: both
+    /// entry points must produce bit-identical runs.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructors_match_the_builder() {
+        let sim = config(4);
+        let sup = SupervisorConfig {
+            controller: sim.controller,
+            ..SupervisorConfig::default()
+        };
+        let legacy =
+            SupervisedRun::new(build_environment(Scenario::ConstrainedMobility), &sim, sup).run();
+        let built = RunBuilder::new(Scenario::ConstrainedMobility)
+            .hours(4)
+            .supervised()
+            .run();
+        assert_eq!(legacy.actions, built.actions);
+        assert_eq!(legacy.overload_secs, built.overload_secs);
+        assert_eq!(legacy.total_demand.to_bits(), built.total_demand.to_bits());
+
+        let chaos_sim = chaos_config(6);
+        let legacy =
+            ChaosRun::new(build_environment(Scenario::ConstrainedMobility), &chaos_sim).run();
+        let built = RunBuilder::new(Scenario::ConstrainedMobility)
+            .sim(chaos_sim)
+            .chaos_run()
+            .run();
+        assert_eq!(legacy.actions, built.actions);
+        assert_eq!(legacy.failures, built.failures);
+        assert_eq!(legacy.detections, built.detections);
+        assert_eq!(
+            legacy.lost_sessions.to_bits(),
+            built.lost_sessions.to_bits()
+        );
+        assert_eq!(legacy.total_demand.to_bits(), built.total_demand.to_bits());
     }
 }

@@ -79,10 +79,12 @@ pub use autoglobe_landscape as landscape;
 pub use autoglobe_monitor as monitor;
 pub use autoglobe_simulator as simulator;
 
+pub mod builder;
 pub mod harness;
 pub mod sharded;
 pub mod supervisor;
 
+pub use builder::RunBuilder;
 pub use harness::{ChaosRun, SupervisedRun};
 pub use sharded::{
     IngestStats, Lease, PlaneEvent, ReplicationMode, ShardChaos, ShardRecoveryStats,
@@ -92,6 +94,7 @@ pub use supervisor::{Supervisor, SupervisorConfig};
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::builder::RunBuilder;
     pub use crate::harness::{ChaosRun, SupervisedRun};
     pub use crate::sharded::{
         Lease, PlaneEvent, ShardChaos, ShardRecoveryStats, ShardedControlPlane, ShardedRun,
@@ -117,7 +120,8 @@ pub mod prelude {
         LoadSample, SimDuration, SimTime, Subject, SubjectConfig, TriggerEvent, TriggerKind,
     };
     pub use autoglobe_simulator::{
-        build_environment, find_max_users, CapacityCriterion, FailureInjection, HeartbeatDetection,
-        Metrics, Scenario, SimConfig, Simulation, TickLoads, WorkloadEngine,
+        build_environment, find_max_users, CapacityCriterion, Combinator, FailureInjection,
+        HeartbeatDetection, Metrics, Scenario, ScenarioSpec, SimConfig, Simulation, TickLoads,
+        WorkloadEngine,
     };
 }

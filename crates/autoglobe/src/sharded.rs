@@ -78,8 +78,9 @@
 //! executor, no failures) produce byte-identical results because planning
 //! is deterministic over replicated state.
 
+use crate::harness::{metrics_shell, resolve_schedule};
 use crate::supervisor::{PendingTrigger, RecoveryRecord, Supervisor, SupervisorConfig};
-use autoglobe_controller::{ActionRecord, ControllerEvent, ExecutionEvent};
+use autoglobe_controller::{ActionRecord, ControllerEvent, ExecutionEvent, RecoveryOutcome};
 use autoglobe_landscape::{
     DeltaSubject, InstanceId, Landscape, SampleRing, ServerId, ServiceId, ShardDelta, ShardId,
     ShardMap, WatchSnapshot,
@@ -91,7 +92,7 @@ use autoglobe_monitor::{
 use autoglobe_pool as pool;
 use autoglobe_rng::{splitmix64, Rng};
 use autoglobe_simulator::sap::SapEnvironment;
-use autoglobe_simulator::{Metrics, SimConfig, WorkloadEngine};
+use autoglobe_simulator::{LoadModulation, Metrics, ScenarioSchedule, SimConfig, WorkloadEngine};
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::supervisor::SupervisorError;
@@ -582,6 +583,33 @@ impl ShardedControlPlane {
             }
         }
         repaired
+    }
+
+    /// Planned failover of a host on every live replica (maintenance
+    /// drain): the host is marked unavailable and its instances restart
+    /// elsewhere immediately through the supervisor's oracle path
+    /// ([`Supervisor::report_server_failure`]) — zero detection latency,
+    /// no severed sessions, unlike a kill detected through heartbeat
+    /// silence. Deterministic planning over identical state keeps the
+    /// replicas in lockstep; the canonical replica's outcome and events
+    /// are the authoritative copies.
+    pub fn drain_server(&mut self, server: ServerId, now: SimTime) -> RecoveryOutcome {
+        let canonical = self.canonical();
+        let mut result = RecoveryOutcome::default();
+        for i in 0..self.workers.len() {
+            if !self.workers[i].alive {
+                continue;
+            }
+            let outcome = self.workers[i]
+                .supervisor
+                .report_server_failure(server, now);
+            let events = self.workers[i].supervisor.drain_events();
+            if i == canonical {
+                result = outcome;
+                self.controller_events.extend(events);
+            }
+        }
+        result
     }
 
     /// Broadcast a restart retry for a lost instance to every live replica
@@ -1321,6 +1349,15 @@ pub struct ShardedRun {
     failed_at: BTreeMap<ServerId, SimTime>,
     kill_times: Vec<SimTime>,
     killed_at: BTreeMap<usize, SimTime>,
+    /// Scenario-scheduled correlated kills `(at, server, down_for)`,
+    /// ascending, drained as they come due (no RNG draws — composing a
+    /// schedule never perturbs the failure dice).
+    scheduled_kills: Vec<(SimTime, ServerId, SimDuration)>,
+    /// Scenario-scheduled maintenance drains `(from, to, server)`.
+    scheduled_drains: Vec<(SimTime, SimTime, ServerId)>,
+    /// Servers currently drained (alive but out of rotation), with their
+    /// rejoin time.
+    draining: BTreeMap<ServerId, SimTime>,
     /// Recovery metrics accumulated so far.
     pub stats: ShardRecoveryStats,
 }
@@ -1331,6 +1368,7 @@ impl ShardedRun {
     ///
     /// # Panics
     /// Panics when `sim` fails validation or `shards` is zero.
+    #[deprecated(note = "use RunBuilder::new(..).shards(n).sharded()")]
     pub fn new(
         env: SapEnvironment,
         sim: &SimConfig,
@@ -1339,6 +1377,32 @@ impl ShardedRun {
         jobs: usize,
         chaos: ShardChaos,
     ) -> Self {
+        Self::assemble(
+            env,
+            sim,
+            supervisor,
+            shards,
+            jobs,
+            chaos,
+            None,
+            ScenarioSchedule::default(),
+        )
+    }
+
+    /// The real constructor behind both [`ShardedRun::new`] and
+    /// [`crate::RunBuilder::sharded`]: with no modulation and an empty
+    /// schedule it is the seed path, bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        env: SapEnvironment,
+        sim: &SimConfig,
+        supervisor: SupervisorConfig,
+        shards: usize,
+        jobs: usize,
+        chaos: ShardChaos,
+        modulation: Option<LoadModulation>,
+        schedule: ScenarioSchedule,
+    ) -> Self {
         if let Err(e) = sim.validate() {
             panic!("invalid simulation config: {e}");
         }
@@ -1346,19 +1410,10 @@ impl ShardedRun {
             landscape,
             workloads,
         } = env;
-        let engine = WorkloadEngine::new(&landscape, workloads, sim);
-        let metrics = Metrics {
-            scenario: Some(sim.scenario),
-            server_names: landscape
-                .server_ids()
-                .map(|id| landscape.server(id).unwrap().name.clone())
-                .collect(),
-            service_names: landscape
-                .service_ids()
-                .map(|id| landscape.service(id).unwrap().name.clone())
-                .collect(),
-            ..Metrics::default()
-        };
+        let mut engine = WorkloadEngine::new(&landscape, workloads, sim);
+        engine.set_modulation(modulation);
+        let metrics = metrics_shell(sim, &landscape);
+        let (scheduled_kills, scheduled_drains) = resolve_schedule(&schedule, &landscape);
         let fail_per_tick = chaos.server_failure_per_hour * sim.tick.as_secs() as f64 / 3600.0;
         let kill_times: Vec<SimTime> = chaos
             .kill_fracs
@@ -1384,6 +1439,9 @@ impl ShardedRun {
             failed_at: BTreeMap::new(),
             kill_times,
             killed_at: BTreeMap::new(),
+            scheduled_kills,
+            scheduled_drains,
+            draining: BTreeMap::new(),
             stats: ShardRecoveryStats::default(),
         }
     }
@@ -1459,6 +1517,60 @@ impl ShardedRun {
             self.stats.repairs += 1;
         }
 
+        // Scenario-scheduled maintenance drains and correlated kills — a
+        // fixed timetable replayed through the plane's public API, drawing
+        // nothing from the RNG. Drain ends come first: a host rejoining
+        // this tick is back in the pool before any new event resolves.
+        let rejoining: Vec<ServerId> = self
+            .draining
+            .iter()
+            .filter(|&(_, &to)| time >= to)
+            .map(|(&server, _)| server)
+            .collect();
+        for server in rejoining {
+            self.draining.remove(&server);
+            self.plane.report_server_repaired(server, time);
+        }
+        while let Some(&(from, to, server)) = self.scheduled_drains.first() {
+            if time < from {
+                break;
+            }
+            self.scheduled_drains.remove(0);
+            if self.down.contains(&server) || !self.plane.landscape().is_available(server) {
+                continue;
+            }
+            let outcome = self.plane.drain_server(server, time);
+            self.stats.recovered_instances += outcome.recovered.len();
+            self.metrics.recoveries += outcome.recovered.len();
+            self.stats.lost_instances += outcome.lost.len();
+            for (instance, service) in outcome.lost {
+                self.restart_queue.push((service, instance));
+            }
+            self.draining.insert(server, to);
+        }
+        while let Some(&(at, server, down_for)) = self.scheduled_kills.first() {
+            if time < at {
+                break;
+            }
+            self.scheduled_kills.remove(0);
+            if self.down.contains(&server) || !self.plane.landscape().is_available(server) {
+                continue;
+            }
+            self.stats.failures_injected += 1;
+            self.metrics.failures += 1;
+            self.down.insert(server);
+            self.failed_at.insert(server, time);
+            self.repairs_due.push((time + down_for, server));
+            let residents = self.plane.landscape().instances_on(server);
+            for instance in residents {
+                let severed = self.engine.sever_sessions(self.plane.landscape(), instance);
+                self.stats.lost_sessions += severed;
+                self.metrics.lost_sessions += severed;
+                self.dead_instances.insert(instance);
+            }
+            self.plane.set_server_available(server, false);
+        }
+
         // Ground-truth host failures (ascending server ids, one die each —
         // the draw order is pinned so runs reproduce bit for bit).
         if self.fail_per_tick > 0.0 {
@@ -1525,9 +1637,13 @@ impl ShardedRun {
                     self.stats.detections += 1;
                     self.stats.detection_secs += time.since(at).as_secs();
                     self.metrics.detections += 1;
+                    self.metrics.detection_latency_secs += time.since(at).as_secs();
+                    self.metrics.recovery_time_secs +=
+                        time.since(at).as_secs() * rec.outcome.recovered.len() as u64;
                 }
             }
             self.stats.recovered_instances += rec.outcome.recovered.len();
+            self.metrics.recoveries += rec.outcome.recovered.len();
             self.stats.lost_instances += rec.outcome.lost.len();
             for &(instance, service) in &rec.outcome.lost {
                 self.restart_queue.push((service, instance));
@@ -1593,10 +1709,10 @@ impl ShardedRun {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::harness::SupervisedRun;
+    use crate::builder::RunBuilder;
     use autoglobe_controller::ExecutorConfig;
     use autoglobe_landscape::{ServerSpec, ServiceKind, ServiceSpec};
-    use autoglobe_simulator::{build_environment, Scenario};
+    use autoglobe_simulator::Scenario;
 
     fn fig13_config(hours: u64) -> SimConfig {
         SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
@@ -1626,29 +1742,18 @@ mod tests {
     fn one_shard_reproduces_the_supervised_run_bit_for_bit() {
         let hours = 12;
         let sim = fig13_config(hours);
-        let sup = || SupervisorConfig {
-            controller: sim.controller,
-            ..SupervisorConfig::default()
-        };
-        let reference = SupervisedRun::new(
-            build_environment(Scenario::ConstrainedMobility),
-            &sim,
-            sup(),
-        )
-        .run();
+        let reference = RunBuilder::new(Scenario::ConstrainedMobility)
+            .sim(sim.clone())
+            .supervised()
+            .run();
         // Both replication modes must reproduce the unsharded run: delta is
         // the default, full is the reference path — pinned twins.
         for mode in [ReplicationMode::Delta, ReplicationMode::Full] {
-            let (sharded, stats) = ShardedRun::new(
-                build_environment(Scenario::ConstrainedMobility),
-                &sim,
-                sup(),
-                1,
-                1,
-                ShardChaos::none(),
-            )
-            .with_replication(mode)
-            .run();
+            let (sharded, stats) = RunBuilder::new(Scenario::ConstrainedMobility)
+                .sim(sim.clone())
+                .replication(mode)
+                .sharded()
+                .run();
             assert_eq!(reference.actions, sharded.actions, "{mode:?}");
             assert_eq!(reference.alerts, sharded.alerts, "{mode:?}");
             assert_eq!(reference.overload_secs, sharded.overload_secs, "{mode:?}");
@@ -1691,16 +1796,15 @@ mod tests {
                 repair_after: SimDuration::from_hours(1),
                 kill_fracs: vec![0.4, 0.7],
             };
-            ShardedRun::new(
-                build_environment(Scenario::ConstrainedMobility),
-                &sim,
-                sup,
-                4,
-                2,
-                chaos,
-            )
-            .with_replication(mode)
-            .run()
+            RunBuilder::new(Scenario::ConstrainedMobility)
+                .sim(sim.clone())
+                .supervisor(sup)
+                .shards(4)
+                .plane_jobs(2)
+                .shard_chaos(chaos)
+                .replication(mode)
+                .sharded()
+                .run()
         };
         let (full, full_stats) = run(ReplicationMode::Full);
         let (delta, delta_stats) = run(ReplicationMode::Delta);
@@ -1766,19 +1870,12 @@ mod tests {
         let hours = 12;
         let sim = fig13_config(hours);
         let run = |shards: usize, jobs: usize| {
-            let sup = SupervisorConfig {
-                controller: sim.controller,
-                ..SupervisorConfig::default()
-            };
-            ShardedRun::new(
-                build_environment(Scenario::ConstrainedMobility),
-                &sim,
-                sup,
-                shards,
-                jobs,
-                ShardChaos::none(),
-            )
-            .run()
+            RunBuilder::new(Scenario::ConstrainedMobility)
+                .sim(sim.clone())
+                .shards(shards)
+                .plane_jobs(jobs)
+                .sharded()
+                .run()
         };
         let (one, _) = run(1, 1);
         let (four, _) = run(4, 2);
@@ -1973,14 +2070,13 @@ mod tests {
             repair_after: SimDuration::from_hours(1),
             kill_fracs: vec![0.4, 0.7],
         };
-        let mut run = ShardedRun::new(
-            build_environment(Scenario::ConstrainedMobility),
-            &sim,
-            sup,
-            4,
-            2,
-            chaos,
-        );
+        let mut run = RunBuilder::new(Scenario::ConstrainedMobility)
+            .sim(sim)
+            .supervisor(sup)
+            .shards(4)
+            .plane_jobs(2)
+            .shard_chaos(chaos)
+            .sharded();
         let ticks = 16 * 60; // one-minute ticks
         for _ in 0..ticks {
             run.step();

@@ -148,6 +148,20 @@ fn main() {
             run_shard_scale(hours, seed, repeats)
         }),
         "proactive" => timings.record("proactive", || run_proactive(hours, seed, jobs)),
+        "scenarios" => timings.record("scenarios", || {
+            // Production days are shorter than the 80 h figure horizon: the
+            // catalog's latest event window closes at hour 40, so default to
+            // a 48 h window unless --hours was given explicitly. --shards
+            // sizes the sharded rows' control plane (output-neutral, like
+            // --jobs): CI diffs the CSV across both knobs.
+            let hours = flag(&args, "--hours").unwrap_or(48);
+            let shards = flag(&args, "--shards").unwrap_or(1) as usize;
+            // --scenario narrows the suite to one entry, resolved through
+            // the same lookup the catalog uses — paper names ("static",
+            // "constrained-mobility", "full-mobility") work too.
+            let only = str_flag(&args, "--scenario");
+            run_scenarios(hours, seed, jobs, shards, only.as_deref())
+        }),
         "designer" => timings.record("designer", run_designer),
         "ablation" => timings.record("ablation", || run_ablation(hours.min(30))),
         "all" => {
@@ -180,6 +194,7 @@ fn main() {
                 run_shard_chaos(hours, seed, jobs, 1, replication)
             });
             timings.record("proactive", || run_proactive(hours, seed, jobs));
+            timings.record("scenarios", || run_scenarios(48, seed, jobs, 1, None));
             timings.record("designer", run_designer);
             timings.record("ablation", || run_ablation(hours.min(30)));
         }
@@ -187,9 +202,10 @@ fn main() {
             eprintln!(
                 "usage: experiments <fig3|fig5|tables|fig10|inventory|fig12|fig13|fig14|\
                  fig15|fig16|fig17|bench|scale|scale-smoke|table7|chaos|shardchaos|\
-                 shard-smoke|shard-scale|proactive|designer|ablation|all> [--hours N] \
+                 shard-smoke|shard-scale|proactive|scenarios|designer|ablation|all> [--hours N] \
                  [--seed N] [--jobs N] [--inner-jobs N] [--repeats N] [--servers N] \
-                 [--shards N] [--scoring scalar|batched] [--replication full|delta]"
+                 [--shards N] [--scenario NAME] [--scoring scalar|batched] \
+                 [--replication full|delta]"
             );
             std::process::exit(2);
         }
@@ -562,6 +578,51 @@ fn run_proactive(hours: u64, seed: u64, jobs: usize) {
         xp::proactive_ladder_csv(&ladder)
     );
     write("results/proactive.csv", &csv);
+}
+
+fn run_scenarios(hours: u64, seed: u64, jobs: usize, shards: usize, only: Option<&str>) {
+    use autoglobe_simulator::ScenarioSpec;
+    let specs = match only {
+        None => ScenarioSpec::catalog(),
+        Some(name) => match ScenarioSpec::lookup(name) {
+            Some(spec) => vec![spec],
+            None => {
+                eprintln!(
+                    "unknown scenario {name:?}; known: {}",
+                    ScenarioSpec::all_names().join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+    println!(
+        "Production-day scenario suite — {} under reactive, proactive and \
+         sharded control ({hours} h per row, {jobs} job(s), {shards} shard(s)):",
+        match only {
+            None => "every catalog scenario".to_string(),
+            Some(name) => format!("scenario {name:?}"),
+        }
+    );
+    let rows = xp::scenario_suite_for(&specs, hours, seed, jobs, shards);
+    for row in &rows {
+        let m = &row.metrics;
+        println!(
+            "  {:<20} {:<9}: {:>7.1} overload-min, {:>6.2} lost sessions, \
+             {:>2} failures / {:>2} recovered (MTTR {:>5.0} s), {:>3} actions, \
+             {:>2} alerts, {:>3} proactive firings",
+            row.scenario,
+            row.mode,
+            m.total_overload().as_secs() as f64 / 60.0,
+            m.lost_sessions,
+            m.failures,
+            m.recoveries,
+            m.mean_time_to_recovery_secs(),
+            m.actions.len(),
+            m.alerts,
+            m.proactive_triggers,
+        );
+    }
+    write("results/scenario_suite.csv", &xp::scenario_suite_csv(&rows));
 }
 
 fn run_designer() {

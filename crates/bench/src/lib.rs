@@ -21,10 +21,7 @@
 pub use autoglobe_pool as pool;
 
 use autoglobe::forecast::ProactiveConfig;
-use autoglobe::harness::ChaosRun;
-use autoglobe::{
-    ReplicationMode, ShardChaos, ShardRecoveryStats, ShardedRun, SupervisedRun, SupervisorConfig,
-};
+use autoglobe::{ReplicationMode, RunBuilder, ShardChaos, ShardRecoveryStats};
 use autoglobe_controller::inputs::TableLoads;
 use autoglobe_controller::{ControllerConfig, ExecutorConfig, ScoringMode};
 use autoglobe_fuzzy::{Defuzzifier, Engine, EngineConfig, InferenceMethod, LinguisticVariable};
@@ -33,7 +30,7 @@ use autoglobe_monitor::{SimDuration, SimTime, Subject, TriggerEvent, TriggerKind
 use autoglobe_rng::splitmix64;
 use autoglobe_simulator::{
     build_environment, find_max_users, sap, synth_environment, CapacityCriterion, DailyPattern,
-    FailureInjection, HeartbeatDetection, Metrics, Scenario, SimConfig, Simulation,
+    FailureInjection, HeartbeatDetection, Metrics, Scenario, ScenarioSpec, SimConfig, Simulation,
 };
 use std::fmt::Write as _;
 
@@ -582,12 +579,14 @@ fn chaos_point_config(scale: f64, hours: u64, seed: u64) -> SimConfig {
 /// RNGs — so points may run on any thread in any order.
 ///
 /// Since the supervisor became the public face of the control plane, the
-/// sweep drives [`ChaosRun`] — the chaos evaluation over the beat/tick/poll
+/// sweep drives [`autoglobe::ChaosRun`] — the chaos evaluation over the beat/tick/poll
 /// API — rather than the simulator's internal chaos wiring (which remains
 /// as the simulator crate's own regression surface).
 pub fn chaos_run(scale: f64, hours: u64, seed: u64) -> Metrics {
-    let env = build_environment(Scenario::ConstrainedMobility);
-    ChaosRun::new(env, &chaos_point_config(scale, hours, seed)).run()
+    RunBuilder::new(Scenario::ConstrainedMobility)
+        .sim(chaos_point_config(scale, hours, seed))
+        .chaos_run()
+        .run()
 }
 
 /// The chaos sweep: every [`CHAOS_SCALES`] point over the Figure 13
@@ -672,23 +671,6 @@ pub fn shard_chaos_run(
     plane_jobs: usize,
     replication: ReplicationMode,
 ) -> (Metrics, ShardRecoveryStats) {
-    let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
-        .with_duration(SimDuration::from_hours(hours))
-        .with_seed(seed);
-    let mut sub_seed_state = seed ^ 0x9E37_79B9_7F4A_7C15;
-    let exec_seed = splitmix64(&mut sub_seed_state);
-    let supervisor = SupervisorConfig {
-        controller: sim.controller,
-        executor: ExecutorConfig {
-            min_latency: SimDuration::from_secs(30),
-            max_latency: SimDuration::from_minutes(3),
-            timeout: SimDuration::from_minutes(2),
-            failure_probability: CHAOS_EXEC_FAILURE_PROBABILITY,
-            ..ExecutorConfig::reliable()
-        },
-        executor_seed: exec_seed,
-        ..SupervisorConfig::default()
-    };
     let chaos = ShardChaos {
         server_failure_per_hour: SHARD_CHAOS_SERVER_FAILURE_PER_HOUR,
         repair_after: SimDuration::from_hours(1),
@@ -696,9 +678,24 @@ pub fn shard_chaos_run(
         // two-kill points) its successor at ~2/3.
         kill_fracs: [0.35, 0.65][..owner_kills.min(2)].to_vec(),
     };
-    let env = build_environment(Scenario::ConstrainedMobility);
-    ShardedRun::new(env, &sim, supervisor, shards, plane_jobs, chaos)
-        .with_replication(replication)
+    // The builder derives the executor seed from the master seed through
+    // the shared splitmix64 chain — the same value the legacy wiring set
+    // explicitly, so the sweep's CSV is byte-stable across the migration.
+    RunBuilder::new(Scenario::ConstrainedMobility)
+        .hours(hours)
+        .seed(seed)
+        .execution(ExecutorConfig {
+            min_latency: SimDuration::from_secs(30),
+            max_latency: SimDuration::from_minutes(3),
+            timeout: SimDuration::from_minutes(2),
+            failure_probability: CHAOS_EXEC_FAILURE_PROBABILITY,
+            ..ExecutorConfig::reliable()
+        })
+        .shards(shards)
+        .plane_jobs(plane_jobs)
+        .shard_chaos(chaos)
+        .replication(replication)
+        .sharded()
         .run()
 }
 
@@ -777,24 +774,14 @@ pub fn shard_smoke(
     plane_jobs: usize,
     replication: ReplicationMode,
 ) -> String {
-    let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.15)
-        .with_duration(SimDuration::from_hours(hours))
-        .with_seed(seed);
-    let supervisor = SupervisorConfig {
-        controller: sim.controller,
-        ..SupervisorConfig::default()
-    };
-    let env = build_environment(Scenario::ConstrainedMobility);
-    let (metrics, _) = ShardedRun::new(
-        env,
-        &sim,
-        supervisor,
-        shards,
-        plane_jobs,
-        ShardChaos::none(),
-    )
-    .with_replication(replication)
-    .run();
+    let (metrics, _) = RunBuilder::new(Scenario::ConstrainedMobility)
+        .hours(hours)
+        .seed(seed)
+        .shards(shards)
+        .plane_jobs(plane_jobs)
+        .replication(replication)
+        .sharded()
+        .run();
     metrics_digest(&metrics)
 }
 
@@ -868,17 +855,16 @@ pub fn shard_scale_point(
         .with_duration(SimDuration::from_hours(hours))
         .with_seed(seed);
     let ticks = sim.num_ticks();
-    let supervisor = SupervisorConfig {
-        controller: sim.controller,
-        ..SupervisorConfig::default()
-    };
     let run = |replication: ReplicationMode| {
         let env = scale_environment(servers, seed);
         let start = Instant::now();
-        let (metrics, _) =
-            ShardedRun::new(env, &sim, supervisor.clone(), shards, 1, ShardChaos::none())
-                .with_replication(replication)
-                .run();
+        let (metrics, _) = RunBuilder::new(Scenario::ConstrainedMobility)
+            .sim(sim.clone())
+            .environment(env)
+            .shards(shards)
+            .replication(replication)
+            .sharded()
+            .run();
         (start.elapsed().as_secs_f64(), metrics)
     };
     let mut best_full = f64::INFINITY;
@@ -1017,7 +1003,7 @@ pub const PROACTIVE_MIN_LATENCY: SimDuration = SimDuration::from_minutes(5);
 pub const PROACTIVE_MAX_LATENCY: SimDuration = SimDuration::from_minutes(10);
 
 /// Run the Figure 13 scenario (constrained mobility, +15 % users) through
-/// the [`SupervisedRun`] control-plane harness, purely reactive or with the
+/// the [`autoglobe::SupervisedRun`] control-plane harness, purely reactive or with the
 /// forecast-driven proactive trigger enabled. Both modes run on an
 /// execution substrate where actions take [`PROACTIVE_MIN_LATENCY`]–
 /// [`PROACTIVE_MAX_LATENCY`] to complete. A pure function of its arguments,
@@ -1029,28 +1015,20 @@ pub fn proactive_run(proactive: bool, hours: u64, seed: u64) -> Metrics {
 /// [`proactive_run`] at an arbitrary user multiplier — one probe of the
 /// proactive capacity ladder. A pure function of its arguments.
 pub fn proactive_run_at(proactive: bool, multiplier: f64, hours: u64, seed: u64) -> Metrics {
-    let sim = SimConfig::paper(Scenario::ConstrainedMobility, multiplier)
-        .with_duration(SimDuration::from_hours(hours))
-        .with_seed(seed);
-    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15; // executor seed domain
-    let supervisor = SupervisorConfig {
-        controller: sim.controller,
-        executor: ExecutorConfig {
+    let mut builder = RunBuilder::new(Scenario::ConstrainedMobility)
+        .multiplier(multiplier)
+        .hours(hours)
+        .seed(seed)
+        .execution(ExecutorConfig {
             min_latency: PROACTIVE_MIN_LATENCY,
             max_latency: PROACTIVE_MAX_LATENCY,
             timeout: SimDuration::from_minutes(60),
             ..ExecutorConfig::reliable()
-        },
-        executor_seed: splitmix64(&mut state),
-        proactive: proactive.then(ProactiveConfig::default),
-        ..SupervisorConfig::default()
-    };
-    SupervisedRun::new(
-        build_environment(Scenario::ConstrainedMobility),
-        &sim,
-        supervisor,
-    )
-    .run()
+        });
+    if proactive {
+        builder = builder.proactive(ProactiveConfig::default());
+    }
+    builder.supervised().run()
 }
 
 /// The Table 7 / Figure 13 reactive-vs-proactive comparison. Both runs use
@@ -2019,9 +1997,200 @@ pub fn scale_smoke_scored(
     out
 }
 
+// ---- production-day scenario suite -----------------------------------------
+
+/// The modes every production-day scenario is scored under: the supervised
+/// plane purely reactive, the supervised plane with the forecast-driven
+/// proactive trigger, and the sharded control plane (reactive).
+pub const SCENARIO_SUITE_MODES: [&str; 3] = ["reactive", "proactive", "sharded"];
+
+/// One scored row of the scenario suite.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Catalog name of the production-day scenario.
+    pub scenario: String,
+    /// One of [`SCENARIO_SUITE_MODES`].
+    pub mode: &'static str,
+    /// The run's full metrics.
+    pub metrics: Metrics,
+}
+
+/// The execution substrate of the scenario suite: remedial actions take
+/// 30 s – 3 min to land and never fail spuriously — enough latency that a
+/// proactive head start (and a failover during a rack loss) is visible in
+/// the overload and MTTR columns.
+fn scenario_suite_executor() -> ExecutorConfig {
+    ExecutorConfig {
+        min_latency: SimDuration::from_secs(30),
+        max_latency: SimDuration::from_minutes(3),
+        timeout: SimDuration::from_minutes(5),
+        ..ExecutorConfig::reliable()
+    }
+}
+
+/// Score one production-day scenario under one suite mode. Event-bearing
+/// scenarios (rack kills, maintenance drains) run through the failure-capable
+/// harnesses; purely load-shaped ones through [`autoglobe::SupervisedRun`].
+/// A pure function of its arguments — safe to fan out across the pool, and
+/// `shards` is output-neutral (asserted by the suite's determinism test).
+///
+/// The sharded rows run on the plane's default *synchronous* executor: each
+/// replica of a sharded plane deliberately draws from a disjoint executor
+/// stream, so a latent substrate's completion times — and therefore the
+/// metrics — would depend on which replica owns a trigger's shard. The
+/// supervised rows keep the latent substrate, where the proactive head
+/// start is visible.
+pub fn scenario_suite_run(
+    spec: &ScenarioSpec,
+    mode: &str,
+    hours: u64,
+    seed: u64,
+    shards: usize,
+) -> Metrics {
+    let builder = RunBuilder::new(spec.clone()).hours(hours).seed(seed);
+    match mode {
+        "reactive" if spec.has_events() => builder
+            .execution(scenario_suite_executor())
+            .chaos_run()
+            .run(),
+        "reactive" => builder
+            .execution(scenario_suite_executor())
+            .supervised()
+            .run(),
+        "proactive" if spec.has_events() => builder
+            .execution(scenario_suite_executor())
+            .proactive(ProactiveConfig::default())
+            .chaos_run()
+            .run(),
+        "proactive" => builder
+            .execution(scenario_suite_executor())
+            .proactive(ProactiveConfig::default())
+            .supervised()
+            .run(),
+        "sharded" => builder.shards(shards).sharded().run().0,
+        other => panic!("unknown scenario-suite mode {other:?}"),
+    }
+}
+
+/// [`scenario_suite`] over an explicit scenario list — the path behind the
+/// `experiments scenarios --scenario <name>` selector, where any name the
+/// shared [`ScenarioSpec::lookup`] resolves (a paper scenario or a catalog
+/// entry) can be scored on its own. The three rows of one scenario share
+/// one per-scenario seed — the modes face the *same* production day — and
+/// per-scenario seeds derive from the master `seed` by a splitmix64 chain
+/// *before* the rows fan out across the pool, so the result is
+/// bit-identical whatever `jobs` is. `shards` sizes the sharded rows'
+/// control plane and is output-neutral.
+pub fn scenario_suite_for(
+    specs: &[ScenarioSpec],
+    hours: u64,
+    seed: u64,
+    jobs: usize,
+    shards: usize,
+) -> Vec<ScenarioOutcome> {
+    let mut state = seed ^ 0x5EED_0DA1_5CE0; // scenario-suite seed domain
+    let mut points = Vec::new();
+    for spec in specs {
+        let scenario_seed = splitmix64(&mut state);
+        for mode in SCENARIO_SUITE_MODES {
+            points.push((spec.clone(), mode, scenario_seed));
+        }
+    }
+    pool::parallel_map(jobs, points, move |(spec, mode, point_seed)| {
+        let metrics = scenario_suite_run(&spec, mode, hours, point_seed, shards);
+        ScenarioOutcome {
+            scenario: spec.name.clone(),
+            mode,
+            metrics,
+        }
+    })
+}
+
+/// The production-day scenario suite: every catalog scenario
+/// ([`ScenarioSpec::catalog`]) scored under every [`SCENARIO_SUITE_MODES`]
+/// entry — the rows behind `results/scenario_suite.csv`.
+pub fn scenario_suite(hours: u64, seed: u64, jobs: usize, shards: usize) -> Vec<ScenarioOutcome> {
+    scenario_suite_for(&ScenarioSpec::catalog(), hours, seed, jobs, shards)
+}
+
+/// Render the suite as `results/scenario_suite.csv`: one row per scenario ×
+/// mode with overload exposure, session loss, self-healing latencies and
+/// trigger counts (times in the units named by the column headers).
+pub fn scenario_suite_csv(rows: &[ScenarioOutcome]) -> String {
+    let mut out = String::from(
+        "scenario,mode,plane,overload_minutes,worst_overload_minutes,\
+         lost_sessions,failures,detections,mean_detection_s,recoveries,\
+         mttr_s,lost_instances,actions,alerts,proactive_triggers,\
+         mean_lead_minutes\n",
+    );
+    for row in rows {
+        let m = &row.metrics;
+        writeln!(
+            out,
+            "{},{},{},{:.1},{:.1},{:.2},{},{},{:.1},{},{:.1},{},{},{},{},{:.1}",
+            row.scenario,
+            row.mode,
+            if row.mode == "sharded" {
+                "sharded"
+            } else {
+                "supervised"
+            },
+            m.total_overload().as_secs() as f64 / 60.0,
+            m.worst_overload().as_secs() as f64 / 60.0,
+            m.lost_sessions,
+            m.failures,
+            m.detections,
+            m.mean_detection_latency_secs(),
+            m.recoveries,
+            m.mean_time_to_recovery_secs(),
+            m.lost_instances,
+            m.actions.len(),
+            m.alerts,
+            m.proactive_triggers,
+            m.mean_proactive_lead_secs() / 60.0,
+        )
+        .unwrap();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Satellite acceptance: for every catalog scenario, the same seed
+    /// produces identical metrics whether the suite fans out over 1 or 4
+    /// pool jobs and whether the sharded rows run on a 1- or 4-shard
+    /// control plane. The window covers the catalog's latest event (hour
+    /// 38), so kills and drains are exercised, not skipped.
+    #[test]
+    fn scenario_suite_is_deterministic_across_jobs_and_shards() {
+        let narrow = scenario_suite(40, 7, 1, 1);
+        let wide = scenario_suite(40, 7, 4, 4);
+        assert_eq!(narrow.len(), wide.len());
+        assert_eq!(narrow.len(), ScenarioSpec::catalog().len() * 3);
+        for (a, b) in narrow.iter().zip(&wide) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(
+                metrics_digest(&a.metrics),
+                metrics_digest(&b.metrics),
+                "{} / {}: jobs and shards must be output-neutral",
+                a.scenario,
+                a.mode
+            );
+            assert_eq!(a.metrics.failures, b.metrics.failures);
+            assert_eq!(a.metrics.recoveries, b.metrics.recoveries);
+            assert_eq!(
+                a.metrics.lost_sessions.to_bits(),
+                b.metrics.lost_sessions.to_bits()
+            );
+            assert_eq!(a.metrics.recovery_time_secs, b.metrics.recovery_time_secs);
+        }
+        let csv = scenario_suite_csv(&narrow);
+        assert_eq!(csv, scenario_suite_csv(&wide), "the rendered CSV matches");
+        assert_eq!(csv.lines().count(), 1 + narrow.len());
+    }
 
     #[test]
     fn fig3_reproduces_paper_grades() {
@@ -2551,32 +2720,30 @@ mod name_resolution_tests {
     fn delta_replication_matches_full_on_synth_landscapes() {
         for &(servers, shards, kills, seed) in &[(50usize, 2usize, 1usize, 77u64), (120, 4, 2, 131)]
         {
-            let sim = SimConfig::paper(Scenario::ConstrainedMobility, 1.0)
-                .with_duration(SimDuration::from_hours(4))
-                .with_seed(seed);
-            let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
-            let exec_seed = splitmix64(&mut state);
             let run = |replication: ReplicationMode| {
-                let supervisor = SupervisorConfig {
-                    controller: sim.controller,
-                    executor: ExecutorConfig {
-                        min_latency: SimDuration::from_secs(30),
-                        max_latency: SimDuration::from_minutes(3),
-                        timeout: SimDuration::from_minutes(2),
-                        failure_probability: CHAOS_EXEC_FAILURE_PROBABILITY,
-                        ..ExecutorConfig::reliable()
-                    },
-                    executor_seed: exec_seed,
-                    ..SupervisorConfig::default()
-                };
                 let chaos = ShardChaos {
                     server_failure_per_hour: SHARD_CHAOS_SERVER_FAILURE_PER_HOUR,
                     repair_after: SimDuration::from_hours(1),
                     kill_fracs: [0.35, 0.65][..kills.min(2)].to_vec(),
                 };
                 let env = synth_environment(&SynthConfig::sized(servers, seed));
-                ShardedRun::new(env, &sim, supervisor, shards, 2, chaos)
-                    .with_replication(replication)
+                RunBuilder::new(Scenario::ConstrainedMobility)
+                    .multiplier(1.0)
+                    .hours(4)
+                    .seed(seed)
+                    .execution(ExecutorConfig {
+                        min_latency: SimDuration::from_secs(30),
+                        max_latency: SimDuration::from_minutes(3),
+                        timeout: SimDuration::from_minutes(2),
+                        failure_probability: CHAOS_EXEC_FAILURE_PROBABILITY,
+                        ..ExecutorConfig::reliable()
+                    })
+                    .environment(env)
+                    .shards(shards)
+                    .plane_jobs(2)
+                    .shard_chaos(chaos)
+                    .replication(replication)
+                    .sharded()
                     .run()
             };
             let (full, full_stats) = run(ReplicationMode::Full);

@@ -33,6 +33,7 @@
 
 use crate::config::SimConfig;
 use crate::metrics::{Metrics, OVERLOAD_LEVEL};
+use crate::scenario_dsl::LoadModulation;
 use crate::sessions::{DistributionMode, SessionTable};
 use crate::workload::WorkloadSpec;
 use autoglobe_controller::LoadView;
@@ -256,6 +257,9 @@ pub struct WorkloadEngine {
     mode: DistributionMode,
     fluctuation: f64,
     user_multiplier: f64,
+    /// Compiled production-day scenario modulation; `None` is the seed
+    /// path (bit-identical to a build without any scenario DSL).
+    modulation: Option<LoadModulation>,
     startup_latency: SimDuration,
     tick: SimDuration,
     /// Worker threads for the per-server phase (resolved, >= 1).
@@ -324,6 +328,7 @@ impl WorkloadEngine {
             mode,
             fluctuation: config.scenario.fluctuation(),
             user_multiplier: config.user_multiplier,
+            modulation: None,
             startup_latency: config.startup_latency,
             tick: config.tick,
             inner_jobs: autoglobe_pool::effective_jobs(config.inner_jobs),
@@ -334,6 +339,16 @@ impl WorkloadEngine {
             backend_demand: Vec::new(),
             backend_mask: Vec::new(),
         }
+    }
+
+    /// Install a compiled production-day scenario modulation
+    /// ([`crate::ScenarioSpec::modulation`]). Identity modulations are
+    /// dropped, so the seed path stays literally untouched: the jitter
+    /// draw in [`WorkloadSpec::active_users`] does not depend on the hour
+    /// or the target, which is what makes composition unable to perturb
+    /// the RNG stream.
+    pub fn set_modulation(&mut self, modulation: Option<LoadModulation>) {
+        self.modulation = modulation.filter(|m| !m.is_identity());
     }
 
     /// The loads computed on the most recent [`WorkloadEngine::advance`]
@@ -404,8 +419,17 @@ impl WorkloadEngine {
             let sessions = &mut self.sessions;
             let fluctuation = self.fluctuation;
             let user_multiplier = self.user_multiplier;
-            for w in &self.workloads {
-                let target = w.spec.active_users(hour, user_multiplier, rng);
+            let modulation = self.modulation.as_ref();
+            let time_hours = time.as_secs() as f64 / 3600.0;
+            for (wi, w) in self.workloads.iter().enumerate() {
+                let target = match modulation {
+                    None => w.spec.active_users(hour, user_multiplier, rng),
+                    Some(m) => {
+                        let curve_hour = m.effective_hour(wi, hour);
+                        let raw = w.spec.active_users(curve_hour, user_multiplier, rng);
+                        m.apply(wi, time_hours, hour, raw)
+                    }
+                };
                 let table = &mut sessions[w.service.index()];
                 // The capacity an instance can offer its users is its host's
                 // power minus what *other* services on that host consume —

@@ -41,6 +41,7 @@ pub mod engine;
 pub mod metrics;
 pub mod sap;
 pub mod scenario;
+pub mod scenario_dsl;
 pub mod sessions;
 pub mod sim;
 pub mod workload;
@@ -51,5 +52,8 @@ pub use engine::{TickLoads, WorkloadEngine, MIN_SERVERS_PER_LANE};
 pub use metrics::{InstancePoint, Metrics, SeriesPoint};
 pub use sap::{build_environment, synth_environment, SapEnvironment};
 pub use scenario::Scenario;
+pub use scenario_dsl::{
+    Combinator, DrainEvent, KillEvent, LoadModulation, ScenarioSchedule, ScenarioSpec,
+};
 pub use sim::Simulation;
 pub use workload::{DailyPattern, WorkloadSpec};

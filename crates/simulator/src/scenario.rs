@@ -37,6 +37,13 @@ impl Scenario {
         }
     }
 
+    /// Resolve a [`Scenario::name`] back to the scenario — one half of the
+    /// shared lookup path ([`crate::ScenarioSpec::lookup`] adds the
+    /// production-day catalog on top).
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
     /// How users bind to instances in this scenario.
     pub fn distribution_mode(self) -> DistributionMode {
         match self {

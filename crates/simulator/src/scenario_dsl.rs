@@ -1,0 +1,633 @@
+//! Composable production-day scenarios expressed purely as data.
+//!
+//! The paper validates AutoGlobe on three fixed SAP scenarios
+//! ([`Scenario`]); a production controller has to survive far messier
+//! days. This module grows the closed enum into a **data-driven spec**:
+//! a [`ScenarioSpec`] is a paper base plus a stack of deterministic
+//! [`Combinator`]s that modulate the Figure-10 workload curves
+//! ([`Combinator::Scale`], [`Combinator::Step`], [`Combinator::Shift`],
+//! [`Combinator::Overlay`], [`Combinator::Grow`]) or schedule
+//! infrastructure events against the chaos/heartbeat layer
+//! ([`Combinator::KillRack`], [`Combinator::Drain`]).
+//!
+//! Two compilation targets fall out of a spec:
+//!
+//! * [`ScenarioSpec::modulation`] compiles the load combinators against a
+//!   workload list into a [`LoadModulation`] the
+//!   [`WorkloadEngine`](crate::WorkloadEngine) applies per tick, and
+//! * [`ScenarioSpec::schedule`] collects the infrastructure events into a
+//!   [`ScenarioSchedule`] a harness replays through the public
+//!   beat/tick/poll API.
+//!
+//! **Identity is free:** an empty stack compiles to an identity
+//! modulation and an empty schedule, and the engine's identity path is
+//! the unmodified seed path — bit-for-bit, including the RNG draw order
+//! (the daily-curve jitter draw does not depend on the modulated hour or
+//! target, so composition can never perturb the stream).
+//!
+//! The shipped [`catalog`](ScenarioSpec::catalog) holds five named
+//! production days — flash crowd, correlated rack failure, rolling
+//! maintenance, nightly-batch collision, slow-burn growth — and
+//! [`ScenarioSpec::lookup`] resolves both the paper names and the catalog
+//! names through one path, so CLI selectors and benches share it.
+
+use crate::scenario::Scenario;
+use crate::workload::{DailyPattern, WorkloadSpec};
+use autoglobe_monitor::{SimDuration, SimTime};
+
+/// One deterministic transformation of a scenario's timeline. Windows and
+/// event times are **absolute simulated hours** from the start of the run
+/// (the simulation starts at midnight), not hours of day.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Combinator {
+    /// Multiply `service`'s offered users by `factor` while
+    /// `from_hour <= t < to_hour`.
+    Scale {
+        /// Workload service name (e.g. `"LES"`).
+        service: String,
+        /// Multiplicative factor on the offered users.
+        factor: f64,
+        /// Window start, absolute simulated hours.
+        from_hour: f64,
+        /// Window end, absolute simulated hours.
+        to_hour: f64,
+    },
+    /// Flash crowd: a sharp step of `factor`× on one service lasting
+    /// `for_hours` from `at_hour`. Sugar for a rectangular [`Self::Scale`].
+    Step {
+        /// Workload service name.
+        service: String,
+        /// Step height (e.g. `10.0` for a 10× flash crowd).
+        factor: f64,
+        /// Step start, absolute simulated hours.
+        at_hour: f64,
+        /// Step length in hours.
+        for_hours: f64,
+    },
+    /// Delay `service`'s daily curve by `hours` (its day is evaluated at
+    /// `hour_of_day - hours`, wrapped into 0..24) — e.g. `+10.0` slides the
+    /// BW night batch (22:00–06:00) into the 08:00–16:00 morning peak.
+    Shift {
+        /// Workload service name.
+        service: String,
+        /// Delay in hours (positive = later in the day).
+        hours: f64,
+    },
+    /// Overlay extra offered users on `service`, following `pattern`
+    /// evaluated at the wall clock, while `from_hour <= t < to_hour` —
+    /// a batch backfill riding on top of the regular curve.
+    Overlay {
+        /// Workload service name.
+        service: String,
+        /// Peak extra users (scaled by the pattern's active fraction).
+        users: f64,
+        /// Daily shape of the overlay.
+        pattern: DailyPattern,
+        /// Window start, absolute simulated hours.
+        from_hour: f64,
+        /// Window end, absolute simulated hours.
+        to_hour: f64,
+    },
+    /// Slow-burn growth: every workload's offered users compound by
+    /// `per_day` per simulated day (`×(1+per_day)^(t/24h)`).
+    Grow {
+        /// Fractional growth per simulated day (e.g. `0.08` = +8 %/day).
+        per_day: f64,
+    },
+    /// Correlated failure: all named servers crash at `at_hour` and come
+    /// back `down_hours` later. Detection runs through the heartbeat
+    /// layer, so MTTR is measured, not assumed.
+    KillRack {
+        /// Server names (e.g. `"Blade1"`).
+        servers: Vec<String>,
+        /// Failure instant, absolute simulated hours.
+        at_hour: f64,
+        /// Outage length before the repair rejoins the pool.
+        down_hours: f64,
+    },
+    /// Rolling maintenance: the named servers are drained at `from_hour`
+    /// (planned failover — their instances restart elsewhere immediately,
+    /// no detection latency) and rejoin the pool at `to_hour`.
+    Drain {
+        /// Server names to take out of rotation.
+        servers: Vec<String>,
+        /// Drain start, absolute simulated hours.
+        from_hour: f64,
+        /// Rejoin time, absolute simulated hours.
+        to_hour: f64,
+    },
+}
+
+/// [`Combinator::Scale`] with `(from, to)` window sugar.
+pub fn scale(service: &str, factor: f64, window: (f64, f64)) -> Combinator {
+    Combinator::Scale {
+        service: service.to_string(),
+        factor,
+        from_hour: window.0,
+        to_hour: window.1,
+    }
+}
+
+/// [`Combinator::Step`]: a flash crowd of `factor`× for `for_hours`.
+pub fn step(service: &str, factor: f64, at_hour: f64, for_hours: f64) -> Combinator {
+    Combinator::Step {
+        service: service.to_string(),
+        factor,
+        at_hour,
+        for_hours,
+    }
+}
+
+/// [`Combinator::Shift`]: delay a service's daily curve by `hours`.
+pub fn shift(service: &str, hours: f64) -> Combinator {
+    Combinator::Shift {
+        service: service.to_string(),
+        hours,
+    }
+}
+
+/// [`Combinator::Overlay`]: extra users following `pattern` in a window.
+pub fn overlay(service: &str, users: f64, pattern: DailyPattern, window: (f64, f64)) -> Combinator {
+    Combinator::Overlay {
+        service: service.to_string(),
+        users,
+        pattern,
+        from_hour: window.0,
+        to_hour: window.1,
+    }
+}
+
+/// [`Combinator::Grow`]: compound growth per simulated day.
+pub fn grow(per_day: f64) -> Combinator {
+    Combinator::Grow { per_day }
+}
+
+/// [`Combinator::KillRack`]: correlated failure of `servers` at `at_hour`.
+pub fn kill_rack(servers: &[&str], at_hour: f64, down_hours: f64) -> Combinator {
+    Combinator::KillRack {
+        servers: servers.iter().map(|s| s.to_string()).collect(),
+        at_hour,
+        down_hours,
+    }
+}
+
+/// [`Combinator::Drain`]: planned maintenance drain over a window.
+pub fn drain(servers: &[&str], window: (f64, f64)) -> Combinator {
+    Combinator::Drain {
+        servers: servers.iter().map(|s| s.to_string()).collect(),
+        from_hour: window.0,
+        to_hour: window.1,
+    }
+}
+
+/// A named scenario as pure data: a paper base (which fixes the landscape,
+/// the constraint tables and the session distribution mode) plus a
+/// combinator stack over it. `ScenarioSpec::from(scenario)` is the
+/// identity spec — it reproduces the paper run bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Catalog name (the paper base's name for identity specs).
+    pub name: String,
+    /// The paper scenario this composes over.
+    pub base: Scenario,
+    /// The combinator stack, applied in order.
+    pub stack: Vec<Combinator>,
+}
+
+impl From<Scenario> for ScenarioSpec {
+    fn from(base: Scenario) -> Self {
+        ScenarioSpec {
+            name: base.name().to_string(),
+            base,
+            stack: Vec::new(),
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// A named spec over `base` with the given stack.
+    pub fn new(name: &str, base: Scenario, stack: Vec<Combinator>) -> Self {
+        ScenarioSpec {
+            name: name.to_string(),
+            base,
+            stack,
+        }
+    }
+
+    /// The identity composition over a paper scenario.
+    pub fn paper(base: Scenario) -> Self {
+        base.into()
+    }
+
+    /// `true` when the stack is empty — the spec is exactly its paper base.
+    pub fn is_identity(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// `true` when the stack schedules infrastructure events (kills or
+    /// drains) that need a failure-capable harness.
+    pub fn has_events(&self) -> bool {
+        !self.schedule().is_empty()
+    }
+
+    /// The shipped catalog of named production-day scenarios. All are
+    /// expressed purely as data over the constrained-mobility base (the
+    /// paper's realistic operating point).
+    pub fn catalog() -> Vec<ScenarioSpec> {
+        let cm = Scenario::ConstrainedMobility;
+        vec![
+            // A 10× flash crowd on LES mid-morning of day 2, with a
+            // sympathetic surge on CRM around it.
+            ScenarioSpec::new(
+                "flash-crowd",
+                cm,
+                vec![
+                    step("LES", 10.0, 34.0, 2.0),
+                    scale("CRM", 1.5, (33.0, 38.0)),
+                ],
+            ),
+            // A rack of four BX300 blades fails at once during the day-2
+            // morning ramp and is repaired four hours later.
+            ScenarioSpec::new(
+                "rack-failure",
+                cm,
+                vec![kill_rack(
+                    &["Blade1", "Blade2", "Blade3", "Blade4"],
+                    33.0,
+                    4.0,
+                )],
+            ),
+            // Rolling maintenance: pairs of application blades drain in
+            // four-hour windows through day 2, back-to-back.
+            ScenarioSpec::new(
+                "rolling-maintenance",
+                cm,
+                vec![
+                    drain(&["Blade1", "Blade2"], (26.0, 30.0)),
+                    drain(&["Blade3", "Blade4"], (30.0, 34.0)),
+                    drain(&["Blade12", "Blade13"], (34.0, 38.0)),
+                ],
+            ),
+            // The BW night batch slips ten hours into the morning peak,
+            // with a constant backfill overlay on top of it.
+            ScenarioSpec::new(
+                "batch-collision",
+                cm,
+                vec![
+                    shift("BW", 10.0),
+                    overlay("BW", 30.0, DailyPattern::Constant, (30.0, 40.0)),
+                ],
+            ),
+            // Slow-burn growth: +8 % offered users per simulated day,
+            // compounding for the whole horizon.
+            ScenarioSpec::new("slow-burn", cm, vec![grow(0.08)]),
+        ]
+    }
+
+    /// Every name [`ScenarioSpec::lookup`] resolves: the three paper
+    /// scenarios first, then the catalog.
+    pub fn all_names() -> Vec<String> {
+        Scenario::ALL
+            .iter()
+            .map(|s| s.name().to_string())
+            .chain(Self::catalog().into_iter().map(|s| s.name))
+            .collect()
+    }
+
+    /// The single lookup path shared by bench selectors and the catalog:
+    /// paper names (`static`, `constrained-mobility`, `full-mobility`)
+    /// resolve to identity specs, catalog names to their stacks.
+    pub fn lookup(name: &str) -> Option<ScenarioSpec> {
+        if let Some(base) = Scenario::from_name(name) {
+            return Some(base.into());
+        }
+        Self::catalog().into_iter().find(|s| s.name == name)
+    }
+
+    /// Compile the load combinators against `workloads` (matched by
+    /// service name; combinators naming unknown services are ignored).
+    pub fn modulation(&self, workloads: &[WorkloadSpec]) -> LoadModulation {
+        let n = workloads.len();
+        let mut m = LoadModulation {
+            shifts: vec![0.0; n],
+            factors: vec![Vec::new(); n],
+            overlays: vec![Vec::new(); n],
+            grow_per_day: 0.0,
+        };
+        let index_of = |service: &str| workloads.iter().position(|w| w.service == service);
+        for c in &self.stack {
+            match c {
+                Combinator::Scale {
+                    service,
+                    factor,
+                    from_hour,
+                    to_hour,
+                } => {
+                    if let Some(i) = index_of(service) {
+                        m.factors[i].push((*from_hour, *to_hour, *factor));
+                    }
+                }
+                Combinator::Step {
+                    service,
+                    factor,
+                    at_hour,
+                    for_hours,
+                } => {
+                    if let Some(i) = index_of(service) {
+                        m.factors[i].push((*at_hour, *at_hour + *for_hours, *factor));
+                    }
+                }
+                Combinator::Shift { service, hours } => {
+                    if let Some(i) = index_of(service) {
+                        m.shifts[i] += *hours;
+                    }
+                }
+                Combinator::Overlay {
+                    service,
+                    users,
+                    pattern,
+                    from_hour,
+                    to_hour,
+                } => {
+                    if let Some(i) = index_of(service) {
+                        m.overlays[i].push((*from_hour, *to_hour, *users, *pattern));
+                    }
+                }
+                Combinator::Grow { per_day } => m.grow_per_day += *per_day,
+                Combinator::KillRack { .. } | Combinator::Drain { .. } => {}
+            }
+        }
+        m
+    }
+
+    /// Collect the infrastructure events (kills and drains) of the stack,
+    /// each sorted by start time.
+    pub fn schedule(&self) -> ScenarioSchedule {
+        let mut schedule = ScenarioSchedule::default();
+        for c in &self.stack {
+            match c {
+                Combinator::KillRack {
+                    servers,
+                    at_hour,
+                    down_hours,
+                } => schedule.kills.push(KillEvent {
+                    at: hours_to_time(*at_hour),
+                    servers: servers.clone(),
+                    down_for: SimDuration::from_secs((down_hours * 3600.0).round() as u64),
+                }),
+                Combinator::Drain {
+                    servers,
+                    from_hour,
+                    to_hour,
+                } => schedule.drains.push(DrainEvent {
+                    from: hours_to_time(*from_hour),
+                    to: hours_to_time(*to_hour),
+                    servers: servers.clone(),
+                }),
+                _ => {}
+            }
+        }
+        schedule.kills.sort_by_key(|k| k.at);
+        schedule.drains.sort_by_key(|d| d.from);
+        schedule
+    }
+}
+
+fn hours_to_time(hours: f64) -> SimTime {
+    SimTime::from_secs((hours * 3600.0).round() as u64)
+}
+
+/// A correlated-failure event compiled from [`Combinator::KillRack`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KillEvent {
+    /// Failure instant.
+    pub at: SimTime,
+    /// Servers that crash together.
+    pub servers: Vec<String>,
+    /// Outage length before the repair rejoins the pool.
+    pub down_for: SimDuration,
+}
+
+/// A planned maintenance drain compiled from [`Combinator::Drain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainEvent {
+    /// Drain start (planned failover).
+    pub from: SimTime,
+    /// Rejoin time.
+    pub to: SimTime,
+    /// Servers taken out of rotation.
+    pub servers: Vec<String>,
+}
+
+/// The infrastructure-event timetable of a spec, replayed by the chaos
+/// and sharded harnesses through the public API.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioSchedule {
+    /// Correlated kills, ascending by time.
+    pub kills: Vec<KillEvent>,
+    /// Maintenance drains, ascending by start.
+    pub drains: Vec<DrainEvent>,
+}
+
+impl ScenarioSchedule {
+    /// `true` when the spec schedules no infrastructure events.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.drains.is_empty()
+    }
+}
+
+/// The compiled per-workload load modulation of a spec. The identity
+/// modulation applies no transformation at all: [`LoadModulation::apply`]
+/// returns its input untouched (same bits) and
+/// [`LoadModulation::effective_hour`] returns the wall hour, so a spec
+/// with an empty stack is indistinguishable from no spec.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadModulation {
+    /// Per-workload daily-curve delay in hours.
+    shifts: Vec<f64>,
+    /// Per-workload `(from_hour, to_hour, factor)` windows, absolute time.
+    #[allow(clippy::type_complexity)]
+    factors: Vec<Vec<(f64, f64, f64)>>,
+    /// Per-workload `(from_hour, to_hour, users, pattern)` overlays.
+    #[allow(clippy::type_complexity)]
+    overlays: Vec<Vec<(f64, f64, f64, DailyPattern)>>,
+    /// Global compound growth per simulated day.
+    grow_per_day: f64,
+}
+
+impl LoadModulation {
+    /// `true` when applying this modulation is a no-op for every workload.
+    pub fn is_identity(&self) -> bool {
+        self.grow_per_day == 0.0
+            && self.shifts.iter().all(|&s| s == 0.0)
+            && self.factors.iter().all(Vec::is_empty)
+            && self.overlays.iter().all(Vec::is_empty)
+    }
+
+    /// The hour-of-day workload `w`'s daily curve should be evaluated at,
+    /// given the wall-clock `hour`. Identity (no shift) returns `hour`
+    /// unchanged, bit for bit.
+    pub fn effective_hour(&self, w: usize, hour: f64) -> f64 {
+        let shift = self.shifts.get(w).copied().unwrap_or(0.0);
+        if shift == 0.0 {
+            hour
+        } else {
+            (hour - shift).rem_euclid(24.0)
+        }
+    }
+
+    /// Transform the offered users `target` of workload `w` at absolute
+    /// simulated time `time_hours` (wall-clock hour-of-day `hour`, for
+    /// overlays). Identity windows leave `target` untouched, bit for bit.
+    pub fn apply(&self, w: usize, time_hours: f64, hour: f64, target: f64) -> f64 {
+        let mut out = target;
+        if let Some(windows) = self.factors.get(w) {
+            for &(from, to, factor) in windows {
+                if time_hours >= from && time_hours < to {
+                    out *= factor;
+                }
+            }
+        }
+        if self.grow_per_day != 0.0 {
+            out *= (1.0 + self.grow_per_day).powf(time_hours / 24.0);
+        }
+        if let Some(overlays) = self.overlays.get(w) {
+            for &(from, to, users, pattern) in overlays {
+                if time_hours >= from && time_hours < to {
+                    out += users * pattern.active_fraction(hour);
+                }
+            }
+        }
+        out.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workloads() -> Vec<WorkloadSpec> {
+        crate::build_environment(Scenario::ConstrainedMobility).workloads
+    }
+
+    #[test]
+    fn identity_spec_compiles_to_identity_modulation_and_empty_schedule() {
+        for &s in &Scenario::ALL {
+            let spec = ScenarioSpec::paper(s);
+            assert!(spec.is_identity());
+            assert!(spec.modulation(&workloads()).is_identity());
+            assert!(spec.schedule().is_empty());
+            assert!(!spec.has_events());
+        }
+    }
+
+    #[test]
+    fn identity_modulation_preserves_bits() {
+        let m = ScenarioSpec::paper(Scenario::FullMobility).modulation(&workloads());
+        for target in [0.0, 1.5, 600.0, 1234.567] {
+            assert_eq!(m.apply(0, 33.5, 9.5, target).to_bits(), target.to_bits());
+            assert_eq!(m.effective_hour(0, 9.5).to_bits(), 9.5f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn step_is_a_rectangular_scale() {
+        let spec = ScenarioSpec::new(
+            "t",
+            Scenario::ConstrainedMobility,
+            vec![step("LES", 10.0, 34.0, 2.0)],
+        );
+        let m = spec.modulation(&workloads());
+        let les = workloads().iter().position(|w| w.service == "LES").unwrap();
+        assert_eq!(m.apply(les, 33.9, 9.9, 100.0), 100.0);
+        assert_eq!(m.apply(les, 34.0, 10.0, 100.0), 1000.0);
+        assert_eq!(m.apply(les, 35.9, 11.9, 100.0), 1000.0);
+        assert_eq!(m.apply(les, 36.0, 12.0, 100.0), 100.0);
+        // Other workloads are untouched.
+        let fi = workloads().iter().position(|w| w.service == "FI").unwrap();
+        assert_eq!(m.apply(fi, 35.0, 11.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn shift_delays_the_daily_curve() {
+        let spec = ScenarioSpec::new("t", Scenario::ConstrainedMobility, vec![shift("BW", 10.0)]);
+        let m = spec.modulation(&workloads());
+        let bw = workloads().iter().position(|w| w.service == "BW").unwrap();
+        // At wall-clock 09:00 the shifted BW curve reads its 23:00 value.
+        assert!((m.effective_hour(bw, 9.0) - 23.0).abs() < 1e-12);
+        // Wrap-around stays in 0..24.
+        assert!((m.effective_hour(bw, 3.0) - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grow_compounds_per_day() {
+        let spec = ScenarioSpec::new("t", Scenario::ConstrainedMobility, vec![grow(0.10)]);
+        let m = spec.modulation(&workloads());
+        let day2 = m.apply(0, 48.0, 0.0, 100.0);
+        assert!((day2 - 100.0 * 1.1f64.powi(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlay_follows_its_own_pattern() {
+        let spec = ScenarioSpec::new(
+            "t",
+            Scenario::ConstrainedMobility,
+            vec![overlay("BW", 30.0, DailyPattern::Constant, (30.0, 40.0))],
+        );
+        let m = spec.modulation(&workloads());
+        let bw = workloads().iter().position(|w| w.service == "BW").unwrap();
+        assert_eq!(m.apply(bw, 35.0, 11.0, 10.0), 40.0);
+        assert_eq!(m.apply(bw, 29.0, 5.0, 10.0), 10.0);
+    }
+
+    #[test]
+    fn schedule_collects_and_sorts_events() {
+        let spec = ScenarioSpec::new(
+            "t",
+            Scenario::ConstrainedMobility,
+            vec![
+                drain(&["Blade3"], (30.0, 34.0)),
+                drain(&["Blade1"], (26.0, 30.0)),
+                kill_rack(&["Blade5", "Blade6"], 12.0, 4.0),
+            ],
+        );
+        let schedule = spec.schedule();
+        assert!(spec.has_events());
+        assert_eq!(schedule.kills.len(), 1);
+        assert_eq!(schedule.kills[0].at, SimTime::from_hours(12));
+        assert_eq!(schedule.kills[0].down_for, SimDuration::from_hours(4));
+        assert_eq!(schedule.drains[0].from, SimTime::from_hours(26));
+        assert_eq!(schedule.drains[1].from, SimTime::from_hours(30));
+    }
+
+    #[test]
+    fn lookup_resolves_paper_and_catalog_names_through_one_path() {
+        for &s in &Scenario::ALL {
+            let spec = ScenarioSpec::lookup(s.name()).expect("paper name resolves");
+            assert!(spec.is_identity());
+            assert_eq!(spec.base, s);
+        }
+        for cat in ScenarioSpec::catalog() {
+            let spec = ScenarioSpec::lookup(&cat.name).expect("catalog name resolves");
+            assert_eq!(spec, cat);
+        }
+        assert!(ScenarioSpec::lookup("no-such-day").is_none());
+        assert_eq!(ScenarioSpec::all_names().len(), 3 + 5);
+    }
+
+    #[test]
+    fn catalog_has_at_least_five_named_scenarios() {
+        let catalog = ScenarioSpec::catalog();
+        assert!(catalog.len() >= 5);
+        let mut names: Vec<_> = catalog.iter().map(|s| s.name.clone()).collect();
+        names.dedup();
+        assert_eq!(names.len(), catalog.len(), "catalog names are unique");
+        for spec in &catalog {
+            assert!(
+                !spec.is_identity(),
+                "{} must transform something",
+                spec.name
+            );
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Production-day scenarios driven end-to-end through the public
+//! beat/tick/poll API: identity composition must reproduce the paper
+//! scenarios bit for bit, and every catalog scenario must run as pure data
+//! on both the supervised and the sharded control plane, deterministically
+//! at any shard count.
+
+use autoglobe::prelude::*;
+use autoglobe::simulator::scenario_dsl::{grow, scale, shift};
+
+/// A bit-exact fingerprint of everything a run reports: counts, float
+/// metrics as raw bits, and the ordered action stream.
+fn digest(m: &Metrics) -> String {
+    use std::fmt::Write;
+    let mut out = format!(
+        "actions={} alerts={} overload={} demand={:016x} failures={} \
+         detections={} det_lat={} recoveries={} rec_time={} lost_inst={} \
+         lost_sess={:016x} repairs={} proactive={}\n",
+        m.actions.len(),
+        m.alerts,
+        m.total_overload().as_secs(),
+        m.total_demand.to_bits(),
+        m.failures,
+        m.detections,
+        m.detection_latency_secs,
+        m.recoveries,
+        m.recovery_time_secs,
+        m.lost_instances,
+        m.lost_sessions.to_bits(),
+        m.repairs,
+        m.proactive_triggers,
+    );
+    for record in &m.actions {
+        writeln!(out, "{record}").unwrap();
+    }
+    out
+}
+
+/// The legacy constructor path, pinned as the reference the identity
+/// composition must reproduce.
+#[allow(deprecated)]
+fn legacy_supervised(base: Scenario, hours: u64) -> Metrics {
+    let sim = SimConfig::paper(base, 1.15).with_duration(SimDuration::from_hours(hours));
+    let supervisor = SupervisorConfig {
+        controller: sim.controller,
+        ..SupervisorConfig::default()
+    };
+    SupervisedRun::new(build_environment(base), &sim, supervisor).run()
+}
+
+/// Identity composition — an empty stack AND a stack of no-op combinators
+/// (×1.0 scale, 0 h shift, 0 %/day growth) — reproduces each paper
+/// scenario bit for bit through the same public harness.
+#[test]
+fn identity_composition_reproduces_each_paper_scenario_bit_for_bit() {
+    let hours = 6;
+    for &base in &Scenario::ALL {
+        let reference = digest(&legacy_supervised(base, hours));
+        let identity = RunBuilder::new(base).hours(hours).supervised().run();
+        assert_eq!(
+            digest(&identity),
+            reference,
+            "{base}: empty-stack spec must be the paper run"
+        );
+        let decorated = ScenarioSpec::new(
+            "decorated-identity",
+            base,
+            vec![scale("FI", 1.0, (0.0, 1.0e6)), shift("BW", 0.0), grow(0.0)],
+        );
+        let decorated = RunBuilder::new(decorated).hours(hours).supervised().run();
+        assert_eq!(
+            digest(&decorated),
+            reference,
+            "{base}: no-op combinators must leave every bit untouched"
+        );
+    }
+}
+
+/// Every catalog scenario runs as pure data on both planes: the supervised
+/// harness (chaos-capable when the spec schedules events) and the sharded
+/// control plane — seeded, repeatably, and with the shard count invisible
+/// to the metrics.
+#[test]
+fn catalog_scenarios_run_on_both_planes_deterministically() {
+    let hours = 36;
+    let seed = 1234;
+    for spec in ScenarioSpec::catalog() {
+        let supervised = |(): ()| {
+            let builder = RunBuilder::new(spec.clone()).hours(hours).seed(seed);
+            if spec.has_events() {
+                builder.chaos_run().run()
+            } else {
+                builder.supervised().run()
+            }
+        };
+        let first = supervised(());
+        let again = supervised(());
+        assert_eq!(
+            digest(&first),
+            digest(&again),
+            "{}: same seed must reproduce the run",
+            spec.name
+        );
+        let sharded = |shards: usize| {
+            RunBuilder::new(spec.clone())
+                .hours(hours)
+                .seed(seed)
+                .shards(shards)
+                .sharded()
+                .run()
+                .0
+        };
+        let one = sharded(1);
+        let four = sharded(4);
+        assert_eq!(
+            digest(&one),
+            digest(&four),
+            "{}: the shard count must be invisible to the scenario",
+            spec.name
+        );
+    }
+}
+
+/// The correlated rack failure is ground truth the heartbeat layer has to
+/// *detect*: four hosts fail at once, detection latency is paid, the
+/// self-healing path restarts what it can, and the rack rejoins later.
+#[test]
+fn rack_failure_is_detected_and_healed() {
+    let spec = ScenarioSpec::lookup("rack-failure").expect("catalog name");
+    let m = RunBuilder::new(spec).hours(40).chaos_run().run();
+    assert_eq!(m.failures, 4, "the whole rack fails");
+    assert!(m.detections >= 1, "heartbeat silence must be confirmed");
+    assert!(
+        m.detection_latency_secs > 0,
+        "detection takes miss+confirm ticks, never zero"
+    );
+    assert!(m.recoveries >= 1, "failover must restart instances");
+    assert!(m.repairs >= 4, "the rack rejoins after the outage");
+    assert!(m.lost_sessions > 0.0, "a hard crash severs live sessions");
+}
+
+/// Rolling maintenance is a *planned* failover: instances move before the
+/// host leaves rotation, so nothing is severed and no detection latency is
+/// paid — the drained hosts keep beating and rejoin cleanly.
+#[test]
+fn rolling_maintenance_drains_without_severing_sessions() {
+    let spec = ScenarioSpec::lookup("rolling-maintenance").expect("catalog name");
+    let m = RunBuilder::new(spec).hours(40).chaos_run().run();
+    assert_eq!(m.failures, 0, "drains are not failures");
+    assert!(m.recoveries >= 1, "planned failovers relocate instances");
+    assert_eq!(m.recovery_time_secs, 0, "planned failover has zero MTTR");
+    assert_eq!(m.lost_sessions, 0.0, "no sessions are severed");
+    assert_eq!(m.detection_latency_secs, 0, "nothing to detect");
+}
+
+/// The flash crowd overloads the LES lane hard enough that the controller
+/// must act, and the surge shows up in the overload account.
+#[test]
+fn flash_crowd_provokes_the_controller() {
+    let spec = ScenarioSpec::lookup("flash-crowd").expect("catalog name");
+    let m = RunBuilder::new(spec).hours(38).supervised().run();
+    assert!(!m.actions.is_empty(), "a 10x surge must trigger remedies");
+    assert!(
+        m.total_overload() > SimDuration::ZERO,
+        "a 10x step cannot be absorbed silently"
+    );
+}
+
+/// The ideal-conditions terminal refuses event-bearing scenarios instead of
+/// silently dropping their kills and drains.
+#[test]
+#[should_panic(expected = "schedules infrastructure events")]
+fn supervised_terminal_rejects_event_scenarios() {
+    let spec = ScenarioSpec::lookup("rack-failure").expect("catalog name");
+    let _ = RunBuilder::new(spec).hours(2).supervised();
+}
